@@ -1,0 +1,378 @@
+//! Cycle-approximate model of the FPGA accelerator (paper Fig 8).
+//!
+//! The programmable logic runs at 100 MHz against DDR3-533 over a 32-bit
+//! interface. The pipeline has a fixed number of MAC lanes shared by the
+//! inner-product and weighted-sum units, a pipelined exponentiation unit,
+//! and iterative dividers. The four variants differ exactly as in the
+//! paper:
+//!
+//! - **baseline**: layer-at-a-time; every intermediate vector (`T_IN`,
+//!   `P_exp`, `P`) makes a round trip through DRAM in cache-line bursts,
+//!   and the softmax performs `ns` divisions;
+//! - **column**: chunked; intermediates stay in BRAM; `ed` divisions — but
+//!   chunk loads still serialize with compute;
+//! - **column+S**: chunk loads stream (double-buffered), so total latency is
+//!   `max(memory, compute)` plus the first-chunk fill;
+//! - **MnnFast**: adds zero-skipping, gated per lane group — a group of
+//!   rows is skipped only if *every* exponential in it is below the
+//!   threshold (Section 4.2: no compaction, partial-softmax units run in
+//!   parallel).
+
+use mnn_memsim::{DramConfig, Variant};
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters of the modelled FPGA design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaConfig {
+    /// Logic clock in Hz.
+    pub freq_hz: f64,
+    /// External memory.
+    pub dram: DramConfig,
+    /// Multiply-accumulate lanes shared by inner product and weighted sum.
+    pub mac_lanes: u64,
+    /// Initiation interval of the exponentiation unit (cycles/element).
+    pub exp_ii: u64,
+    /// Initiation interval of the divider (cycles/division).
+    pub div_ii: u64,
+    /// Rows evaluated together by one partial-softmax group; zero-skipping
+    /// drops a group only when all its rows fall below the threshold.
+    pub skip_group: u64,
+    /// DRAM burst granularity in bytes (latency is paid per burst for
+    /// non-streamed intermediate traffic).
+    pub burst_bytes: u64,
+}
+
+impl FpgaConfig {
+    /// The ZedBoard Zynq-7020 configuration of Section 5.1.
+    pub fn zedboard() -> Self {
+        Self {
+            freq_hz: 100e6,
+            dram: DramConfig::zedboard_ddr3(),
+            mac_lanes: 2,
+            exp_ii: 2,
+            div_ii: 8,
+            skip_group: 6,
+            burst_bytes: 64,
+        }
+    }
+
+    /// Bytes the memory interface delivers per logic cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.dram.bandwidth_bytes_per_sec() / self.freq_hz
+    }
+
+    /// DRAM access latency in logic cycles.
+    pub fn latency_cycles_per_access(&self) -> u64 {
+        (self.dram.latency_ns * 1e-9 * self.freq_hz).ceil() as u64
+    }
+
+    /// Cycles to stream `bytes` contiguously (one latency, then full
+    /// bandwidth).
+    pub fn stream_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_cycles_per_access() + (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Cycles for latency-exposed burst traffic (intermediate spills): one
+    /// access latency per burst plus the transfer time.
+    pub fn burst_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let bursts = bytes.div_ceil(self.burst_bytes);
+        bursts * self.latency_cycles_per_access()
+            + (bytes as f64 / self.bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Total latency in cycles for one question under `variant`.
+    pub fn latency_cycles(&self, variant: Variant, w: &FpgaWorkload) -> u64 {
+        match variant {
+            Variant::Baseline => self.baseline_cycles(w),
+            Variant::Column => self.column_cycles(w, false, 0.0),
+            Variant::ColumnStreaming => self.column_cycles(w, true, 0.0),
+            Variant::MnnFast => self.column_cycles(w, true, self.effective_skip(w.skip_fraction)),
+        }
+    }
+
+    /// Latency in seconds.
+    pub fn latency_seconds(&self, variant: Variant, w: &FpgaWorkload) -> f64 {
+        self.latency_cycles(variant, w) as f64 / self.freq_hz
+    }
+
+    /// Group-gated effective skip fraction: a group of `skip_group` rows is
+    /// skipped only when all rows fall below the threshold, so the fraction
+    /// of skipped *rows* is `p^g` where `p` is the per-row skip probability
+    /// (rows are approximately independent under sparse attention).
+    pub fn effective_skip(&self, row_skip: f64) -> f64 {
+        row_skip.clamp(0.0, 1.0).powi(self.skip_group.max(1) as i32)
+    }
+
+    fn baseline_cycles(&self, w: &FpgaWorkload) -> u64 {
+        let (ns, ed) = (w.ns, w.ed);
+        let row_bytes = ed * 4;
+        let vec_bytes = ns * 4;
+        let mut t = 0u64;
+        // Layer 1: stream M_IN; inner product; spill T_IN.
+        t += self.stream_cycles(ns * row_bytes);
+        t += ns * ed / self.mac_lanes;
+        t += self.burst_cycles(vec_bytes); // write T_IN
+                                           // Layer 2: softmax — read T_IN, exp, write P_exp; read P_exp, sum;
+                                           // read P_exp, divide (ns divisions!), write P.
+        t += self.burst_cycles(vec_bytes); // read T_IN
+        t += ns * self.exp_ii;
+        t += self.burst_cycles(vec_bytes); // write P_exp
+        t += self.burst_cycles(vec_bytes); // read P_exp (sum)
+        t += ns; // accumulate sum
+        t += self.burst_cycles(vec_bytes); // read P_exp (divide)
+        t += ns * self.div_ii;
+        t += self.burst_cycles(vec_bytes); // write P
+                                           // Layer 3: read P, stream M_OUT, weighted sum.
+        t += self.burst_cycles(vec_bytes); // read P
+        t += self.stream_cycles(ns * row_bytes);
+        t += ns * ed / self.mac_lanes;
+        t
+    }
+
+    fn column_cycles(&self, w: &FpgaWorkload, streaming: bool, skip: f64) -> u64 {
+        let (ns, ed, chunk) = (w.ns, w.ed, w.chunk);
+        let row_bytes = ed * 4;
+        let n_chunks = ns.div_ceil(chunk);
+
+        // Per-chunk memory: the in-chunk and out-chunk streams.
+        let chunk_mem = 2 * self.stream_cycles(chunk * row_bytes);
+        // Per-chunk compute: inner product, exp, weighted sum (skip-gated).
+        let ws = ((chunk * ed) as f64 * (1.0 - skip) / self.mac_lanes as f64).ceil() as u64;
+        let chunk_compute = chunk * ed / self.mac_lanes + chunk * self.exp_ii + ws;
+
+        let body = if streaming {
+            // Double buffering: memory and compute pipeline; fill with the
+            // first chunk's load.
+            let mem_total = n_chunks * chunk_mem;
+            let compute_total = n_chunks * chunk_compute;
+            mem_total.max(compute_total) + chunk_mem
+        } else {
+            n_chunks * (chunk_mem + chunk_compute)
+        };
+        // Lazy softmax: ed divisions at the very end.
+        body + ed * self.div_ii
+    }
+}
+
+/// Problem shape for the FPGA model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaWorkload {
+    /// Story sentences.
+    pub ns: u64,
+    /// Embedding dimension.
+    pub ed: u64,
+    /// Chunk size.
+    pub chunk: u64,
+    /// Per-row zero-skip probability (from the attention sparsity of the
+    /// trained model; Fig 7 measures ~0.9 at threshold 0.1 on bAbI).
+    pub skip_fraction: f64,
+}
+
+impl FpgaWorkload {
+    /// The Table 1 FPGA column: ed=25, 1000 sentences, chunk 25.
+    pub fn table1() -> Self {
+        Self {
+            ns: 1000,
+            ed: 25,
+            chunk: 25,
+            skip_fraction: 0.9,
+        }
+    }
+}
+
+/// The embedding phase preceding inference in the Fig 8 pipeline: the
+/// question (and any newly arrived story sentences) pass through the
+/// embedding cache word by word before the inner-product units start.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbedPhase {
+    /// Word lookups to perform (question words + words of new sentences).
+    pub lookups: u64,
+    /// Hit ratio of the embedding cache (from `mnn-memsim`'s
+    /// [`mnn_memsim::EmbeddingCache`] simulation); `0.0` models no cache.
+    pub cache_hit_ratio: f64,
+}
+
+impl EmbedPhase {
+    /// Cycles for the embedding phase: hits take one cycle, misses fetch an
+    /// `ed`-float vector from DRAM.
+    pub fn cycles(&self, config: &FpgaConfig, ed: u64) -> u64 {
+        let hits = (self.lookups as f64 * self.cache_hit_ratio).round() as u64;
+        let misses = self.lookups - hits.min(self.lookups);
+        hits + misses * config.stream_cycles(ed * 4)
+    }
+}
+
+/// End-to-end latency (embedding phase + inference) for one question —
+/// the full Fig 8 pipeline.
+pub fn end_to_end_cycles(
+    config: &FpgaConfig,
+    variant: Variant,
+    work: &FpgaWorkload,
+    embed: &EmbedPhase,
+) -> u64 {
+    embed.cycles(config, work.ed) + config.latency_cycles(variant, work)
+}
+
+/// Latency of the embedding phase with and without the embedding cache
+/// (Fig 14): replays a Zipf word trace and converts hit/miss counts into
+/// cycles (hit = 1 cycle; miss = one DRAM vector fetch).
+///
+/// Returns `(no_cache_cycles, cached_cycles, hit_ratio)`.
+///
+/// # Errors
+///
+/// Propagates embedding-cache geometry errors.
+pub fn embedding_latency(
+    config: &FpgaConfig,
+    cache_bytes: usize,
+    ed: usize,
+    trace: &[u32],
+) -> Result<(u64, u64, f64), String> {
+    let vec_bytes = (ed * 4) as u64;
+    let fetch = config.stream_cycles(vec_bytes);
+    let no_cache = trace.len() as u64 * fetch;
+
+    let mut cache = mnn_memsim::EmbeddingCache::direct_mapped(cache_bytes, ed)?;
+    let stats = cache.run_trace(trace);
+    let cached = stats.hits + stats.misses * fetch;
+    Ok((no_cache, cached, stats.hit_ratio()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::zipf::ZipfSampler;
+
+    fn setup() -> (FpgaConfig, FpgaWorkload) {
+        (FpgaConfig::zedboard(), FpgaWorkload::table1())
+    }
+
+    #[test]
+    fn variants_are_strictly_ordered() {
+        let (cfg, w) = setup();
+        let base = cfg.latency_cycles(Variant::Baseline, &w);
+        let col = cfg.latency_cycles(Variant::Column, &w);
+        let cs = cfg.latency_cycles(Variant::ColumnStreaming, &w);
+        let mf = cfg.latency_cycles(Variant::MnnFast, &w);
+        assert!(base > col, "{base} vs {col}");
+        assert!(col > cs, "{col} vs {cs}");
+        assert!(cs > mf, "{cs} vs {mf}");
+    }
+
+    #[test]
+    fn fig13_magnitudes_are_in_range() {
+        // Paper: column −27.6%, column+S −38.2%, MnnFast 2.01× (−50.2%).
+        let (cfg, w) = setup();
+        let base = cfg.latency_cycles(Variant::Baseline, &w) as f64;
+        let col = cfg.latency_cycles(Variant::Column, &w) as f64;
+        let cs = cfg.latency_cycles(Variant::ColumnStreaming, &w) as f64;
+        let mf = cfg.latency_cycles(Variant::MnnFast, &w) as f64;
+        let col_red = 1.0 - col / base;
+        let cs_red = 1.0 - cs / base;
+        let speedup = base / mf;
+        assert!(
+            (0.15..0.45).contains(&col_red),
+            "column reduction {col_red}"
+        );
+        assert!(
+            (0.25..0.60).contains(&cs_red),
+            "column+S reduction {cs_red}"
+        );
+        assert!((1.5..3.0).contains(&speedup), "MnnFast speedup {speedup}");
+    }
+
+    #[test]
+    fn group_gating_weakens_skipping() {
+        let cfg = FpgaConfig::zedboard();
+        assert!(cfg.effective_skip(0.9) < 0.9);
+        assert!((cfg.effective_skip(0.9) - 0.9f64.powi(6)).abs() < 1e-12);
+        assert_eq!(cfg.effective_skip(0.0), 0.0);
+        assert_eq!(cfg.effective_skip(1.0), 1.0);
+        assert_eq!(cfg.effective_skip(2.0), 1.0, "clamped");
+    }
+
+    #[test]
+    fn streaming_approaches_bound() {
+        // Streamed latency must be at least the pure-memory and pure-compute
+        // bounds, and at most the serialized column latency.
+        let (cfg, w) = setup();
+        let cs = cfg.latency_cycles(Variant::ColumnStreaming, &w);
+        let col = cfg.latency_cycles(Variant::Column, &w);
+        assert!(cs < col);
+        let mem_bound = 2 * cfg.stream_cycles(w.chunk * w.ed * 4) * w.ns.div_ceil(w.chunk);
+        assert!(cs >= mem_bound.min(col));
+    }
+
+    #[test]
+    fn latency_seconds_consistent_with_cycles() {
+        let (cfg, w) = setup();
+        let c = cfg.latency_cycles(Variant::MnnFast, &w);
+        let s = cfg.latency_seconds(Variant::MnnFast, &w);
+        assert!((s - c as f64 / 100e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_traffic_is_slower_than_streamed() {
+        let cfg = FpgaConfig::zedboard();
+        assert!(cfg.burst_cycles(4096) > cfg.stream_cycles(4096));
+        assert_eq!(cfg.burst_cycles(0), 0);
+        assert_eq!(cfg.stream_cycles(0), 0);
+    }
+
+    #[test]
+    fn embedding_phase_composes_into_end_to_end() {
+        let (cfg, w) = setup();
+        // 5-word question, no new sentences.
+        let cold = EmbedPhase {
+            lookups: 5,
+            cache_hit_ratio: 0.0,
+        };
+        let warm = EmbedPhase {
+            lookups: 5,
+            cache_hit_ratio: 0.8,
+        };
+        let infer = cfg.latency_cycles(Variant::MnnFast, &w);
+        let e_cold = end_to_end_cycles(&cfg, Variant::MnnFast, &w, &cold);
+        let e_warm = end_to_end_cycles(&cfg, Variant::MnnFast, &w, &warm);
+        assert!(e_cold > e_warm, "{e_cold} vs {e_warm}");
+        assert!(e_warm > infer);
+        assert_eq!(e_cold - infer, 5 * cfg.stream_cycles(w.ed * 4));
+        // Perfect cache: one cycle per lookup.
+        let perfect = EmbedPhase {
+            lookups: 5,
+            cache_hit_ratio: 1.0,
+        };
+        assert_eq!(
+            end_to_end_cycles(&cfg, Variant::MnnFast, &w, &perfect),
+            infer + 5
+        );
+    }
+
+    #[test]
+    fn embedding_cache_latency_reductions_match_fig14_shape() {
+        // Fig 14: 32/64/128/256 KiB → 34.5/41.7/47.7/53.1% reduction, ed=256.
+        let cfg = FpgaConfig::zedboard();
+        let mut z = ZipfSampler::new(10_000, 1.1, 42).unwrap();
+        let trace = z.trace(200_000);
+        let mut prev = 0.0;
+        for (kb, expected) in [(32usize, 0.345), (64, 0.417), (128, 0.477), (256, 0.531)] {
+            let (no_cache, cached, _) = embedding_latency(&cfg, kb << 10, 256, &trace).unwrap();
+            let reduction = 1.0 - cached as f64 / no_cache as f64;
+            assert!(
+                reduction > prev,
+                "{kb} KiB: {reduction} not monotone over {prev}"
+            );
+            assert!(
+                (reduction - expected).abs() < 0.15,
+                "{kb} KiB: modelled {reduction:.3} vs paper {expected}"
+            );
+            prev = reduction;
+        }
+    }
+}

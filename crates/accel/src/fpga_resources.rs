@@ -1,0 +1,196 @@
+//! FPGA resource estimation: does a design configuration fit the device?
+//!
+//! The paper scales the FPGA network down "due to the lack of available
+//! logic cells" (Section 5.1, Table 1). This module makes that constraint
+//! explicit: per-unit resource costs for the Fig 8 pipeline (MAC lanes,
+//! exponential/divider units, chunk buffers, embedding cache) are summed
+//! and checked against the device's DSP slices and BRAM — so the Table 1
+//! FPGA configuration demonstrably fits the Zynq-7020 while the CPU-sized
+//! configuration demonstrably does not.
+
+use crate::fpga::{FpgaConfig, FpgaWorkload};
+use serde::{Deserialize, Serialize};
+
+/// An FPGA device's relevant resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// DSP48 slices.
+    pub dsp_slices: u64,
+    /// Block RAM capacity in bits.
+    pub bram_bits: u64,
+    /// Logic cells (LUT-equivalent), used for the softmax/control estimate.
+    pub logic_cells: u64,
+}
+
+impl Device {
+    /// The ZedBoard's Zynq-7020 (XC7Z020): 220 DSP slices, 4.9 Mb BRAM,
+    /// 85k logic cells.
+    pub fn zynq_7020() -> Self {
+        Self {
+            name: "Zynq-7020",
+            dsp_slices: 220,
+            bram_bits: 4_900_000,
+            logic_cells: 85_000,
+        }
+    }
+
+    /// A large datacenter-class part (VU9P-like) for headroom comparisons.
+    pub fn vu9p_like() -> Self {
+        Self {
+            name: "VU9P-class",
+            dsp_slices: 6840,
+            bram_bits: 340_000_000,
+            logic_cells: 2_586_000,
+        }
+    }
+}
+
+/// Estimated resource usage of one accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceEstimate {
+    /// DSP slices (MACs, exponential polynomial, dividers).
+    pub dsp_slices: u64,
+    /// BRAM bits (double-buffered chunk staging + accumulators + embedding
+    /// cache).
+    pub bram_bits: u64,
+    /// Logic cells (control, comparators for zero-skip gating).
+    pub logic_cells: u64,
+}
+
+impl ResourceEstimate {
+    /// Whether this estimate fits on `device`.
+    pub fn fits(&self, device: &Device) -> bool {
+        self.dsp_slices <= device.dsp_slices
+            && self.bram_bits <= device.bram_bits
+            && self.logic_cells <= device.logic_cells
+    }
+
+    /// The tightest utilization fraction across resource classes.
+    pub fn peak_utilization(&self, device: &Device) -> f64 {
+        [
+            self.dsp_slices as f64 / device.dsp_slices as f64,
+            self.bram_bits as f64 / device.bram_bits as f64,
+            self.logic_cells as f64 / device.logic_cells as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+// Per-unit costs (HLS-typical figures for f32 arithmetic on 7-series):
+// an f32 multiply-add consumes ~5 DSPs; the exp approximation ~10 DSPs;
+// an iterative f32 divider ~0 DSPs but ~800 cells; control ~2k cells.
+const DSP_PER_MAC: u64 = 5;
+const DSP_PER_EXP_UNIT: u64 = 10;
+const CELLS_PER_DIVIDER: u64 = 800;
+const CELLS_PER_SKIP_COMPARATOR: u64 = 60;
+const CELLS_CONTROL: u64 = 2_000;
+
+/// Estimates the resources of `config` serving `workload`, with an
+/// embedding cache of `embedding_cache_bytes`.
+pub fn estimate(
+    config: &FpgaConfig,
+    workload: &FpgaWorkload,
+    embedding_cache_bytes: u64,
+) -> ResourceEstimate {
+    // Compute units: MAC lanes are shared by inner product and weighted
+    // sum; one pipelined exp unit per lane group; one divider.
+    let dsp = config.mac_lanes * 2 * DSP_PER_MAC + DSP_PER_EXP_UNIT;
+
+    // BRAM: double-buffered in/out chunk staging, the logits buffer, the
+    // output accumulator, and the embedding cache payload.
+    let chunk_bits = workload.chunk * workload.ed * 32;
+    let staging = 2 * 2 * chunk_bits; // two buffers × (in + out)
+    let logits = workload.chunk * 32;
+    let accumulator = workload.ed * 32;
+    let bram = staging + logits + accumulator + embedding_cache_bytes * 8;
+
+    // Logic: dividers, per-lane skip comparators, control.
+    let cells = CELLS_PER_DIVIDER
+        + config.mac_lanes * CELLS_PER_SKIP_COMPARATOR
+        + CELLS_CONTROL;
+
+    ResourceEstimate {
+        dsp_slices: dsp,
+        bram_bits: bram,
+        logic_cells: cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_fpga_config_fits_the_zedboard() {
+        let cfg = FpgaConfig::zedboard();
+        let work = FpgaWorkload::table1(); // ed=25, chunk=25
+        let est = estimate(&cfg, &work, 32 << 10);
+        let device = Device::zynq_7020();
+        assert!(
+            est.fits(&device),
+            "Table 1 FPGA config must fit: {est:?} vs {device:?}"
+        );
+        assert!(est.peak_utilization(&device) < 1.0);
+    }
+
+    #[test]
+    fn cpu_sized_config_does_not_fit_the_zedboard() {
+        // ed=48, chunk=1000 with a 256 KiB cache: the paper's reason for
+        // scaling down.
+        let cfg = FpgaConfig::zedboard();
+        let work = FpgaWorkload {
+            ns: 100_000,
+            ed: 48,
+            chunk: 1000,
+            skip_fraction: 0.9,
+        };
+        let est = estimate(&cfg, &work, 256 << 10);
+        let device = Device::zynq_7020();
+        assert!(
+            !est.fits(&device),
+            "CPU-sized config should exceed the 7020: {est:?}"
+        );
+        // BRAM is the binding constraint (staging + cache exceed 4.9 Mb).
+        assert!(est.bram_bits > device.bram_bits);
+        // ...but a datacenter part takes it easily.
+        assert!(est.fits(&Device::vu9p_like()));
+    }
+
+    #[test]
+    fn more_lanes_cost_more_dsps() {
+        let work = FpgaWorkload::table1();
+        let mut narrow = FpgaConfig::zedboard();
+        narrow.mac_lanes = 2;
+        let mut wide = FpgaConfig::zedboard();
+        wide.mac_lanes = 16;
+        let a = estimate(&narrow, &work, 0);
+        let b = estimate(&wide, &work, 0);
+        assert!(b.dsp_slices > a.dsp_slices);
+        assert!(b.logic_cells > a.logic_cells);
+        assert_eq!(a.bram_bits, b.bram_bits, "lanes do not change buffering");
+    }
+
+    #[test]
+    fn embedding_cache_consumes_bram() {
+        let cfg = FpgaConfig::zedboard();
+        let work = FpgaWorkload::table1();
+        let without = estimate(&cfg, &work, 0);
+        let with = estimate(&cfg, &work, 64 << 10);
+        assert_eq!(with.bram_bits - without.bram_bits, (64 << 10) * 8);
+    }
+
+    #[test]
+    fn utilization_reflects_the_binding_resource() {
+        let cfg = FpgaConfig::zedboard();
+        let work = FpgaWorkload::table1();
+        let est = estimate(&cfg, &work, 256 << 10);
+        let device = Device::zynq_7020();
+        let u = est.peak_utilization(&device);
+        let bram_u = est.bram_bits as f64 / device.bram_bits as f64;
+        assert!(u >= bram_u);
+        assert!(u >= est.dsp_slices as f64 / device.dsp_slices as f64);
+    }
+}

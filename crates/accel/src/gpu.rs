@@ -1,0 +1,308 @@
+//! Analytic GPU execution model (paper Fig 12).
+//!
+//! Overlap rules observed in the paper's Section 5.3:
+//!
+//! - kernels overlap with kernels and with copies,
+//! - H2D copies on the *same* GPU serialize (one copy engine per direction),
+//! - across GPUs, H2D copies contend for the shared host PCIe complex —
+//!   Fig 12(b) compares that worst case against an ideal case "B" with no
+//!   contention,
+//! - the final partial-sum reduction and D2H transfer are negligible
+//!   (`ed × nq` bytes).
+
+use serde::{Deserialize, Serialize};
+
+/// GPU and interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Sustained kernel throughput per GPU in GFLOP/s (memory-bound BLAS-2
+    /// kernels sustain far below peak; TITAN Xp ≈ 550 GB/s HBM ⇒ ~70 GFLOP/s
+    /// for 8 B/FLOP streams).
+    pub gpu_gflops: f64,
+    /// Effective host-to-device bandwidth per transfer in GB/s (PCIe 3.0
+    /// x16 ≈ 12 GB/s effective).
+    pub pcie_gbps: f64,
+    /// Aggregate host PCIe bandwidth shared by all GPUs in GB/s (the
+    /// SuperServer 4028GR-TRT routes four x16 slots through PLX switches
+    /// onto two root complexes ≈ 32 GB/s total).
+    pub host_pcie_total_gbps: f64,
+}
+
+impl GpuConfig {
+    /// The paper's SuperServer with four TITAN Xp.
+    pub fn titan_xp_server() -> Self {
+        Self {
+            gpu_gflops: 70.0,
+            pcie_gbps: 12.0,
+            host_pcie_total_gbps: 32.0,
+        }
+    }
+}
+
+/// Work per inference batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuWorkload {
+    /// Bytes of `M_IN` + `M_OUT` to move host → device.
+    pub h2d_bytes: f64,
+    /// Kernel FLOPs (inner product + softmax + weighted sum).
+    pub flops: f64,
+}
+
+impl GpuWorkload {
+    /// A Table 1-shaped GPU workload (ed 64) scaled to `ns` sentences with
+    /// `nq` questions.
+    pub fn scaled(ns: u64, nq: u64) -> Self {
+        let ed = 64u64;
+        Self {
+            h2d_bytes: (2 * ns * ed * 4) as f64,
+            flops: (nq * (2 * ns * ed + 3 * ns + 2 * ns * ed)) as f64,
+        }
+    }
+}
+
+/// Timing breakdown of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuTimeline {
+    /// Seconds spent on host-to-device copies along the critical path.
+    pub h2d_seconds: f64,
+    /// Seconds of kernel execution past the last copy (exposed compute).
+    pub kernel_seconds: f64,
+    /// End-to-end latency in seconds.
+    pub total_seconds: f64,
+}
+
+/// Single-GPU execution split over `n_streams` CUDA streams.
+///
+/// Each stream copies `1/S` of the data and runs `1/S` of the kernels.
+/// Copies serialize on the copy engine; a stream's kernels start when its
+/// copy completes and overlap with later copies. The critical path is the
+/// last copy's completion plus the last stream's kernel time.
+///
+/// # Panics
+///
+/// Panics if `n_streams == 0`.
+pub fn single_gpu(config: &GpuConfig, work: &GpuWorkload, n_streams: usize) -> GpuTimeline {
+    assert!(n_streams > 0, "n_streams must be positive");
+    let s = n_streams as f64;
+    let copy_total = work.h2d_bytes / (config.pcie_gbps * 1e9);
+    let kernel_total = work.flops / (config.gpu_gflops * 1e9);
+    let kernel_per_stream = kernel_total / s;
+    // Stream i's kernels finish at copy_end(i) + remaining kernel work of
+    // that stream (kernels across streams overlap on the SMs; each stream's
+    // own kernels are serialized behind its copy).
+    let mut finish = 0.0f64;
+    for i in 1..=n_streams {
+        let copy_end = copy_total * i as f64 / s;
+        finish = finish.max(copy_end + kernel_per_stream);
+    }
+    GpuTimeline {
+        h2d_seconds: copy_total,
+        kernel_seconds: finish - copy_total,
+        total_seconds: finish,
+    }
+}
+
+/// Multi-GPU execution: work is split evenly over `n_gpus`; each GPU uses
+/// one stream. With `contended == true`, concurrent H2D copies share the
+/// host PCIe complex (the worst case of Fig 12(b)); with `false` every GPU
+/// gets its full link (the ideal case "B").
+///
+/// Returns one [`GpuTimeline`] per GPU (identical under even splitting) —
+/// the slowest entry is the completion latency.
+///
+/// # Panics
+///
+/// Panics if `n_gpus == 0`.
+pub fn multi_gpu(
+    config: &GpuConfig,
+    work: &GpuWorkload,
+    n_gpus: usize,
+    contended: bool,
+) -> Vec<GpuTimeline> {
+    assert!(n_gpus > 0, "n_gpus must be positive");
+    let g = n_gpus as f64;
+    let per_gpu_bytes = work.h2d_bytes / g;
+    let per_gpu_flops = work.flops / g;
+    let link = if contended {
+        // All GPUs copy simultaneously; each sees its share of the host
+        // complex, capped by its own link.
+        (config.host_pcie_total_gbps / g).min(config.pcie_gbps)
+    } else {
+        config.pcie_gbps
+    };
+    let h2d = per_gpu_bytes / (link * 1e9);
+    let kernel = per_gpu_flops / (config.gpu_gflops * 1e9);
+    (0..n_gpus)
+        .map(|_| GpuTimeline {
+            h2d_seconds: h2d,
+            kernel_seconds: kernel,
+            total_seconds: h2d + kernel,
+        })
+        .collect()
+}
+
+/// Completion latency of a multi-GPU run (max across GPUs).
+pub fn multi_gpu_latency(
+    config: &GpuConfig,
+    work: &GpuWorkload,
+    n_gpus: usize,
+    contended: bool,
+) -> f64 {
+    multi_gpu(config, work, n_gpus, contended)
+        .iter()
+        .map(|t| t.total_seconds)
+        .fold(0.0, f64::max)
+}
+
+/// Multi-node execution (Section 5.3's closing remark: "this problem can be
+/// resolved by using multiple nodes to isolate the memory accesses via
+/// PCIe"). Each node hosts `gpus_per_node` GPUs behind its own PCIe
+/// complex; nodes exchange only the `ed × nq` partial weighted sums, whose
+/// reduction cost is a per-node constant.
+///
+/// Returns the completion latency in seconds.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0` or `gpus_per_node == 0`.
+pub fn multi_node_latency(
+    config: &GpuConfig,
+    work: &GpuWorkload,
+    nodes: usize,
+    gpus_per_node: usize,
+    reduction_seconds_per_node: f64,
+) -> f64 {
+    assert!(nodes > 0, "nodes must be positive");
+    assert!(gpus_per_node > 0, "gpus_per_node must be positive");
+    // Each node handles 1/nodes of the memories with its own PCIe complex.
+    let per_node = GpuWorkload {
+        h2d_bytes: work.h2d_bytes / nodes as f64,
+        flops: work.flops / nodes as f64,
+    };
+    let node_latency = multi_gpu_latency(config, &per_node, gpus_per_node, true);
+    // The reduction tree over partial sums is tiny (ed × nq floats/node).
+    node_latency + reduction_seconds_per_node * (nodes as f64).log2().ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GpuConfig, GpuWorkload) {
+        (
+            GpuConfig::titan_xp_server(),
+            GpuWorkload::scaled(1_000_000, 4),
+        )
+    }
+
+    #[test]
+    fn streams_give_partial_overlap_speedup() {
+        let (cfg, w) = setup();
+        let one = single_gpu(&cfg, &w, 1).total_seconds;
+        let four = single_gpu(&cfg, &w, 4).total_seconds;
+        let speedup = one / four;
+        // Paper: ~1.33×; copies form the critical path so gains are modest.
+        assert!(speedup > 1.1, "speedup {speedup}");
+        assert!(speedup < 2.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn adding_more_streams_saturates() {
+        // "Increasing the number of streams does not reduce the latency
+        // much, as memcpy functions form a critical path."
+        let (cfg, w) = setup();
+        let s4 = single_gpu(&cfg, &w, 4).total_seconds;
+        let s16 = single_gpu(&cfg, &w, 16).total_seconds;
+        let gain = s4 / s16;
+        assert!(gain < 1.15, "stream scaling should flatten: {gain}");
+    }
+
+    #[test]
+    fn copies_never_overlap_each_other() {
+        let (cfg, w) = setup();
+        for s in [1usize, 2, 8] {
+            let t = single_gpu(&cfg, &w, s);
+            let serial_copy = w.h2d_bytes / (cfg.pcie_gbps * 1e9);
+            assert!((t.h2d_seconds - serial_copy).abs() < 1e-12, "streams {s}");
+            assert!(t.total_seconds >= serial_copy);
+        }
+    }
+
+    #[test]
+    fn multi_gpu_scales_but_contention_caps_it() {
+        let (cfg, w) = setup();
+        let one = multi_gpu_latency(&cfg, &w, 1, true);
+        let four_worst = multi_gpu_latency(&cfg, &w, 4, true);
+        let four_ideal = multi_gpu_latency(&cfg, &w, 4, false);
+        let s_worst = one / four_worst;
+        let s_ideal = one / four_ideal;
+        assert!(s_worst > 2.0, "worst-case 4-GPU speedup {s_worst}");
+        assert!(
+            s_ideal > s_worst,
+            "ideal {s_ideal} must beat contended {s_worst}"
+        );
+        assert!(s_ideal <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn h2d_gap_grows_with_gpu_count() {
+        // Fig 12(b): "H2D latency differences between the worst case and the
+        // ideal case are getting larger as the number of GPUs increases."
+        let (cfg, w) = setup();
+        let mut prev_gap = 0.0;
+        for g in [1usize, 2, 3, 4] {
+            let worst = multi_gpu(&cfg, &w, g, true)[0].h2d_seconds;
+            let ideal = multi_gpu(&cfg, &w, g, false)[0].h2d_seconds;
+            let gap = worst - ideal;
+            assert!(gap >= prev_gap - 1e-12, "gap shrank at {g} GPUs");
+            prev_gap = gap;
+        }
+        assert!(prev_gap > 0.0, "4-GPU contention must be visible");
+    }
+
+    #[test]
+    fn single_gpu_contention_is_immaterial() {
+        let (cfg, w) = setup();
+        let worst = multi_gpu_latency(&cfg, &w, 1, true);
+        let ideal = multi_gpu_latency(&cfg, &w, 1, false);
+        assert!((worst - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_streams must be positive")]
+    fn zero_streams_panics() {
+        let (cfg, w) = setup();
+        let _ = single_gpu(&cfg, &w, 0);
+    }
+
+    #[test]
+    fn multi_node_beats_contended_single_node() {
+        // 2 nodes × 2 GPUs outscale 4 GPUs sharing one PCIe complex.
+        let (cfg, w) = setup();
+        let one_node_4gpu = multi_gpu_latency(&cfg, &w, 4, true);
+        let two_nodes_2gpu = multi_node_latency(&cfg, &w, 2, 2, 1e-4);
+        assert!(
+            two_nodes_2gpu < one_node_4gpu,
+            "2x2 {two_nodes_2gpu} vs 1x4 {one_node_4gpu}"
+        );
+    }
+
+    #[test]
+    fn multi_node_scaling_is_near_linear() {
+        let (cfg, w) = setup();
+        let n1 = multi_node_latency(&cfg, &w, 1, 2, 1e-4);
+        let n4 = multi_node_latency(&cfg, &w, 4, 2, 1e-4);
+        let speedup = n1 / n4;
+        assert!(
+            (3.2..=4.0).contains(&speedup),
+            "4-node speedup {speedup} (sync overhead should be negligible)"
+        );
+    }
+
+    #[test]
+    fn workload_scaling_is_linear() {
+        let small = GpuWorkload::scaled(1000, 1);
+        let big = GpuWorkload::scaled(2000, 1);
+        assert!((big.h2d_bytes / small.h2d_bytes - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,38 @@
+//! Accelerator models for the MnnFast reproduction.
+//!
+//! The paper's GPU and FPGA prototypes run on hardware this environment
+//! does not have (4× TITAN Xp; ZedBoard Zynq-7020). This crate models both
+//! at the level the paper's evaluation depends on:
+//!
+//! - [`fpga`] — a cycle-approximate model of the Fig 8 pipeline
+//!   (embedding cache → inner product → partial softmax → weighted sum)
+//!   over the ZedBoard's DDR3 interface, driving Figs 13 and 14,
+//! - [`gpu`] — an analytic CUDA-stream / PCIe-contention model with the
+//!   paper's overlap rules (kernel/kernel and kernel/copy overlap,
+//!   copy/copy serializes per direction, multi-GPU copies share the host
+//!   PCIe), driving Fig 12,
+//! - [`energy`] — package-power models for the CPU and FPGA integrated over
+//!   modelled runtime, driving the Section 5.5 efficiency comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_accel::fpga::{FpgaConfig, FpgaWorkload};
+//! use mnn_memsim::Variant;
+//!
+//! let cfg = FpgaConfig::zedboard();
+//! let work = FpgaWorkload::table1(); // ed=25, ns=1000, chunk=25
+//! let base = cfg.latency_cycles(Variant::Baseline, &work);
+//! let fast = cfg.latency_cycles(Variant::MnnFast, &work);
+//! assert!(fast < base);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod energy;
+pub mod fpga;
+pub mod fpga_pipeline;
+pub mod fpga_resources;
+pub mod gpu;
+pub mod gpu_timeline;

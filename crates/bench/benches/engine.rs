@@ -1,0 +1,100 @@
+//! Criterion benchmarks of the inference engines: baseline vs column-based
+//! vs streaming vs zero-skipping, plus the chunk-size ablation of
+//! DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mnn_tensor::softmax::softmax_in_place;
+use mnn_tensor::{kernels, Matrix};
+use mnnfast::streaming::StreamingEngine;
+use mnnfast::{ColumnEngine, MnnFastConfig, SkipPolicy, SoftmaxMode};
+use std::hint::black_box;
+
+const NS: usize = 50_000;
+const ED: usize = 48;
+
+fn memories() -> (Matrix, Matrix, Vec<f32>) {
+    let m_in = Matrix::from_fn(NS, ED, |r, c| ((r * 31 + c) as f32 * 0.001).sin() * 0.4);
+    let m_out = Matrix::from_fn(NS, ED, |r, c| ((r * 7 + c) as f32 * 0.002).cos() * 0.4);
+    let u: Vec<f32> = (0..ED).map(|i| (i as f32 * 0.3).sin()).collect();
+    (m_in, m_out, u)
+}
+
+/// The baseline dataflow: full-length T_IN / P spill between layers.
+fn baseline_forward(m_in: &Matrix, m_out: &Matrix, u: &[f32]) -> Vec<f32> {
+    let mut p = vec![0.0f32; m_in.rows()];
+    kernels::gemv(m_in, u, &mut p).unwrap();
+    softmax_in_place(&mut p);
+    let mut o = vec![0.0f32; m_out.cols()];
+    kernels::gevm(&p, m_out, &mut o).unwrap();
+    o
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let (m_in, m_out, u) = memories();
+    let mut g = c.benchmark_group("variants");
+    g.throughput(Throughput::Elements((NS * ED) as u64));
+
+    g.bench_function("baseline", |b| {
+        b.iter(|| baseline_forward(black_box(&m_in), black_box(&m_out), black_box(&u)))
+    });
+    let column = ColumnEngine::new(MnnFastConfig::new(1000));
+    g.bench_function("column", |b| {
+        b.iter(|| {
+            column
+                .forward(black_box(&m_in), black_box(&m_out), &u)
+                .unwrap()
+                .o
+        })
+    });
+    let streaming = StreamingEngine::new(MnnFastConfig::new(1000));
+    g.bench_function("column_streaming", |b| {
+        b.iter(|| {
+            streaming
+                .forward(black_box(&m_in), black_box(&m_out), &u)
+                .unwrap()
+                .o
+        })
+    });
+    let skip = ColumnEngine::new(MnnFastConfig::new(1000).with_skip(SkipPolicy::RawWeight(1.0)));
+    g.bench_function("column_zero_skip", |b| {
+        b.iter(|| {
+            skip.forward(black_box(&m_in), black_box(&m_out), &u)
+                .unwrap()
+                .o
+        })
+    });
+    let online = ColumnEngine::new(MnnFastConfig::new(1000).with_softmax(SoftmaxMode::Online));
+    g.bench_function("column_online_softmax", |b| {
+        b.iter(|| {
+            online
+                .forward(black_box(&m_in), black_box(&m_out), &u)
+                .unwrap()
+                .o
+        })
+    });
+    g.finish();
+}
+
+fn bench_chunk_sweep(c: &mut Criterion) {
+    let (m_in, m_out, u) = memories();
+    let mut g = c.benchmark_group("chunk_sweep");
+    for &chunk in &[64usize, 256, 1024, 4096, 16384] {
+        let engine = ColumnEngine::new(MnnFastConfig::new(chunk));
+        g.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, _| {
+            b.iter(|| {
+                engine
+                    .forward(black_box(&m_in), black_box(&m_out), &u)
+                    .unwrap()
+                    .o
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants, bench_chunk_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the tensor substrate: the kernels whose
+//! cost structure underlies every experiment (dot/GEMV/softmax).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mnn_tensor::softmax::{softmax_in_place, LazyAccumulator, OnlineSoftmax};
+use mnn_tensor::{kernels, Matrix};
+use std::hint::black_box;
+
+fn make_vec(n: usize, seed: f32) -> Vec<f32> {
+    (0..n).map(|i| ((i as f32) * 0.37 + seed).sin()).collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    for &n in &[64usize, 1024, 16384] {
+        let a = make_vec(n, 0.0);
+        let b = make_vec(n, 1.0);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| kernels::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv");
+    for &(rows, cols) in &[(1000usize, 48usize), (10_000, 48), (1000, 256)] {
+        let m = Matrix::from_fn(rows, cols, |r, col| ((r + col) as f32 * 0.01).sin());
+        let x = make_vec(cols, 0.5);
+        let mut out = vec![0.0f32; rows];
+        g.throughput(Throughput::Elements((rows * cols) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| {
+                bench.iter(|| {
+                    kernels::gemv(black_box(&m), black_box(&x), black_box(&mut out)).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_softmax_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("softmax");
+    let n = 10_000usize;
+    let logits = make_vec(n, 0.2);
+    let rows: Vec<Vec<f32>> = (0..n).map(|i| make_vec(48, i as f32)).collect();
+
+    g.bench_function("baseline_softmax_in_place", |b| {
+        b.iter(|| {
+            let mut x = logits.clone();
+            softmax_in_place(black_box(&mut x));
+            x
+        })
+    });
+    g.bench_function("lazy_accumulate_48d", |b| {
+        b.iter(|| {
+            let mut acc = LazyAccumulator::new(48);
+            for (l, row) in logits.iter().zip(&rows) {
+                acc.add_weighted(l.exp(), row);
+            }
+            acc.finish()
+        })
+    });
+    g.bench_function("online_accumulate_48d", |b| {
+        b.iter(|| {
+            let mut acc = OnlineSoftmax::new(48);
+            for (l, row) in logits.iter().zip(&rows) {
+                acc.add(*l, row);
+            }
+            acc.finish()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dot, bench_gemv, bench_softmax_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Runs the design-choice ablations of DESIGN.md §5 (beyond the paper's
+//! own figures): chunk-size sweep, lazy-vs-online softmax, embedding-cache
+//! associativity, FPGA streaming depth, question batching.
+use mnn_bench::experiments::ablations;
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    for t in [
+        ablations::chunk_sweep(scale),
+        ablations::softmax_modes(scale),
+        ablations::embedding_cache_ways(scale),
+        ablations::streaming_depth(scale),
+        ablations::fpga_fit(scale),
+        ablations::writeback_traffic(scale),
+        ablations::batching(scale),
+    ] {
+        println!("{t}");
+    }
+}

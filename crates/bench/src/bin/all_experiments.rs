@@ -1,0 +1,32 @@
+//! Runs every experiment in order (the EXPERIMENTS.md generator).
+use mnn_bench::experiments as e;
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("{}", e::table1());
+    for t in [
+        e::motivation::fig03(scale),
+        e::motivation::fig04(scale),
+        e::accuracy::fig06(scale),
+        e::accuracy::fig07(scale),
+        e::cpu::fig09_native(scale),
+        e::cpu::fig09_modelled(scale),
+        e::cpu::fig10(scale),
+        e::cpu::fig11(scale),
+        e::accelerators::fig12(scale),
+        e::accelerators::fig13(scale),
+        e::accelerators::fig14(scale),
+        e::accelerators::sec55(scale),
+        e::ablations::chunk_sweep(scale),
+        e::ablations::fpga_fit(scale),
+        e::ablations::softmax_modes(scale),
+        e::ablations::embedding_cache_ways(scale),
+        e::ablations::streaming_depth(scale),
+        e::ablations::writeback_traffic(scale),
+        e::ablations::batching(scale),
+        e::validation::model_validation(scale),
+    ] {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Fig 3: baseline speedup vs threads for 1/2/4/8 memory channels.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::motivation::fig03(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 4: inference slowdown under co-executed embedding threads.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::motivation::fig04(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 6: probability-vector sparsity of the trained model.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accuracy::fig06(scale));
+}

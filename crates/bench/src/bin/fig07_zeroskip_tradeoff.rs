@@ -1,0 +1,7 @@
+//! Fig 7: zero-skipping accuracy/computation tradeoff.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accuracy::fig07(scale));
+}

@@ -1,0 +1,10 @@
+//! Fig 9: performance of the column-based algorithm on CPU — native
+//! single-thread measurements plus the modelled multi-thread speedups.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::cpu::fig09_native(scale));
+    println!();
+    print!("{}", mnn_bench::experiments::cpu::fig09_modelled(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 10: thread scalability per memory-channel count.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::cpu::fig10(scale));
+}

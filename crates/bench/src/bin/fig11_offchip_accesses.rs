@@ -1,0 +1,7 @@
+//! Fig 11: off-chip access counts normalized to baseline.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::cpu::fig11(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 12: GPU stream/multi-GPU scalability.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accelerators::fig12(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 13: FPGA latency per variant.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accelerators::fig13(scale));
+}

@@ -1,0 +1,7 @@
+//! Fig 14: embedding-cache effectiveness.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accelerators::fig14(scale));
+}

@@ -1,0 +1,8 @@
+//! Cross-checks every closed-form performance model against its
+//! discrete-event simulation twin.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::validation::model_validation(scale));
+}

@@ -1,0 +1,7 @@
+//! Section 5.5: CPU vs FPGA energy efficiency.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    print!("{}", mnn_bench::experiments::accelerators::sec55(scale));
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 (memory-network configurations).
+fn main() {
+    print!("{}", mnn_bench::experiments::table1());
+}

@@ -1,0 +1,56 @@
+//! Experiment runners, one per table/figure.
+
+pub mod ablations;
+pub mod accelerators;
+pub mod accuracy;
+pub mod cpu;
+pub mod motivation;
+pub mod validation;
+
+use crate::table::ExperimentTable;
+use mnn_dataset::{MemNNConfig, Platform};
+
+/// Table 1: the memory-network configurations per platform.
+pub fn table1() -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "Table 1: memory network configurations",
+        &["entry", "CPU", "GPU", "FPGA"],
+    );
+    let configs = [
+        MemNNConfig::for_platform(Platform::Cpu),
+        MemNNConfig::for_platform(Platform::Gpu),
+        MemNNConfig::for_platform(Platform::Fpga),
+    ];
+    t.row(
+        std::iter::once("Embedding dimension (# entry)".to_string())
+            .chain(configs.iter().map(|c| c.embedding_dim.to_string()))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("Database size (# sentences)".to_string())
+            .chain(configs.iter().map(|c| c.num_sentences.to_string()))
+            .collect(),
+    );
+    t.row(
+        std::iter::once("Chunk-size (# sentences)".to_string())
+            .chain(configs.iter().map(|c| c.chunk_size.to_string()))
+            .collect(),
+    );
+    t.note("GPU chunk size is variable in the paper; the preset uses 1e6.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_columns() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][1], "48");
+        assert_eq!(t.rows[0][3], "25");
+        assert_eq!(t.rows[1][3], "1000");
+        assert_eq!(t.rows[2][1], "1000");
+    }
+}

@@ -1,0 +1,131 @@
+//! Motivational experiments: Fig 3 (bandwidth-limited scaling) and Fig 4
+//! (cache contention).
+
+use crate::table::{f, ExperimentTable};
+use crate::Scale;
+use mnn_memsim::contention::{self, ContentionConfig, EmbeddingIsolation};
+use mnn_memsim::dataflow::DataflowConfig;
+use mnn_memsim::roofline::{self, MachineProfile};
+use mnn_memsim::Variant;
+
+/// Fig 3: baseline speedup vs threads for 1/2/4/8 memory channels.
+///
+/// Reproduces the saturation behaviour: fewer channels ⇒ earlier plateau.
+pub fn fig03(scale: Scale) -> ExperimentTable {
+    // Scaled-proportional simulation (see fig09_modelled).
+    let ns = scale.pick(1_000_000, 50_000);
+    let max_threads = 20;
+    let config = DataflowConfig {
+        ns,
+        ed: 48,
+        chunk: 1000,
+        questions: 4,
+        skip_fraction: 0.0,
+        hops: 1,
+    };
+    let channel_counts = [1usize, 2, 4, 8];
+    let mut t = ExperimentTable::new(
+        "Fig 3: baseline speedup vs threads per channel count",
+        &["threads", "1ch", "2ch", "4ch", "8ch"],
+    );
+    let mut curves = Vec::new();
+    for &ch in &channel_counts {
+        let mut machine = MachineProfile::xeon(ch);
+        machine.llc_bytes = scale.pick(2 << 20, 1 << 20);
+        let workload = roofline::variant_workload(Variant::Baseline, config, &machine)
+            .expect("valid dataflow config");
+        curves.push(roofline::speedup_curve(&machine, &workload, max_threads));
+    }
+    for th in 1..=max_threads {
+        let mut row = vec![th.to_string()];
+        for curve in &curves {
+            row.push(f(curve[th - 1]));
+        }
+        t.row(row);
+    }
+    t.note("speedup normalized to 1 thread; baseline dataflow, ed=48");
+    t.note(format!(
+        "ns={ns}, scaled-proportional LLC (memories and spills exceed it)"
+    ));
+    t
+}
+
+/// Fig 4: inference-thread performance vs co-executed embedding threads, at
+/// two network scales (working-set sizes), with and without the embedding
+/// cache fix.
+pub fn fig04(scale: Scale) -> ExperimentTable {
+    let steps = scale.pick(60_000, 5_000);
+    let scales = [
+        ("small (256KiB ws)", 256 << 10),
+        ("large (1.8MiB ws)", 1800 << 10),
+    ];
+    let embed_counts = [1usize, 2, 4, 8];
+    let mut t = ExperimentTable::new(
+        "Fig 4: inference performance vs co-executed embedding threads",
+        &["config", "1 thr", "2 thr", "4 thr", "8 thr"],
+    );
+    for (label, ws) in scales {
+        let mut row = vec![label.to_string()];
+        for &e in &embed_counts {
+            let cfg = ContentionConfig {
+                inference_ws_bytes: ws,
+                embedding_threads: e,
+                steps,
+                ..ContentionConfig::fig4_default()
+            };
+            let r = contention::simulate(cfg).expect("valid contention config");
+            row.push(f(r.relative_performance));
+        }
+        t.row(row);
+    }
+    // MnnFast fix: same worst case but with the embedding cache isolated.
+    let mut row = vec!["large + embedding cache".to_string()];
+    for &e in &embed_counts {
+        let cfg = ContentionConfig {
+            inference_ws_bytes: 1800 << 10,
+            embedding_threads: e,
+            steps,
+            isolate_embedding: Some(EmbeddingIsolation {
+                cache_bytes: 256 << 10,
+            }),
+            ..ContentionConfig::fig4_default()
+        };
+        let r = contention::simulate(cfg).expect("valid contention config");
+        row.push(f(r.relative_performance));
+    }
+    t.row(row);
+    t.note("performance relative to the same setup with no embedding threads");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig03_smoke_shows_channel_ordering() {
+        let t = fig03(Scale::Smoke);
+        assert_eq!(t.rows.len(), 20);
+        // At 20 threads, more channels ⇒ more speedup.
+        let last = &t.rows[19];
+        let s1: f64 = last[1].parse().unwrap();
+        let s8: f64 = last[4].parse().unwrap();
+        assert!(s8 > s1, "8ch {s8} vs 1ch {s1}");
+        // 1-channel curve saturates well below ideal.
+        assert!(s1 < 10.0);
+    }
+
+    #[test]
+    fn fig04_smoke_shows_contention_and_fix() {
+        let t = fig04(Scale::Smoke);
+        assert_eq!(t.rows.len(), 3);
+        // Degradation grows with embedding threads on the large config.
+        let large = &t.rows[1];
+        let one: f64 = large[1].parse().unwrap();
+        let eight: f64 = large[4].parse().unwrap();
+        assert!(eight <= one + 0.05, "8 threads {eight} vs 1 thread {one}");
+        // The embedding-cache row stays near 1.0.
+        let fixed: f64 = t.rows[2][4].parse().unwrap();
+        assert!(fixed > 0.95, "fix should restore performance: {fixed}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Model validation: every closed-form performance model in the
+//! reproduction is cross-checked against an independent discrete-event
+//! simulation, and the native engines against the simulators' byte
+//! accounting. This is the evidence that the Fig 3/9/10/12/13 curves rest
+//! on more than algebra.
+
+use crate::table::{f, pct, ExperimentTable};
+use crate::Scale;
+use mnn_accel::fpga::{FpgaConfig, FpgaWorkload};
+use mnn_accel::fpga_pipeline;
+use mnn_accel::gpu::{self, GpuConfig, GpuWorkload};
+use mnn_accel::gpu_timeline;
+use mnn_memsim::dram_queue::{self, ClientProfile};
+use mnn_memsim::{DramConfig, Variant};
+
+/// Relative difference `|a-b| / b`.
+fn rel(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+/// Cross-checks each analytic model against its event-driven twin.
+pub fn model_validation(scale: Scale) -> ExperimentTable {
+    let mut t = ExperimentTable::new(
+        "Model validation: closed form vs discrete-event simulation",
+        &["model", "configuration", "closed form", "simulated", "rel diff"],
+    );
+
+    // 1. Roofline throughput vs DRAM queue simulation.
+    let dram = DramConfig::ddr4_2400(1);
+    let profile = ClientProfile {
+        compute_seconds: 5e-6,
+        burst_bytes: 256 << 10,
+        bursts: scale.pick(200, 50),
+        overlapped: false,
+    };
+    for clients in [2usize, 4, 8] {
+        let r = dram_queue::simulate(&dram, clients, profile);
+        let simulated = (clients * profile.bursts) as f64 / r.makespan;
+        let bw = dram.bandwidth_bytes_per_sec();
+        let closed = clients as f64
+            / (profile.compute_seconds
+                + dram.latency_ns * 1e-9
+                + clients as f64 * profile.burst_bytes as f64 / bw);
+        t.row(vec![
+            "roofline".into(),
+            format!("{clients} clients, 1ch DDR4"),
+            format!("{closed:.0}/s"),
+            format!("{simulated:.0}/s"),
+            pct(rel(simulated, closed)),
+        ]);
+    }
+
+    // 2. FPGA closed-form latency vs event-stepped pipeline.
+    let cfg = FpgaConfig::zedboard();
+    let work = FpgaWorkload::table1();
+    for (variant, depth) in [
+        (Variant::Column, 1usize),
+        (Variant::ColumnStreaming, 2),
+        (Variant::MnnFast, 2),
+    ] {
+        let closed = cfg.latency_cycles(variant, &work) as f64;
+        let sim = fpga_pipeline::simulate(&cfg, &work, variant, depth).makespan as f64;
+        t.row(vec![
+            "fpga".into(),
+            format!("{variant}, depth {depth}"),
+            f(closed),
+            f(sim),
+            pct(rel(sim, closed)),
+        ]);
+    }
+
+    // 3. GPU analytic stream model vs event timeline.
+    let gcfg = GpuConfig::titan_xp_server();
+    let gwork = GpuWorkload::scaled(scale.pick(10_000_000, 100_000), 4);
+    for streams in [1usize, 2, 4] {
+        let closed = gpu::single_gpu(&gcfg, &gwork, streams).total_seconds;
+        let sim = gpu_timeline::simulate_streams(&gcfg, &gwork, streams).makespan;
+        t.row(vec![
+            "gpu".into(),
+            format!("{streams} stream(s)"),
+            format!("{:.1} ms", closed * 1e3),
+            format!("{:.1} ms", sim * 1e3),
+            pct(rel(sim, closed)),
+        ]);
+    }
+
+    t.note("every pair should agree within a few percent");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_agree_within_tolerance() {
+        let t = model_validation(Scale::Smoke);
+        for row in &t.rows {
+            let diff: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(
+                diff < 25.0,
+                "{} ({}) diverges by {diff}%",
+                row[0],
+                row[1]
+            );
+        }
+        // The FPGA and GPU rows should be tight (< 5%).
+        for row in t.rows.iter().filter(|r| r[0] == "fpga" || r[0] == "gpu") {
+            let diff: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(diff < 5.0, "{} ({}) diverges by {diff}%", row[0], row[1]);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Experiment harness for the MnnFast reproduction.
+//!
+//! One runner per table/figure of the paper's evaluation section; each
+//! binary under `src/bin` is a thin wrapper that calls the corresponding
+//! runner and prints its [`table::ExperimentTable`]. The runners accept a
+//! [`Scale`] so integration tests can smoke-run them in milliseconds while
+//! the binaries default to paper-shaped sizes.
+//!
+//! | Binary | Paper artifact | Runner |
+//! |---|---|---|
+//! | `table1` | Table 1 | [`experiments::table1`] |
+//! | `fig03_membw_scaling` | Fig 3 | [`experiments::motivation::fig03`] |
+//! | `fig04_cache_contention` | Fig 4 | [`experiments::motivation::fig04`] |
+//! | `fig06_pvector` | Fig 6 | [`experiments::accuracy::fig06`] |
+//! | `fig07_zeroskip_tradeoff` | Fig 7 | [`experiments::accuracy::fig07`] |
+//! | `fig09_cpu_perf` | Fig 9 | [`experiments::cpu::fig09_native`] |
+//! | `fig10_cpu_scalability` | Fig 10 | [`experiments::cpu::fig10`] |
+//! | `fig11_offchip_accesses` | Fig 11 | [`experiments::cpu::fig11`] |
+//! | `fig12_gpu_scaling` | Fig 12 | [`experiments::accelerators::fig12`] |
+//! | `fig13_fpga_latency` | Fig 13 | [`experiments::accelerators::fig13`] |
+//! | `fig14_embedding_cache` | Fig 14 | [`experiments::accelerators::fig14`] |
+//! | `sec55_energy` | Section 5.5 | [`experiments::accelerators::sec55`] |
+
+pub mod experiments;
+pub mod table;
+
+/// How large an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long, paper-shaped runs (the binaries' default).
+    Full,
+    /// Milliseconds-long smoke runs for tests.
+    Smoke,
+}
+
+impl Scale {
+    /// Reads the scale from the process arguments (`--smoke` selects
+    /// [`Scale::Smoke`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Picks `full` or `smoke` by variant.
+    pub fn pick<T>(self, full: T, smoke: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => smoke,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_selects_by_scale() {
+        assert_eq!(Scale::Full.pick(10, 1), 10);
+        assert_eq!(Scale::Smoke.pick(10, 1), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text experiment tables (the harness's output format).
+
+use std::fmt;
+
+/// A titled, column-aligned table with optional footnotes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExperimentTable {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (ragged rows are padded on display).
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Looks up a cell as `f64` (row, col), for tests.
+    pub fn cell_f64(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows
+            .get(row)?
+            .get(col)?
+            .trim_end_matches(['x', '%', '×'])
+            .parse()
+            .ok()
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut out = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", out.trim_end())
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total.min(120)))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ExperimentTable::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2.5".into()]);
+        t.note("a note");
+        let s = t.to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("note: a note"));
+    }
+
+    #[test]
+    fn cell_f64_parses_decorated_numbers() {
+        let mut t = ExperimentTable::new("x", &["v"]);
+        t.row(vec!["1.50x".into()]);
+        t.row(vec!["75.0%".into()]);
+        assert_eq!(t.cell_f64(0, 0), Some(1.5));
+        assert_eq!(t.cell_f64(1, 0), Some(75.0));
+        assert_eq!(t.cell_f64(5, 0), None);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(speedup(2.0), "2.00x");
+        assert_eq!(pct(0.345), "34.5%");
+    }
+}

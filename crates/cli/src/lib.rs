@@ -1,0 +1,565 @@
+//! Implementation of the `mnnfast` command-line tool.
+//!
+//! Subcommands:
+//!
+//! - `train`  — train a memory network on a synthetic bAbI-style task and
+//!   save it,
+//! - `eval`   — evaluate a saved model on fresh stories, with and without
+//!   zero-skipping,
+//! - `serve`  — interactive QA: feed facts line-by-line, end a line with
+//!   `?` to ask,
+//! - `tasks`  — list the available task families.
+//!
+//! The argument parser is hand-rolled (`--key value` pairs) so the tool
+//! has no dependencies beyond the workspace crates; it is unit-tested
+//! through [`run`], which takes the argument vector and an output sink.
+
+use mnn_dataset::babi::{BabiGenerator, Story, TaskKind};
+use mnn_dataset::babi_io;
+use mnn_dataset::Vocabulary;
+use mnn_dataset::text;
+use mnn_memnn::train::Trainer;
+use mnn_memnn::{eval as meval, MemNet, ModelConfig};
+use mnn_serve::{Session, SessionConfig, Strategy};
+use mnnfast::{MnnFastConfig, SkipPolicy};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// Exit status of a CLI invocation.
+pub type CliResult = Result<(), String>;
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default)]
+pub struct Options {
+    flags: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a trailing `--key` without a value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = Options::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                options.flags.insert(key.to_owned(), value.clone());
+            } else {
+                options.positional.push(a.clone());
+            }
+        }
+        Ok(options)
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value '{raw}' for --{key}")),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    fn require_str(&self, key: &str) -> Result<&str, String> {
+        self.get_str(key)
+            .ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+fn parse_task(name: &str) -> Result<TaskKind, String> {
+    match name {
+        "single" => Ok(TaskKind::SingleSupportingFact),
+        "two" => Ok(TaskKind::TwoSupportingFacts),
+        "yesno" => Ok(TaskKind::YesNo),
+        "counting" => Ok(TaskKind::Counting),
+        "negation" => Ok(TaskKind::Negation),
+        "whohas" => Ok(TaskKind::WhoHas),
+        "before" => Ok(TaskKind::BeforeLocation),
+        other => Err(format!(
+            "unknown task '{other}' (expected single|two|yesno|counting|negation|whohas|before)"
+        )),
+    }
+}
+
+const USAGE: &str = "\
+mnnfast — memory-network question answering (MnnFast reproduction)
+
+USAGE:
+  mnnfast train  --out <model.bin> [--task single] [--stories 150]
+                 [--epochs 40] [--ed 32] [--ns 10] [--hops 1] [--seed 7]
+                 [--data <babi.txt>]       (train on a bAbI-format file)
+  mnnfast eval   --model <model.bin> [--task single] [--stories 40]
+                 [--skip 0.01] [--seed 8] [--data <babi.txt>]
+  mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
+  mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
+  mnnfast tasks
+
+Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
+";
+
+/// Runs the CLI with `args` (excluding the program name), writing output to
+/// `out`. Reads `input` for the `serve` REPL.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or I/O failure.
+pub fn run(args: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> CliResult {
+    let Some(command) = args.first() else {
+        writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+        return Err("no subcommand given".into());
+    };
+    let options = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "train" => cmd_train(&options, out),
+        "eval" => cmd_eval(&options, out),
+        "serve" => cmd_serve(&options, input, out),
+        "export" => cmd_export(&options, out),
+        "tasks" => cmd_tasks(out),
+        "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    }
+}
+
+fn cmd_tasks(out: &mut dyn Write) -> CliResult {
+    for (name, desc) in [
+        ("single", "where is <person>? (one supporting fact)"),
+        ("two", "where is the <object>? (two supporting facts)"),
+        ("yesno", "is <person> in the <location>?"),
+        ("counting", "how many objects is <person> carrying?"),
+        ("negation", "yes/no/maybe with negated facts"),
+        ("whohas", "who has the <object>?"),
+        ("before", "where was <person> before the <location>?"),
+    ] {
+        writeln!(out, "{name:>9}  {desc}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn vocab_sidecar_path(model_path: &str) -> String {
+    format!("{model_path}.vocab")
+}
+
+fn write_vocab(path: &str, vocab: &Vocabulary) -> Result<(), String> {
+    let mut text = String::new();
+    for (_, word) in vocab.iter() {
+        text.push_str(word);
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn read_vocab(path: &str) -> Result<Vocabulary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(text.lines().map(str::to_owned).collect())
+}
+
+/// Loads a bAbI-format file, interning into `vocab`; verifies the result
+/// stays within `max_token` when given (eval against a fixed model).
+fn load_babi_file(
+    path: &str,
+    vocab: &mut Vocabulary,
+    max_token: Option<usize>,
+) -> Result<Vec<Story>, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let stories = babi_io::read_stories(&mut reader, vocab).map_err(|e| e.to_string())?;
+    if let Some(limit) = max_token {
+        if vocab.len() > limit {
+            return Err(format!(
+                "{path} contains {} distinct words but the model supports {limit}",
+                vocab.len()
+            ));
+        }
+    }
+    Ok(stories)
+}
+
+fn cmd_export(options: &Options, out: &mut dyn Write) -> CliResult {
+    let task = parse_task(options.get_str("task").unwrap_or("single"))?;
+    let path = options.require_str("out")?;
+    let stories = options.get("stories", 100usize)?;
+    let ns = options.get("ns", 10usize)?;
+    let seed = options.get("seed", 7u64)?;
+    let mut generator = BabiGenerator::new(task, seed);
+    let data = generator.dataset(stories, ns, 3);
+    let mut buf = Vec::new();
+    babi_io::write_stories(&data, generator.vocab(), &mut buf)?;
+    std::fs::write(path, &buf).map_err(|e| format!("writing {path}: {e}"))?;
+    writeln!(
+        out,
+        "exported {stories} {task:?} stories ({} bytes) to {path}",
+        buf.len()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_train(options: &Options, out: &mut dyn Write) -> CliResult {
+    let task = parse_task(options.get_str("task").unwrap_or("single"))?;
+    let path = options.require_str("out")?;
+    let stories = options.get("stories", 150usize)?;
+    let epochs = options.get("epochs", 40usize)?;
+    let ed = options.get("ed", 32usize)?;
+    let ns = options.get("ns", 10usize)?;
+    let hops = options.get("hops", 1usize)?;
+    let seed = options.get("seed", 7u64)?;
+
+    let mut generator = BabiGenerator::new(task, seed);
+    let (train_set, vocab, max_ns) = match options.get_str("data") {
+        Some(path) => {
+            let mut vocab = Vocabulary::new();
+            let stories = load_babi_file(path, &mut vocab, None)?;
+            if stories.is_empty() {
+                return Err(format!("{path} contains no stories"));
+            }
+            let max_ns = stories.iter().map(|s| s.sentences.len()).max().unwrap_or(1);
+            (stories, vocab, max_ns)
+        }
+        None => (
+            generator.dataset(stories, ns, 3),
+            generator.vocab().clone(),
+            ns,
+        ),
+    };
+    // Serving-compatible model: position encoding instead of temporal.
+    let config = ModelConfig {
+        vocab_size: vocab.len(),
+        embedding_dim: ed,
+        max_sentences: max_ns,
+        hops: 1,
+        temporal: false,
+        position_encoding: true,
+    }
+    .with_hops(hops);
+    let mut model = MemNet::new(config, seed ^ 0x5eed);
+    let report = Trainer::new()
+        .epochs(epochs)
+        .momentum(0.5)
+        .train(&mut model, &train_set);
+
+    let bytes = model.to_bytes().map_err(|e| e.to_string())?;
+    std::fs::write(path, &bytes).map_err(|e| format!("writing {path}: {e}"))?;
+    write_vocab(&vocab_sidecar_path(path), &vocab)?;
+    writeln!(
+        out,
+        "trained {task:?}: {} parameters, train accuracy {:.1}%, saved to {path} ({} bytes)",
+        model.num_parameters(),
+        report.train_accuracy * 100.0,
+        bytes.len()
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn load_model(options: &Options) -> Result<MemNet, String> {
+    let path = options.require_str("model")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    MemNet::from_bytes(&bytes).map_err(|e| e.to_string())
+}
+
+fn cmd_eval(options: &Options, out: &mut dyn Write) -> CliResult {
+    let task = parse_task(options.get_str("task").unwrap_or("single"))?;
+    let stories = options.get("stories", 40usize)?;
+    let skip = options.get("skip", 0.01f32)?;
+    let seed = options.get("seed", 8u64)?;
+    let model = load_model(options)?;
+    let ns = model.config().max_sentences;
+
+    let mut generator = BabiGenerator::new(task, seed);
+    let test_set = match options.get_str("data") {
+        Some(path) => {
+            let model_path = options.require_str("model")?;
+            let mut vocab = read_vocab(&vocab_sidecar_path(model_path))?;
+            load_babi_file(path, &mut vocab, Some(model.config().vocab_size))?
+        }
+        None => generator.dataset(stories, ns, 3),
+    };
+    let baseline = meval::accuracy(&model, &test_set);
+
+    let engine = mnnfast::ColumnEngine::new(
+        MnnFastConfig::new(ns.max(1)).with_skip(SkipPolicy::Probability(skip)),
+    );
+    let hops = model.config().hops;
+    let mut stats = mnnfast::InferenceStats::default();
+    let skipped = meval::accuracy_with(&model, &test_set, |emb, q| {
+        let outp = mnnfast::multi_hop(&engine, &emb.m_in, &emb.m_out, &emb.questions[q], hops)
+            .expect("embedded shapes are consistent");
+        stats.merge(&outp.stats);
+        model.output_logits(&outp.o, &outp.u_last)
+    });
+    writeln!(
+        out,
+        "baseline accuracy {:.1}% | MnnFast (skip {skip}) accuracy {:.1}%, output computation cut {:.1}%",
+        baseline * 100.0,
+        skipped * 100.0,
+        stats.computation_reduction() * 100.0
+    )
+    .map_err(|e| e.to_string())?;
+
+    // Per-answer breakdown, decoded through the generator's vocabulary.
+    let vocab = generator.vocab();
+    let breakdown = meval::answer_breakdown(&model, &test_set);
+    for (word, total, correct) in breakdown.per_answer.iter().take(8) {
+        writeln!(
+            out,
+            "  {:>10}: {correct}/{total}",
+            vocab.word(*word).unwrap_or("<?>")
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    for (expected, predicted, count) in breakdown.confusions.iter().take(3) {
+        writeln!(
+            out,
+            "  confusion: expected {} got {} ({count}x)",
+            vocab.word(*expected).unwrap_or("<?>"),
+            vocab.word(*predicted).unwrap_or("<?>")
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) -> CliResult {
+    let model = load_model(options)?;
+    let window = options.get("window", 0usize)?;
+    let skip = options.get("skip", 0.0f32)?;
+    // Prefer the model's vocabulary sidecar; fall back to the generator's.
+    let vocab = match options
+        .get_str("model")
+        .map(vocab_sidecar_path)
+        .filter(|p| std::path::Path::new(p).exists())
+    {
+        Some(path) => read_vocab(&path)?,
+        None => BabiGenerator::new(TaskKind::SingleSupportingFact, 0)
+            .vocab()
+            .clone(),
+    };
+
+    let config = SessionConfig {
+        engine: MnnFastConfig::new(64).with_skip(if skip > 0.0 {
+            SkipPolicy::Probability(skip)
+        } else {
+            SkipPolicy::None
+        }),
+        strategy: Strategy::Column,
+        max_sentences: (window > 0).then_some(window),
+    };
+    let mut session = Session::new(model, config).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "serving; type facts, end a line with '?' to ask, ':quit' to exit"
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == ":quit" {
+            break;
+        }
+        if let Some(question) = trimmed.strip_suffix('?') {
+            match session.ask_text(question, &vocab) {
+                Ok((word, answer)) => writeln!(
+                    out,
+                    "-> {word} (p={:.2}, {} of {} rows skipped)",
+                    answer.probability, answer.stats.rows_skipped, answer.stats.rows_total
+                )
+                .map_err(|e| e.to_string())?,
+                Err(e) => writeln!(out, "!! {e}").map_err(|e| e.to_string())?,
+            }
+        } else {
+            match session.observe_text(trimmed, &vocab) {
+                Ok(_) => writeln!(out, "   noted ({} sentences)", session.memory_len())
+                    .map_err(|e| e.to_string())?,
+                Err(e) => writeln!(out, "!! {e}").map_err(|e| e.to_string())?,
+            }
+        }
+    }
+    writeln!(
+        out,
+        "session: {} questions answered, {:.1}% of output computation skipped",
+        session.questions_answered(),
+        session.cumulative_stats().computation_reduction() * 100.0
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Decodes text to make rustdoc examples concise.
+#[doc(hidden)]
+pub fn encode_for_tests(s: &str, vocab: &mnn_dataset::Vocabulary) -> Vec<u32> {
+    text::encode(s, vocab).expect("known words")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run_cli(args: &[&str], stdin: &str) -> Result<String, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut input = Cursor::new(stdin.as_bytes().to_vec());
+        let mut out = Vec::new();
+        run(&args, &mut input, &mut out).map(|()| String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn option_parsing() {
+        let options = Options::parse(&[
+            "--task".into(),
+            "single".into(),
+            "pos".into(),
+            "--epochs".into(),
+            "3".into(),
+        ])
+        .unwrap();
+        assert_eq!(options.get_str("task"), Some("single"));
+        assert_eq!(options.get("epochs", 0usize).unwrap(), 3);
+        assert_eq!(options.get("missing", 9usize).unwrap(), 9);
+        assert_eq!(options.positional, vec!["pos".to_string()]);
+        assert!(Options::parse(&["--dangling".into()]).is_err());
+        assert!(options.get::<usize>("task", 0).is_err());
+    }
+
+    #[test]
+    fn tasks_lists_all_families() {
+        let out = run_cli(&["tasks"], "").unwrap();
+        for name in [
+            "single", "two", "yesno", "counting", "negation", "whohas", "before",
+        ] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_and_missing_args_error() {
+        assert!(run_cli(&["frobnicate"], "").is_err());
+        assert!(run_cli(&[], "").is_err());
+        assert!(run_cli(&["train"], "").is_err(), "--out is required");
+        assert!(run_cli(&["eval"], "").is_err(), "--model is required");
+        let err = run_cli(&["train", "--out", "/tmp/x.bin", "--task", "bogus"], "");
+        assert!(err.unwrap_err().contains("unknown task"));
+    }
+
+    #[test]
+    fn train_eval_serve_round_trip() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+
+        let out = run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "80",
+                "--epochs",
+                "25",
+                "--ed",
+                "24",
+                "--ns",
+                "8",
+            ],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("saved to"), "{out}");
+
+        let out = run_cli(&["eval", "--model", model_str, "--stories", "10"], "").unwrap();
+        assert!(out.contains("baseline accuracy"), "{out}");
+
+        let stdin = "mary went to the kitchen\n\
+                     john moved to the garden\n\
+                     where is mary?\n\
+                     :quit\n";
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(out.contains("noted (2 sentences)"), "{out}");
+        assert!(out.contains("-> "), "{out}");
+        assert!(out.contains("1 questions answered"), "{out}");
+    }
+
+    #[test]
+    fn export_train_eval_on_babi_files() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-data");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.txt");
+        let data_str = data.to_str().unwrap();
+        let model_path = dir.join("file-model.bin");
+        let model_str = model_path.to_str().unwrap();
+
+        let out = run_cli(
+            &["export", "--out", data_str, "--stories", "40", "--ns", "8"],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("exported 40"), "{out}");
+
+        let out = run_cli(
+            &["train", "--out", model_str, "--data", data_str, "--epochs", "20", "--ed", "24"],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("saved to"), "{out}");
+        assert!(std::path::Path::new(&format!("{model_str}.vocab")).exists());
+
+        // Evaluate the trained model against the same file.
+        let out = run_cli(
+            &["eval", "--model", model_str, "--data", data_str],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("baseline accuracy"), "{out}");
+        // Training-file eval should be well above chance.
+        let acc: f32 = out
+            .split("baseline accuracy ")
+            .nth(1)
+            .unwrap()
+            .split('%')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(acc > 40.0, "file-trained accuracy {acc}");
+    }
+
+    #[test]
+    fn serve_reports_unknown_words_gracefully() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+        let out = run_cli(&["serve", "--model", model_str], "zorp blarg\n:quit\n").unwrap();
+        assert!(out.contains("!!"), "{out}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Batched column-based inference: many questions per chunk pass.
+//!
+//! [`crate::ColumnEngine::forward_batch`] answers questions one at a time,
+//! re-streaming the memories per question. The batched engine exploits the
+//! chunk residency the column-based algorithm creates: each chunk of
+//! `M_IN`/`M_OUT` is loaded once and applied to *all* `nq` questions while
+//! resident (the inner product becomes the GEMM `U × chunkᵀ`), which is the
+//! paper's GPU formulation (Section 4.1.2: "Inner product is matrix
+//! multiplication between M_IN and U") and the memory-traffic assumption of
+//! the thread-scaling model.
+
+use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+use crate::engine::{ColumnEngine, ColumnOutput, EngineError};
+use crate::stats::InferenceStats;
+use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
+use mnn_tensor::{kernels, Matrix};
+
+/// Batched column-based engine.
+///
+/// Produces results identical to running [`ColumnEngine`] per question,
+/// while streaming the memories once per *batch* instead of once per
+/// question.
+///
+/// ```
+/// use mnn_tensor::Matrix;
+/// use mnnfast::{batch::BatchEngine, ColumnEngine, MnnFastConfig};
+///
+/// let m_in = Matrix::from_fn(50, 4, |r, c| ((r + c) as f32 * 0.1).sin());
+/// let m_out = m_in.clone();
+/// let questions: Vec<Vec<f32>> = (0..3).map(|q| vec![q as f32 * 0.1; 4]).collect();
+/// let config = MnnFastConfig::new(10);
+///
+/// let batched = BatchEngine::new(config).forward(&m_in, &m_out, &questions).unwrap();
+/// let single = ColumnEngine::new(config).forward(&m_in, &m_out, &questions[0]).unwrap();
+/// for (a, b) in batched.outputs[0].o.iter().zip(&single.o) {
+///     assert!((a - b).abs() < 1e-5);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchEngine {
+    config: MnnFastConfig,
+}
+
+/// Result of a batched forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutput {
+    /// Per-question outputs, in question order.
+    pub outputs: Vec<ColumnOutput>,
+    /// Batch-level counters: the memories count once, not per question.
+    pub stats: InferenceStats,
+}
+
+/// Per-question softmax accumulator.
+#[derive(Debug, Clone)]
+enum BatchAccum {
+    Lazy(Vec<LazyAccumulator>),
+    Online(Vec<OnlineSoftmax>),
+}
+
+impl BatchEngine {
+    /// Creates a batched engine.
+    pub fn new(config: MnnFastConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> MnnFastConfig {
+        self.config
+    }
+
+    /// Answers all `questions` with one streaming pass over the memories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on invalid configuration or mismatched
+    /// shapes. [`SkipPolicy::Probability`] is resolved per question with
+    /// the same two-pass semantics as the single-question engine.
+    pub fn forward(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        questions: &[Vec<f32>],
+    ) -> Result<BatchOutput, EngineError> {
+        let probe = ColumnEngine::new(self.config);
+        let Some(first) = questions.first() else {
+            return Ok(BatchOutput {
+                outputs: Vec::new(),
+                stats: InferenceStats::default(),
+            });
+        };
+        probe.check(m_in, m_out, first)?;
+        for q in questions {
+            if q.len() != first.len() {
+                return Err(EngineError::Config(format!(
+                    "ragged question batch: {} vs {}",
+                    q.len(),
+                    first.len()
+                )));
+            }
+        }
+
+        let ed = first.len();
+        let nq = questions.len();
+        let ns = m_in.rows();
+        let chunk = self.config.chunk_size;
+
+        // Per-question raw thresholds (the Probability pre-pass itself runs
+        // batched below when needed).
+        let mut batch_stats = InferenceStats::default();
+        let thresholds = self.resolve_thresholds(m_in, questions, &mut batch_stats)?;
+
+        let threads = self.config.threads.min(ns.max(1));
+        let (acc, per_q, range_mem) = if threads <= 1 {
+            self.process_rows(m_in, m_out, questions, &thresholds, 0, ns)
+        } else {
+            // Scale-out: contiguous chunk-aligned row ranges per worker,
+            // per-question partials merged in worker order (deterministic).
+            let chunks_total = ns.div_ceil(chunk);
+            let chunks_per_thread = chunks_total.div_ceil(threads);
+            let rows_per_thread = chunks_per_thread * chunk;
+            let partials = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let start = (t * rows_per_thread).min(ns);
+                    let end = ((t + 1) * rows_per_thread).min(ns);
+                    let thresholds = &thresholds;
+                    handles.push(scope.spawn(move |_| {
+                        self.process_rows(m_in, m_out, questions, thresholds, start, end)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("batched worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("batched scale-out scope panicked");
+
+            let mut merged: Option<BatchAccum> = None;
+            let mut stats_acc = vec![InferenceStats::default(); nq];
+            let mut mem = 0u64;
+            for (acc, per_q, m) in partials {
+                mem += m;
+                for (dst, src) in stats_acc.iter_mut().zip(per_q.iter()) {
+                    dst.merge(src);
+                }
+                match &mut merged {
+                    None => merged = Some(acc),
+                    Some(BatchAccum::Lazy(dst)) => {
+                        let BatchAccum::Lazy(src) = acc else {
+                            unreachable!("softmax mode is fixed per engine")
+                        };
+                        for (d, s) in dst.iter_mut().zip(&src) {
+                            d.merge(s);
+                        }
+                    }
+                    Some(BatchAccum::Online(dst)) => {
+                        let BatchAccum::Online(src) = acc else {
+                            unreachable!("softmax mode is fixed per engine")
+                        };
+                        for (d, s) in dst.iter_mut().zip(&src) {
+                            d.merge(s);
+                        }
+                    }
+                }
+            }
+            (
+                merged.unwrap_or_else(|| match self.config.softmax {
+                    SoftmaxMode::Lazy => BatchAccum::Lazy(vec![LazyAccumulator::new(ed); nq]),
+                    SoftmaxMode::Online => BatchAccum::Online(vec![OnlineSoftmax::new(ed); nq]),
+                }),
+                stats_acc,
+                mem,
+            )
+        };
+        batch_stats.memory_bytes += range_mem;
+        batch_stats.intermediate_bytes = (nq * chunk.min(ns.max(1)) * 4 + nq * ed * 4) as u64;
+
+        let outputs: Vec<ColumnOutput> = match acc {
+            BatchAccum::Lazy(accs) => accs
+                .into_iter()
+                .zip(per_q.iter())
+                .map(|(a, s)| {
+                    let mut stats = *s;
+                    stats.divisions = ed as u64;
+                    stats.flops += ed as u64;
+                    let denominator = a.denom();
+                    ColumnOutput {
+                        o: a.finish(),
+                        denominator,
+                        stats,
+                    }
+                })
+                .collect(),
+            BatchAccum::Online(accs) => accs
+                .into_iter()
+                .zip(per_q.iter())
+                .map(|(a, s)| {
+                    let mut stats = *s;
+                    stats.divisions = ed as u64;
+                    stats.flops += ed as u64;
+                    let denominator = a.denom();
+                    ColumnOutput {
+                        o: a.finish(),
+                        denominator,
+                        stats,
+                    }
+                })
+                .collect(),
+        };
+        for s in &per_q {
+            batch_stats.rows_total += s.rows_total;
+            batch_stats.rows_skipped += s.rows_skipped;
+            batch_stats.flops += s.flops;
+            batch_stats.ws_flops += s.ws_flops;
+            batch_stats.flops_skipped += s.flops_skipped;
+            batch_stats.divisions += ed as u64;
+        }
+        Ok(BatchOutput {
+            outputs,
+            stats: batch_stats,
+        })
+    }
+
+    /// Processes rows `[start, end)` for every question; returns the
+    /// per-question accumulators, per-question stats, and memory bytes.
+    fn process_rows(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        questions: &[Vec<f32>],
+        thresholds: &[Option<f32>],
+        start: usize,
+        end: usize,
+    ) -> (BatchAccum, Vec<InferenceStats>, u64) {
+        let ed = questions.first().map(Vec::len).unwrap_or(0);
+        let nq = questions.len();
+        let chunk = self.config.chunk_size;
+        let mut acc = match self.config.softmax {
+            SoftmaxMode::Lazy => BatchAccum::Lazy(vec![LazyAccumulator::new(ed); nq]),
+            SoftmaxMode::Online => BatchAccum::Online(vec![OnlineSoftmax::new(ed); nq]),
+        };
+        let mut per_q = vec![InferenceStats::default(); nq];
+        let mut mem_bytes = 0u64;
+        if start >= end {
+            return (acc, per_q, mem_bytes);
+        }
+        let mut logits = vec![0.0f32; nq * chunk.min(end - start)];
+
+        let mut row = start;
+        while row < end {
+            let n = chunk.min(end - row);
+            let in_flat = m_in.rows_slice(row, n);
+            for (q, question) in questions.iter().enumerate() {
+                kernels::gemv_chunk(in_flat, n, question, &mut logits[q * n..(q + 1) * n]);
+                per_q[q].flops += kernels::gemv_flops(n, ed);
+                per_q[q].chunks += 1;
+            }
+            mem_bytes += (n * ed * 4) as u64; // chunk loaded ONCE for all nq
+
+            for i in 0..n {
+                let out_row = m_out.row(row + i);
+                for q in 0..nq {
+                    let x = logits[q * n + i];
+                    per_q[q].flops += 1; // exp
+                    per_q[q].rows_total += 1;
+                    let skipped = match &mut acc {
+                        BatchAccum::Lazy(accs) => {
+                            let w = x.exp();
+                            if thresholds[q].is_some_and(|th| w < th) {
+                                accs[q].add_skipped(w);
+                                true
+                            } else {
+                                accs[q].add_weighted(w, out_row);
+                                false
+                            }
+                        }
+                        BatchAccum::Online(accs) => {
+                            if thresholds[q].is_some_and(|th| accs[q].relative_weight(x) < th) {
+                                accs[q].add_skipped(x);
+                                true
+                            } else {
+                                accs[q].add(x, out_row);
+                                false
+                            }
+                        }
+                    };
+                    if skipped {
+                        per_q[q].rows_skipped += 1;
+                        per_q[q].flops_skipped += 2 * ed as u64;
+                    } else {
+                        per_q[q].flops += 2 * ed as u64;
+                        per_q[q].ws_flops += 2 * ed as u64;
+                    }
+                }
+            }
+            mem_bytes += (n * ed * 4) as u64; // M_OUT chunk, once for all nq
+            row += n;
+        }
+        (acc, per_q, mem_bytes)
+    }
+
+    /// Per-question raw thresholds; the Probability pre-pass streams the
+    /// memories once for the whole batch.
+    fn resolve_thresholds(
+        &self,
+        m_in: &Matrix,
+        questions: &[Vec<f32>],
+        stats: &mut InferenceStats,
+    ) -> Result<Vec<Option<f32>>, EngineError> {
+        match self.config.skip {
+            SkipPolicy::None => Ok(vec![None; questions.len()]),
+            SkipPolicy::RawWeight(th) => Ok(vec![Some(th); questions.len()]),
+            SkipPolicy::Probability(th) => {
+                let nq = questions.len();
+                let ed = questions[0].len();
+                let chunk = self.config.chunk_size;
+                let ns = m_in.rows();
+                let mut max_logit = vec![f32::NEG_INFINITY; nq];
+                let mut denom_rel = vec![0.0f64; nq];
+                let mut raw_denom = vec![0.0f64; nq];
+                let mut logits = vec![0.0f32; chunk.min(ns.max(1))];
+
+                let mut row = 0usize;
+                while row < ns {
+                    let n = chunk.min(ns - row);
+                    let flat = m_in.rows_slice(row, n);
+                    for (q, question) in questions.iter().enumerate() {
+                        kernels::gemv_chunk(flat, n, question, &mut logits[..n]);
+                        stats.flops += kernels::gemv_flops(n, ed);
+                        for &x in &logits[..n] {
+                            if x > max_logit[q] {
+                                denom_rel[q] *= ((max_logit[q] - x) as f64).exp();
+                                max_logit[q] = x;
+                            }
+                            denom_rel[q] += ((x - max_logit[q]) as f64).exp();
+                            raw_denom[q] += (x as f64).exp();
+                            stats.flops += 1;
+                        }
+                    }
+                    stats.memory_bytes += (n * ed * 4) as u64;
+                    row += n;
+                }
+                Ok((0..nq)
+                    .map(|q| match self.config.softmax {
+                        SoftmaxMode::Lazy => Some((th as f64 * raw_denom[q]) as f32),
+                        SoftmaxMode::Online => Some((th as f64 * denom_rel[q]) as f32),
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_tensor::assert_slice_approx_eq;
+
+    fn setup(ns: usize, ed: usize, nq: usize) -> (Matrix, Matrix, Vec<Vec<f32>>) {
+        let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 7 + c) as f32 * 0.13).sin() * 0.6);
+        let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 5 * c) as f32 * 0.09).cos() * 0.6);
+        let questions = (0..nq)
+            .map(|q| {
+                (0..ed)
+                    .map(|k| ((q * ed + k) as f32 * 0.21).sin())
+                    .collect()
+            })
+            .collect();
+        (m_in, m_out, questions)
+    }
+
+    #[test]
+    fn batched_matches_per_question_engine() {
+        let (m_in, m_out, questions) = setup(83, 8, 5);
+        for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+            let config = MnnFastConfig::new(16).with_softmax(mode);
+            let batched = BatchEngine::new(config)
+                .forward(&m_in, &m_out, &questions)
+                .unwrap();
+            let single = ColumnEngine::new(config);
+            for (q, out) in batched.outputs.iter().enumerate() {
+                let expect = single.forward(&m_in, &m_out, &questions[q]).unwrap();
+                assert_slice_approx_eq(&out.o, &expect.o, 1e-4);
+                assert_eq!(out.stats.rows_total, expect.stats.rows_total, "q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_skipping_matches_per_question_counts() {
+        let (m_in, m_out, questions) = setup(60, 6, 4);
+        let config = MnnFastConfig::new(10).with_skip(SkipPolicy::Probability(0.01));
+        let batched = BatchEngine::new(config)
+            .forward(&m_in, &m_out, &questions)
+            .unwrap();
+        let single = ColumnEngine::new(config);
+        for (q, out) in batched.outputs.iter().enumerate() {
+            let expect = single.forward(&m_in, &m_out, &questions[q]).unwrap();
+            assert_eq!(out.stats.rows_skipped, expect.stats.rows_skipped, "q{q}");
+            assert_slice_approx_eq(&out.o, &expect.o, 1e-4);
+        }
+    }
+
+    #[test]
+    fn batch_memory_traffic_is_per_batch_not_per_question() {
+        let (m_in, m_out, questions) = setup(100, 8, 6);
+        let config = MnnFastConfig::new(20);
+        let batched = BatchEngine::new(config)
+            .forward(&m_in, &m_out, &questions)
+            .unwrap();
+        // Memories counted once: 2 * ns * ed * 4 bytes, independent of nq.
+        assert_eq!(batched.stats.memory_bytes, 2 * 100 * 8 * 4);
+        // A per-question engine would count 6x (plus skip effects).
+        let single = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &questions[0])
+            .unwrap();
+        assert!(single.stats.memory_bytes * 5 < batched.stats.memory_bytes * 6);
+    }
+
+    #[test]
+    fn parallel_batched_matches_sequential() {
+        let (m_in, m_out, questions) = setup(120, 8, 4);
+        for skip in [SkipPolicy::None, SkipPolicy::Probability(0.01)] {
+            let seq = BatchEngine::new(MnnFastConfig::new(16).with_skip(skip))
+                .forward(&m_in, &m_out, &questions)
+                .unwrap();
+            for threads in [2usize, 3, 8] {
+                let par =
+                    BatchEngine::new(MnnFastConfig::new(16).with_skip(skip).with_threads(threads))
+                        .forward(&m_in, &m_out, &questions)
+                        .unwrap();
+                for (a, b) in par.outputs.iter().zip(&seq.outputs) {
+                    assert_slice_approx_eq(&a.o, &b.o, 1e-4);
+                    assert_eq!(a.stats.rows_skipped, b.stats.rows_skipped);
+                }
+                assert_eq!(par.stats.rows_total, seq.stats.rows_total);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (m_in, m_out, _) = setup(10, 4, 1);
+        let out = BatchEngine::new(MnnFastConfig::new(4))
+            .forward(&m_in, &m_out, &[])
+            .unwrap();
+        assert!(out.outputs.is_empty());
+    }
+
+    #[test]
+    fn ragged_batch_is_rejected() {
+        let (m_in, m_out, mut questions) = setup(10, 4, 2);
+        questions[1] = vec![0.0; 3];
+        let err = BatchEngine::new(MnnFastConfig::new(4)).forward(&m_in, &m_out, &questions);
+        assert!(matches!(err, Err(EngineError::Config(_))));
+    }
+}

@@ -1,0 +1,691 @@
+//! The column-based inference engine (paper Fig 5(b)).
+//!
+//! `M_IN`/`M_OUT` are walked in row chunks. Per chunk the engine computes
+//! the inner products `x_i = u · m_i^IN`, exponentiates, and immediately
+//! folds each entry into a softmax accumulator (lazy or online) together
+//! with its `m_i^OUT` row — optionally skipping the `ed`-wide accumulation
+//! when the attention weight is below the zero-skip threshold. A single
+//! division pass at the very end produces the response vector `o`.
+
+use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+use crate::stats::InferenceStats;
+use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
+use mnn_tensor::{kernels, Matrix, ShapeError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by [`ColumnEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The engine configuration failed validation.
+    Config(String),
+    /// Operand shapes disagree.
+    Shape(ShapeError),
+    /// `M_IN` and `M_OUT` have different shapes.
+    MemoryMismatch {
+        /// `M_IN` shape.
+        m_in: (usize, usize),
+        /// `M_OUT` shape.
+        m_out: (usize, usize),
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Shape(e) => write!(f, "{e}"),
+            EngineError::MemoryMismatch { m_in, m_out } => write!(
+                f,
+                "memory shape mismatch: M_IN is {}x{}, M_OUT is {}x{}",
+                m_in.0, m_in.1, m_out.0, m_out.1
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<ShapeError> for EngineError {
+    fn from(e: ShapeError) -> Self {
+        EngineError::Shape(e)
+    }
+}
+
+/// Result of a column-based forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnOutput {
+    /// The response vector `o` (length `ed`).
+    pub o: Vec<f32>,
+    /// The softmax denominator that was divided out (lazy mode: `Σ e^{x_j}`;
+    /// online mode: `Σ e^{x_j - max}`).
+    pub denominator: f32,
+    /// Work/traffic counters for this pass.
+    pub stats: InferenceStats,
+}
+
+/// Softmax accumulator abstracting over the two formulations.
+#[derive(Debug, Clone)]
+pub(crate) enum Accum {
+    Lazy(LazyAccumulator),
+    Online(OnlineSoftmax),
+}
+
+impl Accum {
+    pub(crate) fn new(mode: SoftmaxMode, ed: usize) -> Self {
+        match mode {
+            SoftmaxMode::Lazy => Accum::Lazy(LazyAccumulator::new(ed)),
+            SoftmaxMode::Online => Accum::Online(OnlineSoftmax::new(ed)),
+        }
+    }
+
+    /// Adds an entry; returns `true` if the weighted sum was skipped.
+    ///
+    /// `raw_threshold` compares against `e^{logit}` (lazy) or the relative
+    /// weight `e^{logit - max}` (online).
+    pub(crate) fn add(&mut self, logit: f32, row: &[f32], raw_threshold: Option<f32>) -> bool {
+        match self {
+            Accum::Lazy(acc) => {
+                let w = logit.exp();
+                if let Some(th) = raw_threshold {
+                    if w < th {
+                        acc.add_skipped(w);
+                        return true;
+                    }
+                }
+                acc.add_weighted(w, row);
+                false
+            }
+            Accum::Online(acc) => {
+                if let Some(th) = raw_threshold {
+                    if acc.relative_weight(logit) < th {
+                        acc.add_skipped(logit);
+                        return true;
+                    }
+                }
+                acc.add(logit, row);
+                false
+            }
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &Accum) {
+        match (self, other) {
+            (Accum::Lazy(a), Accum::Lazy(b)) => a.merge(b),
+            (Accum::Online(a), Accum::Online(b)) => a.merge(b),
+            _ => unreachable!("accumulator modes are fixed per engine"),
+        }
+    }
+
+    pub(crate) fn denom(&self) -> f32 {
+        match self {
+            Accum::Lazy(a) => a.denom(),
+            Accum::Online(a) => a.denom(),
+        }
+    }
+
+    pub(crate) fn finish(self) -> (Vec<f32>, f32) {
+        let d = self.denom();
+        let o = match self {
+            Accum::Lazy(a) => a.finish(),
+            Accum::Online(a) => a.finish(),
+        };
+        (o, d)
+    }
+}
+
+/// Reusable scratch buffers for repeated forward passes (serving loops):
+/// avoids the per-question `Vec` allocations of the chunk logits buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnScratch {
+    logits: Vec<f32>,
+}
+
+impl ColumnScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current buffer capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.logits.capacity()
+    }
+
+    fn resized(&mut self, len: usize) -> &mut [f32] {
+        if self.logits.len() < len {
+            self.logits.resize(len, 0.0);
+        }
+        &mut self.logits[..len]
+    }
+}
+
+/// The column-based inference engine.
+///
+/// Construction is cheap; one engine can serve many forward passes and is
+/// `Send + Sync` (it holds only the configuration).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnEngine {
+    config: MnnFastConfig,
+}
+
+impl ColumnEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: MnnFastConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> MnnFastConfig {
+        self.config
+    }
+
+    /// Computes `o = softmax(u · M_INᵀ) · M_OUT` with the column-based
+    /// algorithm (sequential over chunks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the configuration is invalid, the two
+    /// memories disagree in shape, or `u` does not match the embedding
+    /// dimension.
+    pub fn forward(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+    }
+
+    /// Like [`ColumnEngine::forward`], but attends only over the first
+    /// `rows` memory entries — the serving path, where the memories live in
+    /// a capacity-doubled store whose tail rows are not yet populated.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnEngine::forward`], plus a shape error when
+    /// `rows > m_in.rows()`.
+    pub fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.check(m_in, m_out, u)?;
+        if rows > m_in.rows() {
+            return Err(ShapeError::new(
+                "ColumnEngine::forward_prefix",
+                format!("rows <= {}", m_in.rows()),
+                format!("rows = {rows}"),
+            )
+            .into());
+        }
+        let mut stats = InferenceStats::default();
+        let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
+        let mut acc = Accum::new(self.config.softmax, u.len());
+        self.process_range(m_in, m_out, u, 0, rows, raw_threshold, &mut acc, &mut stats);
+        Ok(Self::finalize(acc, u.len(), stats))
+    }
+
+    /// Like [`ColumnEngine::forward`] but reusing caller-owned scratch
+    /// buffers — the allocation-free serving path.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnEngine::forward`].
+    pub fn forward_with_scratch(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+        scratch: &mut ColumnScratch,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.check(m_in, m_out, u)?;
+        let rows = m_in.rows();
+        let mut stats = InferenceStats::default();
+        let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
+        let mut acc = Accum::new(self.config.softmax, u.len());
+        if rows > 0 {
+            let chunk = self.config.chunk_size;
+            let logits = scratch.resized(chunk.min(rows));
+            let mut row = 0usize;
+            while row < rows {
+                let n = chunk.min(rows - row);
+                self.process_chunk_flat(
+                    m_in.rows_slice(row, n),
+                    m_out.rows_slice(row, n),
+                    n,
+                    u,
+                    raw_threshold,
+                    &mut acc,
+                    &mut stats,
+                    &mut logits[..n],
+                );
+                row += n;
+            }
+        }
+        Ok(Self::finalize(acc, u.len(), stats))
+    }
+
+    /// Computes forward passes for a batch of questions, reusing chunk
+    /// buffers. Results are in question order.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnEngine::forward`].
+    pub fn forward_batch(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        questions: &[Vec<f32>],
+    ) -> Result<Vec<ColumnOutput>, EngineError> {
+        questions
+            .iter()
+            .map(|u| self.forward(m_in, m_out, u))
+            .collect()
+    }
+
+    /// Validates shapes and configuration.
+    pub(crate) fn check(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<(), EngineError> {
+        self.config.validate().map_err(EngineError::Config)?;
+        if m_in.shape() != m_out.shape() {
+            return Err(EngineError::MemoryMismatch {
+                m_in: m_in.shape(),
+                m_out: m_out.shape(),
+            });
+        }
+        if u.len() != m_in.cols() {
+            return Err(ShapeError::new(
+                "ColumnEngine::forward",
+                format!("u of length {}", m_in.cols()),
+                format!("u of length {}", u.len()),
+            )
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Resolves [`SkipPolicy`] into a raw-weight threshold over the first
+    /// `rows` rows, running the denominator pre-pass for
+    /// [`SkipPolicy::Probability`].
+    pub(crate) fn resolve_threshold_prefix(
+        &self,
+        m_in: &Matrix,
+        rows: usize,
+        u: &[f32],
+        stats: &mut InferenceStats,
+    ) -> Result<Option<f32>, EngineError> {
+        match self.config.skip {
+            SkipPolicy::None => Ok(None),
+            SkipPolicy::RawWeight(th) => Ok(Some(th)),
+            SkipPolicy::Probability(th) => {
+                // Pass 1: denominator sweep (inner products + exp only).
+                let ed = u.len();
+                let chunk = self.config.chunk_size;
+                let mut logits = vec![0.0f32; chunk.min(rows.max(1))];
+                let mut max_logit = f32::NEG_INFINITY;
+                let mut denom_rel = 0.0f64; // relative to running max, online-style
+                let mut raw_denom = 0.0f64;
+                let mut start = 0usize;
+                while start < rows {
+                    let n = chunk.min(rows - start);
+                    let flat = m_in.rows_slice(start, n);
+                    let buf = &mut logits[..n];
+                    kernels::gemv_chunk(flat, n, u, buf);
+                    stats.flops += kernels::gemv_flops(n, ed);
+                    stats.memory_bytes += (n * ed * 4) as u64;
+                    for &x in buf.iter() {
+                        if x > max_logit {
+                            denom_rel *= ((max_logit - x) as f64).exp();
+                            max_logit = x;
+                        }
+                        denom_rel += ((x - max_logit) as f64).exp();
+                        raw_denom += (x as f64).exp();
+                        stats.flops += 1;
+                    }
+                    start += n;
+                }
+                match self.config.softmax {
+                    // p_i = e^{x_i} / Σe^{x_j}  <  th  ⟺  e^{x_i} < th·Σ.
+                    SoftmaxMode::Lazy => Ok(Some((th as f64 * raw_denom) as f32)),
+                    // Relative weight e^{x_i - max} < th · Σe^{x_j - max}.
+                    SoftmaxMode::Online => Ok(Some((th as f64 * denom_rel) as f32)),
+                }
+            }
+        }
+    }
+
+    /// Processes rows `[start, end)` of the memories into `acc`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_range(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+        start: usize,
+        end: usize,
+        raw_threshold: Option<f32>,
+        acc: &mut Accum,
+        stats: &mut InferenceStats,
+    ) {
+        if start >= end {
+            return;
+        }
+        let chunk = self.config.chunk_size;
+        let mut logits = vec![0.0f32; chunk.min(end - start)];
+        let mut row = start;
+        while row < end {
+            let n = chunk.min(end - row);
+            self.process_chunk_flat(
+                m_in.rows_slice(row, n),
+                m_out.rows_slice(row, n),
+                n,
+                u,
+                raw_threshold,
+                acc,
+                stats,
+                &mut logits[..n],
+            );
+            row += n;
+        }
+    }
+
+    /// Processes one flat chunk (`n` rows of `M_IN` and `M_OUT`, row-major)
+    /// into `acc`. This is the unit of work shared by the sequential,
+    /// streaming and scale-out paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree with `n`/`u.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_chunk_flat(
+        &self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+        acc: &mut Accum,
+        stats: &mut InferenceStats,
+        logits: &mut [f32],
+    ) {
+        let ed = u.len();
+        assert_eq!(out_flat.len(), n * ed, "process_chunk_flat: bad out chunk");
+        kernels::gemv_chunk(in_flat, n, u, logits);
+        stats.flops += kernels::gemv_flops(n, ed);
+        stats.memory_bytes += (n * ed * 4) as u64;
+        stats.chunks += 1;
+        stats.intermediate_bytes = stats
+            .intermediate_bytes
+            .max((logits.len() * 4 + ed * 4) as u64);
+
+        for (i, &x) in logits.iter().enumerate() {
+            stats.flops += 1; // exp
+            let skipped = acc.add(x, &out_flat[i * ed..(i + 1) * ed], raw_threshold);
+            stats.rows_total += 1;
+            if skipped {
+                stats.rows_skipped += 1;
+                stats.flops_skipped += 2 * ed as u64;
+            } else {
+                stats.flops += 2 * ed as u64;
+                stats.ws_flops += 2 * ed as u64;
+                stats.memory_bytes += (ed * 4) as u64;
+            }
+        }
+    }
+
+    /// Final lazy-softmax division and stats bookkeeping.
+    pub(crate) fn finalize(acc: Accum, ed: usize, mut stats: InferenceStats) -> ColumnOutput {
+        let (o, denominator) = acc.finish();
+        // The lazy division: ed operations, NOT ns (Section 3.1's
+        // division-count reduction).
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        ColumnOutput {
+            o,
+            denominator,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_tensor::{assert_slice_approx_eq, softmax};
+
+    fn reference_forward(m_in: &Matrix, m_out: &Matrix, u: &[f32]) -> Vec<f32> {
+        let mut p = vec![0.0f32; m_in.rows()];
+        kernels::gemv(m_in, u, &mut p).unwrap();
+        softmax::softmax_in_place(&mut p);
+        let mut o = vec![0.0f32; m_out.cols()];
+        kernels::gevm(&p, m_out, &mut o).unwrap();
+        o
+    }
+
+    fn test_memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 13 + c * 7) as f32 * 0.37).sin() * 0.8);
+        let m_out = Matrix::from_fn(ns, ed, |r, c| ((r * 5 + c * 11) as f32 * 0.21).cos() * 0.6);
+        let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.3).sin()).collect();
+        (m_in, m_out, u)
+    }
+
+    #[test]
+    fn column_matches_baseline_all_chunk_sizes() {
+        let (m_in, m_out, u) = test_memories(97, 12);
+        let expect = reference_forward(&m_in, &m_out, &u);
+        for chunk in [1usize, 7, 16, 97, 200] {
+            let engine = ColumnEngine::new(MnnFastConfig::new(chunk));
+            let out = engine.forward(&m_in, &m_out, &u).unwrap();
+            assert_slice_approx_eq(&out.o, &expect, 1e-4);
+        }
+    }
+
+    #[test]
+    fn online_mode_matches_baseline() {
+        let (m_in, m_out, u) = test_memories(64, 8);
+        let expect = reference_forward(&m_in, &m_out, &u);
+        let engine = ColumnEngine::new(MnnFastConfig::new(10).with_softmax(SoftmaxMode::Online));
+        let out = engine.forward(&m_in, &m_out, &u).unwrap();
+        assert_slice_approx_eq(&out.o, &expect, 1e-4);
+    }
+
+    #[test]
+    fn zero_threshold_skips_nothing() {
+        let (m_in, m_out, u) = test_memories(50, 6);
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(8).with_skip(SkipPolicy::Probability(0.0)));
+        let out = engine.forward(&m_in, &m_out, &u).unwrap();
+        assert_eq!(out.stats.rows_skipped, 0);
+        let expect = reference_forward(&m_in, &m_out, &u);
+        assert_slice_approx_eq(&out.o, &expect, 1e-4);
+    }
+
+    #[test]
+    fn probability_skip_matches_oracle() {
+        // Build memories with one dominant row so probabilities are spiky.
+        let ed = 6;
+        let ns = 40;
+        let mut m_in = Matrix::from_fn(ns, ed, |r, c| ((r + c) as f32 * 0.1).sin() * 0.2);
+        for v in m_in.row_mut(17) {
+            *v = 1.0; // strongly aligned with u below
+        }
+        let m_out = Matrix::from_fn(ns, ed, |r, c| (r as f32 - c as f32) * 0.05);
+        let u = vec![1.0f32; ed];
+
+        let th = 0.05f32;
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(8).with_skip(SkipPolicy::Probability(th)));
+        let out = engine.forward(&m_in, &m_out, &u).unwrap();
+
+        // Oracle: compute true probabilities, count those under threshold.
+        let mut p = vec![0.0f32; ns];
+        kernels::gemv(&m_in, &u, &mut p).unwrap();
+        softmax::softmax_in_place(&mut p);
+        let expected_skipped = p.iter().filter(|&&x| x < th).count() as u64;
+        assert_eq!(out.stats.rows_skipped, expected_skipped);
+        assert!(out.stats.rows_skipped > 0, "test must exercise skipping");
+
+        // The output must equal an oracle that applies the same skipping:
+        // weighted sum over kept rows, divided by the FULL denominator.
+        let mut oracle = vec![0.0f32; ed];
+        for (i, &pi) in p.iter().enumerate() {
+            if pi >= th {
+                kernels::axpy(pi, m_out.row(i), &mut oracle);
+            }
+        }
+        assert_slice_approx_eq(&out.o, &oracle, 1e-3);
+    }
+
+    #[test]
+    fn raw_weight_skip_in_lazy_mode() {
+        let (m_in, m_out, u) = test_memories(30, 4);
+        // Threshold 1.0 skips all rows with negative logits.
+        let engine = ColumnEngine::new(MnnFastConfig::new(5).with_skip(SkipPolicy::RawWeight(1.0)));
+        let out = engine.forward(&m_in, &m_out, &u).unwrap();
+        let mut logits = vec![0.0f32; 30];
+        kernels::gemv(&m_in, &u, &mut logits).unwrap();
+        let expect_skipped = logits.iter().filter(|&&x| x.exp() < 1.0).count() as u64;
+        assert_eq!(out.stats.rows_skipped, expect_skipped);
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let (m_in, m_out, u) = test_memories(24, 8);
+        let engine = ColumnEngine::new(MnnFastConfig::new(8));
+        let out = engine.forward(&m_in, &m_out, &u).unwrap();
+        let s = out.stats;
+        assert_eq!(s.rows_total, 24);
+        assert_eq!(s.chunks, 3);
+        assert_eq!(s.divisions, 8, "divisions ∝ ed, not ns");
+        assert_eq!(s.ws_flops, 2 * 24 * 8);
+        // gemv + exp + ws + final division
+        assert_eq!(s.flops, 2 * 24 * 8 + 24 + 2 * 24 * 8 + 8);
+        assert_eq!(s.memory_bytes, (24 * 8 * 4 + 24 * 8 * 4) as u64);
+        // Intermediates are chunk-sized, far below ns*4*3.
+        assert!(s.intermediate_bytes <= (8 * 4 + 8 * 4) as u64);
+    }
+
+    #[test]
+    fn skipping_reduces_memory_traffic() {
+        let (m_in, m_out, u) = test_memories(60, 8);
+        let none = ColumnEngine::new(MnnFastConfig::new(10))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let skip =
+            ColumnEngine::new(MnnFastConfig::new(10).with_skip(SkipPolicy::Probability(0.02)))
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+        assert!(skip.stats.rows_skipped > 0);
+        // Two-pass probability mode re-reads M_IN, but saves M_OUT rows.
+        let m_out_bytes_none = none.stats.memory_bytes - 60 * 8 * 4;
+        let m_in_pass_bytes = 60 * 8 * 4;
+        let m_out_bytes_skip = skip.stats.memory_bytes - 2 * m_in_pass_bytes;
+        assert!(m_out_bytes_skip < m_out_bytes_none);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let (m_in, m_out, u) = test_memories(10, 4);
+        let engine = ColumnEngine::new(MnnFastConfig::new(4));
+        let bad_u = vec![0.0f32; 5];
+        assert!(matches!(
+            engine.forward(&m_in, &m_out, &bad_u),
+            Err(EngineError::Shape(_))
+        ));
+        let m_out_bad = Matrix::zeros(11, 4);
+        assert!(matches!(
+            engine.forward(&m_in, &m_out_bad, &u),
+            Err(EngineError::MemoryMismatch { .. })
+        ));
+        let bad_cfg = ColumnEngine::new(MnnFastConfig::new(0));
+        assert!(matches!(
+            bad_cfg.forward(&m_in, &m_out, &u),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn forward_prefix_equals_forward_on_truncated_memories() {
+        let (m_in, m_out, u) = test_memories(50, 6);
+        for rows in [0usize, 1, 17, 50] {
+            let engine = ColumnEngine::new(MnnFastConfig::new(8));
+            let prefix = engine.forward_prefix(&m_in, &m_out, rows, &u).unwrap();
+            // Reference: physically truncated matrices.
+            if rows > 0 {
+                let ti = Matrix::from_flat(rows, 6, m_in.rows_slice(0, rows)).unwrap();
+                let to = Matrix::from_flat(rows, 6, m_out.rows_slice(0, rows)).unwrap();
+                let full = engine.forward(&ti, &to, &u).unwrap();
+                assert_eq!(prefix.o, full.o, "rows {rows}");
+                assert_eq!(prefix.stats.rows_total, rows as u64);
+            } else {
+                assert_eq!(prefix.o, vec![0.0; 6]);
+            }
+        }
+        // Out-of-range prefix errors.
+        let engine = ColumnEngine::new(MnnFastConfig::new(8));
+        assert!(engine.forward_prefix(&m_in, &m_out, 51, &u).is_err());
+    }
+
+    #[test]
+    fn forward_prefix_with_probability_skip() {
+        let (m_in, m_out, u) = test_memories(60, 4);
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(7).with_skip(SkipPolicy::Probability(0.02)));
+        let rows = 33;
+        let prefix = engine.forward_prefix(&m_in, &m_out, rows, &u).unwrap();
+        let ti = Matrix::from_flat(rows, 4, m_in.rows_slice(0, rows)).unwrap();
+        let to = Matrix::from_flat(rows, 4, m_out.rows_slice(0, rows)).unwrap();
+        let full = engine.forward(&ti, &to, &u).unwrap();
+        assert_eq!(prefix.o, full.o);
+        assert_eq!(prefix.stats.rows_skipped, full.stats.rows_skipped);
+    }
+
+    #[test]
+    fn scratch_forward_matches_plain_forward() {
+        let (m_in, m_out, u) = test_memories(77, 8);
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(13).with_skip(SkipPolicy::Probability(0.01)));
+        let plain = engine.forward(&m_in, &m_out, &u).unwrap();
+        let mut scratch = ColumnScratch::new();
+        for _ in 0..3 {
+            let reused = engine
+                .forward_with_scratch(&m_in, &m_out, &u, &mut scratch)
+                .unwrap();
+            assert_eq!(reused.o, plain.o);
+            assert_eq!(reused.stats.rows_skipped, plain.stats.rows_skipped);
+        }
+        assert!(scratch.capacity() >= 13);
+    }
+
+    #[test]
+    fn forward_batch_matches_individual() {
+        let (m_in, m_out, _) = test_memories(20, 4);
+        let questions: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..4).map(|i| ((q * 4 + i) as f32 * 0.2).cos()).collect())
+            .collect();
+        let engine = ColumnEngine::new(MnnFastConfig::new(6));
+        let batch = engine.forward_batch(&m_in, &m_out, &questions).unwrap();
+        for (q, out) in questions.iter().zip(&batch) {
+            let single = engine.forward(&m_in, &m_out, q).unwrap();
+            assert_eq!(single.o, out.o);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = EngineError::MemoryMismatch {
+            m_in: (2, 3),
+            m_out: (4, 3),
+        };
+        assert!(e.to_string().contains("2x3"));
+        let c = EngineError::Config("chunk_size must be positive".into());
+        assert!(c.to_string().contains("chunk_size"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-hop inference on top of any response engine.
+//!
+//! The paper's inference operation can "iterate over several times for
+//! better results" (Section 2.1): hop `k` computes
+//! `o_k = softmax(u_k · M_INᵀ) · M_OUT` and feeds `u_{k+1} = u_k + o_k`
+//! into the next hop. Every MnnFast optimization applies per hop, so this
+//! module lifts the single-hop engines to hop chains through the
+//! [`ResponseEngine`] trait.
+
+use crate::engine::{ColumnEngine, ColumnOutput, EngineError};
+use crate::parallel::ParallelEngine;
+use crate::stats::InferenceStats;
+use crate::streaming::StreamingEngine;
+use mnn_tensor::Matrix;
+
+/// Anything that can compute the response vector
+/// `o = softmax(u · M_INᵀ) · M_OUT`.
+///
+/// Implemented by [`ColumnEngine`], [`StreamingEngine`] and
+/// [`ParallelEngine`]; the trait is object-safe so serving layers can pick
+/// an execution strategy at runtime.
+pub trait ResponseEngine {
+    /// Computes the response vector for one question state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on invalid configuration or mismatched
+    /// shapes.
+    fn response(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError>;
+}
+
+impl ResponseEngine for ColumnEngine {
+    fn response(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward(m_in, m_out, u)
+    }
+}
+
+impl ResponseEngine for StreamingEngine {
+    fn response(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward(m_in, m_out, u)
+    }
+}
+
+impl ResponseEngine for ParallelEngine {
+    fn response(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward(m_in, m_out, u)
+    }
+}
+
+/// Result of a multi-hop pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopsOutput {
+    /// Response vector of the final hop.
+    pub o: Vec<f32>,
+    /// Question state *entering* the final hop, so the output layer
+    /// computes `W · (o + u_last)` exactly as the baseline does.
+    pub u_last: Vec<f32>,
+    /// Question state after the final hop (`u_last + o`).
+    pub u_final: Vec<f32>,
+    /// Per-hop response vectors, in hop order.
+    pub per_hop: Vec<Vec<f32>>,
+    /// Counters merged over all hops.
+    pub stats: InferenceStats,
+}
+
+/// Runs `hops` memory hops with `engine`, chaining `u ← u + o`.
+///
+/// Matches `mnn-memnn`'s baseline hop semantics exactly (layer-wise tied
+/// memories: the same `M_IN`/`M_OUT` serve every hop).
+///
+/// # Errors
+///
+/// Returns [`EngineError`] from the underlying engine, or a configuration
+/// error if `hops == 0`.
+pub fn multi_hop(
+    engine: &dyn ResponseEngine,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    u0: &[f32],
+    hops: usize,
+) -> Result<HopsOutput, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    let mut u = u0.to_vec();
+    let mut u_last = u.clone();
+    let mut per_hop = Vec::with_capacity(hops);
+    let mut stats = InferenceStats::default();
+    let mut o = Vec::new();
+
+    for _ in 0..hops {
+        let out = engine.response(m_in, m_out, &u)?;
+        // Sequential hops: counters add, peak intermediates take the max
+        // (which is what `merge` does).
+        stats.merge(&out.stats);
+        u_last = u.clone();
+        for (ui, oi) in u.iter_mut().zip(&out.o) {
+            *ui += oi;
+        }
+        o = out.o.clone();
+        per_hop.push(out.o);
+    }
+
+    Ok(HopsOutput {
+        o,
+        u_last,
+        u_final: u,
+        per_hop,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MnnFastConfig, SkipPolicy};
+    use mnn_tensor::softmax::softmax_in_place;
+    use mnn_tensor::{assert_slice_approx_eq, kernels};
+
+    fn memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 3 + c) as f32 * 0.11).sin() * 0.5);
+        let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 2 * c) as f32 * 0.07).cos() * 0.5);
+        let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.4).sin() * 0.3).collect();
+        (m_in, m_out, u)
+    }
+
+    /// Reference multi-hop with the textbook dataflow.
+    fn reference_hops(m_in: &Matrix, m_out: &Matrix, u0: &[f32], hops: usize) -> Vec<f32> {
+        let mut u = u0.to_vec();
+        let mut o = vec![0.0f32; m_out.cols()];
+        for _ in 0..hops {
+            let mut p = vec![0.0f32; m_in.rows()];
+            kernels::gemv(m_in, &u, &mut p).unwrap();
+            softmax_in_place(&mut p);
+            kernels::gevm(&p, m_out, &mut o).unwrap();
+            for (ui, &oi) in u.iter_mut().zip(&o) {
+                *ui += oi;
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn multi_hop_matches_reference_for_all_engines() {
+        let (m_in, m_out, u) = memories(60, 8);
+        let config = MnnFastConfig::new(16);
+        let engines: [&dyn ResponseEngine; 3] = [
+            &ColumnEngine::new(config),
+            &StreamingEngine::new(config),
+            &ParallelEngine::new(config.with_threads(2)),
+        ];
+        for hops in [1usize, 2, 3] {
+            let expect = reference_hops(&m_in, &m_out, &u, hops);
+            for engine in engines {
+                let out = multi_hop(engine, &m_in, &m_out, &u, hops).unwrap();
+                assert_slice_approx_eq(&out.u_final, &expect, 1e-3);
+                assert_eq!(out.per_hop.len(), hops);
+            }
+        }
+    }
+
+    #[test]
+    fn u_last_plus_o_equals_u_final() {
+        let (m_in, m_out, u) = memories(30, 4);
+        let engine = ColumnEngine::new(MnnFastConfig::new(8));
+        let out = multi_hop(&engine, &m_in, &m_out, &u, 3).unwrap();
+        for ((last, o), fin) in out.u_last.iter().zip(&out.o).zip(&out.u_final) {
+            assert!((last + o - fin).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_across_hops() {
+        let (m_in, m_out, u) = memories(40, 4);
+        let engine = ColumnEngine::new(MnnFastConfig::new(10));
+        let one = multi_hop(&engine, &m_in, &m_out, &u, 1).unwrap();
+        let three = multi_hop(&engine, &m_in, &m_out, &u, 3).unwrap();
+        assert_eq!(three.stats.rows_total, 3 * one.stats.rows_total);
+        assert_eq!(three.stats.divisions, 3 * one.stats.divisions);
+        // Peak intermediates do not triple: buffers are reused per hop.
+        assert_eq!(three.stats.intermediate_bytes, one.stats.intermediate_bytes);
+    }
+
+    #[test]
+    fn zero_hops_is_an_error() {
+        let (m_in, m_out, u) = memories(10, 4);
+        let engine = ColumnEngine::new(MnnFastConfig::new(4));
+        assert!(matches!(
+            multi_hop(&engine, &m_in, &m_out, &u, 0),
+            Err(EngineError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn skipping_applies_on_every_hop() {
+        let (m_in, m_out, u) = memories(50, 4);
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(10).with_skip(SkipPolicy::Probability(0.015)));
+        let out = multi_hop(&engine, &m_in, &m_out, &u, 2).unwrap();
+        assert_eq!(out.stats.rows_total, 100);
+        assert!(out.stats.rows_skipped > 0);
+    }
+}

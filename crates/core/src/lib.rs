@@ -1,0 +1,57 @@
+//! MnnFast: the paper's three optimizations for large-scale memory networks.
+//!
+//! Given the embedded memories `M_IN`/`M_OUT` (built by `mnn-memnn`) and a
+//! question state `u`, this crate computes the response vector
+//! `o = softmax(u·M_INᵀ)·M_OUT` with:
+//!
+//! 1. **Column-based algorithm** ([`engine`]) — process the memories in
+//!    row chunks, keep only chunk-sized intermediates, and defer the softmax
+//!    division to the very end (*lazy softmax*, Equation 4 of the paper).
+//! 2. **Zero-skipping** ([`SkipPolicy`]) — bypass the `ed`-wide
+//!    multiply-accumulate for memory entries whose attention weight falls
+//!    below a threshold.
+//! 3. **Streaming** ([`streaming`]) — overlap loading the next chunk with
+//!    computing the current one (double buffering), hiding memory latency.
+//! 4. **Scale-out** ([`parallel`]) — partition chunks across worker threads
+//!    and merge the partial accumulators, the paper's multi-unit scaling
+//!    argument (Section 3.1, last paragraph).
+//!
+//! The embedding-cache optimization operates on the memory hierarchy rather
+//! than the dataflow; it lives in `mnn-memsim` (simulated cache) and
+//! `mnn-accel` (FPGA model).
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_tensor::Matrix;
+//! use mnnfast::{ColumnEngine, MnnFastConfig};
+//!
+//! let m_in = Matrix::from_fn(100, 8, |r, c| ((r + c) as f32).sin() * 0.1);
+//! let m_out = Matrix::from_fn(100, 8, |r, c| ((r * c) as f32).cos() * 0.1);
+//! let u = vec![0.05f32; 8];
+//!
+//! let engine = ColumnEngine::new(MnnFastConfig::new(16));
+//! let result = engine.forward(&m_in, &m_out, &u).unwrap();
+//! assert_eq!(result.o.len(), 8);
+//! // All 100 rows were processed; none skipped without a threshold.
+//! assert_eq!(result.stats.rows_total, 100);
+//! assert_eq!(result.stats.rows_skipped, 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod config;
+mod stats;
+
+pub mod batch;
+pub mod engine;
+pub mod hops;
+pub mod parallel;
+pub mod streaming;
+
+pub use batch::{BatchEngine, BatchOutput};
+pub use config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+pub use engine::{ColumnEngine, ColumnOutput, ColumnScratch};
+pub use hops::{multi_hop, HopsOutput, ResponseEngine};
+pub use stats::InferenceStats;

@@ -1,0 +1,237 @@
+//! Scale-out execution: partition the memories across worker threads.
+//!
+//! The column-based algorithm makes each chunk independent; the only shared
+//! state is the final `O(ed)` merge (Section 3.1's scale-out argument:
+//! "synchronization overhead is negligible because the size of output
+//! results are proportionate to ed"). Each worker accumulates a private
+//! softmax accumulator over a contiguous row range; partials merge in
+//! thread-index order so results are deterministic.
+
+use crate::engine::{Accum, ColumnEngine, ColumnOutput, EngineError};
+use crate::stats::InferenceStats;
+use mnn_tensor::Matrix;
+
+/// Multi-threaded scale-out wrapper around [`ColumnEngine`].
+///
+/// The thread count comes from [`crate::MnnFastConfig::threads`].
+///
+/// ```
+/// use mnn_tensor::Matrix;
+/// use mnnfast::{ColumnEngine, MnnFastConfig, parallel::ParallelEngine};
+///
+/// let m_in = Matrix::from_fn(200, 4, |r, c| ((r + c) as f32 * 0.07).sin());
+/// let m_out = m_in.clone();
+/// let u = vec![0.2f32; 4];
+/// let config = MnnFastConfig::new(32).with_threads(4);
+/// let par = ParallelEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+/// let seq = ColumnEngine::new(config.with_threads(1)).forward(&m_in, &m_out, &u).unwrap();
+/// for (a, b) in par.o.iter().zip(&seq.o) {
+///     assert!((a - b).abs() < 1e-5);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelEngine {
+    engine: ColumnEngine,
+}
+
+impl ParallelEngine {
+    /// Creates a scale-out engine.
+    pub fn new(config: crate::MnnFastConfig) -> Self {
+        Self {
+            engine: ColumnEngine::new(config),
+        }
+    }
+
+    /// Computes the response vector with `config.threads` workers over
+    /// contiguous row partitions.
+    ///
+    /// Workers produce `(Accum, InferenceStats)` partials; the main thread
+    /// merges them in partition order, then applies the lazy division once.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnEngine::forward`].
+    pub fn forward(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+    }
+
+    /// Scale-out over only the first `rows` memory entries (the serving
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelEngine::forward`], plus a shape error when
+    /// `rows > m_in.rows()`.
+    pub fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.engine.check(m_in, m_out, u)?;
+        if rows > m_in.rows() {
+            return Err(mnn_tensor::ShapeError::new(
+                "ParallelEngine::forward_prefix",
+                format!("rows <= {}", m_in.rows()),
+                format!("rows = {rows}"),
+            )
+            .into());
+        }
+        let config = self.engine.config();
+        let threads = config.threads.min(rows).max(1);
+        if threads == 1 {
+            return self.engine.forward_prefix(m_in, m_out, rows, u);
+        }
+
+        let mut stats = InferenceStats::default();
+        let raw_threshold = self
+            .engine
+            .resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
+        let ns = rows;
+        let ed = u.len();
+
+        // Partition on chunk boundaries so per-thread chunking matches the
+        // sequential engine's chunk layout.
+        let chunks_total = ns.div_ceil(config.chunk_size);
+        let chunks_per_thread = chunks_total.div_ceil(threads);
+        let rows_per_thread = chunks_per_thread * config.chunk_size;
+
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let start = (t * rows_per_thread).min(ns);
+                let end = ((t + 1) * rows_per_thread).min(ns);
+                let engine = self.engine;
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = Accum::new(engine.config().softmax, ed);
+                    let mut local = InferenceStats::default();
+                    engine.process_range(
+                        m_in,
+                        m_out,
+                        u,
+                        start,
+                        end,
+                        raw_threshold,
+                        &mut acc,
+                        &mut local,
+                    );
+                    (acc, local)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scale-out worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scale-out scope panicked");
+
+        let mut merged: Option<Accum> = None;
+        for (acc, local) in partials {
+            // Concurrent partials are all live at once: sum their
+            // intermediate footprints rather than taking the max.
+            stats.intermediate_bytes += local.intermediate_bytes;
+            let mut local_no_peak = local;
+            local_no_peak.intermediate_bytes = 0;
+            stats.merge(&local_no_peak);
+            stats.intermediate_bytes = stats.intermediate_bytes.max(local.intermediate_bytes);
+            match &mut merged {
+                None => merged = Some(acc),
+                Some(m) => m.merge(&acc),
+            }
+        }
+        let acc = merged.unwrap_or_else(|| Accum::new(config.softmax, ed));
+        Ok(ColumnEngine::finalize(acc, ed, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+    use mnn_tensor::assert_slice_approx_eq;
+
+    fn memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 5 + c) as f32 * 0.13).sin());
+        let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 3 * c) as f32 * 0.19).cos());
+        let u: Vec<f32> = (0..ed).map(|i| (i as f32).sin() * 0.4).collect();
+        (m_in, m_out, u)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_thread_counts() {
+        let (m_in, m_out, u) = memories(150, 8);
+        let seq = ColumnEngine::new(MnnFastConfig::new(16))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        for threads in [1usize, 2, 3, 4, 8, 32] {
+            let par = ParallelEngine::new(MnnFastConfig::new(16).with_threads(threads))
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+            assert_eq!(par.stats.rows_total, 150, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic() {
+        let (m_in, m_out, u) = memories(97, 4);
+        let engine = ParallelEngine::new(MnnFastConfig::new(10).with_threads(4));
+        let a = engine.forward(&m_in, &m_out, &u).unwrap();
+        let b = engine.forward(&m_in, &m_out, &u).unwrap();
+        assert_eq!(a.o, b.o, "merge order must be fixed");
+    }
+
+    #[test]
+    fn parallel_with_skipping_matches_sequential_counts() {
+        let (m_in, m_out, u) = memories(120, 6);
+        let config = MnnFastConfig::new(15).with_skip(SkipPolicy::Probability(0.005));
+        let seq = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let par = ParallelEngine::new(config.with_threads(3))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert_eq!(seq.stats.rows_skipped, par.stats.rows_skipped);
+        assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+    }
+
+    #[test]
+    fn online_mode_parallel_merge() {
+        let (m_in, m_out, u) = memories(64, 4);
+        let config = MnnFastConfig::new(8).with_softmax(SoftmaxMode::Online);
+        let seq = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let par = ParallelEngine::new(config.with_threads(4))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let (m_in, m_out, u) = memories(3, 4);
+        let par = ParallelEngine::new(MnnFastConfig::new(2).with_threads(16))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert_eq!(par.stats.rows_total, 3);
+    }
+
+    #[test]
+    fn concurrent_intermediates_scale_with_threads() {
+        let (m_in, m_out, u) = memories(400, 8);
+        let one = ParallelEngine::new(MnnFastConfig::new(50).with_threads(1))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let four = ParallelEngine::new(MnnFastConfig::new(50).with_threads(4))
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert!(four.stats.intermediate_bytes >= one.stats.intermediate_bytes);
+    }
+}

@@ -1,0 +1,116 @@
+//! Work and traffic accounting for the MnnFast engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one forward pass (or merged across passes).
+///
+/// These feed three reproductions: the computation-reduction axis of Fig 7
+/// (`weighted_sum_rows_done` vs `rows_total`), the intermediate-spill
+/// comparison of Fig 5/11 (`intermediate_bytes`), and the division-count
+/// argument of Section 3.1 (`divisions` ∝ `ed` instead of ∝ `ns`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InferenceStats {
+    /// Total memory rows examined (`ns` per question).
+    pub rows_total: u64,
+    /// Rows whose weighted-sum contribution was skipped (zero-skipping).
+    pub rows_skipped: u64,
+    /// Multiply-add FLOPs actually executed (all steps).
+    pub flops: u64,
+    /// Weighted-sum FLOPs actually executed (subset of `flops`).
+    pub ws_flops: u64,
+    /// Weighted-sum FLOPs avoided by zero-skipping.
+    pub flops_skipped: u64,
+    /// Bytes of `M_IN`/`M_OUT` streamed through the engine.
+    pub memory_bytes: u64,
+    /// Peak bytes of live intermediate data (chunk buffers) — `O(chunk)`
+    /// for the column-based algorithm vs `O(ns)` for the baseline.
+    pub intermediate_bytes: u64,
+    /// Softmax division operations performed.
+    pub divisions: u64,
+    /// Number of chunks processed.
+    pub chunks: u64,
+}
+
+impl InferenceStats {
+    /// Fraction of weighted-sum rows skipped (`0.0` if nothing processed).
+    pub fn skip_fraction(&self) -> f64 {
+        if self.rows_total == 0 {
+            0.0
+        } else {
+            self.rows_skipped as f64 / self.rows_total as f64
+        }
+    }
+
+    /// Fraction of *output* (weighted-sum) computation eliminated, the
+    /// y-axis of Fig 7's "computation reduction" curve.
+    pub fn computation_reduction(&self) -> f64 {
+        let total = self.ws_flops + self.flops_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.flops_skipped as f64 / total as f64
+        }
+    }
+
+    /// Merges counters from another pass (e.g. per-thread partials).
+    pub fn merge(&mut self, other: &InferenceStats) {
+        self.rows_total += other.rows_total;
+        self.rows_skipped += other.rows_skipped;
+        self.flops += other.flops;
+        self.ws_flops += other.ws_flops;
+        self.flops_skipped += other.flops_skipped;
+        self.memory_bytes += other.memory_bytes;
+        // Peak live intermediates across merged partials is the max, not the
+        // sum, when partials ran sequentially; concurrent merging callers
+        // add explicitly. Keep the max as the conservative default.
+        self.intermediate_bytes = self.intermediate_bytes.max(other.intermediate_bytes);
+        self.divisions += other.divisions;
+        self.chunks += other.chunks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_handle_zero() {
+        let s = InferenceStats::default();
+        assert_eq!(s.skip_fraction(), 0.0);
+        assert_eq!(s.computation_reduction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_compute() {
+        let s = InferenceStats {
+            rows_total: 100,
+            rows_skipped: 81,
+            flops: 19,
+            ws_flops: 19,
+            flops_skipped: 81,
+            ..Default::default()
+        };
+        assert!((s.skip_fraction() - 0.81).abs() < 1e-12);
+        assert!((s.computation_reduction() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = InferenceStats {
+            rows_total: 10,
+            intermediate_bytes: 128,
+            chunks: 2,
+            ..Default::default()
+        };
+        let b = InferenceStats {
+            rows_total: 5,
+            intermediate_bytes: 64,
+            chunks: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_total, 15);
+        assert_eq!(a.chunks, 3);
+        assert_eq!(a.intermediate_bytes, 128, "peak, not sum");
+    }
+}

@@ -1,0 +1,265 @@
+//! Streaming execution: overlap chunk loading with chunk computation.
+//!
+//! The paper's streaming optimization prefetches the next chunk of
+//! `M_IN`/`M_OUT` while the current chunk is being computed, hiding the
+//! off-chip access latency (Section 3.1; the `column+S` bars of Figs 9/13).
+//!
+//! On commodity hardware this reproduction realizes the overlap with a
+//! producer thread that copies upcoming chunks into owned staging buffers
+//! (standing in for DMA/prefetch engines) and a bounded channel whose depth
+//! is the number of in-flight buffers (2 = double buffering). The consumer
+//! — the caller's thread — runs the same per-chunk kernel as the sequential
+//! engine, so results are bit-identical to [`ColumnEngine::forward`].
+
+use crate::engine::{Accum, ColumnEngine, ColumnOutput, EngineError};
+use crate::stats::InferenceStats;
+use mnn_tensor::Matrix;
+
+/// A staged chunk in flight from the producer to the consumer.
+#[derive(Debug)]
+struct StagedChunk {
+    n: usize,
+    in_data: Vec<f32>,
+    out_data: Vec<f32>,
+}
+
+/// Streaming wrapper around [`ColumnEngine`].
+///
+/// ```
+/// use mnn_tensor::Matrix;
+/// use mnnfast::{ColumnEngine, MnnFastConfig, streaming::StreamingEngine};
+///
+/// let m_in = Matrix::from_fn(64, 4, |r, c| (r as f32 - c as f32) * 0.01);
+/// let m_out = m_in.clone();
+/// let u = vec![0.1f32; 4];
+/// let config = MnnFastConfig::new(16);
+/// let sequential = ColumnEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+/// let streamed = StreamingEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+/// assert_eq!(sequential.o, streamed.o);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingEngine {
+    engine: ColumnEngine,
+    depth: usize,
+}
+
+impl StreamingEngine {
+    /// Creates a streaming engine with double buffering (depth 2).
+    pub fn new(config: crate::MnnFastConfig) -> Self {
+        Self {
+            engine: ColumnEngine::new(config),
+            depth: 2,
+        }
+    }
+
+    /// Sets the number of in-flight staging buffers (≥ 1; 2 = double
+    /// buffering, 3 = triple buffering — the ablation of DESIGN.md §5).
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.depth = depth.max(1);
+        self
+    }
+
+    /// The in-flight buffer depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Computes the response vector with producer/consumer chunk streaming.
+    ///
+    /// Numerically identical to [`ColumnEngine::forward`] with the same
+    /// configuration: chunks are consumed in order, so the accumulation
+    /// order matches exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`ColumnEngine::forward`].
+    pub fn forward(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+    }
+
+    /// Streams only the first `rows` memory entries (the serving path).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingEngine::forward`], plus a shape error when
+    /// `rows > m_in.rows()`.
+    pub fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        self.engine.check(m_in, m_out, u)?;
+        if rows > m_in.rows() {
+            return Err(mnn_tensor::ShapeError::new(
+                "StreamingEngine::forward_prefix",
+                format!("rows <= {}", m_in.rows()),
+                format!("rows = {rows}"),
+            )
+            .into());
+        }
+        let mut stats = InferenceStats::default();
+        let raw_threshold = self
+            .engine
+            .resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
+        let config = self.engine.config();
+        let chunk = config.chunk_size;
+        let ns = rows;
+        let ed = u.len();
+
+        let mut acc = Accum::new(config.softmax, ed);
+        let mut logits = vec![0.0f32; chunk.min(ns.max(1))];
+
+        crossbeam::thread::scope(|scope| {
+            let (tx, rx) = crossbeam::channel::bounded::<StagedChunk>(self.depth);
+            // Recycling lane: consumed buffers return to the producer, so
+            // exactly `depth` buffers circulate — the literal
+            // double-buffering discipline of the FPGA design, with no
+            // steady-state allocation.
+            let (recycle_tx, recycle_rx) = crossbeam::channel::bounded::<StagedChunk>(self.depth);
+            for _ in 0..self.depth {
+                let _ = recycle_tx.send(StagedChunk {
+                    n: 0,
+                    in_data: Vec::with_capacity(chunk * ed),
+                    out_data: Vec::with_capacity(chunk * ed),
+                });
+            }
+
+            // Producer: stages chunks ahead of the consumer (the "prefetch"
+            // side of the paper's streaming pipeline).
+            scope.spawn(move |_| {
+                let mut row = 0usize;
+                while row < ns {
+                    let Ok(mut staged) = recycle_rx.recv() else {
+                        break; // consumer dropped (error path)
+                    };
+                    let n = chunk.min(ns - row);
+                    staged.n = n;
+                    staged.in_data.clear();
+                    staged.in_data.extend_from_slice(m_in.rows_slice(row, n));
+                    staged.out_data.clear();
+                    staged.out_data.extend_from_slice(m_out.rows_slice(row, n));
+                    if tx.send(staged).is_err() {
+                        break;
+                    }
+                    row += n;
+                }
+            });
+
+            // Consumer: identical math to the sequential engine.
+            for staged in rx.iter() {
+                self.engine.process_chunk_flat(
+                    &staged.in_data,
+                    &staged.out_data,
+                    staged.n,
+                    u,
+                    raw_threshold,
+                    &mut acc,
+                    &mut stats,
+                    &mut logits[..staged.n],
+                );
+                let _ = recycle_tx.send(staged); // hand the buffer back
+            }
+        })
+        .expect("streaming producer thread panicked");
+
+        // Staging buffers double the live intermediate footprint.
+        stats.intermediate_bytes += (self.depth * chunk * ed * 4 * 2) as u64;
+        Ok(ColumnEngine::finalize(acc, ed, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+    use mnn_tensor::assert_slice_approx_eq;
+
+    fn memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
+        let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 3 + c) as f32 * 0.17).sin());
+        let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 7 * c) as f32 * 0.11).cos());
+        let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.29).cos() * 0.5).collect();
+        (m_in, m_out, u)
+    }
+
+    #[test]
+    fn streamed_equals_sequential_bitwise() {
+        let (m_in, m_out, u) = memories(123, 8);
+        for chunk in [1usize, 10, 64, 123, 999] {
+            let config = MnnFastConfig::new(chunk);
+            let seq = ColumnEngine::new(config)
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            let st = StreamingEngine::new(config)
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            assert_eq!(seq.o, st.o, "chunk {chunk}");
+            assert_eq!(seq.denominator, st.denominator);
+            assert_eq!(seq.stats.rows_total, st.stats.rows_total);
+            assert_eq!(seq.stats.chunks, st.stats.chunks);
+        }
+    }
+
+    #[test]
+    fn streamed_with_skipping_and_online() {
+        let (m_in, m_out, u) = memories(77, 6);
+        let config = MnnFastConfig::new(13)
+            .with_skip(SkipPolicy::Probability(0.01))
+            .with_softmax(SoftmaxMode::Online);
+        let seq = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let st = StreamingEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert_eq!(seq.o, st.o);
+        assert_eq!(seq.stats.rows_skipped, st.stats.rows_skipped);
+    }
+
+    #[test]
+    fn depth_is_configurable_and_harmless() {
+        let (m_in, m_out, u) = memories(40, 4);
+        let config = MnnFastConfig::new(8);
+        let expect = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        for depth in [1usize, 2, 3, 8] {
+            let st = StreamingEngine::new(config)
+                .with_depth(depth)
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            assert_slice_approx_eq(&st.o, &expect.o, 1e-6);
+            assert_eq!(
+                StreamingEngine::new(config).with_depth(depth).depth(),
+                depth
+            );
+        }
+        assert_eq!(StreamingEngine::new(config).with_depth(0).depth(), 1);
+    }
+
+    #[test]
+    fn staging_buffers_counted_as_intermediates() {
+        let (m_in, m_out, u) = memories(40, 4);
+        let config = MnnFastConfig::new(8);
+        let seq = ColumnEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        let st = StreamingEngine::new(config)
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+        assert!(st.stats.intermediate_bytes > seq.stats.intermediate_bytes);
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let (m_in, m_out, _) = memories(10, 4);
+        let st = StreamingEngine::new(MnnFastConfig::new(4));
+        assert!(st.forward(&m_in, &m_out, &[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: the column-based algorithm (with and without streaming,
+//! scale-out, and zero-skipping) is equivalent to the baseline dataflow.
+
+use mnn_tensor::softmax::softmax_in_place;
+use mnn_tensor::{approx_eq, kernels, Matrix};
+use mnnfast::parallel::ParallelEngine;
+use mnnfast::streaming::StreamingEngine;
+use mnnfast::{ColumnEngine, MnnFastConfig, SkipPolicy, SoftmaxMode};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random memories derived from a seed.
+fn memories(ns: usize, ed: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    let m_in = Matrix::from_fn(ns, ed, |_, _| next());
+    let m_out = Matrix::from_fn(ns, ed, |_, _| next());
+    let u: Vec<f32> = (0..ed).map(|_| next()).collect();
+    (m_in, m_out, u)
+}
+
+fn baseline(m_in: &Matrix, m_out: &Matrix, u: &[f32]) -> Vec<f32> {
+    let mut p = vec![0.0f32; m_in.rows()];
+    kernels::gemv(m_in, u, &mut p).unwrap();
+    softmax_in_place(&mut p);
+    let mut o = vec![0.0f32; m_out.cols()];
+    kernels::gevm(&p, m_out, &mut o).unwrap();
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn column_equals_baseline(
+        ns in 1usize..300,
+        ed in 1usize..24,
+        chunk in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let (m_in, m_out, u) = memories(ns, ed, seed);
+        let expect = baseline(&m_in, &m_out, &u);
+        for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+            let out = ColumnEngine::new(MnnFastConfig::new(chunk).with_softmax(mode))
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            for (a, b) in out.o.iter().zip(&expect) {
+                prop_assert!(approx_eq(*a, *b, 2e-3), "{mode:?}: {a} vs {b}");
+            }
+            prop_assert_eq!(out.stats.rows_total, ns as u64);
+            prop_assert_eq!(out.stats.divisions, ed as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_is_bit_identical_to_sequential(
+        ns in 1usize..200,
+        ed in 1usize..16,
+        chunk in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let (m_in, m_out, u) = memories(ns, ed, seed);
+        let config = MnnFastConfig::new(chunk);
+        let seq = ColumnEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+        let st = StreamingEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+        prop_assert_eq!(seq.o, st.o);
+    }
+
+    #[test]
+    fn parallel_equals_sequential(
+        ns in 1usize..200,
+        ed in 1usize..16,
+        chunk in 1usize..50,
+        threads in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (m_in, m_out, u) = memories(ns, ed, seed);
+        let config = MnnFastConfig::new(chunk).with_threads(threads);
+        let seq = ColumnEngine::new(config.with_threads(1)).forward(&m_in, &m_out, &u).unwrap();
+        let par = ParallelEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
+        for (a, b) in par.o.iter().zip(&seq.o) {
+            prop_assert!(approx_eq(*a, *b, 2e-3), "{a} vs {b}");
+        }
+        prop_assert_eq!(par.stats.rows_total, seq.stats.rows_total);
+    }
+
+    #[test]
+    fn skip_threshold_zero_is_exact_and_counts_conserve(
+        ns in 1usize..150,
+        ed in 1usize..12,
+        chunk in 1usize..40,
+        th in 0.0f32..0.3,
+        seed in any::<u64>(),
+    ) {
+        let (m_in, m_out, u) = memories(ns, ed, seed);
+        let out = ColumnEngine::new(
+            MnnFastConfig::new(chunk).with_skip(SkipPolicy::Probability(th)),
+        )
+        .forward(&m_in, &m_out, &u)
+        .unwrap();
+        // Conservation: every row is either processed or skipped.
+        prop_assert_eq!(out.stats.rows_total, ns as u64);
+        prop_assert!(out.stats.rows_skipped <= out.stats.rows_total);
+        let ws_done = out.stats.ws_flops / (2 * ed as u64);
+        prop_assert_eq!(ws_done + out.stats.rows_skipped, ns as u64);
+
+        if th == 0.0 {
+            prop_assert_eq!(out.stats.rows_skipped, 0);
+            let expect = baseline(&m_in, &m_out, &u);
+            for (a, b) in out.o.iter().zip(&expect) {
+                prop_assert!(approx_eq(*a, *b, 2e-3));
+            }
+        }
+        // Probabilities sum to 1, so fewer than 1/th rows can exceed th.
+        if th > 0.0 {
+            let kept = ns as u64 - out.stats.rows_skipped;
+            prop_assert!(kept as f64 <= (1.0 / th as f64) + 1.0);
+        }
+    }
+
+    #[test]
+    fn skipping_is_monotone_in_threshold(
+        ns in 2usize..150,
+        ed in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let (m_in, m_out, u) = memories(ns, ed, seed);
+        let mut prev_skipped = 0u64;
+        for th in [0.0f32, 0.001, 0.01, 0.05, 0.2] {
+            let out = ColumnEngine::new(
+                MnnFastConfig::new(16).with_skip(SkipPolicy::Probability(th)),
+            )
+            .forward(&m_in, &m_out, &u)
+            .unwrap();
+            prop_assert!(out.stats.rows_skipped >= prev_skipped,
+                "skipped count must grow with threshold");
+            prev_skipped = out.stats.rows_skipped;
+        }
+    }
+}

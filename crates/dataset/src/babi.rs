@@ -1,0 +1,1004 @@
+//! Synthetic bAbI-style story/question generator.
+//!
+//! Facebook's bAbI tasks [Weston et al. 2015] are procedurally generated
+//! text: agents move between locations and manipulate objects; questions ask
+//! about the resulting world state and are answerable from one or two
+//! *supporting* sentences. This module regenerates that structure directly:
+//! a simulated world emits natural-language-shaped token sequences while the
+//! generator records the ground-truth supporting facts.
+//!
+//! Fidelity to the paper's use of bAbI:
+//! - attention should concentrate on the few supporting sentences (Fig 6),
+//! - a trained MemNN should reach high accuracy so the zero-skipping
+//!   accuracy-loss sweep (Fig 7) is meaningful,
+//! - stories have up to 50 sentences and a bounded sentence length `nw`,
+//!   matching Section 3.2's evaluation setup.
+
+use crate::vocab::{Vocabulary, WordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which bAbI-style task family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Task 1: "Where is *person*?" — one supporting fact (the person's most
+    /// recent movement).
+    SingleSupportingFact,
+    /// Task 2: "Where is the *object*?" — two supporting facts (who holds or
+    /// dropped the object, and where that happened).
+    TwoSupportingFacts,
+    /// Task 6-style: "Is *person* in the *location*?" — yes/no answer with
+    /// one supporting fact.
+    YesNo,
+    /// Task 7-style: "How many objects is *person* carrying?" — counting
+    /// over the person's grab/drop history.
+    Counting,
+    /// Task 9-style: stories contain negated facts ("*person* is not in the
+    /// *location*"); questions are yes/no/maybe about locations.
+    Negation,
+    /// Inverse object lookup: "Who has the *object*?" — answer is a person.
+    WhoHas,
+    /// Task 14-style time reasoning: "Where was *person* before the
+    /// *location*?" — answer is the previous location.
+    BeforeLocation,
+}
+
+impl TaskKind {
+    /// All task kinds, for sweep-style experiments.
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::SingleSupportingFact,
+        TaskKind::TwoSupportingFacts,
+        TaskKind::YesNo,
+        TaskKind::Counting,
+        TaskKind::Negation,
+        TaskKind::WhoHas,
+        TaskKind::BeforeLocation,
+    ];
+}
+
+/// A question over a story: its token sequence, the expected answer word,
+/// and the indices of the supporting sentences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Question tokens (BoW input to the embedding operation).
+    pub tokens: Vec<WordId>,
+    /// The single-word answer.
+    pub answer: WordId,
+    /// Indices into `Story::sentences` of the ground-truth supporting facts.
+    pub supporting: Vec<usize>,
+}
+
+/// A story: an ordered list of sentences plus questions about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Story {
+    /// Sentences in narrative order; each is a token sequence.
+    pub sentences: Vec<Vec<WordId>>,
+    /// Questions asked after the full story has been observed.
+    pub questions: Vec<Question>,
+}
+
+impl Story {
+    /// Length of the longest sentence (the paper's `nw`).
+    pub fn max_sentence_words(&self) -> usize {
+        self.sentences.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Internal world state tracked while a story unfolds.
+#[derive(Debug, Default, Clone)]
+struct World {
+    /// person -> (location, sentence index that establishes it)
+    person_at: BTreeMap<WordId, (WordId, usize)>,
+    /// object -> holder person (and the grab sentence index)
+    held_by: BTreeMap<WordId, (WordId, usize)>,
+    /// object -> (location, drop sentence index) once dropped
+    dropped_at: BTreeMap<WordId, (WordId, usize)>,
+    /// person -> (excluded location, sentence index) from a negated fact
+    /// more recent than any positive location fact.
+    person_not_at: BTreeMap<WordId, (WordId, usize)>,
+    /// person -> (previous location, index of the move that LEFT it), set
+    /// when a person moves while already having a known location.
+    person_was_at: BTreeMap<WordId, (WordId, usize)>,
+}
+
+/// Generator of bAbI-style stories with ground-truth supporting facts.
+///
+/// Deterministic for a given `(kind, seed)` pair, so every experiment in the
+/// harness is reproducible.
+#[derive(Debug)]
+pub struct BabiGenerator {
+    kind: TaskKind,
+    rng: StdRng,
+    vocab: Vocabulary,
+    object_action_rate: f32,
+    pronoun_rate: f32,
+    she: WordId,
+    /// Subject of the previous emitted sentence (for pronoun coreference).
+    last_subject: Option<WordId>,
+    persons: Vec<WordId>,
+    locations: Vec<WordId>,
+    objects: Vec<WordId>,
+    move_verbs: Vec<WordId>,
+    to: WordId,
+    the: WordId,
+    grabbed: WordId,
+    dropped: WordId,
+    where_w: WordId,
+    is_w: WordId,
+    in_w: WordId,
+    yes: WordId,
+    no: WordId,
+    how: WordId,
+    many: WordId,
+    objects_w: WordId,
+    carrying: WordId,
+    counts: Vec<WordId>,
+    not_w: WordId,
+    maybe: WordId,
+    who: WordId,
+    has: WordId,
+    was: WordId,
+    before: WordId,
+    nobody: WordId,
+    nowhere: WordId,
+}
+
+/// World-shape knobs for the generator.
+///
+/// Larger worlds make tasks harder (more entities to track, lower prior
+/// per answer) and grow the vocabulary the embedding matrices must cover.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of person entities (max 8).
+    pub persons: usize,
+    /// Number of locations (max 8).
+    pub locations: usize,
+    /// Number of objects (max 6).
+    pub objects: usize,
+    /// Probability that an object-task sentence manipulates objects rather
+    /// than moving a person.
+    pub object_action_rate: f32,
+    /// Probability that a movement sentence refers to the previous
+    /// sentence's subject with a pronoun ("she went to the park") instead
+    /// of the name — bAbI task 11-style basic coreference. Resolution is
+    /// exact in the world model; only the surface form changes.
+    pub pronoun_rate: f32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            persons: PERSONS.len(),
+            locations: LOCATIONS.len(),
+            objects: OBJECTS.len(),
+            object_action_rate: 0.3,
+            pronoun_rate: 0.0,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validates the configuration against the available word lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.persons == 0 || self.persons > PERSONS.len() {
+            return Err(format!("persons must be in 1..={}", PERSONS.len()));
+        }
+        if self.locations < 2 || self.locations > LOCATIONS.len() {
+            return Err(format!("locations must be in 2..={}", LOCATIONS.len()));
+        }
+        if self.objects == 0 || self.objects > OBJECTS.len() {
+            return Err(format!("objects must be in 1..={}", OBJECTS.len()));
+        }
+        if !(0.0..=1.0).contains(&self.object_action_rate) {
+            return Err("object_action_rate must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.pronoun_rate) {
+            return Err("pronoun_rate must be in [0,1]".into());
+        }
+        Ok(())
+    }
+}
+
+const PERSONS: &[&str] = &[
+    "mary", "john", "sandra", "daniel", "fred", "bill", "julie", "emma",
+];
+const LOCATIONS: &[&str] = &[
+    "kitchen", "garden", "hallway", "office", "bathroom", "bedroom", "park", "cinema",
+];
+const OBJECTS: &[&str] = &["apple", "football", "milk", "book", "key", "lamp"];
+const MOVE_VERBS: &[&str] = &["went", "journeyed", "travelled", "moved"];
+
+impl BabiGenerator {
+    /// Creates a generator for `kind`, deterministic in `seed`, with the
+    /// default world shape.
+    pub fn new(kind: TaskKind, seed: u64) -> Self {
+        Self::with_config(kind, seed, GeneratorConfig::default())
+            .expect("default config is valid")
+    }
+
+    /// Creates a generator with an explicit world shape.
+    ///
+    /// The full word lists are interned regardless of the configured counts
+    /// so vocabularies stay identical across configurations (models trained
+    /// on one world evaluate on another).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error of an invalid `config`.
+    pub fn with_config(
+        kind: TaskKind,
+        seed: u64,
+        config: GeneratorConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let mut vocab = Vocabulary::new();
+        let persons: Vec<WordId> = PERSONS.iter().map(|w| vocab.intern(w)).collect();
+        let locations: Vec<WordId> = LOCATIONS.iter().map(|w| vocab.intern(w)).collect();
+        let objects: Vec<WordId> = OBJECTS.iter().map(|w| vocab.intern(w)).collect();
+        let persons = persons[..config.persons].to_vec();
+        let locations = locations[..config.locations].to_vec();
+        let objects = objects[..config.objects].to_vec();
+        let object_action_rate = config.object_action_rate;
+        let pronoun_rate = config.pronoun_rate;
+        let move_verbs = MOVE_VERBS.iter().map(|w| vocab.intern(w)).collect();
+        let to = vocab.intern("to");
+        let the = vocab.intern("the");
+        let grabbed = vocab.intern("grabbed");
+        let dropped = vocab.intern("dropped");
+        let where_w = vocab.intern("where");
+        let is_w = vocab.intern("is");
+        let in_w = vocab.intern("in");
+        let yes = vocab.intern("yes");
+        let no = vocab.intern("no");
+        let how = vocab.intern("how");
+        let many = vocab.intern("many");
+        let objects_w = vocab.intern("objects");
+        let carrying = vocab.intern("carrying");
+        let counts = ["none", "one", "two", "three"]
+            .iter()
+            .map(|w| vocab.intern(w))
+            .collect();
+        let not_w = vocab.intern("not");
+        let maybe = vocab.intern("maybe");
+        let who = vocab.intern("who");
+        let has = vocab.intern("has");
+        let was = vocab.intern("was");
+        let before = vocab.intern("before");
+        let nobody = vocab.intern("nobody");
+        let nowhere = vocab.intern("nowhere");
+        let she = vocab.intern("she");
+        Ok(Self {
+            kind,
+            rng: StdRng::seed_from_u64(seed ^ 0x6d6e_6e66), // "mnnf"
+            vocab,
+            object_action_rate,
+            pronoun_rate,
+            last_subject: None,
+            persons,
+            locations,
+            objects,
+            move_verbs,
+            to,
+            the,
+            grabbed,
+            dropped,
+            where_w,
+            is_w,
+            in_w,
+            yes,
+            no,
+            how,
+            many,
+            objects_w,
+            carrying,
+            counts,
+            not_w,
+            maybe,
+            who,
+            has,
+            was,
+            before,
+            nobody,
+            nowhere,
+            she,
+        })
+    }
+
+    /// The task family being generated.
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+
+    /// The vocabulary shared by all stories from this generator.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of distinct words (the embedding-matrix width `V`).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Generates one story with `ns` sentences and `nq` questions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns == 0` (a story must contain at least one fact to be
+    /// questionable).
+    pub fn story(&mut self, ns: usize, nq: usize) -> Story {
+        assert!(ns > 0, "a story needs at least one sentence");
+        self.last_subject = None;
+        let mut world = World::default();
+        let mut sentences = Vec::with_capacity(ns);
+
+        // Sentence 0 is always a movement so at least one person has a
+        // well-defined location.
+        sentences.push(self.emit_move(&mut world, 0));
+        for idx in 1..ns {
+            let roll: f32 = self.rng.random();
+            let uses_objects = matches!(
+                self.kind,
+                TaskKind::TwoSupportingFacts | TaskKind::Counting | TaskKind::WhoHas
+            );
+            let sentence = if uses_objects && roll < self.object_action_rate {
+                self.emit_grab_or_drop(&mut world, idx)
+            } else if self.kind == TaskKind::Negation && roll < 0.4 {
+                self.emit_negation(&mut world, idx)
+            } else {
+                self.emit_move(&mut world, idx)
+            };
+            sentences.push(sentence);
+        }
+
+        let mut questions = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            questions.push(self.emit_question(&world));
+        }
+        Story {
+            sentences,
+            questions,
+        }
+    }
+
+    /// Generates a dataset of independent stories (e.g. train/test splits).
+    pub fn dataset(&mut self, n_stories: usize, ns: usize, nq: usize) -> Vec<Story> {
+        (0..n_stories).map(|_| self.story(ns, nq)).collect()
+    }
+
+    fn pick<T: Copy>(rng: &mut StdRng, items: &[T]) -> T {
+        items[rng.random_range(0..items.len())]
+    }
+
+    fn emit_move(&mut self, world: &mut World, idx: usize) -> Vec<WordId> {
+        // Pronoun coreference: re-use the previous subject and say "she".
+        let use_pronoun = self.pronoun_rate > 0.0
+            && self.last_subject.is_some()
+            && self.rng.random::<f32>() < self.pronoun_rate;
+        let person = if use_pronoun {
+            self.last_subject.expect("checked above")
+        } else {
+            Self::pick(&mut self.rng, &self.persons)
+        };
+        let location = Self::pick(&mut self.rng, &self.locations);
+        let verb = Self::pick(&mut self.rng, &self.move_verbs);
+        if let Some(&(previous, _)) = world.person_at.get(&person) {
+            if previous != location {
+                world.person_was_at.insert(person, (previous, idx));
+            }
+        }
+        world.person_at.insert(person, (location, idx));
+        world.person_not_at.remove(&person);
+        self.last_subject = Some(person);
+        let subject_word = if use_pronoun { self.she } else { person };
+        vec![subject_word, verb, self.to, self.the, location]
+    }
+
+    /// "*person* is not in the *location*": the person's whereabouts become
+    /// uncertain except for the excluded location.
+    fn emit_negation(&mut self, world: &mut World, idx: usize) -> Vec<WordId> {
+        let person = Self::pick(&mut self.rng, &self.persons);
+        let location = Self::pick(&mut self.rng, &self.locations);
+        world.person_at.remove(&person);
+        world.person_not_at.insert(person, (location, idx));
+        vec![person, self.is_w, self.not_w, self.in_w, self.the, location]
+    }
+
+    fn emit_grab_or_drop(&mut self, world: &mut World, idx: usize) -> Vec<WordId> {
+        // Prefer dropping a held object half of the time.
+        let holders: Vec<(WordId, WordId)> = world
+            .held_by
+            .iter()
+            .map(|(&obj, &(person, _))| (obj, person))
+            .collect();
+        if !holders.is_empty() && self.rng.random::<f32>() < 0.5 {
+            let (obj, person) = Self::pick(&mut self.rng, &holders);
+            world.held_by.remove(&obj);
+            if let Some(&(loc, _)) = world.person_at.get(&person) {
+                world.dropped_at.insert(obj, (loc, idx));
+            }
+            return vec![person, self.dropped, self.the, obj];
+        }
+        // Otherwise a located person grabs a free object.
+        let located: Vec<WordId> = world.person_at.keys().copied().collect();
+        let free: Vec<WordId> = self
+            .objects
+            .iter()
+            .copied()
+            .filter(|o| !world.held_by.contains_key(o))
+            .collect();
+        if located.is_empty() || free.is_empty() {
+            return self.emit_move(world, idx);
+        }
+        let person = Self::pick(&mut self.rng, &located);
+        let obj = Self::pick(&mut self.rng, &free);
+        world.held_by.insert(obj, (person, idx));
+        world.dropped_at.remove(&obj);
+        vec![person, self.grabbed, self.the, obj]
+    }
+
+    fn emit_question(&mut self, world: &World) -> Question {
+        match self.kind {
+            TaskKind::SingleSupportingFact => self.question_where_person(world),
+            TaskKind::TwoSupportingFacts => self.question_where_object(world),
+            TaskKind::YesNo => self.question_yes_no(world),
+            TaskKind::Counting => self.question_counting(world),
+            TaskKind::Negation => self.question_negation(world),
+            TaskKind::WhoHas => self.question_who_has(world),
+            TaskKind::BeforeLocation => self.question_before(world),
+        }
+    }
+
+    fn question_where_person(&mut self, world: &World) -> Question {
+        let known: Vec<WordId> = world.person_at.keys().copied().collect();
+        let person = Self::pick(&mut self.rng, &known);
+        let (loc, fact) = world.person_at[&person];
+        Question {
+            tokens: vec![self.where_w, self.is_w, person],
+            answer: loc,
+            supporting: vec![fact],
+        }
+    }
+
+    fn question_where_object(&mut self, world: &World) -> Question {
+        // Objects currently held: answer is the holder's location
+        // (supporting = grab sentence + holder's move sentence).
+        let mut candidates: Vec<(WordId, WordId, Vec<usize>)> = Vec::new();
+        for (&obj, &(person, grab_idx)) in &world.held_by {
+            if let Some(&(loc, move_idx)) = world.person_at.get(&person) {
+                let mut sup = vec![grab_idx, move_idx];
+                sup.sort_unstable();
+                sup.dedup();
+                candidates.push((obj, loc, sup));
+            }
+        }
+        // Dropped objects: answer is the drop location.
+        for (&obj, &(loc, drop_idx)) in &world.dropped_at {
+            if !world.held_by.contains_key(&obj) {
+                candidates.push((obj, loc, vec![drop_idx]));
+            }
+        }
+        if candidates.is_empty() {
+            // No object has a determinable location — fall back to task 1.
+            return self.question_where_person(world);
+        }
+        let (obj, loc, supporting) = Self::pick(
+            &mut self.rng,
+            &(0..candidates.len()).collect::<Vec<usize>>(),
+        )
+        .pipe(|i| candidates[i].clone());
+        Question {
+            tokens: vec![self.where_w, self.is_w, self.the, obj],
+            answer: loc,
+            supporting,
+        }
+    }
+
+    /// "How many objects is *person* carrying?" — counts the person's held
+    /// objects; supporting facts are the grab sentences of those objects
+    /// (or the person's latest movement when the count is zero).
+    /// "Is *person* in the *location*?" under negated knowledge: `yes` when
+    /// a positive fact places them there, `no` when a positive fact places
+    /// them elsewhere or a negation excludes that location, and `maybe`
+    /// when only a negation about a *different* location is known.
+    fn question_negation(&mut self, world: &World) -> Question {
+        let mut candidates: Vec<WordId> = world.person_at.keys().copied().collect();
+        candidates.extend(world.person_not_at.keys().copied());
+        candidates.sort_unstable();
+        candidates.dedup();
+        let person = Self::pick(&mut self.rng, &candidates);
+        let asked = Self::pick(&mut self.rng, &self.locations);
+
+        let (answer, fact) = if let Some(&(loc, idx)) = world.person_at.get(&person) {
+            (if loc == asked { self.yes } else { self.no }, idx)
+        } else {
+            let &(excluded, idx) = world
+                .person_not_at
+                .get(&person)
+                .expect("candidate has some fact");
+            (
+                if excluded == asked {
+                    self.no
+                } else {
+                    self.maybe
+                },
+                idx,
+            )
+        };
+        Question {
+            tokens: vec![self.is_w, person, self.in_w, self.the, asked],
+            answer,
+            supporting: vec![fact],
+        }
+    }
+
+    /// "Who has the *object*?" — the current holder, or `nobody`.
+    fn question_who_has(&mut self, world: &World) -> Question {
+        let obj = Self::pick(&mut self.rng, &self.objects.clone());
+        let (answer, supporting) = match world.held_by.get(&obj) {
+            Some(&(person, grab_idx)) => (person, vec![grab_idx]),
+            None => {
+                // Unheld: supporting fact is the drop (if any) or the first
+                // sentence (the question is about absence of evidence).
+                let fact = world.dropped_at.get(&obj).map(|&(_, i)| i).unwrap_or(0);
+                (self.nobody, vec![fact])
+            }
+        };
+        Question {
+            tokens: vec![self.who, self.has, self.the, obj],
+            answer,
+            supporting,
+        }
+    }
+
+    /// "Where was *person* before the *location*?" — the location they left
+    /// on their most recent move, or `nowhere` if they only moved once.
+    fn question_before(&mut self, world: &World) -> Question {
+        let known: Vec<WordId> = world.person_at.keys().copied().collect();
+        let person = Self::pick(&mut self.rng, &known);
+        let (current, move_idx) = world.person_at[&person];
+        match world.person_was_at.get(&person) {
+            Some(&(previous, left_idx)) => {
+                let mut supporting = vec![left_idx, move_idx];
+                supporting.sort_unstable();
+                supporting.dedup();
+                Question {
+                    tokens: vec![
+                        self.where_w,
+                        self.was,
+                        person,
+                        self.before,
+                        self.the,
+                        current,
+                    ],
+                    answer: previous,
+                    supporting,
+                }
+            }
+            None => Question {
+                tokens: vec![
+                    self.where_w,
+                    self.was,
+                    person,
+                    self.before,
+                    self.the,
+                    current,
+                ],
+                answer: self.nowhere,
+                supporting: vec![move_idx],
+            },
+        }
+    }
+
+    fn question_counting(&mut self, world: &World) -> Question {
+        let known: Vec<WordId> = world.person_at.keys().copied().collect();
+        let person = Self::pick(&mut self.rng, &known);
+        let mut supporting: Vec<usize> = world
+            .held_by
+            .values()
+            .filter(|(holder, _)| *holder == person)
+            .map(|&(_, grab_idx)| grab_idx)
+            .collect();
+        let count = supporting.len().min(self.counts.len() - 1);
+        if supporting.is_empty() {
+            supporting.push(world.person_at[&person].1);
+        }
+        supporting.sort_unstable();
+        Question {
+            tokens: vec![
+                self.how,
+                self.many,
+                self.objects_w,
+                self.is_w,
+                person,
+                self.carrying,
+            ],
+            answer: self.counts[count],
+            supporting,
+        }
+    }
+
+    fn question_yes_no(&mut self, world: &World) -> Question {
+        let known: Vec<WordId> = world.person_at.keys().copied().collect();
+        let person = Self::pick(&mut self.rng, &known);
+        let (actual, fact) = world.person_at[&person];
+        // Ask about the true location half the time.
+        let (asked, answer) = if self.rng.random::<f32>() < 0.5 {
+            (actual, self.yes)
+        } else {
+            let other = loop {
+                let l = Self::pick(&mut self.rng, &self.locations);
+                if l != actual {
+                    break l;
+                }
+            };
+            (other, self.no)
+        };
+        Question {
+            tokens: vec![self.is_w, person, self.in_w, self.the, asked],
+            answer,
+            supporting: vec![fact],
+        }
+    }
+}
+
+/// Tiny pipe helper to keep borrow scopes narrow in `question_where_object`.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_answer_consistency(story: &Story, vocab: &Vocabulary) {
+        for q in &story.questions {
+            assert!(!q.supporting.is_empty());
+            for &s in &q.supporting {
+                assert!(s < story.sentences.len(), "supporting index in range");
+            }
+            assert!(vocab.word(q.answer).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = BabiGenerator::new(TaskKind::SingleSupportingFact, 42);
+        let mut b = BabiGenerator::new(TaskKind::SingleSupportingFact, 42);
+        assert_eq!(a.story(20, 5), b.story(20, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = BabiGenerator::new(TaskKind::SingleSupportingFact, 1);
+        let mut b = BabiGenerator::new(TaskKind::SingleSupportingFact, 2);
+        assert_ne!(a.story(30, 5), b.story(30, 5));
+    }
+
+    #[test]
+    fn task1_answer_matches_last_move() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 7);
+        let story = generator.story(50, 10);
+        let vocab = generator.vocab().clone();
+        check_answer_consistency(&story, &vocab);
+        for q in &story.questions {
+            // Supporting sentence is "<person> <verb> to the <loc>" and must
+            // end with the answer.
+            let sup = &story.sentences[q.supporting[0]];
+            assert_eq!(*sup.last().unwrap(), q.answer);
+            // The person asked about appears in the supporting sentence.
+            assert_eq!(sup[0], q.tokens[2]);
+            // And it is the person's LAST movement: no later sentence moves
+            // the same person.
+            for later in &story.sentences[q.supporting[0] + 1..] {
+                if later[0] == sup[0] && later.len() == 5 {
+                    panic!("found a later movement of the questioned person");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn task2_has_up_to_two_supporting_facts() {
+        let mut generator = BabiGenerator::new(TaskKind::TwoSupportingFacts, 3);
+        let mut saw_two = false;
+        for _ in 0..20 {
+            let story = generator.story(50, 5);
+            let vocab = generator.vocab().clone();
+            check_answer_consistency(&story, &vocab);
+            for q in &story.questions {
+                assert!(q.supporting.len() <= 2);
+                saw_two |= q.supporting.len() == 2;
+            }
+        }
+        assert!(saw_two, "two-supporting-fact questions should occur");
+    }
+
+    #[test]
+    fn yes_no_answers_are_yes_or_no() {
+        let mut generator = BabiGenerator::new(TaskKind::YesNo, 5);
+        let story = generator.story(30, 20);
+        let vocab = generator.vocab().clone();
+        let mut seen = std::collections::HashSet::new();
+        for q in &story.questions {
+            let w = vocab.word(q.answer).unwrap();
+            assert!(w == "yes" || w == "no", "unexpected answer {w}");
+            seen.insert(w.to_string());
+        }
+        assert_eq!(seen.len(), 2, "both yes and no should occur in 20 draws");
+    }
+
+    #[test]
+    fn counting_answers_match_held_objects() {
+        let mut generator = BabiGenerator::new(TaskKind::Counting, 19);
+        let vocab = generator.vocab().clone();
+        let mut nonzero_seen = false;
+        for _ in 0..20 {
+            let story = generator.story(40, 8);
+            check_answer_consistency(&story, &vocab);
+            for q in &story.questions {
+                let word = vocab.word(q.answer).unwrap();
+                assert!(["none", "one", "two", "three"].contains(&word), "{word}");
+                // Replay the story to verify the count independently.
+                let person = q.tokens[4];
+                let grabbed = vocab.id("grabbed").unwrap();
+                let dropped = vocab.id("dropped").unwrap();
+                let mut held = std::collections::BTreeSet::new();
+                for s in &story.sentences {
+                    if s.len() == 4 && s[1] == grabbed && s[0] == person {
+                        held.insert(s[3]);
+                    }
+                    if s.len() == 4 && s[1] == dropped && s[0] == person {
+                        held.remove(&s[3]);
+                    }
+                    // Another person grabbing the same object is impossible
+                    // by construction (an object has one holder).
+                }
+                let expect = ["none", "one", "two", "three"][held.len().min(3)];
+                assert_eq!(word, expect, "count mismatch for {:?}", q.tokens);
+                nonzero_seen |= !held.is_empty();
+            }
+        }
+        assert!(nonzero_seen, "some questions should have non-zero counts");
+    }
+
+    #[test]
+    fn negation_answers_are_consistent_with_world_replay() {
+        let mut generator = BabiGenerator::new(TaskKind::Negation, 29);
+        let vocab = generator.vocab().clone();
+        let not_id = vocab.id("not").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let story = generator.story(30, 8);
+            check_answer_consistency(&story, &vocab);
+            for q in &story.questions {
+                let word = vocab.word(q.answer).unwrap();
+                assert!(["yes", "no", "maybe"].contains(&word), "{word}");
+                seen.insert(word.to_string());
+                // Replay: find the person's latest fact.
+                let person = q.tokens[1];
+                let asked = q.tokens[4];
+                let mut positive: Option<u32> = None;
+                let mut negated: Option<u32> = None;
+                for s in &story.sentences {
+                    if s.len() == 5 && s[0] == person {
+                        positive = Some(*s.last().unwrap());
+                        negated = None;
+                    }
+                    if s.len() == 6 && s[0] == person && s[2] == not_id {
+                        negated = Some(*s.last().unwrap());
+                        positive = None;
+                    }
+                }
+                let expect = match (positive, negated) {
+                    (Some(loc), _) if loc == asked => "yes",
+                    (Some(_), _) => "no",
+                    (None, Some(ex)) if ex == asked => "no",
+                    (None, Some(_)) => "maybe",
+                    (None, None) => unreachable!("question about unknown person"),
+                };
+                assert_eq!(word, expect);
+            }
+        }
+        assert!(seen.len() == 3, "all three answers should occur: {seen:?}");
+    }
+
+    #[test]
+    fn who_has_answers_match_holders() {
+        let mut generator = BabiGenerator::new(TaskKind::WhoHas, 47);
+        let vocab = generator.vocab().clone();
+        let grabbed = vocab.id("grabbed").unwrap();
+        let dropped = vocab.id("dropped").unwrap();
+        let mut saw_holder = false;
+        for _ in 0..15 {
+            let story = generator.story(40, 6);
+            check_answer_consistency(&story, &vocab);
+            for q in &story.questions {
+                let obj = q.tokens[3];
+                // Replay who holds obj at the end.
+                let mut holder: Option<WordId> = None;
+                for s in &story.sentences {
+                    if s.len() == 4 && s[3] == obj {
+                        if s[1] == grabbed {
+                            holder = Some(s[0]);
+                        } else if s[1] == dropped {
+                            holder = None;
+                        }
+                    }
+                }
+                match holder {
+                    Some(p) => {
+                        assert_eq!(q.answer, p);
+                        saw_holder = true;
+                    }
+                    None => assert_eq!(vocab.word(q.answer), Some("nobody")),
+                }
+            }
+        }
+        assert!(saw_holder, "some questions should have a holder");
+    }
+
+    #[test]
+    fn before_location_answers_match_history() {
+        let mut generator = BabiGenerator::new(TaskKind::BeforeLocation, 53);
+        let vocab = generator.vocab().clone();
+        let mut saw_previous = false;
+        for _ in 0..15 {
+            let story = generator.story(30, 6);
+            check_answer_consistency(&story, &vocab);
+            for q in &story.questions {
+                let person = q.tokens[2];
+                // Replay the person's movement history.
+                let mut history: Vec<WordId> = Vec::new();
+                for s in &story.sentences {
+                    if s.len() == 5 && s[0] == person {
+                        let loc = *s.last().unwrap();
+                        if history.last() != Some(&loc) {
+                            history.push(loc);
+                        }
+                    }
+                }
+                assert_eq!(*q.tokens.last().unwrap(), *history.last().unwrap());
+                if history.len() >= 2 {
+                    assert_eq!(q.answer, history[history.len() - 2]);
+                    saw_previous = true;
+                } else {
+                    assert_eq!(vocab.word(q.answer), Some("nowhere"));
+                }
+            }
+        }
+        assert!(saw_previous, "some questions should have real history");
+    }
+
+    #[test]
+    fn sentence_length_is_bounded() {
+        let mut generator = BabiGenerator::new(TaskKind::TwoSupportingFacts, 11);
+        let story = generator.story(50, 5);
+        assert!(story.max_sentence_words() <= 5, "nw bound");
+        let mut neg = BabiGenerator::new(TaskKind::Negation, 11);
+        let story = neg.story(50, 5);
+        assert!(story.max_sentence_words() <= 6, "negated nw bound");
+    }
+
+    #[test]
+    fn dataset_yields_independent_stories() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 9);
+        let data = generator.dataset(4, 10, 2);
+        assert_eq!(data.len(), 4);
+        assert_ne!(data[0], data[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sentence")]
+    fn empty_story_panics() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 0);
+        let _ = generator.story(0, 1);
+    }
+
+    #[test]
+    fn custom_world_shapes_hold() {
+        let config = GeneratorConfig {
+            persons: 2,
+            locations: 3,
+            objects: 1,
+            object_action_rate: 0.5,
+            pronoun_rate: 0.0,
+        };
+        let mut generator =
+            BabiGenerator::with_config(TaskKind::SingleSupportingFact, 9, config).unwrap();
+        let vocab = generator.vocab().clone();
+        let allowed_persons: Vec<&str> = vec!["mary", "john"];
+        let allowed_locations: Vec<&str> = vec!["kitchen", "garden", "hallway"];
+        for _ in 0..5 {
+            let story = generator.story(20, 4);
+            for s in &story.sentences {
+                let person = vocab.word(s[0]).unwrap();
+                assert!(allowed_persons.contains(&person), "{person}");
+                let loc = vocab.word(*s.last().unwrap()).unwrap();
+                assert!(allowed_locations.contains(&loc), "{loc}");
+            }
+        }
+        // The vocabulary is identical to the default world's.
+        let default_gen = BabiGenerator::new(TaskKind::SingleSupportingFact, 9);
+        assert_eq!(generator.vocab_size(), default_gen.vocab_size());
+    }
+
+    #[test]
+    fn pronouns_change_surface_form_not_semantics() {
+        let config = GeneratorConfig {
+            pronoun_rate: 0.6,
+            ..GeneratorConfig::default()
+        };
+        let mut generator =
+            BabiGenerator::with_config(TaskKind::SingleSupportingFact, 21, config).unwrap();
+        let vocab = generator.vocab().clone();
+        let she = vocab.id("she").unwrap();
+        let mut saw_pronoun = false;
+        for _ in 0..10 {
+            let story = generator.story(20, 5);
+            // Replay with pronoun resolution and check every answer.
+            for q in &story.questions {
+                let person = q.tokens[2];
+                let mut loc = None;
+                let mut last_subject = None;
+                for s in &story.sentences {
+                    if s.len() == 5 {
+                        let subject = if s[0] == she {
+                            saw_pronoun = true;
+                            last_subject.expect("pronoun always has an antecedent")
+                        } else {
+                            s[0]
+                        };
+                        last_subject = Some(subject);
+                        if subject == person {
+                            loc = Some(*s.last().unwrap());
+                        }
+                    }
+                }
+                assert_eq!(loc, Some(q.answer), "resolved location must match");
+            }
+        }
+        assert!(saw_pronoun, "pronouns should appear at rate 0.6");
+        // The first sentence can never be a pronoun.
+        let story = generator.story(10, 1);
+        assert_ne!(story.sentences[0][0], she);
+    }
+
+    #[test]
+    fn invalid_world_configs_are_rejected() {
+        for bad in [
+            GeneratorConfig { persons: 0, ..GeneratorConfig::default() },
+            GeneratorConfig { persons: 99, ..GeneratorConfig::default() },
+            GeneratorConfig { locations: 1, ..GeneratorConfig::default() },
+            GeneratorConfig { objects: 0, ..GeneratorConfig::default() },
+            GeneratorConfig { object_action_rate: 1.5, ..GeneratorConfig::default() },
+            GeneratorConfig { pronoun_rate: -0.1, ..GeneratorConfig::default() },
+        ] {
+            assert!(
+                BabiGenerator::with_config(TaskKind::YesNo, 1, bad).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vocab_is_shared_and_closed() {
+        let mut generator = BabiGenerator::new(TaskKind::TwoSupportingFacts, 13);
+        let before = generator.vocab_size();
+        let story = generator.story(50, 10);
+        assert_eq!(generator.vocab_size(), before, "no new words at runtime");
+        for s in &story.sentences {
+            for &t in s {
+                assert!((t as usize) < before);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Reading and writing the bAbI text file format.
+//!
+//! Facebook's bAbI release stores tasks as numbered lines; a line number
+//! reset to 1 starts a new story, and question lines carry tab-separated
+//! answer and supporting-fact line numbers:
+//!
+//! ```text
+//! 1 mary moved to the bathroom.
+//! 2 john went to the hallway.
+//! 3 where is mary?    bathroom    1
+//! ```
+//!
+//! This module parses that format into [`Story`] values (interning words
+//! into a [`Vocabulary`]) and writes synthetic stories back out, so the
+//! pipeline runs unchanged on the real dataset when it is available.
+
+use crate::babi::{Question, Story};
+use crate::text::tokenize;
+use crate::vocab::Vocabulary;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Parse errors with 1-based input line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line of the input file (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads bAbI-format stories, interning every word into `vocab`.
+///
+/// Supporting-fact numbers are translated from bAbI line numbering (which
+/// counts questions too) into indices over the story's *sentences*, the
+/// convention [`Story`] uses.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the offending input line.
+pub fn read_stories(
+    reader: &mut dyn BufRead,
+    vocab: &mut Vocabulary,
+) -> Result<Vec<Story>, ParseError> {
+    let mut stories = Vec::new();
+    let mut current: Option<Story> = None;
+    // bAbI line-id -> sentence index in the current story (questions have
+    // ids but no sentence index).
+    let mut id_to_sentence: Vec<Option<usize>> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (id_str, rest) = trimmed
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, "expected '<id> <text>'"))?;
+        let id: usize = id_str
+            .parse()
+            .map_err(|_| err(lineno, format!("bad line id '{id_str}'")))?;
+        if id == 0 {
+            return Err(err(lineno, "line ids are 1-based"));
+        }
+
+        if id == 1 {
+            if let Some(done) = current.take() {
+                stories.push(done);
+            }
+            current = Some(Story {
+                sentences: Vec::new(),
+                questions: Vec::new(),
+            });
+            id_to_sentence.clear();
+        }
+        let story = current
+            .as_mut()
+            .ok_or_else(|| err(lineno, "story must start at id 1"))?;
+        if id != id_to_sentence.len() + 1 {
+            return Err(err(
+                lineno,
+                format!("non-consecutive id {id} (expected {})", id_to_sentence.len() + 1),
+            ));
+        }
+
+        if rest.contains('\t') {
+            // Question line: "<question>\t<answer>\t<supporting ids>".
+            let mut parts = rest.split('\t');
+            let q_text = parts.next().expect("split yields at least one part");
+            let answer_text = parts
+                .next()
+                .ok_or_else(|| err(lineno, "question missing answer field"))?;
+            let support_text = parts.next().unwrap_or("");
+
+            let tokens: Vec<u32> = tokenize(q_text).iter().map(|w| vocab.intern(w)).collect();
+            if tokens.is_empty() {
+                return Err(err(lineno, "empty question"));
+            }
+            let answer_words = tokenize(answer_text);
+            let answer = match answer_words.as_slice() {
+                [one] => vocab.intern(one),
+                _ => return Err(err(lineno, "expected a single-word answer")),
+            };
+            let mut supporting = Vec::new();
+            for s in support_text.split_whitespace() {
+                let sid: usize = s
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad supporting id '{s}'")))?;
+                let sentence = id_to_sentence
+                    .get(sid.wrapping_sub(1))
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| {
+                        err(lineno, format!("supporting id {sid} is not a sentence"))
+                    })?;
+                supporting.push(sentence);
+            }
+            story.questions.push(Question {
+                tokens,
+                answer,
+                supporting,
+            });
+            id_to_sentence.push(None);
+        } else {
+            let tokens: Vec<u32> = tokenize(rest).iter().map(|w| vocab.intern(w)).collect();
+            if tokens.is_empty() {
+                return Err(err(lineno, "empty sentence"));
+            }
+            id_to_sentence.push(Some(story.sentences.len()));
+            story.sentences.push(tokens);
+        }
+    }
+    if let Some(done) = current.take() {
+        stories.push(done);
+    }
+    Ok(stories)
+}
+
+/// Writes stories in bAbI format. Questions are emitted after all
+/// sentences (the synthetic generator's convention); supporting-fact
+/// indices are translated back to line numbers.
+///
+/// # Errors
+///
+/// Propagates I/O errors as strings.
+pub fn write_stories(
+    stories: &[Story],
+    vocab: &Vocabulary,
+    writer: &mut dyn Write,
+) -> Result<(), String> {
+    for story in stories {
+        let mut id = 1usize;
+        for sentence in &story.sentences {
+            writeln!(writer, "{id} {}.", vocab.decode(sentence)).map_err(|e| e.to_string())?;
+            id += 1;
+        }
+        for q in &story.questions {
+            let supports: Vec<String> = q
+                .supporting
+                .iter()
+                .map(|&s| (s + 1).to_string()) // sentences precede questions
+                .collect();
+            writeln!(
+                writer,
+                "{id} {}?\t{}\t{}",
+                vocab.decode(&q.tokens),
+                vocab.word(q.answer).unwrap_or("<?>"),
+                supports.join(" ")
+            )
+            .map_err(|e| e.to_string())?;
+            id += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::babi::{BabiGenerator, TaskKind};
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "\
+1 mary moved to the bathroom.
+2 john went to the hallway.
+3 where is mary?\tbathroom\t1
+1 daniel journeyed to the office.
+2 where is daniel?\toffice\t1
+3 sandra went to the garden.
+4 where is sandra?\tgarden\t3
+";
+
+    #[test]
+    fn parses_the_reference_format() {
+        let mut vocab = Vocabulary::new();
+        let stories =
+            read_stories(&mut BufReader::new(SAMPLE.as_bytes()), &mut vocab).unwrap();
+        assert_eq!(stories.len(), 2);
+        assert_eq!(stories[0].sentences.len(), 2);
+        assert_eq!(stories[0].questions.len(), 1);
+        let q = &stories[0].questions[0];
+        assert_eq!(vocab.word(q.answer), Some("bathroom"));
+        assert_eq!(q.supporting, vec![0]);
+
+        // Second story interleaves a question mid-story; supporting line 3
+        // maps to sentence index 1 (the question at id 2 is skipped).
+        let s2 = &stories[1];
+        assert_eq!(s2.sentences.len(), 2);
+        assert_eq!(s2.questions.len(), 2);
+        assert_eq!(s2.questions[1].supporting, vec![1]);
+    }
+
+    #[test]
+    fn round_trips_generated_stories() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 77);
+        let stories = generator.dataset(5, 8, 2);
+        let vocab = generator.vocab().clone();
+
+        let mut buf = Vec::new();
+        write_stories(&stories, &vocab, &mut buf).unwrap();
+
+        let mut vocab2 = Vocabulary::new();
+        let parsed =
+            read_stories(&mut BufReader::new(buf.as_slice()), &mut vocab2).unwrap();
+        assert_eq!(parsed.len(), stories.len());
+        for (a, b) in stories.iter().zip(&parsed) {
+            assert_eq!(a.sentences.len(), b.sentences.len());
+            assert_eq!(a.questions.len(), b.questions.len());
+            // Token ids differ (fresh vocabulary) but the text matches.
+            for (sa, sb) in a.sentences.iter().zip(&b.sentences) {
+                assert_eq!(vocab.decode(sa), vocab2.decode(sb));
+            }
+            for (qa, qb) in a.questions.iter().zip(&b.questions) {
+                assert_eq!(vocab.decode(&qa.tokens), vocab2.decode(&qb.tokens));
+                assert_eq!(vocab.word(qa.answer), vocab2.word(qb.answer));
+                assert_eq!(qa.supporting, qb.supporting);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut vocab = Vocabulary::new();
+        for (bad, what) in [
+            ("nonsense without id", "missing id"),
+            ("0 zero id.", "zero id"),
+            ("1 ok.\n3 skipped id.", "gap in ids"),
+            ("1 where is mary?\tbathroom\t9", "supporting id out of range"),
+            ("1 where is mary?\ttwo words\t", "multi-word answer"),
+            ("2 starts at two.", "story must start at 1"),
+        ] {
+            let r = read_stories(&mut BufReader::new(bad.as_bytes()), &mut vocab);
+            assert!(r.is_err(), "{what}: {bad}");
+        }
+    }
+
+    #[test]
+    fn question_supporting_ids_pointing_at_questions_are_rejected() {
+        let text = "1 where is mary?\tbathroom\t\n2 where is john?\thallway\t1\n";
+        let mut vocab = Vocabulary::new();
+        let r = read_stories(&mut BufReader::new(text.as_bytes()), &mut vocab);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_no_stories() {
+        let mut vocab = Vocabulary::new();
+        let stories = read_stories(&mut BufReader::new("".as_bytes()), &mut vocab).unwrap();
+        assert!(stories.is_empty());
+        let blank = read_stories(&mut BufReader::new("\n  \n".as_bytes()), &mut vocab).unwrap();
+        assert!(blank.is_empty());
+    }
+}

@@ -1,0 +1,272 @@
+//! Memory-network configurations (the paper's Table 1) plus scaled-down
+//! presets for tests and CI-sized runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Evaluation platform of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// 24-core dual-socket Xeon, DDR4-2400, OpenBLAS.
+    Cpu,
+    /// 4× NVIDIA TITAN Xp, cuBLAS / CUDA streams.
+    Gpu,
+    /// ZedBoard Zynq-7020 @ 100 MHz, DDR3-533 ×32-bit.
+    Fpga,
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Platform::Cpu => "CPU",
+            Platform::Gpu => "GPU",
+            Platform::Fpga => "FPGA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory-network shape: the parameters that size every buffer and every
+/// loop in both the baseline and MnnFast pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemNNConfig {
+    /// Embedding dimension `ed`.
+    pub embedding_dim: usize,
+    /// Number of story sentences `ns` (the in/out memory height).
+    pub num_sentences: usize,
+    /// Chunk size (sentences per chunk) for the column-based algorithm.
+    pub chunk_size: usize,
+    /// Vocabulary size `V` (embedding-matrix width).
+    pub vocab_size: usize,
+    /// Number of inference hops (memory-representation iterations).
+    pub hops: usize,
+}
+
+impl MemNNConfig {
+    /// Table 1, CPU column: ed=48, 100M sentences, chunk 1000.
+    ///
+    /// `num_sentences` is the paper's headline size; most harness runs call
+    /// [`MemNNConfig::scaled`] to shrink it while keeping proportions.
+    pub fn table1_cpu() -> Self {
+        Self {
+            embedding_dim: 48,
+            num_sentences: 100_000_000,
+            chunk_size: 1000,
+            vocab_size: 60_000,
+            hops: 1,
+        }
+    }
+
+    /// Table 1, GPU column: ed=64, 100M sentences, variable chunk.
+    pub fn table1_gpu() -> Self {
+        Self {
+            embedding_dim: 64,
+            num_sentences: 100_000_000,
+            chunk_size: 1_000_000,
+            vocab_size: 60_000,
+            hops: 1,
+        }
+    }
+
+    /// Table 1, FPGA column: ed=25, 1000 sentences, chunk 25.
+    pub fn table1_fpga() -> Self {
+        Self {
+            embedding_dim: 25,
+            num_sentences: 1000,
+            chunk_size: 25,
+            vocab_size: 10_000,
+            hops: 1,
+        }
+    }
+
+    /// The Table 1 preset for `platform`.
+    pub fn for_platform(platform: Platform) -> Self {
+        match platform {
+            Platform::Cpu => Self::table1_cpu(),
+            Platform::Gpu => Self::table1_gpu(),
+            Platform::Fpga => Self::table1_fpga(),
+        }
+    }
+
+    /// bAbI-style configuration used for the accuracy experiments
+    /// (Figs 6/7): up to 50 story sentences, small embedding.
+    pub fn babi() -> Self {
+        Self {
+            embedding_dim: 32,
+            num_sentences: 50,
+            chunk_size: 16,
+            vocab_size: 64,
+            hops: 1,
+        }
+    }
+
+    /// A small preset that finishes in milliseconds — used by unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            embedding_dim: 8,
+            num_sentences: 24,
+            chunk_size: 8,
+            vocab_size: 32,
+            hops: 1,
+        }
+    }
+
+    /// Returns a copy with `num_sentences` scaled down to `ns`, clamping the
+    /// chunk size so it never exceeds the story length.
+    pub fn scaled(mut self, ns: usize) -> Self {
+        self.num_sentences = ns;
+        self.chunk_size = self.chunk_size.min(ns.max(1));
+        self
+    }
+
+    /// Returns a copy with the given number of hops.
+    pub fn with_hops(mut self, hops: usize) -> Self {
+        self.hops = hops.max(1);
+        self
+    }
+
+    /// Bytes of one memory matrix (`M_IN` or `M_OUT`) at f32 precision.
+    pub fn memory_bytes(&self) -> usize {
+        self.num_sentences * self.embedding_dim * 4
+    }
+
+    /// Bytes of one intermediate `ns`-length vector (the baseline's data
+    /// spill per layer, Section 3.1).
+    pub fn spill_bytes(&self) -> usize {
+        self.num_sentences * 4
+    }
+
+    /// Number of chunks the column-based algorithm processes.
+    pub fn num_chunks(&self) -> usize {
+        self.num_sentences.div_ceil(self.chunk_size)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.embedding_dim == 0 {
+            return Err("embedding_dim must be positive".into());
+        }
+        if self.num_sentences == 0 {
+            return Err("num_sentences must be positive".into());
+        }
+        if self.chunk_size == 0 {
+            return Err("chunk_size must be positive".into());
+        }
+        if self.chunk_size > self.num_sentences {
+            return Err(format!(
+                "chunk_size {} exceeds num_sentences {}",
+                self.chunk_size, self.num_sentences
+            ));
+        }
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be positive".into());
+        }
+        if self.hops == 0 {
+            return Err("hops must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MemNNConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemNN(ed={}, ns={}, chunk={}, V={}, hops={})",
+            self.embedding_dim, self.num_sentences, self.chunk_size, self.vocab_size, self.hops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let cpu = MemNNConfig::table1_cpu();
+        assert_eq!(cpu.embedding_dim, 48);
+        assert_eq!(cpu.num_sentences, 100_000_000);
+        assert_eq!(cpu.chunk_size, 1000);
+
+        let gpu = MemNNConfig::table1_gpu();
+        assert_eq!(gpu.embedding_dim, 64);
+
+        let fpga = MemNNConfig::table1_fpga();
+        assert_eq!(fpga.embedding_dim, 25);
+        assert_eq!(fpga.num_sentences, 1000);
+        assert_eq!(fpga.chunk_size, 25);
+    }
+
+    #[test]
+    fn for_platform_dispatches() {
+        assert_eq!(
+            MemNNConfig::for_platform(Platform::Cpu),
+            MemNNConfig::table1_cpu()
+        );
+        assert_eq!(
+            MemNNConfig::for_platform(Platform::Gpu),
+            MemNNConfig::table1_gpu()
+        );
+        assert_eq!(
+            MemNNConfig::for_platform(Platform::Fpga),
+            MemNNConfig::table1_fpga()
+        );
+    }
+
+    #[test]
+    fn presets_validate() {
+        for c in [
+            MemNNConfig::table1_cpu(),
+            MemNNConfig::table1_gpu(),
+            MemNNConfig::table1_fpga(),
+            MemNNConfig::babi(),
+            MemNNConfig::tiny(),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn scaled_clamps_chunk() {
+        let c = MemNNConfig::table1_cpu().scaled(100);
+        assert_eq!(c.num_sentences, 100);
+        assert_eq!(c.chunk_size, 100);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        let mut c = MemNNConfig::tiny();
+        c.chunk_size = 0;
+        assert!(c.validate().is_err());
+        let mut c2 = MemNNConfig::tiny();
+        c2.chunk_size = c2.num_sentences + 1;
+        assert!(c2.validate().is_err());
+        let mut c3 = MemNNConfig::tiny();
+        c3.embedding_dim = 0;
+        assert!(c3.validate().is_err());
+    }
+
+    #[test]
+    fn sizing_helpers() {
+        let c = MemNNConfig::tiny(); // 24 sentences, ed 8
+        assert_eq!(c.memory_bytes(), 24 * 8 * 4);
+        assert_eq!(c.spill_bytes(), 96);
+        assert_eq!(c.num_chunks(), 3);
+        // Non-divisible chunking rounds up.
+        let c2 = c.scaled(25);
+        assert_eq!(c2.num_chunks(), 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MemNNConfig::tiny().to_string();
+        assert!(s.contains("ed=8"));
+        assert!(Platform::Fpga.to_string() == "FPGA");
+    }
+}

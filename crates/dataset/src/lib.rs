@@ -1,0 +1,44 @@
+//! Workload substrate for the MnnFast reproduction.
+//!
+//! The paper evaluates on Facebook's bAbI QA tasks (Fig 6/7), a
+//! Wikipedia-scale story database (Section 3.1's 200M-sentence sizing), and
+//! the COCA word-frequency corpus (Fig 14). None of those datasets ship with
+//! this repository, so this crate generates faithful synthetic equivalents:
+//!
+//! - [`Vocabulary`] — word ⇄ id interning,
+//! - [`babi`] — a generator of bAbI-style stories (agents moving between
+//!   locations, carrying objects) with questions whose answers require one or
+//!   two supporting facts; attention over the story is sparse *by
+//!   construction*, which is the property Figs 6 and 7 measure,
+//! - [`zipf`] — Zipf-distributed word-ID traces standing in for COCA word
+//!   frequencies (embedding-cache locality),
+//! - [`config`] — the Table 1 memory-network configurations plus scaled-down
+//!   test presets.
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_dataset::babi::{BabiGenerator, TaskKind};
+//!
+//! let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 7);
+//! let story = generator.story(12, 3);
+//! assert_eq!(story.sentences.len(), 12);
+//! assert_eq!(story.questions.len(), 3);
+//! // Every question's answer is derivable from its supporting sentence(s).
+//! for q in &story.questions {
+//!     assert!(!q.supporting.is_empty());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod babi;
+pub mod babi_io;
+pub mod config;
+pub mod text;
+pub mod vocab;
+pub mod zipf;
+
+pub use config::{MemNNConfig, Platform};
+pub use vocab::{Vocabulary, WordId};

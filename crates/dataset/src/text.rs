@@ -1,0 +1,211 @@
+//! Plain-text tokenization and empirical word-frequency traces.
+//!
+//! The serving scenario receives questions "in a raw format (Bag-of-Words)
+//! which should be embedded" (Section 4.1.1). This module turns text into
+//! word-ID sequences against a [`Vocabulary`], and builds *empirical*
+//! frequency tables from corpora — an alternative to the analytic Zipf
+//! sampler for driving the embedding cache.
+
+use crate::vocab::{Vocabulary, WordId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits text into lowercase word tokens (alphanumeric runs; everything
+/// else separates).
+///
+/// ```
+/// let tokens = mnn_dataset::text::tokenize("Where is John's football?");
+/// assert_eq!(tokens, vec!["where", "is", "john", "s", "football"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Encodes text against an existing vocabulary; unknown words are reported
+/// rather than silently dropped.
+///
+/// # Errors
+///
+/// Returns the first out-of-vocabulary word.
+pub fn encode(text: &str, vocab: &Vocabulary) -> Result<Vec<WordId>, String> {
+    tokenize(text)
+        .into_iter()
+        .map(|w| vocab.id(&w).ok_or(w))
+        .collect()
+}
+
+/// Encodes text, interning unknown words into the vocabulary (corpus
+/// building).
+pub fn encode_interning(text: &str, vocab: &mut Vocabulary) -> Vec<WordId> {
+    tokenize(text).iter().map(|w| vocab.intern(w)).collect()
+}
+
+/// An empirical word-frequency table built from token counts, usable as a
+/// drop-in for the Zipf sampler when a real corpus is available.
+#[derive(Debug, Clone)]
+pub struct FrequencyTable {
+    /// `(word, count)` pairs sorted by descending count.
+    ranked: Vec<(WordId, u64)>,
+    cdf: Vec<f64>,
+    total: u64,
+}
+
+impl FrequencyTable {
+    /// Builds a table from a token stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the stream is empty.
+    pub fn from_tokens(tokens: impl IntoIterator<Item = WordId>) -> Result<Self, String> {
+        let mut counts = std::collections::BTreeMap::new();
+        for t in tokens {
+            *counts.entry(t).or_insert(0u64) += 1;
+        }
+        if counts.is_empty() {
+            return Err("cannot build a frequency table from no tokens".into());
+        }
+        let mut ranked: Vec<(WordId, u64)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let total: u64 = ranked.iter().map(|(_, c)| c).sum();
+        let mut acc = 0.0f64;
+        let cdf = ranked
+            .iter()
+            .map(|(_, c)| {
+                acc += *c as f64 / total as f64;
+                acc
+            })
+            .collect();
+        Ok(Self { ranked, cdf, total })
+    }
+
+    /// Number of distinct words.
+    pub fn distinct_words(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Total token count.
+    pub fn total_tokens(&self) -> u64 {
+        self.total
+    }
+
+    /// The `k` most frequent words, most frequent first.
+    pub fn top_k(&self, k: usize) -> Vec<WordId> {
+        self.ranked.iter().take(k).map(|&(w, _)| w).collect()
+    }
+
+    /// Probability mass of the `k` most frequent words (the ideal hit rate
+    /// of a k-entry embedding cache).
+    pub fn top_k_mass(&self, k: usize) -> f64 {
+        if k == 0 {
+            0.0
+        } else {
+            self.cdf[k.min(self.cdf.len()) - 1]
+        }
+    }
+
+    /// Samples a word-ID trace following the empirical distribution.
+    pub fn trace(&self, n: usize, seed: u64) -> Vec<WordId> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                let idx = match self
+                    .cdf
+                    .binary_search_by(|p| p.partial_cmp(&u).expect("finite cdf"))
+                {
+                    Ok(i) => i,
+                    Err(i) => i.min(self.cdf.len() - 1),
+                };
+                self.ranked[idx].0
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::babi::{BabiGenerator, TaskKind};
+
+    #[test]
+    fn tokenize_handles_punctuation_and_case() {
+        assert_eq!(
+            tokenize("Mary went to the KITCHEN."),
+            vec!["mary", "went", "to", "the", "kitchen"]
+        );
+        assert_eq!(tokenize("  \t\n "), Vec::<String>::new());
+        assert_eq!(tokenize("a,b;c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn encode_against_babi_vocabulary() {
+        let generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 1);
+        let vocab = generator.vocab();
+        let ids = encode("where is mary", vocab).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(vocab.decode(&ids), "where is mary");
+        assert_eq!(encode("where is zaphod", vocab), Err("zaphod".to_owned()));
+    }
+
+    #[test]
+    fn encode_interning_grows_vocab() {
+        let mut vocab = Vocabulary::new();
+        let ids = encode_interning("the cat saw the cat", &mut vocab);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(vocab.len(), 3);
+        assert_eq!(ids[0], ids[3], "repeated word, same id");
+    }
+
+    #[test]
+    fn frequency_table_ranks_and_sums() {
+        // "a" x3, "b" x2, "c" x1
+        let table = FrequencyTable::from_tokens([0u32, 0, 0, 1, 1, 2]).unwrap();
+        assert_eq!(table.distinct_words(), 3);
+        assert_eq!(table.total_tokens(), 6);
+        assert_eq!(table.top_k(2), vec![0, 1]);
+        assert!((table.top_k_mass(1) - 0.5).abs() < 1e-12);
+        assert!((table.top_k_mass(3) - 1.0).abs() < 1e-12);
+        assert_eq!(table.top_k_mass(0), 0.0);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(FrequencyTable::from_tokens(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn empirical_trace_follows_the_distribution() {
+        let tokens: Vec<WordId> = (0..10_000u32)
+            .map(|i| if i % 10 == 0 { 1 } else { 0 })
+            .collect();
+        let table = FrequencyTable::from_tokens(tokens).unwrap();
+        let trace = table.trace(50_000, 9);
+        let zeros = trace.iter().filter(|&&w| w == 0).count() as f64 / trace.len() as f64;
+        assert!((zeros - 0.9).abs() < 0.02, "empirical share {zeros}");
+        // Determinism per seed.
+        assert_eq!(table.trace(100, 5), table.trace(100, 5));
+    }
+
+    #[test]
+    fn babi_corpus_is_head_heavy_like_natural_language() {
+        // Generated stories reuse function words ("to", "the") constantly —
+        // the same locality the embedding cache exploits.
+        let mut generator = BabiGenerator::new(TaskKind::TwoSupportingFacts, 4);
+        let mut tokens = Vec::new();
+        for _ in 0..20 {
+            let story = generator.story(30, 2);
+            for s in &story.sentences {
+                tokens.extend_from_slice(s);
+            }
+        }
+        let table = FrequencyTable::from_tokens(tokens).unwrap();
+        assert!(
+            table.top_k_mass(5) > 0.4,
+            "top-5 mass {}",
+            table.top_k_mass(5)
+        );
+    }
+}

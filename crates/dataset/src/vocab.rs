@@ -1,0 +1,160 @@
+//! Word ⇄ id interning.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a word in a [`Vocabulary`] (the BoW representation the
+/// embedding operation consumes).
+pub type WordId = u32;
+
+/// A bidirectional word ⇄ id map.
+///
+/// Ids are dense and allocated in insertion order, so they can directly
+/// index the columns of the `ed × V` embedding matrix.
+///
+/// ```
+/// use mnn_dataset::Vocabulary;
+///
+/// let mut v = Vocabulary::new();
+/// let id = v.intern("kitchen");
+/// assert_eq!(v.intern("kitchen"), id); // stable
+/// assert_eq!(v.word(id), Some("kitchen"));
+/// assert_eq!(v.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, WordId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `word`, interning it if new.
+    pub fn intern(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as WordId;
+        self.words.push(word.to_owned());
+        self.index.insert(word.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing word without interning.
+    pub fn id(&self, word: &str) -> Option<WordId> {
+        self.index.get(word).copied()
+    }
+
+    /// The word for `id`, if allocated.
+    pub fn word(&self, id: WordId) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if no words have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterator over `(id, word)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (i as WordId, w.as_str()))
+    }
+
+    /// Renders a token sequence back into text (ids without a word render as
+    /// `<?>`), for debugging and the examples.
+    pub fn decode(&self, tokens: &[WordId]) -> String {
+        let mut out = String::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(t).unwrap_or("<?>"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vocabulary({} words)", self.len())
+    }
+}
+
+impl FromIterator<String> for Vocabulary {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut v = Vocabulary::new();
+        for w in iter {
+            v.intern(&w);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.intern("alpha"), a);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        assert_eq!(v.id("x"), Some(0));
+        assert_eq!(v.id("y"), None);
+        assert_eq!(v.word(0), Some("x"));
+        assert_eq!(v.word(7), None);
+    }
+
+    #[test]
+    fn decode_renders_unknown_ids() {
+        let mut v = Vocabulary::new();
+        v.intern("john");
+        v.intern("kitchen");
+        assert_eq!(v.decode(&[0, 1, 99]), "john kitchen <?>");
+    }
+
+    #[test]
+    fn from_iterator_dedupes() {
+        let v: Vocabulary = ["a", "b", "a"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.intern("one");
+        v.intern("two");
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(0, "one"), (1, "two")]);
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let mut v = Vocabulary::new();
+        v.intern("w");
+        assert_eq!(v.to_string(), "Vocabulary(1 words)");
+    }
+}

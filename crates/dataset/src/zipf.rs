@@ -1,0 +1,186 @@
+//! Zipf-distributed word-ID traces.
+//!
+//! The paper's Fig 14 drives the embedding cache with the word-frequency
+//! distribution of the Corpus of Contemporary American English (COCA). COCA
+//! is proprietary; word frequency in natural language is famously Zipfian
+//! (`P(rank k) ∝ 1/k^s`, s ≈ 1), so a Zipf sampler over the vocabulary is
+//! the faithful synthetic replacement: it reproduces exactly the head-heavy
+//! locality the embedding cache exploits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampler of word IDs with Zipfian rank-frequency over `vocab_size` words.
+///
+/// Uses inverse-CDF sampling over the precomputed harmonic weights, so
+/// sampling is `O(log V)` per draw and exact (no rejection).
+///
+/// ```
+/// use mnn_dataset::zipf::ZipfSampler;
+///
+/// let mut z = ZipfSampler::new(1000, 1.0, 7).unwrap();
+/// let trace = z.trace(10_000);
+/// // Rank-0 is by far the most frequent word.
+/// let top = trace.iter().filter(|&&w| w == 0).count();
+/// assert!(top > 800, "rank 0 drew {top} of 10000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `vocab_size` ranks with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string if `vocab_size == 0` or `s` is not
+    /// finite and non-negative.
+    pub fn new(vocab_size: usize, s: f64, seed: u64) -> Result<Self, String> {
+        if vocab_size == 0 {
+            return Err("ZipfSampler: vocab_size must be positive".to_owned());
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(format!("ZipfSampler: invalid exponent {s}"));
+        }
+        let mut cdf = Vec::with_capacity(vocab_size);
+        let mut acc = 0.0f64;
+        for k in 1..=vocab_size {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Self {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+            exponent: s,
+        })
+    }
+
+    /// The configured exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Vocabulary size (number of ranks).
+    pub fn vocab_size(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one word ID (rank, 0-based; rank 0 is the most frequent word).
+    pub fn sample(&mut self) -> u32 {
+        let u: f64 = self.rng.random();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u32,
+            Err(i) => i.min(self.cdf.len() - 1) as u32,
+        }
+    }
+
+    /// Draws a trace of `n` word IDs.
+    pub fn trace(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= vocab_size`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k < self.cdf.len(), "rank out of range");
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Expected hit rate of a cache that holds exactly the `top_k` most
+    /// frequent words — the analytic upper bound used to sanity-check the
+    /// embedding-cache simulations.
+    pub fn top_k_mass(&self, top_k: usize) -> f64 {
+        if top_k == 0 {
+            0.0
+        } else {
+            self.cdf[top_k.min(self.cdf.len()) - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(ZipfSampler::new(0, 1.0, 1).is_err());
+        assert!(ZipfSampler::new(10, f64::NAN, 1).is_err());
+        assert!(ZipfSampler::new(10, -1.0, 1).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(50, 1.2, 3).unwrap();
+        let total: f64 = (0..50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotonically_decreasing() {
+        let z = ZipfSampler::new(100, 1.0, 3).unwrap();
+        for k in 1..100 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0, 3).unwrap();
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_tracks_pmf() {
+        let mut z = ZipfSampler::new(20, 1.0, 99).unwrap();
+        let n = 200_000;
+        let trace = z.trace(n);
+        let mut counts = vec![0usize; 20];
+        for &w in &trace {
+            counts[w as usize] += 1;
+        }
+        for k in 0..5 {
+            let emp = counts[k] as f64 / n as f64;
+            let exp = z.pmf(k);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {k}: empirical {emp:.4} vs pmf {exp:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_mass_bounds() {
+        let z = ZipfSampler::new(1000, 1.0, 5).unwrap();
+        assert_eq!(z.top_k_mass(0), 0.0);
+        assert!((z.top_k_mass(1000) - 1.0).abs() < 1e-9);
+        assert!(z.top_k_mass(10) > 0.3, "Zipf head is heavy");
+        assert!(z.top_k_mass(10) < z.top_k_mass(100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfSampler::new(100, 1.0, 7).unwrap();
+        let mut b = ZipfSampler::new(100, 1.0, 7).unwrap();
+        assert_eq!(a.trace(100), b.trace(100));
+    }
+}

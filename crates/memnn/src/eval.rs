@@ -1,0 +1,335 @@
+//! Accuracy evaluation and attention-sparsity measurement.
+
+use crate::inference::{baseline_forward, BaselineCounters};
+use crate::model::{EmbeddedStory, MemNet};
+use crate::timing::OpTimes;
+use mnn_dataset::babi::Story;
+use mnn_tensor::reduce;
+
+/// Fraction of questions answered correctly by the baseline forward pass.
+pub fn accuracy(model: &MemNet, stories: &[Story]) -> f32 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    let mut times = OpTimes::new();
+    let mut counters = BaselineCounters::default();
+    for story in stories {
+        let emb = model.embed_story(story);
+        for (q_idx, &answer) in emb.answers.iter().enumerate() {
+            let rec = baseline_forward(model, &emb, q_idx, &mut times, &mut counters);
+            correct += usize::from(rec.answer == answer);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+/// Accuracy where the final logits are produced by a caller-supplied
+/// function — the hook through which the zero-skipping engine (crate
+/// `mnnfast`) is evaluated against ground truth for Fig 7.
+///
+/// `logits_fn(embedded_story, question_index)` must return vocabulary
+/// logits.
+pub fn accuracy_with<F>(model: &MemNet, stories: &[Story], mut logits_fn: F) -> f32
+where
+    F: FnMut(&EmbeddedStory, usize) -> Vec<f32>,
+{
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for story in stories {
+        let emb = model.embed_story(story);
+        for (q_idx, &answer) in emb.answers.iter().enumerate() {
+            let logits = logits_fn(&emb, q_idx);
+            let predicted = reduce::argmax(&logits).expect("non-empty logits") as u32;
+            correct += usize::from(predicted == answer);
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+/// Collects final-hop probability vectors for up to `max_questions`
+/// questions — the raw data behind the paper's Fig 6 heat map.
+pub fn collect_p_vectors(model: &MemNet, stories: &[Story], max_questions: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    let mut times = OpTimes::new();
+    let mut counters = BaselineCounters::default();
+    'outer: for story in stories {
+        let emb = model.embed_story(story);
+        for q_idx in 0..emb.questions.len() {
+            if out.len() >= max_questions {
+                break 'outer;
+            }
+            let rec = baseline_forward(model, &emb, q_idx, &mut times, &mut counters);
+            out.push(rec.p_per_hop.last().expect("at least one hop").clone());
+        }
+    }
+    out
+}
+
+/// A ranked prediction: answer word, probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted word.
+    pub word: u32,
+    /// Softmax probability.
+    pub probability: f32,
+}
+
+/// Returns the top-`k` answers for one question, most probable first —
+/// the user-facing prediction API (`k = 1` gives the argmax answer with a
+/// calibrated confidence).
+///
+/// # Panics
+///
+/// Panics if `q_idx` is out of range or `k == 0`.
+pub fn predict_top_k(
+    model: &MemNet,
+    story: &EmbeddedStory,
+    q_idx: usize,
+    k: usize,
+) -> Vec<Prediction> {
+    assert!(k > 0, "k must be positive");
+    let mut times = OpTimes::new();
+    let mut counters = BaselineCounters::default();
+    let rec = baseline_forward(model, story, q_idx, &mut times, &mut counters);
+    let mut probs = rec.logits;
+    mnn_tensor::softmax::softmax_in_place(&mut probs);
+    let mut ranked: Vec<Prediction> = probs
+        .iter()
+        .enumerate()
+        .map(|(w, &p)| Prediction {
+            word: w as u32,
+            probability: p,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.probability
+            .partial_cmp(&a.probability)
+            .expect("softmax probabilities are finite")
+            .then(a.word.cmp(&b.word))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// Per-answer-word evaluation breakdown.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnswerBreakdown {
+    /// `(expected_word, total, correct)` triples, sorted by descending
+    /// frequency.
+    pub per_answer: Vec<(u32, usize, usize)>,
+    /// Overall accuracy.
+    pub accuracy: f32,
+    /// `(expected, predicted, count)` for the most common confusions
+    /// (wrong answers only), sorted by descending count.
+    pub confusions: Vec<(u32, u32, usize)>,
+}
+
+/// Evaluates `model` and breaks results down by expected answer word —
+/// which task aspects the model actually learned (useful when a task's
+/// answer distribution is skewed, e.g. Counting's "none").
+pub fn answer_breakdown(model: &MemNet, stories: &[Story]) -> AnswerBreakdown {
+    use std::collections::BTreeMap;
+    let mut times = OpTimes::new();
+    let mut counters = BaselineCounters::default();
+    let mut per: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    let mut confusion: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    let mut correct_total = 0usize;
+    let mut total = 0usize;
+
+    for story in stories {
+        let emb = model.embed_story(story);
+        for (q_idx, &answer) in emb.answers.iter().enumerate() {
+            let rec = baseline_forward(model, &emb, q_idx, &mut times, &mut counters);
+            let entry = per.entry(answer).or_insert((0, 0));
+            entry.0 += 1;
+            total += 1;
+            if rec.answer == answer {
+                entry.1 += 1;
+                correct_total += 1;
+            } else {
+                *confusion.entry((answer, rec.answer)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut per_answer: Vec<(u32, usize, usize)> =
+        per.into_iter().map(|(w, (t, c))| (w, t, c)).collect();
+    per_answer.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut confusions: Vec<(u32, u32, usize)> =
+        confusion.into_iter().map(|((e, p), c)| (e, p, c)).collect();
+    confusions.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+    AnswerBreakdown {
+        per_answer,
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct_total as f32 / total as f32
+        },
+        confusions,
+    }
+}
+
+/// Sparsity summary of a set of probability vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityStats {
+    /// Mean fraction of entries above the threshold.
+    pub active_fraction: f32,
+    /// Mean count of entries above the threshold.
+    pub mean_active: f32,
+    /// Largest probability observed.
+    pub max_probability: f32,
+}
+
+/// Measures how concentrated attention is: the property zero-skipping
+/// exploits (Section 3.2).
+pub fn sparsity(p_vectors: &[Vec<f32>], threshold: f32) -> SparsityStats {
+    if p_vectors.is_empty() {
+        return SparsityStats {
+            active_fraction: 0.0,
+            mean_active: 0.0,
+            max_probability: 0.0,
+        };
+    }
+    let mut active = 0usize;
+    let mut entries = 0usize;
+    let mut max_p = 0.0f32;
+    for p in p_vectors {
+        active += reduce::count_above(p, threshold);
+        entries += p.len();
+        max_p = max_p.max(reduce::max(p));
+    }
+    SparsityStats {
+        active_fraction: active as f32 / entries.max(1) as f32,
+        mean_active: active as f32 / p_vectors.len() as f32,
+        max_probability: max_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use crate::train::Trainer;
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+
+    fn trained() -> (MemNet, Vec<Story>) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 17);
+        let stories = generator.dataset(30, 6, 2);
+        let config = ModelConfig::for_generator(&generator, 16, 8);
+        let mut model = MemNet::new(config, 4);
+        Trainer::new().epochs(20).train(&mut model, &stories);
+        (model, stories)
+    }
+
+    #[test]
+    fn accuracy_bounds() {
+        let (model, stories) = trained();
+        let acc = accuracy(&model, &stories);
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(acc > 0.4, "trained accuracy {acc}");
+        assert_eq!(accuracy(&model, &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_with_baseline_logits_matches_accuracy() {
+        let (model, stories) = trained();
+        let direct = accuracy(&model, &stories);
+        let via_hook = accuracy_with(&model, &stories, |emb, q| {
+            let mut times = OpTimes::new();
+            let mut counters = BaselineCounters::default();
+            baseline_forward(&model, emb, q, &mut times, &mut counters).logits
+        });
+        assert_eq!(direct, via_hook);
+    }
+
+    #[test]
+    fn collect_p_vectors_respects_limit() {
+        let (model, stories) = trained();
+        let ps = collect_p_vectors(&model, &stories, 7);
+        assert_eq!(ps.len(), 7);
+        for p in &ps {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn trained_attention_is_sparse() {
+        let (model, stories) = trained();
+        let ps = collect_p_vectors(&model, &stories, 50);
+        let stats = sparsity(&ps, 0.1);
+        // Stories have 6 sentences; a trained model should focus on few.
+        assert!(
+            stats.active_fraction < 0.7,
+            "active fraction {}",
+            stats.active_fraction
+        );
+        assert!(stats.max_probability > 0.3);
+    }
+
+    #[test]
+    fn answer_breakdown_is_consistent_with_accuracy() {
+        let (model, stories) = trained();
+        let breakdown = answer_breakdown(&model, &stories);
+        let direct = accuracy(&model, &stories);
+        assert!((breakdown.accuracy - direct).abs() < 1e-6);
+        // Per-answer totals sum to the number of questions.
+        let total: usize = breakdown.per_answer.iter().map(|&(_, t, _)| t).sum();
+        let correct: usize = breakdown.per_answer.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(
+            total,
+            stories.iter().map(|s| s.questions.len()).sum::<usize>()
+        );
+        assert!((correct as f32 / total as f32 - direct).abs() < 1e-6);
+        // Confusion counts equal the number of wrong answers.
+        let wrong: usize = breakdown.confusions.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(wrong, total - correct);
+        // Sorted by frequency.
+        for pair in breakdown.per_answer.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn top_k_predictions_are_ranked_and_normalized() {
+        let (model, stories) = trained();
+        let emb = model.embed_story(&stories[0]);
+        let top = predict_top_k(&model, &emb, 0, 5);
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].probability >= pair[1].probability);
+        }
+        // Top-1 agrees with the forward pass argmax.
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let rec = baseline_forward(&model, &emb, 0, &mut times, &mut counters);
+        assert_eq!(top[0].word, rec.answer);
+        // k larger than the vocabulary clamps.
+        let all = predict_top_k(&model, &emb, 0, 10_000);
+        assert_eq!(all.len(), model.config().vocab_size);
+        let total: f32 = all.iter().map(|p| p.probability).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn answer_breakdown_of_empty_is_empty() {
+        let (model, _) = trained();
+        let b = answer_breakdown(&model, &[]);
+        assert_eq!(b.accuracy, 0.0);
+        assert!(b.per_answer.is_empty());
+    }
+
+    #[test]
+    fn sparsity_of_empty_is_zero() {
+        let s = sparsity(&[], 0.1);
+        assert_eq!(s.mean_active, 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Baseline inference — the paper's Fig 5(a) dataflow.
+//!
+//! Each layer materializes its full intermediate vector before the next
+//! layer starts: `T_IN` (inner products), `P_exp`/`P` (softmax), then the
+//! weighted sum. [`BaselineCounters`] tallies the FLOPs and the intermediate
+//! bytes those spills produce; `mnn-memsim` replays the same byte counts
+//! against a cache model for the bandwidth experiments.
+
+use crate::model::{EmbeddedStory, MemNet};
+use crate::timing::{OpKind, OpTimes};
+use mnn_tensor::{kernels, reduce, softmax, Matrix};
+
+/// Result of one baseline forward pass for a single question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardRecord {
+    /// Probability vector per hop (`p` of Equation 1), length `ns` each.
+    pub p_per_hop: Vec<Vec<f32>>,
+    /// Response vector `o` of the final hop.
+    pub o: Vec<f32>,
+    /// Question state entering the final hop (so `logits = W·(o + u_last)`).
+    pub u_last: Vec<f32>,
+    /// Output logits over the vocabulary.
+    pub logits: Vec<f32>,
+    /// Predicted answer (argmax of `logits`).
+    pub answer: u32,
+}
+
+/// Work and traffic accounting for the baseline dataflow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineCounters {
+    /// Multiply-add FLOPs (each counted as 2 ops, BLAS convention).
+    pub flops: u64,
+    /// Bytes of intermediate vectors written then re-read between layers
+    /// (`T_IN`, `P_exp`, `P` — the paper's data spills, Section 3.1).
+    pub intermediate_bytes: u64,
+    /// Bytes of `M_IN`/`M_OUT` streamed from memory.
+    pub memory_bytes: u64,
+    /// Number of softmax division operations (`ns` per hop in the baseline;
+    /// the column-based algorithm reduces this to `ed`).
+    pub divisions: u64,
+}
+
+impl BaselineCounters {
+    /// Merges another counter set.
+    pub fn merge(&mut self, other: &BaselineCounters) {
+        self.flops += other.flops;
+        self.intermediate_bytes += other.intermediate_bytes;
+        self.memory_bytes += other.memory_bytes;
+        self.divisions += other.divisions;
+    }
+}
+
+/// Runs the baseline inference for question `q_idx` of an embedded story.
+///
+/// Follows Fig 5(a) literally: `T_IN = M_IN·u`; `P = softmax(T_IN)` done as
+/// exponentiate / sum / divide over the whole vector; `o = Σ p_i·m_i^OUT`;
+/// hops iterate with `u ← u + o`; finally `logits = W·(o + u)`.
+///
+/// # Panics
+///
+/// Panics if `q_idx` is out of range for the story's questions.
+pub fn baseline_forward(
+    model: &MemNet,
+    story: &EmbeddedStory,
+    q_idx: usize,
+    times: &mut OpTimes,
+    counters: &mut BaselineCounters,
+) -> ForwardRecord {
+    let ns = story.m_in.rows();
+    let ed = model.embedding_dim();
+    let hops = model.config().hops;
+
+    let mut u = story.questions[q_idx].clone();
+    let mut p_per_hop = Vec::with_capacity(hops);
+    let mut o = vec![0.0f32; ed];
+    let mut u_last = u.clone();
+
+    for _ in 0..hops {
+        // Layer 1: inner product  T_IN = M_IN · u   (spills T_IN).
+        let mut t_in = vec![0.0f32; ns];
+        times.time(OpKind::InnerProduct, || {
+            kernels::gemv(&story.m_in, &u, &mut t_in).expect("shapes fixed by embedding")
+        });
+        counters.flops += kernels::gemv_flops(ns, ed);
+        counters.memory_bytes += (ns * ed * 4) as u64;
+        counters.intermediate_bytes += (ns * 4) as u64; // T_IN
+
+        // Layer 2: softmax over the full vector (spills P_exp and P).
+        times.time(OpKind::Softmax, || softmax::softmax_in_place(&mut t_in));
+        counters.flops += 3 * ns as u64; // exp + sum + divide, 1 op each
+        counters.divisions += ns as u64;
+        counters.intermediate_bytes += 2 * (ns * 4) as u64; // P_exp, P
+        let p = t_in;
+
+        // Layer 3: weighted sum  o = Σ p_i · m_i^OUT.
+        times.time(OpKind::WeightedSum, || {
+            kernels::gevm(&p, &story.m_out, &mut o).expect("shapes fixed by embedding")
+        });
+        counters.flops += kernels::gemv_flops(ns, ed);
+        counters.memory_bytes += (ns * ed * 4) as u64;
+
+        u_last = u.clone();
+        for (ui, &oi) in u.iter_mut().zip(&o) {
+            *ui += oi;
+        }
+        p_per_hop.push(p);
+    }
+
+    // Output calculation: logits = W · (o + u_last)  (equals W · u_final).
+    let logits = times.time(OpKind::Fc, || model.output_logits(&o, &u_last));
+    counters.flops += kernels::gemv_flops(model.config().vocab_size, ed);
+    let answer = reduce::argmax(&logits).expect("vocab is non-empty") as u32;
+
+    ForwardRecord {
+        p_per_hop,
+        o,
+        u_last,
+        logits,
+        answer,
+    }
+}
+
+/// Runs baseline inference over every question of a story; returns the
+/// records in question order.
+pub fn baseline_infer_story(
+    model: &MemNet,
+    story: &EmbeddedStory,
+    times: &mut OpTimes,
+    counters: &mut BaselineCounters,
+) -> Vec<ForwardRecord> {
+    (0..story.questions.len())
+        .map(|q| baseline_forward(model, story, q, times, counters))
+        .collect()
+}
+
+/// Batched baseline inference: all questions of a story as one BLAS pass
+/// (the paper's Section 4.1.2 formulation — `T_IN = U × M_INᵀ` is a GEMM,
+/// the weighted sum is `P × M_OUT`).
+///
+/// The intermediate matrices `T_IN`/`P` are `nq × ns` — this is precisely
+/// how the baseline's data spills scale with the batch, and the comparison
+/// target for the batched column engine. Single-hop only (the batched
+/// baseline in the paper is the single-hop configuration of Table 1).
+///
+/// # Panics
+///
+/// Panics if the model has more than one hop.
+pub fn baseline_forward_batch(
+    model: &MemNet,
+    story: &EmbeddedStory,
+    times: &mut OpTimes,
+    counters: &mut BaselineCounters,
+) -> Vec<ForwardRecord> {
+    assert_eq!(
+        model.config().hops,
+        1,
+        "baseline_forward_batch supports single-hop models"
+    );
+    let ns = story.m_in.rows();
+    let ed = model.embedding_dim();
+    let nq = story.questions.len();
+    if nq == 0 {
+        return Vec::new();
+    }
+
+    // U as an nq × ed matrix.
+    let u_mat = Matrix::from_fn(nq, ed, |q, k| story.questions[q][k]);
+
+    // Layer 1: T_IN = U × M_INᵀ (nq × ns) — one GEMM, memories read once.
+    let mut t_in = Matrix::zeros(nq, ns);
+    times.time(OpKind::InnerProduct, || {
+        kernels::gemm_nt(&u_mat, &story.m_in, &mut t_in).expect("shapes fixed by embedding")
+    });
+    counters.flops += nq as u64 * kernels::gemv_flops(ns, ed);
+    counters.memory_bytes += (ns * ed * 4) as u64;
+    counters.intermediate_bytes += (nq * ns * 4) as u64; // T_IN
+
+    // Layer 2: row-wise softmax over the nq × ns matrix.
+    times.time(OpKind::Softmax, || {
+        for q in 0..nq {
+            softmax::softmax_in_place(t_in.row_mut(q));
+        }
+    });
+    counters.flops += 3 * (nq * ns) as u64;
+    counters.divisions += (nq * ns) as u64;
+    counters.intermediate_bytes += 2 * (nq * ns * 4) as u64; // P_exp, P
+
+    // Layer 3: O = P × M_OUT (nq × ed) — one GEMM.
+    let mut o_mat = Matrix::zeros(nq, ed);
+    times.time(OpKind::WeightedSum, || {
+        kernels::gemm(&t_in, &story.m_out, &mut o_mat).expect("shapes fixed by embedding")
+    });
+    counters.flops += nq as u64 * kernels::gemv_flops(ns, ed);
+    counters.memory_bytes += (ns * ed * 4) as u64;
+
+    // Output calculation per question.
+    (0..nq)
+        .map(|q| {
+            let o = o_mat.row(q).to_vec();
+            let u = story.questions[q].clone();
+            let logits = times.time(OpKind::Fc, || model.output_logits(&o, &u));
+            counters.flops += kernels::gemv_flops(model.config().vocab_size, ed);
+            let answer = reduce::argmax(&logits).expect("vocab is non-empty") as u32;
+            ForwardRecord {
+                p_per_hop: vec![t_in.row(q).to_vec()],
+                o,
+                u_last: u,
+                logits,
+                answer,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+
+    fn setup() -> (MemNet, EmbeddedStory) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 21);
+        let story = generator.story(12, 4);
+        let config = ModelConfig::for_generator(&generator, 8, 16);
+        let model = MemNet::new(config, 3);
+        let emb = model.embed_story(&story);
+        (model, emb)
+    }
+
+    #[test]
+    fn forward_produces_normalized_attention() {
+        let (model, emb) = setup();
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let rec = baseline_forward(&model, &emb, 0, &mut times, &mut counters);
+        assert_eq!(rec.p_per_hop.len(), 1);
+        let p = &rec.p_per_hop[0];
+        assert_eq!(p.len(), 12);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+        assert_eq!(rec.logits.len(), model.config().vocab_size);
+        assert!((rec.answer as usize) < model.config().vocab_size);
+    }
+
+    #[test]
+    fn counters_match_shape_arithmetic() {
+        let (model, emb) = setup();
+        let (ns, ed, v) = (12u64, 8u64, model.config().vocab_size as u64);
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let _ = baseline_forward(&model, &emb, 0, &mut times, &mut counters);
+        assert_eq!(
+            counters.flops,
+            2 * ns * ed + 3 * ns + 2 * ns * ed + 2 * v * ed
+        );
+        assert_eq!(counters.intermediate_bytes, 3 * ns * 4);
+        assert_eq!(counters.memory_bytes, 2 * ns * ed * 4);
+        assert_eq!(counters.divisions, ns);
+    }
+
+    #[test]
+    fn multi_hop_runs_and_attends_each_hop() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 22);
+        let story = generator.story(10, 1);
+        let config = ModelConfig::for_generator(&generator, 8, 16).with_hops(3);
+        let model = MemNet::new(config, 3);
+        let emb = model.embed_story(&story);
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let rec = baseline_forward(&model, &emb, 0, &mut times, &mut counters);
+        assert_eq!(rec.p_per_hop.len(), 3);
+        for p in &rec.p_per_hop {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+        // Three hops triple the division count.
+        assert_eq!(counters.divisions, 30);
+    }
+
+    #[test]
+    fn infer_story_covers_all_questions() {
+        let (model, emb) = setup();
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let recs = baseline_infer_story(&model, &emb, &mut times, &mut counters);
+        assert_eq!(recs.len(), 4);
+        assert!(times.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn batched_baseline_matches_per_question() {
+        let (model, emb) = setup();
+        let mut t1 = OpTimes::new();
+        let mut c1 = BaselineCounters::default();
+        let batched = baseline_forward_batch(&model, &emb, &mut t1, &mut c1);
+        assert_eq!(batched.len(), emb.questions.len());
+        let mut t2 = OpTimes::new();
+        let mut c2 = BaselineCounters::default();
+        for (q, rec) in batched.iter().enumerate() {
+            let single = baseline_forward(&model, &emb, q, &mut t2, &mut c2);
+            assert_eq!(rec.answer, single.answer, "q{q}");
+            for (a, b) in rec.o.iter().zip(&single.o) {
+                assert!((a - b).abs() < 1e-4);
+            }
+            for (a, b) in rec.p_per_hop[0].iter().zip(&single.p_per_hop[0]) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+        // Batched memory bytes count the memories once, not per question.
+        assert_eq!(c1.memory_bytes, (12 * 8 * 4 * 2) as u64);
+        assert!(c2.memory_bytes > c1.memory_bytes);
+        // But the spills scale with nq.
+        assert_eq!(c1.intermediate_bytes, (3 * 4 * 12 * 4) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-hop")]
+    fn batched_baseline_rejects_multi_hop() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 1);
+        let story = generator.story(4, 1);
+        let config = ModelConfig::for_generator(&generator, 8, 8).with_hops(2);
+        let model = MemNet::new(config, 1);
+        let emb = model.embed_story(&story);
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let _ = baseline_forward_batch(&model, &emb, &mut times, &mut counters);
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let (model, emb) = setup();
+        let mut t1 = OpTimes::new();
+        let mut c1 = BaselineCounters::default();
+        let r1 = baseline_forward(&model, &emb, 1, &mut t1, &mut c1);
+        let mut t2 = OpTimes::new();
+        let mut c2 = BaselineCounters::default();
+        let r2 = baseline_forward(&model, &emb, 1, &mut t2, &mut c2);
+        assert_eq!(r1, r2);
+        assert_eq!(c1, c2);
+    }
+}

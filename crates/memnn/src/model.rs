@@ -1,0 +1,424 @@
+//! The MemN2N model: embedding matrices and the embedding operation.
+
+use mnn_dataset::babi::{BabiGenerator, Story};
+use mnn_dataset::WordId;
+use mnn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`MemNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Vocabulary size `V`.
+    pub vocab_size: usize,
+    /// Embedding dimension `ed`.
+    pub embedding_dim: usize,
+    /// Maximum story length supported by the temporal encoding.
+    pub max_sentences: usize,
+    /// Number of memory hops (≥ 1). Hops share `A`/`C` (layer-wise tying).
+    pub hops: usize,
+    /// Whether to add the learned temporal encoding to memory rows. bAbI
+    /// tasks are unsolvable without order information, so this defaults on.
+    pub temporal: bool,
+    /// Whether to weight word embeddings by position within the sentence
+    /// (the paper's footnote 1; Sukhbaatar et al.'s *position encoding*).
+    /// Plain BoW when `false`.
+    pub position_encoding: bool,
+}
+
+impl ModelConfig {
+    /// Config sized for the vocabulary of a [`BabiGenerator`].
+    pub fn for_generator(generator: &BabiGenerator, embedding_dim: usize, max_ns: usize) -> Self {
+        Self {
+            vocab_size: generator.vocab_size(),
+            embedding_dim,
+            max_sentences: max_ns,
+            hops: 1,
+            temporal: true,
+            position_encoding: false,
+        }
+    }
+
+    /// Returns a copy with position encoding switched on or off.
+    pub fn with_position_encoding(mut self, on: bool) -> Self {
+        self.position_encoding = on;
+        self
+    }
+
+    /// Returns a copy with the given hop count (clamped to ≥ 1).
+    pub fn with_hops(mut self, hops: usize) -> Self {
+        self.hops = hops.max(1);
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be positive".into());
+        }
+        if self.embedding_dim == 0 {
+            return Err("embedding_dim must be positive".into());
+        }
+        if self.max_sentences == 0 {
+            return Err("max_sentences must be positive".into());
+        }
+        if self.hops == 0 {
+            return Err("hops must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Position-encoding weight `l_{kj}` of Sukhbaatar et al. (2015): word at
+/// position `j` (0-based) in a sentence of `nw` words contributes to
+/// embedding dimension `k` of `ed` with weight
+/// `(1 − j/J) − (k/d)(1 − 2j/J)` (1-based `j`, `k`).
+///
+/// ```
+/// // The first word of a 2-word sentence weighs more in low dimensions.
+/// let w0 = mnn_memnn::model::position_weight(0, 2, 0, 4);
+/// let w1 = mnn_memnn::model::position_weight(1, 2, 0, 4);
+/// assert!(w0 > w1);
+/// ```
+pub fn position_weight(j: usize, nw: usize, k: usize, ed: usize) -> f32 {
+    let j = (j + 1) as f32;
+    let nw = nw.max(1) as f32;
+    let k = (k + 1) as f32;
+    let ed = ed.max(1) as f32;
+    (1.0 - j / nw) - (k / ed) * (1.0 - 2.0 * j / nw)
+}
+
+/// A story after the embedding operation: the paper's `M_IN`, `M_OUT` and
+/// question states `U` (Fig 2), ready for the inference operation.
+#[derive(Debug, Clone)]
+pub struct EmbeddedStory {
+    /// Input memory, `ns × ed` (row `i` = embedded sentence `i` through `A`).
+    pub m_in: Matrix,
+    /// Output memory, `ns × ed` (through `C`).
+    pub m_out: Matrix,
+    /// One question state vector `u` (length `ed`) per question.
+    pub questions: Vec<Vec<f32>>,
+    /// Ground-truth answer ids, parallel to `questions`.
+    pub answers: Vec<WordId>,
+}
+
+/// End-to-end memory network parameters.
+///
+/// Embedding matrices are stored row-per-word (`V × ed`), so a BoW embedding
+/// is a sum of rows; the output projection `W` is also `V × ed` so the final
+/// logits are `W · (o + u)` computed as one GEMV.
+#[derive(Debug, Clone)]
+pub struct MemNet {
+    config: ModelConfig,
+    /// Input-memory embedding `A`.
+    pub a: Matrix,
+    /// Question embedding `B`.
+    pub b: Matrix,
+    /// Output-memory embedding `C`.
+    pub c: Matrix,
+    /// Temporal encoding for `M_IN` (`max_sentences × ed`, indexed by age).
+    pub t_a: Matrix,
+    /// Temporal encoding for `M_OUT`.
+    pub t_c: Matrix,
+    /// Output projection `W` (`V × ed`).
+    pub w: Matrix,
+}
+
+impl MemNet {
+    /// Creates a model with uniform(-0.1, 0.1) initialization (the MemN2N
+    /// recipe), deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — construct configs through
+    /// [`ModelConfig`] and validate user input beforehand.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        config.validate().expect("invalid ModelConfig");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut init = |rows: usize, cols: usize| {
+            Matrix::from_fn(rows, cols, |_, _| rng.random_range(-0.1f32..0.1))
+        };
+        let (v, ed, ns) = (
+            config.vocab_size,
+            config.embedding_dim,
+            config.max_sentences,
+        );
+        Self {
+            config,
+            a: init(v, ed),
+            b: init(v, ed),
+            c: init(v, ed),
+            t_a: init(ns, ed),
+            t_c: init(ns, ed),
+            w: init(v, ed),
+        }
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> ModelConfig {
+        self.config
+    }
+
+    /// Replaces the behavioural flags of the configuration (temporal /
+    /// position encoding / hops). Shape fields must be unchanged because
+    /// they size the parameter matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_config` changes `vocab_size`, `embedding_dim` or
+    /// `max_sentences`, or fails validation.
+    pub fn set_config(&mut self, new_config: ModelConfig) {
+        assert_eq!(
+            (
+                new_config.vocab_size,
+                new_config.embedding_dim,
+                new_config.max_sentences
+            ),
+            (
+                self.config.vocab_size,
+                self.config.embedding_dim,
+                self.config.max_sentences
+            ),
+            "set_config cannot resize the model"
+        );
+        new_config.validate().expect("invalid ModelConfig");
+        self.config = new_config;
+    }
+
+    /// Embedding dimension `ed`.
+    pub fn embedding_dim(&self) -> usize {
+        self.config.embedding_dim
+    }
+
+    /// Total parameter count (for reporting).
+    pub fn num_parameters(&self) -> usize {
+        self.a.len() + self.b.len() + self.c.len() + self.t_a.len() + self.t_c.len() + self.w.len()
+    }
+
+    /// BoW-embeds `tokens` through embedding matrix `emb` into `out`
+    /// (sum of the rows selected by the word ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is out of vocabulary range or `out` has the wrong
+    /// length.
+    pub fn embed_tokens(emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
+        assert_eq!(out.len(), emb.cols(), "embed_tokens: bad out length");
+        out.fill(0.0);
+        for &t in tokens {
+            let row = emb.row(t as usize);
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Position-encoded embedding: like [`MemNet::embed_tokens`] but each
+    /// word's vector is weighted element-wise by [`position_weight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token is out of vocabulary range or `out` has the wrong
+    /// length.
+    pub fn embed_tokens_pe(emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
+        assert_eq!(out.len(), emb.cols(), "embed_tokens_pe: bad out length");
+        out.fill(0.0);
+        let nw = tokens.len();
+        let ed = emb.cols();
+        for (j, &t) in tokens.iter().enumerate() {
+            let row = emb.row(t as usize);
+            for (k, (o, &v)) in out.iter_mut().zip(row).enumerate() {
+                *o += position_weight(j, nw, k, ed) * v;
+            }
+        }
+    }
+
+    /// Dispatches to the plain or position-encoded embedding per `config`.
+    fn embed_dispatch(&self, emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
+        if self.config.position_encoding {
+            Self::embed_tokens_pe(emb, tokens, out);
+        } else {
+            Self::embed_tokens(emb, tokens, out);
+        }
+    }
+
+    /// The embedding operation (paper Fig 2): converts a story into
+    /// `M_IN`/`M_OUT`/`U`.
+    ///
+    /// The temporal encoding indexes by *age* (0 = most recent sentence), so
+    /// stories shorter than `max_sentences` stay consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the story is longer than `max_sentences`.
+    pub fn embed_story(&self, story: &Story) -> EmbeddedStory {
+        let ns = story.sentences.len();
+        let ed = self.config.embedding_dim;
+        assert!(
+            ns <= self.config.max_sentences,
+            "story of {ns} sentences exceeds max_sentences {}",
+            self.config.max_sentences
+        );
+        let mut m_in = Matrix::zeros(ns, ed);
+        let mut m_out = Matrix::zeros(ns, ed);
+        for (i, sentence) in story.sentences.iter().enumerate() {
+            let age = ns - 1 - i;
+            self.embed_dispatch(&self.a, sentence, m_in.row_mut(i));
+            self.embed_dispatch(&self.c, sentence, m_out.row_mut(i));
+            if self.config.temporal {
+                for (v, &t) in m_in.row_mut(i).iter_mut().zip(self.t_a.row(age)) {
+                    *v += t;
+                }
+                for (v, &t) in m_out.row_mut(i).iter_mut().zip(self.t_c.row(age)) {
+                    *v += t;
+                }
+            }
+        }
+        let mut questions = Vec::with_capacity(story.questions.len());
+        let mut answers = Vec::with_capacity(story.questions.len());
+        for q in &story.questions {
+            let mut u = vec![0.0f32; ed];
+            self.embed_dispatch(&self.b, &q.tokens, &mut u);
+            questions.push(u);
+            answers.push(q.answer);
+        }
+        EmbeddedStory {
+            m_in,
+            m_out,
+            questions,
+            answers,
+        }
+    }
+
+    /// Output calculation (paper Fig 2, final step): `logits = W · (o + u)`.
+    pub fn output_logits(&self, o: &[f32], u: &[f32]) -> Vec<f32> {
+        let sum: Vec<f32> = o.iter().zip(u).map(|(a, b)| a + b).collect();
+        let mut logits = vec![0.0f32; self.config.vocab_size];
+        mnn_tensor::kernels::gemv(&self.w, &sum, &mut logits)
+            .expect("output projection shapes are fixed by construction");
+        logits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::babi::TaskKind;
+
+    fn small_model() -> (BabiGenerator, MemNet) {
+        let generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 3);
+        let config = ModelConfig::for_generator(&generator, 8, 16);
+        let model = MemNet::new(config, 11);
+        (generator, model)
+    }
+
+    #[test]
+    fn config_validation() {
+        let (_, model) = small_model();
+        assert!(model.config().validate().is_ok());
+        let bad = ModelConfig {
+            vocab_size: 0,
+            embedding_dim: 4,
+            max_sentences: 4,
+            hops: 1,
+            temporal: true,
+            position_encoding: false,
+        };
+        assert!(bad.validate().is_err());
+        assert_eq!(bad.with_hops(0).hops, 1);
+    }
+
+    #[test]
+    fn initialization_is_deterministic_and_bounded() {
+        let (generator, _) = small_model();
+        let config = ModelConfig::for_generator(&generator, 8, 16);
+        let m1 = MemNet::new(config, 5);
+        let m2 = MemNet::new(config, 5);
+        assert_eq!(m1.a, m2.a);
+        assert!(m1.a.as_slice().iter().all(|v| v.abs() <= 0.1));
+        let m3 = MemNet::new(config, 6);
+        assert_ne!(m1.a, m3.a);
+    }
+
+    #[test]
+    fn embed_tokens_is_row_sum() {
+        let emb = Matrix::from_rows(&[&[1.0, 2.0][..], &[10.0, 20.0][..]]).unwrap();
+        let mut out = vec![0.0; 2];
+        MemNet::embed_tokens(&emb, &[0, 1, 1], &mut out);
+        assert_eq!(out, vec![21.0, 42.0]);
+        // Empty token list embeds to zero.
+        MemNet::embed_tokens(&emb, &[], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn embed_story_shapes_match() {
+        let (mut generator, model) = small_model();
+        let story = generator.story(10, 3);
+        let emb = model.embed_story(&story);
+        assert_eq!(emb.m_in.shape(), (10, 8));
+        assert_eq!(emb.m_out.shape(), (10, 8));
+        assert_eq!(emb.questions.len(), 3);
+        assert_eq!(emb.answers.len(), 3);
+    }
+
+    #[test]
+    fn temporal_encoding_differentiates_repeated_sentences() {
+        let (mut generator, model) = small_model();
+        let mut story = generator.story(2, 1);
+        // Force the two sentences to be identical tokens.
+        let s0 = story.sentences[0].clone();
+        story.sentences[1] = s0;
+        let emb = model.embed_story(&story);
+        assert_ne!(
+            emb.m_in.row(0),
+            emb.m_in.row(1),
+            "temporal encoding must distinguish identical sentences at different positions"
+        );
+
+        // Without temporal encoding they are identical.
+        let mut config = model.config();
+        config.temporal = false;
+        let flat = MemNet::new(config, 11);
+        let emb2 = flat.embed_story(&story);
+        assert_eq!(emb2.m_in.row(0), emb2.m_in.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_sentences")]
+    fn overlong_story_panics() {
+        let (mut generator, model) = small_model();
+        let story = generator.story(17, 1);
+        let _ = model.embed_story(&story);
+    }
+
+    #[test]
+    fn output_logits_shape_and_linearity() {
+        let (_, model) = small_model();
+        let ed = model.embedding_dim();
+        let o = vec![0.5f32; ed];
+        let u = vec![0.25f32; ed];
+        let logits = model.output_logits(&o, &u);
+        assert_eq!(logits.len(), model.config().vocab_size);
+        // W(o+u) == W(o) + W(u)
+        let zero = vec![0.0f32; ed];
+        let l1 = model.output_logits(&o, &zero);
+        let l2 = model.output_logits(&zero, &u);
+        for ((a, b), c) in l1.iter().zip(&l2).zip(&logits) {
+            assert!((a + b - c).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn num_parameters_counts_everything() {
+        let (_, model) = small_model();
+        let c = model.config();
+        let expect = 4 * c.vocab_size * c.embedding_dim + 2 * c.max_sentences * c.embedding_dim;
+        assert_eq!(model.num_parameters(), expect);
+    }
+}

@@ -1,0 +1,277 @@
+//! Model persistence: save and load trained networks.
+//!
+//! A small self-describing binary format (magic, version, config, then the
+//! six parameter matrices as little-endian f32), so trained models can be
+//! shipped to the serving layer without retraining. No external
+//! serialization dependency — the format is ~40 lines each way and fully
+//! round-trip tested.
+
+use crate::model::{MemNet, ModelConfig};
+use mnn_tensor::Matrix;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"MNNFAST1";
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a model file or has an unsupported version.
+    BadMagic,
+    /// The stored configuration fails validation.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ModelIoError::BadMagic => write!(f, "not a MnnFast model file"),
+            ModelIoError::BadConfig(msg) => write!(f, "invalid stored configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_matrix(w: &mut impl Write, m: &Matrix) -> io::Result<()> {
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    for &v in m.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_matrix(r: &mut impl Read) -> Result<Matrix, ModelIoError> {
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    // Guard against absurd headers before allocating.
+    if rows.saturating_mul(cols) > (1 << 31) {
+        return Err(ModelIoError::BadConfig(format!(
+            "matrix {rows}x{cols} too large"
+        )));
+    }
+    let mut m = Matrix::zeros(rows, cols);
+    let mut buf = [0u8; 4];
+    for v in m.as_mut_slice() {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(m)
+}
+
+impl MemNet {
+    /// Serializes the model (config + all parameters) to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<(), ModelIoError> {
+        writer.write_all(MAGIC)?;
+        let c = self.config();
+        write_u64(writer, c.vocab_size as u64)?;
+        write_u64(writer, c.embedding_dim as u64)?;
+        write_u64(writer, c.max_sentences as u64)?;
+        write_u64(writer, c.hops as u64)?;
+        write_u64(writer, u64::from(c.temporal))?;
+        write_u64(writer, u64::from(c.position_encoding))?;
+        for m in [&self.a, &self.b, &self.c, &self.t_a, &self.t_c, &self.w] {
+            write_matrix(writer, m)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a model previously written by [`MemNet::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError::BadMagic`] for foreign data,
+    /// [`ModelIoError::BadConfig`] for inconsistent headers, or I/O errors.
+    pub fn read_from(reader: &mut impl Read) -> Result<Self, ModelIoError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let config = ModelConfig {
+            vocab_size: read_u64(reader)? as usize,
+            embedding_dim: read_u64(reader)? as usize,
+            max_sentences: read_u64(reader)? as usize,
+            hops: read_u64(reader)? as usize,
+            temporal: read_u64(reader)? != 0,
+            position_encoding: read_u64(reader)? != 0,
+        };
+        config.validate().map_err(ModelIoError::BadConfig)?;
+        // Bound the allocation before constructing the model: a crafted
+        // header must not be able to request gigabytes.
+        let cells = config
+            .vocab_size
+            .saturating_mul(config.embedding_dim)
+            .max(config.max_sentences.saturating_mul(config.embedding_dim));
+        if cells > (1 << 28) {
+            return Err(ModelIoError::BadConfig(format!(
+                "stored model too large ({cells} cells per matrix)"
+            )));
+        }
+
+        let mut model = MemNet::new(config, 0);
+        let expect = [
+            (config.vocab_size, config.embedding_dim),
+            (config.vocab_size, config.embedding_dim),
+            (config.vocab_size, config.embedding_dim),
+            (config.max_sentences, config.embedding_dim),
+            (config.max_sentences, config.embedding_dim),
+            (config.vocab_size, config.embedding_dim),
+        ];
+        for (slot, shape) in [
+            &mut model.a,
+            &mut model.b,
+            &mut model.c,
+            &mut model.t_a,
+            &mut model.t_c,
+            &mut model.w,
+        ]
+        .into_iter()
+        .zip(expect)
+        {
+            let m = read_matrix(reader)?;
+            if m.shape() != shape {
+                return Err(ModelIoError::BadConfig(format!(
+                    "matrix shape {:?} does not match config {:?}",
+                    m.shape(),
+                    shape
+                )));
+            }
+            *slot = m;
+        }
+        Ok(model)
+    }
+
+    /// Serializes to an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemNet::write_to`] (never fails for `Vec` writers in practice).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, ModelIoError> {
+        let mut buf = Vec::with_capacity(self.num_parameters() * 4 + 64);
+        self.write_to(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Deserializes from an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`MemNet::read_from`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        Self::read_from(&mut io::Cursor::new(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::Trainer;
+    use crate::{eval, ModelConfig};
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 33);
+        let stories = generator.dataset(20, 6, 2);
+        let config = ModelConfig::for_generator(&generator, 12, 8).with_position_encoding(true);
+        let mut model = MemNet::new(config, 7);
+        Trainer::new().epochs(8).train(&mut model, &stories);
+
+        let bytes = model.to_bytes().unwrap();
+        let restored = MemNet::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.config(), model.config());
+        assert_eq!(restored.a, model.a);
+        assert_eq!(restored.w, model.w);
+        assert_eq!(restored.t_a, model.t_a);
+        // Behavioural equality: identical accuracy on the training set.
+        assert_eq!(
+            eval::accuracy(&model, &stories),
+            eval::accuracy(&restored, &stories)
+        );
+    }
+
+    #[test]
+    fn foreign_data_is_rejected() {
+        assert!(matches!(
+            MemNet::from_bytes(b"definitely not a model"),
+            Err(ModelIoError::BadMagic)
+        ));
+        assert!(matches!(
+            MemNet::from_bytes(b"short"),
+            Err(ModelIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let generator = BabiGenerator::new(TaskKind::YesNo, 1);
+        let config = ModelConfig::for_generator(&generator, 4, 4);
+        let model = MemNet::new(config, 1);
+        let bytes = model.to_bytes().unwrap();
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            MemNet::from_bytes(truncated),
+            Err(ModelIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_config_is_rejected() {
+        let generator = BabiGenerator::new(TaskKind::YesNo, 1);
+        let config = ModelConfig::for_generator(&generator, 4, 4);
+        let model = MemNet::new(config, 1);
+        let mut bytes = model.to_bytes().unwrap();
+        // Zero the vocab_size field (first u64 after the 8-byte magic).
+        bytes[8..16].fill(0);
+        assert!(matches!(
+            MemNet::from_bytes(&bytes),
+            Err(ModelIoError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_header_sizes_are_rejected_without_allocating() {
+        // Craft a valid magic + huge vocab_size.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"MNNFAST1");
+        for v in [u64::MAX / 2, 64, 8, 1, 0, 0] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(matches!(
+            MemNet::from_bytes(&bytes),
+            Err(ModelIoError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ModelIoError::BadMagic.to_string().contains("not a MnnFast"));
+        assert!(ModelIoError::BadConfig("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-operation wall-clock accounting for the Fig 9 latency breakdown.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The computational steps of the inference operation, matching the x-axis
+/// of the paper's Fig 9(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `u × M_IN` dot products (`T_IN` production).
+    InnerProduct,
+    /// Exponentiation + normalization (`P_exp`, `P`).
+    Softmax,
+    /// `Σ p_i · m_i^OUT`.
+    WeightedSum,
+    /// `W · (o + u)` output projection.
+    Fc,
+    /// Lookup-and-sum embedding of questions.
+    Embedding,
+}
+
+impl OpKind {
+    /// All op kinds in pipeline order.
+    pub const ALL: [OpKind; 5] = [
+        OpKind::Embedding,
+        OpKind::InnerProduct,
+        OpKind::Softmax,
+        OpKind::WeightedSum,
+        OpKind::Fc,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::InnerProduct => "inner_product",
+            OpKind::Softmax => "softmax",
+            OpKind::WeightedSum => "weighted_sum",
+            OpKind::Fc => "fc",
+            OpKind::Embedding => "embedding",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated wall-clock time per [`OpKind`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpTimes {
+    embedding: Duration,
+    inner_product: Duration,
+    softmax: Duration,
+    weighted_sum: Duration,
+    fc: Duration,
+}
+
+impl OpTimes {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, attributing its elapsed time to `kind`, and returns its
+    /// result.
+    pub fn time<R>(&mut self, kind: OpKind, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.add(kind, start.elapsed());
+        r
+    }
+
+    /// Adds a measured duration to `kind`.
+    pub fn add(&mut self, kind: OpKind, d: Duration) {
+        *self.slot(kind) += d;
+    }
+
+    /// Accumulated time for `kind`.
+    pub fn get(&self, kind: OpKind) -> Duration {
+        match kind {
+            OpKind::Embedding => self.embedding,
+            OpKind::InnerProduct => self.inner_product,
+            OpKind::Softmax => self.softmax,
+            OpKind::WeightedSum => self.weighted_sum,
+            OpKind::Fc => self.fc,
+        }
+    }
+
+    /// Total across all ops.
+    pub fn total(&self) -> Duration {
+        OpKind::ALL.iter().map(|&k| self.get(k)).sum()
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OpTimes) {
+        for k in OpKind::ALL {
+            self.add(k, other.get(k));
+        }
+    }
+
+    fn slot(&mut self, kind: OpKind) -> &mut Duration {
+        match kind {
+            OpKind::Embedding => &mut self.embedding,
+            OpKind::InnerProduct => &mut self.inner_product,
+            OpKind::Softmax => &mut self.softmax,
+            OpKind::WeightedSum => &mut self.weighted_sum,
+            OpKind::Fc => &mut self.fc,
+        }
+    }
+}
+
+impl fmt::Display for OpTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().as_secs_f64().max(1e-12);
+        for k in OpKind::ALL {
+            let t = self.get(k).as_secs_f64();
+            writeln!(
+                f,
+                "{k:>14}: {:>10.3} ms ({:>5.1}%)",
+                t * 1e3,
+                100.0 * t / total
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_attributes_to_the_right_slot() {
+        let mut t = OpTimes::new();
+        let v = t.time(OpKind::Softmax, || 42);
+        assert_eq!(v, 42);
+        assert!(t.get(OpKind::Softmax) > Duration::ZERO);
+        assert_eq!(t.get(OpKind::Fc), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_and_total() {
+        let mut a = OpTimes::new();
+        a.add(OpKind::InnerProduct, Duration::from_millis(2));
+        let mut b = OpTimes::new();
+        b.add(OpKind::InnerProduct, Duration::from_millis(3));
+        b.add(OpKind::Fc, Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.get(OpKind::InnerProduct), Duration::from_millis(5));
+        assert_eq!(a.total(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn display_lists_every_op() {
+        let mut t = OpTimes::new();
+        t.add(OpKind::WeightedSum, Duration::from_millis(1));
+        let s = t.to_string();
+        for k in OpKind::ALL {
+            assert!(s.contains(&k.to_string()), "missing {k}");
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! SGD training with manual backpropagation.
+//!
+//! The reproduction trains MemN2N on the synthetic bAbI-style tasks so that
+//! the attention-sparsity (Fig 6) and zero-skipping accuracy (Fig 7)
+//! experiments measure a *real* trained model. Gradients are derived by hand
+//! for the exact forward pass of [`crate::inference::baseline_forward`] and
+//! verified against finite differences in the test suite.
+
+use crate::model::{self, MemNet, ModelConfig};
+use mnn_dataset::babi::Story;
+use mnn_tensor::{kernels, softmax, Matrix};
+
+/// Gradient buffers, one per parameter matrix of [`MemNet`].
+#[derive(Debug, Clone)]
+struct Grads {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    t_a: Matrix,
+    t_c: Matrix,
+    w: Matrix,
+}
+
+impl Grads {
+    fn zeros(config: ModelConfig) -> Self {
+        let (v, ed, ns) = (
+            config.vocab_size,
+            config.embedding_dim,
+            config.max_sentences,
+        );
+        Self {
+            a: Matrix::zeros(v, ed),
+            b: Matrix::zeros(v, ed),
+            c: Matrix::zeros(v, ed),
+            t_a: Matrix::zeros(ns, ed),
+            t_c: Matrix::zeros(ns, ed),
+            w: Matrix::zeros(v, ed),
+        }
+    }
+
+    fn reset(&mut self) {
+        for m in [
+            &mut self.a,
+            &mut self.b,
+            &mut self.c,
+            &mut self.t_a,
+            &mut self.t_c,
+            &mut self.w,
+        ] {
+            m.as_mut_slice().fill(0.0);
+        }
+    }
+
+    fn global_norm(&self) -> f32 {
+        let sq: f32 = [&self.a, &self.b, &self.c, &self.t_a, &self.t_c, &self.w]
+            .iter()
+            .map(|m| m.as_slice().iter().map(|&x| x * x).sum::<f32>())
+            .sum();
+        sq.sqrt()
+    }
+
+    fn scale(&mut self, factor: f32) {
+        for m in [
+            &mut self.a,
+            &mut self.b,
+            &mut self.c,
+            &mut self.t_a,
+            &mut self.t_c,
+            &mut self.w,
+        ] {
+            kernels::scale(factor, m.as_mut_slice());
+        }
+    }
+
+    fn add(&mut self, other: &Grads) {
+        for (dst, src) in [
+            (&mut self.a, &other.a),
+            (&mut self.b, &other.b),
+            (&mut self.c, &other.c),
+            (&mut self.t_a, &other.t_a),
+            (&mut self.t_c, &other.t_c),
+            (&mut self.w, &other.w),
+        ] {
+            kernels::add_assign(dst.as_mut_slice(), src.as_slice());
+        }
+    }
+}
+
+/// Training summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean cross-entropy per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Loss of the final epoch.
+    pub final_loss: f32,
+    /// Training-set answer accuracy after the final epoch.
+    pub train_accuracy: f32,
+    /// Validation accuracy per evaluation point (only populated by
+    /// [`Trainer::train_with_validation`]).
+    pub validation_accuracies: Vec<f32>,
+    /// Epochs actually run (early stopping may end before the budget).
+    pub epochs_run: usize,
+}
+
+/// SGD trainer (non-consuming builder).
+///
+/// Defaults follow the MemN2N recipe scaled to the synthetic tasks:
+/// lr 0.05, gradient-norm clip 40, lr halved every 15 epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trainer {
+    learning_rate: f32,
+    epochs: usize,
+    clip_norm: f32,
+    anneal_every: usize,
+    anneal_factor: f32,
+    momentum: f32,
+}
+
+impl Default for Trainer {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.05,
+            epochs: 40,
+            clip_norm: 40.0,
+            anneal_every: 15,
+            anneal_factor: 0.5,
+            momentum: 0.0,
+        }
+    }
+}
+
+impl Trainer {
+    /// Creates a trainer with default hyper-parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the initial learning rate.
+    pub fn learning_rate(&mut self, lr: f32) -> &mut Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the number of epochs.
+    pub fn epochs(&mut self, epochs: usize) -> &mut Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the global gradient-norm clip.
+    pub fn clip_norm(&mut self, clip: f32) -> &mut Self {
+        self.clip_norm = clip;
+        self
+    }
+
+    /// Sets the classical-momentum coefficient (0 = plain SGD).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn momentum(&mut self, momentum: f32) -> &mut Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Trains `model` on `stories` (each story is one mini-batch) and
+    /// returns the loss trajectory.
+    pub fn train(&self, model: &mut MemNet, stories: &[Story]) -> TrainReport {
+        let mut grads = Grads::zeros(model.config());
+        let mut velocity = (self.momentum > 0.0).then(|| Grads::zeros(model.config()));
+        let mut lr = self.learning_rate;
+        let mut epoch_losses = Vec::with_capacity(self.epochs);
+
+        for epoch in 0..self.epochs {
+            if epoch > 0 && self.anneal_every > 0 && epoch % self.anneal_every == 0 {
+                lr *= self.anneal_factor;
+            }
+            let mut epoch_loss = 0.0f64;
+            let mut n_questions = 0usize;
+            for story in stories {
+                grads.reset();
+                let loss = story_grads(model, story, &mut grads);
+                epoch_loss += loss as f64;
+                n_questions += story.questions.len();
+                let norm = grads.global_norm();
+                if norm > self.clip_norm {
+                    grads.scale(self.clip_norm / norm);
+                }
+                match &mut velocity {
+                    Some(v) => {
+                        // v ← μ·v + g ; θ ← θ − lr·v  (classical momentum).
+                        v.scale(self.momentum);
+                        v.add(&grads);
+                        apply_sgd(model, v, lr);
+                    }
+                    None => apply_sgd(model, &grads, lr),
+                }
+            }
+            epoch_losses.push((epoch_loss / n_questions.max(1) as f64) as f32);
+        }
+
+        let train_accuracy = crate::eval::accuracy(model, stories);
+        TrainReport {
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
+            epochs_run: epoch_losses.len(),
+            epoch_losses,
+            train_accuracy,
+            validation_accuracies: Vec::new(),
+        }
+    }
+
+    /// Like [`Trainer::train`], but evaluates on `validation` every
+    /// `check_every` epochs and stops early once the validation accuracy
+    /// has not improved for `patience` consecutive checks, restoring the
+    /// best-seen parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn train_with_validation(
+        &self,
+        model: &mut MemNet,
+        stories: &[Story],
+        validation: &[Story],
+        check_every: usize,
+        patience: usize,
+    ) -> TrainReport {
+        assert!(check_every > 0, "check_every must be positive");
+        let mut best = model.clone();
+        let mut best_accuracy = f32::NEG_INFINITY;
+        let mut stale_checks = 0usize;
+        let mut validation_accuracies = Vec::new();
+        let mut epoch_losses = Vec::new();
+
+        let mut chunk_trainer = self.clone();
+        let mut remaining = self.epochs;
+        while remaining > 0 {
+            let step = check_every.min(remaining);
+            chunk_trainer.epochs = step;
+            let report = chunk_trainer.train(model, stories);
+            epoch_losses.extend(report.epoch_losses);
+            remaining -= step;
+
+            let acc = crate::eval::accuracy(model, validation);
+            validation_accuracies.push(acc);
+            if acc > best_accuracy {
+                best_accuracy = acc;
+                best = model.clone();
+                stale_checks = 0;
+            } else {
+                stale_checks += 1;
+                if stale_checks >= patience {
+                    break;
+                }
+            }
+        }
+        *model = best;
+        let train_accuracy = crate::eval::accuracy(model, stories);
+        TrainReport {
+            final_loss: epoch_losses.last().copied().unwrap_or(f32::NAN),
+            epochs_run: epoch_losses.len(),
+            epoch_losses,
+            train_accuracy,
+            validation_accuracies,
+        }
+    }
+}
+
+fn apply_sgd(model: &mut MemNet, grads: &Grads, lr: f32) {
+    for (param, grad) in [
+        (&mut model.a, &grads.a),
+        (&mut model.b, &grads.b),
+        (&mut model.c, &grads.c),
+        (&mut model.t_a, &grads.t_a),
+        (&mut model.t_c, &grads.t_c),
+        (&mut model.w, &grads.w),
+    ] {
+        kernels::axpy(-lr, grad.as_slice(), param.as_mut_slice());
+    }
+}
+
+/// Total cross-entropy of `story` under `model` — the reference function for
+/// the finite-difference gradient check.
+pub fn story_loss(model: &MemNet, story: &Story) -> f32 {
+    let emb = model.embed_story(story);
+    let hops = model.config().hops;
+    let mut total = 0.0f32;
+    for (q_idx, answer) in emb.answers.iter().enumerate() {
+        let mut u = emb.questions[q_idx].clone();
+        let mut o = vec![0.0f32; model.embedding_dim()];
+        for _ in 0..hops {
+            let mut t = vec![0.0f32; emb.m_in.rows()];
+            kernels::gemv(&emb.m_in, &u, &mut t).expect("shapes fixed");
+            softmax::softmax_in_place(&mut t);
+            kernels::gevm(&t, &emb.m_out, &mut o).expect("shapes fixed");
+            for (ui, &oi) in u.iter_mut().zip(&o) {
+                *ui += oi;
+            }
+        }
+        let mut z = vec![0.0f32; model.config().vocab_size];
+        kernels::gemv(&model.w, &u, &mut z).expect("shapes fixed");
+        softmax::softmax_in_place(&mut z);
+        total -= z[*answer as usize].max(1e-12).ln();
+    }
+    total
+}
+
+/// Forward + backward over one story, accumulating parameter gradients;
+/// returns the story's total cross-entropy.
+fn story_grads(model: &MemNet, story: &Story, grads: &mut Grads) -> f32 {
+    let emb = model.embed_story(story);
+    let ns = emb.m_in.rows();
+    let ed = model.embedding_dim();
+    let hops = model.config().hops;
+    let pe = model.config().position_encoding;
+
+    // Memory-matrix gradients accumulate across questions, then flow back to
+    // the embedding tables once at the end (memories are shared per story).
+    let mut d_m_in = Matrix::zeros(ns, ed);
+    let mut d_m_out = Matrix::zeros(ns, ed);
+    let mut total_loss = 0.0f32;
+
+    for (q_idx, answer) in emb.answers.iter().enumerate() {
+        // ---- forward, keeping hop intermediates ----
+        let mut us: Vec<Vec<f32>> = Vec::with_capacity(hops + 1);
+        us.push(emb.questions[q_idx].clone());
+        let mut ps: Vec<Vec<f32>> = Vec::with_capacity(hops);
+        for k in 0..hops {
+            let mut t = vec![0.0f32; ns];
+            kernels::gemv(&emb.m_in, &us[k], &mut t).expect("shapes fixed");
+            softmax::softmax_in_place(&mut t);
+            let mut o = vec![0.0f32; ed];
+            kernels::gevm(&t, &emb.m_out, &mut o).expect("shapes fixed");
+            let u_next: Vec<f32> = us[k].iter().zip(&o).map(|(a, b)| a + b).collect();
+            ps.push(t);
+            us.push(u_next);
+        }
+        let u_final = &us[hops];
+        let mut z = vec![0.0f32; model.config().vocab_size];
+        kernels::gemv(&model.w, u_final, &mut z).expect("shapes fixed");
+        softmax::softmax_in_place(&mut z);
+        total_loss -= z[*answer as usize].max(1e-12).ln();
+
+        // ---- backward ----
+        // dL/dz with z already softmaxed: p - onehot.
+        let mut dz = z;
+        dz[*answer as usize] -= 1.0;
+
+        // z = W · u_final  ⇒  dW += dz ⊗ u_final ; du = Wᵀ dz.
+        let mut du = vec![0.0f32; ed];
+        for (v, &dzi) in dz.iter().enumerate() {
+            if dzi != 0.0 {
+                kernels::axpy(dzi, u_final, grads.w.row_mut(v));
+                kernels::axpy(dzi, model.w.row(v), &mut du);
+            }
+        }
+
+        for k in (0..hops).rev() {
+            // u[k+1] = u[k] + o[k]  ⇒  do = du, and du flows through.
+            let p = &ps[k];
+            let u_k = &us[k];
+            let do_ = du.clone();
+
+            // o = Σ p_i m_out_i ⇒ dp_i = do·m_out_i ; dM_OUT_i += p_i ⊗ do.
+            let mut dp = vec![0.0f32; ns];
+            kernels::gemv(&emb.m_out, &do_, &mut dp).expect("shapes fixed");
+            for (i, &pi) in p.iter().enumerate() {
+                if pi != 0.0 {
+                    kernels::axpy(pi, &do_, d_m_out.row_mut(i));
+                }
+            }
+
+            // p = softmax(t) ⇒ dt_i = p_i (dp_i − Σ_j p_j dp_j).
+            let s: f32 = p.iter().zip(&dp).map(|(a, b)| a * b).sum();
+            let dt: Vec<f32> = p
+                .iter()
+                .zip(&dp)
+                .map(|(&pi, &dpi)| pi * (dpi - s))
+                .collect();
+
+            // t_i = m_in_i · u[k] ⇒ dM_IN_i += dt_i·u[k] ; du[k] += Σ dt_i m_in_i.
+            for (i, &dti) in dt.iter().enumerate() {
+                if dti != 0.0 {
+                    kernels::axpy(dti, u_k, d_m_in.row_mut(i));
+                }
+            }
+            // du (for u[k]) = du (pass-through) + M_INᵀ dt.
+            let mut du_attn = vec![0.0f32; ed];
+            kernels::gevm(&dt, &emb.m_in, &mut du_attn).expect("shapes fixed");
+            kernels::add_assign(&mut du, &du_attn);
+        }
+
+        // u[0] = Σ (l_j ∘) B[word] ⇒ dB[word] += (l_j ∘) du.
+        let q_tokens = &story.questions[q_idx].tokens;
+        for (j, &wid) in q_tokens.iter().enumerate() {
+            if pe {
+                let dst = grads.b.row_mut(wid as usize);
+                for (k, (g, &d)) in dst.iter_mut().zip(&du).enumerate() {
+                    *g += model::position_weight(j, q_tokens.len(), k, ed) * d;
+                }
+            } else {
+                kernels::axpy(1.0, &du, grads.b.row_mut(wid as usize));
+            }
+        }
+    }
+
+    // Memory rows decompose into embeddings + temporal encodings.
+    let temporal = model.config().temporal;
+    for (i, sentence) in story.sentences.iter().enumerate() {
+        let age = ns - 1 - i;
+        for (j, &wid) in sentence.iter().enumerate() {
+            if pe {
+                let nw = sentence.len();
+                let ga = grads.a.row_mut(wid as usize);
+                for (k, (g, &d)) in ga.iter_mut().zip(d_m_in.row(i)).enumerate() {
+                    *g += model::position_weight(j, nw, k, ed) * d;
+                }
+                let gc = grads.c.row_mut(wid as usize);
+                for (k, (g, &d)) in gc.iter_mut().zip(d_m_out.row(i)).enumerate() {
+                    *g += model::position_weight(j, nw, k, ed) * d;
+                }
+            } else {
+                kernels::add_assign(grads.a.row_mut(wid as usize), d_m_in.row(i));
+                kernels::add_assign(grads.c.row_mut(wid as usize), d_m_out.row(i));
+            }
+        }
+        if temporal {
+            kernels::add_assign(grads.t_a.row_mut(age), d_m_in.row(i));
+            kernels::add_assign(grads.t_c.row_mut(age), d_m_out.row(i));
+        }
+    }
+
+    total_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+
+    fn tiny_setup(hops: usize, pe: bool) -> (MemNet, Vec<Story>) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 77);
+        let stories = generator.dataset(3, 5, 2);
+        let config = ModelConfig::for_generator(&generator, 6, 8)
+            .with_hops(hops)
+            .with_position_encoding(pe);
+        let model = MemNet::new(config, 9);
+        (model, stories)
+    }
+
+    /// Central-difference gradient check on every parameter class.
+    fn grad_check(hops: usize, pe: bool) {
+        let (model, stories) = tiny_setup(hops, pe);
+        let story = &stories[0];
+        let mut grads = Grads::zeros(model.config());
+        let _ = story_grads(&model, story, &mut grads);
+
+        let eps = 3e-3f32;
+        // Probe a handful of coordinates from each matrix.
+        let probes: Vec<(&str, usize)> = vec![
+            ("a", 3),
+            ("b", 5),
+            ("c", 7),
+            ("t_a", 2),
+            ("t_c", 4),
+            ("w", 11),
+        ];
+        for (name, idx) in probes {
+            let analytic = match name {
+                "a" => grads.a.as_slice()[idx],
+                "b" => grads.b.as_slice()[idx],
+                "c" => grads.c.as_slice()[idx],
+                "t_a" => grads.t_a.as_slice()[idx],
+                "t_c" => grads.t_c.as_slice()[idx],
+                _ => grads.w.as_slice()[idx],
+            };
+            let mut plus = model.clone();
+            let mut minus = model.clone();
+            {
+                let (p, m) = match name {
+                    "a" => (&mut plus.a, &mut minus.a),
+                    "b" => (&mut plus.b, &mut minus.b),
+                    "c" => (&mut plus.c, &mut minus.c),
+                    "t_a" => (&mut plus.t_a, &mut minus.t_a),
+                    "t_c" => (&mut plus.t_c, &mut minus.t_c),
+                    _ => (&mut plus.w, &mut minus.w),
+                };
+                p.as_mut_slice()[idx] += eps;
+                m.as_mut_slice()[idx] -= eps;
+            }
+            let numeric = (story_loss(&plus, story) - story_loss(&minus, story)) / (2.0 * eps);
+            // Relative agreement, with an absolute escape hatch: central
+            // differences on f32 losses are noisy below ~1e-3 magnitude.
+            let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+            let rel_ok = (numeric - analytic).abs() / denom < 0.15;
+            let abs_ok = (numeric - analytic).abs() < 5e-4;
+            assert!(
+                rel_ok || abs_ok,
+                "{name}[{idx}] hops={hops} pe={pe}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_one_hop() {
+        grad_check(1, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_two_hops() {
+        grad_check(2, false);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_with_position_encoding() {
+        grad_check(1, true);
+        grad_check(2, true);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 5);
+        let stories = generator.dataset(20, 6, 2);
+        let config = ModelConfig::for_generator(&generator, 12, 8);
+        let mut model = MemNet::new(config, 1);
+        let report = Trainer::new().epochs(12).train(&mut model, &stories);
+        assert_eq!(report.epoch_losses.len(), 12);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss;
+        assert!(
+            last < first * 0.8,
+            "loss should drop substantially: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_chance() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 6);
+        let stories = generator.dataset(40, 6, 3);
+        let config = ModelConfig::for_generator(&generator, 16, 8);
+        let mut model = MemNet::new(config, 2);
+        let report = Trainer::new().epochs(25).train(&mut model, &stories);
+        // 8 locations ⇒ chance ≈ 12.5%; a working model should far exceed it.
+        assert!(
+            report.train_accuracy > 0.5,
+            "accuracy {}",
+            report.train_accuracy
+        );
+    }
+
+    #[test]
+    fn position_encoding_trains_at_least_as_well() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 5);
+        let stories = generator.dataset(25, 6, 2);
+        let base_cfg = ModelConfig::for_generator(&generator, 12, 8);
+        let mut plain = MemNet::new(base_cfg, 1);
+        let plain_report = Trainer::new().epochs(15).train(&mut plain, &stories);
+        let mut pe_model = MemNet::new(base_cfg.with_position_encoding(true), 1);
+        let pe_report = Trainer::new().epochs(15).train(&mut pe_model, &stories);
+        assert!(pe_report.final_loss.is_finite());
+        // PE must not break learning (bAbI-1 is solvable either way).
+        assert!(
+            pe_report.train_accuracy > 0.5 * plain_report.train_accuracy,
+            "pe {} vs plain {}",
+            pe_report.train_accuracy,
+            plain_report.train_accuracy
+        );
+    }
+
+    #[test]
+    fn clip_norm_bounds_updates() {
+        let (model, stories) = tiny_setup(1, false);
+        let mut grads = Grads::zeros(model.config());
+        let _ = story_grads(&model, &stories[0], &mut grads);
+        let norm = grads.global_norm();
+        assert!(norm.is_finite() && norm > 0.0);
+        grads.scale(0.5);
+        assert!((grads.global_norm() - 0.5 * norm).abs() < 1e-3 * norm);
+    }
+
+    #[test]
+    fn early_stopping_restores_the_best_model() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 15);
+        let train_set = generator.dataset(30, 6, 2);
+        let validation = generator.dataset(10, 6, 2);
+        let config = ModelConfig::for_generator(&generator, 12, 8);
+        let mut model = MemNet::new(config, 2);
+        let report = Trainer::new().epochs(40).train_with_validation(
+            &mut model,
+            &train_set,
+            &validation,
+            5,
+            2,
+        );
+        assert!(!report.validation_accuracies.is_empty());
+        assert!(report.epochs_run <= 40);
+        assert!(report.epochs_run.is_multiple_of(5) || report.epochs_run == 40);
+        // The restored model achieves the best recorded validation accuracy.
+        let final_val = crate::eval::accuracy(&model, &validation);
+        let best = report
+            .validation_accuracies
+            .iter()
+            .cloned()
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(
+            (final_val - best).abs() < 1e-6,
+            "{final_val} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn momentum_training_converges() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 5);
+        let stories = generator.dataset(20, 6, 2);
+        let config = ModelConfig::for_generator(&generator, 12, 8);
+        let mut model = MemNet::new(config, 1);
+        let report = Trainer::new()
+            .epochs(12)
+            .learning_rate(0.02)
+            .momentum(0.9)
+            .train(&mut model, &stories);
+        assert!(
+            report.final_loss < report.epoch_losses[0] * 0.8,
+            "momentum run should converge: {:?} -> {}",
+            report.epoch_losses[0],
+            report.final_loss
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn momentum_out_of_range_panics() {
+        let _ = Trainer::new().momentum(1.0);
+    }
+
+    #[test]
+    fn builder_setters_chain() {
+        let mut t = Trainer::new();
+        t.learning_rate(0.01).epochs(3).clip_norm(10.0);
+        assert_eq!(t.epochs, 3);
+        assert_eq!(t.learning_rate, 0.01);
+        assert_eq!(t.clip_norm, 10.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the memory network: structural invariants that must
+//! hold for every random model and story.
+
+use mnn_dataset::babi::{BabiGenerator, TaskKind};
+use mnn_memnn::inference::{baseline_forward, BaselineCounters};
+use mnn_memnn::timing::OpTimes;
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_tensor::kernels;
+use proptest::prelude::*;
+
+fn model_and_story(
+    seed: u64,
+    ed: usize,
+    ns: usize,
+    temporal: bool,
+    pe: bool,
+) -> (MemNet, mnn_dataset::babi::Story) {
+    let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, seed);
+    let story = generator.story(ns, 2);
+    let config = ModelConfig {
+        temporal,
+        ..ModelConfig::for_generator(&generator, ed, ns)
+    }
+    .with_position_encoding(pe);
+    (MemNet::new(config, seed ^ 0xabcd), story)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn attention_is_always_a_distribution(
+        seed in any::<u64>(),
+        ed in 2usize..24,
+        ns in 2usize..20,
+        temporal in any::<bool>(),
+        pe in any::<bool>(),
+    ) {
+        let (model, story) = model_and_story(seed, ed, ns, temporal, pe);
+        let emb = model.embed_story(&story);
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        for q in 0..emb.questions.len() {
+            let rec = baseline_forward(&model, &emb, q, &mut times, &mut counters);
+            for p in &rec.p_per_hop {
+                let sum: f32 = p.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+                prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+            }
+            prop_assert_eq!(rec.logits.len(), model.config().vocab_size);
+            prop_assert!(rec.logits.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn embedding_is_linear_in_the_embedding_matrix(
+        seed in any::<u64>(),
+        ed in 2usize..12,
+        alpha in 0.25f32..4.0,
+    ) {
+        // Scaling A scales M_IN by the same factor (with temporal encoding
+        // off — the additive term breaks homogeneity by design).
+        let (mut model, story) = model_and_story(seed, ed, 6, false, false);
+        let before = model.embed_story(&story);
+        kernels::scale(alpha, model.a.as_mut_slice());
+        let after = model.embed_story(&story);
+        for r in 0..before.m_in.rows() {
+            for (x, y) in before.m_in.row(r).iter().zip(after.m_in.row(r)) {
+                prop_assert!((x * alpha - y).abs() < 1e-3 * (1.0 + x.abs() * alpha.abs()));
+            }
+        }
+        // M_OUT (through C) is untouched.
+        prop_assert_eq!(before.m_out.as_slice(), after.m_out.as_slice());
+    }
+
+    #[test]
+    fn model_io_round_trips_for_random_configs(
+        seed in any::<u64>(),
+        ed in 1usize..16,
+        ns in 1usize..12,
+        hops in 1usize..4,
+        temporal in any::<bool>(),
+        pe in any::<bool>(),
+    ) {
+        let generator = BabiGenerator::new(TaskKind::YesNo, seed);
+        let config = ModelConfig {
+            vocab_size: generator.vocab_size(),
+            embedding_dim: ed,
+            max_sentences: ns,
+            hops,
+            temporal,
+            position_encoding: pe,
+        };
+        let model = MemNet::new(config, seed);
+        let restored = MemNet::from_bytes(&model.to_bytes().unwrap()).unwrap();
+        prop_assert_eq!(restored.config(), model.config());
+        prop_assert_eq!(restored.a, model.a);
+        prop_assert_eq!(restored.b, model.b);
+        prop_assert_eq!(restored.c, model.c);
+        prop_assert_eq!(restored.w, model.w);
+    }
+
+    #[test]
+    fn model_io_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        // Foreign input must yield an error, never a panic or huge alloc.
+        let _ = MemNet::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn counters_scale_linearly_with_hops(
+        seed in any::<u64>(),
+        hops in 1usize..4,
+    ) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, seed);
+        let story = generator.story(8, 1);
+        let config = ModelConfig::for_generator(&generator, 8, 8).with_hops(hops);
+        let model = MemNet::new(config, 3);
+        let emb = model.embed_story(&story);
+        let mut times = OpTimes::new();
+        let mut counters = BaselineCounters::default();
+        let _ = baseline_forward(&model, &emb, 0, &mut times, &mut counters);
+        prop_assert_eq!(counters.divisions, (8 * hops) as u64);
+        prop_assert_eq!(counters.intermediate_bytes, (3 * 8 * 4 * hops) as u64);
+    }
+}

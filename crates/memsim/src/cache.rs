@@ -1,0 +1,348 @@
+//! Set-associative LRU cache model.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed (→ off-chip).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (`0` when no accesses were made).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Result of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present.
+    Hit,
+    /// The line was fetched (and possibly evicted a victim).
+    Miss,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; the cache tracks whole lines. This models
+/// capacity and conflict behaviour — coherence and write-back traffic are
+/// out of scope (the experiments only need miss counts).
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    line_bytes: u64,
+    num_sets: u64,
+    stats: CacheStats,
+    tick: u64,
+    next_line_prefetch: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    last_use: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any parameter is zero, not a power of two where
+    /// required, or the geometry is inconsistent (capacity not divisible by
+    /// `ways * line_bytes`).
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Result<Self, String> {
+        if capacity_bytes == 0 || ways == 0 || line_bytes == 0 {
+            return Err("cache parameters must be positive".into());
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(format!("line size {line_bytes} must be a power of two"));
+        }
+        let set_bytes = ways * line_bytes;
+        if !capacity_bytes.is_multiple_of(set_bytes) {
+            return Err(format!(
+                "capacity {capacity_bytes} not divisible by ways*line ({set_bytes})"
+            ));
+        }
+        let num_sets = capacity_bytes / set_bytes;
+        Ok(Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            line_bytes: line_bytes as u64,
+            num_sets: num_sets as u64,
+            stats: CacheStats::default(),
+            tick: 0,
+            next_line_prefetch: false,
+        })
+    }
+
+    /// Enables a simple next-line hardware prefetcher: every demand miss
+    /// also installs the following line. Models the stream prefetchers that
+    /// partially help even the non-streamed column variant on real CPUs.
+    pub fn with_next_line_prefetch(mut self) -> Self {
+        self.next_line_prefetch = true;
+        self
+    }
+
+    /// Fully-associative convenience constructor.
+    ///
+    /// # Errors
+    ///
+    /// As [`SetAssocCache::new`].
+    pub fn fully_associative(capacity_bytes: usize, line_bytes: usize) -> Result<Self, String> {
+        let ways = capacity_bytes / line_bytes;
+        Self::new(capacity_bytes, ways.max(1), line_bytes)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.num_sets * self.ways as u64 * self.line_bytes) as usize
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accesses the line containing byte `addr`; updates LRU and stats.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.tick += 1;
+        let line_addr = addr / self.line_bytes;
+        let set_idx = (line_addr % self.num_sets) as usize;
+        let tag = line_addr / self.num_sets;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = self.tick;
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        if set.len() < self.ways {
+            set.push(Line {
+                tag,
+                last_use: self.tick,
+            });
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|l| l.last_use)
+                .expect("non-empty set");
+            victim.tag = tag;
+            victim.last_use = self.tick;
+        }
+        if self.next_line_prefetch {
+            self.prefetch((line_addr + 1) * self.line_bytes);
+        }
+        Access::Miss
+    }
+
+    /// Touches every line of the byte range `[addr, addr + bytes)`, returning
+    /// the number of misses. This is how whole-buffer reads/writes are
+    /// replayed.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes - 1) / self.line_bytes;
+        let mut misses = 0;
+        for line in first..=last {
+            if self.access(line * self.line_bytes) == Access::Miss {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Installs the line containing `addr` without counting a demand access
+    /// — models a prefetch that arrives before the demand reference.
+    pub fn prefetch(&mut self, addr: u64) {
+        self.tick += 1;
+        let line_addr = addr / self.line_bytes;
+        let set_idx = (line_addr % self.num_sets) as usize;
+        let tag = line_addr / self.num_sets;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = self.tick;
+            return;
+        }
+        if set.len() < self.ways {
+            set.push(Line {
+                tag,
+                last_use: self.tick,
+            });
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|l| l.last_use)
+                .expect("non-empty set");
+            victim.tag = tag;
+            victim.last_use = self.tick;
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears counters but keeps contents (for warm-up/measure protocols).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Empties the cache and clears counters.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(SetAssocCache::new(0, 1, 64).is_err());
+        assert!(SetAssocCache::new(1024, 0, 64).is_err());
+        assert!(SetAssocCache::new(1024, 1, 48).is_err(), "non-pow2 line");
+        assert!(SetAssocCache::new(1000, 2, 64).is_err(), "indivisible");
+        let c = SetAssocCache::new(1 << 20, 8, 64).unwrap();
+        assert_eq!(c.capacity_bytes(), 1 << 20);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn same_line_hits() {
+        let mut c = SetAssocCache::new(4096, 4, 64).unwrap();
+        assert_eq!(c.access(100), Access::Miss);
+        assert_eq!(c.access(127), Access::Hit);
+        assert_eq!(c.access(128), Access::Miss, "next line");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2 sets, 2 ways, 64B lines => 256B cache.
+        let mut c = SetAssocCache::new(256, 2, 64).unwrap();
+        // All addresses map to set 0: strides of num_sets*line = 128.
+        c.access(0); // A
+        c.access(128); // B
+        c.access(0); // touch A (B is now LRU)
+        c.access(256); // C evicts B
+        assert_eq!(c.access(0), Access::Hit, "A survived");
+        assert_eq!(c.access(128), Access::Miss, "B was evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_has_no_steady_state_misses() {
+        let mut c = SetAssocCache::new(8192, 8, 64).unwrap();
+        // 4 KiB working set in an 8 KiB cache.
+        for _ in 0..3 {
+            c.access_range(0, 4096);
+        }
+        let cold = 4096 / 64;
+        assert_eq!(c.stats().misses, cold, "only compulsory misses");
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        let mut c = SetAssocCache::new(4096, 4, 64).unwrap();
+        // Stream 64 KiB repeatedly: LRU + sequential = no reuse.
+        for _ in 0..3 {
+            c.access_range(0, 65536);
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn access_range_counts_lines() {
+        let mut c = SetAssocCache::new(1 << 16, 8, 64).unwrap();
+        assert_eq!(c.access_range(0, 1), 1);
+        assert_eq!(c.access_range(64, 129), 3, "spans lines 1..=3, line 1 hot");
+        assert_eq!(c.access_range(0, 0), 0);
+    }
+
+    #[test]
+    fn prefetch_installs_without_demand_count() {
+        let mut c = SetAssocCache::new(4096, 4, 64).unwrap();
+        c.prefetch(0);
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access(0), Access::Hit, "prefetched line present");
+    }
+
+    #[test]
+    fn flush_and_reset() {
+        let mut c = SetAssocCache::new(4096, 4, 64).unwrap();
+        c.access(0);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert_eq!(c.access(0), Access::Hit, "contents kept by reset_stats");
+        c.flush();
+        assert_eq!(c.access(0), Access::Miss, "flush empties contents");
+    }
+
+    #[test]
+    fn stats_ratios() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn next_line_prefetcher_halves_sequential_misses() {
+        let mut plain = SetAssocCache::new(4096, 4, 64).unwrap();
+        let mut pf = SetAssocCache::new(4096, 4, 64)
+            .unwrap()
+            .with_next_line_prefetch();
+        for i in 0..64u64 {
+            plain.access(i * 64);
+            pf.access(i * 64);
+        }
+        assert_eq!(plain.stats().misses, 64);
+        assert_eq!(pf.stats().misses, 32, "every other line arrives early");
+    }
+
+    #[test]
+    fn fully_associative_has_no_conflict_misses() {
+        let mut c = SetAssocCache::fully_associative(256, 64).unwrap();
+        // 4 lines at conflicting strides still all fit.
+        for i in 0..4u64 {
+            c.access(i * 4096);
+        }
+        for i in 0..4u64 {
+            assert_eq!(c.access(i * 4096), Access::Hit);
+        }
+    }
+}

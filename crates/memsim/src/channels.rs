@@ -1,0 +1,180 @@
+//! DRAM channel interleaving and utilization.
+//!
+//! The thread-scaling model treats the memory system as one aggregate pipe;
+//! this module models the address-interleaved channel structure underneath
+//! it, so the harness can check that the dataflows actually spread their
+//! traffic across channels (a pathological stride could otherwise starve
+//! the Fig 3 sweep of its nominal bandwidth).
+
+use crate::dram::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// Address-interleaved channel mapper with per-channel byte counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelInterleaver {
+    /// Bytes mapped to each channel contiguously before rotating to the
+    /// next (typical systems interleave at 256 B–4 KiB).
+    pub interleave_bytes: u64,
+    counters: Vec<u64>,
+}
+
+impl ChannelInterleaver {
+    /// Creates a mapper for `channels` channels at the given granularity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `channels == 0`, `interleave_bytes == 0`, or
+    /// the granularity is not a power of two.
+    pub fn new(channels: usize, interleave_bytes: u64) -> Result<Self, String> {
+        if channels == 0 {
+            return Err("channels must be positive".into());
+        }
+        if interleave_bytes == 0 || !interleave_bytes.is_power_of_two() {
+            return Err(format!(
+                "interleave granularity {interleave_bytes} must be a positive power of two"
+            ));
+        }
+        Ok(Self {
+            interleave_bytes,
+            counters: vec![0; channels],
+        })
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The channel serving byte address `addr`.
+    pub fn route(&self, addr: u64) -> usize {
+        ((addr / self.interleave_bytes) % self.counters.len() as u64) as usize
+    }
+
+    /// Records a transfer of `bytes` starting at `addr`, splitting it across
+    /// interleave boundaries.
+    pub fn record(&mut self, addr: u64, bytes: u64) {
+        let mut a = addr;
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let in_this_block = self.interleave_bytes - (a % self.interleave_bytes);
+            let take = in_this_block.min(remaining);
+            let ch = self.route(a);
+            self.counters[ch] += take;
+            a += take;
+            remaining -= take;
+        }
+    }
+
+    /// Per-channel byte counts.
+    pub fn bytes_per_channel(&self) -> &[u64] {
+        &self.counters
+    }
+
+    /// Total recorded bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.counters.iter().sum()
+    }
+
+    /// Load imbalance: busiest channel over the mean (1.0 = perfectly
+    /// balanced; `channels` = everything on one channel).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.counters.len() as f64;
+        let max = *self.counters.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// Effective aggregate bandwidth given the recorded distribution: the
+    /// transfer finishes when the busiest channel does, so the system
+    /// delivers `peak / imbalance`.
+    pub fn effective_bandwidth(&self, dram: &DramConfig) -> f64 {
+        dram.bandwidth_bytes_per_sec() / self.imbalance()
+    }
+
+    /// Clears the counters.
+    pub fn reset(&mut self) {
+        self.counters.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ChannelInterleaver::new(0, 256).is_err());
+        assert!(ChannelInterleaver::new(4, 0).is_err());
+        assert!(ChannelInterleaver::new(4, 300).is_err());
+        assert!(ChannelInterleaver::new(4, 256).is_ok());
+    }
+
+    #[test]
+    fn sequential_streams_balance_perfectly() {
+        let mut il = ChannelInterleaver::new(4, 256).unwrap();
+        il.record(0, 4 * 256 * 100);
+        assert!((il.imbalance() - 1.0).abs() < 1e-12);
+        for &c in il.bytes_per_channel() {
+            assert_eq!(c, 256 * 100);
+        }
+    }
+
+    #[test]
+    fn pathological_stride_hits_one_channel() {
+        let mut il = ChannelInterleaver::new(4, 256).unwrap();
+        // Stride of channels*interleave keeps hitting channel 0.
+        for i in 0..100u64 {
+            il.record(i * 4 * 256, 64);
+        }
+        assert!((il.imbalance() - 4.0).abs() < 1e-12);
+        assert_eq!(il.bytes_per_channel()[1], 0);
+    }
+
+    #[test]
+    fn transfers_split_across_boundaries() {
+        let mut il = ChannelInterleaver::new(2, 256).unwrap();
+        // 300 bytes starting at 200: 56 bytes on ch0's block, 244 on ch1.
+        il.record(200, 300);
+        assert_eq!(il.bytes_per_channel()[0], 56);
+        assert_eq!(il.bytes_per_channel()[1], 244);
+        assert_eq!(il.total_bytes(), 300);
+    }
+
+    #[test]
+    fn effective_bandwidth_scales_with_balance() {
+        let dram = DramConfig::ddr4_2400(4);
+        let mut balanced = ChannelInterleaver::new(4, 256).unwrap();
+        balanced.record(0, 1 << 20);
+        assert!((balanced.effective_bandwidth(&dram) - dram.bandwidth_bytes_per_sec()).abs() < 1.0);
+        let mut skewed = ChannelInterleaver::new(4, 256).unwrap();
+        for i in 0..1000u64 {
+            skewed.record(i * 4 * 256, 64);
+        }
+        assert!(skewed.effective_bandwidth(&dram) < dram.bandwidth_bytes_per_sec() / 3.9);
+    }
+
+    #[test]
+    fn memnn_dataflow_traffic_is_channel_friendly() {
+        // The column-based algorithm streams contiguous chunks — confirm a
+        // chunk walk balances across channels (the assumption behind using
+        // aggregate bandwidth in the roofline model).
+        let mut il = ChannelInterleaver::new(4, 256).unwrap();
+        let row_bytes = 48 * 4;
+        for chunkno in 0..100u64 {
+            il.record(0x1_0000_0000 + chunkno * 1000 * row_bytes, 1000 * row_bytes);
+        }
+        assert!(il.imbalance() < 1.01, "imbalance {}", il.imbalance());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut il = ChannelInterleaver::new(2, 256).unwrap();
+        il.record(0, 1000);
+        il.reset();
+        assert_eq!(il.total_bytes(), 0);
+        assert!((il.imbalance() - 1.0).abs() < 1e-12, "empty = balanced");
+    }
+}

@@ -1,0 +1,378 @@
+//! Address-trace generators for the Fig 5 dataflows.
+//!
+//! Each variant replays the exact sequence of buffer touches its algorithm
+//! performs against a shared-LLC model, producing the off-chip access counts
+//! of Fig 11 and the per-variant demand-byte profiles consumed by the
+//! thread-scaling model (Fig 10).
+
+use crate::cache::SetAssocCache;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four system variants the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Layer-by-layer dataflow with full-length intermediates (Fig 5(a)).
+    Baseline,
+    /// Column-based algorithm, chunked with lazy softmax (Fig 5(b)).
+    Column,
+    /// Column-based algorithm plus chunk streaming (prefetch overlap).
+    ColumnStreaming,
+    /// Everything: column + streaming + zero-skipping.
+    MnnFast,
+}
+
+impl Variant {
+    /// All variants in presentation order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Baseline,
+        Variant::Column,
+        Variant::ColumnStreaming,
+        Variant::MnnFast,
+    ];
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Variant::Baseline => "baseline",
+            Variant::Column => "column",
+            Variant::ColumnStreaming => "column+S",
+            Variant::MnnFast => "MnnFast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape of the replayed inference (a scaled-down Table 1 configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataflowConfig {
+    /// Story sentences `ns`.
+    pub ns: usize,
+    /// Embedding dimension `ed`.
+    pub ed: usize,
+    /// Chunk size for the column-based variants.
+    pub chunk: usize,
+    /// Questions per batch (`nq`). Both implementations batch questions
+    /// through BLAS (`U × M_INᵀ` is a GEMM), so the baseline's intermediate
+    /// matrices are `ns × nq` — the spills grow with the batch — while the
+    /// column-based variants keep `chunk × nq` buffers.
+    pub questions: usize,
+    /// Fraction of `M_OUT` rows zero-skipping avoids (only used by
+    /// [`Variant::MnnFast`]; the paper measures ~0.81–0.97 on bAbI).
+    pub skip_fraction: f64,
+    /// Memory hops per question (≥ 1). Every hop repeats the full
+    /// attention dataflow over the same memories.
+    pub hops: usize,
+}
+
+impl DataflowConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ns == 0 || self.ed == 0 || self.chunk == 0 || self.questions == 0 {
+            return Err("ns, ed, chunk and questions must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.skip_fraction) {
+            return Err(format!("skip_fraction {} out of [0,1]", self.skip_fraction));
+        }
+        if self.hops == 0 {
+            return Err("hops must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of replaying a dataflow against the LLC.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataflowReport {
+    /// Demand accesses issued to the LLC.
+    pub demand_accesses: u64,
+    /// Demand misses — the off-chip access count of Fig 11.
+    pub demand_misses: u64,
+    /// Bytes moved from DRAM (demand misses plus prefetch fills).
+    pub dram_bytes: u64,
+}
+
+// Disjoint address regions (1 GiB apart so buffers never alias).
+const M_IN_BASE: u64 = 0x1_0000_0000;
+const M_OUT_BASE: u64 = 0x2_0000_0000;
+const T_IN_BASE: u64 = 0x3_0000_0000;
+const P_EXP_BASE: u64 = 0x4_0000_0000;
+const P_BASE: u64 = 0x5_0000_0000;
+const CHUNK_BUF_BASE: u64 = 0x6_0000_0000;
+const OUT_BASE: u64 = 0x7_0000_0000;
+
+/// Replays `variant`'s dataflow for `config` against `llc`.
+///
+/// The LLC should be freshly flushed for a cold-start measurement; passing a
+/// warm cache models steady-state multi-question serving.
+///
+/// # Errors
+///
+/// Returns the validation error of an invalid `config`.
+pub fn replay(
+    variant: Variant,
+    config: DataflowConfig,
+    llc: &mut SetAssocCache,
+) -> Result<DataflowReport, String> {
+    config.validate()?;
+    let before = llc.stats();
+    let mut dram_bytes = 0u64;
+    for _ in 0..config.hops {
+        match variant {
+            Variant::Baseline => replay_baseline(config, llc),
+            Variant::Column => replay_column(config, llc, false, 0.0, &mut dram_bytes),
+            Variant::ColumnStreaming => replay_column(config, llc, true, 0.0, &mut dram_bytes),
+            Variant::MnnFast => {
+                replay_column(config, llc, true, config.skip_fraction, &mut dram_bytes)
+            }
+        }
+    }
+    let after = llc.stats();
+    let demand_misses = after.misses - before.misses;
+    let demand_accesses = after.accesses() - before.accesses();
+    Ok(DataflowReport {
+        demand_accesses,
+        demand_misses,
+        dram_bytes: dram_bytes + demand_misses * llc.line_bytes(),
+    })
+}
+
+/// Fig 5(a): full-length layers with intermediate spills.
+///
+/// The baseline implements each operation as a single lock-step-parallel
+/// function and answers questions as they arrive (Section 4.1.1), so each
+/// question streams the full memories again and spills three `ns`-length
+/// intermediates (`T_IN`, `P_exp`, `P`) between layers. The column-based
+/// variants instead hold a chunk resident while serving the whole question
+/// batch, which is exactly the "MemNN-friendly data chunking" the paper
+/// contrasts against.
+fn replay_baseline(c: DataflowConfig, llc: &mut SetAssocCache) {
+    let row_bytes = (c.ed * 4) as u64;
+    let ns = c.ns as u64;
+    let spill_bytes = ns * 4;
+
+    for _ in 0..c.questions {
+        // Step 1: inner product — stream M_IN, write T_IN.
+        llc.access_range(M_IN_BASE, ns * row_bytes);
+        llc.access_range(T_IN_BASE, spill_bytes);
+
+        // Step 2-1: exponentiate — read T_IN, write P_exp.
+        llc.access_range(T_IN_BASE, spill_bytes);
+        llc.access_range(P_EXP_BASE, spill_bytes);
+        // Step 2-1b: reduce P_exp for the denominator.
+        llc.access_range(P_EXP_BASE, spill_bytes);
+        // Step 2-2: divide — read P_exp, write P.
+        llc.access_range(P_EXP_BASE, spill_bytes);
+        llc.access_range(P_BASE, spill_bytes);
+
+        // Step 3: weighted sum — read P, stream M_OUT, write O.
+        llc.access_range(P_BASE, spill_bytes);
+        llc.access_range(M_OUT_BASE, ns * row_bytes);
+        llc.access_range(OUT_BASE, row_bytes);
+    }
+}
+
+/// Fraction of streamed lines whose prefetch lands before the demand access.
+const PREFETCH_COVERAGE: u32 = 8; // 8 of every 10 lines
+
+/// Prefetches `[addr, addr + bytes)` with [`PREFETCH_COVERAGE`]/10 timeliness
+/// and accounts the full range as DRAM traffic.
+fn prefetch_covered(llc: &mut SetAssocCache, addr: u64, bytes: u64, dram_bytes: &mut u64) {
+    if bytes == 0 {
+        return;
+    }
+    let line = llc.line_bytes();
+    let mut a = addr;
+    let mut i = 0u32;
+    while a < addr + bytes {
+        if i % 10 < PREFETCH_COVERAGE {
+            llc.prefetch(a);
+        }
+        i += 1;
+        a += line;
+    }
+    *dram_bytes += bytes;
+}
+
+/// Fig 5(b): chunked processing; `streaming` turns chunk loads into
+/// prefetches (demand hits), `skip_fraction` drops that share of M_OUT rows.
+fn replay_column(
+    c: DataflowConfig,
+    llc: &mut SetAssocCache,
+    streaming: bool,
+    skip_fraction: f64,
+    dram_bytes: &mut u64,
+) {
+    let row_bytes = (c.ed * 4) as u64;
+    let mut row = 0usize;
+    while row < c.ns {
+        let n = c.chunk.min(c.ns - row) as u64;
+        let in_addr = M_IN_BASE + row as u64 * row_bytes;
+        let out_addr = M_OUT_BASE + row as u64 * row_bytes;
+
+        if streaming {
+            // Prefetch the chunk (counts as DRAM traffic, not demand
+            // misses), then demand-access it. Real prefetchers are not
+            // perfectly timely: PREFETCH_COVERAGE of the lines arrive
+            // before the demand reference.
+            prefetch_covered(llc, in_addr, n * row_bytes, dram_bytes);
+        }
+        llc.access_range(in_addr, n * row_bytes);
+
+        // Chunk-sized T_IN / P_exp live in a reused buffer of chunk × nq
+        // (hits after the first chunk as long as it fits the LLC).
+        let buf_bytes = n * c.questions as u64 * 4;
+        llc.access_range(CHUNK_BUF_BASE, buf_bytes); // write logits
+        llc.access_range(CHUNK_BUF_BASE, buf_bytes); // read for exp + accumulate
+
+        // Weighted sum reads the kept fraction of M_OUT rows.
+        let kept = ((n as f64) * (1.0 - skip_fraction)).round() as u64;
+        if kept > 0 {
+            if streaming {
+                prefetch_covered(llc, out_addr, kept * row_bytes, dram_bytes);
+            }
+            llc.access_range(out_addr, kept * row_bytes);
+        }
+        // Accumulators (nq × ed floats) stay hot.
+        llc.access_range(OUT_BASE, c.questions as u64 * row_bytes);
+        row += c.chunk;
+    }
+    // Lazy division touches the accumulators once more.
+    llc.access_range(OUT_BASE, c.questions as u64 * row_bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn llc() -> SetAssocCache {
+        // 1 MiB LLC, 16-way, 64 B lines.
+        SetAssocCache::new(1 << 20, 16, 64).unwrap()
+    }
+
+    fn config() -> DataflowConfig {
+        DataflowConfig {
+            ns: 40_000, // memories 40k*48*4 ≈ 7.7 MB >> 1 MiB LLC
+            ed: 48,
+            chunk: 1000,
+            questions: 4,
+            skip_fraction: 0.9,
+            hops: 1,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = config();
+        c.chunk = 0;
+        assert!(c.validate().is_err());
+        let mut c2 = config();
+        c2.skip_fraction = 1.5;
+        assert!(c2.validate().is_err());
+    }
+
+    #[test]
+    fn column_has_fewer_offchip_accesses_than_baseline() {
+        let mut cache = llc();
+        let base = replay(Variant::Baseline, config(), &mut cache).unwrap();
+        cache.flush();
+        let col = replay(Variant::Column, config(), &mut cache).unwrap();
+        assert!(
+            col.demand_misses < base.demand_misses,
+            "column {} vs baseline {}",
+            col.demand_misses,
+            base.demand_misses
+        );
+    }
+
+    #[test]
+    fn streaming_removes_most_demand_misses() {
+        let mut cache = llc();
+        let base = replay(Variant::Baseline, config(), &mut cache).unwrap();
+        cache.flush();
+        let cs = replay(Variant::ColumnStreaming, config(), &mut cache).unwrap();
+        // Paper: column+streaming eliminates >60% of off-chip accesses.
+        assert!(
+            (cs.demand_misses as f64) < 0.4 * base.demand_misses as f64,
+            "column+S {} vs baseline {}",
+            cs.demand_misses,
+            base.demand_misses
+        );
+        // But the data still crossed the bus as prefetches.
+        assert!(cs.dram_bytes > 0);
+    }
+
+    #[test]
+    fn zero_skipping_reduces_dram_traffic() {
+        let mut cache = llc();
+        let cs = replay(Variant::ColumnStreaming, config(), &mut cache).unwrap();
+        cache.flush();
+        let mf = replay(Variant::MnnFast, config(), &mut cache).unwrap();
+        assert!(
+            mf.dram_bytes < cs.dram_bytes,
+            "MnnFast {} vs column+S {}",
+            mf.dram_bytes,
+            cs.dram_bytes
+        );
+    }
+
+    #[test]
+    fn small_memories_fit_in_llc_after_first_question() {
+        // Memories of 64 KiB fit a 1 MiB LLC: the second question should be
+        // nearly all hits for every variant.
+        let c = DataflowConfig {
+            ns: 256,
+            ed: 48,
+            chunk: 64,
+            questions: 4,
+            skip_fraction: 0.0,
+            hops: 1,
+        };
+        for v in Variant::ALL {
+            let mut cache = llc();
+            let first = replay(v, c, &mut cache).unwrap();
+            let second = replay(v, c, &mut cache).unwrap();
+            assert!(
+                second.demand_misses * 10 <= first.demand_misses.max(10),
+                "{v}: warm {} vs cold {}",
+                second.demand_misses,
+                first.demand_misses
+            );
+        }
+    }
+
+    #[test]
+    fn multi_hop_scales_traffic() {
+        let mut one = config();
+        one.ns = 20_000;
+        let mut three = one;
+        three.hops = 3;
+        let mut llc1 = llc();
+        let r1 = replay(Variant::Baseline, one, &mut llc1).unwrap();
+        let mut llc3 = llc();
+        let r3 = replay(Variant::Baseline, three, &mut llc3).unwrap();
+        assert_eq!(r3.demand_accesses, 3 * r1.demand_accesses);
+        let mut h0 = config();
+        h0.hops = 0;
+        assert!(h0.validate().is_err());
+    }
+
+    #[test]
+    fn report_access_counts_are_consistent() {
+        let mut cache = llc();
+        let r = replay(Variant::Baseline, config(), &mut cache).unwrap();
+        assert!(r.demand_misses <= r.demand_accesses);
+        assert!(r.dram_bytes >= r.demand_misses * 64);
+    }
+
+    #[test]
+    fn variant_display_names() {
+        assert_eq!(Variant::ColumnStreaming.to_string(), "column+S");
+        assert_eq!(Variant::MnnFast.to_string(), "MnnFast");
+    }
+}

@@ -1,0 +1,126 @@
+//! Multi-channel DRAM bandwidth/latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// A DRAM subsystem: `channels` independent channels of
+/// `channel_gbps` GB/s each, with a flat access latency.
+///
+/// The paper's CPU testbed is DDR4-2400: ≈19.2 GB/s per channel; its channel
+/// sweep (Figs 3/10) varies 1–8 channels.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of channels.
+    pub channels: usize,
+    /// Peak bandwidth per channel in GB/s.
+    pub channel_gbps: f64,
+    /// Access latency in nanoseconds (row hit ignored; single figure).
+    pub latency_ns: f64,
+}
+
+impl DramConfig {
+    /// DDR4-2400 with the given channel count (19.2 GB/s/channel, 80 ns).
+    pub fn ddr4_2400(channels: usize) -> Self {
+        Self {
+            channels,
+            channel_gbps: 19.2,
+            latency_ns: 80.0,
+        }
+    }
+
+    /// The ZedBoard's DDR3-533 with a 32-bit interface: ≈ 2.13 GB/s single
+    /// channel (533 MT/s × 4 B).
+    pub fn zedboard_ddr3() -> Self {
+        Self {
+            channels: 1,
+            channel_gbps: 2.133,
+            latency_ns: 110.0,
+        }
+    }
+
+    /// Aggregate peak bandwidth in bytes/second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        self.channels as f64 * self.channel_gbps * 1e9
+    }
+
+    /// Time in seconds to transfer `bytes` at peak aggregate bandwidth
+    /// (latency excluded — use for streamed bulk transfers).
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.bandwidth_bytes_per_sec()
+    }
+
+    /// Time in seconds for `accesses` dependent (non-overlapped) accesses of
+    /// `bytes_each`, i.e. latency-bound traffic.
+    pub fn latency_bound_time(&self, accesses: u64, bytes_each: u64) -> f64 {
+        accesses as f64
+            * (self.latency_ns * 1e-9 + bytes_each as f64 / self.bandwidth_bytes_per_sec())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if any field is non-positive or non-finite.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be positive".into());
+        }
+        if !(self.channel_gbps.is_finite() && self.channel_gbps > 0.0) {
+            return Err(format!("invalid channel bandwidth {}", self.channel_gbps));
+        }
+        if !(self.latency_ns.is_finite() && self.latency_ns >= 0.0) {
+            return Err(format!("invalid latency {}", self.latency_ns));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_scales_with_channels() {
+        let one = DramConfig::ddr4_2400(1);
+        let four = DramConfig::ddr4_2400(4);
+        assert!(
+            (four.bandwidth_bytes_per_sec() / one.bandwidth_bytes_per_sec() - 4.0).abs() < 1e-9
+        );
+        one.validate().unwrap();
+    }
+
+    #[test]
+    fn transfer_time_is_linear() {
+        let d = DramConfig::ddr4_2400(2);
+        let t1 = d.transfer_time(1 << 20);
+        let t2 = d.transfer_time(2 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_bound_exceeds_streaming() {
+        let d = DramConfig::ddr4_2400(1);
+        let bytes = 64u64 * 1000;
+        assert!(d.latency_bound_time(1000, 64) > d.transfer_time(bytes));
+    }
+
+    #[test]
+    fn zedboard_is_much_slower_than_ddr4() {
+        assert!(
+            DramConfig::zedboard_ddr3().bandwidth_bytes_per_sec()
+                < DramConfig::ddr4_2400(1).bandwidth_bytes_per_sec() / 5.0
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut d = DramConfig::ddr4_2400(1);
+        d.channels = 0;
+        assert!(d.validate().is_err());
+        let mut d2 = DramConfig::ddr4_2400(1);
+        d2.channel_gbps = -1.0;
+        assert!(d2.validate().is_err());
+        let mut d3 = DramConfig::ddr4_2400(1);
+        d3.latency_ns = f64::NAN;
+        assert!(d3.validate().is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! The dedicated embedding cache (Section 3.3, Fig 14).
+//!
+//! A cache keyed by *word ID* rather than address: each entry holds one
+//! embedding vector (`ed` floats), a word-ID tag, and a valid bit. The paper
+//! builds it direct-mapped; an N-way variant is included as the DESIGN.md §5
+//! ablation.
+
+use crate::cache::{Access, CacheStats};
+
+/// Word-ID-keyed cache for embedding vectors.
+///
+/// ```
+/// use mnn_memsim::EmbeddingCache;
+///
+/// // 32 KiB of 256-dim f32 vectors = 32 entries.
+/// let mut cache = EmbeddingCache::direct_mapped(32 << 10, 256).unwrap();
+/// assert_eq!(cache.num_entries(), 32);
+/// cache.lookup(7);
+/// assert_eq!(cache.lookup(7), mnn_memsim::cache::Access::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingCache {
+    /// `sets[set]` holds up to `ways` `(word_id, last_use)` pairs.
+    sets: Vec<Vec<(u32, u64)>>,
+    ways: usize,
+    embedding_dim: usize,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl EmbeddingCache {
+    /// Creates a direct-mapped embedding cache of `capacity_bytes`, sized in
+    /// whole `ed`-float entries (the paper's design: the cache word size
+    /// equals the embedding dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the capacity holds no complete entry.
+    pub fn direct_mapped(capacity_bytes: usize, embedding_dim: usize) -> Result<Self, String> {
+        Self::set_associative(capacity_bytes, embedding_dim, 1)
+    }
+
+    /// Creates an N-way set-associative variant (LRU within a set).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if parameters are zero or the capacity holds fewer
+    /// than `ways` entries.
+    pub fn set_associative(
+        capacity_bytes: usize,
+        embedding_dim: usize,
+        ways: usize,
+    ) -> Result<Self, String> {
+        if embedding_dim == 0 || ways == 0 {
+            return Err("embedding_dim and ways must be positive".into());
+        }
+        let entry_bytes = embedding_dim * 4;
+        let entries = capacity_bytes / entry_bytes;
+        if entries < ways {
+            return Err(format!(
+                "capacity {capacity_bytes} holds {entries} entries < {ways} ways"
+            ));
+        }
+        let num_sets = entries / ways;
+        Ok(Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            embedding_dim,
+            stats: CacheStats::default(),
+            tick: 0,
+        })
+    }
+
+    /// Number of vector entries the cache holds.
+    pub fn num_entries(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// The embedding dimension each entry stores.
+    pub fn embedding_dim(&self) -> usize {
+        self.embedding_dim
+    }
+
+    /// Bytes of payload storage.
+    pub fn capacity_bytes(&self) -> usize {
+        self.num_entries() * self.embedding_dim * 4
+    }
+
+    /// Looks up the vector for `word`, filling on miss.
+    pub fn lookup(&mut self, word: u32) -> Access {
+        self.tick += 1;
+        let set_idx = (word as usize) % self.sets.len();
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(w, _)| *w == word) {
+            entry.1 = self.tick;
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        if set.len() < self.ways {
+            set.push((word, self.tick));
+        } else {
+            let victim = set
+                .iter_mut()
+                .min_by_key(|(_, t)| *t)
+                .expect("non-empty set");
+            *victim = (word, self.tick);
+        }
+        Access::Miss
+    }
+
+    /// Replays a word-ID trace; returns the stats delta for the trace.
+    pub fn run_trace(&mut self, trace: &[u32]) -> CacheStats {
+        let before = self.stats;
+        for &w in trace {
+            self.lookup(w);
+        }
+        CacheStats {
+            hits: self.stats.hits - before.hits,
+            misses: self.stats.misses - before.misses,
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes fetched from DRAM so far (one vector per miss).
+    pub fn dram_bytes(&self) -> u64 {
+        self.stats.misses * (self.embedding_dim as u64) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::zipf::ZipfSampler;
+
+    #[test]
+    fn sizing_matches_paper_example() {
+        // Fig 14 setup: ed=256 ⇒ 1 KiB per entry.
+        let c = EmbeddingCache::direct_mapped(256 << 10, 256).unwrap();
+        assert_eq!(c.num_entries(), 256);
+        assert_eq!(c.capacity_bytes(), 256 << 10);
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        assert!(EmbeddingCache::direct_mapped(100, 256).is_err());
+        assert!(EmbeddingCache::set_associative(1 << 10, 0, 1).is_err());
+        assert!(EmbeddingCache::set_associative(1 << 10, 256, 0).is_err());
+        assert!(EmbeddingCache::set_associative(1 << 10, 256, 2).is_err());
+    }
+
+    #[test]
+    fn repeat_lookup_hits() {
+        let mut c = EmbeddingCache::direct_mapped(4 << 10, 64).unwrap(); // 16 entries
+        assert_eq!(c.lookup(3), Access::Miss);
+        assert_eq!(c.lookup(3), Access::Hit);
+        // A conflicting word (3 + 16) evicts in direct-mapped mode.
+        assert_eq!(c.lookup(19), Access::Miss);
+        assert_eq!(c.lookup(3), Access::Miss);
+    }
+
+    #[test]
+    fn two_way_survives_the_direct_mapped_conflict() {
+        let mut c = EmbeddingCache::set_associative(4 << 10, 64, 2).unwrap(); // 8 sets
+        c.lookup(3);
+        c.lookup(11); // same set in 8-set geometry
+        assert_eq!(c.lookup(3), Access::Hit, "both fit in a 2-way set");
+    }
+
+    #[test]
+    fn hit_rate_grows_with_capacity_on_zipf() {
+        // The Fig 14 monotonicity, on the COCA-substitute trace.
+        let mut prev_hit = 0.0;
+        for kb in [32usize, 64, 128, 256] {
+            let mut z = ZipfSampler::new(10_000, 1.0, 42).unwrap();
+            let trace = z.trace(100_000);
+            let mut c = EmbeddingCache::direct_mapped(kb << 10, 256).unwrap();
+            let s = c.run_trace(&trace);
+            assert!(
+                s.hit_ratio() >= prev_hit,
+                "{kb} KiB: {} < {prev_hit}",
+                s.hit_ratio()
+            );
+            prev_hit = s.hit_ratio();
+        }
+        assert!(prev_hit > 0.4, "256 KiB should capture the Zipf head");
+    }
+
+    #[test]
+    fn hit_rate_below_top_k_mass_bound() {
+        // A k-entry cache can never beat the ideal top-k hit mass.
+        let mut z = ZipfSampler::new(5_000, 1.0, 7).unwrap();
+        let trace = z.trace(50_000);
+        let mut c = EmbeddingCache::direct_mapped(64 << 10, 256).unwrap(); // 64 entries
+        let s = c.run_trace(&trace);
+        let bound = z.top_k_mass(c.num_entries());
+        assert!(
+            s.hit_ratio() <= bound + 0.02,
+            "hit {} exceeds ideal bound {bound}",
+            s.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn dram_bytes_counts_vector_fills() {
+        let mut c = EmbeddingCache::direct_mapped(4 << 10, 64).unwrap();
+        c.lookup(1);
+        c.lookup(2);
+        c.lookup(1);
+        assert_eq!(c.dram_bytes(), 2 * 64 * 4);
+    }
+}

@@ -1,0 +1,372 @@
+//! Two-level cache hierarchy: a private L2 in front of the shared LLC,
+//! with write-back dirty-line accounting.
+//!
+//! The single-LLC replay in [`crate::dataflow`] captures the capacity
+//! behaviour the paper's experiments hinge on; this module adds the
+//! private-cache level (each inference thread on the Xeon owns a 1 MiB L2)
+//! and the write-back traffic the write-heavy baseline spills generate, for
+//! the finer-grained analyses in the ablation suite.
+
+use crate::cache::{Access, CacheStats, SetAssocCache};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Read or write — write-backs only exist for writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Load.
+    Read,
+    /// Store (allocates and dirties the line).
+    Write,
+}
+
+/// Traffic counters of a [`CacheHierarchy`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L2 hit/miss counts.
+    pub l2: CacheStats,
+    /// LLC hit/miss counts (LLC sees only L2 misses).
+    pub llc: CacheStats,
+    /// Dirty lines written back from the hierarchy to DRAM.
+    pub writebacks: u64,
+}
+
+impl HierarchyStats {
+    /// Bytes moved between DRAM and the hierarchy (fills + write-backs),
+    /// with `line_bytes` granularity.
+    pub fn dram_bytes(&self, line_bytes: u64) -> u64 {
+        (self.llc.misses + self.writebacks) * line_bytes
+    }
+}
+
+/// A private L2 in front of a (possibly shared) LLC, with dirty-line
+/// tracking at LLC granularity.
+///
+/// Inclusion is not enforced (matching modern non-inclusive LLCs); dirty
+/// state is tracked by line address and written back when the line leaves
+/// the LLC.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    dirty: BTreeSet<u64>,
+    stats: HierarchyStats,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from an L2 and an LLC (line sizes must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the line sizes differ.
+    pub fn new(l2: SetAssocCache, llc: SetAssocCache) -> Result<Self, String> {
+        if l2.line_bytes() != llc.line_bytes() {
+            return Err(format!(
+                "line sizes differ: L2 {} vs LLC {}",
+                l2.line_bytes(),
+                llc.line_bytes()
+            ));
+        }
+        Ok(Self {
+            l2,
+            llc,
+            dirty: BTreeSet::new(),
+            stats: HierarchyStats::default(),
+        })
+    }
+
+    /// The Xeon-like default: 1 MiB 16-way L2, 8 MiB 16-way LLC, 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Never panics (the fixed geometry is valid).
+    pub fn xeon_like() -> Self {
+        Self::new(
+            SetAssocCache::new(1 << 20, 16, 64).expect("valid L2 geometry"),
+            SetAssocCache::new(8 << 20, 16, 64).expect("valid LLC geometry"),
+        )
+        .expect("matching line sizes")
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.l2.line_bytes()
+    }
+
+    /// Accesses one address; returns where it hit.
+    pub fn access(&mut self, addr: u64, op: Op) -> Level {
+        let line = addr / self.line_bytes();
+        let level = match self.l2.access(addr) {
+            Access::Hit => {
+                self.stats.l2.hits += 1;
+                Level::L2
+            }
+            Access::Miss => {
+                self.stats.l2.misses += 1;
+                match self.llc.access(addr) {
+                    Access::Hit => {
+                        self.stats.llc.hits += 1;
+                        Level::Llc
+                    }
+                    Access::Miss => {
+                        self.stats.llc.misses += 1;
+                        // A fill may displace a dirty line; approximate the
+                        // victim as the oldest tracked dirty line once the
+                        // dirty set exceeds the LLC's line capacity.
+                        let capacity_lines =
+                            (self.llc.capacity_bytes() as u64) / self.line_bytes();
+                        if self.dirty.len() as u64 > capacity_lines {
+                            if let Some(&victim) = self.dirty.iter().next() {
+                                self.dirty.remove(&victim);
+                                self.stats.writebacks += 1;
+                            }
+                        }
+                        Level::Dram
+                    }
+                }
+            }
+        };
+        if op == Op::Write {
+            self.dirty.insert(line);
+        }
+        level
+    }
+
+    /// Touches a byte range (per line), counting each line once.
+    pub fn access_range(&mut self, addr: u64, bytes: u64, op: Op) {
+        if bytes == 0 {
+            return;
+        }
+        let line = self.line_bytes();
+        let first = addr / line;
+        let last = (addr + bytes - 1) / line;
+        for l in first..=last {
+            self.access(l * line, op);
+        }
+    }
+
+    /// Flushes all dirty lines (end-of-run write-back).
+    pub fn flush_dirty(&mut self) {
+        self.stats.writebacks += self.dirty.len() as u64;
+        self.dirty.clear();
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+}
+
+/// Replays a [`crate::dataflow::Variant`] dataflow through the hierarchy
+/// with read/write distinction, so the baseline's spill *writes* produce
+/// write-back traffic (the paper's "flushes and re-reads those temporary
+/// data to and from off-chip DRAM").
+///
+/// Returns the hierarchy stats delta for the replay.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors.
+pub fn replay_hierarchy(
+    variant: crate::dataflow::Variant,
+    config: crate::dataflow::DataflowConfig,
+    hierarchy: &mut CacheHierarchy,
+) -> Result<HierarchyStats, String> {
+    use crate::dataflow::Variant;
+    config.validate()?;
+    let before = hierarchy.stats();
+    let row_bytes = (config.ed * 4) as u64;
+    let ns = config.ns as u64;
+    let spill = ns * 4;
+    const M_IN: u64 = 0x1_0000_0000;
+    const M_OUT: u64 = 0x2_0000_0000;
+    const T_IN: u64 = 0x3_0000_0000;
+    const P_EXP: u64 = 0x4_0000_0000;
+    const P: u64 = 0x5_0000_0000;
+    const BUF: u64 = 0x6_0000_0000;
+    const OUT: u64 = 0x7_0000_0000;
+
+    for _ in 0..config.hops {
+        match variant {
+            Variant::Baseline => {
+                for _ in 0..config.questions {
+                    hierarchy.access_range(M_IN, ns * row_bytes, Op::Read);
+                    hierarchy.access_range(T_IN, spill, Op::Write);
+                    hierarchy.access_range(T_IN, spill, Op::Read);
+                    hierarchy.access_range(P_EXP, spill, Op::Write);
+                    hierarchy.access_range(P_EXP, spill, Op::Read);
+                    hierarchy.access_range(P_EXP, spill, Op::Read);
+                    hierarchy.access_range(P, spill, Op::Write);
+                    hierarchy.access_range(P, spill, Op::Read);
+                    hierarchy.access_range(M_OUT, ns * row_bytes, Op::Read);
+                    hierarchy.access_range(OUT, row_bytes, Op::Write);
+                }
+            }
+            _ => {
+                // All column variants: chunked, reused small buffers.
+                let chunk = config.chunk as u64;
+                let kept = if variant == Variant::MnnFast {
+                    1.0 - config.skip_fraction
+                } else {
+                    1.0
+                };
+                let mut row = 0u64;
+                while row < ns {
+                    let n = chunk.min(ns - row);
+                    hierarchy.access_range(M_IN + row * row_bytes, n * row_bytes, Op::Read);
+                    let buf = n * config.questions as u64 * 4;
+                    hierarchy.access_range(BUF, buf, Op::Write);
+                    hierarchy.access_range(BUF, buf, Op::Read);
+                    let out_rows = ((n as f64) * kept).round() as u64;
+                    if out_rows > 0 {
+                        hierarchy.access_range(
+                            M_OUT + row * row_bytes,
+                            out_rows * row_bytes,
+                            Op::Read,
+                        );
+                    }
+                    hierarchy.access_range(OUT, config.questions as u64 * row_bytes, Op::Write);
+                    row += chunk;
+                }
+            }
+        }
+    }
+    hierarchy.flush_dirty();
+    let after = hierarchy.stats();
+    Ok(HierarchyStats {
+        l2: CacheStats {
+            hits: after.l2.hits - before.l2.hits,
+            misses: after.l2.misses - before.l2.misses,
+        },
+        llc: CacheStats {
+            hits: after.llc.hits - before.llc.hits,
+            misses: after.llc.misses - before.llc.misses,
+        },
+        writebacks: after.writebacks - before.writebacks,
+    })
+}
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Private L2.
+    L2,
+    /// Shared LLC.
+    Llc,
+    /// Off-chip.
+    Dram,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatched_line_sizes_rejected() {
+        let l2 = SetAssocCache::new(1 << 16, 4, 64).unwrap();
+        let llc = SetAssocCache::new(1 << 20, 16, 128).unwrap();
+        assert!(CacheHierarchy::new(l2, llc).is_err());
+    }
+
+    #[test]
+    fn l2_filters_llc_traffic() {
+        let mut h = CacheHierarchy::xeon_like();
+        // A 256 KiB working set fits the 1 MiB L2 entirely.
+        for _ in 0..3 {
+            h.access_range(0, 256 << 10, Op::Read);
+        }
+        let s = h.stats();
+        let lines = (256 << 10) / 64;
+        assert_eq!(s.l2.misses, lines, "cold misses only");
+        assert_eq!(s.llc.accesses(), lines, "LLC sees only L2 misses");
+        assert_eq!(s.l2.hits, 2 * lines);
+    }
+
+    #[test]
+    fn llc_catches_l2_capacity_overflow() {
+        let mut h = CacheHierarchy::xeon_like();
+        // 4 MiB working set: exceeds L2 (1 MiB), fits LLC (8 MiB).
+        h.access_range(0, 4 << 20, Op::Read);
+        h.access_range(0, 4 << 20, Op::Read);
+        let s = h.stats();
+        // Second pass: L2 thrashes (sequential + LRU), LLC serves it.
+        assert!(s.llc.hits > 0, "LLC must catch the overflow");
+        assert_eq!(s.llc.misses, (4 << 20) / 64, "DRAM only for cold fills");
+    }
+
+    #[test]
+    fn writes_generate_writebacks_once_capacity_exceeded() {
+        let mut h = CacheHierarchy::xeon_like();
+        // Write 16 MiB (beyond the 8 MiB LLC): old dirty lines must go out.
+        h.access_range(0, 16 << 20, Op::Write);
+        let s = h.stats();
+        assert!(s.writebacks > 0, "dirty evictions must be counted");
+        // Flush accounts the remainder.
+        let before = h.stats().writebacks;
+        h.flush_dirty();
+        let after = h.stats().writebacks;
+        assert!(after > before);
+        // Total write-backs equal total dirtied lines.
+        assert_eq!(after, (16 << 20) / 64);
+    }
+
+    #[test]
+    fn reads_never_write_back() {
+        let mut h = CacheHierarchy::xeon_like();
+        h.access_range(0, 32 << 20, Op::Read);
+        h.flush_dirty();
+        assert_eq!(h.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn dram_bytes_counts_fills_and_writebacks() {
+        let mut h = CacheHierarchy::xeon_like();
+        h.access_range(0, 1 << 20, Op::Write);
+        h.flush_dirty();
+        let s = h.stats();
+        assert_eq!(
+            s.dram_bytes(64),
+            (s.llc.misses + s.writebacks) * 64
+        );
+        // Write-heavy traffic roughly doubles the DRAM bytes.
+        assert!(s.dram_bytes(64) >= 2 * s.llc.misses * 64);
+    }
+
+    #[test]
+    fn baseline_writes_back_its_spills_but_column_does_not() {
+        use crate::dataflow::{DataflowConfig, Variant};
+        let config = DataflowConfig {
+            ns: 300_000, // spills 1.2 MB/question exceed the 1 MiB L2
+            ed: 48,
+            chunk: 1000,
+            questions: 4,
+            skip_fraction: 0.9,
+            hops: 1,
+        };
+        let mut h_base = CacheHierarchy::xeon_like();
+        let base = replay_hierarchy(Variant::Baseline, config, &mut h_base).unwrap();
+        let mut h_col = CacheHierarchy::xeon_like();
+        let col = replay_hierarchy(Variant::Column, config, &mut h_col).unwrap();
+        assert!(
+            base.writebacks > 10 * col.writebacks.max(1),
+            "baseline {} vs column {}",
+            base.writebacks,
+            col.writebacks
+        );
+        // Total DRAM bytes (fills + writebacks) ranked accordingly.
+        assert!(base.dram_bytes(64) > col.dram_bytes(64));
+        let mut h_mf = CacheHierarchy::xeon_like();
+        let mf = replay_hierarchy(Variant::MnnFast, config, &mut h_mf).unwrap();
+        assert!(mf.dram_bytes(64) <= col.dram_bytes(64));
+    }
+
+    #[test]
+    fn levels_are_reported() {
+        let mut h = CacheHierarchy::xeon_like();
+        assert_eq!(h.access(0, Op::Read), Level::Dram);
+        assert_eq!(h.access(0, Op::Read), Level::L2);
+        // Evict from tiny L2 footprint by thrashing, then re-touch: LLC hit.
+        h.access_range(1 << 24, 2 << 20, Op::Read);
+        assert_eq!(h.access(0, Op::Read), Level::Llc);
+    }
+}

@@ -1,0 +1,49 @@
+//! Trace-driven memory-hierarchy simulator for the MnnFast reproduction.
+//!
+//! The paper's motivational and cache experiments (Figs 3, 4, 10, 11, 14)
+//! vary physical resources — DDR4 channel count, co-running threads, a
+//! dedicated FPGA cache — that this environment does not have. This crate
+//! simulates that hardware and replays the *actual dataflows* of the
+//! baseline and column-based algorithms against it:
+//!
+//! - [`cache`] — a set-associative, LRU, write-allocate cache model (the
+//!   shared LLC),
+//! - [`dram`] — a multi-channel DRAM bandwidth/latency model,
+//! - [`dataflow`] — address-trace generators for the Fig 5 dataflows
+//!   (baseline / column / column + streaming),
+//! - [`roofline`] — the analytic thread-scaling bottleneck model behind the
+//!   speedup-vs-threads curves (Figs 3 and 10),
+//! - [`contention`] — interleaved inference/embedding trace simulation of
+//!   shared-cache contention (Fig 4) and its embedding-cache fix,
+//! - [`embedding_cache`] — the word-ID-keyed dedicated cache (Fig 14).
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_memsim::cache::SetAssocCache;
+//!
+//! // 8 MiB, 16-way, 64-byte lines: a typical shared LLC.
+//! let mut llc = SetAssocCache::new(8 << 20, 16, 64).unwrap();
+//! llc.access(0);      // cold miss
+//! llc.access(32);     // same line: hit
+//! assert_eq!(llc.stats().misses, 1);
+//! assert_eq!(llc.stats().hits, 1);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cache;
+pub mod channels;
+pub mod contention;
+pub mod dataflow;
+pub mod dram;
+pub mod dram_queue;
+pub mod embedding_cache;
+pub mod hierarchy;
+pub mod roofline;
+
+pub use cache::{CacheStats, SetAssocCache};
+pub use dataflow::Variant;
+pub use dram::DramConfig;
+pub use embedding_cache::EmbeddingCache;

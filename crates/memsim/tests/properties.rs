@@ -1,0 +1,122 @@
+//! Property-based tests for the memory-hierarchy simulator.
+
+use mnn_dataset::zipf::ZipfSampler;
+use mnn_memsim::cache::SetAssocCache;
+use mnn_memsim::dataflow::{replay, DataflowConfig, Variant};
+use mnn_memsim::EmbeddingCache;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_conserves_accesses(addrs in vec(0u64..1_000_000, 1..500)) {
+        let mut c = SetAssocCache::new(4096, 4, 64).unwrap();
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.stats().accesses(), addrs.len() as u64);
+        prop_assert!(c.stats().misses >= 1, "first access is compulsory");
+    }
+
+    #[test]
+    fn fully_associative_larger_cache_never_misses_more(
+        addrs in vec(0u64..100_000, 1..400),
+    ) {
+        // LRU inclusion property: for fully-associative LRU caches, a
+        // bigger cache's contents always include the smaller one's.
+        let mut small = SetAssocCache::fully_associative(1024, 64).unwrap();
+        let mut big = SetAssocCache::fully_associative(4096, 64).unwrap();
+        for &a in &addrs {
+            small.access(a);
+            big.access(a);
+        }
+        prop_assert!(big.stats().misses <= small.stats().misses);
+    }
+
+    #[test]
+    fn repeating_a_resident_trace_yields_no_new_misses(
+        lines in vec(0u64..32, 1..32),
+    ) {
+        // All addresses within 32 lines fit a 4 KiB fully-assoc cache.
+        let mut c = SetAssocCache::fully_associative(4096, 64).unwrap();
+        for &l in &lines {
+            c.access(l * 64);
+        }
+        let cold = c.stats().misses;
+        for _ in 0..3 {
+            for &l in &lines {
+                c.access(l * 64);
+            }
+        }
+        prop_assert_eq!(c.stats().misses, cold);
+    }
+
+    #[test]
+    fn embedding_cache_hit_rate_monotone_in_capacity(
+        seed in any::<u64>(),
+        exponent in 0.5f64..1.4,
+    ) {
+        let mut z = ZipfSampler::new(2000, exponent, seed).unwrap();
+        let trace = z.trace(20_000);
+        let mut prev = -1.0f64;
+        for entries in [8usize, 32, 128] {
+            let mut c = EmbeddingCache::direct_mapped(entries * 256 * 4, 256).unwrap();
+            let s = c.run_trace(&trace);
+            prop_assert!(
+                s.hit_ratio() >= prev - 0.02,
+                "entries {entries}: {} after {prev}",
+                s.hit_ratio()
+            );
+            prev = s.hit_ratio();
+        }
+    }
+
+    #[test]
+    fn variant_miss_ordering_is_invariant(
+        ns in 5_000usize..60_000,
+        chunk in 100usize..2000,
+        questions in 1usize..6,
+        skip in 0.0f64..1.0,
+    ) {
+        let config = DataflowConfig {
+            ns,
+            ed: 48,
+            chunk,
+            questions,
+            skip_fraction: skip,
+            hops: 1,
+        };
+        let mut misses = Vec::new();
+        for v in Variant::ALL {
+            let mut llc = SetAssocCache::new(256 << 10, 16, 64).unwrap();
+            misses.push(replay(v, config, &mut llc).unwrap().demand_misses);
+        }
+        // baseline >= column >= column+S >= MnnFast, for every shape.
+        prop_assert!(misses[0] >= misses[1], "{misses:?}");
+        prop_assert!(misses[1] >= misses[2], "{misses:?}");
+        prop_assert!(misses[2] >= misses[3], "{misses:?}");
+    }
+
+    #[test]
+    fn dram_bytes_never_below_miss_traffic(
+        ns in 2_000usize..30_000,
+        chunk in 64usize..1024,
+    ) {
+        let config = DataflowConfig {
+            ns,
+            ed: 48,
+            chunk,
+            questions: 2,
+            skip_fraction: 0.5,
+            hops: 1,
+        };
+        for v in Variant::ALL {
+            let mut llc = SetAssocCache::new(128 << 10, 8, 64).unwrap();
+            let r = replay(v, config, &mut llc).unwrap();
+            prop_assert!(r.dram_bytes >= r.demand_misses * 64, "{v}");
+            prop_assert!(r.demand_misses <= r.demand_accesses, "{v}");
+        }
+    }
+}

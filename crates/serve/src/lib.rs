@@ -1,0 +1,43 @@
+//! Online question answering on top of the MnnFast engines.
+//!
+//! The paper's serving scenario (Section 4.1.1 and Fig 8): the knowledge
+//! database (`M_IN`/`M_OUT`) is long-lived and grows as new story sentences
+//! arrive, while questions are submitted on-the-fly in raw bag-of-words
+//! form and must be embedded and answered immediately. This crate provides
+//! that layer:
+//!
+//! - [`MemoryStore`] — capacity-doubled storage for the embedded memories
+//!   with append and sliding-window eviction,
+//! - [`Session`] — a model + store + engine bundle: `observe()` new
+//!   sentences, `ask()` questions, collect cumulative statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use mnn_dataset::babi::{BabiGenerator, TaskKind};
+//! use mnn_memnn::{MemNet, ModelConfig};
+//! use mnn_serve::{Session, SessionConfig};
+//!
+//! let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 3);
+//! let story = generator.story(6, 1);
+//! let config = ModelConfig::for_generator(&generator, 16, 8);
+//! let model = MemNet::new(config, 1);
+//!
+//! let mut session = Session::new(model, SessionConfig::default()).unwrap();
+//! for sentence in &story.sentences {
+//!     session.observe(sentence).unwrap();
+//! }
+//! let answer = session.ask(&story.questions[0].tokens).unwrap();
+//! assert!(answer.probability > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod pool;
+mod session;
+mod store;
+
+pub use pool::{PoolError, PoolStats, SessionPool};
+pub use session::{Answer, ServeError, Session, SessionConfig, Strategy};
+pub use store::MemoryStore;

@@ -1,0 +1,260 @@
+//! Multi-tenant serving: many independent QA sessions in one process.
+//!
+//! The cache-contention analysis (paper Section 2.2.3) assumes "multiple
+//! question answering tasks can be executed simultaneously (i.e., assuming
+//! multi-tenant setting)". [`SessionPool`] is that setting's software
+//! shape: per-tenant sessions with isolated memories, one shared model, and
+//! pooled statistics that expose the embedding-vs-inference traffic split
+//! the MnnFast embedding cache addresses.
+
+use crate::session::{Answer, ServeError, Session, SessionConfig};
+use mnn_dataset::WordId;
+use mnn_memnn::MemNet;
+use mnnfast::InferenceStats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors specific to the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolError {
+    /// No tenant with that name exists.
+    UnknownTenant(String),
+    /// A tenant with that name already exists.
+    DuplicateTenant(String),
+    /// Error from the tenant's session.
+    Session(ServeError),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::UnknownTenant(t) => write!(f, "unknown tenant '{t}'"),
+            PoolError::DuplicateTenant(t) => write!(f, "tenant '{t}' already exists"),
+            PoolError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<ServeError> for PoolError {
+    fn from(e: ServeError) -> Self {
+        PoolError::Session(e)
+    }
+}
+
+/// Aggregate statistics across the pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolStats {
+    /// Tenants currently served.
+    pub tenants: usize,
+    /// Sentences resident across all tenant memories.
+    pub total_sentences: usize,
+    /// Questions answered pool-wide.
+    pub questions_answered: u64,
+    /// Inference counters merged across tenants.
+    pub inference: InferenceStats,
+    /// Embedding lookups performed pool-wide (one per word observed —
+    /// the traffic stream the paper isolates with the embedding cache).
+    pub embedding_lookups: u64,
+}
+
+/// A pool of per-tenant [`Session`]s sharing one trained model.
+#[derive(Debug)]
+pub struct SessionPool {
+    model: MemNet,
+    config: SessionConfig,
+    sessions: BTreeMap<String, Session>,
+    embedding_lookups: u64,
+}
+
+impl SessionPool {
+    /// Creates a pool; every tenant gets the same model and configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::new`] (incompatible model configurations).
+    pub fn new(model: MemNet, config: SessionConfig) -> Result<Self, ServeError> {
+        // Validate eagerly by constructing (and discarding) one session.
+        let _probe = Session::new(model.clone(), config)?;
+        Ok(Self {
+            model,
+            config,
+            sessions: BTreeMap::new(),
+            embedding_lookups: 0,
+        })
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Returns `true` if no tenants exist.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Creates a tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::DuplicateTenant`] if the name is taken.
+    pub fn create_tenant(&mut self, name: &str) -> Result<(), PoolError> {
+        if self.sessions.contains_key(name) {
+            return Err(PoolError::DuplicateTenant(name.to_owned()));
+        }
+        let session = Session::new(self.model.clone(), self.config).map_err(PoolError::Session)?;
+        self.sessions.insert(name.to_owned(), session);
+        Ok(())
+    }
+
+    /// Removes a tenant and returns how many sentences its memory held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolError::UnknownTenant`] if absent.
+    pub fn remove_tenant(&mut self, name: &str) -> Result<usize, PoolError> {
+        self.sessions
+            .remove(name)
+            .map(|s| s.memory_len())
+            .ok_or_else(|| PoolError::UnknownTenant(name.to_owned()))
+    }
+
+    /// Observes a sentence for `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTenant`] or the session's error.
+    pub fn observe(&mut self, tenant: &str, sentence: &[WordId]) -> Result<usize, PoolError> {
+        let session = self
+            .sessions
+            .get_mut(tenant)
+            .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))?;
+        let evicted = session.observe(sentence)?;
+        self.embedding_lookups += sentence.len() as u64;
+        Ok(evicted)
+    }
+
+    /// Asks `tenant` a question.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTenant`] or the session's error.
+    pub fn ask(&mut self, tenant: &str, question: &[WordId]) -> Result<Answer, PoolError> {
+        let session = self
+            .sessions
+            .get_mut(tenant)
+            .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))?;
+        self.embedding_lookups += question.len() as u64;
+        Ok(session.ask(question)?)
+    }
+
+    /// Aggregated pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        let mut stats = PoolStats {
+            tenants: self.sessions.len(),
+            embedding_lookups: self.embedding_lookups,
+            ..PoolStats::default()
+        };
+        for session in self.sessions.values() {
+            stats.total_sentences += session.memory_len();
+            stats.questions_answered += session.questions_answered();
+            stats.inference.merge(&session.cumulative_stats());
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+    use mnn_memnn::train::Trainer;
+    use mnn_memnn::ModelConfig;
+
+    fn pool() -> (BabiGenerator, SessionPool) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 61);
+        let stories = generator.dataset(40, 6, 2);
+        let config = ModelConfig {
+            temporal: false,
+            ..ModelConfig::for_generator(&generator, 16, 8)
+        };
+        let mut model = MemNet::new(config, 3);
+        Trainer::new().epochs(15).train(&mut model, &stories);
+        let pool = SessionPool::new(model, SessionConfig::default()).unwrap();
+        (generator, pool)
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let (mut generator, mut pool) = pool();
+        pool.create_tenant("alice").unwrap();
+        pool.create_tenant("bob").unwrap();
+
+        let story_a = generator.story(4, 1);
+        let story_b = generator.story(6, 1);
+        for s in &story_a.sentences {
+            pool.observe("alice", s).unwrap();
+        }
+        for s in &story_b.sentences {
+            pool.observe("bob", s).unwrap();
+        }
+        // Each tenant attends only over its own memory.
+        let a = pool.ask("alice", &story_a.questions[0].tokens).unwrap();
+        let b = pool.ask("bob", &story_b.questions[0].tokens).unwrap();
+        assert_eq!(a.stats.rows_total, 4);
+        assert_eq!(b.stats.rows_total, 6);
+
+        let stats = pool.stats();
+        assert_eq!(stats.tenants, 2);
+        assert_eq!(stats.total_sentences, 10);
+        assert_eq!(stats.questions_answered, 2);
+        assert_eq!(stats.inference.rows_total, 10);
+        // Embedding lookups: every observed/asked word.
+        let words: usize = story_a
+            .sentences
+            .iter()
+            .chain(story_b.sentences.iter())
+            .map(Vec::len)
+            .sum();
+        let qwords = story_a.questions[0].tokens.len() + story_b.questions[0].tokens.len();
+        assert_eq!(stats.embedding_lookups, (words + qwords) as u64);
+    }
+
+    #[test]
+    fn tenant_lifecycle_errors() {
+        let (_, mut pool) = pool();
+        assert!(pool.is_empty());
+        pool.create_tenant("x").unwrap();
+        assert_eq!(
+            pool.create_tenant("x"),
+            Err(PoolError::DuplicateTenant("x".into()))
+        );
+        assert!(matches!(
+            pool.observe("ghost", &[0]),
+            Err(PoolError::UnknownTenant(_))
+        ));
+        assert!(matches!(
+            pool.ask("ghost", &[0]),
+            Err(PoolError::UnknownTenant(_))
+        ));
+        pool.observe("x", &[0, 1]).unwrap();
+        assert_eq!(pool.remove_tenant("x"), Ok(1));
+        assert_eq!(
+            pool.remove_tenant("x"),
+            Err(PoolError::UnknownTenant("x".into()))
+        );
+    }
+
+    #[test]
+    fn session_errors_propagate() {
+        let (_, mut pool) = pool();
+        pool.create_tenant("t").unwrap();
+        // Asking before observing anything.
+        assert_eq!(
+            pool.ask("t", &[0]),
+            Err(PoolError::Session(ServeError::EmptyMemory))
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! A serving session: observe sentences, answer questions.
+
+use crate::store::MemoryStore;
+use mnn_dataset::text;
+use mnn_dataset::{Vocabulary, WordId};
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_tensor::{reduce, softmax};
+use mnnfast::parallel::ParallelEngine;
+use mnnfast::streaming::StreamingEngine;
+use mnnfast::{multi_hop, ColumnEngine, InferenceStats, MnnFastConfig, ResponseEngine};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Which execution strategy answers the questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Sequential column-based engine.
+    #[default]
+    Column,
+    /// Double-buffered streaming executor.
+    Streaming,
+    /// Scale-out across worker threads (thread count from the engine
+    /// configuration).
+    Parallel,
+}
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// MnnFast engine configuration (chunk size, skipping, softmax mode,
+    /// threads).
+    pub engine: MnnFastConfig,
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// Memory bound in sentences (`None` = unbounded).
+    pub max_sentences: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            engine: MnnFastConfig::new(64),
+            strategy: Strategy::Column,
+            max_sentences: None,
+        }
+    }
+}
+
+/// Errors from the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The model configuration is incompatible with online serving.
+    Model(String),
+    /// A token is outside the model's vocabulary.
+    UnknownToken(WordId),
+    /// No sentences have been observed yet.
+    EmptyMemory,
+    /// The underlying engine failed.
+    Engine(mnnfast::engine::EngineError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Model(msg) => write!(f, "incompatible model: {msg}"),
+            ServeError::UnknownToken(t) => write!(f, "token {t} outside vocabulary"),
+            ServeError::EmptyMemory => write!(f, "no sentences observed yet"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<mnnfast::engine::EngineError> for ServeError {
+    fn from(e: mnnfast::engine::EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One answered question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The predicted answer word.
+    pub word: WordId,
+    /// Softmax probability of the predicted word.
+    pub probability: f32,
+    /// Engine counters for this question.
+    pub stats: InferenceStats,
+}
+
+/// [`ResponseEngine`] that attends over the populated prefix of an
+/// over-allocated store, dispatching to the configured strategy.
+#[derive(Debug, Clone, Copy)]
+struct PrefixEngine {
+    strategy: Strategy,
+    config: MnnFastConfig,
+    rows: usize,
+}
+
+impl ResponseEngine for PrefixEngine {
+    fn response(
+        &self,
+        m_in: &mnn_tensor::Matrix,
+        m_out: &mnn_tensor::Matrix,
+        u: &[f32],
+    ) -> Result<mnnfast::ColumnOutput, mnnfast::engine::EngineError> {
+        match self.strategy {
+            Strategy::Column => {
+                ColumnEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
+            }
+            Strategy::Streaming => {
+                StreamingEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
+            }
+            Strategy::Parallel => {
+                ParallelEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
+            }
+        }
+    }
+}
+
+/// A long-lived question-answering session.
+///
+/// Holds a trained [`MemNet`], a growable [`MemoryStore`], and an engine.
+/// Incoming story sentences are embedded immediately (`A` and `C` sides)
+/// and appended; questions are embedded through `B` and answered with the
+/// configured MnnFast strategy over however many hops the model uses.
+#[derive(Debug)]
+pub struct Session {
+    model: MemNet,
+    store: MemoryStore,
+    config: SessionConfig,
+    cumulative: InferenceStats,
+    questions_answered: u64,
+}
+
+impl Session {
+    /// Creates a session around a trained model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] if the model uses the learned temporal
+    /// encoding: its age-based indexing would require re-embedding the whole
+    /// memory on every append, which contradicts the online-serving premise.
+    /// Train serving models with `temporal: false` (use position encoding
+    /// for order information instead).
+    pub fn new(model: MemNet, config: SessionConfig) -> Result<Self, ServeError> {
+        let mut model = model;
+        let mc = model.config();
+        if mc.temporal {
+            // Serving models disable the age-indexed encoding; rebuild the
+            // config rather than silently mis-embedding.
+            let fixed = ModelConfig {
+                temporal: false,
+                ..mc
+            };
+            if fixed.validate().is_err() {
+                return Err(ServeError::Model("invalid model configuration".into()));
+            }
+            model.set_config(fixed);
+        }
+        let ed = model.embedding_dim();
+        Ok(Self {
+            model,
+            store: MemoryStore::new(ed, config.max_sentences),
+            config,
+            cumulative: InferenceStats::default(),
+            questions_answered: 0,
+        })
+    }
+
+    /// The number of sentences currently in memory.
+    pub fn memory_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Counters accumulated over every question answered so far.
+    pub fn cumulative_stats(&self) -> InferenceStats {
+        self.cumulative
+    }
+
+    /// Questions answered so far.
+    pub fn questions_answered(&self) -> u64 {
+        self.questions_answered
+    }
+
+    /// The underlying model (e.g. to decode answers via its vocabulary).
+    pub fn model(&self) -> &MemNet {
+        &self.model
+    }
+
+    /// Embeds and appends one story sentence. Returns the number of evicted
+    /// sentences (0, or 1 when the sliding window is full).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownToken`] if a token is out of vocabulary.
+    pub fn observe(&mut self, sentence: &[WordId]) -> Result<usize, ServeError> {
+        self.check_tokens(sentence)?;
+        let ed = self.model.embedding_dim();
+        let mut in_row = vec![0.0f32; ed];
+        let mut out_row = vec![0.0f32; ed];
+        if self.model.config().position_encoding {
+            MemNet::embed_tokens_pe(&self.model.a, sentence, &mut in_row);
+            MemNet::embed_tokens_pe(&self.model.c, sentence, &mut out_row);
+        } else {
+            MemNet::embed_tokens(&self.model.a, sentence, &mut in_row);
+            MemNet::embed_tokens(&self.model.c, sentence, &mut out_row);
+        }
+        Ok(self.store.push(&in_row, &out_row))
+    }
+
+    /// Embeds and answers one question against the current memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::EmptyMemory`] before any sentence has been
+    /// observed, [`ServeError::UnknownToken`] for out-of-vocabulary tokens,
+    /// or an engine error.
+    pub fn ask(&mut self, question: &[WordId]) -> Result<Answer, ServeError> {
+        if self.store.is_empty() {
+            return Err(ServeError::EmptyMemory);
+        }
+        self.check_tokens(question)?;
+        let ed = self.model.embedding_dim();
+        let mut u = vec![0.0f32; ed];
+        if self.model.config().position_encoding {
+            MemNet::embed_tokens_pe(&self.model.b, question, &mut u);
+        } else {
+            MemNet::embed_tokens(&self.model.b, question, &mut u);
+        }
+
+        let hops = self.model.config().hops;
+        let out = self.run_engine(&u, hops)?;
+
+        let mut logits = self.model.output_logits(&out.0, &out.1);
+        let word = reduce::argmax(&logits).expect("non-empty vocabulary") as WordId;
+        softmax::softmax_in_place(&mut logits);
+        self.cumulative.merge(&out.2);
+        self.questions_answered += 1;
+        Ok(Answer {
+            word,
+            probability: logits[word as usize],
+            stats: out.2,
+        })
+    }
+
+    /// Runs the configured strategy; returns `(o, u_last, stats)`.
+    fn run_engine(
+        &self,
+        u: &[f32],
+        hops: usize,
+    ) -> Result<(Vec<f32>, Vec<f32>, InferenceStats), ServeError> {
+        let rows = self.store.len();
+        let (m_in, m_out) = (self.store.m_in(), self.store.m_out());
+        let engine_config = self.config.engine;
+
+        // The store over-allocates; engines attend over the populated
+        // prefix only. Multi-hop runs the prefix engine per hop.
+        let engine = PrefixEngine {
+            strategy: self.config.strategy,
+            config: engine_config,
+            rows,
+        };
+        let out = multi_hop(&engine, m_in, m_out, u, hops)?;
+        Ok((out.o, out.u_last, out.stats))
+    }
+
+    /// Text-level [`Session::observe`]: tokenizes against `vocab` first.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::observe`], plus [`ServeError::Model`] when a word is
+    /// not in the vocabulary.
+    pub fn observe_text(
+        &mut self,
+        sentence: &str,
+        vocab: &Vocabulary,
+    ) -> Result<usize, ServeError> {
+        let tokens = text::encode(sentence, vocab)
+            .map_err(|w| ServeError::Model(format!("unknown word '{w}'")))?;
+        self.observe(&tokens)
+    }
+
+    /// Text-level [`Session::ask`]: tokenizes against `vocab` and decodes
+    /// the answer back to a word.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::ask`], plus [`ServeError::Model`] for unknown words.
+    pub fn ask_text(
+        &mut self,
+        question: &str,
+        vocab: &Vocabulary,
+    ) -> Result<(String, Answer), ServeError> {
+        let tokens = text::encode(question, vocab)
+            .map_err(|w| ServeError::Model(format!("unknown word '{w}'")))?;
+        let answer = self.ask(&tokens)?;
+        let word = vocab.word(answer.word).unwrap_or("<?>").to_owned();
+        Ok((word, answer))
+    }
+
+    fn check_tokens(&self, tokens: &[WordId]) -> Result<(), ServeError> {
+        let v = self.model.config().vocab_size as WordId;
+        for &t in tokens {
+            if t >= v {
+                return Err(ServeError::UnknownToken(t));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnn_dataset::babi::{BabiGenerator, TaskKind};
+    use mnn_memnn::train::Trainer;
+    use mnn_memnn::{eval, ModelConfig};
+
+    fn trained_serving_model() -> (BabiGenerator, MemNet) {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 71);
+        let stories = generator.dataset(80, 8, 2);
+        // Serving model: no temporal encoding, position encoding instead.
+        let config = ModelConfig {
+            temporal: false,
+            ..ModelConfig::for_generator(&generator, 24, 8)
+        }
+        .with_position_encoding(true);
+        let mut model = MemNet::new(config, 17);
+        Trainer::new().epochs(30).train(&mut model, &stories);
+        (generator, model)
+    }
+
+    #[test]
+    fn session_matches_offline_inference() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 3);
+        let offline = eval::accuracy(&model, std::slice::from_ref(&story));
+
+        let mut session = Session::new(model.clone(), SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let mut correct = 0;
+        for q in &story.questions {
+            let a = session.ask(&q.tokens).unwrap();
+            correct += usize::from(a.word == q.answer);
+        }
+        let online = correct as f32 / story.questions.len() as f32;
+        assert!(
+            (online - offline).abs() < 1e-6,
+            "online {online} vs offline {offline}"
+        );
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 2);
+        let mut answers = Vec::new();
+        for strategy in [Strategy::Column, Strategy::Streaming, Strategy::Parallel] {
+            let config = SessionConfig {
+                engine: MnnFastConfig::new(4).with_threads(2),
+                strategy,
+                max_sentences: None,
+            };
+            let mut session = Session::new(model.clone(), config).unwrap();
+            for s in &story.sentences {
+                session.observe(s).unwrap();
+            }
+            let a = session.ask(&story.questions[0].tokens).unwrap();
+            answers.push(a.word);
+        }
+        assert_eq!(answers[0], answers[1]);
+        assert_eq!(answers[1], answers[2]);
+    }
+
+    #[test]
+    fn empty_memory_and_unknown_tokens_error() {
+        let (_, model) = trained_serving_model();
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        assert_eq!(session.ask(&[0]), Err(ServeError::EmptyMemory));
+        assert_eq!(
+            session.observe(&[9999]),
+            Err(ServeError::UnknownToken(9999))
+        );
+        session.observe(&[0, 1]).unwrap();
+        assert!(matches!(
+            session.ask(&[9999]),
+            Err(ServeError::UnknownToken(9999))
+        ));
+    }
+
+    #[test]
+    fn sliding_window_forgets_oldest_facts() {
+        let (mut generator, model) = trained_serving_model();
+        let config = SessionConfig {
+            max_sentences: Some(4),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model, config).unwrap();
+        let story = generator.story(8, 1);
+        let mut evictions = 0;
+        for s in &story.sentences {
+            evictions += session.observe(s).unwrap();
+        }
+        assert_eq!(session.memory_len(), 4);
+        assert_eq!(evictions, 4);
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 3);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        for q in &story.questions {
+            session.ask(&q.tokens).unwrap();
+        }
+        assert_eq!(session.questions_answered(), 3);
+        assert_eq!(session.cumulative_stats().rows_total, 3 * 6);
+    }
+
+    #[test]
+    fn text_level_api_round_trips() {
+        let (mut generator, model) = trained_serving_model();
+        let vocab = generator.vocab().clone();
+        let _ = generator.story(1, 1);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        session
+            .observe_text("mary went to the kitchen", &vocab)
+            .unwrap();
+        session
+            .observe_text("john moved to the garden", &vocab)
+            .unwrap();
+        let (word, answer) = session.ask_text("where is mary?", &vocab).unwrap();
+        assert!(!word.is_empty());
+        assert!(answer.probability > 0.0);
+        // Unknown words surface as errors, not panics.
+        assert!(session.observe_text("xyzzy teleported", &vocab).is_err());
+        assert!(session.ask_text("where is xyzzy", &vocab).is_err());
+    }
+
+    #[test]
+    fn temporal_models_are_converted_not_rejected() {
+        let (_, model) = trained_serving_model();
+        // trained_serving_model is already temporal-free; build a temporal
+        // one and confirm the session strips the flag.
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 1);
+        let _ = generator.story(2, 1);
+        let config = ModelConfig::for_generator(&generator, 8, 4); // temporal: true
+        let temporal_model = MemNet::new(config, 1);
+        let session = Session::new(temporal_model, SessionConfig::default()).unwrap();
+        assert!(!session.model().config().temporal);
+        drop(model);
+    }
+}

@@ -1,0 +1,210 @@
+//! Growable storage for the embedded memories.
+
+use mnn_tensor::Matrix;
+
+/// Capacity-doubled row store for `M_IN`/`M_OUT`.
+///
+/// Rows append in O(ed) amortized; the engines attend over the populated
+/// prefix via `ColumnEngine::forward_prefix`, so no per-question copy is
+/// ever made. A bounded store evicts its oldest rows (sliding-window
+/// memory) when full.
+#[derive(Debug, Clone)]
+pub struct MemoryStore {
+    m_in: Matrix,
+    m_out: Matrix,
+    len: usize,
+    max_rows: Option<usize>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store for `ed`-dimensional rows. `max_rows` bounds
+    /// the memory (oldest rows are evicted past the bound); `None` grows
+    /// without limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ed == 0` or `max_rows == Some(0)`.
+    pub fn new(ed: usize, max_rows: Option<usize>) -> Self {
+        assert!(ed > 0, "embedding dimension must be positive");
+        assert!(max_rows != Some(0), "max_rows must be positive");
+        let initial = 16usize.min(max_rows.unwrap_or(16));
+        Self {
+            m_in: Matrix::zeros(initial, ed),
+            m_out: Matrix::zeros(initial, ed),
+            len: 0,
+            max_rows,
+        }
+    }
+
+    /// Number of populated rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no rows have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Embedding dimension.
+    pub fn embedding_dim(&self) -> usize {
+        self.m_in.cols()
+    }
+
+    /// Current allocated capacity in rows.
+    pub fn capacity(&self) -> usize {
+        self.m_in.rows()
+    }
+
+    /// The input memory (attend over rows `0..len()` only).
+    pub fn m_in(&self) -> &Matrix {
+        &self.m_in
+    }
+
+    /// The output memory (attend over rows `0..len()` only).
+    pub fn m_out(&self) -> &Matrix {
+        &self.m_out
+    }
+
+    /// Appends one embedded sentence (its `A`-side and `C`-side vectors),
+    /// evicting the oldest row first if the store is at its bound.
+    ///
+    /// Returns the number of rows evicted (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row lengths differ from the embedding dimension.
+    pub fn push(&mut self, in_row: &[f32], out_row: &[f32]) -> usize {
+        let ed = self.embedding_dim();
+        assert_eq!(in_row.len(), ed, "push: bad in_row length");
+        assert_eq!(out_row.len(), ed, "push: bad out_row length");
+
+        let mut evicted = 0;
+        if let Some(max) = self.max_rows {
+            if self.len == max {
+                self.evict_front(1);
+                evicted = 1;
+            }
+        }
+        if self.len == self.capacity() {
+            self.grow();
+        }
+        self.m_in.row_mut(self.len).copy_from_slice(in_row);
+        self.m_out.row_mut(self.len).copy_from_slice(out_row);
+        self.len += 1;
+        evicted
+    }
+
+    /// Drops the `n` oldest rows (sliding-window forgetting), shifting the
+    /// remainder forward.
+    pub fn evict_front(&mut self, n: usize) {
+        let n = n.min(self.len);
+        if n == 0 {
+            return;
+        }
+        let ed = self.embedding_dim();
+        let remaining = self.len - n;
+        for matrix in [&mut self.m_in, &mut self.m_out] {
+            let flat = matrix.as_mut_slice();
+            flat.copy_within(n * ed..(n + remaining) * ed, 0);
+        }
+        self.len = remaining;
+    }
+
+    /// Removes all rows (capacity is kept).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let ed = self.embedding_dim();
+        let mut new_cap = (self.capacity() * 2).max(16);
+        if let Some(max) = self.max_rows {
+            new_cap = new_cap.min(max);
+        }
+        for matrix in [&mut self.m_in, &mut self.m_out] {
+            let mut bigger = Matrix::zeros(new_cap, ed);
+            bigger.as_mut_slice()[..self.len * ed]
+                .copy_from_slice(&matrix.as_slice()[..self.len * ed]);
+            *matrix = bigger;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(ed: usize, v: f32) -> Vec<f32> {
+        vec![v; ed]
+    }
+
+    #[test]
+    fn append_grows_capacity_geometrically() {
+        let mut store = MemoryStore::new(4, None);
+        let c0 = store.capacity();
+        for i in 0..100 {
+            store.push(&row(4, i as f32), &row(4, -(i as f32)));
+        }
+        assert_eq!(store.len(), 100);
+        assert!(store.capacity() >= 100);
+        assert!(store.capacity() <= 8 * c0.max(16));
+        // Data integrity across growth.
+        assert_eq!(store.m_in().row(37), &[37.0; 4]);
+        assert_eq!(store.m_out().row(99), &[-99.0; 4]);
+    }
+
+    #[test]
+    fn bounded_store_evicts_oldest() {
+        let mut store = MemoryStore::new(2, Some(3));
+        for i in 0..5 {
+            let evicted = store.push(&row(2, i as f32), &row(2, i as f32));
+            assert_eq!(evicted, usize::from(i >= 3));
+        }
+        assert_eq!(store.len(), 3);
+        assert!(store.capacity() <= 3);
+        // Rows 2, 3, 4 survive in order.
+        assert_eq!(store.m_in().row(0), &[2.0; 2]);
+        assert_eq!(store.m_in().row(2), &[4.0; 2]);
+    }
+
+    #[test]
+    fn evict_front_shifts_rows() {
+        let mut store = MemoryStore::new(2, None);
+        for i in 0..4 {
+            store.push(&row(2, i as f32), &row(2, 10.0 + i as f32));
+        }
+        store.evict_front(2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.m_in().row(0), &[2.0; 2]);
+        assert_eq!(store.m_out().row(1), &[13.0; 2]);
+        // Evicting more than len clamps.
+        store.evict_front(10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut store = MemoryStore::new(2, None);
+        for i in 0..20 {
+            store.push(&row(2, i as f32), &row(2, 0.0));
+        }
+        let cap = store.capacity();
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.capacity(), cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad in_row length")]
+    fn wrong_row_length_panics() {
+        let mut store = MemoryStore::new(4, None);
+        store.push(&[1.0, 2.0], &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rows must be positive")]
+    fn zero_bound_panics() {
+        let _ = MemoryStore::new(4, Some(0));
+    }
+}

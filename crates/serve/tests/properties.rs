@@ -1,0 +1,72 @@
+//! Property tests for the serving layer: the memory store behaves like a
+//! bounded deque of rows, and sessions answer deterministically.
+
+use mnn_serve::MemoryStore;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Operations applied to both the store and a reference model.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(f32),
+    EvictFront(usize),
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (-10.0f32..10.0).prop_map(Op::Push),
+        1 => (0usize..5).prop_map(Op::EvictFront),
+        1 => Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn store_behaves_like_a_bounded_deque(
+        ops in vec(op_strategy(), 1..200),
+        bound in prop_oneof![Just(None), (1usize..20).prop_map(Some)],
+    ) {
+        let ed = 3usize;
+        let mut store = MemoryStore::new(ed, bound);
+        let mut model: Vec<f32> = Vec::new(); // first element of each row
+
+        for op in &ops {
+            match op {
+                Op::Push(v) => {
+                    let row = vec![*v; ed];
+                    let evicted = store.push(&row, &row);
+                    if let Some(max) = bound {
+                        if model.len() == max {
+                            model.remove(0);
+                            prop_assert_eq!(evicted, 1);
+                        } else {
+                            prop_assert_eq!(evicted, 0);
+                        }
+                    }
+                    model.push(*v);
+                }
+                Op::EvictFront(n) => {
+                    store.evict_front(*n);
+                    let n = (*n).min(model.len());
+                    model.drain(..n);
+                }
+                Op::Clear => {
+                    store.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(store.len(), model.len());
+            if let Some(max) = bound {
+                prop_assert!(store.len() <= max);
+            }
+            // Row contents track the model exactly, in order.
+            for (i, &v) in model.iter().enumerate() {
+                prop_assert_eq!(store.m_in().row(i)[0], v);
+                prop_assert_eq!(store.m_out().row(i)[2], v);
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+use std::slice;
+
+/// Cache-line alignment (bytes) used for all tensor storage.
+///
+/// 64 bytes matches the line size assumed by the memory-hierarchy simulator
+/// (`mnn-memsim`), so address arithmetic over [`AlignedBuf`] storage maps
+/// one-to-one onto simulated cache lines.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// A heap-allocated, 64-byte-aligned, fixed-length `f32` buffer.
+///
+/// `Vec<f32>` only guarantees 4-byte alignment; streamed chunk transfers in
+/// the column-based algorithm want whole cache lines. `AlignedBuf` guarantees
+/// that element 0 starts a cache line, which also keeps the trace generators
+/// in `mnn-memsim` honest about line counts.
+///
+/// The buffer derefs to `[f32]`, so all slice APIs apply:
+///
+/// ```
+/// use mnn_tensor::AlignedBuf;
+///
+/// let mut buf = AlignedBuf::zeroed(8);
+/// buf[3] = 1.5;
+/// assert_eq!(buf.iter().sum::<f32>(), 1.5);
+/// assert_eq!(buf.as_ptr() as usize % 64, 0);
+/// ```
+pub struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+// SAFETY: AlignedBuf owns its allocation exclusively, like Vec<f32>.
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+impl AlignedBuf {
+    /// Allocates a zero-initialized buffer of `len` floats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len * 4` overflows `isize` (allocation-size limit).
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            handle_alloc_error(layout);
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates a buffer holding a copy of `data`.
+    pub fn from_slice(data: &[f32]) -> Self {
+        let mut buf = Self::zeroed(data.len());
+        buf.copy_from_slice(data);
+        buf
+    }
+
+    /// Number of `f32` elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill_with_value(&mut self, value: f32) {
+        self.as_mut_slice().fill(value);
+    }
+
+    /// Immutable view of the whole buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr/len describe a live owned allocation (or a dangling
+        // pointer paired with len == 0, which is valid for empty slices).
+        unsafe { slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus &mut self guarantees exclusivity.
+        unsafe { slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(
+            len.checked_mul(std::mem::size_of::<f32>())
+                .expect("AlignedBuf length overflows allocation size"),
+            CACHE_LINE_BYTES,
+        )
+        .expect("valid layout")
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated with the identical layout in `zeroed`.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl Clone for AlignedBuf {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl Deref for AlignedBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for AlignedBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.as_mut_slice()
+    }
+}
+
+impl fmt::Debug for AlignedBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .field("head", &self.as_slice().iter().take(4).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl PartialEq for AlignedBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<f32>> for AlignedBuf {
+    fn from(v: Vec<f32>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl From<&[f32]> for AlignedBuf {
+    fn from(v: &[f32]) -> Self {
+        Self::from_slice(v)
+    }
+}
+
+impl Default for AlignedBuf {
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_aligned_and_zero() {
+        for len in [1usize, 7, 16, 1000] {
+            let buf = AlignedBuf::zeroed(len);
+            assert_eq!(buf.len(), len);
+            assert_eq!(buf.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+            assert!(buf.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_buffer_is_usable() {
+        let buf = AlignedBuf::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[f32]);
+        let cloned = buf.clone();
+        assert_eq!(cloned.len(), 0);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data = [1.0f32, -2.0, 3.5];
+        let buf = AlignedBuf::from_slice(&data);
+        assert_eq!(buf.as_slice(), &data);
+        let via_vec: AlignedBuf = vec![1.0f32, -2.0, 3.5].into();
+        assert_eq!(via_vec, buf);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::from_slice(&[1.0, 2.0]);
+        let b = a.clone();
+        a[0] = 9.0;
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn fill_with_value_sets_all() {
+        let mut buf = AlignedBuf::zeroed(5);
+        buf.fill_with_value(2.5);
+        assert!(buf.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignedBuf>();
+    }
+}

@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when the shapes of linear-algebra operands do not agree.
+///
+/// Every fallible kernel in this crate reports dimension mismatches through
+/// this type rather than panicking, so that callers (e.g. the streaming
+/// executor in `mnnfast`) can surface configuration errors cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    expected: String,
+    found: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op`.
+    pub fn new(op: &'static str, expected: impl Into<String>, found: impl Into<String>) -> Self {
+        Self {
+            op,
+            expected: expected.into(),
+            found: found.into(),
+        }
+    }
+
+    /// The name of the operation that failed.
+    pub fn op(&self) -> &str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: expected {}, found {}",
+            self.op, self.expected, self.found
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_operation_and_shapes() {
+        let e = ShapeError::new("gemv", "x of length 4", "x of length 3");
+        let s = e.to_string();
+        assert!(s.contains("gemv"));
+        assert!(s.contains("length 4"));
+        assert!(s.contains("length 3"));
+        assert_eq!(e.op(), "gemv");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

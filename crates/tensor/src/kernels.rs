@@ -1,0 +1,365 @@
+//! Dense kernels: dot, axpy, scale, GEMV and blocked GEMM.
+//!
+//! These are the from-scratch replacements for the OpenBLAS calls in the
+//! paper's CPU implementation. The inner loops are written so that LLVM can
+//! auto-vectorize them (no bounds checks inside the hot loop, simple strides).
+//! A deliberately naive reference implementation of each kernel lives in the
+//! test module and the property tests assert agreement.
+
+use crate::{Matrix, ShapeError};
+
+/// Dot product of two equal-length slices.
+///
+/// The accumulation is split over four independent partial sums to expose
+/// instruction-level parallelism (the same trick BLAS level-1 kernels use).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths (this is the innermost hot
+/// loop; callers validate shapes once at a higher level).
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for j in chunks * 4..a.len() {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+/// `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise `y += x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    axpy(1.0, x, y);
+}
+
+/// Matrix–vector product `out = M · x` where `M` is `rows × cols` and `x`
+/// has length `cols`.
+///
+/// This is the *inner product* step of the inference operation: each row of
+/// `M_IN` dotted against the question state `u` (Equation 1 of the paper).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != M.cols()` or
+/// `out.len() != M.rows()`.
+pub fn gemv(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<(), ShapeError> {
+    if x.len() != m.cols() {
+        return Err(ShapeError::new(
+            "gemv",
+            format!("x of length {}", m.cols()),
+            format!("x of length {}", x.len()),
+        ));
+    }
+    if out.len() != m.rows() {
+        return Err(ShapeError::new(
+            "gemv",
+            format!("out of length {}", m.rows()),
+            format!("out of length {}", out.len()),
+        ));
+    }
+    for (r, o) in out.iter_mut().enumerate() {
+        *o = dot(m.row(r), x);
+    }
+    Ok(())
+}
+
+/// Row-chunk GEMV over a flat row-major block: `out[i] = rows[i] · x` for
+/// `i` in `0..n_rows`. Used by the column-based algorithm, whose unit of
+/// work is a flat chunk of `M_IN` rather than a whole [`Matrix`].
+///
+/// # Panics
+///
+/// Panics if `chunk.len() != n_rows * x.len()` or `out.len() != n_rows`.
+pub fn gemv_chunk(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
+    let cols = x.len();
+    assert_eq!(chunk.len(), n_rows * cols, "gemv_chunk: bad chunk length");
+    assert_eq!(out.len(), n_rows, "gemv_chunk: bad out length");
+    for r in 0..n_rows {
+        out[r] = dot(&chunk[r * cols..(r + 1) * cols], x);
+    }
+}
+
+/// Vector–matrix product `out = xᵀ · M` (length `cols`), i.e. the weighted
+/// sum of the *rows* of `M` with weights `x`.
+///
+/// This is the *output memory representation* step (Equation 2): the response
+/// vector `o = Σ p_i · m_i^OUT`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x.len() != M.rows()` or
+/// `out.len() != M.cols()`.
+pub fn gevm(x: &[f32], m: &Matrix, out: &mut [f32]) -> Result<(), ShapeError> {
+    if x.len() != m.rows() {
+        return Err(ShapeError::new(
+            "gevm",
+            format!("x of length {}", m.rows()),
+            format!("x of length {}", x.len()),
+        ));
+    }
+    if out.len() != m.cols() {
+        return Err(ShapeError::new(
+            "gevm",
+            format!("out of length {}", m.cols()),
+            format!("out of length {}", out.len()),
+        ));
+    }
+    out.fill(0.0);
+    for (r, &w) in x.iter().enumerate() {
+        axpy(w, m.row(r), out);
+    }
+    Ok(())
+}
+
+/// Tile edge used by [`gemm`]'s cache blocking.
+const GEMM_BLOCK: usize = 64;
+
+/// Blocked matrix–matrix product `C = A · B`.
+///
+/// `A` is `m × k`, `B` is `k × n`, `C` is `m × n`. The k-loop is blocked so
+/// that the working set of a tile fits in L1/L2; within a tile the innermost
+/// loop runs contiguously over a row of `B` and `C`, which LLVM vectorizes.
+/// GEMM appears in the paper's pipeline as the batched inner product
+/// (`U × M_INᵀ`) and the FC output layer.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions disagree or `C` has the
+/// wrong shape.
+pub fn gemm(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError::new(
+            "gemm",
+            format!("inner dims equal (A is {}x{})", a.rows(), a.cols()),
+            format!("B is {}x{}", b.rows(), b.cols()),
+        ));
+    }
+    if c.shape() != (a.rows(), b.cols()) {
+        return Err(ShapeError::new(
+            "gemm",
+            format!("C of shape {}x{}", a.rows(), b.cols()),
+            format!("C of shape {}x{}", c.rows(), c.cols()),
+        ));
+    }
+    c.as_mut_slice().fill(0.0);
+    let (m, k) = (a.rows(), a.cols());
+    for kk in (0..k).step_by(GEMM_BLOCK) {
+        let k_hi = (kk + GEMM_BLOCK).min(k);
+        for i in 0..m {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            for (p, &aval) in a_row.iter().enumerate().take(k_hi).skip(kk) {
+                if aval == 0.0 {
+                    continue;
+                }
+                axpy(aval, b.row(p), c_row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `C = A · Bᵀ` where `A` is `m × k`, `B` is `n × k`, `C` is `m × n` —
+/// both operands row-major, so `C[i][j] = A.row(i) · B.row(j)` with no
+/// transpose copy. This is the batched inner product of the inference
+/// operation: `T_IN = U × M_INᵀ` (Section 4.1.2's GEMM formulation).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the inner dimensions disagree or `C` has the
+/// wrong shape.
+pub fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), ShapeError> {
+    if a.cols() != b.cols() {
+        return Err(ShapeError::new(
+            "gemm_nt",
+            format!("k dims equal (A is {}x{})", a.rows(), a.cols()),
+            format!("B is {}x{}", b.rows(), b.cols()),
+        ));
+    }
+    if c.shape() != (a.rows(), b.rows()) {
+        return Err(ShapeError::new(
+            "gemm_nt",
+            format!("C of shape {}x{}", a.rows(), b.rows()),
+            format!("C of shape {}x{}", c.rows(), c.cols()),
+        ));
+    }
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (j, out) in c_row.iter_mut().enumerate() {
+            *out = dot(a_row, b.row(j));
+        }
+    }
+    Ok(())
+}
+
+/// Number of floating-point operations (multiply + add counted separately)
+/// performed by a `rows × cols` GEMV — used by the op-count instrumentation.
+pub fn gemv_flops(rows: usize, cols: usize) -> u64 {
+    2 * rows as u64 * cols as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+
+    fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn dot_matches_naive_on_awkward_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 8, 17] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 * 0.5 - 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let expect = naive_dot(&a, &b);
+            assert!(
+                (dot(&a, &b) - expect).abs() < 1e-4,
+                "len {len}: {} vs {expect}",
+                dot(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut y = vec![1.0f32, 2.0, 3.0];
+        axpy(2.0, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+        let mut z = vec![1.0f32];
+        add_assign(&mut z, &[2.0]);
+        assert_eq!(z, vec![3.0]);
+    }
+
+    #[test]
+    fn gemv_matches_hand_computation() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..], &[5.0, 6.0][..]]).unwrap();
+        let mut out = vec![0.0; 3];
+        gemv(&m, &[1.0, -1.0], &mut out).unwrap();
+        assert_eq!(out, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemv_rejects_bad_shapes() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = vec![0.0; 2];
+        assert!(gemv(&m, &[0.0; 2], &mut out).is_err());
+        let mut short = vec![0.0; 1];
+        assert!(gemv(&m, &[0.0; 3], &mut short).is_err());
+    }
+
+    #[test]
+    fn gemv_chunk_agrees_with_gemv() {
+        let m = Matrix::from_fn(7, 5, |r, c| (r as f32 - c as f32) * 0.25);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let mut full = vec![0.0; 7];
+        gemv(&m, &x, &mut full).unwrap();
+        let mut chunked = vec![0.0; 7];
+        for (start, n, flat) in m.chunk_rows(3) {
+            gemv_chunk(flat, n, &x, &mut chunked[start..start + n]);
+        }
+        assert_slice_approx_eq(&full, &chunked, 1e-6);
+    }
+
+    #[test]
+    fn gevm_is_weighted_row_sum() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0][..], &[0.0, 1.0][..]]).unwrap();
+        let mut out = vec![0.0; 2];
+        gevm(&[0.25, 0.75], &m, &mut out).unwrap();
+        assert_eq!(out, vec![0.25, 0.75]);
+        assert!(gevm(&[0.0; 3], &m, &mut out).is_err());
+        let mut bad = vec![0.0; 3];
+        assert!(gevm(&[0.0; 2], &m, &mut bad).is_err());
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = Matrix::from_fn(5, 7, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let b = Matrix::from_fn(7, 4, |r, c| ((r + 2 * c) % 3) as f32);
+        let mut c = Matrix::zeros(5, 4);
+        gemm(&a, &b, &mut c).unwrap();
+        for i in 0..5 {
+            for j in 0..4 {
+                let expect: f32 = (0..7).map(|p| a.get(i, p) * b.get(p, j)).sum();
+                assert!((c.get(i, j) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        assert!(gemm(&a, &b, &mut c).is_err());
+        let b_ok = Matrix::zeros(3, 2);
+        let mut c_bad = Matrix::zeros(3, 2);
+        assert!(gemm(&a, &b_ok, &mut c_bad).is_err());
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |r, c| ((r * 5 + c) % 7) as f32 - 3.0);
+        let b = Matrix::from_fn(4, 5, |r, c| ((r + 2 * c) % 5) as f32);
+        let mut c_nt = Matrix::zeros(3, 4);
+        gemm_nt(&a, &b, &mut c_nt).unwrap();
+        let bt = b.transposed();
+        let mut c_ref = Matrix::zeros(3, 4);
+        gemm(&a, &bt, &mut c_ref).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((c_nt.get(i, j) - c_ref.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 5);
+        let mut c = Matrix::zeros(2, 4);
+        assert!(gemm_nt(&a, &b, &mut c).is_err());
+        let b_ok = Matrix::zeros(4, 3);
+        let mut c_bad = Matrix::zeros(2, 3);
+        assert!(gemm_nt(&a, &b_ok, &mut c_bad).is_err());
+    }
+
+    #[test]
+    fn flops_counter() {
+        assert_eq!(gemv_flops(10, 4), 80);
+    }
+}

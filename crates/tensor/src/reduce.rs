@@ -1,0 +1,85 @@
+//! Reductions over `f32` slices: sums, maxima and argmax.
+
+/// Sum of all elements (pairwise-ish via 4 accumulators for accuracy and
+/// vectorizability).
+pub fn sum(x: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += x[j];
+        acc[1] += x[j + 1];
+        acc[2] += x[j + 2];
+        acc[3] += x[j + 3];
+    }
+    let mut s = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &v in &x[chunks * 4..] {
+        s += v;
+    }
+    s
+}
+
+/// Maximum element, or `f32::NEG_INFINITY` for an empty slice.
+pub fn max(x: &[f32]) -> f32 {
+    x.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Index of the maximum element, or `None` for an empty slice. Ties resolve
+/// to the first occurrence (the answer-prediction convention of the MemNN
+/// output layer).
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Number of elements strictly greater than `threshold` — used to measure
+/// attention sparsity for the zero-skipping analysis (Fig 6/7).
+pub fn count_above(x: &[f32], threshold: f32) -> usize {
+    x.iter().filter(|&&v| v > threshold).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_matches_naive() {
+        let x: Vec<f32> = (0..13).map(|i| i as f32 * 0.25).collect();
+        let naive: f32 = x.iter().sum();
+        assert!((sum(&x) - naive).abs() < 1e-5);
+        assert_eq!(sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_handles_empty_and_negatives() {
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+        assert_eq!(max(&[-3.0, -1.0, -2.0]), -1.0);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[5.0]), Some(0));
+    }
+
+    #[test]
+    fn argmax_ignores_nan_after_max() {
+        // NaN comparisons are false, so NaN never replaces a real max.
+        assert_eq!(argmax(&[1.0, f32::NAN, 2.0]), Some(2));
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let p = [0.005f32, 0.3, 0.65, 0.045];
+        assert_eq!(count_above(&p, 0.1), 2);
+        assert_eq!(count_above(&p, 0.01), 3);
+        assert_eq!(count_above(&p, 1.0), 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! The softmax family used by memory networks.
+//!
+//! Three formulations appear in the reproduction:
+//!
+//! 1. [`softmax_in_place`] — the textbook max-stabilized softmax used by the
+//!    baseline MemNN (the paper's Fig 5(a) dataflow: exponentiate, sum,
+//!    divide).
+//! 2. *Lazy softmax* — the paper's column-based reformulation (Equation 4):
+//!    each chunk contributes `Σ e^{x_i} m_i` and `Σ e^{x_i}`; one division by
+//!    the grand total happens at the very end. [`exp_in_place`] +
+//!    [`LazyAccumulator`] implement the bookkeeping.
+//! 3. [`OnlineSoftmax`] — a numerically-safe streaming variant (extension,
+//!    §7 of DESIGN.md) that tracks a running maximum and rescales previous
+//!    partial sums, exactly like streamed attention kernels.
+
+use crate::kernels;
+
+/// Replaces `x` with `softmax(x)` using the max-subtraction trick.
+///
+/// An empty slice is left unchanged.
+///
+/// ```
+/// let mut x = [1.0f32, 2.0, 3.0];
+/// mnn_tensor::softmax::softmax_in_place(&mut x);
+/// assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(x[2] > x[1] && x[1] > x[0]);
+/// ```
+pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Replaces each element with `e^{x_i}` (no normalization), the per-chunk
+/// step of the lazy softmax. Returns the sum of the exponentials, which the
+/// caller accumulates into the lazy denominator.
+pub fn exp_in_place(x: &mut [f32]) -> f32 {
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = v.exp();
+        sum += *v;
+    }
+    sum
+}
+
+/// Accumulator for the paper's lazy softmax (Equation 4).
+///
+/// Chunks feed `(Σ e^{x_i}, Σ e^{x_i}·m_i)` pairs; [`LazyAccumulator::finish`]
+/// performs the single division at the end. Merging two accumulators is the
+/// scale-out reduction of Section 3.1 (partial results from multiple compute
+/// units combine with negligible synchronization).
+///
+/// ```
+/// use mnn_tensor::softmax::LazyAccumulator;
+///
+/// let mut acc = LazyAccumulator::new(2);
+/// acc.add_weighted(1.0, &[1.0, 0.0]); // weight e^0 = 1 for clarity
+/// acc.add_weighted(3.0, &[0.0, 1.0]);
+/// let o = acc.finish();
+/// assert!((o[0] - 0.25).abs() < 1e-6);
+/// assert!((o[1] - 0.75).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyAccumulator {
+    weighted_sum: Vec<f32>,
+    denom: f32,
+}
+
+impl LazyAccumulator {
+    /// Creates an accumulator producing an output vector of dimension `ed`.
+    pub fn new(ed: usize) -> Self {
+        Self {
+            weighted_sum: vec![0.0; ed],
+            denom: 0.0,
+        }
+    }
+
+    /// Adds one memory entry: `weight = e^{u·m_i^IN}` and `row = m_i^OUT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the accumulator dimension.
+    pub fn add_weighted(&mut self, weight: f32, row: &[f32]) {
+        kernels::axpy(weight, row, &mut self.weighted_sum);
+        self.denom += weight;
+    }
+
+    /// Adds only to the denominator — the zero-skipping path: entries whose
+    /// exponential falls below the skip threshold still contribute to
+    /// `Σ e^{x_j}` (the paper's FPGA design does exactly this) but skip the
+    /// `ed`-wide multiply-accumulate.
+    pub fn add_skipped(&mut self, weight: f32) {
+        self.denom += weight;
+    }
+
+    /// Merges another accumulator (the scale-out reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &LazyAccumulator) {
+        kernels::add_assign(&mut self.weighted_sum, &other.weighted_sum);
+        self.denom += other.denom;
+    }
+
+    /// Current denominator `Σ e^{x_j}` over everything accumulated so far.
+    pub fn denom(&self) -> f32 {
+        self.denom
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.weighted_sum.len()
+    }
+
+    /// Performs the lazy division and returns the response vector `o`.
+    ///
+    /// If nothing was accumulated the result is a zero vector (denominator
+    /// zero is mapped to zero output rather than NaN so that empty chunks are
+    /// harmless).
+    pub fn finish(self) -> Vec<f32> {
+        let mut out = self.weighted_sum;
+        if self.denom > 0.0 {
+            kernels::scale(1.0 / self.denom, &mut out);
+        }
+        out
+    }
+}
+
+/// Numerically-safe streaming softmax-weighted-sum (extension).
+///
+/// Tracks the running maximum logit `m`; partial sums are kept relative to
+/// `e^{-m}` and rescaled whenever a larger logit arrives. Produces results
+/// identical to [`LazyAccumulator`] on moderate logits while remaining finite
+/// for logits far beyond `f32` overflow (e.g. `x = 200`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineSoftmax {
+    weighted_sum: Vec<f32>,
+    denom: f32,
+    max_logit: f32,
+}
+
+impl OnlineSoftmax {
+    /// Creates an accumulator producing an output vector of dimension `ed`.
+    pub fn new(ed: usize) -> Self {
+        Self {
+            weighted_sum: vec![0.0; ed],
+            denom: 0.0,
+            max_logit: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one memory entry with raw logit `x_i = u·m_i^IN` and output row
+    /// `m_i^OUT`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the accumulator dimension.
+    pub fn add(&mut self, logit: f32, row: &[f32]) {
+        let scale_factor = self.rescale(logit);
+        let w = (logit - self.max_logit).exp();
+        debug_assert!(scale_factor.is_finite());
+        kernels::axpy(w, row, &mut self.weighted_sum);
+        self.denom += w;
+    }
+
+    /// Adds a logit to the denominator only (zero-skipping path).
+    pub fn add_skipped(&mut self, logit: f32) {
+        self.rescale(logit);
+        self.denom += (logit - self.max_logit).exp();
+    }
+
+    /// Merges another accumulator, rescaling both to the larger maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &OnlineSoftmax) {
+        if other.denom == 0.0 && other.max_logit == f32::NEG_INFINITY {
+            return;
+        }
+        let new_max = self.max_logit.max(other.max_logit);
+        let self_scale = exp_or_zero(self.max_logit - new_max);
+        let other_scale = exp_or_zero(other.max_logit - new_max);
+        kernels::scale(self_scale, &mut self.weighted_sum);
+        for (acc, &v) in self.weighted_sum.iter_mut().zip(&other.weighted_sum) {
+            *acc += other_scale * v;
+        }
+        self.denom = self.denom * self_scale + other.denom * other_scale;
+        self.max_logit = new_max;
+    }
+
+    /// Current denominator `Σ e^{x_j - max}` relative to the running
+    /// maximum (0 before anything is added).
+    pub fn denom(&self) -> f32 {
+        self.denom
+    }
+
+    /// The running maximum logit (`-inf` before anything is added).
+    pub fn max_logit(&self) -> f32 {
+        self.max_logit
+    }
+
+    /// Probability weight the accumulator would currently assign to `logit`,
+    /// i.e. `e^{logit - max}` before normalization. Exposed so zero-skip
+    /// decisions can be made in the numerically-safe domain.
+    pub fn relative_weight(&self, logit: f32) -> f32 {
+        exp_or_zero(logit - self.max_logit.max(logit))
+    }
+
+    /// Performs the final normalization and returns the response vector.
+    pub fn finish(self) -> Vec<f32> {
+        let mut out = self.weighted_sum;
+        if self.denom > 0.0 {
+            kernels::scale(1.0 / self.denom, &mut out);
+        }
+        out
+    }
+
+    /// Raises the running max to `logit` if needed, rescaling prior partial
+    /// sums; returns the applied scale factor.
+    fn rescale(&mut self, logit: f32) -> f32 {
+        if logit <= self.max_logit {
+            return 1.0;
+        }
+        let factor = exp_or_zero(self.max_logit - logit);
+        kernels::scale(factor, &mut self.weighted_sum);
+        self.denom *= factor;
+        self.max_logit = logit;
+        factor
+    }
+}
+
+/// `e^x`, with `e^{-inf - -inf} = e^{NaN}` edge cases mapped to 0.
+fn exp_or_zero(x: f32) -> f32 {
+    if x.is_nan() {
+        0.0
+    } else {
+        x.exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slice_approx_eq;
+
+    fn baseline_softmax_weighted_sum(logits: &[f32], rows: &[Vec<f32>]) -> Vec<f32> {
+        let mut p = logits.to_vec();
+        softmax_in_place(&mut p);
+        let ed = rows[0].len();
+        let mut out = vec![0.0; ed];
+        for (w, row) in p.iter().zip(rows) {
+            kernels::axpy(*w, row, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn softmax_normalizes_and_orders() {
+        let mut x = [0.0f32, 1.0, -1.0, 3.0];
+        softmax_in_place(&mut x);
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(x[3] > x[1] && x[1] > x[0] && x[0] > x[2]);
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let mut x = [1000.0f32, 999.0, -1000.0];
+        softmax_in_place(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut x: [f32; 0] = [];
+        softmax_in_place(&mut x);
+    }
+
+    #[test]
+    fn softmax_single_element_is_one() {
+        let mut x = [42.0f32];
+        softmax_in_place(&mut x);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exp_in_place_returns_sum() {
+        let mut x = [0.0f32, 1.0];
+        let s = exp_in_place(&mut x);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - std::f32::consts::E).abs() < 1e-5);
+        assert!((s - (1.0 + std::f32::consts::E)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn lazy_matches_baseline() {
+        let logits = [0.5f32, -0.25, 2.0, 1.0, -3.0];
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..3).map(|j| (i * 3 + j) as f32 * 0.1).collect())
+            .collect();
+        let expect = baseline_softmax_weighted_sum(&logits, &rows);
+
+        let mut acc = LazyAccumulator::new(3);
+        for (l, row) in logits.iter().zip(&rows) {
+            acc.add_weighted(l.exp(), row);
+        }
+        assert_slice_approx_eq(&acc.finish(), &expect, 1e-5);
+    }
+
+    #[test]
+    fn lazy_merge_equals_single_pass() {
+        let logits: Vec<f32> = (0..10).map(|i| (i as f32) * 0.3 - 1.5).collect();
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, -(i as f32)]).collect();
+
+        let mut whole = LazyAccumulator::new(2);
+        for (l, r) in logits.iter().zip(&rows) {
+            whole.add_weighted(l.exp(), r);
+        }
+
+        let mut a = LazyAccumulator::new(2);
+        let mut b = LazyAccumulator::new(2);
+        for (i, (l, r)) in logits.iter().zip(&rows).enumerate() {
+            if i < 4 {
+                a.add_weighted(l.exp(), r);
+            } else {
+                b.add_weighted(l.exp(), r);
+            }
+        }
+        a.merge(&b);
+        assert!((a.denom() - whole.denom()).abs() < 1e-4);
+        assert_slice_approx_eq(&a.finish(), &whole.finish(), 1e-5);
+    }
+
+    #[test]
+    fn lazy_empty_finishes_to_zero() {
+        let acc = LazyAccumulator::new(4);
+        assert_eq!(acc.finish(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn lazy_skipped_only_affects_denominator() {
+        let mut acc = LazyAccumulator::new(1);
+        acc.add_weighted(1.0, &[1.0]);
+        acc.add_skipped(1.0);
+        let out = acc.finish();
+        assert!((out[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_matches_baseline() {
+        let logits = [0.5f32, -0.25, 2.0, 1.0, -3.0];
+        let rows: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..3).map(|j| ((i * 3 + j) as f32).cos()).collect())
+            .collect();
+        let expect = baseline_softmax_weighted_sum(&logits, &rows);
+        let mut acc = OnlineSoftmax::new(3);
+        for (l, row) in logits.iter().zip(&rows) {
+            acc.add(*l, row);
+        }
+        assert_slice_approx_eq(&acc.finish(), &expect, 1e-5);
+    }
+
+    #[test]
+    fn online_survives_overflowing_logits() {
+        // Raw lazy softmax would produce inf here: e^200 overflows f32.
+        let mut acc = OnlineSoftmax::new(2);
+        acc.add(200.0, &[1.0, 0.0]);
+        acc.add(199.0, &[0.0, 1.0]);
+        let out = acc.finish();
+        assert!(out.iter().all(|v| v.is_finite()));
+        // p = softmax([200, 199]) = [e/(1+e), 1/(1+e)]
+        let e = std::f32::consts::E;
+        assert!((out[0] - e / (1.0 + e)).abs() < 1e-5);
+        assert!((out[1] - 1.0 / (1.0 + e)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn online_merge_equals_single_pass() {
+        let logits: Vec<f32> = vec![5.0, -2.0, 100.0, 3.0, 99.5, -50.0];
+        let rows: Vec<Vec<f32>> = (0..6).map(|i| vec![(i as f32) * 0.7 - 1.0]).collect();
+
+        let mut whole = OnlineSoftmax::new(1);
+        for (l, r) in logits.iter().zip(&rows) {
+            whole.add(*l, r);
+        }
+        let mut a = OnlineSoftmax::new(1);
+        let mut b = OnlineSoftmax::new(1);
+        for (i, (l, r)) in logits.iter().zip(&rows).enumerate() {
+            if i % 2 == 0 {
+                a.add(*l, r);
+            } else {
+                b.add(*l, r);
+            }
+        }
+        a.merge(&b);
+        assert_slice_approx_eq(&a.finish(), &whole.finish(), 1e-5);
+    }
+
+    #[test]
+    fn online_merge_with_empty_is_identity() {
+        let mut acc = OnlineSoftmax::new(1);
+        acc.add(1.0, &[2.0]);
+        let before = acc.clone();
+        acc.merge(&OnlineSoftmax::new(1));
+        assert_eq!(acc, before);
+
+        let mut empty = OnlineSoftmax::new(1);
+        empty.merge(&before);
+        assert_slice_approx_eq(&empty.finish(), &before.finish(), 1e-6);
+    }
+
+    #[test]
+    fn online_relative_weight_for_skipping() {
+        let mut acc = OnlineSoftmax::new(1);
+        acc.add(10.0, &[1.0]);
+        // A logit 5 below the max has relative weight e^-5.
+        assert!((acc.relative_weight(5.0) - (-5.0f32).exp()).abs() < 1e-6);
+        // A new maximum always has weight 1.
+        assert!((acc.relative_weight(20.0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the tensor substrate.
+
+use mnn_tensor::softmax::{softmax_in_place, LazyAccumulator, OnlineSoftmax};
+use mnn_tensor::{approx_eq, kernels, reduce, Matrix};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn finite_f32(range: f32) -> impl Strategy<Value = f32> {
+    (-range..range).prop_map(|x: f32| x)
+}
+
+proptest! {
+    #[test]
+    fn softmax_sums_to_one(xs in vec(finite_f32(30.0), 1..200)) {
+        let mut p = xs.clone();
+        softmax_in_place(&mut p);
+        let total = reduce::sum(&p);
+        prop_assert!((total - 1.0).abs() < 1e-4, "sum {total}");
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(xs in vec(finite_f32(10.0), 1..50), shift in finite_f32(20.0)) {
+        let mut a = xs.clone();
+        softmax_in_place(&mut a);
+        let mut b: Vec<f32> = xs.iter().map(|x| x + shift).collect();
+        softmax_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!(approx_eq(*x, *y, 1e-4));
+        }
+    }
+
+    #[test]
+    fn dot_is_commutative_and_bilinear(
+        a in vec(finite_f32(10.0), 1..64),
+        s in finite_f32(4.0),
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let ab = kernels::dot(&a, &b);
+        let ba = kernels::dot(&b, &a);
+        prop_assert!(approx_eq(ab, ba, 1e-3));
+        let sa: Vec<f32> = a.iter().map(|x| s * x).collect();
+        prop_assert!(approx_eq(kernels::dot(&sa, &b), s * ab, 1e-2 * (1.0 + ab.abs())));
+    }
+
+    #[test]
+    fn gemv_distributes_over_chunks(
+        rows in 1usize..40,
+        cols in 1usize..16,
+        chunk in 1usize..17,
+        seed in any::<u64>(),
+    ) {
+        // Pseudo-random but deterministic fill from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let m = Matrix::from_fn(rows, cols, |_, _| next());
+        let x: Vec<f32> = (0..cols).map(|_| next()).collect();
+
+        let mut full = vec![0.0; rows];
+        kernels::gemv(&m, &x, &mut full).unwrap();
+
+        let mut chunked = vec![0.0; rows];
+        for (start, n, flat) in m.chunk_rows(chunk) {
+            kernels::gemv_chunk(flat, n, &x, &mut chunked[start..start + n]);
+        }
+        for (a, b) in full.iter().zip(&chunked) {
+            prop_assert!(approx_eq(*a, *b, 1e-4));
+        }
+    }
+
+    #[test]
+    fn lazy_and_online_agree_with_baseline(
+        logits in vec(finite_f32(15.0), 1..64),
+        ed in 1usize..8,
+    ) {
+        let rows: Vec<Vec<f32>> = (0..logits.len())
+            .map(|i| (0..ed).map(|j| ((i * ed + j) as f32).sin()).collect())
+            .collect();
+
+        // Baseline: softmax then weighted sum.
+        let mut p = logits.clone();
+        softmax_in_place(&mut p);
+        let mut baseline = vec![0.0; ed];
+        for (w, row) in p.iter().zip(&rows) {
+            kernels::axpy(*w, row, &mut baseline);
+        }
+
+        let mut lazy = LazyAccumulator::new(ed);
+        let mut online = OnlineSoftmax::new(ed);
+        for (l, row) in logits.iter().zip(&rows) {
+            lazy.add_weighted(l.exp(), row);
+            online.add(*l, row);
+        }
+        let lazy_out = lazy.finish();
+        let online_out = online.finish();
+        for i in 0..ed {
+            prop_assert!(approx_eq(baseline[i], lazy_out[i], 1e-3),
+                "lazy[{i}]: {} vs {}", lazy_out[i], baseline[i]);
+            prop_assert!(approx_eq(baseline[i], online_out[i], 1e-3),
+                "online[{i}]: {} vs {}", online_out[i], baseline[i]);
+        }
+    }
+
+    #[test]
+    fn online_merge_associative(
+        logits in vec(finite_f32(80.0), 2..40),
+    ) {
+        let rows: Vec<Vec<f32>> = (0..logits.len()).map(|i| vec![i as f32 * 0.1]).collect();
+        let split = logits.len() / 2;
+
+        let mut whole = OnlineSoftmax::new(1);
+        for (l, r) in logits.iter().zip(&rows) {
+            whole.add(*l, r);
+        }
+        let mut a = OnlineSoftmax::new(1);
+        let mut b = OnlineSoftmax::new(1);
+        for (i, (l, r)) in logits.iter().zip(&rows).enumerate() {
+            if i < split { a.add(*l, r) } else { b.add(*l, r) }
+        }
+        a.merge(&b);
+        let w = whole.finish();
+        let m = a.finish();
+        prop_assert!(approx_eq(w[0], m[0], 1e-3), "{} vs {}", w[0], m[0]);
+    }
+
+    #[test]
+    fn f32_kernels_track_f64_references(
+        a in vec(finite_f32(10.0), 1..256),
+    ) {
+        // The 4-accumulator dot and pairwise-ish sum must stay within a few
+        // ULP-scale multiples of an f64 reference — the numerical basis for
+        // trusting the lazy-softmax reassociation.
+        let b: Vec<f32> = a.iter().map(|x| (x * 1.7).cos()).collect();
+        let dot64: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let dot32 = kernels::dot(&a, &b) as f64;
+        let scale = a.iter().zip(&b).map(|(&x, &y)| (x * y).abs() as f64).sum::<f64>();
+        prop_assert!((dot32 - dot64).abs() <= 1e-5 * scale.max(1.0),
+            "dot: {dot32} vs {dot64}");
+
+        let sum64: f64 = a.iter().map(|&x| x as f64).sum();
+        let sum32 = reduce::sum(&a) as f64;
+        let abs_scale: f64 = a.iter().map(|&x| x.abs() as f64).sum();
+        prop_assert!((sum32 - sum64).abs() <= 1e-5 * abs_scale.max(1.0),
+            "sum: {sum32} vs {sum64}");
+    }
+
+    #[test]
+    fn argmax_returns_a_maximum(xs in vec(finite_f32(100.0), 1..100)) {
+        let i = reduce::argmax(&xs).unwrap();
+        let m = reduce::max(&xs);
+        prop_assert_eq!(xs[i], m);
+    }
+
+    #[test]
+    fn gemm_matches_gemv_per_column(
+        m in 1usize..10,
+        k in 1usize..10,
+        n in 1usize..6,
+    ) {
+        let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(k, n, |r, c| ((r * 13 + c * 3) % 7) as f32 - 3.0);
+        let mut c_mat = Matrix::zeros(m, n);
+        kernels::gemm(&a, &b, &mut c_mat).unwrap();
+        // Column j of C equals A · (column j of B).
+        for j in 0..n {
+            let col: Vec<f32> = (0..k).map(|p| b.get(p, j)).collect();
+            let mut out = vec![0.0; m];
+            kernels::gemv(&a, &col, &mut out).unwrap();
+            for i in 0..m {
+                prop_assert!(approx_eq(c_mat.get(i, j), out[i], 1e-3));
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! A tour of the accelerator models: FPGA pipeline latency per variant
+//! (Fig 13), embedding-cache sweep (Fig 14), GPU stream/multi-GPU scaling
+//! (Fig 12), and the CPU-vs-FPGA energy comparison (Section 5.5).
+//!
+//! Run with: `cargo run --release --example accelerator_tour`
+
+use mnn_accel::energy::{self, PowerModel};
+use mnn_accel::fpga::{self, FpgaConfig, FpgaWorkload};
+use mnn_accel::gpu::{self, GpuConfig, GpuWorkload};
+use mnn_dataset::zipf::ZipfSampler;
+use mnn_memsim::roofline::MachineProfile;
+use mnn_memsim::Variant;
+
+fn main() {
+    // --- FPGA: Fig 13 ---
+    let cfg = FpgaConfig::zedboard();
+    let work = FpgaWorkload::table1();
+    println!(
+        "FPGA latency (ns={}, ed={}, chunk={}):",
+        work.ns, work.ed, work.chunk
+    );
+    let base = cfg.latency_cycles(Variant::Baseline, &work) as f64;
+    for v in Variant::ALL {
+        let c = cfg.latency_cycles(v, &work);
+        println!(
+            "  {:>10}: {:>7} cycles  ({:.2}x speedup, {:.1}% reduction)",
+            v.to_string(),
+            c,
+            base / c as f64,
+            100.0 * (1.0 - c as f64 / base)
+        );
+    }
+
+    // --- FPGA: Fig 14 ---
+    println!("\nembedding cache (ed=256, Zipf trace):");
+    let mut zipf = ZipfSampler::new(10_000, 1.1, 42).unwrap();
+    let trace = zipf.trace(100_000);
+    for kb in [32usize, 64, 128, 256] {
+        let (no_cache, cached, hit) = fpga::embedding_latency(&cfg, kb << 10, 256, &trace).unwrap();
+        println!(
+            "  {kb:>3} KiB: hit {:.1}%, embedding latency -{:.1}%",
+            hit * 100.0,
+            100.0 * (1.0 - cached as f64 / no_cache as f64)
+        );
+    }
+
+    // --- GPU: Fig 12 ---
+    let gcfg = GpuConfig::titan_xp_server();
+    let gwork = GpuWorkload::scaled(10_000_000, 4);
+    let one = gpu::single_gpu(&gcfg, &gwork, 1).total_seconds;
+    println!("\nGPU scaling (10M sentences):");
+    for s in [1usize, 2, 4] {
+        let t = gpu::single_gpu(&gcfg, &gwork, s);
+        println!(
+            "  1 GPU, {s} stream(s): {:.1} ms ({:.2}x)",
+            t.total_seconds * 1e3,
+            one / t.total_seconds
+        );
+    }
+    for g in [2usize, 4] {
+        let worst = gpu::multi_gpu_latency(&gcfg, &gwork, g, true);
+        let ideal = gpu::multi_gpu_latency(&gcfg, &gwork, g, false);
+        println!(
+            "  {g} GPUs: worst {:.1} ms ({:.2}x) / ideal {:.1} ms ({:.2}x)",
+            worst * 1e3,
+            one / worst,
+            ideal * 1e3,
+            one / ideal
+        );
+    }
+
+    // --- Energy: Section 5.5 ---
+    let report = energy::compare(
+        &PowerModel::default(),
+        20,
+        &MachineProfile::xeon(4),
+        &cfg,
+        &work,
+    )
+    .unwrap();
+    println!(
+        "\nenergy: CPU {:.2} mJ/task @ {:.0} W vs FPGA {:.2} mJ/task @ {:.1} W",
+        report.cpu_joules_per_task * 1e3,
+        report.cpu_watts,
+        report.fpga_joules_per_task * 1e3,
+        report.fpga_watts
+    );
+    println!(
+        "FPGA energy-efficiency gain: {:.2}x (paper: up to 6.54x)",
+        report.fpga_efficiency_gain
+    );
+}

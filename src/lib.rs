@@ -1,0 +1,9 @@
+//! Umbrella crate for the MnnFast reproduction: re-exports the workspace
+//! crates so examples and integration tests have one import root.
+
+pub use mnn_accel as accel;
+pub use mnn_dataset as dataset;
+pub use mnn_memnn as memnn;
+pub use mnn_memsim as memsim;
+pub use mnn_tensor as tensor;
+pub use mnnfast as fast;

@@ -1,0 +1,74 @@
+//! End-to-end serving pipeline: train → persist → reload → serve text
+//! questions online, with the answers matching offline inference.
+
+use mnn_dataset::babi::{BabiGenerator, TaskKind};
+use mnn_dataset::text;
+use mnn_memnn::train::Trainer;
+use mnn_memnn::{eval, MemNet, ModelConfig};
+use mnn_serve::{Session, SessionConfig, Strategy};
+use mnnfast::{MnnFastConfig, SkipPolicy};
+
+#[test]
+fn train_save_load_serve_round_trip() {
+    // 1. Train a serving model (position encoding instead of temporal).
+    let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 404);
+    let train_set = generator.dataset(150, 8, 3);
+    let config = ModelConfig {
+        temporal: false,
+        ..ModelConfig::for_generator(&generator, 24, 8)
+    }
+    .with_position_encoding(true);
+    let mut model = MemNet::new(config, 14);
+    let report = Trainer::new().epochs(40).train(&mut model, &train_set);
+    assert!(report.train_accuracy > 0.55, "{}", report.train_accuracy);
+
+    // 2. Persist and reload.
+    let bytes = model.to_bytes().expect("serializable model");
+    let restored = MemNet::from_bytes(&bytes).expect("round-trip");
+
+    // 3. Serve a fresh story through the reloaded model, via the text API.
+    let vocab = generator.vocab().clone();
+    let story = generator.story(8, 3);
+    let offline = eval::accuracy(&restored, std::slice::from_ref(&story));
+
+    let session_config = SessionConfig {
+        engine: MnnFastConfig::new(4).with_skip(SkipPolicy::Probability(0.001)),
+        strategy: Strategy::Streaming,
+        max_sentences: None,
+    };
+    let mut session = Session::new(restored, session_config).expect("serving model");
+    for sentence in &story.sentences {
+        let line = vocab.decode(sentence);
+        session.observe_text(&line, &vocab).expect("known words");
+    }
+    let mut correct = 0;
+    for q in &story.questions {
+        let line = vocab.decode(&q.tokens);
+        let (word, answer) = session.ask_text(&line, &vocab).expect("known words");
+        assert_eq!(vocab.id(&word), Some(answer.word));
+        correct += usize::from(answer.word == q.answer);
+    }
+    let online = correct as f32 / story.questions.len() as f32;
+    // Mild skipping (th=0.001) must not change answers vs offline baseline.
+    assert!(
+        (online - offline).abs() < 1e-6,
+        "online {online} vs offline {offline}"
+    );
+}
+
+#[test]
+fn tokenized_text_matches_generator_tokens() {
+    // The text pipeline reproduces the generator's own token streams.
+    let mut generator = BabiGenerator::new(TaskKind::Negation, 2);
+    let vocab = generator.vocab().clone();
+    let story = generator.story(10, 2);
+    for sentence in story
+        .sentences
+        .iter()
+        .chain(story.questions.iter().map(|q| &q.tokens))
+    {
+        let rendered = vocab.decode(sentence);
+        let re_encoded = text::encode(&rendered, &vocab).expect("round-trip");
+        assert_eq!(&re_encoded, sentence, "{rendered}");
+    }
+}
