@@ -12,10 +12,9 @@ use crate::gpu::{self, GpuConfig, GpuWorkload};
 use mnn_memsim::dataflow::DataflowConfig;
 use mnn_memsim::roofline::{self, MachineProfile};
 use mnn_memsim::Variant;
-use serde::{Deserialize, Serialize};
 
 /// Power model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerModel {
     /// CPU package idle power (both sockets), watts.
     pub cpu_idle_w: f64,
@@ -48,7 +47,7 @@ impl Default for PowerModel {
 }
 
 /// Energy-efficiency comparison result.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyReport {
     /// CPU tasks per second at the configured thread count.
     pub cpu_tasks_per_sec: f64,
@@ -119,7 +118,7 @@ pub fn compare(
 /// GPU-side energy figure (an extension — the paper compares only CPU and
 /// FPGA): one GPU running the batched column kernels, energy = board power
 /// × latency over the batch's questions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuEnergy {
     /// Questions per second.
     pub tasks_per_sec: f64,

@@ -19,10 +19,9 @@
 //!   parallel).
 
 use mnn_memsim::{DramConfig, Variant};
-use serde::{Deserialize, Serialize};
 
 /// Hardware parameters of the modelled FPGA design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaConfig {
     /// Logic clock in Hz.
     pub freq_hz: f64,
@@ -161,7 +160,7 @@ impl FpgaConfig {
 }
 
 /// Problem shape for the FPGA model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaWorkload {
     /// Story sentences.
     pub ns: u64,
@@ -189,7 +188,7 @@ impl FpgaWorkload {
 /// The embedding phase preceding inference in the Fig 8 pipeline: the
 /// question (and any newly arrived story sentences) pass through the
 /// embedding cache word by word before the inner-product units start.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EmbedPhase {
     /// Word lookups to perform (question words + words of new sentences).
     pub lookups: u64,

@@ -10,10 +10,9 @@
 
 use crate::fpga::{FpgaConfig, FpgaWorkload};
 use mnn_memsim::Variant;
-use serde::{Deserialize, Serialize};
 
 /// Per-stage cycle accounting of one simulated inference.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageCycles {
     /// Chunk loads (memory interface busy).
     pub load: u64,
@@ -36,7 +35,7 @@ impl StageCycles {
 }
 
 /// Result of a pipeline simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineReport {
     /// End-to-end cycles.
     pub makespan: u64,

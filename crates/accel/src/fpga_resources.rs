@@ -9,10 +9,9 @@
 //! configuration demonstrably does not.
 
 use crate::fpga::{FpgaConfig, FpgaWorkload};
-use serde::{Deserialize, Serialize};
 
 /// An FPGA device's relevant resources.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Device {
     /// Human-readable name.
     pub name: &'static str,
@@ -48,7 +47,7 @@ impl Device {
 }
 
 /// Estimated resource usage of one accelerator instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResourceEstimate {
     /// DSP slices (MACs, exponential polynomial, dividers).
     pub dsp_slices: u64,
@@ -108,9 +107,7 @@ pub fn estimate(
     let bram = staging + logits + accumulator + embedding_cache_bytes * 8;
 
     // Logic: dividers, per-lane skip comparators, control.
-    let cells = CELLS_PER_DIVIDER
-        + config.mac_lanes * CELLS_PER_SKIP_COMPARATOR
-        + CELLS_CONTROL;
+    let cells = CELLS_PER_DIVIDER + config.mac_lanes * CELLS_PER_SKIP_COMPARATOR + CELLS_CONTROL;
 
     ResourceEstimate {
         dsp_slices: dsp,

@@ -10,10 +10,8 @@
 //! - the final partial-sum reduction and D2H transfer are negligible
 //!   (`ed × nq` bytes).
 
-use serde::{Deserialize, Serialize};
-
 /// GPU and interconnect parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuConfig {
     /// Sustained kernel throughput per GPU in GFLOP/s (memory-bound BLAS-2
     /// kernels sustain far below peak; TITAN Xp ≈ 550 GB/s HBM ⇒ ~70 GFLOP/s
@@ -40,7 +38,7 @@ impl GpuConfig {
 }
 
 /// Work per inference batch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuWorkload {
     /// Bytes of `M_IN` + `M_OUT` to move host → device.
     pub h2d_bytes: f64,
@@ -61,7 +59,7 @@ impl GpuWorkload {
 }
 
 /// Timing breakdown of one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuTimeline {
     /// Seconds spent on host-to-device copies along the critical path.
     pub h2d_seconds: f64,

@@ -10,10 +10,9 @@
 //! The coarse model is validated against this simulation in the tests.
 
 use crate::gpu::{GpuConfig, GpuWorkload};
-use serde::{Deserialize, Serialize};
 
 /// One simulated operation on the timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
     /// Which stream issued the operation.
     pub stream: usize,
@@ -26,7 +25,7 @@ pub struct Event {
 }
 
 /// Operation kinds on the GPU timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// Host-to-device copy of a chunk of `M_IN`/`M_OUT`.
     H2d,

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use mnn_tensor::softmax::softmax_in_place;
 use mnn_tensor::{kernels, Matrix};
 use mnnfast::streaming::StreamingEngine;
-use mnnfast::{ColumnEngine, MnnFastConfig, SkipPolicy, SoftmaxMode};
+use mnnfast::{ColumnEngine, Executor, MnnFastConfig, Scratch, SkipPolicy, SoftmaxMode, Trace};
 use std::hint::black_box;
 
 const NS: usize = 50_000;
@@ -75,6 +75,51 @@ fn bench_variants(c: &mut Criterion) {
     g.finish();
 }
 
+/// Disabled tracing must cost nothing measurable: the same executor and
+/// scratch run with a disabled and an enabled trace, so any gap between the
+/// two bars is the observability overhead.
+fn bench_trace_overhead(c: &mut Criterion) {
+    let (m_in, m_out, u) = memories();
+    let engine = ColumnEngine::new(MnnFastConfig::new(1000));
+    let mut g = c.benchmark_group("trace_overhead");
+    g.throughput(Throughput::Elements((NS * ED) as u64));
+
+    let mut scratch = Scratch::new();
+    g.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut trace = Trace::disabled();
+            let out = engine
+                .forward_prefix(
+                    black_box(&m_in),
+                    black_box(&m_out),
+                    NS,
+                    &u,
+                    &mut scratch,
+                    &mut trace,
+                )
+                .unwrap();
+            scratch.recycle(black_box(out).o);
+        })
+    });
+    g.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut trace = Trace::enabled();
+            let out = engine
+                .forward_prefix(
+                    black_box(&m_in),
+                    black_box(&m_out),
+                    NS,
+                    &u,
+                    &mut scratch,
+                    &mut trace,
+                )
+                .unwrap();
+            scratch.recycle(black_box(out).o);
+        })
+    });
+    g.finish();
+}
+
 fn bench_chunk_sweep(c: &mut Criterion) {
     let (m_in, m_out, u) = memories();
     let mut g = c.benchmark_group("chunk_sweep");
@@ -95,6 +140,6 @@ fn bench_chunk_sweep(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_variants, bench_chunk_sweep
+    targets = bench_variants, bench_trace_overhead, bench_chunk_sweep
 }
 criterion_main!(benches);

@@ -29,4 +29,11 @@ fn main() {
     ] {
         println!("{t}");
     }
+
+    let report = mnn_bench::engine_report::run(scale);
+    println!("{}", report.table());
+    match report.write_json("BENCH_engine.json") {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => eprintln!("{e}"),
+    }
 }

@@ -1,5 +1,6 @@
 //! Fig 9: performance of the column-based algorithm on CPU — native
 //! single-thread measurements plus the modelled multi-thread speedups.
+//! Also emits the machine-readable `BENCH_engine.json` engine report.
 use mnn_bench::Scale;
 
 fn main() {
@@ -7,4 +8,12 @@ fn main() {
     print!("{}", mnn_bench::experiments::cpu::fig09_native(scale));
     println!();
     print!("{}", mnn_bench::experiments::cpu::fig09_modelled(scale));
+    println!();
+
+    let report = mnn_bench::engine_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_engine.json") {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => eprintln!("{e}"),
+    }
 }

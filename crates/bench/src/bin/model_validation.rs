@@ -4,5 +4,8 @@ use mnn_bench::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    print!("{}", mnn_bench::experiments::validation::model_validation(scale));
+    print!(
+        "{}",
+        mnn_bench::experiments::validation::model_validation(scale)
+    );
 }

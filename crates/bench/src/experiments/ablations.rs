@@ -179,15 +179,29 @@ pub fn fpga_fit(_scale: Scale) -> ExperimentTable {
         &["configuration", "DSP", "BRAM Mb", "fits", "peak util"],
     );
     let configs = [
-        ("Table 1 FPGA (ed=25, chunk=25, 32KB cache)", FpgaWorkload::table1(), 32u64 << 10),
+        (
+            "Table 1 FPGA (ed=25, chunk=25, 32KB cache)",
+            FpgaWorkload::table1(),
+            32u64 << 10,
+        ),
         (
             "CPU-sized (ed=48, chunk=1000, 256KB cache)",
-            FpgaWorkload { ns: 100_000, ed: 48, chunk: 1000, skip_fraction: 0.9 },
+            FpgaWorkload {
+                ns: 100_000,
+                ed: 48,
+                chunk: 1000,
+                skip_fraction: 0.9,
+            },
             256 << 10,
         ),
         (
             "GPU-sized (ed=64, chunk=1000, 256KB cache)",
-            FpgaWorkload { ns: 100_000, ed: 64, chunk: 1000, skip_fraction: 0.9 },
+            FpgaWorkload {
+                ns: 100_000,
+                ed: 64,
+                chunk: 1000,
+                skip_fraction: 0.9,
+            },
             256 << 10,
         ),
     ];

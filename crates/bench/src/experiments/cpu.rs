@@ -11,8 +11,9 @@ use mnn_memsim::dataflow::DataflowConfig;
 use mnn_memsim::roofline::{self, MachineProfile};
 use mnn_memsim::{SetAssocCache, Variant};
 use mnn_tensor::Matrix;
-use mnnfast::streaming::StreamingEngine;
-use mnnfast::{BatchEngine, ColumnEngine, MnnFastConfig, SkipPolicy};
+use mnnfast::{
+    BatchEngine, EngineKind, ExecPlan, Executor, MnnFastConfig, Phase, Scratch, SkipPolicy, Trace,
+};
 use std::time::Instant;
 
 /// Builds synthetic memories shaped like a Table 1 CPU run scaled to `ns`.
@@ -66,32 +67,77 @@ pub fn fig09_native(scale: Scale) -> ExperimentTable {
     }
     let baseline_s = t0.elapsed().as_secs_f64();
 
-    let run = |engine: &dyn Fn(&[f32]) -> Vec<f32>| {
-        let t = Instant::now();
-        for q in &story.questions {
-            let _ = engine(q);
-        }
-        t.elapsed().as_secs_f64()
-    };
+    // Every MnnFast variant runs through the same Executor seam the serving
+    // layer uses: one reused scratch, untraced timing pass, then a traced
+    // pass for the per-phase columns.
     let chunk = 1000;
-    let col = ColumnEngine::new(MnnFastConfig::new(chunk));
-    let column_s = run(&|u| col.forward(&story.m_in, &story.m_out, u).unwrap().o);
-    let st = StreamingEngine::new(MnnFastConfig::new(chunk));
-    let stream_s = run(&|u| st.forward(&story.m_in, &story.m_out, u).unwrap().o);
-    let mf = StreamingEngine::new(MnnFastConfig::new(chunk).with_skip(SkipPolicy::RawWeight(1.0)));
-    let mnnfast_s = run(&|u| mf.forward(&story.m_in, &story.m_out, u).unwrap().o);
+    let mut scratch = Scratch::new();
+    let mut run = |exec: &dyn Executor| {
+        let mut timing = Trace::disabled();
+        let t = Instant::now();
+        for u in &story.questions {
+            let out = exec
+                .forward_prefix(&story.m_in, &story.m_out, ns, u, &mut scratch, &mut timing)
+                .expect("valid shapes");
+            scratch.recycle(out.o);
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let mut trace = Trace::enabled();
+        for u in &story.questions {
+            let out = exec
+                .forward_prefix(&story.m_in, &story.m_out, ns, u, &mut scratch, &mut trace)
+                .expect("valid shapes");
+            scratch.recycle(out.o);
+        }
+        (secs, trace)
+    };
+    let column = ExecPlan::new(MnnFastConfig::new(chunk))
+        .with_kind(EngineKind::Column)
+        .executor();
+    let (column_s, column_tr) = run(&column);
+    let streaming = ExecPlan::new(MnnFastConfig::new(chunk))
+        .with_kind(EngineKind::Streaming)
+        .executor();
+    let (stream_s, stream_tr) = run(&streaming);
+    let mnnfast = ExecPlan::new(MnnFastConfig::new(chunk).with_skip(SkipPolicy::RawWeight(1.0)))
+        .with_kind(EngineKind::Streaming)
+        .executor();
+    let (mnnfast_s, mnnfast_tr) = run(&mnnfast);
 
     let mut t = ExperimentTable::new(
         "Fig 9(a): native single-thread latency per variant",
-        &["variant", "seconds", "speedup vs baseline"],
+        &[
+            "variant",
+            "seconds",
+            "speedup vs baseline",
+            "inner-product",
+            "exp/acc",
+            "skip",
+            "merge",
+            "divide",
+        ],
     );
-    for (name, secs) in [
-        ("baseline", baseline_s),
-        ("column", column_s),
-        ("column+S", stream_s),
-        ("MnnFast", mnnfast_s),
+    let phase_cells = |trace: Option<&Trace>| -> Vec<String> {
+        match trace {
+            None => Phase::ALL.iter().map(|_| "-".into()).collect(),
+            Some(tr) => {
+                let total = tr.total_nanos().max(1) as f64;
+                Phase::ALL
+                    .iter()
+                    .map(|p| format!("{:.1}%", tr.nanos(*p) as f64 * 100.0 / total))
+                    .collect()
+            }
+        }
+    };
+    for (name, secs, trace) in [
+        ("baseline", baseline_s, None),
+        ("column", column_s, Some(&column_tr)),
+        ("column+S", stream_s, Some(&stream_tr)),
+        ("MnnFast", mnnfast_s, Some(&mnnfast_tr)),
     ] {
-        t.row(vec![name.into(), f(secs), speedup(baseline_s / secs)]);
+        let mut row = vec![name.into(), f(secs), speedup(baseline_s / secs)];
+        row.extend(phase_cells(trace));
+        t.row(row);
     }
     for k in OpKind::ALL {
         t.note(format!(

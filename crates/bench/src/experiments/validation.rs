@@ -22,7 +22,13 @@ fn rel(a: f64, b: f64) -> f64 {
 pub fn model_validation(scale: Scale) -> ExperimentTable {
     let mut t = ExperimentTable::new(
         "Model validation: closed form vs discrete-event simulation",
-        &["model", "configuration", "closed form", "simulated", "rel diff"],
+        &[
+            "model",
+            "configuration",
+            "closed form",
+            "simulated",
+            "rel diff",
+        ],
     );
 
     // 1. Roofline throughput vs DRAM queue simulation.
@@ -97,12 +103,7 @@ mod tests {
         let t = model_validation(Scale::Smoke);
         for row in &t.rows {
             let diff: f64 = row[4].trim_end_matches('%').parse().unwrap();
-            assert!(
-                diff < 25.0,
-                "{} ({}) diverges by {diff}%",
-                row[0],
-                row[1]
-            );
+            assert!(diff < 25.0, "{} ({}) diverges by {diff}%", row[0], row[1]);
         }
         // The FPGA and GPU rows should be tight (< 5%).
         for row in t.rows.iter().filter(|r| r[0] == "fpga" || r[0] == "gpu") {

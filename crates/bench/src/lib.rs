@@ -21,6 +21,7 @@
 //! | `fig14_embedding_cache` | Fig 14 | [`experiments::accelerators::fig14`] |
 //! | `sec55_energy` | Section 5.5 | [`experiments::accelerators::sec55`] |
 
+pub mod engine_report;
 pub mod experiments;
 pub mod table;
 

@@ -16,12 +16,12 @@
 
 use mnn_dataset::babi::{BabiGenerator, Story, TaskKind};
 use mnn_dataset::babi_io;
-use mnn_dataset::Vocabulary;
 use mnn_dataset::text;
+use mnn_dataset::Vocabulary;
 use mnn_memnn::train::Trainer;
 use mnn_memnn::{eval as meval, MemNet, ModelConfig};
-use mnn_serve::{Session, SessionConfig, Strategy};
-use mnnfast::{MnnFastConfig, SkipPolicy};
+use mnn_serve::{Session, SessionConfig};
+use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, Scratch, SkipPolicy, Trace};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
@@ -36,6 +36,9 @@ pub struct Options {
 }
 
 impl Options {
+    /// Keys that are switches: present-or-absent, no value consumed.
+    const SWITCHES: &'static [&'static str] = &["trace"];
+
     /// Parses an argument list (without the program name).
     ///
     /// # Errors
@@ -46,6 +49,10 @@ impl Options {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                if Self::SWITCHES.contains(&key) {
+                    options.flags.insert(key.to_owned(), "true".to_owned());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("missing value for --{key}"))?;
@@ -55,6 +62,10 @@ impl Options {
             }
         }
         Ok(options)
+    }
+
+    fn switch(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
@@ -99,10 +110,16 @@ USAGE:
                  [--epochs 40] [--ed 32] [--ns 10] [--hops 1] [--seed 7]
                  [--data <babi.txt>]       (train on a bAbI-format file)
   mnnfast eval   --model <model.bin> [--task single] [--stories 40]
-                 [--skip 0.01] [--seed 8] [--data <babi.txt>]
+                 [--skip 0.01] [--seed 8] [--data <babi.txt>] [--trace]
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
+                 [--engine auto|column|streaming|parallel] [--threads 1]
+                 [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
+
+`--engine` picks the execution variant (auto selects from memory size and
+thread count); `--trace` prints a per-phase time breakdown (inner product,
+exp/accumulate, skip, merge, divide) after the run.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -289,11 +306,28 @@ fn cmd_eval(options: &Options, out: &mut dyn Write) -> CliResult {
     );
     let hops = model.config().hops;
     let mut stats = mnnfast::InferenceStats::default();
+    let mut scratch = Scratch::new();
+    let mut trace = if options.switch("trace") {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
     let skipped = meval::accuracy_with(&model, &test_set, |emb, q| {
-        let outp = mnnfast::multi_hop(&engine, &emb.m_in, &emb.m_out, &emb.questions[q], hops)
-            .expect("embedded shapes are consistent");
+        let outp = mnnfast::multi_hop(
+            &engine,
+            &emb.m_in,
+            &emb.m_out,
+            emb.m_in.rows(),
+            &emb.questions[q],
+            hops,
+            &mut scratch,
+            &mut trace,
+        )
+        .expect("embedded shapes are consistent");
         stats.merge(&outp.stats);
-        model.output_logits(&outp.o, &outp.u_last)
+        let logits = model.output_logits(&outp.o, &outp.u_last);
+        scratch.recycle(outp.o);
+        logits
     });
     writeln!(
         out,
@@ -303,6 +337,9 @@ fn cmd_eval(options: &Options, out: &mut dyn Write) -> CliResult {
         stats.computation_reduction() * 100.0
     )
     .map_err(|e| e.to_string())?;
+    if trace.is_enabled() {
+        write!(out, "{}", trace.render()).map_err(|e| e.to_string())?;
+    }
 
     // Per-answer breakdown, decoded through the generator's vocabulary.
     let vocab = generator.vocab();
@@ -343,14 +380,24 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
             .clone(),
     };
 
+    let kind = match options.get_str("engine") {
+        None => EngineKind::Auto,
+        Some(name) => EngineKind::parse(name).ok_or_else(|| {
+            format!("unknown engine '{name}' (expected auto|column|streaming|parallel)")
+        })?,
+    };
+    let threads = options.get("threads", 1usize)?;
     let config = SessionConfig {
-        engine: MnnFastConfig::new(64).with_skip(if skip > 0.0 {
-            SkipPolicy::Probability(skip)
-        } else {
-            SkipPolicy::None
-        }),
-        strategy: Strategy::Column,
+        plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
+            if skip > 0.0 {
+                SkipPolicy::Probability(skip)
+            } else {
+                SkipPolicy::None
+            },
+        ))
+        .with_kind(kind),
         max_sentences: (window > 0).then_some(window),
+        trace: options.switch("trace"),
     };
     let mut session = Session::new(model, config).map_err(|e| e.to_string())?;
     writeln!(
@@ -396,7 +443,11 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         session.questions_answered(),
         session.cumulative_stats().computation_reduction() * 100.0
     )
-    .map_err(|e| e.to_string())
+    .map_err(|e| e.to_string())?;
+    if config.trace {
+        write!(out, "{}", session.cumulative_trace().render()).map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 /// Decodes text to make rustdoc examples concise.
@@ -511,7 +562,9 @@ mod tests {
         assert!(out.contains("exported 40"), "{out}");
 
         let out = run_cli(
-            &["train", "--out", model_str, "--data", data_str, "--epochs", "20", "--ed", "24"],
+            &[
+                "train", "--out", model_str, "--data", data_str, "--epochs", "20", "--ed", "24",
+            ],
             "",
         )
         .unwrap();
@@ -519,11 +572,7 @@ mod tests {
         assert!(std::path::Path::new(&format!("{model_str}.vocab")).exists());
 
         // Evaluate the trained model against the same file.
-        let out = run_cli(
-            &["eval", "--model", model_str, "--data", data_str],
-            "",
-        )
-        .unwrap();
+        let out = run_cli(&["eval", "--model", model_str, "--data", data_str], "").unwrap();
         assert!(out.contains("baseline accuracy"), "{out}");
         // Training-file eval should be well above chance.
         let acc: f32 = out
@@ -536,6 +585,62 @@ mod tests {
             .parse()
             .unwrap();
         assert!(acc > 40.0, "file-trained accuracy {acc}");
+    }
+
+    #[test]
+    fn trace_flag_prints_phase_breakdown() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\nwhere is mary?\n:quit\n";
+        let out = run_cli(
+            &[
+                "serve", "--model", model_str, "--engine", "column", "--trace",
+            ],
+            stdin,
+        )
+        .unwrap();
+        for label in [
+            "inner_product",
+            "exp_accumulate",
+            "skip",
+            "merge",
+            "divide",
+            "total",
+        ] {
+            assert!(out.contains(label), "missing {label} in {out}");
+        }
+
+        // Without the switch no breakdown is printed.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(!out.contains("inner_product"), "{out}");
+
+        let out = run_cli(
+            &["eval", "--model", model_str, "--stories", "4", "--trace"],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("inner_product"), "{out}");
+
+        // Bad engine names error instead of silently defaulting.
+        assert!(run_cli(&["serve", "--model", model_str, "--engine", "warp"], stdin).is_err());
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Configuration of the MnnFast inference engine.
 
-use serde::{Deserialize, Serialize};
-
 /// Which streaming softmax formulation the engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SoftmaxMode {
     /// The paper's lazy softmax (Equation 4): accumulate raw `e^{x_i}`
     /// weights, divide once at the end. Exact for trained-model logits;
@@ -16,7 +14,7 @@ pub enum SoftmaxMode {
 }
 
 /// Zero-skipping policy (Section 3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SkipPolicy {
     /// No skipping — every memory row contributes to the weighted sum.
     #[default]
@@ -45,7 +43,7 @@ impl SkipPolicy {
 }
 
 /// Full engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MnnFastConfig {
     /// Rows per chunk (the paper's CPU default is 1000, FPGA 25).
     pub chunk_size: usize,

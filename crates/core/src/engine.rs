@@ -6,15 +6,20 @@
 //! with its `m_i^OUT` row — optionally skipping the `ed`-wide accumulation
 //! when the attention weight is below the zero-skip threshold. A single
 //! division pass at the very end produces the response vector `o`.
+//!
+//! [`ColumnEngine`] is the base [`crate::Executor`]: the streaming and
+//! scale-out variants wrap it and reuse its per-chunk kernel, so all three
+//! produce bitwise-identical results.
 
 use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix, ShapeError};
 use std::error::Error;
 use std::fmt;
 
-/// Errors reported by [`ColumnEngine`].
+/// Errors reported by the engine variants.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The engine configuration failed validation.
@@ -64,28 +69,22 @@ pub struct ColumnOutput {
     pub stats: InferenceStats,
 }
 
-/// Softmax accumulator abstracting over the two formulations.
-#[derive(Debug, Clone)]
-pub(crate) enum Accum {
-    Lazy(LazyAccumulator),
-    Online(OnlineSoftmax),
+/// Borrowing softmax accumulator abstracting over the two formulations;
+/// the accumulators themselves live in a [`Scratch`] and are reused.
+#[derive(Debug)]
+pub(crate) enum AccumMut<'a> {
+    Lazy(&'a mut LazyAccumulator),
+    Online(&'a mut OnlineSoftmax),
 }
 
-impl Accum {
-    pub(crate) fn new(mode: SoftmaxMode, ed: usize) -> Self {
-        match mode {
-            SoftmaxMode::Lazy => Accum::Lazy(LazyAccumulator::new(ed)),
-            SoftmaxMode::Online => Accum::Online(OnlineSoftmax::new(ed)),
-        }
-    }
-
+impl AccumMut<'_> {
     /// Adds an entry; returns `true` if the weighted sum was skipped.
     ///
     /// `raw_threshold` compares against `e^{logit}` (lazy) or the relative
     /// weight `e^{logit - max}` (online).
     pub(crate) fn add(&mut self, logit: f32, row: &[f32], raw_threshold: Option<f32>) -> bool {
         match self {
-            Accum::Lazy(acc) => {
+            AccumMut::Lazy(acc) => {
                 let w = logit.exp();
                 if let Some(th) = raw_threshold {
                     if w < th {
@@ -96,7 +95,7 @@ impl Accum {
                 acc.add_weighted(w, row);
                 false
             }
-            Accum::Online(acc) => {
+            AccumMut::Online(acc) => {
                 if let Some(th) = raw_threshold {
                     if acc.relative_weight(logit) < th {
                         acc.add_skipped(logit);
@@ -109,55 +108,50 @@ impl Accum {
         }
     }
 
-    pub(crate) fn merge(&mut self, other: &Accum) {
-        match (self, other) {
-            (Accum::Lazy(a), Accum::Lazy(b)) => a.merge(b),
-            (Accum::Online(a), Accum::Online(b)) => a.merge(b),
-            _ => unreachable!("accumulator modes are fixed per engine"),
-        }
-    }
-
     pub(crate) fn denom(&self) -> f32 {
         match self {
-            Accum::Lazy(a) => a.denom(),
-            Accum::Online(a) => a.denom(),
+            AccumMut::Lazy(acc) => acc.denom(),
+            AccumMut::Online(acc) => acc.denom(),
         }
     }
 
-    pub(crate) fn finish(self) -> (Vec<f32>, f32) {
-        let d = self.denom();
-        let o = match self {
-            Accum::Lazy(a) => a.finish(),
-            Accum::Online(a) => a.finish(),
-        };
-        (o, d)
-    }
-}
-
-/// Reusable scratch buffers for repeated forward passes (serving loops):
-/// avoids the per-question `Vec` allocations of the chunk logits buffer.
-#[derive(Debug, Clone, Default)]
-pub struct ColumnScratch {
-    logits: Vec<f32>,
-}
-
-impl ColumnScratch {
-    /// Creates an empty scratch; buffers grow on first use.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Current buffer capacity in elements.
-    pub fn capacity(&self) -> usize {
-        self.logits.capacity()
-    }
-
-    fn resized(&mut self, len: usize) -> &mut [f32] {
-        if self.logits.len() < len {
-            self.logits.resize(len, 0.0);
+    /// Resets to an empty accumulator of width `ed`.
+    pub(crate) fn reset(&mut self, ed: usize) {
+        match self {
+            AccumMut::Lazy(acc) => acc.reset(ed),
+            AccumMut::Online(acc) => acc.reset(ed),
         }
-        &mut self.logits[..len]
     }
+
+    /// Merges a finished chunk partial into this running total.
+    ///
+    /// Every engine variant folds per-chunk partials through this method in
+    /// chunk-index order, so the rounding history — and therefore the output
+    /// bits — are identical across [`crate::EngineKind`]s and thread counts.
+    pub(crate) fn merge_from(&mut self, other: &AccumMut<'_>) {
+        match (self, other) {
+            (AccumMut::Lazy(a), AccumMut::Lazy(b)) => a.merge(b),
+            (AccumMut::Online(a), AccumMut::Online(b)) => a.merge(b),
+            _ => unreachable!("softmax mode is fixed for a pass"),
+        }
+    }
+}
+
+/// Checks the `rows` prefix bound shared by every engine variant.
+pub(crate) fn check_rows(
+    m_in: &Matrix,
+    rows: usize,
+    context: &'static str,
+) -> Result<(), EngineError> {
+    if rows > m_in.rows() {
+        return Err(ShapeError::new(
+            context,
+            format!("rows <= {}", m_in.rows()),
+            format!("rows = {rows}"),
+        )
+        .into());
+    }
+    Ok(())
 }
 
 /// The column-based inference engine.
@@ -181,7 +175,9 @@ impl ColumnEngine {
     }
 
     /// Computes `o = softmax(u · M_INᵀ) · M_OUT` with the column-based
-    /// algorithm (sequential over chunks).
+    /// algorithm, allocating fresh scratch buffers (one-shot convenience;
+    /// serving loops should call [`Executor::forward_prefix`] with a
+    /// reused [`Scratch`]).
     ///
     /// # Errors
     ///
@@ -194,82 +190,13 @@ impl ColumnEngine {
         m_out: &Matrix,
         u: &[f32],
     ) -> Result<ColumnOutput, EngineError> {
-        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        Executor::forward_prefix(self, m_in, m_out, m_in.rows(), u, &mut scratch, &mut trace)
     }
 
-    /// Like [`ColumnEngine::forward`], but attends only over the first
-    /// `rows` memory entries — the serving path, where the memories live in
-    /// a capacity-doubled store whose tail rows are not yet populated.
-    ///
-    /// # Errors
-    ///
-    /// As [`ColumnEngine::forward`], plus a shape error when
-    /// `rows > m_in.rows()`.
-    pub fn forward_prefix(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        rows: usize,
-        u: &[f32],
-    ) -> Result<ColumnOutput, EngineError> {
-        self.check(m_in, m_out, u)?;
-        if rows > m_in.rows() {
-            return Err(ShapeError::new(
-                "ColumnEngine::forward_prefix",
-                format!("rows <= {}", m_in.rows()),
-                format!("rows = {rows}"),
-            )
-            .into());
-        }
-        let mut stats = InferenceStats::default();
-        let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
-        let mut acc = Accum::new(self.config.softmax, u.len());
-        self.process_range(m_in, m_out, u, 0, rows, raw_threshold, &mut acc, &mut stats);
-        Ok(Self::finalize(acc, u.len(), stats))
-    }
-
-    /// Like [`ColumnEngine::forward`] but reusing caller-owned scratch
-    /// buffers — the allocation-free serving path.
-    ///
-    /// # Errors
-    ///
-    /// As [`ColumnEngine::forward`].
-    pub fn forward_with_scratch(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-        scratch: &mut ColumnScratch,
-    ) -> Result<ColumnOutput, EngineError> {
-        self.check(m_in, m_out, u)?;
-        let rows = m_in.rows();
-        let mut stats = InferenceStats::default();
-        let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
-        let mut acc = Accum::new(self.config.softmax, u.len());
-        if rows > 0 {
-            let chunk = self.config.chunk_size;
-            let logits = scratch.resized(chunk.min(rows));
-            let mut row = 0usize;
-            while row < rows {
-                let n = chunk.min(rows - row);
-                self.process_chunk_flat(
-                    m_in.rows_slice(row, n),
-                    m_out.rows_slice(row, n),
-                    n,
-                    u,
-                    raw_threshold,
-                    &mut acc,
-                    &mut stats,
-                    &mut logits[..n],
-                );
-                row += n;
-            }
-        }
-        Ok(Self::finalize(acc, u.len(), stats))
-    }
-
-    /// Computes forward passes for a batch of questions, reusing chunk
-    /// buffers. Results are in question order.
+    /// Computes forward passes for a batch of questions. Results are in
+    /// question order.
     ///
     /// # Errors
     ///
@@ -280,9 +207,21 @@ impl ColumnEngine {
         m_out: &Matrix,
         questions: &[Vec<f32>],
     ) -> Result<Vec<ColumnOutput>, EngineError> {
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
         questions
             .iter()
-            .map(|u| self.forward(m_in, m_out, u))
+            .map(|u| {
+                Executor::forward_prefix(
+                    self,
+                    m_in,
+                    m_out,
+                    m_in.rows(),
+                    u,
+                    &mut scratch,
+                    &mut trace,
+                )
+            })
             .collect()
     }
 
@@ -313,13 +252,15 @@ impl ColumnEngine {
 
     /// Resolves [`SkipPolicy`] into a raw-weight threshold over the first
     /// `rows` rows, running the denominator pre-pass for
-    /// [`SkipPolicy::Probability`].
+    /// [`SkipPolicy::Probability`] in the caller's `logits` buffer
+    /// (`chunk.min(rows.max(1))` elements — no allocation).
     pub(crate) fn resolve_threshold_prefix(
         &self,
         m_in: &Matrix,
         rows: usize,
         u: &[f32],
         stats: &mut InferenceStats,
+        logits: &mut [f32],
     ) -> Result<Option<f32>, EngineError> {
         match self.config.skip {
             SkipPolicy::None => Ok(None),
@@ -328,7 +269,6 @@ impl ColumnEngine {
                 // Pass 1: denominator sweep (inner products + exp only).
                 let ed = u.len();
                 let chunk = self.config.chunk_size;
-                let mut logits = vec![0.0f32; chunk.min(rows.max(1))];
                 let mut max_logit = f32::NEG_INFINITY;
                 let mut denom_rel = 0.0f64; // relative to running max, online-style
                 let mut raw_denom = 0.0f64;
@@ -361,41 +301,6 @@ impl ColumnEngine {
         }
     }
 
-    /// Processes rows `[start, end)` of the memories into `acc`.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn process_range(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-        start: usize,
-        end: usize,
-        raw_threshold: Option<f32>,
-        acc: &mut Accum,
-        stats: &mut InferenceStats,
-    ) {
-        if start >= end {
-            return;
-        }
-        let chunk = self.config.chunk_size;
-        let mut logits = vec![0.0f32; chunk.min(end - start)];
-        let mut row = start;
-        while row < end {
-            let n = chunk.min(end - row);
-            self.process_chunk_flat(
-                m_in.rows_slice(row, n),
-                m_out.rows_slice(row, n),
-                n,
-                u,
-                raw_threshold,
-                acc,
-                stats,
-                &mut logits[..n],
-            );
-            row += n;
-        }
-    }
-
     /// Processes one flat chunk (`n` rows of `M_IN` and `M_OUT`, row-major)
     /// into `acc`. This is the unit of work shared by the sequential,
     /// streaming and scale-out paths.
@@ -411,13 +316,16 @@ impl ColumnEngine {
         n: usize,
         u: &[f32],
         raw_threshold: Option<f32>,
-        acc: &mut Accum,
+        acc: &mut AccumMut<'_>,
         stats: &mut InferenceStats,
         logits: &mut [f32],
+        trace: &mut Trace,
     ) {
         let ed = u.len();
         assert_eq!(out_flat.len(), n * ed, "process_chunk_flat: bad out chunk");
+        let t0 = trace.begin();
         kernels::gemv_chunk(in_flat, n, u, logits);
+        trace.record(Phase::InnerProduct, t0, n as u64);
         stats.flops += kernels::gemv_flops(n, ed);
         stats.memory_bytes += (n * ed * 4) as u64;
         stats.chunks += 1;
@@ -425,11 +333,14 @@ impl ColumnEngine {
             .intermediate_bytes
             .max((logits.len() * 4 + ed * 4) as u64);
 
+        let t0 = trace.begin();
+        let mut chunk_skipped = 0u64;
         for (i, &x) in logits.iter().enumerate() {
             stats.flops += 1; // exp
             let skipped = acc.add(x, &out_flat[i * ed..(i + 1) * ed], raw_threshold);
             stats.rows_total += 1;
             if skipped {
+                chunk_skipped += 1;
                 stats.rows_skipped += 1;
                 stats.flops_skipped += 2 * ed as u64;
             } else {
@@ -438,20 +349,76 @@ impl ColumnEngine {
                 stats.memory_bytes += (ed * 4) as u64;
             }
         }
+        trace.record(Phase::ExpAccumulate, t0, n as u64 - chunk_skipped);
+        trace.bump(Phase::Skip, chunk_skipped);
     }
+}
 
-    /// Final lazy-softmax division and stats bookkeeping.
-    pub(crate) fn finalize(acc: Accum, ed: usize, mut stats: InferenceStats) -> ColumnOutput {
-        let (o, denominator) = acc.finish();
+impl Executor for ColumnEngine {
+    fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.check(m_in, m_out, u)?;
+        check_rows(m_in, rows, "ColumnEngine::forward_prefix")?;
+        let ed = u.len();
+        let chunk = self.config.chunk_size;
+        let mut stats = InferenceStats::default();
+        let denominator;
+        {
+            let (logits, mut main, mut partial) =
+                scratch.split_chunked(self.config.softmax, ed, chunk.min(rows.max(1)));
+            let t0 = trace.begin();
+            let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats, logits)?;
+            trace.record(Phase::Skip, t0, 0);
+            let mut row = 0usize;
+            while row < rows {
+                let n = chunk.min(rows - row);
+                partial.reset(ed);
+                self.process_chunk_flat(
+                    m_in.rows_slice(row, n),
+                    m_out.rows_slice(row, n),
+                    n,
+                    u,
+                    raw_threshold,
+                    &mut partial,
+                    &mut stats,
+                    &mut logits[..n],
+                    trace,
+                );
+                let t0 = trace.begin();
+                main.merge_from(&partial);
+                trace.record(Phase::Merge, t0, 1);
+                row += n;
+            }
+            denominator = main.denom();
+        }
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(self.config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
         // The lazy division: ed operations, NOT ns (Section 3.1's
         // division-count reduction).
         stats.divisions += ed as u64;
         stats.flops += ed as u64;
-        ColumnOutput {
+        Ok(ColumnOutput {
             o,
             denominator,
             stats,
-        }
+        })
+    }
+
+    fn config(&self) -> MnnFastConfig {
+        self.config
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Column
     }
 }
 
@@ -474,6 +441,18 @@ mod tests {
         let m_out = Matrix::from_fn(ns, ed, |r, c| ((r * 5 + c * 11) as f32 * 0.21).cos() * 0.6);
         let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.3).sin()).collect();
         (m_in, m_out, u)
+    }
+
+    fn forward_prefix(
+        engine: &ColumnEngine,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+    ) -> Result<ColumnOutput, EngineError> {
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        Executor::forward_prefix(engine, m_in, m_out, rows, u, &mut scratch, &mut trace)
     }
 
     #[test]
@@ -616,7 +595,7 @@ mod tests {
         let (m_in, m_out, u) = test_memories(50, 6);
         for rows in [0usize, 1, 17, 50] {
             let engine = ColumnEngine::new(MnnFastConfig::new(8));
-            let prefix = engine.forward_prefix(&m_in, &m_out, rows, &u).unwrap();
+            let prefix = forward_prefix(&engine, &m_in, &m_out, rows, &u).unwrap();
             // Reference: physically truncated matrices.
             if rows > 0 {
                 let ti = Matrix::from_flat(rows, 6, m_in.rows_slice(0, rows)).unwrap();
@@ -630,7 +609,10 @@ mod tests {
         }
         // Out-of-range prefix errors.
         let engine = ColumnEngine::new(MnnFastConfig::new(8));
-        assert!(engine.forward_prefix(&m_in, &m_out, 51, &u).is_err());
+        assert!(matches!(
+            forward_prefix(&engine, &m_in, &m_out, 51, &u),
+            Err(EngineError::Shape(_))
+        ));
     }
 
     #[test]
@@ -639,7 +621,7 @@ mod tests {
         let engine =
             ColumnEngine::new(MnnFastConfig::new(7).with_skip(SkipPolicy::Probability(0.02)));
         let rows = 33;
-        let prefix = engine.forward_prefix(&m_in, &m_out, rows, &u).unwrap();
+        let prefix = forward_prefix(&engine, &m_in, &m_out, rows, &u).unwrap();
         let ti = Matrix::from_flat(rows, 4, m_in.rows_slice(0, rows)).unwrap();
         let to = Matrix::from_flat(rows, 4, m_out.rows_slice(0, rows)).unwrap();
         let full = engine.forward(&ti, &to, &u).unwrap();
@@ -648,20 +630,60 @@ mod tests {
     }
 
     #[test]
-    fn scratch_forward_matches_plain_forward() {
+    fn scratch_reuse_matches_fresh_scratch() {
         let (m_in, m_out, u) = test_memories(77, 8);
         let engine =
             ColumnEngine::new(MnnFastConfig::new(13).with_skip(SkipPolicy::Probability(0.01)));
         let plain = engine.forward(&m_in, &m_out, &u).unwrap();
-        let mut scratch = ColumnScratch::new();
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
         for _ in 0..3 {
-            let reused = engine
-                .forward_with_scratch(&m_in, &m_out, &u, &mut scratch)
-                .unwrap();
+            let reused = Executor::forward_prefix(
+                &engine,
+                &m_in,
+                &m_out,
+                m_in.rows(),
+                &u,
+                &mut scratch,
+                &mut trace,
+            )
+            .unwrap();
             assert_eq!(reused.o, plain.o);
             assert_eq!(reused.stats.rows_skipped, plain.stats.rows_skipped);
+            scratch.recycle(reused.o);
         }
-        assert!(scratch.capacity() >= 13);
+    }
+
+    #[test]
+    fn trace_attributes_phases() {
+        let (m_in, m_out, u) = test_memories(90, 8);
+        let engine =
+            ColumnEngine::new(MnnFastConfig::new(16).with_skip(SkipPolicy::Probability(0.01)));
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+        let out = Executor::forward_prefix(
+            &engine,
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &u,
+            &mut scratch,
+            &mut trace,
+        )
+        .unwrap();
+        assert_eq!(trace.count(Phase::InnerProduct), 90);
+        assert_eq!(
+            trace.count(Phase::ExpAccumulate) + trace.count(Phase::Skip),
+            90
+        );
+        assert_eq!(trace.count(Phase::Skip), out.stats.rows_skipped);
+        assert_eq!(trace.count(Phase::Divide), 8);
+        assert!(trace.nanos(Phase::InnerProduct) > 0);
+        assert!(
+            trace.nanos(Phase::Skip) > 0,
+            "probability pre-pass is timed"
+        );
+        assert!(trace.total_nanos() > 0);
     }
 
     #[test]

@@ -1,0 +1,910 @@
+//! The unified execution layer: one dispatch seam for every engine variant.
+//!
+//! The paper's argument is that a *single* dataflow — chunked column-based
+//! lazy softmax with zero-skipping — scales from one core to streamed and
+//! multi-threaded execution. This module encodes that claim in the type
+//! system:
+//!
+//! * [`Executor`] — the one trait every engine variant implements. Serving,
+//!   CLI, and bench layers all hold `&dyn Executor`; nothing above
+//!   `crates/core` dispatches over engine variants by hand.
+//! * [`ExecPlan`] / [`EngineKind`] — declarative engine selection, including
+//!   [`EngineKind::Auto`] which picks a variant from the memory size and the
+//!   configured thread count at call time (the store grows while serving, so
+//!   the right variant changes over a session's lifetime).
+//! * [`Scratch`] — a reusable arena for every buffer the forward pass needs
+//!   (chunk logits, softmax accumulators, per-worker partials, recycled
+//!   output vectors). A serving loop that reuses one `Scratch` performs zero
+//!   per-question heap allocations on the column path.
+//! * [`Trace`] / [`Phase`] — per-phase wall-time and work counters threaded
+//!   through the same seam. Zero-cost when disabled (no clock reads), and
+//!   aggregated into [`PhaseHistograms`] by the serving layer.
+//!
+//! # Phase taxonomy
+//!
+//! | Phase | What is timed | Count unit |
+//! |-------|---------------|------------|
+//! | [`Phase::InnerProduct`] | `x = u · chunkᵀ` GEMV per chunk | rows |
+//! | [`Phase::ExpAccumulate`] | exponentiation + weighted accumulation loop | rows accumulated |
+//! | [`Phase::Skip`] | skip-threshold resolution (the Probability pre-pass) | rows skipped |
+//! | [`Phase::Merge`] | folding chunk partials into the running total | partials merged |
+//! | [`Phase::Divide`] | the single lazy-softmax division | `ed` divisions |
+//!
+//! On the column path the phase times sum to ≈ the total forward latency
+//! (the residual is loop control). On the parallel path worker phases are
+//! CPU time summed across threads, so the sum legitimately *exceeds* wall
+//! time; on the streaming path the staging copies overlap compute and are
+//! deliberately untimed.
+
+use crate::config::{MnnFastConfig, SoftmaxMode};
+use crate::engine::{AccumMut, ColumnOutput, EngineError};
+use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
+use mnn_tensor::Matrix;
+use std::fmt;
+use std::time::Instant;
+
+/// The execution phases of one forward pass. See the module docs for the
+/// taxonomy table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Chunk inner products `x_i = u · m_i^IN`.
+    InnerProduct,
+    /// Exponentiation and weighted accumulation of non-skipped rows.
+    ExpAccumulate,
+    /// Zero-skip bookkeeping: threshold resolution time, skipped-row count.
+    Skip,
+    /// Chunk-partial accumulator merging (sequential fold or scale-out
+    /// reduction — one merge per chunk either way).
+    Merge,
+    /// The final lazy-softmax division.
+    Divide,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::InnerProduct,
+        Phase::ExpAccumulate,
+        Phase::Skip,
+        Phase::Merge,
+        Phase::Divide,
+    ];
+
+    /// Stable machine-readable name (used in JSON output and CLI tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::InnerProduct => "inner_product",
+            Phase::ExpAccumulate => "exp_accumulate",
+            Phase::Skip => "skip",
+            Phase::Merge => "merge",
+            Phase::Divide => "divide",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Phase::InnerProduct => 0,
+            Phase::ExpAccumulate => 1,
+            Phase::Skip => 2,
+            Phase::Merge => 3,
+            Phase::Divide => 4,
+        }
+    }
+}
+
+/// Per-phase wall-time and work counters for forward passes.
+///
+/// A disabled trace never reads the clock: [`Trace::begin`] returns `None`
+/// and [`Trace::record`] is a no-op, so the hot path pays two predictable
+/// branches per chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Trace {
+    enabled: bool,
+    nanos: [u64; 5],
+    counts: [u64; 5],
+}
+
+impl Trace {
+    /// A trace that records nothing (the hot-path default).
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// A trace that records per-phase timings and counters.
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            ..Trace::default()
+        }
+    }
+
+    /// Whether this trace records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing a phase; `None` when disabled (no clock read).
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a phase started by [`Trace::begin`], attributing the elapsed
+    /// time and `count` units of work to `phase`.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, started: Option<Instant>, count: u64) {
+        if let Some(t0) = started {
+            self.nanos[phase.idx()] += t0.elapsed().as_nanos() as u64;
+            self.counts[phase.idx()] += count;
+        }
+    }
+
+    /// Adds work units to a phase without timing (e.g. skipped rows counted
+    /// inside the accumulate loop).
+    #[inline]
+    pub fn bump(&mut self, phase: Phase, count: u64) {
+        if self.enabled {
+            self.counts[phase.idx()] += count;
+        }
+    }
+
+    /// Adds raw nanoseconds and counts to a phase (worker absorption).
+    pub fn add(&mut self, phase: Phase, nanos: u64, count: u64) {
+        self.nanos[phase.idx()] += nanos;
+        self.counts[phase.idx()] += count;
+    }
+
+    /// Folds another trace's phases into this one (cumulative serving
+    /// stats, scale-out worker absorption).
+    pub fn absorb(&mut self, other: &Trace) {
+        for i in 0..5 {
+            self.nanos[i] += other.nanos[i];
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Nanoseconds attributed to `phase`.
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.idx()]
+    }
+
+    /// Work units attributed to `phase`.
+    pub fn count(&self, phase: Phase) -> u64 {
+        self.counts[phase.idx()]
+    }
+
+    /// Sum of all phase times.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Zeroes all counters, keeping the enabled flag.
+    pub fn reset(&mut self) {
+        self.nanos = [0; 5];
+        self.counts = [0; 5];
+    }
+
+    /// Multi-line human-readable per-phase breakdown.
+    pub fn render(&self) -> String {
+        let total = self.total_nanos().max(1);
+        let mut out = String::from("phase            time         share   work\n");
+        for phase in Phase::ALL {
+            let ns = self.nanos(phase);
+            out.push_str(&format!(
+                "{:<16} {:>12}  {:>5.1}%  {:>8}\n",
+                phase.label(),
+                format_nanos(ns),
+                ns as f64 * 100.0 / total as f64,
+                self.count(phase),
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:>12}\n",
+            "total",
+            format_nanos(self.total_nanos())
+        ));
+        out
+    }
+}
+
+/// Formats a nanosecond count with an adaptive unit.
+pub fn format_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A log₂-bucketed latency histogram (buckets of nanoseconds).
+///
+/// Bucket `i` covers `[2^i, 2^{i+1})` ns; recording is one `leading_zeros`
+/// plus an increment, cheap enough for per-question serving stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; 32],
+    count: u64,
+    total_nanos: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `nanos`.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(31);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_nanos += nanos;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0 < p <= 1`),
+    /// or 0 when empty.
+    pub fn quantile_upper_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        u64::MAX
+    }
+
+    /// The raw bucket counts; bucket `i` covers `[2^i, 2^{i+1})` ns.
+    pub fn bucket_counts(&self) -> &[u64; 32] {
+        &self.buckets
+    }
+}
+
+/// Cumulative per-phase latency histograms, one total + one per [`Phase`].
+///
+/// Serving sessions feed every per-question [`Trace`] through
+/// [`PhaseHistograms::observe`]; pools merge per-tenant histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseHistograms {
+    total: LatencyHistogram,
+    per_phase: [LatencyHistogram; 5],
+}
+
+impl PhaseHistograms {
+    /// Empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one question's trace (a no-op for disabled/empty traces).
+    pub fn observe(&mut self, trace: &Trace) {
+        let total = trace.total_nanos();
+        if total == 0 {
+            return;
+        }
+        self.total.record(total);
+        for phase in Phase::ALL {
+            let ns = trace.nanos(phase);
+            if ns > 0 {
+                self.per_phase[phase.idx()].record(ns);
+            }
+        }
+    }
+
+    /// Folds another set of histograms into this one.
+    pub fn merge(&mut self, other: &PhaseHistograms) {
+        self.total.merge(&other.total);
+        for (a, b) in self.per_phase.iter_mut().zip(&other.per_phase) {
+            a.merge(b);
+        }
+    }
+
+    /// The histogram of total forward latency.
+    pub fn total(&self) -> &LatencyHistogram {
+        &self.total
+    }
+
+    /// The histogram for one phase.
+    pub fn phase(&self, phase: Phase) -> &LatencyHistogram {
+        &self.per_phase[phase.idx()]
+    }
+}
+
+/// Reusable per-worker buffers for the scale-out path.
+///
+/// A worker keeps one accumulator *per chunk it owns* instead of folding its
+/// chunks locally: the main thread merges all chunk partials itself, in
+/// global chunk-index order, so the parallel engine reproduces the column
+/// engine's rounding history bit for bit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerScratch {
+    pub(crate) logits: Vec<f32>,
+    pub(crate) lazy_partials: Vec<LazyAccumulator>,
+    pub(crate) online_partials: Vec<OnlineSoftmax>,
+    /// How many chunk partials the last pass filled in.
+    pub(crate) used: usize,
+}
+
+impl WorkerScratch {
+    /// Borrows the logits buffer (grown to `logit_len`) together with a
+    /// reset chunk-partial accumulator for the worker's `idx`-th chunk.
+    pub(crate) fn chunk_slot(
+        &mut self,
+        mode: SoftmaxMode,
+        ed: usize,
+        logit_len: usize,
+        idx: usize,
+    ) -> (&mut [f32], AccumMut<'_>) {
+        if self.logits.len() < logit_len {
+            self.logits.resize(logit_len, 0.0);
+        }
+        let logits = &mut self.logits[..logit_len];
+        let acc = match mode {
+            SoftmaxMode::Lazy => {
+                if self.lazy_partials.len() <= idx {
+                    self.lazy_partials
+                        .resize_with(idx + 1, LazyAccumulator::default);
+                }
+                let slot = &mut self.lazy_partials[idx];
+                slot.reset(ed);
+                AccumMut::Lazy(slot)
+            }
+            SoftmaxMode::Online => {
+                if self.online_partials.len() <= idx {
+                    self.online_partials
+                        .resize_with(idx + 1, OnlineSoftmax::default);
+                }
+                let slot = &mut self.online_partials[idx];
+                slot.reset(ed);
+                AccumMut::Online(slot)
+            }
+        };
+        (logits, acc)
+    }
+}
+
+/// Maximum recycled output vectors a scratch keeps (hops hand back one
+/// buffer per hop; serving hands back one per question).
+const OUT_POOL_LIMIT: usize = 8;
+
+/// The shared, reusable arena for forward passes.
+///
+/// One `Scratch` holds every buffer the engine variants need: the chunk
+/// logits buffer, both softmax accumulators, per-worker partials for the
+/// scale-out path, and a small pool of recycled output vectors. Reusing a
+/// scratch across questions makes the column path allocation-free once the
+/// buffers have grown to the store's capacity.
+///
+/// A scratch is engine-agnostic: the same instance can serve
+/// [`EngineKind::Column`], [`EngineKind::Streaming`] and
+/// [`EngineKind::Parallel`] calls interchangeably.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    pub(crate) logits: Vec<f32>,
+    pub(crate) lazy: LazyAccumulator,
+    pub(crate) online: OnlineSoftmax,
+    pub(crate) chunk_lazy: LazyAccumulator,
+    pub(crate) chunk_online: OnlineSoftmax,
+    pub(crate) out_pool: Vec<Vec<f32>>,
+    pub(crate) workers: Vec<WorkerScratch>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers grow on first use and are then
+    /// reused.
+    pub fn new() -> Self {
+        Scratch {
+            out_pool: Vec::with_capacity(OUT_POOL_LIMIT),
+            ..Scratch::default()
+        }
+    }
+
+    /// Hands an output vector (e.g. a consumed [`ColumnOutput::o`]) back to
+    /// the pool so the next forward pass can reuse its allocation.
+    pub fn recycle(&mut self, mut buf: Vec<f32>) {
+        if buf.capacity() > 0 && self.out_pool.len() < OUT_POOL_LIMIT {
+            buf.clear();
+            self.out_pool.push(buf);
+        }
+    }
+
+    /// Number of pooled output buffers currently available.
+    pub fn pooled_outputs(&self) -> usize {
+        self.out_pool.len()
+    }
+
+    /// Takes an output vector from the pool (or allocates the first time)
+    /// with capacity for `ed` elements.
+    pub(crate) fn take_out(&mut self, ed: usize) -> Vec<f32> {
+        let mut v = self.out_pool.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(ed);
+        v
+    }
+
+    /// Splits into the main logits buffer, a reset running-total
+    /// accumulator, and a reset chunk-partial accumulator.
+    ///
+    /// The sequential engines process each chunk into the partial and then
+    /// fold it into the running total — the same merge discipline the
+    /// scale-out path uses — so accumulation order is identical across
+    /// engine variants.
+    pub(crate) fn split_chunked(
+        &mut self,
+        mode: SoftmaxMode,
+        ed: usize,
+        logit_len: usize,
+    ) -> (&mut [f32], AccumMut<'_>, AccumMut<'_>) {
+        if self.logits.len() < logit_len {
+            self.logits.resize(logit_len, 0.0);
+        }
+        let logits = &mut self.logits[..logit_len];
+        match mode {
+            SoftmaxMode::Lazy => {
+                self.lazy.reset(ed);
+                self.chunk_lazy.reset(ed);
+                (
+                    logits,
+                    AccumMut::Lazy(&mut self.lazy),
+                    AccumMut::Lazy(&mut self.chunk_lazy),
+                )
+            }
+            SoftmaxMode::Online => {
+                self.online.reset(ed);
+                self.chunk_online.reset(ed);
+                (
+                    logits,
+                    AccumMut::Online(&mut self.online),
+                    AccumMut::Online(&mut self.chunk_online),
+                )
+            }
+        }
+    }
+
+    /// The main logits buffer, grown to at least `logit_len`.
+    pub(crate) fn logits(&mut self, logit_len: usize) -> &mut [f32] {
+        if self.logits.len() < logit_len {
+            self.logits.resize(logit_len, 0.0);
+        }
+        &mut self.logits[..logit_len]
+    }
+
+    /// Per-worker scratches for an `n`-thread scale-out pass.
+    pub(crate) fn workers(&mut self, n: usize) -> &mut [WorkerScratch] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, WorkerScratch::default);
+        }
+        &mut self.workers[..n]
+    }
+
+    /// Folds every chunk partial produced by the first `n` workers into the
+    /// reset main accumulator and returns `(denominator, partials merged)`.
+    ///
+    /// Workers own contiguous ascending chunk ranges, so iterating workers
+    /// in order and their partials in order visits chunks in global
+    /// chunk-index order — exactly the fold the sequential engines perform,
+    /// which is what makes the output bitwise identical.
+    pub(crate) fn merge_worker_partials(
+        &mut self,
+        mode: SoftmaxMode,
+        ed: usize,
+        n: usize,
+    ) -> (f32, u64) {
+        let mut merged = 0u64;
+        match mode {
+            SoftmaxMode::Lazy => {
+                self.lazy.reset(ed);
+                for w in &self.workers[..n] {
+                    for partial in &w.lazy_partials[..w.used] {
+                        self.lazy.merge(partial);
+                        merged += 1;
+                    }
+                }
+                (self.lazy.denom(), merged)
+            }
+            SoftmaxMode::Online => {
+                self.online.reset(ed);
+                for w in &self.workers[..n] {
+                    for partial in &w.online_partials[..w.used] {
+                        self.online.merge(partial);
+                        merged += 1;
+                    }
+                }
+                (self.online.denom(), merged)
+            }
+        }
+    }
+
+    /// Writes the main accumulator's normalized response into `out`.
+    pub(crate) fn finish_main(&self, mode: SoftmaxMode, out: &mut Vec<f32>) {
+        match mode {
+            SoftmaxMode::Lazy => self.lazy.finish_into(out),
+            SoftmaxMode::Online => self.online.finish_into(out),
+        }
+    }
+}
+
+/// Which engine variant a plan selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Pick a variant per call from the memory size and thread count
+    /// (see [`ExecPlan::resolve`]).
+    #[default]
+    Auto,
+    /// Sequential chunked execution ([`crate::ColumnEngine`]).
+    Column,
+    /// Producer/consumer chunk prefetching ([`crate::StreamingEngine`]).
+    Streaming,
+    /// Multi-threaded scale-out ([`crate::ParallelEngine`]).
+    Parallel,
+}
+
+impl EngineKind {
+    /// Stable machine-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Column => "column",
+            EngineKind::Streaming => "streaming",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+
+    /// Parses a label produced by [`EngineKind::label`].
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "auto" => Some(EngineKind::Auto),
+            "column" => Some(EngineKind::Column),
+            "streaming" => Some(EngineKind::Streaming),
+            "parallel" => Some(EngineKind::Parallel),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Working sets past this size favor streaming's load/compute overlap
+/// (roughly an LLC slice; both memories no longer fit in-cache).
+const STREAMING_BYTES_THRESHOLD: u64 = 4 << 20;
+
+/// Declarative engine selection: a [`MnnFastConfig`] plus an
+/// [`EngineKind`].
+///
+/// ```
+/// use mnnfast::{EngineKind, ExecPlan, MnnFastConfig};
+///
+/// let plan = ExecPlan::new(MnnFastConfig::new(64).with_threads(4));
+/// assert_eq!(plan.kind, EngineKind::Auto);
+/// // Tiny stores run sequentially; big ones use the configured threads.
+/// assert_eq!(plan.resolve(10, 16), EngineKind::Column);
+/// assert_eq!(plan.resolve(1_000_000, 16), EngineKind::Parallel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecPlan {
+    /// The dataflow configuration shared by all variants.
+    pub config: MnnFastConfig,
+    /// Which variant to run ([`EngineKind::Auto`] resolves per call).
+    pub kind: EngineKind,
+}
+
+impl ExecPlan {
+    /// A plan with [`EngineKind::Auto`] selection.
+    pub fn new(config: MnnFastConfig) -> Self {
+        ExecPlan {
+            config,
+            kind: EngineKind::Auto,
+        }
+    }
+
+    /// Pins the plan to a specific engine kind.
+    pub fn with_kind(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Resolves the concrete variant for a pass over `rows` memory entries
+    /// of embedding dimension `ed`.
+    ///
+    /// [`EngineKind::Auto`] picks:
+    /// * [`EngineKind::Parallel`] when more than one thread is configured
+    ///   and every worker gets at least two chunks of work;
+    /// * otherwise [`EngineKind::Streaming`] when the working set
+    ///   (`2 × rows × ed × 4` bytes) exceeds ~4 MiB, so overlapping the
+    ///   chunk loads pays;
+    /// * otherwise [`EngineKind::Column`].
+    pub fn resolve(&self, rows: usize, ed: usize) -> EngineKind {
+        match self.kind {
+            EngineKind::Auto => {
+                let threads = self.config.threads;
+                if threads > 1 && rows >= threads * self.config.chunk_size * 2 {
+                    return EngineKind::Parallel;
+                }
+                let working_set = 2 * (rows as u64) * (ed as u64) * 4;
+                if working_set >= STREAMING_BYTES_THRESHOLD {
+                    EngineKind::Streaming
+                } else {
+                    EngineKind::Column
+                }
+            }
+            kind => kind,
+        }
+    }
+
+    /// Builds the executor implementing this plan.
+    pub fn executor(self) -> PlanExecutor {
+        PlanExecutor::new(self)
+    }
+}
+
+/// Anything that can run the forward pass
+/// `o = softmax(u · M_IN[..rows]ᵀ) · M_OUT[..rows]`.
+///
+/// This is the single dispatch seam of the codebase: `serve`, `cli` and
+/// `bench` all hold `&dyn Executor`, and [`crate::hops::multi_hop`] accepts
+/// the same trait object. Implemented by [`crate::ColumnEngine`],
+/// [`crate::StreamingEngine`], [`crate::ParallelEngine`] and
+/// [`PlanExecutor`].
+pub trait Executor: Send + Sync + fmt::Debug {
+    /// Computes the response vector over the first `rows` memory entries,
+    /// reusing `scratch` buffers and recording per-phase timings into
+    /// `trace` (free when the trace is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on invalid configuration, mismatched operand
+    /// shapes, or `rows > m_in.rows()` ([`EngineError::Shape`], never a
+    /// panic).
+    fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+    ) -> Result<ColumnOutput, EngineError>;
+
+    /// The dataflow configuration this executor runs.
+    fn config(&self) -> MnnFastConfig;
+
+    /// The engine kind this executor reports (the *plan* kind for
+    /// [`PlanExecutor`], which may be [`EngineKind::Auto`]).
+    fn kind(&self) -> EngineKind;
+}
+
+/// The executor built from an [`ExecPlan`]: holds all three engine variants
+/// and dispatches per call via [`ExecPlan::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanExecutor {
+    plan: ExecPlan,
+    column: crate::ColumnEngine,
+    streaming: crate::StreamingEngine,
+    parallel: crate::ParallelEngine,
+}
+
+impl PlanExecutor {
+    /// Builds the executor for `plan`.
+    pub fn new(plan: ExecPlan) -> Self {
+        PlanExecutor {
+            plan,
+            column: crate::ColumnEngine::new(plan.config),
+            streaming: crate::StreamingEngine::new(plan.config),
+            parallel: crate::ParallelEngine::new(plan.config),
+        }
+    }
+
+    /// The plan this executor implements.
+    pub fn plan(&self) -> ExecPlan {
+        self.plan
+    }
+}
+
+impl Executor for PlanExecutor {
+    fn forward_prefix(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+    ) -> Result<ColumnOutput, EngineError> {
+        match self.plan.resolve(rows, u.len()) {
+            EngineKind::Column | EngineKind::Auto => self
+                .column
+                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+            EngineKind::Streaming => self
+                .streaming
+                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+            EngineKind::Parallel => self
+                .parallel
+                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+        }
+    }
+
+    fn config(&self) -> MnnFastConfig {
+        self.plan.config
+    }
+
+    fn kind(&self) -> EngineKind {
+        self.plan.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MnnFastConfig;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        assert!(t.begin().is_none());
+        t.record(Phase::InnerProduct, None, 100);
+        t.bump(Phase::Skip, 5);
+        assert_eq!(t.total_nanos(), 0);
+        assert_eq!(t.count(Phase::Skip), 0);
+    }
+
+    #[test]
+    fn enabled_trace_accumulates() {
+        let mut t = Trace::enabled();
+        let t0 = t.begin();
+        assert!(t0.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.record(Phase::InnerProduct, t0, 7);
+        assert!(t.nanos(Phase::InnerProduct) >= 1_000_000);
+        assert_eq!(t.count(Phase::InnerProduct), 7);
+        assert_eq!(t.total_nanos(), t.nanos(Phase::InnerProduct));
+
+        let mut sum = Trace::enabled();
+        sum.absorb(&t);
+        sum.absorb(&t);
+        assert_eq!(sum.count(Phase::InnerProduct), 14);
+
+        t.reset();
+        assert_eq!(t.total_nanos(), 0);
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn trace_render_lists_all_phases() {
+        let mut t = Trace::enabled();
+        t.add(Phase::InnerProduct, 1_500, 10);
+        t.add(Phase::Divide, 500, 8);
+        let s = t.render();
+        for phase in Phase::ALL {
+            assert!(s.contains(phase.label()), "{s}");
+        }
+        assert!(s.contains("total"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(1_000); // bucket 9 (512..1024? no: 2^9=512, 1000 in [512,1024))
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.mean_nanos() >= 1_000);
+        let p50 = h.quantile_upper_bound(0.5);
+        assert!(p50 <= 2_048, "p50 {p50}");
+        let p99 = h.quantile_upper_bound(0.99);
+        assert!(p99 >= 1_000_000, "p99 {p99}");
+
+        let mut other = LatencyHistogram::new();
+        other.record(1_000);
+        h.merge(&other);
+        assert_eq!(h.count(), 101);
+    }
+
+    #[test]
+    fn phase_histograms_observe_traces() {
+        let mut hist = PhaseHistograms::new();
+        let mut t = Trace::enabled();
+        t.add(Phase::InnerProduct, 2_000, 64);
+        t.add(Phase::Divide, 300, 8);
+        hist.observe(&t);
+        hist.observe(&t);
+        assert_eq!(hist.total().count(), 2);
+        assert_eq!(hist.phase(Phase::InnerProduct).count(), 2);
+        assert_eq!(hist.phase(Phase::Merge).count(), 0);
+
+        // Disabled traces are ignored.
+        hist.observe(&Trace::disabled());
+        assert_eq!(hist.total().count(), 2);
+
+        let mut merged = PhaseHistograms::new();
+        merged.merge(&hist);
+        assert_eq!(merged.total().count(), 2);
+    }
+
+    #[test]
+    fn auto_plan_resolution() {
+        let plan = ExecPlan::new(MnnFastConfig::new(100).with_threads(4));
+        assert_eq!(plan.resolve(10, 8), EngineKind::Column);
+        assert_eq!(plan.resolve(2_000, 8), EngineKind::Parallel);
+
+        let single = ExecPlan::new(MnnFastConfig::new(100));
+        assert_eq!(single.resolve(2_000, 8), EngineKind::Column);
+        // 2 * 200k * 16 * 4 = 25.6 MB working set: stream it.
+        assert_eq!(single.resolve(200_000, 16), EngineKind::Streaming);
+
+        let pinned = ExecPlan::new(MnnFastConfig::new(100)).with_kind(EngineKind::Streaming);
+        assert_eq!(pinned.resolve(1, 1), EngineKind::Streaming);
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for kind in [
+            EngineKind::Auto,
+            EngineKind::Column,
+            EngineKind::Streaming,
+            EngineKind::Parallel,
+        ] {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(EngineKind::parse("gpu"), None);
+    }
+
+    #[test]
+    fn scratch_pools_output_buffers() {
+        let mut s = Scratch::new();
+        let a = s.take_out(8);
+        assert_eq!(s.pooled_outputs(), 0);
+        let ptr = a.as_ptr();
+        s.recycle(a);
+        assert_eq!(s.pooled_outputs(), 1);
+        let b = s.take_out(8);
+        assert_eq!(b.as_ptr(), ptr, "pooled buffer must be reused");
+    }
+
+    #[test]
+    fn format_nanos_units() {
+        assert_eq!(format_nanos(900), "900 ns");
+        assert!(format_nanos(1_500).contains("µs"));
+        assert!(format_nanos(2_000_000).contains("ms"));
+        assert!(format_nanos(3_000_000_000).contains(" s"));
+    }
+}

@@ -1,71 +1,17 @@
-//! Multi-hop inference on top of any response engine.
+//! Multi-hop inference on top of any [`Executor`].
 //!
 //! The paper's inference operation can "iterate over several times for
 //! better results" (Section 2.1): hop `k` computes
 //! `o_k = softmax(u_k · M_INᵀ) · M_OUT` and feeds `u_{k+1} = u_k + o_k`
 //! into the next hop. Every MnnFast optimization applies per hop, so this
-//! module lifts the single-hop engines to hop chains through the
-//! [`ResponseEngine`] trait.
+//! module lifts the single-hop engines to hop chains through the same
+//! [`Executor`] trait object the serving layer dispatches on — one seam,
+//! no parallel trait hierarchy.
 
-use crate::engine::{ColumnEngine, ColumnOutput, EngineError};
-use crate::parallel::ParallelEngine;
+use crate::engine::EngineError;
+use crate::exec::{Executor, Scratch, Trace};
 use crate::stats::InferenceStats;
-use crate::streaming::StreamingEngine;
 use mnn_tensor::Matrix;
-
-/// Anything that can compute the response vector
-/// `o = softmax(u · M_INᵀ) · M_OUT`.
-///
-/// Implemented by [`ColumnEngine`], [`StreamingEngine`] and
-/// [`ParallelEngine`]; the trait is object-safe so serving layers can pick
-/// an execution strategy at runtime.
-pub trait ResponseEngine {
-    /// Computes the response vector for one question state.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EngineError`] on invalid configuration or mismatched
-    /// shapes.
-    fn response(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-    ) -> Result<ColumnOutput, EngineError>;
-}
-
-impl ResponseEngine for ColumnEngine {
-    fn response(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-    ) -> Result<ColumnOutput, EngineError> {
-        self.forward(m_in, m_out, u)
-    }
-}
-
-impl ResponseEngine for StreamingEngine {
-    fn response(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-    ) -> Result<ColumnOutput, EngineError> {
-        self.forward(m_in, m_out, u)
-    }
-}
-
-impl ResponseEngine for ParallelEngine {
-    fn response(
-        &self,
-        m_in: &Matrix,
-        m_out: &Matrix,
-        u: &[f32],
-    ) -> Result<ColumnOutput, EngineError> {
-        self.forward(m_in, m_out, u)
-    }
-}
 
 /// Result of a multi-hop pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,21 +29,29 @@ pub struct HopsOutput {
     pub stats: InferenceStats,
 }
 
-/// Runs `hops` memory hops with `engine`, chaining `u ← u + o`.
+/// Runs `hops` memory hops with `exec` over the first `rows` memory
+/// entries, chaining `u ← u + o`, reusing `scratch` across hops and
+/// accumulating per-phase timings into `trace`.
 ///
 /// Matches `mnn-memnn`'s baseline hop semantics exactly (layer-wise tied
-/// memories: the same `M_IN`/`M_OUT` serve every hop).
+/// memories: the same `M_IN`/`M_OUT` serve every hop). Pass
+/// `m_in.rows()` as `rows` for full matrices; serving layers pass the
+/// populated prefix of their capacity-doubled stores.
 ///
 /// # Errors
 ///
-/// Returns [`EngineError`] from the underlying engine, or a configuration
-/// error if `hops == 0`.
+/// Returns [`EngineError`] from the underlying executor, or a
+/// configuration error if `hops == 0`.
+#[allow(clippy::too_many_arguments)]
 pub fn multi_hop(
-    engine: &dyn ResponseEngine,
+    exec: &dyn Executor,
     m_in: &Matrix,
     m_out: &Matrix,
+    rows: usize,
     u0: &[f32],
     hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
 ) -> Result<HopsOutput, EngineError> {
     if hops == 0 {
         return Err(EngineError::Config("hops must be positive".into()));
@@ -109,7 +63,7 @@ pub fn multi_hop(
     let mut o = Vec::new();
 
     for _ in 0..hops {
-        let out = engine.response(m_in, m_out, &u)?;
+        let out = exec.forward_prefix(m_in, m_out, rows, &u, scratch, trace)?;
         // Sequential hops: counters add, peak intermediates take the max
         // (which is what `merge` does).
         stats.merge(&out.stats);
@@ -117,8 +71,10 @@ pub fn multi_hop(
         for (ui, oi) in u.iter_mut().zip(&out.o) {
             *ui += oi;
         }
-        o = out.o.clone();
-        per_hop.push(out.o);
+        per_hop.push(out.o.clone());
+        // The hop's output buffer came from the scratch pool; hand it back
+        // so the next hop (or question) reuses the allocation.
+        scratch.recycle(std::mem::replace(&mut o, out.o));
     }
 
     Ok(HopsOutput {
@@ -130,10 +86,40 @@ pub fn multi_hop(
     })
 }
 
+/// One-shot convenience over [`multi_hop`]: fresh scratch, tracing off,
+/// all memory rows.
+///
+/// # Errors
+///
+/// As [`multi_hop`].
+pub fn multi_hop_simple(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    u0: &[f32],
+    hops: usize,
+) -> Result<HopsOutput, EngineError> {
+    let mut scratch = Scratch::new();
+    let mut trace = Trace::disabled();
+    multi_hop(
+        exec,
+        m_in,
+        m_out,
+        m_in.rows(),
+        u0,
+        hops,
+        &mut scratch,
+        &mut trace,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MnnFastConfig, SkipPolicy};
+    use crate::{
+        ColumnEngine, EngineKind, ExecPlan, MnnFastConfig, ParallelEngine, Phase, SkipPolicy,
+        StreamingEngine,
+    };
     use mnn_tensor::softmax::softmax_in_place;
     use mnn_tensor::{assert_slice_approx_eq, kernels};
 
@@ -161,18 +147,20 @@ mod tests {
     }
 
     #[test]
-    fn multi_hop_matches_reference_for_all_engines() {
+    fn multi_hop_matches_reference_for_all_executors() {
         let (m_in, m_out, u) = memories(60, 8);
         let config = MnnFastConfig::new(16);
-        let engines: [&dyn ResponseEngine; 3] = [
+        let plan_exec = ExecPlan::new(config).with_kind(EngineKind::Auto).executor();
+        let executors: [&dyn Executor; 4] = [
             &ColumnEngine::new(config),
             &StreamingEngine::new(config),
             &ParallelEngine::new(config.with_threads(2)),
+            &plan_exec,
         ];
         for hops in [1usize, 2, 3] {
             let expect = reference_hops(&m_in, &m_out, &u, hops);
-            for engine in engines {
-                let out = multi_hop(engine, &m_in, &m_out, &u, hops).unwrap();
+            for exec in executors {
+                let out = multi_hop_simple(exec, &m_in, &m_out, &u, hops).unwrap();
                 assert_slice_approx_eq(&out.u_final, &expect, 1e-3);
                 assert_eq!(out.per_hop.len(), hops);
             }
@@ -183,7 +171,7 @@ mod tests {
     fn u_last_plus_o_equals_u_final() {
         let (m_in, m_out, u) = memories(30, 4);
         let engine = ColumnEngine::new(MnnFastConfig::new(8));
-        let out = multi_hop(&engine, &m_in, &m_out, &u, 3).unwrap();
+        let out = multi_hop_simple(&engine, &m_in, &m_out, &u, 3).unwrap();
         for ((last, o), fin) in out.u_last.iter().zip(&out.o).zip(&out.u_final) {
             assert!((last + o - fin).abs() < 1e-6);
         }
@@ -193,8 +181,8 @@ mod tests {
     fn stats_accumulate_across_hops() {
         let (m_in, m_out, u) = memories(40, 4);
         let engine = ColumnEngine::new(MnnFastConfig::new(10));
-        let one = multi_hop(&engine, &m_in, &m_out, &u, 1).unwrap();
-        let three = multi_hop(&engine, &m_in, &m_out, &u, 3).unwrap();
+        let one = multi_hop_simple(&engine, &m_in, &m_out, &u, 1).unwrap();
+        let three = multi_hop_simple(&engine, &m_in, &m_out, &u, 3).unwrap();
         assert_eq!(three.stats.rows_total, 3 * one.stats.rows_total);
         assert_eq!(three.stats.divisions, 3 * one.stats.divisions);
         // Peak intermediates do not triple: buffers are reused per hop.
@@ -206,7 +194,7 @@ mod tests {
         let (m_in, m_out, u) = memories(10, 4);
         let engine = ColumnEngine::new(MnnFastConfig::new(4));
         assert!(matches!(
-            multi_hop(&engine, &m_in, &m_out, &u, 0),
+            multi_hop_simple(&engine, &m_in, &m_out, &u, 0),
             Err(EngineError::Config(_))
         ));
     }
@@ -216,8 +204,22 @@ mod tests {
         let (m_in, m_out, u) = memories(50, 4);
         let engine =
             ColumnEngine::new(MnnFastConfig::new(10).with_skip(SkipPolicy::Probability(0.015)));
-        let out = multi_hop(&engine, &m_in, &m_out, &u, 2).unwrap();
+        let out = multi_hop_simple(&engine, &m_in, &m_out, &u, 2).unwrap();
         assert_eq!(out.stats.rows_total, 100);
         assert!(out.stats.rows_skipped > 0);
+    }
+
+    #[test]
+    fn hops_over_prefix_and_traced() {
+        let (m_in, m_out, u) = memories(50, 4);
+        let engine = ColumnEngine::new(MnnFastConfig::new(10));
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+        let out = multi_hop(&engine, &m_in, &m_out, 30, &u, 2, &mut scratch, &mut trace).unwrap();
+        assert_eq!(out.stats.rows_total, 60);
+        assert_eq!(trace.count(Phase::InnerProduct), 60);
+        assert_eq!(trace.count(Phase::Divide), 8, "two hops of ed divisions");
+        // The trailing hop's output buffer was recycled into the pool.
+        assert!(scratch.pooled_outputs() >= 1);
     }
 }

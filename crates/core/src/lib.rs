@@ -16,6 +16,12 @@
 //!    and merge the partial accumulators, the paper's multi-unit scaling
 //!    argument (Section 3.1, last paragraph).
 //!
+//! All variants implement one trait, [`Executor`] ([`exec`]): callers pick
+//! a variant declaratively with an [`ExecPlan`] (or let [`EngineKind::Auto`]
+//! choose from the memory size and thread count), reuse buffers across
+//! questions through a [`Scratch`] arena, and get per-phase wall-time
+//! breakdowns via [`Trace`] — zero-cost when disabled.
+//!
 //! The embedding-cache optimization operates on the memory hierarchy rather
 //! than the dataflow; it lives in `mnn-memsim` (simulated cache) and
 //! `mnn-accel` (FPGA model).
@@ -46,12 +52,19 @@ mod stats;
 
 pub mod batch;
 pub mod engine;
+pub mod exec;
 pub mod hops;
 pub mod parallel;
 pub mod streaming;
 
 pub use batch::{BatchEngine, BatchOutput};
 pub use config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
-pub use engine::{ColumnEngine, ColumnOutput, ColumnScratch};
-pub use hops::{multi_hop, HopsOutput, ResponseEngine};
+pub use engine::{ColumnEngine, ColumnOutput, EngineError};
+pub use exec::{
+    EngineKind, ExecPlan, Executor, LatencyHistogram, Phase, PhaseHistograms, PlanExecutor,
+    Scratch, Trace,
+};
+pub use hops::{multi_hop, multi_hop_simple, HopsOutput};
+pub use parallel::ParallelEngine;
 pub use stats::InferenceStats;
+pub use streaming::StreamingEngine;

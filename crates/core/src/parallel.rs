@@ -3,11 +3,14 @@
 //! The column-based algorithm makes each chunk independent; the only shared
 //! state is the final `O(ed)` merge (Section 3.1's scale-out argument:
 //! "synchronization overhead is negligible because the size of output
-//! results are proportionate to ed"). Each worker accumulates a private
-//! softmax accumulator over a contiguous row range; partials merge in
-//! thread-index order so results are deterministic.
+//! results are proportionate to ed"). Each worker fills one private
+//! softmax partial per chunk it owns; the main thread folds every chunk
+//! partial in global chunk-index order — the same fold the sequential
+//! engines perform — so the output is bitwise identical to
+//! [`crate::ColumnEngine`] at any thread count.
 
-use crate::engine::{Accum, ColumnEngine, ColumnOutput, EngineError};
+use crate::engine::{check_rows, ColumnEngine, ColumnOutput, EngineError};
+use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
 
@@ -25,9 +28,7 @@ use mnn_tensor::Matrix;
 /// let config = MnnFastConfig::new(32).with_threads(4);
 /// let par = ParallelEngine::new(config).forward(&m_in, &m_out, &u).unwrap();
 /// let seq = ColumnEngine::new(config.with_threads(1)).forward(&m_in, &m_out, &u).unwrap();
-/// for (a, b) in par.o.iter().zip(&seq.o) {
-///     assert!((a - b).abs() < 1e-5);
-/// }
+/// assert_eq!(par.o, seq.o); // bitwise identical, not just approximately
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelEngine {
@@ -43,10 +44,9 @@ impl ParallelEngine {
     }
 
     /// Computes the response vector with `config.threads` workers over
-    /// contiguous row partitions.
-    ///
-    /// Workers produce `(Accum, InferenceStats)` partials; the main thread
-    /// merges them in partition order, then applies the lazy division once.
+    /// contiguous row partitions, allocating fresh scratch buffers
+    /// (one-shot convenience; serving loops should call
+    /// [`Executor::forward_prefix`] with a reused [`Scratch`]).
     ///
     /// # Errors
     ///
@@ -57,96 +57,139 @@ impl ParallelEngine {
         m_out: &Matrix,
         u: &[f32],
     ) -> Result<ColumnOutput, EngineError> {
-        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        Executor::forward_prefix(self, m_in, m_out, m_in.rows(), u, &mut scratch, &mut trace)
     }
+}
 
-    /// Scale-out over only the first `rows` memory entries (the serving
-    /// path).
-    ///
-    /// # Errors
-    ///
-    /// As [`ParallelEngine::forward`], plus a shape error when
-    /// `rows > m_in.rows()`.
-    pub fn forward_prefix(
+impl Executor for ParallelEngine {
+    /// Workers produce per-chunk accumulator partials in per-worker
+    /// scratches; the main thread merges them in global chunk order, then
+    /// applies the lazy division once. Worker phase times are CPU time
+    /// summed across threads (they can exceed wall time).
+    fn forward_prefix(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
         rows: usize,
         u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
     ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
-        if rows > m_in.rows() {
-            return Err(mnn_tensor::ShapeError::new(
-                "ParallelEngine::forward_prefix",
-                format!("rows <= {}", m_in.rows()),
-                format!("rows = {rows}"),
-            )
-            .into());
-        }
+        check_rows(m_in, rows, "ParallelEngine::forward_prefix")?;
         let config = self.engine.config();
         let threads = config.threads.min(rows).max(1);
         if threads == 1 {
-            return self.engine.forward_prefix(m_in, m_out, rows, u);
+            return Executor::forward_prefix(&self.engine, m_in, m_out, rows, u, scratch, trace);
         }
 
         let mut stats = InferenceStats::default();
-        let raw_threshold = self
-            .engine
-            .resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
         let ns = rows;
         let ed = u.len();
+        let chunk = config.chunk_size;
+
+        let t0 = trace.begin();
+        let raw_threshold = {
+            let logits = scratch.logits(chunk.min(ns.max(1)));
+            self.engine
+                .resolve_threshold_prefix(m_in, ns, u, &mut stats, logits)?
+        };
+        trace.record(Phase::Skip, t0, 0);
 
         // Partition on chunk boundaries so per-thread chunking matches the
         // sequential engine's chunk layout.
-        let chunks_total = ns.div_ceil(config.chunk_size);
+        let chunks_total = ns.div_ceil(chunk);
         let chunks_per_thread = chunks_total.div_ceil(threads);
-        let rows_per_thread = chunks_per_thread * config.chunk_size;
+        let rows_per_thread = chunks_per_thread * chunk;
 
-        let partials = crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let start = (t * rows_per_thread).min(ns);
-                let end = ((t + 1) * rows_per_thread).min(ns);
-                let engine = self.engine;
-                handles.push(scope.spawn(move |_| {
-                    let mut acc = Accum::new(engine.config().softmax, ed);
-                    let mut local = InferenceStats::default();
-                    engine.process_range(
-                        m_in,
-                        m_out,
-                        u,
-                        start,
-                        end,
-                        raw_threshold,
-                        &mut acc,
-                        &mut local,
-                    );
-                    (acc, local)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scale-out worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("scale-out scope panicked");
+        let enabled = trace.is_enabled();
+        let engine = self.engine;
+        let partials = {
+            let workers = scratch.workers(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (t, ws) in workers.iter_mut().enumerate() {
+                    let start = (t * rows_per_thread).min(ns);
+                    let end = ((t + 1) * rows_per_thread).min(ns);
+                    handles.push(scope.spawn(move || {
+                        let mut local = InferenceStats::default();
+                        let mut ltrace = if enabled {
+                            Trace::enabled()
+                        } else {
+                            Trace::disabled()
+                        };
+                        let logit_len = chunk.min((end - start).max(1));
+                        // One partial per owned chunk; the worker does NOT
+                        // pre-fold them — the main thread merges every
+                        // chunk partial in global chunk order so the result
+                        // is bitwise identical to the sequential engines.
+                        let mut idx = 0usize;
+                        let mut row = start;
+                        while row < end {
+                            let n = chunk.min(end - row);
+                            let (logits, mut acc) =
+                                ws.chunk_slot(config.softmax, ed, logit_len, idx);
+                            engine.process_chunk_flat(
+                                m_in.rows_slice(row, n),
+                                m_out.rows_slice(row, n),
+                                n,
+                                u,
+                                raw_threshold,
+                                &mut acc,
+                                &mut local,
+                                &mut logits[..n],
+                                &mut ltrace,
+                            );
+                            row += n;
+                            idx += 1;
+                        }
+                        ws.used = idx;
+                        (local, ltrace)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scale-out worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+        };
 
-        let mut merged: Option<Accum> = None;
-        for (acc, local) in partials {
+        for (local, ltrace) in &partials {
+            trace.absorb(ltrace);
             // Concurrent partials are all live at once: sum their
             // intermediate footprints rather than taking the max.
             stats.intermediate_bytes += local.intermediate_bytes;
-            let mut local_no_peak = local;
+            let mut local_no_peak = *local;
             local_no_peak.intermediate_bytes = 0;
             stats.merge(&local_no_peak);
             stats.intermediate_bytes = stats.intermediate_bytes.max(local.intermediate_bytes);
-            match &mut merged {
-                None => merged = Some(acc),
-                Some(m) => m.merge(&acc),
-            }
         }
-        let acc = merged.unwrap_or_else(|| Accum::new(config.softmax, ed));
-        Ok(ColumnEngine::finalize(acc, ed, stats))
+
+        let t0 = trace.begin();
+        let (denominator, merged) = scratch.merge_worker_partials(config.softmax, ed, threads);
+        trace.record(Phase::Merge, t0, merged);
+
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        Ok(ColumnOutput {
+            o,
+            denominator,
+            stats,
+        })
+    }
+
+    fn config(&self) -> crate::MnnFastConfig {
+        self.engine.config()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Parallel
     }
 }
 
@@ -154,7 +197,6 @@ impl ParallelEngine {
 mod tests {
     use super::*;
     use crate::{MnnFastConfig, SkipPolicy, SoftmaxMode};
-    use mnn_tensor::assert_slice_approx_eq;
 
     fn memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
         let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 5 + c) as f32 * 0.13).sin());
@@ -173,7 +215,7 @@ mod tests {
             let par = ParallelEngine::new(MnnFastConfig::new(16).with_threads(threads))
                 .forward(&m_in, &m_out, &u)
                 .unwrap();
-            assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+            assert_eq!(par.o, seq.o, "threads {threads}: not bitwise identical");
             assert_eq!(par.stats.rows_total, 150, "threads {threads}");
         }
     }
@@ -198,7 +240,7 @@ mod tests {
             .forward(&m_in, &m_out, &u)
             .unwrap();
         assert_eq!(seq.stats.rows_skipped, par.stats.rows_skipped);
-        assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+        assert_eq!(par.o, seq.o, "skip decisions and fold order must match");
     }
 
     #[test]
@@ -211,7 +253,7 @@ mod tests {
         let par = ParallelEngine::new(config.with_threads(4))
             .forward(&m_in, &m_out, &u)
             .unwrap();
-        assert_slice_approx_eq(&par.o, &seq.o, 1e-4);
+        assert_eq!(par.o, seq.o, "online rescale history must match");
     }
 
     #[test]
@@ -233,5 +275,28 @@ mod tests {
             .forward(&m_in, &m_out, &u)
             .unwrap();
         assert!(four.stats.intermediate_bytes >= one.stats.intermediate_bytes);
+    }
+
+    #[test]
+    fn parallel_trace_records_merge_phase() {
+        let (m_in, m_out, u) = memories(200, 8);
+        let engine = ParallelEngine::new(MnnFastConfig::new(16).with_threads(4));
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+        let out = Executor::forward_prefix(
+            &engine,
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &u,
+            &mut scratch,
+            &mut trace,
+        )
+        .unwrap();
+        assert_eq!(out.stats.rows_total, 200);
+        assert_eq!(trace.count(Phase::InnerProduct), 200);
+        // One merge per chunk partial: ceil(200 / 16) = 13 chunks.
+        assert_eq!(trace.count(Phase::Merge), 13);
+        assert_eq!(trace.count(Phase::Divide), 8);
     }
 }

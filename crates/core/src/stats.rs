@@ -1,14 +1,12 @@
 //! Work and traffic accounting for the MnnFast engine.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by one forward pass (or merged across passes).
 ///
 /// These feed three reproductions: the computation-reduction axis of Fig 7
 /// (`weighted_sum_rows_done` vs `rows_total`), the intermediate-spill
 /// comparison of Fig 5/11 (`intermediate_bytes`), and the division-count
 /// argument of Section 3.1 (`divisions` ∝ `ed` instead of ∝ `ns`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InferenceStats {
     /// Total memory rows examined (`ns` per question).
     pub rows_total: u64,

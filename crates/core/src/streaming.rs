@@ -11,9 +11,11 @@
 //! — the caller's thread — runs the same per-chunk kernel as the sequential
 //! engine, so results are bit-identical to [`ColumnEngine::forward`].
 
-use crate::engine::{Accum, ColumnEngine, ColumnOutput, EngineError};
+use crate::engine::{check_rows, ColumnEngine, ColumnOutput, EngineError};
+use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
+use std::sync::mpsc::sync_channel;
 
 /// A staged chunk in flight from the producer to the consumer.
 #[derive(Debug)]
@@ -64,7 +66,10 @@ impl StreamingEngine {
         self.depth
     }
 
-    /// Computes the response vector with producer/consumer chunk streaming.
+    /// Computes the response vector with producer/consumer chunk streaming,
+    /// allocating fresh scratch buffers (one-shot convenience; serving
+    /// loops should call [`Executor::forward_prefix`] with a reused
+    /// [`Scratch`]).
     ///
     /// Numerically identical to [`ColumnEngine::forward`] with the same
     /// configuration: chunks are consumed in order, so the accumulation
@@ -79,99 +84,121 @@ impl StreamingEngine {
         m_out: &Matrix,
         u: &[f32],
     ) -> Result<ColumnOutput, EngineError> {
-        self.forward_prefix(m_in, m_out, m_in.rows(), u)
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        Executor::forward_prefix(self, m_in, m_out, m_in.rows(), u, &mut scratch, &mut trace)
     }
+}
 
-    /// Streams only the first `rows` memory entries (the serving path).
-    ///
-    /// # Errors
-    ///
-    /// As [`StreamingEngine::forward`], plus a shape error when
-    /// `rows > m_in.rows()`.
-    pub fn forward_prefix(
+impl Executor for StreamingEngine {
+    fn forward_prefix(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
         rows: usize,
         u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
     ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
-        if rows > m_in.rows() {
-            return Err(mnn_tensor::ShapeError::new(
-                "StreamingEngine::forward_prefix",
-                format!("rows <= {}", m_in.rows()),
-                format!("rows = {rows}"),
-            )
-            .into());
-        }
-        let mut stats = InferenceStats::default();
-        let raw_threshold = self
-            .engine
-            .resolve_threshold_prefix(m_in, rows, u, &mut stats)?;
+        check_rows(m_in, rows, "StreamingEngine::forward_prefix")?;
         let config = self.engine.config();
         let chunk = config.chunk_size;
         let ns = rows;
         let ed = u.len();
+        let mut stats = InferenceStats::default();
+        let denominator;
+        {
+            let (logits, mut main, mut partial) =
+                scratch.split_chunked(config.softmax, ed, chunk.min(ns.max(1)));
+            let t0 = trace.begin();
+            let raw_threshold = self
+                .engine
+                .resolve_threshold_prefix(m_in, ns, u, &mut stats, logits)?;
+            trace.record(Phase::Skip, t0, 0);
 
-        let mut acc = Accum::new(config.softmax, ed);
-        let mut logits = vec![0.0f32; chunk.min(ns.max(1))];
+            std::thread::scope(|scope| {
+                let (tx, rx) = sync_channel::<StagedChunk>(self.depth);
+                // Recycling lane: consumed buffers return to the producer, so
+                // exactly `depth` buffers circulate — the literal
+                // double-buffering discipline of the FPGA design, with no
+                // steady-state allocation.
+                let (recycle_tx, recycle_rx) = sync_channel::<StagedChunk>(self.depth);
+                for _ in 0..self.depth {
+                    let _ = recycle_tx.send(StagedChunk {
+                        n: 0,
+                        in_data: Vec::with_capacity(chunk * ed),
+                        out_data: Vec::with_capacity(chunk * ed),
+                    });
+                }
 
-        crossbeam::thread::scope(|scope| {
-            let (tx, rx) = crossbeam::channel::bounded::<StagedChunk>(self.depth);
-            // Recycling lane: consumed buffers return to the producer, so
-            // exactly `depth` buffers circulate — the literal
-            // double-buffering discipline of the FPGA design, with no
-            // steady-state allocation.
-            let (recycle_tx, recycle_rx) = crossbeam::channel::bounded::<StagedChunk>(self.depth);
-            for _ in 0..self.depth {
-                let _ = recycle_tx.send(StagedChunk {
-                    n: 0,
-                    in_data: Vec::with_capacity(chunk * ed),
-                    out_data: Vec::with_capacity(chunk * ed),
-                });
-            }
-
-            // Producer: stages chunks ahead of the consumer (the "prefetch"
-            // side of the paper's streaming pipeline).
-            scope.spawn(move |_| {
-                let mut row = 0usize;
-                while row < ns {
-                    let Ok(mut staged) = recycle_rx.recv() else {
-                        break; // consumer dropped (error path)
-                    };
-                    let n = chunk.min(ns - row);
-                    staged.n = n;
-                    staged.in_data.clear();
-                    staged.in_data.extend_from_slice(m_in.rows_slice(row, n));
-                    staged.out_data.clear();
-                    staged.out_data.extend_from_slice(m_out.rows_slice(row, n));
-                    if tx.send(staged).is_err() {
-                        break;
+                // Producer: stages chunks ahead of the consumer (the
+                // "prefetch" side of the paper's streaming pipeline).
+                scope.spawn(move || {
+                    let mut row = 0usize;
+                    while row < ns {
+                        let Ok(mut staged) = recycle_rx.recv() else {
+                            break; // consumer dropped (error path)
+                        };
+                        let n = chunk.min(ns - row);
+                        staged.n = n;
+                        staged.in_data.clear();
+                        staged.in_data.extend_from_slice(m_in.rows_slice(row, n));
+                        staged.out_data.clear();
+                        staged.out_data.extend_from_slice(m_out.rows_slice(row, n));
+                        if tx.send(staged).is_err() {
+                            break;
+                        }
+                        row += n;
                     }
-                    row += n;
+                });
+
+                // Consumer: identical math to the sequential engine —
+                // chunks arrive in order and fold through the same
+                // per-chunk partial merge.
+                for staged in rx.iter() {
+                    partial.reset(ed);
+                    self.engine.process_chunk_flat(
+                        &staged.in_data,
+                        &staged.out_data,
+                        staged.n,
+                        u,
+                        raw_threshold,
+                        &mut partial,
+                        &mut stats,
+                        &mut logits[..staged.n],
+                        trace,
+                    );
+                    let t0 = trace.begin();
+                    main.merge_from(&partial);
+                    trace.record(Phase::Merge, t0, 1);
+                    let _ = recycle_tx.send(staged); // hand the buffer back
                 }
             });
-
-            // Consumer: identical math to the sequential engine.
-            for staged in rx.iter() {
-                self.engine.process_chunk_flat(
-                    &staged.in_data,
-                    &staged.out_data,
-                    staged.n,
-                    u,
-                    raw_threshold,
-                    &mut acc,
-                    &mut stats,
-                    &mut logits[..staged.n],
-                );
-                let _ = recycle_tx.send(staged); // hand the buffer back
-            }
-        })
-        .expect("streaming producer thread panicked");
+            denominator = main.denom();
+        }
 
         // Staging buffers double the live intermediate footprint.
         stats.intermediate_bytes += (self.depth * chunk * ed * 4 * 2) as u64;
-        Ok(ColumnEngine::finalize(acc, ed, stats))
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        Ok(ColumnOutput {
+            o,
+            denominator,
+            stats,
+        })
+    }
+
+    fn config(&self) -> crate::MnnFastConfig {
+        self.engine.config()
+    }
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Streaming
     }
 }
 

@@ -1,0 +1,165 @@
+//! Integration tests of the unified execution layer: every
+//! [`EngineKind`] must agree bit-for-bit, reject bad prefixes with the
+//! same error, and account its wall time honestly in the [`Trace`].
+
+use mnn_tensor::Matrix;
+use mnnfast::{
+    EngineError, EngineKind, ExecPlan, Executor, MnnFastConfig, Phase, Scratch, SkipPolicy,
+    SoftmaxMode, Trace,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random memories derived from a seed.
+fn memories(ns: usize, ed: usize, seed: u64) -> (Matrix, Matrix, Vec<f32>) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    let m_in = Matrix::from_fn(ns, ed, |_, _| next());
+    let m_out = Matrix::from_fn(ns, ed, |_, _| next());
+    let u: Vec<f32> = (0..ed).map(|_| next()).collect();
+    (m_in, m_out, u)
+}
+
+/// One forward pass through an executor with a caller-provided scratch.
+fn run(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    u: &[f32],
+    scratch: &mut Scratch,
+) -> Vec<f32> {
+    let mut trace = Trace::disabled();
+    let out = exec
+        .forward_prefix(m_in, m_out, m_in.rows(), u, scratch, &mut trace)
+        .unwrap();
+    out.o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole determinism property: the response vector `o` is
+    /// bitwise identical across `EngineKind::{Column, Streaming, Parallel}`
+    /// and thread counts {1, 2, 4}, for both softmax formulations, with and
+    /// without zero-skip, and across repeated runs reusing one `Scratch`.
+    #[test]
+    fn o_is_bitwise_identical_across_kinds_threads_and_reruns(
+        ns in 1usize..160,
+        ed in 1usize..12,
+        chunk in 1usize..40,
+        seed in any::<u64>(),
+    ) {
+        // One scratch for every engine and every run: reuse must not
+        // perturb results.
+        let mut scratch = Scratch::new();
+        for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+            for skip in [SkipPolicy::None, SkipPolicy::Probability(0.01)] {
+                let config = MnnFastConfig::new(chunk)
+                    .with_softmax(mode)
+                    .with_skip(skip);
+                let (m_in, m_out, u) = memories(ns, ed, seed);
+                let column = ExecPlan::new(config)
+                    .with_kind(EngineKind::Column)
+                    .executor();
+                let reference = run(&column, &m_in, &m_out, &u, &mut scratch);
+                let rerun = run(&column, &m_in, &m_out, &u, &mut scratch);
+                prop_assert_eq!(&rerun, &reference, "column rerun diverged");
+                for kind in [EngineKind::Streaming, EngineKind::Parallel] {
+                    for threads in [1usize, 2, 4] {
+                        let exec = ExecPlan::new(config.with_threads(threads))
+                            .with_kind(kind)
+                            .executor();
+                        let once = run(&exec, &m_in, &m_out, &u, &mut scratch);
+                        prop_assert_eq!(
+                            &once, &reference,
+                            "{:?} x{} {:?} {:?}", kind, threads, mode, skip
+                        );
+                        let again = run(&exec, &m_in, &m_out, &u, &mut scratch);
+                        prop_assert_eq!(&again, &reference,
+                            "{:?} x{} rerun diverged", kind, threads);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rows_beyond_memory_is_a_shape_error_for_every_kind() {
+    let (m_in, m_out, u) = memories(8, 4, 7);
+    let mut scratch = Scratch::new();
+    let mut trace = Trace::disabled();
+    for kind in [
+        EngineKind::Auto,
+        EngineKind::Column,
+        EngineKind::Streaming,
+        EngineKind::Parallel,
+    ] {
+        let exec = ExecPlan::new(MnnFastConfig::new(4).with_threads(2))
+            .with_kind(kind)
+            .executor();
+        let err = exec
+            .forward_prefix(&m_in, &m_out, 9, &u, &mut scratch, &mut trace)
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::Shape(_)),
+            "{kind:?}: expected a shape error, got {err:?}"
+        );
+        // The bound itself is still fine.
+        let ok = exec
+            .forward_prefix(&m_in, &m_out, 8, &u, &mut scratch, &mut trace)
+            .unwrap();
+        assert_eq!(ok.o.len(), 4);
+        scratch.recycle(ok.o);
+    }
+}
+
+/// Phase wall-times must account for (nearly) all of the forward latency:
+/// the sum of per-phase nanos is bounded by the wall time and covers at
+/// least half of it on a compute-dominated pass. Best-of-three to ride out
+/// scheduler noise.
+#[test]
+fn trace_phase_times_sum_close_to_total_latency() {
+    let (m_in, m_out, u) = memories(20_000, 48, 11);
+    let exec = ExecPlan::new(MnnFastConfig::new(512))
+        .with_kind(EngineKind::Column)
+        .executor();
+    let mut scratch = Scratch::new();
+    // Warm-up growth pass.
+    let mut warm = Trace::enabled();
+    let out = exec
+        .forward_prefix(&m_in, &m_out, m_in.rows(), &u, &mut scratch, &mut warm)
+        .unwrap();
+    scratch.recycle(out.o);
+
+    let mut last = (0u64, 0u64);
+    for _ in 0..3 {
+        let mut trace = Trace::enabled();
+        let started = std::time::Instant::now();
+        let out = exec
+            .forward_prefix(&m_in, &m_out, m_in.rows(), &u, &mut scratch, &mut trace)
+            .unwrap();
+        let wall = started.elapsed().as_nanos() as u64;
+        scratch.recycle(out.o);
+        let sum = trace.total_nanos();
+        assert!(sum > 0, "phases recorded no time");
+        assert!(
+            trace.nanos(Phase::InnerProduct) > 0 && trace.nanos(Phase::Merge) > 0,
+            "expected inner-product and merge time"
+        );
+        last = (sum, wall);
+        // Phases are disjoint sub-intervals of the pass, so their sum can
+        // only trail the wall time; require they cover most of it.
+        if sum <= wall && sum * 2 >= wall {
+            return;
+        }
+    }
+    panic!(
+        "phase sum {} vs wall {}: tracing does not account for the pass",
+        last.0, last.1
+    );
+}

@@ -1,0 +1,82 @@
+//! Serving-path allocation discipline: once a [`Scratch`] has grown to the
+//! store's capacity, a forward pass through the unified executor must not
+//! touch the heap at all, and the recycled output buffer must round-trip by
+//! pointer identity.
+//!
+//! This lives in its own integration binary because the counting global
+//! allocator observes the whole process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mnn_tensor::Matrix;
+use mnnfast::{EngineKind, ExecPlan, Executor, MnnFastConfig, Scratch, SoftmaxMode, Trace};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_forward_pass_is_allocation_free() {
+    let ns = 512;
+    let ed = 32;
+    let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 3 + c) as f32 * 0.05).sin());
+    let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 2 * c) as f32 * 0.07).cos());
+    let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.2).sin()).collect();
+
+    for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+        let exec = ExecPlan::new(MnnFastConfig::new(64).with_softmax(mode))
+            .with_kind(EngineKind::Column)
+            .executor();
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+
+        // Warm-up: grows the logits buffer, accumulators and output pool.
+        let mut expected_ptr = std::ptr::null();
+        for _ in 0..2 {
+            let out = exec
+                .forward_prefix(&m_in, &m_out, ns, &u, &mut scratch, &mut trace)
+                .unwrap();
+            expected_ptr = out.o.as_ptr();
+            scratch.recycle(out.o);
+        }
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for _ in 0..16 {
+            let out = exec
+                .forward_prefix(&m_in, &m_out, ns, &u, &mut scratch, &mut trace)
+                .unwrap();
+            assert_eq!(
+                out.o.as_ptr(),
+                expected_ptr,
+                "{mode:?}: output buffer should round-trip through the pool"
+            );
+            scratch.recycle(out.o);
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "{mode:?}: warm forward passes must not allocate"
+        );
+    }
+}

@@ -17,11 +17,10 @@
 use crate::vocab::{Vocabulary, WordId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Which bAbI-style task family to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Task 1: "Where is *person*?" — one supporting fact (the person's most
     /// recent movement).
@@ -60,7 +59,7 @@ impl TaskKind {
 
 /// A question over a story: its token sequence, the expected answer word,
 /// and the indices of the supporting sentences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Question {
     /// Question tokens (BoW input to the embedding operation).
     pub tokens: Vec<WordId>,
@@ -71,7 +70,7 @@ pub struct Question {
 }
 
 /// A story: an ordered list of sentences plus questions about it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Story {
     /// Sentences in narrative order; each is a token sequence.
     pub sentences: Vec<Vec<WordId>>,
@@ -149,7 +148,7 @@ pub struct BabiGenerator {
 ///
 /// Larger worlds make tasks harder (more entities to track, lower prior
 /// per answer) and grow the vocabulary the embedding matrices must cover.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneratorConfig {
     /// Number of person entities (max 8).
     pub persons: usize,
@@ -218,8 +217,7 @@ impl BabiGenerator {
     /// Creates a generator for `kind`, deterministic in `seed`, with the
     /// default world shape.
     pub fn new(kind: TaskKind, seed: u64) -> Self {
-        Self::with_config(kind, seed, GeneratorConfig::default())
-            .expect("default config is valid")
+        Self::with_config(kind, seed, GeneratorConfig::default()).expect("default config is valid")
     }
 
     /// Creates a generator with an explicit world shape.
@@ -231,11 +229,7 @@ impl BabiGenerator {
     /// # Errors
     ///
     /// Returns the validation error of an invalid `config`.
-    pub fn with_config(
-        kind: TaskKind,
-        seed: u64,
-        config: GeneratorConfig,
-    ) -> Result<Self, String> {
+    pub fn with_config(kind: TaskKind, seed: u64, config: GeneratorConfig) -> Result<Self, String> {
         config.validate()?;
         let mut vocab = Vocabulary::new();
         let persons: Vec<WordId> = PERSONS.iter().map(|w| vocab.intern(w)).collect();
@@ -975,12 +969,30 @@ mod tests {
     #[test]
     fn invalid_world_configs_are_rejected() {
         for bad in [
-            GeneratorConfig { persons: 0, ..GeneratorConfig::default() },
-            GeneratorConfig { persons: 99, ..GeneratorConfig::default() },
-            GeneratorConfig { locations: 1, ..GeneratorConfig::default() },
-            GeneratorConfig { objects: 0, ..GeneratorConfig::default() },
-            GeneratorConfig { object_action_rate: 1.5, ..GeneratorConfig::default() },
-            GeneratorConfig { pronoun_rate: -0.1, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                persons: 0,
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                persons: 99,
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                locations: 1,
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                objects: 0,
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                object_action_rate: 1.5,
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                pronoun_rate: -0.1,
+                ..GeneratorConfig::default()
+            },
         ] {
             assert!(
                 BabiGenerator::with_config(TaskKind::YesNo, 1, bad).is_err(),

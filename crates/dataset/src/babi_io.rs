@@ -96,7 +96,10 @@ pub fn read_stories(
         if id != id_to_sentence.len() + 1 {
             return Err(err(
                 lineno,
-                format!("non-consecutive id {id} (expected {})", id_to_sentence.len() + 1),
+                format!(
+                    "non-consecutive id {id} (expected {})",
+                    id_to_sentence.len() + 1
+                ),
             ));
         }
 
@@ -127,9 +130,7 @@ pub fn read_stories(
                     .get(sid.wrapping_sub(1))
                     .copied()
                     .flatten()
-                    .ok_or_else(|| {
-                        err(lineno, format!("supporting id {sid} is not a sentence"))
-                    })?;
+                    .ok_or_else(|| err(lineno, format!("supporting id {sid} is not a sentence")))?;
                 supporting.push(sentence);
             }
             story.questions.push(Question {
@@ -210,8 +211,7 @@ mod tests {
     #[test]
     fn parses_the_reference_format() {
         let mut vocab = Vocabulary::new();
-        let stories =
-            read_stories(&mut BufReader::new(SAMPLE.as_bytes()), &mut vocab).unwrap();
+        let stories = read_stories(&mut BufReader::new(SAMPLE.as_bytes()), &mut vocab).unwrap();
         assert_eq!(stories.len(), 2);
         assert_eq!(stories[0].sentences.len(), 2);
         assert_eq!(stories[0].questions.len(), 1);
@@ -237,8 +237,7 @@ mod tests {
         write_stories(&stories, &vocab, &mut buf).unwrap();
 
         let mut vocab2 = Vocabulary::new();
-        let parsed =
-            read_stories(&mut BufReader::new(buf.as_slice()), &mut vocab2).unwrap();
+        let parsed = read_stories(&mut BufReader::new(buf.as_slice()), &mut vocab2).unwrap();
         assert_eq!(parsed.len(), stories.len());
         for (a, b) in stories.iter().zip(&parsed) {
             assert_eq!(a.sentences.len(), b.sentences.len());
@@ -262,7 +261,10 @@ mod tests {
             ("nonsense without id", "missing id"),
             ("0 zero id.", "zero id"),
             ("1 ok.\n3 skipped id.", "gap in ids"),
-            ("1 where is mary?\tbathroom\t9", "supporting id out of range"),
+            (
+                "1 where is mary?\tbathroom\t9",
+                "supporting id out of range",
+            ),
             ("1 where is mary?\ttwo words\t", "multi-word answer"),
             ("2 starts at two.", "story must start at 1"),
         ] {

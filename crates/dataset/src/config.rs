@@ -1,11 +1,10 @@
 //! Memory-network configurations (the paper's Table 1) plus scaled-down
 //! presets for tests and CI-sized runs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Evaluation platform of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Platform {
     /// 24-core dual-socket Xeon, DDR4-2400, OpenBLAS.
     Cpu,
@@ -28,7 +27,7 @@ impl fmt::Display for Platform {
 
 /// A memory-network shape: the parameters that size every buffer and every
 /// loop in both the baseline and MnnFast pipelines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MemNNConfig {
     /// Embedding dimension `ed`.
     pub embedding_dim: usize,

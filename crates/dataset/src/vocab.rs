@@ -1,6 +1,5 @@
 //! Word ⇄ id interning.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -22,7 +21,7 @@ pub type WordId = u32;
 /// assert_eq!(v.word(id), Some("kitchen"));
 /// assert_eq!(v.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Vocabulary {
     words: Vec<String>,
     index: HashMap<String, WordId>,

@@ -154,12 +154,12 @@ mod tests {
         let mut z = ZipfSampler::new(20, 1.0, 99).unwrap();
         let n = 200_000;
         let trace = z.trace(n);
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for &w in &trace {
             counts[w as usize] += 1;
         }
-        for k in 0..5 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate().take(5) {
+            let emp = c as f64 / n as f64;
             let exp = z.pmf(k);
             assert!(
                 (emp - exp).abs() < 0.01,

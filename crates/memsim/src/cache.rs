@@ -1,9 +1,7 @@
 //! Set-associative LRU cache model.
 
-use serde::{Deserialize, Serialize};
-
 /// Hit/miss counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand accesses that hit.
     pub hits: u64,

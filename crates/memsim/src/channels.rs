@@ -7,10 +7,9 @@
 //! the Fig 3 sweep of its nominal bandwidth).
 
 use crate::dram::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Address-interleaved channel mapper with per-channel byte counters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelInterleaver {
     /// Bytes mapped to each channel contiguously before rotating to the
     /// next (typical systems interleave at 256 B–4 KiB).

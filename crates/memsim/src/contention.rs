@@ -12,10 +12,9 @@
 use crate::cache::SetAssocCache;
 use crate::embedding_cache::EmbeddingCache;
 use mnn_dataset::zipf::ZipfSampler;
-use serde::{Deserialize, Serialize};
 
 /// Parameters for a contention experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionConfig {
     /// Shared LLC capacity in bytes.
     pub llc_bytes: usize,
@@ -44,7 +43,7 @@ pub struct ContentionConfig {
 }
 
 /// How embedding traffic is isolated from the LLC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EmbeddingIsolation {
     /// Capacity of the dedicated embedding cache in bytes. `0` models plain
     /// cache bypassing (non-temporal loads): no pollution, but every lookup
@@ -91,7 +90,7 @@ impl ContentionConfig {
 }
 
 /// Results of a contention simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ContentionReport {
     /// Inference-stream LLC miss ratio.
     pub inference_miss_ratio: f64,

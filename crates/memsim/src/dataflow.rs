@@ -6,11 +6,10 @@
 //! thread-scaling model (Fig 10).
 
 use crate::cache::SetAssocCache;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four system variants the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Layer-by-layer dataflow with full-length intermediates (Fig 5(a)).
     Baseline,
@@ -45,7 +44,7 @@ impl fmt::Display for Variant {
 }
 
 /// Shape of the replayed inference (a scaled-down Table 1 configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataflowConfig {
     /// Story sentences `ns`.
     pub ns: usize,
@@ -87,7 +86,7 @@ impl DataflowConfig {
 }
 
 /// Outcome of replaying a dataflow against the LLC.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DataflowReport {
     /// Demand accesses issued to the LLC.
     pub demand_accesses: u64,

@@ -1,13 +1,11 @@
 //! Multi-channel DRAM bandwidth/latency model.
 
-use serde::{Deserialize, Serialize};
-
 /// A DRAM subsystem: `channels` independent channels of
 /// `channel_gbps` GB/s each, with a flat access latency.
 ///
 /// The paper's CPU testbed is DDR4-2400: ≈19.2 GB/s per channel; its channel
 /// sweep (Figs 3/10) varies 1–8 channels.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramConfig {
     /// Number of channels.
     pub channels: usize,

@@ -9,11 +9,10 @@
 //! Fig 10 curves rest on more than algebra.
 
 use crate::dram::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// One client's workload: alternate `compute_seconds` of private work with
 /// a memory burst of `burst_bytes` at a rolling address.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientProfile {
     /// Seconds of compute between memory bursts.
     pub compute_seconds: f64,
@@ -27,7 +26,7 @@ pub struct ClientProfile {
 }
 
 /// Result of a queue simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueReport {
     /// Wall-clock seconds until the last client finished.
     pub makespan: f64,

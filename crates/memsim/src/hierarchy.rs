@@ -8,11 +8,10 @@
 //! the finer-grained analyses in the ablation suite.
 
 use crate::cache::{Access, CacheStats, SetAssocCache};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Read or write — write-backs only exist for writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Load.
     Read,
@@ -21,7 +20,7 @@ pub enum Op {
 }
 
 /// Traffic counters of a [`CacheHierarchy`] run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L2 hit/miss counts.
     pub l2: CacheStats,
@@ -113,8 +112,7 @@ impl CacheHierarchy {
                         // A fill may displace a dirty line; approximate the
                         // victim as the oldest tracked dirty line once the
                         // dirty set exceeds the LLC's line capacity.
-                        let capacity_lines =
-                            (self.llc.capacity_bytes() as u64) / self.line_bytes();
+                        let capacity_lines = (self.llc.capacity_bytes() as u64) / self.line_bytes();
                         if self.dirty.len() as u64 > capacity_lines {
                             if let Some(&victim) = self.dirty.iter().next() {
                                 self.dirty.remove(&victim);
@@ -324,10 +322,7 @@ mod tests {
         h.access_range(0, 1 << 20, Op::Write);
         h.flush_dirty();
         let s = h.stats();
-        assert_eq!(
-            s.dram_bytes(64),
-            (s.llc.misses + s.writebacks) * 64
-        );
+        assert_eq!(s.dram_bytes(64), (s.llc.misses + s.writebacks) * 64);
         // Write-heavy traffic roughly doubles the DRAM bytes.
         assert!(s.dram_bytes(64) >= 2 * s.llc.misses * 64);
     }

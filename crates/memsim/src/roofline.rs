@@ -16,10 +16,9 @@
 use crate::cache::SetAssocCache;
 use crate::dataflow::{self, DataflowConfig, Variant};
 use crate::dram::DramConfig;
-use serde::{Deserialize, Serialize};
 
 /// Machine-side parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineProfile {
     /// Sustained per-core compute rate in GFLOP/s.
     pub core_gflops: f64,
@@ -43,7 +42,7 @@ impl MachineProfile {
 }
 
 /// Workload-side parameters for one inference task.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WorkloadProfile {
     /// FLOPs per task.
     pub flops: f64,

@@ -39,5 +39,5 @@ mod session;
 mod store;
 
 pub use pool::{PoolError, PoolStats, SessionPool};
-pub use session::{Answer, ServeError, Session, SessionConfig, Strategy};
+pub use session::{Answer, ServeError, Session, SessionConfig};
 pub use store::MemoryStore;

@@ -10,7 +10,7 @@
 use crate::session::{Answer, ServeError, Session, SessionConfig};
 use mnn_dataset::WordId;
 use mnn_memnn::MemNet;
-use mnnfast::InferenceStats;
+use mnnfast::{InferenceStats, PhaseHistograms, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -57,6 +57,12 @@ pub struct PoolStats {
     /// Embedding lookups performed pool-wide (one per word observed —
     /// the traffic stream the paper isolates with the embedding cache).
     pub embedding_lookups: u64,
+    /// Per-phase wall time summed across tenants (all zero unless sessions
+    /// run with [`SessionConfig::trace`] set).
+    pub trace: Trace,
+    /// Per-phase latency histograms merged across tenants (empty unless
+    /// sessions run with [`SessionConfig::trace`] set).
+    pub phases: PhaseHistograms,
 }
 
 /// A pool of per-tenant [`Session`]s sharing one trained model.
@@ -161,6 +167,8 @@ impl SessionPool {
             stats.total_sentences += session.memory_len();
             stats.questions_answered += session.questions_answered();
             stats.inference.merge(&session.cumulative_stats());
+            stats.trace.absorb(&session.cumulative_trace());
+            stats.phases.merge(session.phase_histograms());
         }
         stats
     }

@@ -5,44 +5,35 @@ use mnn_dataset::text;
 use mnn_dataset::{Vocabulary, WordId};
 use mnn_memnn::{MemNet, ModelConfig};
 use mnn_tensor::{reduce, softmax};
-use mnnfast::parallel::ParallelEngine;
-use mnnfast::streaming::StreamingEngine;
-use mnnfast::{multi_hop, ColumnEngine, InferenceStats, MnnFastConfig, ResponseEngine};
-use serde::{Deserialize, Serialize};
+use mnnfast::{
+    multi_hop, ExecPlan, InferenceStats, MnnFastConfig, PhaseHistograms, PlanExecutor, Scratch,
+    Trace,
+};
 use std::error::Error;
 use std::fmt;
 
-/// Which execution strategy answers the questions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum Strategy {
-    /// Sequential column-based engine.
-    #[default]
-    Column,
-    /// Double-buffered streaming executor.
-    Streaming,
-    /// Scale-out across worker threads (thread count from the engine
-    /// configuration).
-    Parallel,
-}
-
 /// Session configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
-    /// MnnFast engine configuration (chunk size, skipping, softmax mode,
-    /// threads).
-    pub engine: MnnFastConfig,
-    /// Execution strategy.
-    pub strategy: Strategy,
+    /// Execution plan: the MnnFast engine configuration (chunk size,
+    /// skipping, softmax mode, threads) plus which engine variant runs it
+    /// ([`mnnfast::EngineKind::Auto`] picks per question from the current
+    /// memory size).
+    pub plan: ExecPlan,
     /// Memory bound in sentences (`None` = unbounded).
     pub max_sentences: Option<usize>,
+    /// Record per-phase timings for every question (cumulative breakdowns
+    /// via [`Session::cumulative_trace`] / [`Session::phase_histograms`]).
+    /// Off by default: disabled tracing costs nothing on the hot path.
+    pub trace: bool,
 }
 
 impl Default for SessionConfig {
     fn default() -> Self {
         Self {
-            engine: MnnFastConfig::new(64),
-            strategy: Strategy::Column,
+            plan: ExecPlan::new(MnnFastConfig::new(64)),
             max_sentences: None,
+            trace: false,
         }
     }
 }
@@ -88,50 +79,30 @@ pub struct Answer {
     pub probability: f32,
     /// Engine counters for this question.
     pub stats: InferenceStats,
-}
-
-/// [`ResponseEngine`] that attends over the populated prefix of an
-/// over-allocated store, dispatching to the configured strategy.
-#[derive(Debug, Clone, Copy)]
-struct PrefixEngine {
-    strategy: Strategy,
-    config: MnnFastConfig,
-    rows: usize,
-}
-
-impl ResponseEngine for PrefixEngine {
-    fn response(
-        &self,
-        m_in: &mnn_tensor::Matrix,
-        m_out: &mnn_tensor::Matrix,
-        u: &[f32],
-    ) -> Result<mnnfast::ColumnOutput, mnnfast::engine::EngineError> {
-        match self.strategy {
-            Strategy::Column => {
-                ColumnEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
-            }
-            Strategy::Streaming => {
-                StreamingEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
-            }
-            Strategy::Parallel => {
-                ParallelEngine::new(self.config).forward_prefix(m_in, m_out, self.rows, u)
-            }
-        }
-    }
+    /// Per-phase timings for this question (all zero unless
+    /// [`SessionConfig::trace`] is set).
+    pub trace: Trace,
 }
 
 /// A long-lived question-answering session.
 ///
-/// Holds a trained [`MemNet`], a growable [`MemoryStore`], and an engine.
-/// Incoming story sentences are embedded immediately (`A` and `C` sides)
-/// and appended; questions are embedded through `B` and answered with the
-/// configured MnnFast strategy over however many hops the model uses.
+/// Holds a trained [`MemNet`], a growable [`MemoryStore`], and a
+/// [`PlanExecutor`]. Incoming story sentences are embedded immediately
+/// (`A` and `C` sides) and appended; questions are embedded through `B`
+/// and answered via the [`Executor`] seam over however many hops the model
+/// uses. One [`Scratch`] arena is reused across questions, so the engine
+/// forward pass allocates nothing once the buffers have grown to the
+/// store's capacity.
 #[derive(Debug)]
 pub struct Session {
     model: MemNet,
     store: MemoryStore,
     config: SessionConfig,
+    executor: PlanExecutor,
+    scratch: Scratch,
     cumulative: InferenceStats,
+    cumulative_trace: Trace,
+    histograms: PhaseHistograms,
     questions_answered: u64,
 }
 
@@ -165,7 +136,11 @@ impl Session {
             model,
             store: MemoryStore::new(ed, config.max_sentences),
             config,
+            executor: config.plan.executor(),
+            scratch: Scratch::new(),
             cumulative: InferenceStats::default(),
+            cumulative_trace: Trace::enabled(),
+            histograms: PhaseHistograms::new(),
             questions_answered: 0,
         })
     }
@@ -180,6 +155,18 @@ impl Session {
         self.cumulative
     }
 
+    /// Per-phase timings summed over every question answered so far
+    /// (all zero unless [`SessionConfig::trace`] is set).
+    pub fn cumulative_trace(&self) -> Trace {
+        self.cumulative_trace
+    }
+
+    /// Cumulative per-phase latency histograms over answered questions
+    /// (empty unless [`SessionConfig::trace`] is set).
+    pub fn phase_histograms(&self) -> &PhaseHistograms {
+        &self.histograms
+    }
+
     /// Questions answered so far.
     pub fn questions_answered(&self) -> u64 {
         self.questions_answered
@@ -188,6 +175,11 @@ impl Session {
     /// The underlying model (e.g. to decode answers via its vocabulary).
     pub fn model(&self) -> &MemNet {
         &self.model
+    }
+
+    /// The executor answering this session's questions.
+    pub fn executor(&self) -> &PlanExecutor {
+        &self.executor
     }
 
     /// Embeds and appends one story sentence. Returns the number of evicted
@@ -232,39 +224,38 @@ impl Session {
         }
 
         let hops = self.model.config().hops;
-        let out = self.run_engine(&u, hops)?;
+        let rows = self.store.len();
+        let mut trace = if self.config.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let out = multi_hop(
+            &self.executor,
+            self.store.m_in(),
+            self.store.m_out(),
+            rows,
+            &u,
+            hops,
+            &mut self.scratch,
+            &mut trace,
+        )?;
 
-        let mut logits = self.model.output_logits(&out.0, &out.1);
+        let mut logits = self.model.output_logits(&out.o, &out.u_last);
         let word = reduce::argmax(&logits).expect("non-empty vocabulary") as WordId;
         softmax::softmax_in_place(&mut logits);
-        self.cumulative.merge(&out.2);
+        self.cumulative.merge(&out.stats);
+        self.cumulative_trace.absorb(&trace);
+        self.histograms.observe(&trace);
         self.questions_answered += 1;
+        // Hand the response buffer back so the next question reuses it.
+        self.scratch.recycle(out.o);
         Ok(Answer {
             word,
             probability: logits[word as usize],
-            stats: out.2,
+            stats: out.stats,
+            trace,
         })
-    }
-
-    /// Runs the configured strategy; returns `(o, u_last, stats)`.
-    fn run_engine(
-        &self,
-        u: &[f32],
-        hops: usize,
-    ) -> Result<(Vec<f32>, Vec<f32>, InferenceStats), ServeError> {
-        let rows = self.store.len();
-        let (m_in, m_out) = (self.store.m_in(), self.store.m_out());
-        let engine_config = self.config.engine;
-
-        // The store over-allocates; engines attend over the populated
-        // prefix only. Multi-hop runs the prefix engine per hop.
-        let engine = PrefixEngine {
-            strategy: self.config.strategy,
-            config: engine_config,
-            rows,
-        };
-        let out = multi_hop(&engine, m_in, m_out, u, hops)?;
-        Ok((out.o, out.u_last, out.stats))
     }
 
     /// Text-level [`Session::observe`]: tokenizes against `vocab` first.
@@ -318,6 +309,7 @@ mod tests {
     use mnn_dataset::babi::{BabiGenerator, TaskKind};
     use mnn_memnn::train::Trainer;
     use mnn_memnn::{eval, ModelConfig};
+    use mnnfast::{EngineKind, Phase};
 
     fn trained_serving_model() -> (BabiGenerator, MemNet) {
         let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 71);
@@ -356,15 +348,20 @@ mod tests {
     }
 
     #[test]
-    fn all_strategies_agree() {
+    fn all_engine_kinds_agree() {
         let (mut generator, model) = trained_serving_model();
         let story = generator.story(8, 2);
         let mut answers = Vec::new();
-        for strategy in [Strategy::Column, Strategy::Streaming, Strategy::Parallel] {
+        for kind in [
+            EngineKind::Column,
+            EngineKind::Streaming,
+            EngineKind::Parallel,
+            EngineKind::Auto,
+        ] {
             let config = SessionConfig {
-                engine: MnnFastConfig::new(4).with_threads(2),
-                strategy,
+                plan: ExecPlan::new(MnnFastConfig::new(4).with_threads(2)).with_kind(kind),
                 max_sentences: None,
+                trace: false,
             };
             let mut session = Session::new(model.clone(), config).unwrap();
             for s in &story.sentences {
@@ -373,8 +370,7 @@ mod tests {
             let a = session.ask(&story.questions[0].tokens).unwrap();
             answers.push(a.word);
         }
-        assert_eq!(answers[0], answers[1]);
-        assert_eq!(answers[1], answers[2]);
+        assert!(answers.windows(2).all(|w| w[0] == w[1]), "{answers:?}");
     }
 
     #[test]
@@ -423,6 +419,68 @@ mod tests {
         }
         assert_eq!(session.questions_answered(), 3);
         assert_eq!(session.cumulative_stats().rows_total, 3 * 6);
+    }
+
+    #[test]
+    fn tracing_surfaces_phase_breakdowns() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 2);
+        let config = SessionConfig {
+            trace: true,
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model, config).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let hops = session.model().config().hops as u64;
+        let a = session.ask(&story.questions[0].tokens).unwrap();
+        assert_eq!(a.trace.count(Phase::InnerProduct), 6 * hops);
+        assert!(a.trace.total_nanos() > 0);
+        session.ask(&story.questions[1].tokens).unwrap();
+        // Cumulative trace sums both questions; histograms saw each once.
+        assert_eq!(
+            session.cumulative_trace().count(Phase::InnerProduct),
+            2 * 6 * hops
+        );
+        assert_eq!(session.phase_histograms().total().count(), 2);
+        assert_eq!(
+            session
+                .phase_histograms()
+                .phase(Phase::InnerProduct)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(4, 1);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let a = session.ask(&story.questions[0].tokens).unwrap();
+        assert_eq!(a.trace.total_nanos(), 0);
+        assert_eq!(session.cumulative_trace().total_nanos(), 0);
+        assert_eq!(session.phase_histograms().total().count(), 0);
+    }
+
+    #[test]
+    fn scratch_output_buffer_is_reused_across_questions() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 3);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        session.ask(&story.questions[0].tokens).unwrap();
+        let pooled = session.scratch.pooled_outputs();
+        assert!(pooled >= 1, "answer buffer must return to the pool");
+        // Steady state: the pool neither grows nor drains.
+        session.ask(&story.questions[1].tokens).unwrap();
+        assert_eq!(session.scratch.pooled_outputs(), pooled);
     }
 
     #[test]

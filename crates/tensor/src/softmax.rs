@@ -76,6 +76,14 @@ pub struct LazyAccumulator {
     denom: f32,
 }
 
+impl Default for LazyAccumulator {
+    /// An empty accumulator (`ed = 0`); grow it with
+    /// [`LazyAccumulator::reset`].
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl LazyAccumulator {
     /// Creates an accumulator producing an output vector of dimension `ed`.
     pub fn new(ed: usize) -> Self {
@@ -135,6 +143,26 @@ impl LazyAccumulator {
         }
         out
     }
+
+    /// Non-consuming [`LazyAccumulator::finish`]: writes the normalized
+    /// response into `out` (cleared first), leaving the accumulator intact.
+    /// Does not allocate when `out` already has capacity `ed`.
+    pub fn finish_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.weighted_sum);
+        if self.denom > 0.0 {
+            kernels::scale(1.0 / self.denom, out);
+        }
+    }
+
+    /// Rewinds the accumulator to its freshly-constructed state, keeping the
+    /// allocated buffer — the serving hot path resets instead of
+    /// reallocating. Allocates only if `ed` grew since construction.
+    pub fn reset(&mut self, ed: usize) {
+        self.weighted_sum.clear();
+        self.weighted_sum.resize(ed, 0.0);
+        self.denom = 0.0;
+    }
 }
 
 /// Numerically-safe streaming softmax-weighted-sum (extension).
@@ -148,6 +176,14 @@ pub struct OnlineSoftmax {
     weighted_sum: Vec<f32>,
     denom: f32,
     max_logit: f32,
+}
+
+impl Default for OnlineSoftmax {
+    /// An empty accumulator (`ed = 0`); grow it with
+    /// [`OnlineSoftmax::reset`].
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl OnlineSoftmax {
@@ -225,6 +261,26 @@ impl OnlineSoftmax {
             kernels::scale(1.0 / self.denom, &mut out);
         }
         out
+    }
+
+    /// Non-consuming [`OnlineSoftmax::finish`]: writes the normalized
+    /// response into `out` (cleared first), leaving the accumulator intact.
+    /// Does not allocate when `out` already has capacity `ed`.
+    pub fn finish_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.weighted_sum);
+        if self.denom > 0.0 {
+            kernels::scale(1.0 / self.denom, out);
+        }
+    }
+
+    /// Rewinds the accumulator to its freshly-constructed state, keeping the
+    /// allocated buffer. Allocates only if `ed` grew since construction.
+    pub fn reset(&mut self, ed: usize) {
+        self.weighted_sum.clear();
+        self.weighted_sum.resize(ed, 0.0);
+        self.denom = 0.0;
+        self.max_logit = f32::NEG_INFINITY;
     }
 
     /// Raises the running max to `logit` if needed, rescaling prior partial

@@ -169,8 +169,8 @@ proptest! {
             let col: Vec<f32> = (0..k).map(|p| b.get(p, j)).collect();
             let mut out = vec![0.0; m];
             kernels::gemv(&a, &col, &mut out).unwrap();
-            for i in 0..m {
-                prop_assert!(approx_eq(c_mat.get(i, j), out[i], 1e-3));
+            for (i, &v) in out.iter().enumerate() {
+                prop_assert!(approx_eq(c_mat.get(i, j), v, 1e-3));
             }
         }
     }

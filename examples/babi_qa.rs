@@ -40,9 +40,14 @@ fn main() {
                 ColumnEngine::new(MnnFastConfig::new(ns).with_skip(SkipPolicy::Probability(th)));
             let mut stats = InferenceStats::default();
             let acc = eval::accuracy_with(&model, &test_set, |emb, q| {
-                let out =
-                    mnnfast::multi_hop(&engine, &emb.m_in, &emb.m_out, &emb.questions[q], hops)
-                        .expect("embedded shapes are consistent");
+                let out = mnnfast::multi_hop_simple(
+                    &engine,
+                    &emb.m_in,
+                    &emb.m_out,
+                    &emb.questions[q],
+                    hops,
+                )
+                .expect("embedded shapes are consistent");
                 stats.merge(&out.stats);
                 model.output_logits(&out.o, &out.u_last)
             });

@@ -8,8 +8,8 @@
 use mnn_dataset::babi::{BabiGenerator, TaskKind};
 use mnn_memnn::train::Trainer;
 use mnn_memnn::{MemNet, ModelConfig};
-use mnn_serve::{Session, SessionConfig, Strategy};
-use mnnfast::{MnnFastConfig, SkipPolicy};
+use mnn_serve::{Session, SessionConfig};
+use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, Phase, SkipPolicy};
 
 fn main() {
     // Train a serving model (no age-indexed temporal encoding — position
@@ -32,9 +32,10 @@ fn main() {
     // A sliding-window session: at most 6 sentences of context, answered by
     // the streaming engine with zero-skipping.
     let session_config = SessionConfig {
-        engine: MnnFastConfig::new(4).with_skip(SkipPolicy::Probability(0.01)),
-        strategy: Strategy::Streaming,
+        plan: ExecPlan::new(MnnFastConfig::new(4).with_skip(SkipPolicy::Probability(0.01)))
+            .with_kind(EngineKind::Streaming),
         max_sentences: Some(6),
+        trace: true,
     };
     let mut session = Session::new(model, session_config).expect("serving-compatible model");
 
@@ -75,5 +76,20 @@ fn main() {
         session.questions_answered(),
         totals.rows_total,
         totals.computation_reduction() * 100.0
+    );
+
+    // The session traced every question; show where the time went and the
+    // per-question latency distribution.
+    println!("\nper-phase breakdown (all questions):");
+    print!("{}", session.cumulative_trace().render());
+    let hist = session.phase_histograms();
+    println!(
+        "question latency: mean {:.1} µs, p95 < {:.1} µs ({} questions, {:.1}% in {})",
+        hist.total().mean_nanos() as f64 / 1e3,
+        hist.total().quantile_upper_bound(0.95) as f64 / 1e3,
+        hist.total().count(),
+        session.cumulative_trace().nanos(Phase::InnerProduct) as f64 * 100.0
+            / session.cumulative_trace().total_nanos().max(1) as f64,
+        Phase::InnerProduct.label(),
     );
 }

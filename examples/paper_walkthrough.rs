@@ -36,7 +36,11 @@ fn main() {
     let question = &story.questions[0];
     println!("story (the paper's Fig 1 setting):");
     for (i, s) in story.sentences.iter().enumerate() {
-        let marker = if question.supporting.contains(&i) { "  <- supporting fact" } else { "" };
+        let marker = if question.supporting.contains(&i) {
+            "  <- supporting fact"
+        } else {
+            ""
+        };
         println!("  [{i}] {}{marker}", vocab.decode(s));
     }
     println!("question: {}?", vocab.decode(&question.tokens));
@@ -76,7 +80,9 @@ fn main() {
 
     println!("== inference: MnnFast column-based engine (Fig 5b) ==");
     let engine = ColumnEngine::new(MnnFastConfig::new(2)); // 3 chunks of 2
-    let out = engine.forward(&emb.m_in, &emb.m_out, u).expect("consistent shapes");
+    let out = engine
+        .forward(&emb.m_in, &emb.m_out, u)
+        .expect("consistent shapes");
     println!(
         "  {} chunks, peak intermediates {} bytes, {} divisions (= ed)",
         out.stats.chunks, out.stats.intermediate_bytes, out.stats.divisions

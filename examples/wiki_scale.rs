@@ -8,9 +8,7 @@
 use mnn_memsim::dataflow::{self, DataflowConfig};
 use mnn_memsim::{SetAssocCache, Variant};
 use mnn_tensor::Matrix;
-use mnnfast::parallel::ParallelEngine;
-use mnnfast::streaming::StreamingEngine;
-use mnnfast::{ColumnEngine, MnnFastConfig, SkipPolicy};
+use mnnfast::{EngineKind, ExecPlan, Executor, MnnFastConfig, Scratch, SkipPolicy, Trace};
 use std::time::Instant;
 
 fn main() {
@@ -36,37 +34,47 @@ fn main() {
         spill as f64 / (1 << 20) as f64
     );
 
+    // Every variant goes through the same Executor seam with one shared
+    // scratch, exactly like the serving loop.
     let config = MnnFastConfig::new(1000);
-    let engines: Vec<(&str, Box<dyn Fn() -> mnnfast::ColumnOutput>)> = vec![
-        ("column (chunk 1000)", {
-            let e = ColumnEngine::new(config);
-            let (mi, mo, uu) = (&m_in, &m_out, &u);
-            Box::new(move || e.forward(mi, mo, uu).unwrap())
-        }),
-        ("column + streaming", {
-            let e = StreamingEngine::new(config);
-            let (mi, mo, uu) = (&m_in, &m_out, &u);
-            Box::new(move || e.forward(mi, mo, uu).unwrap())
-        }),
-        ("column + 4-thread scale-out", {
-            let e = ParallelEngine::new(config.with_threads(4));
-            let (mi, mo, uu) = (&m_in, &m_out, &u);
-            Box::new(move || e.forward(mi, mo, uu).unwrap())
-        }),
+    let engines = [
+        (
+            "column (chunk 1000)",
+            ExecPlan::new(config)
+                .with_kind(EngineKind::Column)
+                .executor(),
+        ),
+        (
+            "column + streaming",
+            ExecPlan::new(config)
+                .with_kind(EngineKind::Streaming)
+                .executor(),
+        ),
+        (
+            "column + 4-thread scale-out",
+            ExecPlan::new(config.with_threads(4))
+                .with_kind(EngineKind::Parallel)
+                .executor(),
+        ),
         // Raw-weight skipping (the paper's single-pass FPGA policy): skip
         // entries whose unnormalized weight e^{u·m} is below e^{1} — i.e.
         // everything except the strongly aligned "relevant" rows.
-        ("MnnFast (stream + raw skip)", {
-            let e = StreamingEngine::new(config.with_skip(SkipPolicy::RawWeight(2.7)));
-            let (mi, mo, uu) = (&m_in, &m_out, &u);
-            Box::new(move || e.forward(mi, mo, uu).unwrap())
-        }),
+        (
+            "MnnFast (stream + raw skip)",
+            ExecPlan::new(config.with_skip(SkipPolicy::RawWeight(2.7)))
+                .with_kind(EngineKind::Streaming)
+                .executor(),
+        ),
     ];
 
+    let mut scratch = Scratch::new();
     let mut reference: Option<Vec<f32>> = None;
-    for (name, run) in &engines {
+    for (name, exec) in &engines {
+        let mut trace = Trace::disabled();
         let t0 = Instant::now();
-        let out = run();
+        let out = exec
+            .forward_prefix(&m_in, &m_out, ns, &u, &mut scratch, &mut trace)
+            .unwrap();
         let dt = t0.elapsed().as_secs_f64();
         println!(
             "{name:>30}: {dt:.3}s, peak intermediates {} KiB, skipped {}/{} rows",

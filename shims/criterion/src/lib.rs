@@ -1,0 +1,281 @@
+//! Offline in-tree stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::default().sample_size`,
+//! benchmark groups with throughput annotations, `bench_function` /
+//! `bench_with_input`, and `Bencher::iter` — backed by a plain
+//! calibrate-then-sample timing loop. Results are printed one line per
+//! benchmark (median ns/iter plus throughput when annotated); there is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, None, f);
+    }
+}
+
+/// Work-per-iteration annotation used to report element throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named set of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Upstream criterion finalises group reports here; the shim prints
+    /// per-benchmark lines eagerly, so this is a no-op marker.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Target wall time for one timed sample during measurement.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: double the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let mut line = format!("{label:<48} {:>14}/iter", format_ns(median));
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  {:>12} elem/s", format_count(rate)));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  {:>12} B/s", format_count(rate)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_count(x: f64) -> String {
+    if x < 1_000.0 {
+        format!("{x:.0}")
+    } else if x < 1_000_000.0 {
+        format!("{:.1}K", x / 1_000.0)
+    } else if x < 1_000_000_000.0 {
+        format!("{:.1}M", x / 1_000_000.0)
+    } else {
+        format!("{:.2}G", x / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!` — both the struct form (`name = …; config = …;
+/// targets = …`) and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ( $name:ident, $($target:path),+ $(,)? ) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ( $($group:path),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_with_input(BenchmarkId::new("lookup", 4), &4usize, |b, _| {
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("lookup", 4).to_string(), "lookup/4");
+        assert_eq!(BenchmarkId::from_parameter("8x16").to_string(), "8x16");
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline in-tree stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access, so the external `rand`
+//! dependency is replaced by this shim. It implements the small slice of the
+//! rand 0.9 surface the repo uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::random`, and `Rng::random_range` — on top of a SplitMix64 generator.
+//! SplitMix64 passes basic statistical tests and is more than adequate for
+//! dataset synthesis and weight initialisation; it is *not* the same stream
+//! as upstream rand's ChaCha-based `StdRng`, so seeds produce different (but
+//! still deterministic) sequences.
+
+/// Types conventionally imported via `rand::prelude::*`.
+pub mod prelude {
+    pub use crate::{Rng, SeedableRng, StdRng};
+}
+
+/// Generator implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A deterministic pseudo-random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Avoid the all-zero fixed point and decorrelate small seeds.
+        StdRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014).
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Value sampling, mirroring the `rand::Rng` extension trait.
+pub trait Rng {
+    /// Sample a value of type `T` from its standard distribution
+    /// (uniform in `[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Sample uniformly from a range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: IntoBounds<T>;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformSample,
+        R: IntoBounds<T>,
+    {
+        let (lo, hi) = range.into_bounds();
+        T::sample_range(self, lo, hi)
+    }
+}
+
+/// Types samplable from their "standard" distribution.
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        // 24 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Sized + Copy {
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+impl UniformSample for usize {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        let span = (hi - lo) as u64;
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // the small spans used here.
+        lo + ((rng.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+}
+
+impl UniformSample for u64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        let span = hi - lo;
+        lo + ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        lo + (hi - lo) * <f32 as Standard>::sample(rng)
+    }
+}
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample_range(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "random_range: empty range");
+        lo + (hi - lo) * <f64 as Standard>::sample(rng)
+    }
+}
+
+/// Range-to-bounds conversion so `random_range` accepts `lo..hi` directly.
+pub trait IntoBounds<T> {
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: Copy> IntoBounds<T> for std::ops::Range<T> {
+    #[inline]
+    fn into_bounds(self) -> (T, T) {
+        (self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.random_range(-0.1f32..0.1);
+            assert!((-0.1..0.1).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            lo |= x < 0.1;
+            hi |= x > 0.9;
+        }
+        assert!(lo && hi, "samples should reach both tails");
+    }
+}

@@ -5,8 +5,8 @@ use mnn_dataset::babi::{BabiGenerator, TaskKind};
 use mnn_dataset::text;
 use mnn_memnn::train::Trainer;
 use mnn_memnn::{eval, MemNet, ModelConfig};
-use mnn_serve::{Session, SessionConfig, Strategy};
-use mnnfast::{MnnFastConfig, SkipPolicy};
+use mnn_serve::{Session, SessionConfig};
+use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, SkipPolicy};
 
 #[test]
 fn train_save_load_serve_round_trip() {
@@ -32,9 +32,10 @@ fn train_save_load_serve_round_trip() {
     let offline = eval::accuracy(&restored, std::slice::from_ref(&story));
 
     let session_config = SessionConfig {
-        engine: MnnFastConfig::new(4).with_skip(SkipPolicy::Probability(0.001)),
-        strategy: Strategy::Streaming,
+        plan: ExecPlan::new(MnnFastConfig::new(4).with_skip(SkipPolicy::Probability(0.001)))
+            .with_kind(EngineKind::Streaming),
         max_sentences: None,
+        trace: false,
     };
     let mut session = Session::new(restored, session_config).expect("serving model");
     for sentence in &story.sentences {
