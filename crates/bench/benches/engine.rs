@@ -46,6 +46,15 @@ fn bench_variants(c: &mut Criterion) {
                 .o
         })
     });
+    let two_pass = ColumnEngine::new(MnnFastConfig::new(1000).with_fused(false));
+    g.bench_function("column_twopass", |b| {
+        b.iter(|| {
+            two_pass
+                .forward(black_box(&m_in), black_box(&m_out), &u)
+                .unwrap()
+                .o
+        })
+    });
     let streaming = StreamingEngine::new(MnnFastConfig::new(1000));
     g.bench_function("column_streaming", |b| {
         b.iter(|| {

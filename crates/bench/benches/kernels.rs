@@ -2,9 +2,21 @@
 //! cost structure underlies every experiment (dot/GEMV/softmax).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mnn_tensor::simd::{self, Backend};
 use mnn_tensor::softmax::{softmax_in_place, LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix};
 use std::hint::black_box;
+
+/// Backends to compare: the scalar reference always, AVX2 when this CPU
+/// has it (each is benchmarked through the explicit `_with` entry points,
+/// so the process-global backend is never touched).
+fn backends() -> Vec<Backend> {
+    if Backend::detect() == Backend::Avx2 {
+        vec![Backend::Scalar, Backend::Avx2]
+    } else {
+        vec![Backend::Scalar]
+    }
+}
 
 fn make_vec(n: usize, seed: f32) -> Vec<f32> {
     (0..n).map(|i| ((i as f32) * 0.37 + seed).sin()).collect()
@@ -77,9 +89,102 @@ fn bench_softmax_variants(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scalar vs AVX2 `dot` at the paper's embedding dimensions.
+fn bench_dot_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot_backend");
+    for &n in &[64usize, 1024] {
+        let a = make_vec(n, 0.0);
+        let b = make_vec(n, 1.0);
+        g.throughput(Throughput::Elements(n as u64));
+        for be in backends() {
+            g.bench_with_input(BenchmarkId::new(be.label(), n), &n, |bench, _| {
+                bench.iter(|| simd::dot_with(be, black_box(&a), black_box(&b)))
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Scalar vs AVX2 row-chunk GEMV (the inner-product phase's kernel).
+fn bench_gemv_chunk_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemv_chunk_backend");
+    let (rows, cols) = (1000usize, 64usize);
+    let chunk: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.013).sin()).collect();
+    let x = make_vec(cols, 0.5);
+    let mut out = vec![0.0f32; rows];
+    g.throughput(Throughput::Elements((rows * cols) as u64));
+    for be in backends() {
+        g.bench_with_input(
+            BenchmarkId::new(be.label(), format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| {
+                bench.iter(|| {
+                    simd::gemv_chunk_with(be, black_box(&chunk), rows, black_box(&x), &mut out);
+                    black_box(&mut out);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// libm exp (scalar backend) vs the polynomial fast exp (AVX2 backend)
+/// over a chunk of logits.
+fn bench_exp_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp_backend");
+    let n = 4096usize;
+    let logits = make_vec(n, 0.2);
+    let mut buf = vec![0.0f32; n];
+    g.throughput(Throughput::Elements(n as u64));
+    for be in backends() {
+        g.bench_with_input(BenchmarkId::new(be.label(), n), &n, |bench, _| {
+            bench.iter(|| {
+                buf.copy_from_slice(&logits);
+                simd::exp_slice_with(be, black_box(&mut buf))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Scalar vs AVX2 fused chunk kernel (inner product + exp + weighted
+/// accumulate in one pass) on a fig 9-shaped chunk.
+fn bench_fused_chunk_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_chunk_backend");
+    let (rows, cols) = (1000usize, 64usize);
+    let in_flat: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.011).sin()).collect();
+    let out_flat: Vec<f32> = (0..rows * cols).map(|i| (i as f32 * 0.017).cos()).collect();
+    let u = make_vec(cols, 0.4);
+    let mut ws = vec![0.0f32; cols];
+    g.throughput(Throughput::Elements((rows * cols) as u64));
+    for be in backends() {
+        g.bench_with_input(
+            BenchmarkId::new(be.label(), format!("{rows}x{cols}")),
+            &rows,
+            |bench, _| {
+                bench.iter(|| {
+                    ws.iter_mut().for_each(|w| *w = 0.0);
+                    simd::fused_chunk_lazy_with(
+                        be,
+                        black_box(&in_flat),
+                        black_box(&out_flat),
+                        rows,
+                        black_box(&u),
+                        None,
+                        &mut ws,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_dot, bench_gemv, bench_softmax_variants
+    targets = bench_dot, bench_gemv, bench_softmax_variants,
+        bench_dot_backends, bench_gemv_chunk_backends, bench_exp_backends,
+        bench_fused_chunk_backends
 }
 criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Kernel backend benchmark: scalar vs SIMD for dot / gemv_chunk / exp at
+//! the paper's embedding dimension, plus the fused chunk kernel vs the
+//! two-pass dataflow end-to-end. Emits the machine-readable
+//! `BENCH_kernels.json` consumed by CI.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::kernel_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_kernels.json") {
+        Ok(()) => println!("wrote BENCH_kernels.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+}

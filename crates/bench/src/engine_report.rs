@@ -212,9 +212,9 @@ mod tests {
         for e in &report.entries {
             assert!(e.mean_seconds > 0.0, "{:?}", e.kind);
             assert!(e.trace.total_nanos() > 0, "{:?}", e.kind);
-            // Every question touched every row in the inner-product phase.
+            // Every question touched every row in the fused-chunk phase.
             assert_eq!(
-                e.trace.count(Phase::InnerProduct),
+                e.trace.count(Phase::FusedChunk),
                 (report.ns * report.questions) as u64
             );
         }
@@ -249,8 +249,8 @@ mod tests {
     fn table_has_phase_columns() {
         let report = run(Scale::Smoke);
         let t = report.table();
-        assert_eq!(t.headers.len(), 3 + 5);
-        assert!(t.headers.iter().any(|h| h == "inner_product"));
+        assert_eq!(t.headers.len(), 3 + 6);
+        assert!(t.headers.iter().any(|h| h == "fused_chunk"));
         assert_eq!(t.rows.len(), 4);
     }
 }

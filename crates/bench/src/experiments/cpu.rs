@@ -112,6 +112,7 @@ pub fn fig09_native(scale: Scale) -> ExperimentTable {
             "speedup vs baseline",
             "inner-product",
             "exp/acc",
+            "fused",
             "skip",
             "merge",
             "divide",

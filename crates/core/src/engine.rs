@@ -108,6 +108,26 @@ impl AccumMut<'_> {
         }
     }
 
+    /// Fused single-pass chunk accumulate: inner products, exponentiation
+    /// and weighted accumulation in one traversal, delegating to the
+    /// accumulators' fused kernels
+    /// ([`LazyAccumulator::accumulate_chunk`] /
+    /// [`OnlineSoftmax::accumulate_chunk`]). `raw_threshold` has the same
+    /// semantics as [`AccumMut::add`]. Returns the number of skipped rows.
+    pub(crate) fn accumulate_chunk(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+    ) -> u64 {
+        match self {
+            AccumMut::Lazy(acc) => acc.accumulate_chunk(in_flat, out_flat, n, u, raw_threshold),
+            AccumMut::Online(acc) => acc.accumulate_chunk(in_flat, out_flat, n, u, raw_threshold),
+        }
+    }
+
     pub(crate) fn denom(&self) -> f32 {
         match self {
             AccumMut::Lazy(acc) => acc.denom(),
@@ -323,6 +343,26 @@ impl ColumnEngine {
     ) {
         let ed = u.len();
         assert_eq!(out_flat.len(), n * ed, "process_chunk_flat: bad out chunk");
+        if self.config.fused {
+            let t0 = trace.begin();
+            let skipped = acc.accumulate_chunk(in_flat, out_flat, n, u, raw_threshold);
+            trace.record(Phase::FusedChunk, t0, n as u64);
+            trace.bump(Phase::Skip, skipped);
+            // Aggregate counters computed from (n, skipped) — numerically
+            // identical to the two-pass accounting below.
+            let kept = n as u64 - skipped;
+            stats.flops += kernels::gemv_flops(n, ed) + n as u64 + kept * 2 * ed as u64;
+            stats.ws_flops += kept * 2 * ed as u64;
+            stats.flops_skipped += skipped * 2 * ed as u64;
+            stats.rows_total += n as u64;
+            stats.rows_skipped += skipped;
+            stats.memory_bytes += (n * ed * 4) as u64 + kept * (ed * 4) as u64;
+            stats.chunks += 1;
+            // Fusion removes the chunk-wide logits intermediate: only an
+            // 8-row logit block plus the accumulator row stay live.
+            stats.intermediate_bytes = stats.intermediate_bytes.max((8 * 4 + ed * 4) as u64);
+            return;
+        }
         let t0 = trace.begin();
         kernels::gemv_chunk(in_flat, n, u, logits);
         trace.record(Phase::InnerProduct, t0, n as u64);
@@ -657,6 +697,7 @@ mod tests {
     #[test]
     fn trace_attributes_phases() {
         let (m_in, m_out, u) = test_memories(90, 8);
+        // Default (fused) path: all per-chunk work lands in FusedChunk.
         let engine =
             ColumnEngine::new(MnnFastConfig::new(16).with_skip(SkipPolicy::Probability(0.01)));
         let mut scratch = Scratch::new();
@@ -671,19 +712,74 @@ mod tests {
             &mut trace,
         )
         .unwrap();
+        assert_eq!(trace.count(Phase::FusedChunk), 90);
+        assert_eq!(trace.count(Phase::InnerProduct), 0);
+        assert_eq!(trace.count(Phase::ExpAccumulate), 0);
+        assert_eq!(trace.count(Phase::Skip), out.stats.rows_skipped);
+        assert_eq!(trace.count(Phase::Divide), 8);
+        assert!(trace.nanos(Phase::FusedChunk) > 0);
+        assert!(
+            trace.nanos(Phase::Skip) > 0,
+            "probability pre-pass is timed"
+        );
+        assert!(trace.total_nanos() > 0);
+
+        // Two-pass path: InnerProduct/ExpAccumulate carry the work instead.
+        let engine = ColumnEngine::new(
+            MnnFastConfig::new(16)
+                .with_skip(SkipPolicy::Probability(0.01))
+                .with_fused(false),
+        );
+        let mut trace = Trace::enabled();
+        let out = Executor::forward_prefix(
+            &engine,
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &u,
+            &mut scratch,
+            &mut trace,
+        )
+        .unwrap();
+        assert_eq!(trace.count(Phase::FusedChunk), 0);
         assert_eq!(trace.count(Phase::InnerProduct), 90);
         assert_eq!(
             trace.count(Phase::ExpAccumulate) + trace.count(Phase::Skip),
             90
         );
         assert_eq!(trace.count(Phase::Skip), out.stats.rows_skipped);
-        assert_eq!(trace.count(Phase::Divide), 8);
         assert!(trace.nanos(Phase::InnerProduct) > 0);
-        assert!(
-            trace.nanos(Phase::Skip) > 0,
-            "probability pre-pass is timed"
-        );
-        assert!(trace.total_nanos() > 0);
+    }
+
+    #[test]
+    fn fused_matches_two_pass() {
+        let (m_in, m_out, u) = test_memories(97, 8);
+        for (skip, softmax) in [
+            (SkipPolicy::None, SoftmaxMode::Lazy),
+            (SkipPolicy::None, SoftmaxMode::Online),
+            (SkipPolicy::RawWeight(0.9), SoftmaxMode::Lazy),
+            (SkipPolicy::Probability(0.01), SoftmaxMode::Lazy),
+            (SkipPolicy::Probability(0.01), SoftmaxMode::Online),
+        ] {
+            let cfg = MnnFastConfig::new(16).with_skip(skip).with_softmax(softmax);
+            let fused = ColumnEngine::new(cfg).forward(&m_in, &m_out, &u).unwrap();
+            let two_pass = ColumnEngine::new(cfg.with_fused(false))
+                .forward(&m_in, &m_out, &u)
+                .unwrap();
+            // Work accounting is path-independent by construction.
+            assert_eq!(fused.stats.rows_total, two_pass.stats.rows_total);
+            assert_eq!(fused.stats.rows_skipped, two_pass.stats.rows_skipped);
+            assert_eq!(fused.stats.flops, two_pass.stats.flops);
+            assert_eq!(fused.stats.memory_bytes, two_pass.stats.memory_bytes);
+            // Outputs agree to kernel tolerance (bitwise on the scalar
+            // backend; the AVX2 fused path uses the fast exp).
+            assert_slice_approx_eq(&fused.o, &two_pass.o, 1e-4);
+            assert!(mnn_tensor::approx_eq(
+                fused.denominator,
+                two_pass.denominator,
+                1e-4
+            ));
+        }
     }
 
     #[test]

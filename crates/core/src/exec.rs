@@ -24,11 +24,17 @@
 //!
 //! | Phase | What is timed | Count unit |
 //! |-------|---------------|------------|
-//! | [`Phase::InnerProduct`] | `x = u · chunkᵀ` GEMV per chunk | rows |
-//! | [`Phase::ExpAccumulate`] | exponentiation + weighted accumulation loop | rows accumulated |
+//! | [`Phase::InnerProduct`] | `x = u · chunkᵀ` GEMV per chunk (two-pass path) | rows |
+//! | [`Phase::ExpAccumulate`] | exponentiation + weighted accumulation loop (two-pass path) | rows accumulated |
+//! | [`Phase::FusedChunk`] | the single-pass fused chunk kernel (inner products + exp + weighted accumulate) | rows processed |
 //! | [`Phase::Skip`] | skip-threshold resolution (the Probability pre-pass) | rows skipped |
 //! | [`Phase::Merge`] | folding chunk partials into the running total | partials merged |
 //! | [`Phase::Divide`] | the single lazy-softmax division | `ed` divisions |
+//!
+//! With the default fused configuration the per-chunk work lands in
+//! `FusedChunk` and the `InnerProduct`/`ExpAccumulate` rows stay zero;
+//! disabling fusion ([`MnnFastConfig::with_fused`]) restores the two-pass
+//! attribution. Skipped rows are counted under `Skip` on both paths.
 //!
 //! On the column path the phase times sum to ≈ the total forward latency
 //! (the residual is loop control). On the parallel path worker phases are
@@ -47,10 +53,14 @@ use std::time::Instant;
 /// taxonomy table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
-    /// Chunk inner products `x_i = u · m_i^IN`.
+    /// Chunk inner products `x_i = u · m_i^IN` (two-pass path only).
     InnerProduct,
-    /// Exponentiation and weighted accumulation of non-skipped rows.
+    /// Exponentiation and weighted accumulation of non-skipped rows
+    /// (two-pass path only).
     ExpAccumulate,
+    /// The fused single-pass chunk kernel: inner products, exponentiation
+    /// and weighted accumulation in one traversal (the default path).
+    FusedChunk,
     /// Zero-skip bookkeeping: threshold resolution time, skipped-row count.
     Skip,
     /// Chunk-partial accumulator merging (sequential fold or scale-out
@@ -62,9 +72,10 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::InnerProduct,
         Phase::ExpAccumulate,
+        Phase::FusedChunk,
         Phase::Skip,
         Phase::Merge,
         Phase::Divide,
@@ -75,6 +86,7 @@ impl Phase {
         match self {
             Phase::InnerProduct => "inner_product",
             Phase::ExpAccumulate => "exp_accumulate",
+            Phase::FusedChunk => "fused_chunk",
             Phase::Skip => "skip",
             Phase::Merge => "merge",
             Phase::Divide => "divide",
@@ -86,9 +98,10 @@ impl Phase {
         match self {
             Phase::InnerProduct => 0,
             Phase::ExpAccumulate => 1,
-            Phase::Skip => 2,
-            Phase::Merge => 3,
-            Phase::Divide => 4,
+            Phase::FusedChunk => 2,
+            Phase::Skip => 3,
+            Phase::Merge => 4,
+            Phase::Divide => 5,
         }
     }
 }
@@ -101,8 +114,8 @@ impl Phase {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Trace {
     enabled: bool,
-    nanos: [u64; 5],
-    counts: [u64; 5],
+    nanos: [u64; 6],
+    counts: [u64; 6],
 }
 
 impl Trace {
@@ -162,7 +175,7 @@ impl Trace {
     /// Folds another trace's phases into this one (cumulative serving
     /// stats, scale-out worker absorption).
     pub fn absorb(&mut self, other: &Trace) {
-        for i in 0..5 {
+        for i in 0..6 {
             self.nanos[i] += other.nanos[i];
             self.counts[i] += other.counts[i];
         }
@@ -185,8 +198,8 @@ impl Trace {
 
     /// Zeroes all counters, keeping the enabled flag.
     pub fn reset(&mut self) {
-        self.nanos = [0; 5];
-        self.counts = [0; 5];
+        self.nanos = [0; 6];
+        self.counts = [0; 6];
     }
 
     /// Multi-line human-readable per-phase breakdown.
@@ -299,7 +312,7 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseHistograms {
     total: LatencyHistogram,
-    per_phase: [LatencyHistogram; 5],
+    per_phase: [LatencyHistogram; 6],
 }
 
 impl PhaseHistograms {

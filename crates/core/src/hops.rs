@@ -217,7 +217,7 @@ mod tests {
         let mut trace = Trace::enabled();
         let out = multi_hop(&engine, &m_in, &m_out, 30, &u, 2, &mut scratch, &mut trace).unwrap();
         assert_eq!(out.stats.rows_total, 60);
-        assert_eq!(trace.count(Phase::InnerProduct), 60);
+        assert_eq!(trace.count(Phase::FusedChunk), 60);
         assert_eq!(trace.count(Phase::Divide), 8, "two hops of ed divisions");
         // The trailing hop's output buffer was recycled into the pool.
         assert!(scratch.pooled_outputs() >= 1);

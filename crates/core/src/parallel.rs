@@ -294,7 +294,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.stats.rows_total, 200);
-        assert_eq!(trace.count(Phase::InnerProduct), 200);
+        assert_eq!(trace.count(Phase::FusedChunk), 200);
         // One merge per chunk partial: ceil(200 / 16) = 13 chunks.
         assert_eq!(trace.count(Phase::Merge), 13);
         assert_eq!(trace.count(Phase::Divide), 8);

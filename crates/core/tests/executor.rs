@@ -148,8 +148,8 @@ fn trace_phase_times_sum_close_to_total_latency() {
         let sum = trace.total_nanos();
         assert!(sum > 0, "phases recorded no time");
         assert!(
-            trace.nanos(Phase::InnerProduct) > 0 && trace.nanos(Phase::Merge) > 0,
-            "expected inner-product and merge time"
+            trace.nanos(Phase::FusedChunk) > 0 && trace.nanos(Phase::Merge) > 0,
+            "expected fused-chunk and merge time"
         );
         last = (sum, wall);
         // Phases are disjoint sub-intervals of the pass, so their sum can

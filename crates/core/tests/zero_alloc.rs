@@ -7,6 +7,7 @@
 //! allocator observes the whole process.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mnn_tensor::Matrix;
@@ -16,14 +17,27 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// Count only the test thread's allocations: libtest's main thread stays
+// alive alongside the test and allocates at unpredictable times (channel
+// bookkeeping, output buffering), which made the zero-allocation assertion
+// flaky. Const-initialized thread-locals are plain TLS — reading one in
+// `alloc` cannot itself allocate.
+thread_local! {
+    static COUNTED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if COUNTED_THREAD.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if COUNTED_THREAD.try_with(Cell::get).unwrap_or(false) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -37,6 +51,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn warm_forward_pass_is_allocation_free() {
+    COUNTED_THREAD.with(|c| c.set(true));
     let ns = 512;
     let ed = 32;
     let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 3 + c) as f32 * 0.05).sin());

@@ -435,20 +435,17 @@ mod tests {
         }
         let hops = session.model().config().hops as u64;
         let a = session.ask(&story.questions[0].tokens).unwrap();
-        assert_eq!(a.trace.count(Phase::InnerProduct), 6 * hops);
+        assert_eq!(a.trace.count(Phase::FusedChunk), 6 * hops);
         assert!(a.trace.total_nanos() > 0);
         session.ask(&story.questions[1].tokens).unwrap();
         // Cumulative trace sums both questions; histograms saw each once.
         assert_eq!(
-            session.cumulative_trace().count(Phase::InnerProduct),
+            session.cumulative_trace().count(Phase::FusedChunk),
             2 * 6 * hops
         );
         assert_eq!(session.phase_histograms().total().count(), 2);
         assert_eq!(
-            session
-                .phase_histograms()
-                .phase(Phase::InnerProduct)
-                .count(),
+            session.phase_histograms().phase(Phase::FusedChunk).count(),
             2
         );
     }

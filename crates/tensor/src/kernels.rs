@@ -1,38 +1,37 @@
 //! Dense kernels: dot, axpy, scale, GEMV and blocked GEMM.
 //!
 //! These are the from-scratch replacements for the OpenBLAS calls in the
-//! paper's CPU implementation. The inner loops are written so that LLVM can
-//! auto-vectorize them (no bounds checks inside the hot loop, simple strides).
-//! A deliberately naive reference implementation of each kernel lives in the
-//! test module and the property tests assert agreement.
+//! paper's CPU implementation. Each level-1 kernel dispatches once per call
+//! to the active [`crate::simd`] backend — explicit AVX2 + FMA intrinsics
+//! when the CPU supports them, a portable scalar reference otherwise (see
+//! [`crate::simd::backend`] for the resolution rules). The scalar loops are
+//! kept auto-vectorizable (no bounds checks in the hot loop, simple
+//! strides) so the fallback is still fast.
+//!
+//! # Caller-validates contract
+//!
+//! `dot` and `gemv_chunk` sit in the innermost loops of the column-based
+//! algorithm; their length checks are `debug_assert!`s, and callers
+//! validate shapes once at a higher level (the public [`gemv`] / [`gevm`] /
+//! [`gemm`] entry points return [`ShapeError`]). With mismatched lengths in
+//! release builds these kernels compute over the common prefix — garbage
+//! output, but never out-of-bounds access.
 
+use crate::simd;
 use crate::{Matrix, ShapeError};
 
 /// Dot product of two equal-length slices.
 ///
-/// The accumulation is split over four independent partial sums to expose
-/// instruction-level parallelism (the same trick BLAS level-1 kernels use).
+/// Dispatches to the active SIMD backend; the scalar fallback splits the
+/// accumulation over four independent partial sums to expose
+/// instruction-level parallelism (the same trick BLAS level-1 kernels use),
+/// the AVX2 path uses four 8-lane FMA accumulators.
 ///
-/// # Panics
-///
-/// Panics if the slices have different lengths (this is the innermost hot
-/// loop; callers validate shapes once at a higher level).
+/// Length equality is a `debug_assert!` — see the module-level
+/// caller-validates contract.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
-    for j in chunks * 4..a.len() {
-        sum += a[j] * b[j];
-    }
-    sum
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    simd::dot_with(simd::backend(), a, b)
 }
 
 /// `y += alpha * x` (BLAS `axpy`).
@@ -42,16 +41,12 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy_with(simd::backend(), alpha, x, y);
 }
 
 /// `x *= alpha` in place.
 pub fn scale(alpha: f32, x: &mut [f32]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    simd::scale_with(simd::backend(), alpha, x);
 }
 
 /// Element-wise `y += x`.
@@ -98,16 +93,16 @@ pub fn gemv(m: &Matrix, x: &[f32], out: &mut [f32]) -> Result<(), ShapeError> {
 /// `i` in `0..n_rows`. Used by the column-based algorithm, whose unit of
 /// work is a flat chunk of `M_IN` rather than a whole [`Matrix`].
 ///
-/// # Panics
-///
-/// Panics if `chunk.len() != n_rows * x.len()` or `out.len() != n_rows`.
+/// Shape checks (`chunk.len() == n_rows * x.len()`, `out.len() == n_rows`)
+/// are `debug_assert!`s — see the module-level caller-validates contract.
 pub fn gemv_chunk(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
-    let cols = x.len();
-    assert_eq!(chunk.len(), n_rows * cols, "gemv_chunk: bad chunk length");
-    assert_eq!(out.len(), n_rows, "gemv_chunk: bad out length");
-    for r in 0..n_rows {
-        out[r] = dot(&chunk[r * cols..(r + 1) * cols], x);
-    }
+    debug_assert_eq!(
+        chunk.len(),
+        n_rows * x.len(),
+        "gemv_chunk: bad chunk length"
+    );
+    debug_assert_eq!(out.len(), n_rows, "gemv_chunk: bad out length");
+    simd::gemv_chunk_with(simd::backend(), chunk, n_rows, x, out);
 }
 
 /// Vector–matrix product `out = xᵀ · M` (length `cols`), i.e. the weighted

@@ -6,8 +6,12 @@
 //! - [`AlignedBuf`]: cache-line-aligned `f32` storage so that streamed chunk
 //!   loads map cleanly onto cache lines in the memory-hierarchy simulator,
 //! - [`Matrix`]: a dense row-major matrix with cheap row/chunk views,
-//! - [`kernels`]: dot / axpy / scale / GEMV / blocked GEMM written as
-//!   auto-vectorizable loops,
+//! - [`kernels`]: dot / axpy / scale / GEMV / blocked GEMM, dispatched at
+//!   runtime to the active [`simd`] backend,
+//! - [`simd`]: the explicit kernel backend — AVX2 + FMA intrinsics selected
+//!   via runtime CPU detection, a portable scalar reference implementation,
+//!   a polynomial fast-exp with a tested error bound, and the fused
+//!   chunk kernel for the lazy-softmax hot path,
 //! - [`softmax`]: the softmax family used by memory networks, including the
 //!   *lazy* (division-last) and *online* (running-max) formulations that the
 //!   column-based algorithm of the paper relies on,
@@ -42,6 +46,7 @@ mod matrix;
 
 pub mod kernels;
 pub mod reduce;
+pub mod simd;
 pub mod softmax;
 
 pub use buffer::AlignedBuf;

@@ -1,0 +1,660 @@
+//! Runtime-dispatched SIMD kernel backend.
+//!
+//! The hot loops of the column-based algorithm — `dot`, `axpy`, `scale`,
+//! `gemv_chunk`, the lazy-softmax exp phase and the fused chunk kernel —
+//! exist in two implementations:
+//!
+//! * **Scalar** — the portable reference implementation: plain Rust loops
+//!   (auto-vectorizable by LLVM) and libm `exp`. This is the ground truth
+//!   the property tests compare against.
+//! * **Avx2** — explicit AVX2 + FMA intrinsics (8 f32 lanes, fused
+//!   multiply-add) with a polynomial `exp` approximation
+//!   ([`exp_approx`], max relative error [`EXP_MAX_REL_ERROR`]).
+//!
+//! The active backend is resolved once per process by [`backend`]:
+//!
+//! 1. the `force-scalar` cargo feature pins [`Backend::Scalar`]
+//!    unconditionally (for reproducing reference numerics in embedders),
+//! 2. otherwise the `MNNFAST_SIMD` environment variable (`scalar`, `avx2`
+//!    or `auto`) picks the backend, clamped to what the CPU supports,
+//! 3. otherwise `is_x86_feature_detected!` selects [`Backend::Avx2`] when
+//!    AVX2 and FMA are both available, falling back to scalar.
+//!
+//! [`set_backend`] overrides the choice at runtime (tests and benchmark
+//! harnesses use it to measure both implementations in one process).
+//!
+//! # Determinism contract
+//!
+//! For a fixed backend every kernel is a pure, deterministic function of
+//! its inputs: the engine variants (column / streaming / parallel, any
+//! thread count) therefore stay bitwise identical to each other. Results
+//! *across* backends agree only approximately (different accumulation
+//! widths, and the fused kernel's fast exp), within the tolerances asserted
+//! by the property tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel implementation set is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Portable reference implementation (plain loops, libm `exp`).
+    Scalar,
+    /// AVX2 + FMA intrinsics with the polynomial fast exp.
+    Avx2,
+}
+
+impl Backend {
+    /// Stable machine-readable name (`scalar` / `avx2`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a backend request as accepted by the `MNNFAST_SIMD`
+    /// environment variable. `auto` (and the empty string) mean "detect";
+    /// unknown values are rejected so typos do not silently change
+    /// numerics.
+    pub fn parse(s: &str) -> Option<Option<Backend>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Some(Backend::Scalar)),
+            "avx2" | "simd" => Some(Some(Backend::Avx2)),
+            "auto" | "" => Some(None),
+            _ => None,
+        }
+    }
+
+    /// The fastest backend this CPU supports.
+    pub fn detect() -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Backend::Avx2;
+            }
+        }
+        Backend::Scalar
+    }
+
+    /// Clamps a requested backend to what the CPU can actually run.
+    fn supported(self) -> Backend {
+        match (self, Backend::detect()) {
+            (Backend::Avx2, Backend::Scalar) => Backend::Scalar,
+            (b, _) => b,
+        }
+    }
+}
+
+/// Cached backend choice: 0 = unresolved, 1 = scalar, 2 = avx2.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn encode(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Avx2 => 2,
+    }
+}
+
+fn resolve_initial() -> Backend {
+    if cfg!(feature = "force-scalar") {
+        return Backend::Scalar;
+    }
+    match std::env::var("MNNFAST_SIMD") {
+        Ok(v) => match Backend::parse(&v) {
+            Some(Some(requested)) => requested.supported(),
+            Some(None) | None => Backend::detect(),
+        },
+        Err(_) => Backend::detect(),
+    }
+}
+
+/// The active backend, resolving it on first use (see the module docs for
+/// the resolution order).
+#[inline]
+pub fn backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 => Backend::Avx2,
+        _ => {
+            let b = resolve_initial();
+            ACTIVE.store(encode(b), Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// Overrides the active backend process-wide, returning the previous one.
+/// Requests the CPU cannot run are clamped to [`Backend::Scalar`]; the
+/// `force-scalar` cargo feature wins over any override.
+pub fn set_backend(b: Backend) -> Backend {
+    let prev = backend();
+    let next = if cfg!(feature = "force-scalar") {
+        Backend::Scalar
+    } else {
+        b.supported()
+    };
+    ACTIVE.store(encode(next), Ordering::Relaxed);
+    prev
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+
+/// Reference dot product: four independent partial sums (the BLAS level-1
+/// ILP trick), plain ops, no FMA.
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = [0.0f32; 4];
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for j in chunks * 4..n {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+/// Reference `y += alpha * x`.
+pub fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Reference `x *= alpha`.
+pub fn scale_scalar(alpha: f32, x: &mut [f32]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Reference row-chunk GEMV.
+pub fn gemv_chunk_scalar(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
+    let cols = x.len();
+    for r in 0..n_rows {
+        out[r] = dot_scalar(&chunk[r * cols..(r + 1) * cols], x);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Polynomial fast exp
+// ---------------------------------------------------------------------------
+
+/// Inputs are clamped to ±[`EXP_CLAMP`] before the range reduction;
+/// `e^{±87.33}` spans the full normal `f32` range, and keeping `|n| ≤ 126`
+/// makes the `2^n` exponent-bit trick exact with no overflow cases.
+pub const EXP_CLAMP: f32 = 87.336_54;
+
+/// Maximum relative error of [`exp_approx`] versus the true exponential
+/// over the clamped input range, as asserted (with margin) by the tests.
+/// The degree-5 polynomial after Cephes-style range reduction is accurate
+/// to ~2⁻²² ≈ 2.4e-7; we publish a conservative bound.
+pub const EXP_MAX_REL_ERROR: f32 = 1e-6;
+
+const EXP_LOG2E: f32 = std::f32::consts::LOG2_E;
+// ln(2) split into a high part exactly representable in f32 and the
+// remainder, so `x - n*ln2` stays accurate (Cephes constants). The full
+// digits of the high part are intentional: 0.693359375 = 355/512 exactly.
+#[allow(clippy::excessive_precision)]
+const EXP_C1: f32 = 0.693_359_375;
+const EXP_C2: f32 = -2.121_944_4e-4;
+const EXP_P0: f32 = 1.987_569_2e-4;
+const EXP_P1: f32 = 1.398_199_9e-3;
+const EXP_P2: f32 = 8.333_452e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+const EXP_P4: f32 = 1.666_666_5e-1;
+const EXP_P5: f32 = 5.000_000_3e-1;
+
+/// Fast polynomial `e^x` (scalar form of the vectorized kernel).
+///
+/// Inputs outside ±[`EXP_CLAMP`] saturate monotonically (the clamp bound's
+/// exponential, not `inf`/`0`). Within the range the relative error versus
+/// libm is at most [`EXP_MAX_REL_ERROR`]. Uses `mul_add`, so one lane of
+/// the AVX2 kernel and this function produce bitwise-identical results.
+#[inline]
+pub fn exp_approx(x: f32) -> f32 {
+    let x = x.clamp(-EXP_CLAMP, EXP_CLAMP);
+    // n = round(x / ln 2), computed as floor(x*log2e + 0.5) to match the
+    // vector kernel's rounding exactly.
+    let n = (x * EXP_LOG2E + 0.5).floor();
+    let r = (-n).mul_add(EXP_C2, (-n).mul_add(EXP_C1, x));
+    let mut p = EXP_P0;
+    p = p.mul_add(r, EXP_P1);
+    p = p.mul_add(r, EXP_P2);
+    p = p.mul_add(r, EXP_P3);
+    p = p.mul_add(r, EXP_P4);
+    p = p.mul_add(r, EXP_P5);
+    let p = p.mul_add(r * r, r) + 1.0;
+    // 2^n via exponent bits: n ∈ [-126, 127] after the clamp.
+    let two_n = f32::from_bits(((n as i32 + 127) as u32) << 23);
+    p * two_n
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of one 8-lane register, reduced pairwise.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let q = _mm_add_ps(lo, hi);
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(d, _mm_shuffle_ps(d, d, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    /// AVX2 dot product: four 8-lane FMA accumulators (32 elements per
+    /// iteration) plus an 8-lane and a scalar tail.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let folded = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut sum = hsum(folded);
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// AVX2 `y += alpha * x`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len().min(y.len());
+        let va = _mm256_set1_ps(alpha);
+        let (px, py) = (x.as_ptr(), y.as_mut_ptr());
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let y0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+            let y1 = _mm256_fmadd_ps(
+                va,
+                _mm256_loadu_ps(px.add(i + 8)),
+                _mm256_loadu_ps(py.add(i + 8)),
+            );
+            _mm256_storeu_ps(py.add(i), y0);
+            _mm256_storeu_ps(py.add(i + 8), y1);
+            i += 16;
+        }
+        while i + 8 <= n {
+            let y0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(px.add(i)), _mm256_loadu_ps(py.add(i)));
+            _mm256_storeu_ps(py.add(i), y0);
+            i += 8;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// AVX2 `x *= alpha`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn scale(alpha: f32, x: &mut [f32]) {
+        let n = x.len();
+        let va = _mm256_set1_ps(alpha);
+        let px = x.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            _mm256_storeu_ps(px.add(i), _mm256_mul_ps(va, _mm256_loadu_ps(px.add(i))));
+            i += 8;
+        }
+        while i < n {
+            x[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    /// AVX2 row-chunk GEMV: one [`dot`] per row (rows are contiguous, so
+    /// the inner product streams the chunk once).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemv_chunk(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
+        let cols = x.len();
+        for r in 0..n_rows {
+            out[r] = dot(&chunk[r * cols..(r + 1) * cols], x);
+        }
+    }
+
+    /// 8-lane polynomial `e^x` — the vector form of [`exp_approx`]; lane
+    /// `i` of the result is bitwise identical to `exp_approx(x[i])`.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn exp8(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_CLAMP));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(-EXP_CLAMP));
+        let n = _mm256_floor_ps(_mm256_fmadd_ps(
+            x,
+            _mm256_set1_ps(EXP_LOG2E),
+            _mm256_set1_ps(0.5),
+        ));
+        let r = _mm256_fnmadd_ps(
+            n,
+            _mm256_set1_ps(EXP_C2),
+            _mm256_fnmadd_ps(n, _mm256_set1_ps(EXP_C1), x),
+        );
+        let mut p = _mm256_set1_ps(EXP_P0);
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P1));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P2));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P3));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P4));
+        p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(EXP_P5));
+        let p = _mm256_add_ps(
+            _mm256_fmadd_ps(p, _mm256_mul_ps(r, r), r),
+            _mm256_set1_ps(1.0),
+        );
+        let two_n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvtps_epi32(n),
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(p, two_n)
+    }
+
+    /// Replaces each element with `exp_approx(x_i)` and returns the sum.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn exp_slice(x: &mut [f32]) -> f32 {
+        let n = x.len();
+        let px = x.as_mut_ptr();
+        let mut vsum = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let e = exp8(_mm256_loadu_ps(px.add(i)));
+            _mm256_storeu_ps(px.add(i), e);
+            vsum = _mm256_add_ps(vsum, e);
+            i += 8;
+        }
+        let mut sum = hsum(vsum);
+        while i < n {
+            x[i] = exp_approx(x[i]);
+            sum += x[i];
+            i += 1;
+        }
+        sum
+    }
+
+    /// Fused lazy-softmax chunk kernel: one pass over the chunk's rows in
+    /// blocks of 8 — inner products, 8-lane fast exp, threshold test, and
+    /// the `ed`-wide weighted accumulate for kept rows. Returns the
+    /// denominator contribution and the number of skipped rows.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fused_chunk_lazy(
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+        weighted_sum: &mut [f32],
+    ) -> (f32, u64) {
+        let ed = u.len();
+        let mut denom = 0.0f32;
+        let mut skipped = 0u64;
+        let mut r = 0usize;
+        let mut w = [0.0f32; 8];
+        while r < n_rows {
+            let block = (n_rows - r).min(8);
+            for (j, wj) in w.iter_mut().enumerate().take(block) {
+                *wj = dot(&in_flat[(r + j) * ed..(r + j + 1) * ed], u);
+            }
+            // Exponentiate the whole block at once; lanes past `block`
+            // hold stale-but-finite values and are never read back.
+            let e = exp8(_mm256_loadu_ps(w.as_ptr()));
+            _mm256_storeu_ps(w.as_mut_ptr(), e);
+            for (j, &wj) in w.iter().enumerate().take(block) {
+                denom += wj;
+                match raw_threshold {
+                    Some(th) if wj < th => skipped += 1,
+                    _ => axpy(wj, &out_flat[(r + j) * ed..(r + j + 1) * ed], weighted_sum),
+                }
+            }
+            r += block;
+        }
+        (denom, skipped)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend-parameterized entry points
+// ---------------------------------------------------------------------------
+//
+// The public `kernels` API dispatches on `backend()`; these `_with`
+// variants take the backend explicitly so tests and benchmark harnesses can
+// exercise both implementations in one process.
+
+/// [`crate::kernels::dot`] with an explicit backend.
+#[inline]
+pub fn dot_with(b: Backend, a: &[f32], x: &[f32]) -> f32 {
+    match b {
+        Backend::Scalar => dot_scalar(a, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Backend::Avx2` is only reachable after runtime detection
+        // (or an explicit override clamped by `Backend::supported`).
+        Backend::Avx2 => unsafe { avx2::dot(a, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => dot_scalar(a, x),
+    }
+}
+
+/// [`crate::kernels::axpy`] with an explicit backend.
+#[inline]
+pub fn axpy_with(b: Backend, alpha: f32, x: &[f32], y: &mut [f32]) {
+    match b {
+        Backend::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => axpy_scalar(alpha, x, y),
+    }
+}
+
+/// [`crate::kernels::scale`] with an explicit backend.
+#[inline]
+pub fn scale_with(b: Backend, alpha: f32, x: &mut [f32]) {
+    match b {
+        Backend::Scalar => scale_scalar(alpha, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::scale(alpha, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => scale_scalar(alpha, x),
+    }
+}
+
+/// [`crate::kernels::gemv_chunk`] with an explicit backend.
+#[inline]
+pub fn gemv_chunk_with(b: Backend, chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
+    match b {
+        Backend::Scalar => gemv_chunk_scalar(chunk, n_rows, x, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::gemv_chunk(chunk, n_rows, x, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => gemv_chunk_scalar(chunk, n_rows, x, out),
+    }
+}
+
+/// Exponentiates a slice in place and returns the sum: libm `exp` on the
+/// scalar backend, the 8-lane [`exp_approx`] kernel on AVX2.
+#[inline]
+pub fn exp_slice_with(b: Backend, x: &mut [f32]) -> f32 {
+    match b {
+        Backend::Scalar => {
+            let mut sum = 0.0f32;
+            for v in x.iter_mut() {
+                *v = v.exp();
+                sum += *v;
+            }
+            sum
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::exp_slice(x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => {
+            let mut sum = 0.0f32;
+            for v in x.iter_mut() {
+                *v = exp_approx(*v);
+                sum += *v;
+            }
+            sum
+        }
+    }
+}
+
+/// The fused lazy-softmax chunk kernel with an explicit backend: one pass
+/// over `n_rows` rows computing `x_i = row_i · u`, `w_i = e^{x_i}`, the
+/// denominator `Σ w_i`, and `weighted_sum += w_i · out_row_i` for rows at
+/// or above `raw_threshold` (skipped rows still count into the
+/// denominator, the paper's zero-skip semantics). Returns
+/// `(denominator contribution, skipped rows)`.
+///
+/// The scalar backend uses libm `exp` — bitwise identical to the two-pass
+/// reference path; AVX2 uses the fast exp, so fused-vs-two-pass agreement
+/// on that backend is approximate (within [`EXP_MAX_REL_ERROR`] per
+/// weight).
+///
+/// The caller guarantees `in_flat.len() == out_flat.len() == n_rows *
+/// u.len()` and `weighted_sum.len() == u.len()`; slice indexing panics
+/// otherwise.
+pub fn fused_chunk_lazy_with(
+    b: Backend,
+    in_flat: &[f32],
+    out_flat: &[f32],
+    n_rows: usize,
+    u: &[f32],
+    raw_threshold: Option<f32>,
+    weighted_sum: &mut [f32],
+) -> (f32, u64) {
+    debug_assert_eq!(in_flat.len(), n_rows * u.len(), "fused: bad in chunk");
+    debug_assert_eq!(out_flat.len(), n_rows * u.len(), "fused: bad out chunk");
+    match b {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe {
+            avx2::fused_chunk_lazy(in_flat, out_flat, n_rows, u, raw_threshold, weighted_sum)
+        },
+        _ => {
+            let ed = u.len();
+            let mut denom = 0.0f32;
+            let mut skipped = 0u64;
+            for r in 0..n_rows {
+                let x = dot_scalar(&in_flat[r * ed..(r + 1) * ed], u);
+                let w = x.exp();
+                denom += w;
+                match raw_threshold {
+                    Some(th) if w < th => skipped += 1,
+                    _ => axpy_scalar(w, &out_flat[r * ed..(r + 1) * ed], weighted_sum),
+                }
+            }
+            (denom, skipped)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_values() {
+        assert_eq!(Backend::parse("scalar"), Some(Some(Backend::Scalar)));
+        assert_eq!(Backend::parse("AVX2"), Some(Some(Backend::Avx2)));
+        assert_eq!(Backend::parse("auto"), Some(None));
+        assert_eq!(Backend::parse(""), Some(None));
+        assert_eq!(Backend::parse("neon"), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Avx2.label(), "avx2");
+    }
+
+    #[test]
+    fn exp_approx_matches_libm_within_bound() {
+        // Sweep the clamped range densely plus awkward points.
+        let mut worst = 0.0f64;
+        let mut x = -87.0f32;
+        while x <= 88.0 {
+            let approx = exp_approx(x.min(EXP_CLAMP)) as f64;
+            let exact = (x.min(EXP_CLAMP) as f64).exp();
+            let rel = ((approx - exact) / exact).abs();
+            worst = worst.max(rel);
+            x += 0.0173;
+        }
+        for special in [0.0f32, -0.0, 1.0, -1.0, 80.0, -80.0, f32::MIN_POSITIVE] {
+            let rel = ((exp_approx(special) as f64 - (special as f64).exp())
+                / (special as f64).exp())
+            .abs();
+            worst = worst.max(rel);
+        }
+        assert!(
+            worst <= EXP_MAX_REL_ERROR as f64,
+            "fast exp max relative error {worst:.3e} exceeds bound {EXP_MAX_REL_ERROR:.1e}"
+        );
+    }
+
+    #[test]
+    fn exp_approx_saturates_beyond_clamp() {
+        assert_eq!(exp_approx(500.0), exp_approx(EXP_CLAMP));
+        assert_eq!(exp_approx(-500.0), exp_approx(-EXP_CLAMP));
+        assert!(exp_approx(500.0).is_finite());
+        assert!(exp_approx(-500.0) > 0.0);
+    }
+
+    // `set_backend` round-trip behaviour is covered by the dedicated
+    // `backend_override` integration binary: it mutates process-global
+    // state, which would race with backend-sensitive tests in this binary.
+
+    #[test]
+    fn scalar_kernels_match_naive() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32 * 0.3).sin()).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).cos()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot_scalar(&a, &b) - naive).abs() < 1e-4);
+    }
+}

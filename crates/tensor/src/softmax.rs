@@ -13,7 +13,7 @@
 //!    §7 of DESIGN.md) that tracks a running maximum and rescales previous
 //!    partial sums, exactly like streamed attention kernels.
 
-use crate::kernels;
+use crate::{kernels, simd};
 
 /// Replaces `x` with `softmax(x)` using the max-subtraction trick.
 ///
@@ -43,14 +43,40 @@ pub fn softmax_in_place(x: &mut [f32]) {
 
 /// Replaces each element with `e^{x_i}` (no normalization), the per-chunk
 /// step of the lazy softmax. Returns the sum of the exponentials, which the
-/// caller accumulates into the lazy denominator.
+/// caller accumulates into the lazy denominator. Dispatches to the active
+/// SIMD backend ([`crate::simd::exp_slice_with`]).
+///
+/// # Invariant (enforced)
+///
+/// There is deliberately no max-subtraction here — the lazy formulation's
+/// whole point is deferring normalization — so the caller must guarantee
+/// `x_i ≤` [`simd::EXP_CLAMP`] (≈ 87.3, where `e^x` saturates `f32`).
+/// Violations are a `debug_assert!`; callers with unbounded logits use
+/// [`exp_in_place_stable`] or [`OnlineSoftmax`] instead.
 pub fn exp_in_place(x: &mut [f32]) -> f32 {
-    let mut sum = 0.0f32;
-    for v in x.iter_mut() {
-        *v = v.exp();
-        sum += *v;
+    debug_assert!(
+        x.iter().all(|v| *v <= simd::EXP_CLAMP),
+        "exp_in_place: logit exceeds EXP_CLAMP; use exp_in_place_stable or OnlineSoftmax"
+    );
+    simd::exp_slice_with(simd::backend(), x)
+}
+
+/// Max-stabilized variant of [`exp_in_place`]: replaces each element with
+/// `e^{x_i - max}` and returns `(sum, max)`. All intermediates stay finite
+/// for arbitrarily large logits; the caller carries `max` alongside the
+/// partial sums exactly as [`OnlineSoftmax`] does (two partials with maxima
+/// `m_a ≥ m_b` merge as `sum_a + sum_b · e^{m_b - m_a}`).
+///
+/// An empty slice returns `(0.0, -inf)`.
+pub fn exp_in_place_stable(x: &mut [f32]) -> (f32, f32) {
+    if x.is_empty() {
+        return (0.0, f32::NEG_INFINITY);
     }
-    sum
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in x.iter_mut() {
+        *v -= max;
+    }
+    (simd::exp_slice_with(simd::backend(), x), max)
 }
 
 /// Accumulator for the paper's lazy softmax (Equation 4).
@@ -109,6 +135,46 @@ impl LazyAccumulator {
     /// `ed`-wide multiply-accumulate.
     pub fn add_skipped(&mut self, weight: f32) {
         self.denom += weight;
+    }
+
+    /// Fused single-pass chunk accumulate: for each of the chunk's `n_rows`
+    /// rows computes the logit `row_i^IN · u`, exponentiates, adds the
+    /// weight to the denominator, and — unless the weight falls below
+    /// `raw_threshold` (the zero-skip test, [`LazyAccumulator::add_skipped`]
+    /// semantics) — accumulates `w_i · row_i^OUT`. Returns the number of
+    /// skipped rows.
+    ///
+    /// Equivalent to a `gemv_chunk` + per-row
+    /// [`LazyAccumulator::add_weighted`] loop, but traverses the chunk once
+    /// ([`crate::simd::fused_chunk_lazy_with`]); on the scalar backend the
+    /// result is bitwise identical to the two-pass formulation, on AVX2 it
+    /// uses the fast exp so agreement is approximate (within
+    /// [`crate::simd::EXP_MAX_REL_ERROR`] per weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `in_flat.len()`/`out_flat.len()`
+    /// differ from `n_rows * u.len()`, or if the accumulator dimension
+    /// differs from `u.len()`.
+    pub fn accumulate_chunk(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+    ) -> u64 {
+        let (denom, skipped) = simd::fused_chunk_lazy_with(
+            simd::backend(),
+            in_flat,
+            out_flat,
+            n_rows,
+            u,
+            raw_threshold,
+            &mut self.weighted_sum,
+        );
+        self.denom += denom;
+        skipped
     }
 
     /// Merges another accumulator (the scale-out reduction).
@@ -214,6 +280,45 @@ impl OnlineSoftmax {
     pub fn add_skipped(&mut self, logit: f32) {
         self.rescale(logit);
         self.denom += (logit - self.max_logit).exp();
+    }
+
+    /// Fused single-pass chunk accumulate, the online counterpart of
+    /// [`LazyAccumulator::accumulate_chunk`]: computes each row's logit with
+    /// the dispatched dot kernel and feeds it straight into
+    /// [`OnlineSoftmax::add`] / [`OnlineSoftmax::add_skipped`], skipping the
+    /// weighted accumulate when [`OnlineSoftmax::relative_weight`] falls
+    /// below `prob_threshold`. Returns the number of skipped rows.
+    ///
+    /// The rescaling chain stays on libm `exp` on every backend, so the
+    /// fused and two-pass online formulations are bitwise identical; the
+    /// win here is the SIMD dot/axpy, not a fast exp.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) if `in_flat.len()`/`out_flat.len()`
+    /// differ from `n_rows * u.len()`, or if the accumulator dimension
+    /// differs from `u.len()`.
+    pub fn accumulate_chunk(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        prob_threshold: Option<f32>,
+    ) -> u64 {
+        let ed = u.len();
+        let mut skipped = 0u64;
+        for r in 0..n_rows {
+            let logit = kernels::dot(&in_flat[r * ed..(r + 1) * ed], u);
+            match prob_threshold {
+                Some(th) if self.relative_weight(logit) < th => {
+                    self.add_skipped(logit);
+                    skipped += 1;
+                }
+                _ => self.add(logit, &out_flat[r * ed..(r + 1) * ed]),
+            }
+        }
+        skipped
     }
 
     /// Merges another accumulator, rescaling both to the larger maximum.
@@ -358,6 +463,84 @@ mod tests {
         assert!((x[0] - 1.0).abs() < 1e-6);
         assert!((x[1] - std::f32::consts::E).abs() < 1e-5);
         assert!((s - (1.0 + std::f32::consts::E)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exp_in_place_stable_survives_large_logits() {
+        // Regression: raw exp_in_place would overflow to inf at x >= 89.
+        let mut x = [150.0f32, 100.0, 120.0, 149.0];
+        let (sum, max) = exp_in_place_stable(&mut x);
+        assert_eq!(max, 150.0);
+        assert!(sum.is_finite() && sum > 0.0);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // Normalizing by the returned sum reproduces stabilized softmax.
+        let mut probs = x;
+        kernels::scale(1.0 / sum, &mut probs);
+        let mut expect = [150.0f32, 100.0, 120.0, 149.0];
+        softmax_in_place(&mut expect);
+        assert_slice_approx_eq(&probs, &expect, 1e-6);
+    }
+
+    #[test]
+    fn exp_in_place_stable_empty() {
+        let mut x: [f32; 0] = [];
+        let (sum, max) = exp_in_place_stable(&mut x);
+        assert_eq!(sum, 0.0);
+        assert_eq!(max, f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn lazy_fused_chunk_matches_two_pass() {
+        let (n, ed) = (13usize, 7usize);
+        let in_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let out_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.11).cos()).collect();
+        let u: Vec<f32> = (0..ed).map(|i| i as f32 * 0.2 - 0.5).collect();
+        for threshold in [None, Some(0.8f32)] {
+            // Two-pass reference: gemv_chunk then per-row add.
+            let mut logits = vec![0.0f32; n];
+            kernels::gemv_chunk(&in_flat, n, &u, &mut logits);
+            let mut two_pass = LazyAccumulator::new(ed);
+            let mut skipped_ref = 0u64;
+            for (r, &x) in logits.iter().enumerate() {
+                let w = x.exp();
+                match threshold {
+                    Some(th) if w < th => {
+                        two_pass.add_skipped(w);
+                        skipped_ref += 1;
+                    }
+                    _ => two_pass.add_weighted(w, &out_flat[r * ed..(r + 1) * ed]),
+                }
+            }
+            let mut fused = LazyAccumulator::new(ed);
+            let skipped = fused.accumulate_chunk(&in_flat, &out_flat, n, &u, threshold);
+            assert_eq!(skipped, skipped_ref);
+            assert!((fused.denom() - two_pass.denom()).abs() < 1e-4);
+            assert_slice_approx_eq(&fused.finish(), &two_pass.finish(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn online_fused_chunk_matches_two_pass_bitwise() {
+        let (n, ed) = (9usize, 5usize);
+        let in_flat: Vec<f32> = (0..n * ed)
+            .map(|i| ((i as f32) * 0.29).sin() * 3.0)
+            .collect();
+        let out_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.13).cos()).collect();
+        let u: Vec<f32> = (0..ed).map(|i| i as f32 * 0.4 - 1.0).collect();
+        for threshold in [None, Some(0.3f32)] {
+            let mut two_pass = OnlineSoftmax::new(ed);
+            for r in 0..n {
+                let logit = kernels::dot(&in_flat[r * ed..(r + 1) * ed], &u);
+                match threshold {
+                    Some(th) if two_pass.relative_weight(logit) < th => two_pass.add_skipped(logit),
+                    _ => two_pass.add(logit, &out_flat[r * ed..(r + 1) * ed]),
+                }
+            }
+            let mut fused = OnlineSoftmax::new(ed);
+            fused.accumulate_chunk(&in_flat, &out_flat, n, &u, threshold);
+            // Same dot backend, same libm exp chain: exactly equal.
+            assert_eq!(fused, two_pass);
+        }
     }
 
     #[test]

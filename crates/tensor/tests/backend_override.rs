@@ -1,0 +1,53 @@
+//! Backend-override tests, isolated in their own test binary.
+//!
+//! `simd::set_backend` mutates process-global state, so everything here
+//! lives in a single `#[test]` function — the default parallel test runner
+//! would otherwise race these overrides against backend-sensitive tests.
+
+use mnn_tensor::simd::{self, Backend};
+
+#[test]
+fn overrides_take_effect() {
+    // When the CI forced-scalar job sets MNNFAST_SIMD=scalar, the very
+    // first resolution must honor it (this runs before any override).
+    if std::env::var("MNNFAST_SIMD").as_deref() == Ok("scalar") {
+        assert_eq!(
+            simd::backend(),
+            Backend::Scalar,
+            "MNNFAST_SIMD=scalar was not honored by backend resolution"
+        );
+    }
+
+    let original = simd::backend();
+
+    // set_backend returns the previous backend and takes effect.
+    let prev = simd::set_backend(Backend::Scalar);
+    assert_eq!(prev, original);
+    assert_eq!(simd::backend(), Backend::Scalar);
+
+    // With scalar forced, the public kernels are bitwise identical to the
+    // scalar reference — the override actually reroutes dispatch.
+    let a: Vec<f32> = (0..67).map(|i| ((i as f32) * 0.61).sin() * 3.0).collect();
+    let b: Vec<f32> = (0..67).map(|i| ((i as f32) * 0.23).cos() * 2.0).collect();
+    let forced = mnn_tensor::kernels::dot(&a, &b);
+    assert_eq!(forced.to_bits(), simd::dot_scalar(&a, &b).to_bits());
+
+    // Requesting AVX2 is clamped to what the CPU supports (and to scalar
+    // under the force-scalar feature); on a capable CPU the FMA dot is
+    // genuinely different hardware — same value within tolerance.
+    let granted = {
+        simd::set_backend(Backend::Avx2);
+        simd::backend()
+    };
+    if cfg!(feature = "force-scalar") {
+        assert_eq!(granted, Backend::Scalar);
+    } else {
+        assert_eq!(granted, Backend::detect());
+    }
+    let via_granted = mnn_tensor::kernels::dot(&a, &b);
+    assert!((via_granted - forced).abs() <= 1e-4 * forced.abs().max(1.0));
+
+    // Restore so this binary stays order-independent if tests are added.
+    simd::set_backend(original);
+    assert_eq!(simd::backend(), original);
+}

@@ -1,5 +1,6 @@
 //! Property-based tests for the tensor substrate.
 
+use mnn_tensor::simd::{self, Backend};
 use mnn_tensor::softmax::{softmax_in_place, LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{approx_eq, kernels, reduce, Matrix};
 use proptest::collection::vec;
@@ -8,6 +9,26 @@ use proptest::prelude::*;
 fn finite_f32(range: f32) -> impl Strategy<Value = f32> {
     (-range..range).prop_map(|x: f32| x)
 }
+
+/// Elements designed to stress SIMD/scalar agreement: ±0, denormals, large
+/// magnitudes, and ordinary values.
+fn awkward_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(f32::MIN_POSITIVE), // smallest normal
+        Just(1.0e-40f32),        // subnormal
+        Just(-1.0e-40f32),
+        Just(1.0e18f32),
+        Just(-1.0e18f32),
+        (-100.0f32..100.0).prop_map(|x| x),
+    ]
+}
+
+/// Lengths that exercise every tail path of the 8-lane kernels: empty,
+/// single element, below/straddling/above the 8- and 32-element unroll
+/// boundaries.
+const AWKWARD_LENS: [usize; 10] = [0, 1, 7, 8, 9, 31, 32, 33, 63, 64];
 
 proptest! {
     #[test]
@@ -152,6 +173,157 @@ proptest! {
         let i = reduce::argmax(&xs).unwrap();
         let m = reduce::max(&xs);
         prop_assert_eq!(xs[i], m);
+    }
+
+    // ---------------------------------------------------------------
+    // SIMD backend agreement. These use the explicit `_with` entry
+    // points (no global backend mutation), so they are safe under the
+    // parallel test runner; AVX2 calls are guarded by CPU detection.
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn simd_dot_agrees_with_scalar(
+        pair in vec((awkward_f32(), awkward_f32()), 0..70),
+    ) {
+        if Backend::detect() != Backend::Avx2 {
+            return Ok(());
+        }
+        let a: Vec<f32> = pair.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pair.iter().map(|p| p.1).collect();
+        let scale: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        let v = simd::dot_with(Backend::Avx2, &a, &b);
+        let s = simd::dot_with(Backend::Scalar, &a, &b);
+        let tol = 1e-4f32 * scale.max(1.0);
+        prop_assert!((v - s).abs() <= tol || v.to_bits() == s.to_bits(),
+            "dot len {}: {v} vs {s}", a.len());
+    }
+
+    #[test]
+    fn simd_axpy_and_scale_agree_with_scalar(
+        x in vec(awkward_f32(), 0..70),
+        alpha in -3.0f32..3.0,
+    ) {
+        if Backend::detect() != Backend::Avx2 {
+            return Ok(());
+        }
+        let y0: Vec<f32> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+        let mut yv = y0.clone();
+        let mut ys = y0.clone();
+        simd::axpy_with(Backend::Avx2, alpha, &x, &mut yv);
+        simd::axpy_with(Backend::Scalar, alpha, &x, &mut ys);
+        for (i, (v, s)) in yv.iter().zip(&ys).enumerate() {
+            prop_assert!((v - s).abs() <= 1e-4 * s.abs().max(1.0) || v.to_bits() == s.to_bits(),
+                "axpy[{i}]: {v} vs {s}");
+        }
+        // scale is a plain lane-wise multiply: bitwise across backends
+        // (on identical inputs — the axpy outputs above already differ).
+        let mut zv = y0.clone();
+        let mut zs = y0.clone();
+        simd::scale_with(Backend::Avx2, alpha, &mut zv);
+        simd::scale_with(Backend::Scalar, alpha, &mut zs);
+        for (i, (v, s)) in zv.iter().zip(&zs).enumerate() {
+            prop_assert!(v.to_bits() == s.to_bits(), "scale[{i}]: {v} vs {s}");
+        }
+    }
+
+    #[test]
+    fn simd_gemv_chunk_agrees_with_scalar(
+        rows in 0usize..20,
+        cols_sel in 0usize..AWKWARD_LENS.len(),
+        seed in any::<u64>(),
+    ) {
+        if Backend::detect() != Backend::Avx2 {
+            return Ok(());
+        }
+        let cols = AWKWARD_LENS[cols_sel];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let chunk: Vec<f32> = (0..rows * cols).map(|_| next()).collect();
+        let x: Vec<f32> = (0..cols).map(|_| next()).collect();
+        let mut out_v = vec![0.0f32; rows];
+        let mut out_s = vec![0.0f32; rows];
+        simd::gemv_chunk_with(Backend::Avx2, &chunk, rows, &x, &mut out_v);
+        simd::gemv_chunk_with(Backend::Scalar, &chunk, rows, &x, &mut out_s);
+        for (r, (v, s)) in out_v.iter().zip(&out_s).enumerate() {
+            prop_assert!(approx_eq(*v, *s, 1e-4), "row {r} (cols {cols}): {v} vs {s}");
+        }
+    }
+
+    #[test]
+    fn simd_exp_slice_matches_libm_within_bound(
+        xs in vec(-87.0f32..87.0, 0..70),
+    ) {
+        if Backend::detect() != Backend::Avx2 {
+            return Ok(());
+        }
+        let mut v = xs.clone();
+        simd::exp_slice_with(Backend::Avx2, &mut v);
+        for (i, (&x, &e)) in xs.iter().zip(&v).enumerate() {
+            let exact = (x as f64).exp();
+            let rel = ((e as f64 - exact) / exact).abs();
+            prop_assert!(rel <= simd::EXP_MAX_REL_ERROR as f64,
+                "exp[{i}] of {x}: rel err {rel:.3e}");
+        }
+    }
+
+    #[test]
+    fn fused_chunk_agrees_across_backends(
+        rows in 0usize..24,
+        ed_sel in 0usize..AWKWARD_LENS.len(),
+        threshold in prop_oneof![Just(None), (0.1f32..2.0).prop_map(Some)],
+        seed in any::<u64>(),
+    ) {
+        if Backend::detect() != Backend::Avx2 {
+            return Ok(());
+        }
+        let ed = AWKWARD_LENS[ed_sel];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let in_flat: Vec<f32> = (0..rows * ed).map(|_| next()).collect();
+        let out_flat: Vec<f32> = (0..rows * ed).map(|_| next()).collect();
+        let u: Vec<f32> = (0..ed).map(|_| next()).collect();
+
+        let mut ws_v = vec![0.0f32; ed];
+        let mut ws_s = vec![0.0f32; ed];
+        let (denom_v, _) = simd::fused_chunk_lazy_with(
+            Backend::Avx2, &in_flat, &out_flat, rows, &u, threshold, &mut ws_v);
+        let (denom_s, skip_s) = simd::fused_chunk_lazy_with(
+            Backend::Scalar, &in_flat, &out_flat, rows, &u, threshold, &mut ws_s);
+        // The fast exp can flip a weight across the threshold only when the
+        // weight is within EXP_MAX_REL_ERROR of it, so skip counts may differ
+        // by the rows whose weights straddle the boundary; denominators and
+        // weighted sums must still agree to kernel tolerance.
+        prop_assert!(approx_eq(denom_v, denom_s, 1e-4), "denom: {denom_v} vs {denom_s}");
+        for (i, (v, s)) in ws_v.iter().zip(&ws_s).enumerate() {
+            prop_assert!((v - s).abs() <= 1e-4 * denom_s.max(1.0),
+                "weighted_sum[{i}]: {v} vs {s}");
+        }
+        // Scalar fused must be bitwise identical to the scalar two-pass path.
+        let mut logits = vec![0.0f32; rows];
+        simd::gemv_chunk_with(Backend::Scalar, &in_flat, rows, &u, &mut logits);
+        let mut ws_ref = vec![0.0f32; ed];
+        let mut denom_ref = 0.0f32;
+        let mut skip_ref = 0u64;
+        for (r, &x) in logits.iter().enumerate() {
+            let w = x.exp();
+            denom_ref += w;
+            match threshold {
+                Some(th) if w < th => skip_ref += 1,
+                _ => simd::axpy_with(
+                    Backend::Scalar, w, &out_flat[r * ed..(r + 1) * ed], &mut ws_ref),
+            }
+        }
+        prop_assert_eq!(skip_s, skip_ref);
+        prop_assert_eq!(denom_s.to_bits(), denom_ref.to_bits());
+        for (v, s) in ws_s.iter().zip(&ws_ref) {
+            prop_assert_eq!(v.to_bits(), s.to_bits());
+        }
     }
 
     #[test]

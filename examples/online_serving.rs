@@ -88,8 +88,8 @@ fn main() {
         hist.total().mean_nanos() as f64 / 1e3,
         hist.total().quantile_upper_bound(0.95) as f64 / 1e3,
         hist.total().count(),
-        session.cumulative_trace().nanos(Phase::InnerProduct) as f64 * 100.0
+        session.cumulative_trace().nanos(Phase::FusedChunk) as f64 * 100.0
             / session.cumulative_trace().total_nanos().max(1) as f64,
-        Phase::InnerProduct.label(),
+        Phase::FusedChunk.label(),
     );
 }
