@@ -1,0 +1,22 @@
+//! Fault-free overhead of the per-chunk budget checks (deadline and
+//! cancellation) on the column hot path. Emits the machine-readable
+//! `BENCH_robustness.json`; with `--check` the process exits nonzero when
+//! the measured overhead exceeds the 2% acceptance bound.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::robustness_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_robustness.json") {
+        Ok(()) => println!("wrote BENCH_robustness.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.within_bound() {
+        eprintln!(
+            "budget-check overhead exceeds {}%",
+            mnn_bench::robustness_report::OVERHEAD_BOUND_PERCENT
+        );
+        std::process::exit(1);
+    }
+}

@@ -249,7 +249,7 @@ mod tests {
     fn table_has_phase_columns() {
         let report = run(Scale::Smoke);
         let t = report.table();
-        assert_eq!(t.headers.len(), 3 + 6);
+        assert_eq!(t.headers.len(), 3 + Phase::ALL.len());
         assert!(t.headers.iter().any(|h| h == "fused_chunk"));
         assert_eq!(t.rows.len(), 4);
     }

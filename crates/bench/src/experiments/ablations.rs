@@ -10,7 +10,7 @@ use mnn_dataset::zipf::ZipfSampler;
 use mnn_memsim::hierarchy::{replay_hierarchy, CacheHierarchy};
 use mnn_memsim::{EmbeddingCache, Variant};
 use mnn_tensor::Matrix;
-use mnnfast::{BatchEngine, ColumnEngine, MnnFastConfig, SoftmaxMode};
+use mnnfast::{BatchEngine, ColumnEngine, EngineError, MnnFastConfig, SoftmaxMode};
 use std::time::Instant;
 
 fn memories(ns: usize, ed: usize) -> (Matrix, Matrix, Vec<f32>) {
@@ -78,23 +78,29 @@ pub fn softmax_modes(scale: Scale) -> ExperimentTable {
     ]);
 
     // Overflow regime: logits near 120 ⇒ e^x overflows f32 in lazy mode.
+    // The engine refuses to return the non-finite response — the overflow
+    // surfaces as a NumericFault rather than as Inf in the output.
     let hot_u: Vec<f32> = vec![60.0; ed];
     let hot_in = Matrix::from_fn(256, ed, |r, _| 0.12 + (r as f32) * 1e-5);
     let hot_out = Matrix::from_fn(256, ed, |_, c| c as f32 * 0.1);
-    let lazy_hot = ColumnEngine::new(MnnFastConfig::new(64))
-        .forward(&hot_in, &hot_out, &hot_u)
-        .expect("valid shapes");
+    let lazy_hot_finite =
+        match ColumnEngine::new(MnnFastConfig::new(64)).forward(&hot_in, &hot_out, &hot_u) {
+            Ok(out) => out.o.iter().all(|v| v.is_finite()),
+            Err(EngineError::NumericFault { .. }) => false,
+            Err(e) => panic!("unexpected engine error: {e}"),
+        };
     let online_hot = ColumnEngine::new(MnnFastConfig::new(64).with_softmax(SoftmaxMode::Online))
         .forward(&hot_in, &hot_out, &hot_u)
         .expect("valid shapes");
     t.row(vec![
         "overflow logits (~115)".into(),
-        lazy_hot.o.iter().all(|v| v.is_finite()).to_string(),
+        lazy_hot_finite.to_string(),
         online_hot.o.iter().all(|v| v.is_finite()).to_string(),
         "-".into(),
     ]);
     t.note("the paper's lazy softmax (Eq. 4) is exact for trained models;");
     t.note("the online variant additionally survives unbounded logits");
+    t.note("lazy overflow is caught at chunk-merge time (NumericFault), not returned");
     t
 }
 

@@ -21,10 +21,12 @@
 //! | `fig14_embedding_cache` | Fig 14 | [`experiments::accelerators::fig14`] |
 //! | `sec55_energy` | Section 5.5 | [`experiments::accelerators::sec55`] |
 //! | `bench_kernels` | kernel backend (BENCH_kernels.json) | [`kernel_report`] |
+//! | `bench_robustness` | budget-check overhead (BENCH_robustness.json) | [`robustness_report`] |
 
 pub mod engine_report;
 pub mod experiments;
 pub mod kernel_report;
+pub mod robustness_report;
 pub mod table;
 
 /// How large an experiment run should be.

@@ -24,6 +24,7 @@ use mnn_serve::{Session, SessionConfig};
 use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, Scratch, SkipPolicy, Trace};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
+use std::time::Duration;
 
 /// Exit status of a CLI invocation.
 pub type CliResult = Result<(), String>;
@@ -113,13 +114,16 @@ USAGE:
                  [--skip 0.01] [--seed 8] [--data <babi.txt>] [--trace]
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
                  [--engine auto|column|streaming|parallel] [--threads 1]
-                 [--trace]
+                 [--deadline-ms 0] [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
 `--engine` picks the execution variant (auto selects from memory size and
 thread count); `--trace` prints a per-phase time breakdown (inner product,
-exp/accumulate, skip, merge, divide) after the run.
+exp/accumulate, skip, merge, divide) after the run. `--deadline-ms` puts a
+per-question deadline on serve (0 disables); questions past the deadline
+fail with an error but leave the session usable, and answers recovered
+from a numeric fault on the stable path are marked `[degraded]`.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -387,6 +391,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         })?,
     };
     let threads = options.get("threads", 1usize)?;
+    let deadline_ms = options.get("deadline-ms", 0u64)?;
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -397,7 +402,9 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         ))
         .with_kind(kind),
         max_sentences: (window > 0).then_some(window),
+        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         trace: options.switch("trace"),
+        ..SessionConfig::default()
     };
     let mut session = Session::new(model, config).map_err(|e| e.to_string())?;
     writeln!(
@@ -423,8 +430,11 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
             match session.ask_text(question, &vocab) {
                 Ok((word, answer)) => writeln!(
                     out,
-                    "-> {word} (p={:.2}, {} of {} rows skipped)",
-                    answer.probability, answer.stats.rows_skipped, answer.stats.rows_total
+                    "-> {word} (p={:.2}, {} of {} rows skipped){}",
+                    answer.probability,
+                    answer.stats.rows_skipped,
+                    answer.stats.rows_total,
+                    if answer.degraded { " [degraded]" } else { "" }
                 )
                 .map_err(|e| e.to_string())?,
                 Err(e) => writeln!(out, "!! {e}").map_err(|e| e.to_string())?,
@@ -444,6 +454,22 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         session.cumulative_stats().computation_reduction() * 100.0
     )
     .map_err(|e| e.to_string())?;
+    let health = session.degradation_stats();
+    if health.deadline_misses + health.numeric_faults > 0 {
+        writeln!(
+            out,
+            "health: {} deadline misses, {} numeric faults, {} degraded answers{}",
+            health.deadline_misses,
+            health.numeric_faults,
+            health.degraded_answers,
+            if health.pinned_safe {
+                " (pinned to safe path)"
+            } else {
+                ""
+            }
+        )
+        .map_err(|e| e.to_string())?;
+    }
     if config.trace {
         write!(out, "{}", session.cumulative_trace().render()).map_err(|e| e.to_string())?;
     }
@@ -641,6 +667,46 @@ mod tests {
 
         // Bad engine names error instead of silently defaulting.
         assert!(run_cli(&["serve", "--model", model_str, "--engine", "warp"], stdin).is_err());
+    }
+
+    #[test]
+    fn serve_accepts_deadline_flag() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        // A generous deadline answers normally and prints no health line.
+        let stdin = "mary went to the kitchen\nwhere is mary?\n:quit\n";
+        let out = run_cli(
+            &["serve", "--model", model_str, "--deadline-ms", "60000"],
+            stdin,
+        )
+        .unwrap();
+        assert!(out.contains("-> "), "{out}");
+        assert!(!out.contains("health:"), "{out}");
+
+        // Bad values error instead of silently disabling the deadline.
+        let err = run_cli(
+            &["serve", "--model", model_str, "--deadline-ms", "soon"],
+            stdin,
+        );
+        assert!(err.unwrap_err().contains("deadline-ms"));
     }
 
     #[test]

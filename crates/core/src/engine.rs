@@ -11,6 +11,7 @@
 //! scale-out variants wrap it and reuse its per-chunk kernel, so all three
 //! produce bitwise-identical results.
 
+use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
@@ -18,6 +19,7 @@ use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix, ShapeError};
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Errors reported by the engine variants.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +35,26 @@ pub enum EngineError {
         /// `M_OUT` shape.
         m_out: (usize, usize),
     },
+    /// The pass overran its [`crate::Budget`] deadline and was abandoned at
+    /// a chunk boundary.
+    DeadlineExceeded {
+        /// The time limit that was configured on the budget.
+        budget: Duration,
+    },
+    /// The pass's [`crate::CancelToken`] was tripped.
+    Cancelled,
+    /// A non-finite value (NaN/∞) was detected in the softmax accumulator.
+    ///
+    /// This is the runtime guard for the fused fast-exp clamp contract: a
+    /// poisoned logit turns the lazy-softmax denominator non-finite, which
+    /// every variant checks at merge time, so garbage never silently
+    /// propagates into an answer. The serving layer reacts by retrying once
+    /// on the scalar stable path (two-pass + running-max softmax).
+    NumericFault {
+        /// Where the non-finite value was caught (`"chunk merge"` or
+        /// `"normalize"`).
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +67,13 @@ impl fmt::Display for EngineError {
                 "memory shape mismatch: M_IN is {}x{}, M_OUT is {}x{}",
                 m_in.0, m_in.1, m_out.0, m_out.1
             ),
+            EngineError::DeadlineExceeded { budget } => {
+                write!(f, "deadline exceeded: budget was {budget:?}")
+            }
+            EngineError::Cancelled => write!(f, "request cancelled"),
+            EngineError::NumericFault { stage } => {
+                write!(f, "numeric fault: non-finite value detected at {stage}")
+            }
         }
     }
 }
@@ -394,8 +423,32 @@ impl ColumnEngine {
     }
 }
 
+/// Merge-time numeric guard shared by every engine variant: a poisoned
+/// logit (NaN, or an overflowed exponent) always drives the softmax
+/// denominator non-finite, so one scalar check per merge catches it.
+#[inline]
+pub(crate) fn check_denom(denom: f32, stage: &'static str) -> Result<(), EngineError> {
+    if denom.is_finite() {
+        Ok(())
+    } else {
+        Err(EngineError::NumericFault { stage })
+    }
+}
+
+/// Final-output numeric guard: `O(ed)` scan after the single lazy division.
+/// Catches faults that leave the denominator finite (e.g. a NaN confined to
+/// an `M_OUT` row's weighted sum).
+#[inline]
+pub(crate) fn check_output(o: &[f32]) -> Result<(), EngineError> {
+    if o.iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(EngineError::NumericFault { stage: "normalize" })
+    }
+}
+
 impl Executor for ColumnEngine {
-    fn forward_prefix(
+    fn forward_prefix_budgeted(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
@@ -403,6 +456,7 @@ impl Executor for ColumnEngine {
         u: &[f32],
         scratch: &mut Scratch,
         trace: &mut Trace,
+        budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
         self.check(m_in, m_out, u)?;
         check_rows(m_in, rows, "ColumnEngine::forward_prefix")?;
@@ -418,6 +472,7 @@ impl Executor for ColumnEngine {
             trace.record(Phase::Skip, t0, 0);
             let mut row = 0usize;
             while row < rows {
+                budget.check()?;
                 let n = chunk.min(rows - row);
                 partial.reset(ed);
                 self.process_chunk_flat(
@@ -434,6 +489,7 @@ impl Executor for ColumnEngine {
                 let t0 = trace.begin();
                 main.merge_from(&partial);
                 trace.record(Phase::Merge, t0, 1);
+                check_denom(main.denom(), "chunk merge")?;
                 row += n;
             }
             denominator = main.denom();
@@ -442,6 +498,7 @@ impl Executor for ColumnEngine {
         let t0 = trace.begin();
         scratch.finish_main(self.config.softmax, &mut o);
         trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
         // The lazy division: ed operations, NOT ns (Section 3.1's
         // division-count reduction).
         stats.divisions += ed as u64;

@@ -30,6 +30,8 @@
 //! | [`Phase::Skip`] | skip-threshold resolution (the Probability pre-pass) | rows skipped |
 //! | [`Phase::Merge`] | folding chunk partials into the running total | partials merged |
 //! | [`Phase::Divide`] | the single lazy-softmax division | `ed` divisions |
+//! | [`Phase::Admission`] | pool admission-control decision (serve layer) | admission checks |
+//! | [`Phase::Retry`] | degraded re-execution after a numeric fault (serve layer) | retries |
 //!
 //! With the default fused configuration the per-chunk work lands in
 //! `FusedChunk` and the `InnerProduct`/`ExpAccumulate` rows stay zero;
@@ -42,6 +44,7 @@
 //! time; on the streaming path the staging copies overlap compute and are
 //! deliberately untimed.
 
+use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SoftmaxMode};
 use crate::engine::{AccumMut, ColumnOutput, EngineError};
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
@@ -68,17 +71,29 @@ pub enum Phase {
     Merge,
     /// The final lazy-softmax division.
     Divide,
+    /// Admission-control decision time (recorded by the serving pool, not
+    /// the engines).
+    Admission,
+    /// Degraded re-execution after a numeric fault: the time spent on the
+    /// scalar-stable retry pass (recorded by the serving session).
+    Retry,
 }
+
+/// Number of [`Phase`] variants (array sizes in [`Trace`] and
+/// [`PhaseHistograms`]).
+const PHASES: usize = 8;
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; PHASES] = [
         Phase::InnerProduct,
         Phase::ExpAccumulate,
         Phase::FusedChunk,
         Phase::Skip,
         Phase::Merge,
         Phase::Divide,
+        Phase::Admission,
+        Phase::Retry,
     ];
 
     /// Stable machine-readable name (used in JSON output and CLI tables).
@@ -90,6 +105,8 @@ impl Phase {
             Phase::Skip => "skip",
             Phase::Merge => "merge",
             Phase::Divide => "divide",
+            Phase::Admission => "admission",
+            Phase::Retry => "retry",
         }
     }
 
@@ -102,6 +119,8 @@ impl Phase {
             Phase::Skip => 3,
             Phase::Merge => 4,
             Phase::Divide => 5,
+            Phase::Admission => 6,
+            Phase::Retry => 7,
         }
     }
 }
@@ -114,8 +133,8 @@ impl Phase {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Trace {
     enabled: bool,
-    nanos: [u64; 6],
-    counts: [u64; 6],
+    nanos: [u64; PHASES],
+    counts: [u64; PHASES],
 }
 
 impl Trace {
@@ -175,7 +194,7 @@ impl Trace {
     /// Folds another trace's phases into this one (cumulative serving
     /// stats, scale-out worker absorption).
     pub fn absorb(&mut self, other: &Trace) {
-        for i in 0..6 {
+        for i in 0..PHASES {
             self.nanos[i] += other.nanos[i];
             self.counts[i] += other.counts[i];
         }
@@ -198,8 +217,8 @@ impl Trace {
 
     /// Zeroes all counters, keeping the enabled flag.
     pub fn reset(&mut self) {
-        self.nanos = [0; 6];
-        self.counts = [0; 6];
+        self.nanos = [0; PHASES];
+        self.counts = [0; PHASES];
     }
 
     /// Multi-line human-readable per-phase breakdown.
@@ -312,7 +331,7 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseHistograms {
     total: LatencyHistogram,
-    per_phase: [LatencyHistogram; 6],
+    per_phase: [LatencyHistogram; PHASES],
 }
 
 impl PhaseHistograms {
@@ -695,15 +714,41 @@ impl ExecPlan {
 /// [`crate::StreamingEngine`], [`crate::ParallelEngine`] and
 /// [`PlanExecutor`].
 pub trait Executor: Send + Sync + fmt::Debug {
-    /// Computes the response vector over the first `rows` memory entries,
-    /// reusing `scratch` buffers and recording per-phase timings into
-    /// `trace` (free when the trace is disabled).
+    /// Computes the response vector over the first `rows` memory entries
+    /// under an execution [`Budget`], reusing `scratch` buffers and
+    /// recording per-phase timings into `trace` (free when the trace is
+    /// disabled).
+    ///
+    /// Every variant checks `budget` once per chunk and validates the
+    /// softmax denominator at each merge, so a deadline, a cancellation, or
+    /// a numeric fault surfaces within one chunk's work — never as silent
+    /// garbage.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError`] on invalid configuration, mismatched operand
     /// shapes, or `rows > m_in.rows()` ([`EngineError::Shape`], never a
-    /// panic).
+    /// panic); [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`]
+    /// when the budget fails mid-pass; [`EngineError::NumericFault`] when a
+    /// non-finite value reaches an accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_prefix_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError>;
+
+    /// [`Executor::forward_prefix_budgeted`] with an unlimited budget — the
+    /// hot-path entry point (the unlimited check never reads the clock).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_prefix_budgeted`], minus the budget errors.
     fn forward_prefix(
         &self,
         m_in: &Matrix,
@@ -712,7 +757,9 @@ pub trait Executor: Send + Sync + fmt::Debug {
         u: &[f32],
         scratch: &mut Scratch,
         trace: &mut Trace,
-    ) -> Result<ColumnOutput, EngineError>;
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, &Budget::unlimited())
+    }
 
     /// The dataflow configuration this executor runs.
     fn config(&self) -> MnnFastConfig;
@@ -750,7 +797,7 @@ impl PlanExecutor {
 }
 
 impl Executor for PlanExecutor {
-    fn forward_prefix(
+    fn forward_prefix_budgeted(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
@@ -758,17 +805,18 @@ impl Executor for PlanExecutor {
         u: &[f32],
         scratch: &mut Scratch,
         trace: &mut Trace,
+        budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
         match self.plan.resolve(rows, u.len()) {
             EngineKind::Column | EngineKind::Auto => self
                 .column
-                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+                .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget),
             EngineKind::Streaming => self
                 .streaming
-                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+                .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget),
             EngineKind::Parallel => self
                 .parallel
-                .forward_prefix(m_in, m_out, rows, u, scratch, trace),
+                .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget),
         }
     }
 

@@ -8,6 +8,7 @@
 //! [`Executor`] trait object the serving layer dispatches on — one seam,
 //! no parallel trait hierarchy.
 
+use crate::budget::Budget;
 use crate::engine::EngineError;
 use crate::exec::{Executor, Scratch, Trace};
 use crate::stats::InferenceStats;
@@ -53,6 +54,40 @@ pub fn multi_hop(
     scratch: &mut Scratch,
     trace: &mut Trace,
 ) -> Result<HopsOutput, EngineError> {
+    multi_hop_budgeted(
+        exec,
+        m_in,
+        m_out,
+        rows,
+        u0,
+        hops,
+        scratch,
+        trace,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`multi_hop`] under an execution [`Budget`]: one budget covers the whole
+/// hop chain, checked once per chunk inside every hop's forward pass (the
+/// serving layer's per-question deadline spans all hops of the question).
+///
+/// # Errors
+///
+/// As [`multi_hop`], plus [`EngineError::DeadlineExceeded`] /
+/// [`EngineError::Cancelled`] when the budget fails mid-chain and
+/// [`EngineError::NumericFault`] when an accumulator goes non-finite.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_budgeted(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    rows: usize,
+    u0: &[f32],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budget: &Budget,
+) -> Result<HopsOutput, EngineError> {
     if hops == 0 {
         return Err(EngineError::Config("hops must be positive".into()));
     }
@@ -63,7 +98,7 @@ pub fn multi_hop(
     let mut o = Vec::new();
 
     for _ in 0..hops {
-        let out = exec.forward_prefix(m_in, m_out, rows, &u, scratch, trace)?;
+        let out = exec.forward_prefix_budgeted(m_in, m_out, rows, &u, scratch, trace, budget)?;
         // Sequential hops: counters add, peak intermediates take the max
         // (which is what `merge` does).
         stats.merge(&out.stats);

@@ -51,6 +51,7 @@ mod config;
 mod stats;
 
 pub mod batch;
+pub mod budget;
 pub mod engine;
 pub mod exec;
 pub mod hops;
@@ -58,13 +59,14 @@ pub mod parallel;
 pub mod streaming;
 
 pub use batch::{BatchEngine, BatchOutput};
+pub use budget::{Budget, CancelToken};
 pub use config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
 pub use engine::{ColumnEngine, ColumnOutput, EngineError};
 pub use exec::{
     EngineKind, ExecPlan, Executor, LatencyHistogram, Phase, PhaseHistograms, PlanExecutor,
     Scratch, Trace,
 };
-pub use hops::{multi_hop, multi_hop_simple, HopsOutput};
+pub use hops::{multi_hop, multi_hop_budgeted, multi_hop_simple, HopsOutput};
 pub use parallel::ParallelEngine;
 pub use stats::InferenceStats;
 pub use streaming::StreamingEngine;

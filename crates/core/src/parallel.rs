@@ -9,10 +9,14 @@
 //! engines perform — so the output is bitwise identical to
 //! [`crate::ColumnEngine`] at any thread count.
 
-use crate::engine::{check_rows, ColumnEngine, ColumnOutput, EngineError};
+use crate::budget::Budget;
+use crate::engine::{
+    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+};
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Multi-threaded scale-out wrapper around [`ColumnEngine`].
 ///
@@ -68,7 +72,7 @@ impl Executor for ParallelEngine {
     /// scratches; the main thread merges them in global chunk order, then
     /// applies the lazy division once. Worker phase times are CPU time
     /// summed across threads (they can exceed wall time).
-    fn forward_prefix(
+    fn forward_prefix_budgeted(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
@@ -76,13 +80,16 @@ impl Executor for ParallelEngine {
         u: &[f32],
         scratch: &mut Scratch,
         trace: &mut Trace,
+        budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
         check_rows(m_in, rows, "ParallelEngine::forward_prefix")?;
         let config = self.engine.config();
         let threads = config.threads.min(rows).max(1);
         if threads == 1 {
-            return Executor::forward_prefix(&self.engine, m_in, m_out, rows, u, scratch, trace);
+            return self
+                .engine
+                .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget);
         }
 
         let mut stats = InferenceStats::default();
@@ -106,8 +113,15 @@ impl Executor for ParallelEngine {
 
         let enabled = trace.is_enabled();
         let engine = self.engine;
+        // Cooperative abort: the first worker whose per-chunk budget check
+        // fails trips the flag so its peers stop at their next chunk. The
+        // main thread re-runs `budget.check()` after the join — deadline
+        // expiry and cancellation are monotone, so it observes the same
+        // error the worker did.
+        let abort = AtomicBool::new(false);
         let partials = {
             let workers = scratch.workers(threads);
+            let abort = &abort;
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(threads);
                 for (t, ws) in workers.iter_mut().enumerate() {
@@ -128,6 +142,10 @@ impl Executor for ParallelEngine {
                         let mut idx = 0usize;
                         let mut row = start;
                         while row < end {
+                            if abort.load(Ordering::Relaxed) || budget.check().is_err() {
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
                             let n = chunk.min(end - row);
                             let (logits, mut acc) =
                                 ws.chunk_slot(config.softmax, ed, logit_len, idx);
@@ -155,6 +173,13 @@ impl Executor for ParallelEngine {
                     .collect::<Vec<_>>()
             })
         };
+        if abort.load(Ordering::Relaxed) {
+            // A worker saw the budget fail; surface the same error.
+            budget.check()?;
+            // The flag can only be set by a failed check, and budget
+            // failures are permanent — but never return garbage if not.
+            return Err(EngineError::Cancelled);
+        }
 
         for (local, ltrace) in &partials {
             trace.absorb(ltrace);
@@ -170,11 +195,13 @@ impl Executor for ParallelEngine {
         let t0 = trace.begin();
         let (denominator, merged) = scratch.merge_worker_partials(config.softmax, ed, threads);
         trace.record(Phase::Merge, t0, merged);
+        check_denom(denominator, "chunk merge")?;
 
         let mut o = scratch.take_out(ed);
         let t0 = trace.begin();
         scratch.finish_main(config.softmax, &mut o);
         trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
         stats.divisions += ed as u64;
         stats.flops += ed as u64;
         Ok(ColumnOutput {

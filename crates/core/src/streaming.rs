@@ -11,7 +11,10 @@
 //! — the caller's thread — runs the same per-chunk kernel as the sequential
 //! engine, so results are bit-identical to [`ColumnEngine::forward`].
 
-use crate::engine::{check_rows, ColumnEngine, ColumnOutput, EngineError};
+use crate::budget::Budget;
+use crate::engine::{
+    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+};
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
@@ -91,7 +94,7 @@ impl StreamingEngine {
 }
 
 impl Executor for StreamingEngine {
-    fn forward_prefix(
+    fn forward_prefix_budgeted(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
@@ -99,6 +102,7 @@ impl Executor for StreamingEngine {
         u: &[f32],
         scratch: &mut Scratch,
         trace: &mut Trace,
+        budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
         check_rows(m_in, rows, "StreamingEngine::forward_prefix")?;
@@ -155,8 +159,16 @@ impl Executor for StreamingEngine {
 
                 // Consumer: identical math to the sequential engine —
                 // chunks arrive in order and fold through the same
-                // per-chunk partial merge.
+                // per-chunk partial merge. A failed budget check or a
+                // numeric fault breaks the loop; dropping the receiver
+                // makes the producer's next send fail, so it exits too and
+                // the scope joins cleanly.
+                let mut aborted = None;
                 for staged in rx.iter() {
+                    if let Err(e) = budget.check() {
+                        aborted = Some(e);
+                        break;
+                    }
                     partial.reset(ed);
                     self.engine.process_chunk_flat(
                         &staged.in_data,
@@ -172,9 +184,16 @@ impl Executor for StreamingEngine {
                     let t0 = trace.begin();
                     main.merge_from(&partial);
                     trace.record(Phase::Merge, t0, 1);
+                    if let Err(e) = check_denom(main.denom(), "chunk merge") {
+                        aborted = Some(e);
+                        break;
+                    }
                     let _ = recycle_tx.send(staged); // hand the buffer back
                 }
-            });
+                drop(rx);
+                aborted
+            })
+            .map_or(Ok(()), Err)?;
             denominator = main.denom();
         }
 
@@ -184,6 +203,7 @@ impl Executor for StreamingEngine {
         let t0 = trace.begin();
         scratch.finish_main(config.softmax, &mut o);
         trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
         stats.divisions += ed as u64;
         stats.flops += ed as u64;
         Ok(ColumnOutput {

@@ -38,6 +38,8 @@ mod pool;
 mod session;
 mod store;
 
-pub use pool::{PoolError, PoolStats, SessionPool};
-pub use session::{Answer, ServeError, Session, SessionConfig};
+pub use pool::{AdmissionConfig, PoolError, PoolStats, SessionPool};
+pub use session::{
+    Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,
+};
 pub use store::MemoryStore;

@@ -10,9 +10,10 @@
 use crate::session::{Answer, ServeError, Session, SessionConfig};
 use mnn_dataset::WordId;
 use mnn_memnn::MemNet;
-use mnnfast::{InferenceStats, PhaseHistograms, Trace};
+use mnnfast::{InferenceStats, Phase, PhaseHistograms, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors specific to the pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,15 @@ pub enum PoolError {
     UnknownTenant(String),
     /// A tenant with that name already exists.
     DuplicateTenant(String),
+    /// The admission controller shed this question: admitting it would
+    /// exceed the pool's pending-work budget. Callers should back off and
+    /// resubmit; the bucket refills at [`AdmissionConfig::refill_per_sec`].
+    Overloaded {
+        /// Work units this question would cost (memory rows × hops).
+        needed: u64,
+        /// Work units currently available in the bucket.
+        available: u64,
+    },
     /// Error from the tenant's session.
     Session(ServeError),
 }
@@ -30,12 +40,36 @@ impl fmt::Display for PoolError {
         match self {
             PoolError::UnknownTenant(t) => write!(f, "unknown tenant '{t}'"),
             PoolError::DuplicateTenant(t) => write!(f, "tenant '{t}' already exists"),
+            PoolError::Overloaded { needed, available } => write!(
+                f,
+                "overloaded: question needs {needed} work units, {available} available"
+            ),
             PoolError::Session(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for PoolError {}
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Admission-control parameters: a token bucket over *work units*, where
+/// one unit is one memory row attended over one hop. Bounding work units
+/// rather than question count keeps the shed decision proportional to the
+/// actual O(rows × hops × ed) cost a question would add.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Bucket capacity: the largest burst of pending work the pool admits.
+    pub capacity: u64,
+    /// Refill rate in work units per second (`0` never refills — useful
+    /// for deterministic tests).
+    pub refill_per_sec: u64,
+}
 
 impl From<ServeError> for PoolError {
     fn from(e: ServeError) -> Self {
@@ -63,6 +97,52 @@ pub struct PoolStats {
     /// Per-phase latency histograms merged across tenants (empty unless
     /// sessions run with [`SessionConfig::trace`] set).
     pub phases: PhaseHistograms,
+    /// Questions shed by the admission controller ([`PoolError::Overloaded`]).
+    pub shed_questions: u64,
+    /// Questions abandoned pool-wide because their deadline expired.
+    pub deadline_misses: u64,
+    /// Numeric faults observed pool-wide.
+    pub numeric_faults: u64,
+    /// Answers produced by the safe path pool-wide (degradation retries
+    /// plus questions answered while pinned).
+    pub degraded_answers: u64,
+    /// Tenants currently pinned to the safe path by their
+    /// [`crate::DegradationPolicy`].
+    pub pinned_sessions: usize,
+}
+
+/// Token-bucket state for the admission controller.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    config: AdmissionConfig,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl Bucket {
+    fn new(config: AdmissionConfig) -> Self {
+        Self {
+            config,
+            tokens: config.capacity as f64,
+            last_refill: Instant::now(),
+        }
+    }
+
+    /// Refills from elapsed wall time, then either debits `cost` work
+    /// units or reports how many were available.
+    fn admit(&mut self, cost: u64) -> Result<(), u64> {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last_refill);
+        self.last_refill = now;
+        let refill = elapsed.as_secs_f64() * self.config.refill_per_sec as f64;
+        self.tokens = (self.tokens + refill).min(self.config.capacity as f64);
+        if self.tokens >= cost as f64 {
+            self.tokens -= cost as f64;
+            Ok(())
+        } else {
+            Err(self.tokens as u64)
+        }
+    }
 }
 
 /// A pool of per-tenant [`Session`]s sharing one trained model.
@@ -72,6 +152,9 @@ pub struct SessionPool {
     config: SessionConfig,
     sessions: BTreeMap<String, Session>,
     embedding_lookups: u64,
+    bucket: Option<Bucket>,
+    shed_questions: u64,
+    admission_trace: Trace,
 }
 
 impl SessionPool {
@@ -88,7 +171,21 @@ impl SessionPool {
             config,
             sessions: BTreeMap::new(),
             embedding_lookups: 0,
+            bucket: None,
+            shed_questions: 0,
+            admission_trace: if config.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
         })
+    }
+
+    /// Enables admission control (builder-style). Without it the pool
+    /// admits every question.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.bucket = Some(Bucket::new(admission));
+        self
     }
 
     /// Number of tenants.
@@ -142,16 +239,32 @@ impl SessionPool {
         Ok(evicted)
     }
 
-    /// Asks `tenant` a question.
+    /// Asks `tenant` a question, subject to admission control when
+    /// configured via [`SessionPool::with_admission`].
     ///
     /// # Errors
     ///
-    /// [`PoolError::UnknownTenant`] or the session's error.
+    /// [`PoolError::UnknownTenant`], [`PoolError::Overloaded`] when the
+    /// pending-work budget is exhausted, or the session's error.
     pub fn ask(&mut self, tenant: &str, question: &[WordId]) -> Result<Answer, PoolError> {
         let session = self
             .sessions
             .get_mut(tenant)
             .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))?;
+        if let Some(bucket) = &mut self.bucket {
+            let t0 = self.admission_trace.begin();
+            let hops = session.model().config().hops as u64;
+            let cost = (session.memory_len() as u64 * hops).max(1);
+            let decision = bucket.admit(cost);
+            self.admission_trace.record(Phase::Admission, t0, 1);
+            if let Err(available) = decision {
+                self.shed_questions += 1;
+                return Err(PoolError::Overloaded {
+                    needed: cost,
+                    available,
+                });
+            }
+        }
         self.embedding_lookups += question.len() as u64;
         Ok(session.ask(question)?)
     }
@@ -161,14 +274,21 @@ impl SessionPool {
         let mut stats = PoolStats {
             tenants: self.sessions.len(),
             embedding_lookups: self.embedding_lookups,
+            shed_questions: self.shed_questions,
             ..PoolStats::default()
         };
+        stats.trace.absorb(&self.admission_trace);
         for session in self.sessions.values() {
             stats.total_sentences += session.memory_len();
             stats.questions_answered += session.questions_answered();
             stats.inference.merge(&session.cumulative_stats());
             stats.trace.absorb(&session.cumulative_trace());
             stats.phases.merge(session.phase_histograms());
+            let d = session.degradation_stats();
+            stats.deadline_misses += d.deadline_misses;
+            stats.numeric_faults += d.numeric_faults;
+            stats.degraded_answers += d.degraded_answers;
+            stats.pinned_sessions += usize::from(d.pinned_safe);
         }
         stats
     }
@@ -264,5 +384,70 @@ mod tests {
             pool.ask("t", &[0]),
             Err(PoolError::Session(ServeError::EmptyMemory))
         );
+    }
+
+    #[test]
+    fn admission_controller_sheds_when_overloaded() {
+        let (mut generator, pool) = pool();
+        // refill 0 makes the bucket deterministic: capacity admits exactly
+        // one 5-row × 1-hop question (cost 5) and then sheds.
+        let mut pool = pool.with_admission(AdmissionConfig {
+            capacity: 7,
+            refill_per_sec: 0,
+        });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 1);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        let q = &story.questions[0].tokens;
+        pool.ask("t", q).unwrap();
+        match pool.ask("t", q) {
+            Err(PoolError::Overloaded { needed, available }) => {
+                assert_eq!(needed, 5);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.shed_questions, 1);
+        // The shed question never reached the session.
+        assert_eq!(stats.questions_answered, 1);
+        assert_eq!(stats.inference.rows_total, 5);
+    }
+
+    #[test]
+    fn admission_bucket_refills_over_time() {
+        let (mut generator, pool) = pool();
+        // Capacity covers one question exactly; the generous refill rate
+        // restores the bucket within a millisecond.
+        let mut pool = pool.with_admission(AdmissionConfig {
+            capacity: 5,
+            refill_per_sec: 10_000_000,
+        });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 1);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        let q = &story.questions[0].tokens;
+        pool.ask("t", q).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        pool.ask("t", q).unwrap();
+        assert_eq!(pool.stats().shed_questions, 0);
+    }
+
+    #[test]
+    fn error_source_chains_to_engine_error() {
+        use mnnfast::engine::EngineError;
+        use std::error::Error as _;
+
+        let e = PoolError::Session(ServeError::Engine(EngineError::Cancelled));
+        let serve = e.source().expect("pool error wraps a serve error");
+        assert_eq!(serve.to_string(), "request cancelled");
+        let engine = serve.source().expect("serve error wraps an engine error");
+        assert_eq!(engine.to_string(), "request cancelled");
+        assert!(engine.source().is_none());
+        assert!(PoolError::UnknownTenant("x".into()).source().is_none());
     }
 }

@@ -5,12 +5,42 @@ use mnn_dataset::text;
 use mnn_dataset::{Vocabulary, WordId};
 use mnn_memnn::{MemNet, ModelConfig};
 use mnn_tensor::{reduce, softmax};
+use mnnfast::engine::EngineError;
 use mnnfast::{
-    multi_hop, ExecPlan, InferenceStats, MnnFastConfig, PhaseHistograms, PlanExecutor, Scratch,
-    Trace,
+    multi_hop_budgeted, Budget, ExecPlan, HopsOutput, InferenceStats, MnnFastConfig, Phase,
+    PhaseHistograms, PlanExecutor, Scratch, SoftmaxMode, Trace,
 };
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
+
+/// How a session reacts to [`EngineError::NumericFault`] from its engine.
+///
+/// The degradation ladder (paper-adjacent robustness extension): the fast
+/// path runs the fused SIMD kernel with the lazy softmax; when a numeric
+/// fault surfaces (NaN/Inf caught at chunk-merge or normalize time), the
+/// question is retried once on the *safe path* — the two-pass scalar
+/// formulation with the online (running-max) softmax, which is finite for
+/// arbitrary logits. Repeated faults can pin the session to the safe path
+/// permanently so a flaky substrate stops paying the retry tax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Retry a numerically faulted question once on the safe path instead
+    /// of surfacing the error (default `true`).
+    pub retry_on_numeric_fault: bool,
+    /// After this many numeric faults, pin the session to the safe path
+    /// for all subsequent questions; `None` never pins (default `Some(3)`).
+    pub pin_after_faults: Option<u32>,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            retry_on_numeric_fault: true,
+            pin_after_faults: Some(3),
+        }
+    }
+}
 
 /// Session configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +56,13 @@ pub struct SessionConfig {
     /// via [`Session::cumulative_trace`] / [`Session::phase_histograms`]).
     /// Off by default: disabled tracing costs nothing on the hot path.
     pub trace: bool,
+    /// Per-question deadline. Every [`Session::ask`] runs under a
+    /// [`Budget`] with this limit; engines check it once per chunk and
+    /// abandon the question with [`EngineError::DeadlineExceeded`] instead
+    /// of finishing late. `None` (default) never expires.
+    pub deadline: Option<Duration>,
+    /// Numeric-fault handling (see [`DegradationPolicy`]).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for SessionConfig {
@@ -34,6 +71,8 @@ impl Default for SessionConfig {
             plan: ExecPlan::new(MnnFastConfig::new(64)),
             max_sentences: None,
             trace: false,
+            deadline: None,
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -62,12 +101,34 @@ impl fmt::Display for ServeError {
     }
 }
 
-impl Error for ServeError {}
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<mnnfast::engine::EngineError> for ServeError {
     fn from(e: mnnfast::engine::EngineError) -> Self {
         ServeError::Engine(e)
     }
+}
+
+/// Robustness counters for one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// Numeric faults observed (whether or not the retry recovered).
+    pub numeric_faults: u64,
+    /// Questions answered via the safe path (retries plus every question
+    /// answered while pinned).
+    pub degraded_answers: u64,
+    /// Questions abandoned because their deadline expired.
+    pub deadline_misses: u64,
+    /// Whether the session is pinned to the safe path
+    /// (see [`DegradationPolicy::pin_after_faults`]).
+    pub pinned_safe: bool,
 }
 
 /// One answered question.
@@ -82,6 +143,11 @@ pub struct Answer {
     /// Per-phase timings for this question (all zero unless
     /// [`SessionConfig::trace`] is set).
     pub trace: Trace,
+    /// `true` if this answer came from the safe path — either a retry
+    /// after a numeric fault or a session pinned by its
+    /// [`DegradationPolicy`]. Degraded answers are numerically stable but
+    /// forgo the fused-kernel speedup.
+    pub degraded: bool,
 }
 
 /// A long-lived question-answering session.
@@ -99,11 +165,17 @@ pub struct Session {
     store: MemoryStore,
     config: SessionConfig,
     executor: PlanExecutor,
+    /// Safe-path executor: same engine kind, but the two-pass (non-fused)
+    /// formulation with the online softmax — finite for arbitrary logits
+    /// and free of the fused kernel's fast-exp. Used for numeric-fault
+    /// retries and for sessions pinned by their [`DegradationPolicy`].
+    safe_executor: PlanExecutor,
     scratch: Scratch,
     cumulative: InferenceStats,
     cumulative_trace: Trace,
     histograms: PhaseHistograms,
     questions_answered: u64,
+    degradation: DegradationStats,
 }
 
 impl Session {
@@ -132,16 +204,26 @@ impl Session {
             model.set_config(fixed);
         }
         let ed = model.embedding_dim();
+        let safe_plan = ExecPlan {
+            config: config
+                .plan
+                .config
+                .with_fused(false)
+                .with_softmax(SoftmaxMode::Online),
+            kind: config.plan.kind,
+        };
         Ok(Self {
             model,
             store: MemoryStore::new(ed, config.max_sentences),
             config,
             executor: config.plan.executor(),
+            safe_executor: safe_plan.executor(),
             scratch: Scratch::new(),
             cumulative: InferenceStats::default(),
             cumulative_trace: Trace::enabled(),
             histograms: PhaseHistograms::new(),
             questions_answered: 0,
+            degradation: DegradationStats::default(),
         })
     }
 
@@ -170,6 +252,12 @@ impl Session {
     /// Questions answered so far.
     pub fn questions_answered(&self) -> u64 {
         self.questions_answered
+    }
+
+    /// Robustness counters: numeric faults, degraded answers, deadline
+    /// misses, and whether the session is pinned to the safe path.
+    pub fn degradation_stats(&self) -> DegradationStats {
+        self.degradation
     }
 
     /// The underlying model (e.g. to decode answers via its vocabulary).
@@ -203,14 +291,39 @@ impl Session {
         Ok(self.store.push(&in_row, &out_row))
     }
 
-    /// Embeds and answers one question against the current memory.
+    /// Embeds and answers one question against the current memory, under
+    /// the deadline from [`SessionConfig::deadline`] (if any).
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::EmptyMemory`] before any sentence has been
     /// observed, [`ServeError::UnknownToken`] for out-of-vocabulary tokens,
-    /// or an engine error.
+    /// or an engine error ([`EngineError::DeadlineExceeded`] when the
+    /// deadline expires mid-question; [`EngineError::NumericFault`] only if
+    /// the degradation retry is disabled or itself faults).
     pub fn ask(&mut self, question: &[WordId]) -> Result<Answer, ServeError> {
+        let budget = match self.config.deadline {
+            Some(limit) => Budget::with_deadline(limit),
+            None => Budget::unlimited(),
+        };
+        self.ask_with_budget(question, &budget)
+    }
+
+    /// [`Session::ask`] under a caller-supplied [`Budget`] — e.g. a shared
+    /// cancellation token, or a deadline spanning several questions.
+    ///
+    /// A failed question (deadline, cancellation, unrecovered fault) leaves
+    /// the session intact: memory, cumulative statistics and scratch are
+    /// unchanged, and subsequent questions run normally.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::ask`].
+    pub fn ask_with_budget(
+        &mut self,
+        question: &[WordId],
+        budget: &Budget,
+    ) -> Result<Answer, ServeError> {
         if self.store.is_empty() {
             return Err(ServeError::EmptyMemory);
         }
@@ -223,26 +336,28 @@ impl Session {
             MemNet::embed_tokens(&self.model.b, question, &mut u);
         }
 
-        let hops = self.model.config().hops;
-        let rows = self.store.len();
         let mut trace = if self.config.trace {
             Trace::enabled()
         } else {
             Trace::disabled()
         };
-        let out = multi_hop(
-            &self.executor,
-            self.store.m_in(),
-            self.store.m_out(),
-            rows,
-            &u,
-            hops,
-            &mut self.scratch,
-            &mut trace,
-        )?;
+        let (out, degraded) = match self.forward(&u, &mut trace, budget) {
+            Ok(pair) => pair,
+            Err(e) => {
+                if matches!(e, EngineError::DeadlineExceeded { .. }) {
+                    self.degradation.deadline_misses += 1;
+                }
+                return Err(e.into());
+            }
+        };
+        if degraded {
+            self.degradation.degraded_answers += 1;
+        }
 
         let mut logits = self.model.output_logits(&out.o, &out.u_last);
-        let word = reduce::argmax(&logits).expect("non-empty vocabulary") as WordId;
+        let word = reduce::argmax(&logits)
+            .ok_or_else(|| ServeError::Model("model produced empty logits".into()))?
+            as WordId;
         softmax::softmax_in_place(&mut logits);
         self.cumulative.merge(&out.stats);
         self.cumulative_trace.absorb(&trace);
@@ -255,7 +370,70 @@ impl Session {
             probability: logits[word as usize],
             stats: out.stats,
             trace,
+            degraded,
         })
+    }
+
+    /// Runs the engine forward pass, applying the degradation ladder.
+    /// Returns the hop output and whether the safe path produced it.
+    fn forward(
+        &mut self,
+        u: &[f32],
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<(HopsOutput, bool), EngineError> {
+        let hops = self.model.config().hops;
+        let rows = self.store.len();
+        let primary = if self.degradation.pinned_safe {
+            &self.safe_executor
+        } else {
+            &self.executor
+        };
+        let first = multi_hop_budgeted(
+            primary,
+            self.store.m_in(),
+            self.store.m_out(),
+            rows,
+            u,
+            hops,
+            &mut self.scratch,
+            trace,
+            budget,
+        );
+        match first {
+            Ok(out) => Ok((out, self.degradation.pinned_safe)),
+            Err(EngineError::NumericFault { .. })
+                if !self.degradation.pinned_safe
+                    && self.config.degradation.retry_on_numeric_fault =>
+            {
+                self.degradation.numeric_faults += 1;
+                if let Some(limit) = self.config.degradation.pin_after_faults {
+                    if self.degradation.numeric_faults >= u64::from(limit) {
+                        self.degradation.pinned_safe = true;
+                    }
+                }
+                let t0 = trace.begin();
+                let retried = multi_hop_budgeted(
+                    &self.safe_executor,
+                    self.store.m_in(),
+                    self.store.m_out(),
+                    rows,
+                    u,
+                    hops,
+                    &mut self.scratch,
+                    trace,
+                    budget,
+                );
+                trace.record(Phase::Retry, t0, 1);
+                retried.map(|out| (out, true))
+            }
+            Err(e) => {
+                if matches!(e, EngineError::NumericFault { .. }) {
+                    self.degradation.numeric_faults += 1;
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Text-level [`Session::observe`]: tokenizes against `vocab` first.
@@ -360,8 +538,7 @@ mod tests {
         ] {
             let config = SessionConfig {
                 plan: ExecPlan::new(MnnFastConfig::new(4).with_threads(2)).with_kind(kind),
-                max_sentences: None,
-                trace: false,
+                ..SessionConfig::default()
             };
             let mut session = Session::new(model.clone(), config).unwrap();
             for s in &story.sentences {
@@ -404,6 +581,31 @@ mod tests {
         }
         assert_eq!(session.memory_len(), 4);
         assert_eq!(evictions, 4);
+    }
+
+    #[test]
+    fn eviction_between_questions_keeps_answers_consistent() {
+        let (mut generator, model) = trained_serving_model();
+        let config = SessionConfig {
+            max_sentences: Some(3),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model, config).unwrap();
+        let story = generator.story(8, 2);
+        for s in &story.sentences[..3] {
+            session.observe(s).unwrap();
+        }
+        let a1 = session.ask(&story.questions[0].tokens).unwrap();
+        assert_eq!(a1.stats.rows_total, 3);
+        // Push the window past its bound between questions; the next
+        // answer attends only over the surviving rows.
+        for s in &story.sentences[3..] {
+            session.observe(s).unwrap();
+        }
+        assert_eq!(session.memory_len(), 3);
+        let a2 = session.ask(&story.questions[1].tokens).unwrap();
+        assert_eq!(a2.stats.rows_total, 3);
+        assert!(a2.probability > 0.0 && a2.probability.is_finite());
     }
 
     #[test]
@@ -498,6 +700,74 @@ mod tests {
         // Unknown words surface as errors, not panics.
         assert!(session.observe_text("xyzzy teleported", &vocab).is_err());
         assert!(session.ask_text("where is xyzzy", &vocab).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_fails_cleanly_and_session_survives() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 2);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let budget = Budget::with_deadline(Duration::ZERO);
+        let err = session
+            .ask_with_budget(&story.questions[0].tokens, &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Engine(EngineError::DeadlineExceeded { .. })
+        ));
+        // The abandoned question corrupted nothing.
+        assert_eq!(session.degradation_stats().deadline_misses, 1);
+        assert_eq!(session.questions_answered(), 0);
+        assert_eq!(session.cumulative_stats().rows_total, 0);
+        assert_eq!(session.memory_len(), 6);
+        // The same question answers normally once the pressure is off.
+        let a = session.ask(&story.questions[0].tokens).unwrap();
+        assert!(!a.degraded);
+        assert_eq!(session.questions_answered(), 1);
+    }
+
+    #[test]
+    fn per_question_deadline_comes_from_config() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(4, 1);
+        let config = SessionConfig {
+            deadline: Some(Duration::ZERO),
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model, config).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let err = session.ask(&story.questions[0].tokens).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Engine(EngineError::DeadlineExceeded { .. })
+        ));
+        assert_eq!(session.degradation_stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn cancellation_token_aborts_question() {
+        use mnnfast::CancelToken;
+
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(4, 1);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let err = session
+            .ask_with_budget(&story.questions[0].tokens, &budget)
+            .unwrap_err();
+        assert_eq!(err, ServeError::Engine(EngineError::Cancelled));
+        // Cancellation is not a deadline miss.
+        assert_eq!(session.degradation_stats().deadline_misses, 0);
     }
 
     #[test]

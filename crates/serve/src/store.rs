@@ -196,6 +196,64 @@ mod tests {
     }
 
     #[test]
+    fn evict_to_empty_then_reuse() {
+        let mut store = MemoryStore::new(3, None);
+        for i in 0..5 {
+            store.push(&row(3, i as f32), &row(3, -(i as f32)));
+        }
+        store.evict_front(5);
+        assert!(store.is_empty());
+        // Evicting an already-empty store is a no-op, not a panic.
+        store.evict_front(1);
+        assert!(store.is_empty());
+        // The emptied store accepts fresh rows at index 0.
+        store.push(&row(3, 7.0), &row(3, -7.0));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.m_in().row(0), &[7.0; 3]);
+        assert_eq!(store.m_out().row(0), &[-7.0; 3]);
+    }
+
+    #[test]
+    fn capacity_redoubles_after_eviction() {
+        let mut store = MemoryStore::new(2, None);
+        for i in 0..40 {
+            store.push(&row(2, i as f32), &row(2, i as f32));
+        }
+        let cap = store.capacity();
+        assert!(cap >= 40);
+        // Eviction shrinks the populated prefix but keeps the allocation.
+        store.evict_front(35);
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.capacity(), cap);
+        assert_eq!(store.m_in().row(0), &[35.0; 2]);
+        // Refilling past the old capacity doubles again without losing the
+        // surviving rows.
+        for i in 0..2 * cap {
+            store.push(&row(2, 100.0 + i as f32), &row(2, 0.0));
+        }
+        assert!(store.capacity() > cap);
+        assert_eq!(store.len(), 5 + 2 * cap);
+        assert_eq!(store.m_in().row(0), &[35.0; 2]);
+        assert_eq!(store.m_in().row(5), &[100.0; 2]);
+    }
+
+    #[test]
+    fn bounded_store_interleaves_eviction_and_growth() {
+        // Bound larger than the initial capacity: growth and eviction
+        // interact (grow to the bound, then slide).
+        let mut store = MemoryStore::new(2, Some(20));
+        for i in 0..50 {
+            store.push(&row(2, i as f32), &row(2, i as f32));
+        }
+        assert_eq!(store.len(), 20);
+        assert!(store.capacity() <= 20);
+        // The window holds exactly the last 20 rows, in order.
+        for r in 0..20 {
+            assert_eq!(store.m_in().row(r), &[(30 + r) as f32; 2]);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "bad in_row length")]
     fn wrong_row_length_panics() {
         let mut store = MemoryStore::new(4, None);

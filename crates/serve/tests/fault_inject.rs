@@ -1,0 +1,199 @@
+//! Degradation-ladder integration tests driven by the `mnn-tensor`
+//! fault-injection hook (cargo feature `fault-inject`).
+//!
+//! Each test arms a process-global fault, so the whole file serializes on
+//! one mutex and disarms before releasing it.
+
+#![cfg(feature = "fault-inject")]
+
+use mnn_dataset::babi::{BabiGenerator, TaskKind};
+use mnn_memnn::train::Trainer;
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_serve::{DegradationPolicy, ServeError, Session, SessionConfig};
+use mnn_tensor::fault::{self, FaultKind};
+use mnnfast::engine::EngineError;
+use mnnfast::{EngineKind, ExecPlan, MnnFastConfig};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn trained_model() -> (BabiGenerator, MemNet) {
+    let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 71);
+    let stories = generator.dataset(80, 8, 2);
+    let config = ModelConfig {
+        temporal: false,
+        ..ModelConfig::for_generator(&generator, 24, 8)
+    }
+    .with_position_encoding(true);
+    let mut model = MemNet::new(config, 17);
+    Trainer::new().epochs(30).train(&mut model, &stories);
+    (generator, model)
+}
+
+fn observe_story(session: &mut Session, sentences: &[Vec<mnn_dataset::WordId>]) {
+    for s in sentences {
+        session.observe(s).unwrap();
+    }
+}
+
+#[test]
+fn injected_nan_recovers_via_scalar_stable_retry() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+
+    // Reference answer from an undisturbed session.
+    let mut clean = Session::new(model.clone(), SessionConfig::default()).unwrap();
+    observe_story(&mut clean, &story.sentences);
+    let expected = clean.ask(&story.questions[0].tokens).unwrap();
+    assert!(!expected.degraded);
+
+    let mut session = Session::new(model, SessionConfig::default()).unwrap();
+    observe_story(&mut session, &story.sentences);
+    fault::arm(FaultKind::NanLogit, 0, 1);
+    let answer = session.ask(&story.questions[0].tokens).unwrap();
+    let fires = fault::fired();
+    fault::disarm();
+
+    assert_eq!(fires, 1, "exactly one chunk was poisoned");
+    assert!(answer.degraded, "answer must come from the safe path");
+    assert_eq!(answer.word, expected.word, "retry reproduces the answer");
+    assert!(answer.probability.is_finite() && answer.probability > 0.0);
+    let d = session.degradation_stats();
+    assert_eq!(d.numeric_faults, 1);
+    assert_eq!(d.degraded_answers, 1);
+    assert_eq!(d.deadline_misses, 0);
+    assert!(!d.pinned_safe, "one fault must not pin (threshold is 3)");
+}
+
+#[test]
+fn oversized_logits_overflow_is_caught_and_degraded() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 1);
+
+    let mut clean = Session::new(model.clone(), SessionConfig::default()).unwrap();
+    observe_story(&mut clean, &story.sentences);
+    let expected = clean.ask(&story.questions[0].tokens).unwrap();
+
+    let mut session = Session::new(model, SessionConfig::default()).unwrap();
+    observe_story(&mut session, &story.sentences);
+    fault::arm(FaultKind::OversizedLogit, 0, 1);
+    let answer = session.ask(&story.questions[0].tokens).unwrap();
+    fault::disarm();
+
+    assert!(answer.degraded);
+    assert_eq!(answer.word, expected.word);
+    assert_eq!(session.degradation_stats().numeric_faults, 1);
+}
+
+#[test]
+fn repeated_faults_pin_session_to_safe_path() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+    let config = SessionConfig {
+        degradation: DegradationPolicy {
+            retry_on_numeric_fault: true,
+            pin_after_faults: Some(2),
+        },
+        ..SessionConfig::default()
+    };
+    let mut session = Session::new(model, config).unwrap();
+    observe_story(&mut session, &story.sentences);
+
+    // Every fused chunk faults until disarmed.
+    fault::arm(FaultKind::NanLogit, 0, u64::MAX);
+    let q = &story.questions[0].tokens;
+    let a1 = session.ask(q).unwrap();
+    let a2 = session.ask(q).unwrap();
+    // Two faults reached the threshold: this ask runs on the safe path
+    // directly and never touches the (still armed) fused kernel.
+    let fires_before_pinned = fault::fired();
+    let a3 = session.ask(q).unwrap();
+    let fires_after_pinned = fault::fired();
+    fault::disarm();
+
+    assert!(a1.degraded && a2.degraded && a3.degraded);
+    assert_eq!(
+        fires_before_pinned, fires_after_pinned,
+        "a pinned session must not run the fused kernel"
+    );
+    let d = session.degradation_stats();
+    assert_eq!(d.numeric_faults, 2);
+    assert_eq!(d.degraded_answers, 3);
+    assert!(d.pinned_safe);
+    assert_eq!(session.questions_answered(), 3);
+}
+
+#[test]
+fn disabled_retry_surfaces_numeric_fault() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(4, 1);
+    let config = SessionConfig {
+        degradation: DegradationPolicy {
+            retry_on_numeric_fault: false,
+            pin_after_faults: None,
+        },
+        ..SessionConfig::default()
+    };
+    let mut session = Session::new(model, config).unwrap();
+    observe_story(&mut session, &story.sentences);
+
+    fault::arm(FaultKind::NanLogit, 0, 1);
+    let err = session.ask(&story.questions[0].tokens).unwrap_err();
+    fault::disarm();
+
+    assert!(matches!(
+        err,
+        ServeError::Engine(EngineError::NumericFault { .. })
+    ));
+    let d = session.degradation_stats();
+    assert_eq!(d.numeric_faults, 1);
+    assert_eq!(session.questions_answered(), 0);
+    assert_eq!(session.cumulative_stats().rows_total, 0);
+    // The fault left no residue: the next question answers normally.
+    let a = session.ask(&story.questions[0].tokens).unwrap();
+    assert!(!a.degraded);
+}
+
+#[test]
+fn slow_chunk_trips_deadline_mid_question_without_corrupting_state() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+    // chunk_size 2 gives 3 chunks per question, so the budget check at the
+    // head of chunk 2 observes the deadline the slow chunk 1 burned.
+    let config = SessionConfig {
+        plan: ExecPlan::new(MnnFastConfig::new(2)).with_kind(EngineKind::Column),
+        deadline: Some(Duration::from_millis(10)),
+        ..SessionConfig::default()
+    };
+    let mut session = Session::new(model, config).unwrap();
+    observe_story(&mut session, &story.sentences);
+
+    fault::arm(FaultKind::SlowChunk(Duration::from_millis(50)), 0, 1);
+    let err = session.ask(&story.questions[0].tokens).unwrap_err();
+    fault::disarm();
+
+    assert!(matches!(
+        err,
+        ServeError::Engine(EngineError::DeadlineExceeded { .. })
+    ));
+    let d = session.degradation_stats();
+    assert_eq!(d.deadline_misses, 1);
+    assert_eq!(d.numeric_faults, 0);
+    assert_eq!(session.questions_answered(), 0);
+    assert_eq!(session.cumulative_stats().rows_total, 0);
+    assert_eq!(session.memory_len(), 6);
+    // Undisturbed, the same 10 ms deadline is plenty for 6 rows.
+    let a = session.ask(&story.questions[0].tokens).unwrap();
+    assert!(!a.degraded);
+    assert_eq!(session.questions_answered(), 1);
+}

@@ -44,6 +44,8 @@ mod buffer;
 mod error;
 mod matrix;
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod kernels;
 pub mod reduce;
 pub mod simd;

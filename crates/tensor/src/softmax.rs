@@ -164,6 +164,29 @@ impl LazyAccumulator {
         u: &[f32],
         raw_threshold: Option<f32>,
     ) -> u64 {
+        #[cfg(feature = "fault-inject")]
+        if let Some(kind) = crate::fault::on_chunk() {
+            return self.accumulate_chunk_faulted(
+                in_flat,
+                out_flat,
+                n_rows,
+                u,
+                raw_threshold,
+                kind,
+            );
+        }
+        self.accumulate_chunk_fused(in_flat, out_flat, n_rows, u, raw_threshold)
+    }
+
+    /// The real fused kernel behind [`LazyAccumulator::accumulate_chunk`].
+    fn accumulate_chunk_fused(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+    ) -> u64 {
         let (denom, skipped) = simd::fused_chunk_lazy_with(
             simd::backend(),
             in_flat,
@@ -175,6 +198,56 @@ impl LazyAccumulator {
         );
         self.denom += denom;
         skipped
+    }
+
+    /// Test-only fault application (see [`crate::fault`]): corrupts or
+    /// delays this chunk according to the armed [`crate::fault::FaultKind`].
+    #[cfg(feature = "fault-inject")]
+    fn accumulate_chunk_faulted(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        raw_threshold: Option<f32>,
+        kind: crate::fault::FaultKind,
+    ) -> u64 {
+        use crate::fault::FaultKind;
+        match kind {
+            // Slow, not wrong: sleep, then run the chunk normally.
+            FaultKind::SlowChunk(d) => {
+                std::thread::sleep(d);
+                self.accumulate_chunk_fused(in_flat, out_flat, n_rows, u, raw_threshold)
+            }
+            FaultKind::NanLogit | FaultKind::OversizedLogit => {
+                let ed = u.len();
+                let mut logits = vec![0.0f32; n_rows];
+                kernels::gemv_chunk(in_flat, n_rows, u, &mut logits);
+                match kind {
+                    FaultKind::NanLogit => {
+                        if let Some(first) = logits.first_mut() {
+                            *first = f32::NAN;
+                        }
+                    }
+                    _ => {
+                        // Far above EXP_CLAMP: every e^x overflows f32.
+                        logits.fill(1000.0);
+                    }
+                }
+                let mut skipped = 0u64;
+                for (r, &x) in logits.iter().enumerate() {
+                    let w = x.exp();
+                    match raw_threshold {
+                        Some(th) if w < th => {
+                            self.add_skipped(w);
+                            skipped += 1;
+                        }
+                        _ => self.add_weighted(w, &out_flat[r * ed..(r + 1) * ed]),
+                    }
+                }
+                skipped
+            }
+        }
     }
 
     /// Merges another accumulator (the scale-out reduction).
@@ -306,10 +379,38 @@ impl OnlineSoftmax {
         u: &[f32],
         prob_threshold: Option<f32>,
     ) -> u64 {
+        #[cfg(feature = "fault-inject")]
+        if let Some(kind) = crate::fault::on_chunk() {
+            return self.accumulate_chunk_faulted(
+                in_flat,
+                out_flat,
+                n_rows,
+                u,
+                prob_threshold,
+                kind,
+            );
+        }
+        self.accumulate_chunk_rows(in_flat, out_flat, n_rows, u, prob_threshold, None)
+    }
+
+    /// The per-row loop behind [`OnlineSoftmax::accumulate_chunk`], with an
+    /// optional additive logit corruption (fault injection only).
+    fn accumulate_chunk_rows(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        prob_threshold: Option<f32>,
+        poison_first: Option<f32>,
+    ) -> u64 {
         let ed = u.len();
         let mut skipped = 0u64;
         for r in 0..n_rows {
-            let logit = kernels::dot(&in_flat[r * ed..(r + 1) * ed], u);
+            let mut logit = kernels::dot(&in_flat[r * ed..(r + 1) * ed], u);
+            if let Some(p) = poison_first.filter(|_| r == 0) {
+                logit = p;
+            }
             match prob_threshold {
                 Some(th) if self.relative_weight(logit) < th => {
                     self.add_skipped(logit);
@@ -319,6 +420,33 @@ impl OnlineSoftmax {
             }
         }
         skipped
+    }
+
+    /// Test-only fault application (see [`crate::fault`]). Note the online
+    /// formulation is robust to oversized logits by construction — the
+    /// running max absorbs them — so [`crate::fault::FaultKind::OversizedLogit`]
+    /// perturbs values but stays finite here; only NaN poisons the
+    /// accumulator.
+    #[cfg(feature = "fault-inject")]
+    fn accumulate_chunk_faulted(
+        &mut self,
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        u: &[f32],
+        prob_threshold: Option<f32>,
+        kind: crate::fault::FaultKind,
+    ) -> u64 {
+        use crate::fault::FaultKind;
+        let poison = match kind {
+            FaultKind::SlowChunk(d) => {
+                std::thread::sleep(d);
+                None
+            }
+            FaultKind::NanLogit => Some(f32::NAN),
+            FaultKind::OversizedLogit => Some(1000.0),
+        };
+        self.accumulate_chunk_rows(in_flat, out_flat, n_rows, u, prob_threshold, poison)
     }
 
     /// Merges another accumulator, rescaling both to the larger maximum.

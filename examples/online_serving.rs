@@ -36,6 +36,7 @@ fn main() {
             .with_kind(EngineKind::Streaming),
         max_sentences: Some(6),
         trace: true,
+        ..SessionConfig::default()
     };
     let mut session = Session::new(model, session_config).expect("serving-compatible model");
 

@@ -36,6 +36,7 @@ fn train_save_load_serve_round_trip() {
             .with_kind(EngineKind::Streaming),
         max_sentences: None,
         trace: false,
+        ..SessionConfig::default()
     };
     let mut session = Session::new(restored, session_config).expect("serving model");
     for sentence in &story.sentences {
