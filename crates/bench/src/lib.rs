@@ -22,7 +22,9 @@
 //! | `sec55_energy` | Section 5.5 | [`experiments::accelerators::sec55`] |
 //! | `bench_kernels` | kernel backend (BENCH_kernels.json) | [`kernel_report`] |
 //! | `bench_robustness` | budget-check overhead (BENCH_robustness.json) | [`robustness_report`] |
+//! | `bench_batch` | batched serving throughput (BENCH_batch.json) | [`batch_report`] |
 
+pub mod batch_report;
 pub mod engine_report;
 pub mod experiments;
 pub mod kernel_report;

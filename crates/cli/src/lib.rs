@@ -114,7 +114,7 @@ USAGE:
                  [--skip 0.01] [--seed 8] [--data <babi.txt>] [--trace]
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
                  [--engine auto|column|streaming|parallel] [--threads 1]
-                 [--deadline-ms 0] [--trace]
+                 [--deadline-ms 0] [--batch 0] [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -124,6 +124,9 @@ exp/accumulate, skip, merge, divide) after the run. `--deadline-ms` puts a
 per-question deadline on serve (0 disables); questions past the deadline
 fail with an error but leave the session usable, and answers recovered
 from a numeric fault on the stable path are marked `[degraded]`.
+`--batch N` coalesces serve questions: they queue until N are waiting
+(or the session ends) and are then answered in one batched streaming pass
+over the memory, printing per-batch throughput and occupancy.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -368,6 +371,49 @@ fn cmd_eval(options: &Options, out: &mut dyn Write) -> CliResult {
     Ok(())
 }
 
+/// Answers a queued batch of serve questions in one batched pass, printing
+/// each answer plus the batch's throughput and occupancy.
+fn flush_questions(
+    session: &mut Session,
+    vocab: &Vocabulary,
+    queued: &mut Vec<String>,
+    batch: usize,
+    out: &mut dyn Write,
+) -> CliResult {
+    if queued.is_empty() {
+        return Ok(());
+    }
+    let n = queued.len();
+    let t0 = std::time::Instant::now();
+    let answers = session
+        .ask_many_text(queued, vocab)
+        .map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    for (question, result) in queued.iter().zip(&answers) {
+        match result {
+            Ok((word, answer)) => writeln!(
+                out,
+                "-> {question}? {word} (p={:.2}, {} of {} rows skipped){}",
+                answer.probability,
+                answer.stats.rows_skipped,
+                answer.stats.rows_total,
+                if answer.degraded { " [degraded]" } else { "" }
+            )
+            .map_err(|e| e.to_string())?,
+            Err(e) => writeln!(out, "!! {question}? {e}").map_err(|e| e.to_string())?,
+        }
+    }
+    writeln!(
+        out,
+        "batch: {n} questions in {:.2} ms ({:.0} q/s, occupancy {n}/{batch})",
+        elapsed * 1e3,
+        n as f64 / elapsed.max(1e-9)
+    )
+    .map_err(|e| e.to_string())?;
+    queued.clear();
+    Ok(())
+}
+
 fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) -> CliResult {
     let model = load_model(options)?;
     let window = options.get("window", 0usize)?;
@@ -406,6 +452,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         trace: options.switch("trace"),
         ..SessionConfig::default()
     };
+    let batch = options.get("batch", 0usize)?;
     let mut session = Session::new(model, config).map_err(|e| e.to_string())?;
     writeln!(
         out,
@@ -413,6 +460,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     )
     .map_err(|e| e.to_string())?;
 
+    let mut queued: Vec<String> = Vec::new();
     let mut line = String::new();
     loop {
         line.clear();
@@ -427,6 +475,16 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
             break;
         }
         if let Some(question) = trimmed.strip_suffix('?') {
+            if batch > 1 {
+                queued.push(question.to_owned());
+                if queued.len() >= batch {
+                    flush_questions(&mut session, &vocab, &mut queued, batch, out)?;
+                } else {
+                    writeln!(out, "   queued ({}/{batch})", queued.len())
+                        .map_err(|e| e.to_string())?;
+                }
+                continue;
+            }
             match session.ask_text(question, &vocab) {
                 Ok((word, answer)) => writeln!(
                     out,
@@ -447,6 +505,8 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
             }
         }
     }
+    // A partially filled batch still answers on exit.
+    flush_questions(&mut session, &vocab, &mut queued, batch.max(1), out)?;
     writeln!(
         out,
         "session: {} questions answered, {:.1}% of output computation skipped",
@@ -707,6 +767,61 @@ mod tests {
             stdin,
         );
         assert!(err.unwrap_err().contains("deadline-ms"));
+    }
+
+    #[test]
+    fn serve_batch_mode_coalesces_questions() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\n\
+                     john moved to the garden\n\
+                     where is mary?\n\
+                     where is john?\n\
+                     where is mary?\n\
+                     :quit\n";
+        let out = run_cli(
+            &["serve", "--model", model_str, "--batch", "2", "--trace"],
+            stdin,
+        )
+        .unwrap();
+        // The first question queues, the second fills and flushes the
+        // batch, the third flushes alone at :quit.
+        assert!(out.contains("queued (1/2)"), "{out}");
+        assert_eq!(out.matches("batch: ").count(), 2, "{out}");
+        assert!(out.contains("batch: 2 questions"), "{out}");
+        assert!(out.contains("batch: 1 questions"), "{out}");
+        assert!(out.contains("occupancy 2/2"), "{out}");
+        assert_eq!(out.matches("-> ").count(), 3, "{out}");
+        assert!(out.contains("3 questions answered"), "{out}");
+        // Batched questions run the batch_gemm phase, visible in --trace.
+        assert!(out.contains("batch_gemm"), "{out}");
+
+        // Unknown words fail their own slot, not the whole batch.
+        let stdin = "mary went to the kitchen\n\
+                     where is xyzzy?\n\
+                     where is mary?\n\
+                     :quit\n";
+        let out = run_cli(&["serve", "--model", model_str, "--batch", "2"], stdin).unwrap();
+        assert!(out.contains("!! where is xyzzy?"), "{out}");
+        assert_eq!(out.matches("-> ").count(), 1, "{out}");
     }
 
     #[test]

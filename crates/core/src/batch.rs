@@ -4,13 +4,33 @@
 //! re-streaming the memories per question. The batched engine exploits the
 //! chunk residency the column-based algorithm creates: each chunk of
 //! `M_IN`/`M_OUT` is loaded once and applied to *all* `nq` questions while
-//! resident (the inner product becomes the GEMM `U × chunkᵀ`), which is the
-//! paper's GPU formulation (Section 4.1.2: "Inner product is matrix
-//! multiplication between M_IN and U") and the memory-traffic assumption of
-//! the thread-scaling model.
+//! resident. The inner products run as the register-tiled GEMM `U × chunkᵀ`
+//! ([`mnn_tensor::kernels::gemm_chunk`], the paper's GPU formulation —
+//! Section 4.1.2: "Inner product is matrix multiplication between M_IN and
+//! U") and, when [`MnnFastConfig::fused`] is set, exponentiation, zero-skip
+//! and the weighted accumulate run in the same pass over the resident tile
+//! (`accumulate_chunk_batch` in `mnn_tensor::softmax`).
+//!
+//! Instrumentation counts the shared work once: the chunk GEMM is charged to
+//! the batch as one [`mnn_tensor::kernels::gemm_flops`] count (not `nq`
+//! separate GEMV estimates) and each memory chunk's `memory_bytes` once per
+//! batch, while per-question outputs carry their own share.
+//!
+//! Two entry points:
+//! * [`BatchEngine::forward`] — one-shot convenience over the whole store,
+//!   optionally splitting chunk ranges across threads.
+//! * [`BatchEngine::forward_budgeted`] — the serving path: reuses a
+//!   [`Scratch`] arena (the warm path performs no per-chunk or per-question
+//!   buffer allocations), records the [`Phase::BatchGemm`] trace phase, and
+//!   gives every question its own [`Budget`] so one expired deadline or
+//!   cancelled request fails *that* slot while its batchmates finish.
 
+use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
-use crate::engine::{ColumnEngine, ColumnOutput, EngineError};
+use crate::engine::{
+    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+};
+use crate::exec::{Phase, Scratch, Trace};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix};
@@ -89,29 +109,22 @@ impl BatchEngine {
             });
         };
         probe.check(m_in, m_out, first)?;
-        for q in questions {
-            if q.len() != first.len() {
-                return Err(EngineError::Config(format!(
-                    "ragged question batch: {} vs {}",
-                    q.len(),
-                    first.len()
-                )));
-            }
-        }
+        check_ragged(questions, first.len())?;
 
         let ed = first.len();
         let nq = questions.len();
         let ns = m_in.rows();
         let chunk = self.config.chunk_size;
+        let us_flat: Vec<f32> = questions.iter().flatten().copied().collect();
 
         // Per-question raw thresholds (the Probability pre-pass itself runs
-        // batched below when needed).
+        // on the batched GEMM and charges its traffic/flops once per batch).
         let mut batch_stats = InferenceStats::default();
-        let thresholds = self.resolve_thresholds(m_in, questions, &mut batch_stats)?;
+        let thresholds = self.resolve_thresholds(m_in, &us_flat, nq, &mut batch_stats)?;
 
         let threads = self.config.threads.min(ns.max(1));
-        let (acc, per_q, range_mem) = if threads <= 1 {
-            self.process_rows(m_in, m_out, questions, &thresholds, 0, ns)
+        let (acc, per_q, range_mem, gemm_flops) = if threads <= 1 {
+            self.process_rows(m_in, m_out, &us_flat, nq, &thresholds, 0, ns)
         } else {
             // Scale-out: contiguous chunk-aligned row ranges per worker,
             // per-question partials merged in worker order (deterministic).
@@ -124,8 +137,9 @@ impl BatchEngine {
                     let start = (t * rows_per_thread).min(ns);
                     let end = ((t + 1) * rows_per_thread).min(ns);
                     let thresholds = &thresholds;
+                    let us_flat = &us_flat;
                     handles.push(scope.spawn(move || {
-                        self.process_rows(m_in, m_out, questions, thresholds, start, end)
+                        self.process_rows(m_in, m_out, us_flat, nq, thresholds, start, end)
                     }));
                 }
                 handles
@@ -137,8 +151,10 @@ impl BatchEngine {
             let mut merged: Option<BatchAccum> = None;
             let mut stats_acc = vec![InferenceStats::default(); nq];
             let mut mem = 0u64;
-            for (acc, per_q, m) in partials {
+            let mut gflops = 0u64;
+            for (acc, per_q, m, g) in partials {
                 mem += m;
+                gflops += g;
                 for (dst, src) in stats_acc.iter_mut().zip(per_q.iter()) {
                     dst.merge(src);
                 }
@@ -169,43 +185,14 @@ impl BatchEngine {
                 }),
                 stats_acc,
                 mem,
+                gflops,
             )
         };
         batch_stats.memory_bytes += range_mem;
+        // The chunk GEMM is shared work: charged once at batch level.
+        batch_stats.flops += gemm_flops;
         batch_stats.intermediate_bytes = (nq * chunk.min(ns.max(1)) * 4 + nq * ed * 4) as u64;
 
-        let outputs: Vec<ColumnOutput> = match acc {
-            BatchAccum::Lazy(accs) => accs
-                .into_iter()
-                .zip(per_q.iter())
-                .map(|(a, s)| {
-                    let mut stats = *s;
-                    stats.divisions = ed as u64;
-                    stats.flops += ed as u64;
-                    let denominator = a.denom();
-                    ColumnOutput {
-                        o: a.finish(),
-                        denominator,
-                        stats,
-                    }
-                })
-                .collect(),
-            BatchAccum::Online(accs) => accs
-                .into_iter()
-                .zip(per_q.iter())
-                .map(|(a, s)| {
-                    let mut stats = *s;
-                    stats.divisions = ed as u64;
-                    stats.flops += ed as u64;
-                    let denominator = a.denom();
-                    ColumnOutput {
-                        o: a.finish(),
-                        denominator,
-                        stats,
-                    }
-                })
-                .collect(),
-        };
         for s in &per_q {
             batch_stats.rows_total += s.rows_total;
             batch_stats.rows_skipped += s.rows_skipped;
@@ -214,25 +201,304 @@ impl BatchEngine {
             batch_stats.flops_skipped += s.flops_skipped;
             batch_stats.divisions += ed as u64;
         }
+        let outputs: Vec<ColumnOutput> = match acc {
+            BatchAccum::Lazy(accs) => accs
+                .into_iter()
+                .zip(per_q.iter())
+                .map(|(a, s)| finish_output(a.denom(), a.finish(), *s, ed))
+                .collect(),
+            BatchAccum::Online(accs) => accs
+                .into_iter()
+                .zip(per_q.iter())
+                .map(|(a, s)| finish_output(a.denom(), a.finish(), *s, ed))
+                .collect(),
+        };
         Ok(BatchOutput {
             outputs,
             stats: batch_stats,
         })
     }
 
+    /// Answers a batch of questions over the first `rows` memory entries,
+    /// each question under its own [`Budget`] (`budgets[q]` governs
+    /// `questions[q]`).
+    ///
+    /// This is the serving fast path: it reuses the `scratch` arena (the
+    /// warm path performs no per-chunk or per-question buffer allocations),
+    /// records the chunk work under [`Phase::BatchGemm`], and checks every
+    /// live question's budget once per chunk. A question whose budget fails
+    /// mid-pass goes *dead* — it stops accumulating and its slot carries the
+    /// typed budget error — while the remaining questions complete the pass
+    /// unaffected. Numeric faults are likewise isolated per question by the
+    /// usual denominator/output guards.
+    ///
+    /// Per-question [`InferenceStats`] carry the question's compute share
+    /// (its slice of the chunk GEMM as a GEMV count, exp, weighted-sum and
+    /// divide flops); memory traffic is a batch-level quantity and is not
+    /// attributed per question here.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level: [`EngineError::Config`] on invalid configuration, a
+    /// ragged question batch, or `budgets.len() != questions.len()`;
+    /// [`EngineError::Shape`] / [`EngineError::MemoryMismatch`] on bad
+    /// operands. Per-question deadline/cancellation/numeric errors are
+    /// carried in the inner `Result` slots.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        if budgets.len() != questions.len() {
+            return Err(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            )));
+        }
+        let Some(first) = questions.first() else {
+            return Ok(Vec::new());
+        };
+        let probe = ColumnEngine::new(self.config);
+        probe.check(m_in, m_out, first)?;
+        check_rows(m_in, rows, "BatchEngine::forward_budgeted")?;
+        check_ragged(questions, first.len())?;
+
+        let ed = first.len();
+        let nq = questions.len();
+        let chunk = self.config.chunk_size;
+        let mode = self.config.softmax;
+        let fused = self.config.fused;
+
+        // Stage the arena: flatten the questions, reset the per-question
+        // accumulators and bookkeeping, grow the logits tile.
+        scratch.batch_us.clear();
+        for q in questions {
+            scratch.batch_us.extend_from_slice(q);
+        }
+        scratch.batch_live.clear();
+        scratch.batch_live.resize(nq, true);
+        scratch.batch_skipped.clear();
+        scratch.batch_skipped.resize(nq, 0);
+        if scratch.batch_stats.len() < nq {
+            scratch.batch_stats.resize_with(nq, InferenceStats::default);
+        }
+        for s in &mut scratch.batch_stats[..nq] {
+            *s = InferenceStats::default();
+        }
+        let logit_len = nq * chunk.min(rows.max(1));
+        if scratch.batch_logits.len() < logit_len {
+            scratch.batch_logits.resize(logit_len, 0.0);
+        }
+        match mode {
+            SoftmaxMode::Lazy => {
+                if scratch.batch_lazy.len() < nq {
+                    scratch.batch_lazy.resize_with(nq, LazyAccumulator::default);
+                }
+                if scratch.batch_chunk_lazy.len() < nq {
+                    scratch
+                        .batch_chunk_lazy
+                        .resize_with(nq, LazyAccumulator::default);
+                }
+                for a in &mut scratch.batch_lazy[..nq] {
+                    a.reset(ed);
+                }
+            }
+            SoftmaxMode::Online => {
+                if scratch.batch_online.len() < nq {
+                    scratch.batch_online.resize_with(nq, OnlineSoftmax::default);
+                }
+                if scratch.batch_chunk_online.len() < nq {
+                    scratch
+                        .batch_chunk_online
+                        .resize_with(nq, OnlineSoftmax::default);
+                }
+                for a in &mut scratch.batch_online[..nq] {
+                    a.reset(ed);
+                }
+            }
+        }
+
+        // Threshold resolution (the Probability pre-pass streams the prefix
+        // once for the whole batch; timed under Skip like the single path).
+        let t0 = trace.begin();
+        self.resolve_thresholds_into(m_in, rows, nq, ed, scratch, budgets);
+        trace.record(Phase::Skip, t0, 0);
+
+        // Main chunk loop.
+        {
+            let Scratch {
+                batch_logits,
+                batch_us,
+                batch_lazy,
+                batch_online,
+                batch_chunk_lazy,
+                batch_chunk_online,
+                batch_thresholds,
+                batch_live,
+                batch_skipped,
+                batch_stats,
+                ..
+            } = scratch;
+            let mut row = 0usize;
+            while row < rows {
+                let mut n_live = 0u64;
+                for q in 0..nq {
+                    if batch_live[q] && budgets[q].check().is_err() {
+                        batch_live[q] = false;
+                    }
+                    if batch_live[q] {
+                        n_live += 1;
+                    }
+                }
+                if n_live == 0 {
+                    break;
+                }
+                let n = chunk.min(rows - row);
+                let in_flat = m_in.rows_slice(row, n);
+                let out_flat = m_out.rows_slice(row, n);
+                for s in batch_skipped[..nq].iter_mut() {
+                    *s = 0;
+                }
+                // Chunk partial → merge, the same discipline as the
+                // single-question engines: Online relative weights are
+                // chunk-local, so skip decisions match per-question runs.
+                let t0 = trace.begin();
+                match mode {
+                    SoftmaxMode::Lazy => {
+                        for p in &mut batch_chunk_lazy[..nq] {
+                            p.reset(ed);
+                        }
+                        LazyAccumulator::accumulate_chunk_batch(
+                            &mut batch_chunk_lazy[..nq],
+                            in_flat,
+                            out_flat,
+                            n,
+                            batch_us,
+                            &batch_thresholds[..nq],
+                            &batch_live[..nq],
+                            fused,
+                            batch_logits,
+                            batch_skipped,
+                        );
+                        for q in 0..nq {
+                            if batch_live[q] {
+                                batch_lazy[q].merge(&batch_chunk_lazy[q]);
+                            }
+                        }
+                    }
+                    SoftmaxMode::Online => {
+                        for p in &mut batch_chunk_online[..nq] {
+                            p.reset(ed);
+                        }
+                        OnlineSoftmax::accumulate_chunk_batch(
+                            &mut batch_chunk_online[..nq],
+                            in_flat,
+                            out_flat,
+                            n,
+                            batch_us,
+                            &batch_thresholds[..nq],
+                            &batch_live[..nq],
+                            batch_logits,
+                            batch_skipped,
+                        );
+                        for q in 0..nq {
+                            if batch_live[q] {
+                                batch_online[q].merge(&batch_chunk_online[q]);
+                            }
+                        }
+                    }
+                }
+                trace.record(Phase::BatchGemm, t0, n as u64 * n_live);
+                let mut chunk_skipped = 0u64;
+                for q in 0..nq {
+                    if !batch_live[q] {
+                        continue;
+                    }
+                    let d = batch_skipped[q];
+                    chunk_skipped += d;
+                    let kept = n as u64 - d;
+                    let s = &mut batch_stats[q];
+                    s.chunks += 1;
+                    s.rows_total += n as u64;
+                    s.rows_skipped += d;
+                    s.flops += n as u64 + kept * 2 * ed as u64;
+                    s.ws_flops += kept * 2 * ed as u64;
+                    s.flops_skipped += d * 2 * ed as u64;
+                }
+                trace.bump(Phase::Skip, chunk_skipped);
+                row += n;
+            }
+        }
+
+        // Finish: per-question numeric guards + lazy division. Dead
+        // questions carry their budget's typed error.
+        let t0 = trace.begin();
+        let mut results = Vec::with_capacity(nq);
+        let mut divisions = 0u64;
+        for (q, budget) in budgets.iter().enumerate().take(nq) {
+            if !scratch.batch_live[q] {
+                // A deadline cannot un-expire and a token cannot un-cancel,
+                // so re-checking reproduces the error that killed the slot.
+                let err = budget.check().err().unwrap_or(EngineError::Cancelled);
+                results.push(Err(err));
+                continue;
+            }
+            let denominator = match mode {
+                SoftmaxMode::Lazy => scratch.batch_lazy[q].denom(),
+                SoftmaxMode::Online => scratch.batch_online[q].denom(),
+            };
+            if let Err(e) = check_denom(denominator, "batch merge") {
+                results.push(Err(e));
+                continue;
+            }
+            let mut o = scratch.take_out(ed);
+            match mode {
+                SoftmaxMode::Lazy => scratch.batch_lazy[q].finish_into(&mut o),
+                SoftmaxMode::Online => scratch.batch_online[q].finish_into(&mut o),
+            }
+            if let Err(e) = check_output(&o) {
+                scratch.recycle(o);
+                results.push(Err(e));
+                continue;
+            }
+            let mut stats = scratch.batch_stats[q];
+            stats.divisions = ed as u64;
+            stats.flops += ed as u64 + kernels::gemv_flops(stats.rows_total as usize, ed);
+            stats.intermediate_bytes = (chunk.min(rows.max(1)) * 4 + ed * 4) as u64;
+            divisions += ed as u64;
+            results.push(Ok(ColumnOutput {
+                o,
+                denominator,
+                stats,
+            }));
+        }
+        trace.record(Phase::Divide, t0, divisions);
+        Ok(results)
+    }
+
     /// Processes rows `[start, end)` for every question; returns the
-    /// per-question accumulators, per-question stats, and memory bytes.
+    /// per-question accumulators, per-question stats (inner-product flops
+    /// excluded — the chunk GEMM is shared work), memory bytes, and the
+    /// batch-level GEMM flops.
+    #[allow(clippy::too_many_arguments)]
     fn process_rows(
         &self,
         m_in: &Matrix,
         m_out: &Matrix,
-        questions: &[Vec<f32>],
+        us_flat: &[f32],
+        nq: usize,
         thresholds: &[Option<f32>],
         start: usize,
         end: usize,
-    ) -> (BatchAccum, Vec<InferenceStats>, u64) {
-        let ed = questions.first().map(Vec::len).unwrap_or(0);
-        let nq = questions.len();
+    ) -> (BatchAccum, Vec<InferenceStats>, u64, u64) {
+        let ed = us_flat.len() / nq.max(1);
         let chunk = self.config.chunk_size;
         let mut acc = match self.config.softmax {
             SoftmaxMode::Lazy => BatchAccum::Lazy(vec![LazyAccumulator::new(ed); nq]),
@@ -240,93 +506,118 @@ impl BatchEngine {
         };
         let mut per_q = vec![InferenceStats::default(); nq];
         let mut mem_bytes = 0u64;
-        if start >= end {
-            return (acc, per_q, mem_bytes);
+        let mut gemm_flops = 0u64;
+        if start >= end || nq == 0 {
+            return (acc, per_q, mem_bytes, gemm_flops);
         }
         let mut logits = vec![0.0f32; nq * chunk.min(end - start)];
+        let live = vec![true; nq];
+        let mut skipped = vec![0u64; nq];
+        let mut partial = match self.config.softmax {
+            SoftmaxMode::Lazy => BatchAccum::Lazy(vec![LazyAccumulator::new(ed); nq]),
+            SoftmaxMode::Online => BatchAccum::Online(vec![OnlineSoftmax::new(ed); nq]),
+        };
 
         let mut row = start;
         while row < end {
             let n = chunk.min(end - row);
             let in_flat = m_in.rows_slice(row, n);
-            for (q, question) in questions.iter().enumerate() {
-                kernels::gemv_chunk(in_flat, n, question, &mut logits[q * n..(q + 1) * n]);
-                per_q[q].flops += kernels::gemv_flops(n, ed);
-                per_q[q].chunks += 1;
+            let out_flat = m_out.rows_slice(row, n);
+            for s in skipped.iter_mut() {
+                *s = 0;
             }
-            mem_bytes += (n * ed * 4) as u64; // chunk loaded ONCE for all nq
-
-            for i in 0..n {
-                let out_row = m_out.row(row + i);
-                for q in 0..nq {
-                    let x = logits[q * n + i];
-                    per_q[q].flops += 1; // exp
-                    per_q[q].rows_total += 1;
-                    let skipped = match &mut acc {
-                        BatchAccum::Lazy(accs) => {
-                            let w = x.exp();
-                            if thresholds[q].is_some_and(|th| w < th) {
-                                accs[q].add_skipped(w);
-                                true
-                            } else {
-                                accs[q].add_weighted(w, out_row);
-                                false
-                            }
-                        }
-                        BatchAccum::Online(accs) => {
-                            if thresholds[q].is_some_and(|th| accs[q].relative_weight(x) < th) {
-                                accs[q].add_skipped(x);
-                                true
-                            } else {
-                                accs[q].add(x, out_row);
-                                false
-                            }
-                        }
-                    };
-                    if skipped {
-                        per_q[q].rows_skipped += 1;
-                        per_q[q].flops_skipped += 2 * ed as u64;
-                    } else {
-                        per_q[q].flops += 2 * ed as u64;
-                        per_q[q].ws_flops += 2 * ed as u64;
+            // Chunk partial → merge, the same discipline as the
+            // single-question engines: Online relative weights are
+            // chunk-local, so skip decisions match per-question runs.
+            match (&mut acc, &mut partial) {
+                (BatchAccum::Lazy(run), BatchAccum::Lazy(part)) => {
+                    for p in part.iter_mut() {
+                        p.reset(ed);
+                    }
+                    LazyAccumulator::accumulate_chunk_batch(
+                        part,
+                        in_flat,
+                        out_flat,
+                        n,
+                        us_flat,
+                        thresholds,
+                        &live,
+                        self.config.fused,
+                        &mut logits,
+                        &mut skipped,
+                    );
+                    for (r, p) in run.iter_mut().zip(part.iter()) {
+                        r.merge(p);
                     }
                 }
+                (BatchAccum::Online(run), BatchAccum::Online(part)) => {
+                    for p in part.iter_mut() {
+                        p.reset(ed);
+                    }
+                    OnlineSoftmax::accumulate_chunk_batch(
+                        part,
+                        in_flat,
+                        out_flat,
+                        n,
+                        us_flat,
+                        thresholds,
+                        &live,
+                        &mut logits,
+                        &mut skipped,
+                    );
+                    for (r, p) in run.iter_mut().zip(part.iter()) {
+                        r.merge(p);
+                    }
+                }
+                _ => unreachable!("softmax mode is fixed per engine"),
             }
-            mem_bytes += (n * ed * 4) as u64; // M_OUT chunk, once for all nq
+            gemm_flops += kernels::gemm_flops(n, ed, nq);
+            mem_bytes += 2 * (n * ed * 4) as u64; // M_IN + M_OUT, once for all nq
+            for q in 0..nq {
+                let d = skipped[q];
+                let kept = n as u64 - d;
+                per_q[q].chunks += 1;
+                per_q[q].rows_total += n as u64;
+                per_q[q].rows_skipped += d;
+                per_q[q].flops += n as u64 + kept * 2 * ed as u64;
+                per_q[q].ws_flops += kept * 2 * ed as u64;
+                per_q[q].flops_skipped += d * 2 * ed as u64;
+            }
             row += n;
         }
-        (acc, per_q, mem_bytes)
+        (acc, per_q, mem_bytes, gemm_flops)
     }
 
     /// Per-question raw thresholds; the Probability pre-pass streams the
-    /// memories once for the whole batch.
+    /// memories once for the whole batch on the tiled GEMM, charging its
+    /// flops and `memory_bytes` once per batch.
     fn resolve_thresholds(
         &self,
         m_in: &Matrix,
-        questions: &[Vec<f32>],
+        us_flat: &[f32],
+        nq: usize,
         stats: &mut InferenceStats,
     ) -> Result<Vec<Option<f32>>, EngineError> {
         match self.config.skip {
-            SkipPolicy::None => Ok(vec![None; questions.len()]),
-            SkipPolicy::RawWeight(th) => Ok(vec![Some(th); questions.len()]),
+            SkipPolicy::None => Ok(vec![None; nq]),
+            SkipPolicy::RawWeight(th) => Ok(vec![Some(th); nq]),
             SkipPolicy::Probability(th) => {
-                let nq = questions.len();
-                let ed = questions[0].len();
+                let ed = us_flat.len() / nq;
                 let chunk = self.config.chunk_size;
                 let ns = m_in.rows();
                 let mut max_logit = vec![f32::NEG_INFINITY; nq];
                 let mut denom_rel = vec![0.0f64; nq];
                 let mut raw_denom = vec![0.0f64; nq];
-                let mut logits = vec![0.0f32; chunk.min(ns.max(1))];
+                let mut logits = vec![0.0f32; nq * chunk.min(ns.max(1))];
 
                 let mut row = 0usize;
                 while row < ns {
                     let n = chunk.min(ns - row);
                     let flat = m_in.rows_slice(row, n);
-                    for (q, question) in questions.iter().enumerate() {
-                        kernels::gemv_chunk(flat, n, question, &mut logits[..n]);
-                        stats.flops += kernels::gemv_flops(n, ed);
-                        for &x in &logits[..n] {
+                    kernels::gemm_chunk(flat, n, us_flat, nq, &mut logits[..nq * n]);
+                    stats.flops += kernels::gemm_flops(n, ed, nq); // once, not per question
+                    for q in 0..nq {
+                        for &x in &logits[q * n..(q + 1) * n] {
                             if x > max_logit[q] {
                                 denom_rel[q] *= ((max_logit[q] - x) as f64).exp();
                                 max_logit[q] = x;
@@ -336,7 +627,7 @@ impl BatchEngine {
                             stats.flops += 1;
                         }
                     }
-                    stats.memory_bytes += (n * ed * 4) as u64;
+                    stats.memory_bytes += (n * ed * 4) as u64; // chunk loaded once for all nq
                     row += n;
                 }
                 Ok((0..nq)
@@ -347,6 +638,124 @@ impl BatchEngine {
                     .collect())
             }
         }
+    }
+
+    /// Budget-aware threshold resolution into `scratch.batch_thresholds`
+    /// (allocation-free once the arena has grown). Questions whose budget
+    /// fails during the pre-pass go dead in `scratch.batch_live` and keep a
+    /// `None` threshold; their error is reconstructed at finish time.
+    fn resolve_thresholds_into(
+        &self,
+        m_in: &Matrix,
+        rows: usize,
+        nq: usize,
+        ed: usize,
+        scratch: &mut Scratch,
+        budgets: &[Budget],
+    ) {
+        scratch.batch_thresholds.clear();
+        match self.config.skip {
+            SkipPolicy::None => scratch.batch_thresholds.resize(nq, None),
+            SkipPolicy::RawWeight(th) => scratch.batch_thresholds.resize(nq, Some(th)),
+            SkipPolicy::Probability(th) => {
+                scratch.batch_thresholds.resize(nq, None);
+                let chunk = self.config.chunk_size;
+                let Scratch {
+                    batch_logits,
+                    batch_us,
+                    batch_thresholds,
+                    batch_live,
+                    batch_stats,
+                    batch_prepass,
+                    ..
+                } = scratch;
+                if batch_prepass.len() < 3 * nq {
+                    batch_prepass.resize(3 * nq, 0.0);
+                }
+                let (max_logit, rest) = batch_prepass.split_at_mut(nq);
+                let (denom_rel, raw_denom) = rest.split_at_mut(nq);
+                max_logit.fill(f64::NEG_INFINITY);
+                denom_rel[..nq].fill(0.0);
+                raw_denom[..nq].fill(0.0);
+
+                let mut row = 0usize;
+                while row < rows {
+                    let mut any_live = false;
+                    for q in 0..nq {
+                        if batch_live[q] && budgets[q].check().is_err() {
+                            batch_live[q] = false;
+                        }
+                        any_live |= batch_live[q];
+                    }
+                    if !any_live {
+                        break;
+                    }
+                    let n = chunk.min(rows - row);
+                    let flat = m_in.rows_slice(row, n);
+                    kernels::gemm_chunk(flat, n, batch_us, nq, &mut batch_logits[..nq * n]);
+                    for q in 0..nq {
+                        if !batch_live[q] {
+                            continue;
+                        }
+                        // The max/subtract runs in f32 exactly as in the
+                        // single-question engine (`max_logit` slots hold f32
+                        // values), so resolved thresholds match bitwise.
+                        for &x in &batch_logits[q * n..(q + 1) * n] {
+                            if x > max_logit[q] as f32 {
+                                denom_rel[q] *= ((max_logit[q] as f32 - x) as f64).exp();
+                                max_logit[q] = x as f64;
+                            }
+                            denom_rel[q] += ((x - max_logit[q] as f32) as f64).exp();
+                            raw_denom[q] += (x as f64).exp();
+                        }
+                        // This question's share of the pre-pass: its GEMV
+                        // slice of the chunk GEMM plus the exp sweep.
+                        batch_stats[q].flops += kernels::gemv_flops(n, ed) + n as u64;
+                    }
+                    row += n;
+                }
+                for q in 0..nq {
+                    if !batch_live[q] {
+                        continue;
+                    }
+                    batch_thresholds[q] = Some(match self.config.softmax {
+                        SoftmaxMode::Lazy => (th as f64 * raw_denom[q]) as f32,
+                        SoftmaxMode::Online => (th as f64 * denom_rel[q]) as f32,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rejects ragged question batches.
+fn check_ragged(questions: &[Vec<f32>], ed: usize) -> Result<(), EngineError> {
+    for q in questions {
+        if q.len() != ed {
+            return Err(EngineError::Config(format!(
+                "ragged question batch: {} vs {}",
+                q.len(),
+                ed
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Builds a per-question [`ColumnOutput`], adding the question's share of
+/// the chunk GEMM (as a GEMV count) and the final division to its stats.
+fn finish_output(
+    denominator: f32,
+    o: Vec<f32>,
+    mut stats: InferenceStats,
+    ed: usize,
+) -> ColumnOutput {
+    stats.divisions = ed as u64;
+    stats.flops += ed as u64 + kernels::gemv_flops(stats.rows_total as usize, ed);
+    ColumnOutput {
+        o,
+        denominator,
+        stats,
     }
 }
 
@@ -451,6 +860,91 @@ mod tests {
         let (m_in, m_out, mut questions) = setup(10, 4, 2);
         questions[1] = vec![0.0; 3];
         let err = BatchEngine::new(MnnFastConfig::new(4)).forward(&m_in, &m_out, &questions);
+        assert!(matches!(err, Err(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn budgeted_batch_matches_forward() {
+        let (m_in, m_out, questions) = setup(83, 8, 5);
+        for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+            let config = MnnFastConfig::new(16).with_softmax(mode);
+            let engine = BatchEngine::new(config);
+            let plain = engine.forward(&m_in, &m_out, &questions).unwrap();
+            let mut scratch = Scratch::new();
+            let mut trace = Trace::enabled();
+            let budgets = vec![Budget::unlimited(); questions.len()];
+            let results = engine
+                .forward_budgeted(
+                    &m_in,
+                    &m_out,
+                    m_in.rows(),
+                    &questions,
+                    &mut scratch,
+                    &mut trace,
+                    &budgets,
+                )
+                .unwrap();
+            assert_eq!(results.len(), questions.len());
+            for (r, expect) in results.iter().zip(&plain.outputs) {
+                let out = r.as_ref().unwrap();
+                assert_slice_approx_eq(&out.o, &expect.o, 1e-5);
+                assert_eq!(out.stats.rows_total, expect.stats.rows_total);
+                assert_eq!(out.stats.rows_skipped, expect.stats.rows_skipped);
+            }
+            assert!(trace.nanos(Phase::BatchGemm) > 0);
+            assert_eq!(
+                trace.count(Phase::BatchGemm),
+                (m_in.rows() * questions.len()) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_batch_isolates_cancellation() {
+        use crate::budget::CancelToken;
+        let (m_in, m_out, questions) = setup(64, 8, 3);
+        let engine = BatchEngine::new(MnnFastConfig::new(8));
+        let token = CancelToken::new();
+        token.cancel();
+        let budgets = vec![
+            Budget::unlimited(),
+            Budget::unlimited().with_cancel(token),
+            Budget::unlimited(),
+        ];
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        let results = engine
+            .forward_budgeted(
+                &m_in,
+                &m_out,
+                m_in.rows(),
+                &questions,
+                &mut scratch,
+                &mut trace,
+                &budgets,
+            )
+            .unwrap();
+        assert!(matches!(results[1], Err(EngineError::Cancelled)));
+        let expect = engine.forward(&m_in, &m_out, &questions).unwrap();
+        for q in [0usize, 2] {
+            let out = results[q].as_ref().unwrap();
+            assert_slice_approx_eq(&out.o, &expect.outputs[q].o, 1e-5);
+        }
+    }
+
+    #[test]
+    fn budgeted_batch_rejects_mismatched_budgets() {
+        let (m_in, m_out, questions) = setup(10, 4, 2);
+        let engine = BatchEngine::new(MnnFastConfig::new(4));
+        let err = engine.forward_budgeted(
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &questions,
+            &mut Scratch::new(),
+            &mut Trace::disabled(),
+            &[Budget::unlimited()],
+        );
         assert!(matches!(err, Err(EngineError::Config(_))));
     }
 }

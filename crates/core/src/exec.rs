@@ -32,6 +32,7 @@
 //! | [`Phase::Divide`] | the single lazy-softmax division | `ed` divisions |
 //! | [`Phase::Admission`] | pool admission-control decision (serve layer) | admission checks |
 //! | [`Phase::Retry`] | degraded re-execution after a numeric fault (serve layer) | retries |
+//! | [`Phase::BatchGemm`] | the batched chunk GEMM + accumulate (batched path) | rows × live questions |
 //!
 //! With the default fused configuration the per-chunk work lands in
 //! `FusedChunk` and the `InnerProduct`/`ExpAccumulate` rows stay zero;
@@ -77,11 +78,15 @@ pub enum Phase {
     /// Degraded re-execution after a numeric fault: the time spent on the
     /// scalar-stable retry pass (recorded by the serving session).
     Retry,
+    /// The batched chunk kernel: one tiled GEMM over all questions of a
+    /// cache-resident chunk plus the per-question exp/skip/accumulate
+    /// (the cross-request batched path).
+    BatchGemm,
 }
 
 /// Number of [`Phase`] variants (array sizes in [`Trace`] and
 /// [`PhaseHistograms`]).
-const PHASES: usize = 8;
+const PHASES: usize = 9;
 
 impl Phase {
     /// All phases, in pipeline order.
@@ -89,6 +94,7 @@ impl Phase {
         Phase::InnerProduct,
         Phase::ExpAccumulate,
         Phase::FusedChunk,
+        Phase::BatchGemm,
         Phase::Skip,
         Phase::Merge,
         Phase::Divide,
@@ -107,6 +113,7 @@ impl Phase {
             Phase::Divide => "divide",
             Phase::Admission => "admission",
             Phase::Retry => "retry",
+            Phase::BatchGemm => "batch_gemm",
         }
     }
 
@@ -121,6 +128,7 @@ impl Phase {
             Phase::Divide => 5,
             Phase::Admission => 6,
             Phase::Retry => 7,
+            Phase::BatchGemm => 8,
         }
     }
 }
@@ -451,6 +459,20 @@ pub struct Scratch {
     pub(crate) chunk_online: OnlineSoftmax,
     pub(crate) out_pool: Vec<Vec<f32>>,
     pub(crate) workers: Vec<WorkerScratch>,
+    // Batched-path arena (`BatchEngine::forward_budgeted`): the nq×chunk
+    // logits tile, the flattened question block, per-question accumulators
+    // and bookkeeping. Grown on first batched call, reused afterwards.
+    pub(crate) batch_logits: Vec<f32>,
+    pub(crate) batch_us: Vec<f32>,
+    pub(crate) batch_lazy: Vec<LazyAccumulator>,
+    pub(crate) batch_online: Vec<OnlineSoftmax>,
+    pub(crate) batch_chunk_lazy: Vec<LazyAccumulator>,
+    pub(crate) batch_chunk_online: Vec<OnlineSoftmax>,
+    pub(crate) batch_thresholds: Vec<Option<f32>>,
+    pub(crate) batch_live: Vec<bool>,
+    pub(crate) batch_skipped: Vec<u64>,
+    pub(crate) batch_stats: Vec<crate::stats::InferenceStats>,
+    pub(crate) batch_prepass: Vec<f64>,
 }
 
 impl Scratch {
@@ -761,6 +783,56 @@ pub trait Executor: Send + Sync + fmt::Debug {
         self.forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, &Budget::unlimited())
     }
 
+    /// Answers a batch of same-dimension `questions` over the first `rows`
+    /// memory entries, each question under its own [`Budget`]
+    /// (`budgets[q]` governs `questions[q]`; the two slices must have equal
+    /// length).
+    ///
+    /// Per-question failures are isolated: a deadline, cancellation, or
+    /// numeric fault on question `q` lands as the `Err` in slot `q` while
+    /// the remaining questions complete normally — the outer `Err` is
+    /// reserved for batch-level problems (invalid config, ragged batch,
+    /// mismatched budget count, bad operand shapes).
+    ///
+    /// The default implementation loops
+    /// [`Executor::forward_prefix_budgeted`] per question — correct, but it
+    /// re-streams both memory matrices once per question.
+    /// [`PlanExecutor`] overrides it with the tiled-GEMM
+    /// [`crate::BatchEngine`] fast path, which streams each chunk once per
+    /// *batch* and applies it to every live question while it is
+    /// cache-resident.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level: [`EngineError::Config`] on ragged question batches or
+    /// `budgets.len() != questions.len()`, [`EngineError::Shape`] on bad
+    /// operand shapes. Per-question errors are carried in the inner
+    /// `Result`s.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        if budgets.len() != questions.len() {
+            return Err(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            )));
+        }
+        Ok(questions
+            .iter()
+            .zip(budgets)
+            .map(|(u, b)| self.forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, b))
+            .collect())
+    }
+
     /// The dataflow configuration this executor runs.
     fn config(&self) -> MnnFastConfig;
 
@@ -818,6 +890,20 @@ impl Executor for PlanExecutor {
                 .parallel
                 .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget),
         }
+    }
+
+    fn forward_batch_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        rows: usize,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        crate::BatchEngine::new(self.plan.config)
+            .forward_budgeted(m_in, m_out, rows, questions, scratch, trace, budgets)
     }
 
     fn config(&self) -> MnnFastConfig {

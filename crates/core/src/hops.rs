@@ -121,6 +121,101 @@ pub fn multi_hop_budgeted(
     })
 }
 
+/// Batched multi-hop: runs every question's hop chain through
+/// [`Executor::forward_batch_budgeted`], so each hop streams the memories
+/// once per *batch* instead of once per question (`budgets[q]` governs
+/// `questions[q]` across its entire chain).
+///
+/// Per-question failures are isolated: a question whose budget expires or
+/// whose accumulator faults in hop `k` carries that typed error in its slot
+/// and is dropped from the remaining hops, while its batchmates keep
+/// hopping. Slots come back in question order.
+///
+/// # Errors
+///
+/// The outer `Err` is batch-level, as [`Executor::forward_batch_budgeted`],
+/// plus a configuration error if `hops == 0`. Per-question budget/numeric
+/// errors are in the inner `Result`s.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_batch_budgeted(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    rows: usize,
+    questions: &[Vec<f32>],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budgets: &[Budget],
+) -> Result<Vec<Result<HopsOutput, EngineError>>, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    if budgets.len() != questions.len() {
+        return Err(EngineError::Config(format!(
+            "budget count {} != question count {}",
+            budgets.len(),
+            questions.len()
+        )));
+    }
+    let nq = questions.len();
+    let mut us: Vec<Vec<f32>> = questions.to_vec();
+    let mut u_lasts: Vec<Vec<f32>> = questions.to_vec();
+    let mut per_hops: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(hops); nq];
+    let mut stats = vec![InferenceStats::default(); nq];
+    let mut os: Vec<Vec<f32>> = vec![Vec::new(); nq];
+    let mut errors: Vec<Option<EngineError>> = (0..nq).map(|_| None).collect();
+
+    for _ in 0..hops {
+        // Compact the still-healthy questions into the hop's sub-batch; a
+        // slot that already failed stays failed and does no further work.
+        let idx: Vec<usize> = (0..nq).filter(|&q| errors[q].is_none()).collect();
+        if idx.is_empty() {
+            break;
+        }
+        let sub_questions: Vec<Vec<f32>> = idx.iter().map(|&q| us[q].clone()).collect();
+        let sub_budgets: Vec<Budget> = idx.iter().map(|&q| budgets[q].clone()).collect();
+        let results = exec.forward_batch_budgeted(
+            m_in,
+            m_out,
+            rows,
+            &sub_questions,
+            scratch,
+            trace,
+            &sub_budgets,
+        )?;
+        for (&q, result) in idx.iter().zip(results) {
+            match result {
+                Ok(out) => {
+                    stats[q].merge(&out.stats);
+                    u_lasts[q].clone_from(&us[q]);
+                    for (ui, oi) in us[q].iter_mut().zip(&out.o) {
+                        *ui += oi;
+                    }
+                    per_hops[q].push(out.o.clone());
+                    scratch.recycle(std::mem::replace(&mut os[q], out.o));
+                }
+                Err(e) => errors[q] = Some(e),
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(nq);
+    for (q, err) in errors.into_iter().enumerate() {
+        match err {
+            Some(e) => outputs.push(Err(e)),
+            None => outputs.push(Ok(HopsOutput {
+                o: std::mem::take(&mut os[q]),
+                u_last: std::mem::take(&mut u_lasts[q]),
+                u_final: std::mem::take(&mut us[q]),
+                per_hop: std::mem::take(&mut per_hops[q]),
+                stats: stats[q],
+            })),
+        }
+    }
+    Ok(outputs)
+}
+
 /// One-shot convenience over [`multi_hop`]: fresh scratch, tracing off,
 /// all memory rows.
 ///
@@ -242,6 +337,79 @@ mod tests {
         let out = multi_hop_simple(&engine, &m_in, &m_out, &u, 2).unwrap();
         assert_eq!(out.stats.rows_total, 100);
         assert!(out.stats.rows_skipped > 0);
+    }
+
+    #[test]
+    fn batched_hops_match_sequential_hops() {
+        let (m_in, m_out, _) = memories(60, 8);
+        let questions: Vec<Vec<f32>> = (0..4)
+            .map(|q| {
+                (0..8)
+                    .map(|i| ((q * 8 + i) as f32 * 0.17).sin() * 0.3)
+                    .collect()
+            })
+            .collect();
+        let exec = ExecPlan::new(MnnFastConfig::new(16)).executor();
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+        let budgets = vec![Budget::unlimited(); questions.len()];
+        let batched = multi_hop_batch_budgeted(
+            &exec,
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &questions,
+            3,
+            &mut scratch,
+            &mut trace,
+            &budgets,
+        )
+        .unwrap();
+        assert_eq!(batched.len(), questions.len());
+        for (q, result) in batched.iter().enumerate() {
+            let out = result.as_ref().unwrap();
+            let single = multi_hop_simple(&exec, &m_in, &m_out, &questions[q], 3).unwrap();
+            assert_slice_approx_eq(&out.u_final, &single.u_final, 1e-4);
+            assert_slice_approx_eq(&out.o, &single.o, 1e-4);
+            assert_eq!(out.per_hop.len(), 3);
+            assert_eq!(out.stats.rows_total, single.stats.rows_total);
+        }
+        assert!(trace.count(Phase::BatchGemm) > 0);
+    }
+
+    #[test]
+    fn batched_hops_isolate_a_cancelled_question() {
+        use crate::budget::CancelToken;
+        let (m_in, m_out, _) = memories(40, 4);
+        let questions: Vec<Vec<f32>> = (0..3)
+            .map(|q| (0..4).map(|i| ((q + i) as f32 * 0.2).cos() * 0.4).collect())
+            .collect();
+        let exec = ExecPlan::new(MnnFastConfig::new(10)).executor();
+        let token = CancelToken::new();
+        token.cancel();
+        let budgets = vec![
+            Budget::unlimited(),
+            Budget::unlimited().with_cancel(token),
+            Budget::unlimited(),
+        ];
+        let batched = multi_hop_batch_budgeted(
+            &exec,
+            &m_in,
+            &m_out,
+            m_in.rows(),
+            &questions,
+            2,
+            &mut Scratch::new(),
+            &mut Trace::disabled(),
+            &budgets,
+        )
+        .unwrap();
+        assert!(matches!(batched[1], Err(EngineError::Cancelled)));
+        for q in [0usize, 2] {
+            let out = batched[q].as_ref().unwrap();
+            let single = multi_hop_simple(&exec, &m_in, &m_out, &questions[q], 2).unwrap();
+            assert_slice_approx_eq(&out.u_final, &single.u_final, 1e-4);
+        }
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub use exec::{
     EngineKind, ExecPlan, Executor, LatencyHistogram, Phase, PhaseHistograms, PlanExecutor,
     Scratch, Trace,
 };
-pub use hops::{multi_hop, multi_hop_budgeted, multi_hop_simple, HopsOutput};
+pub use hops::{
+    multi_hop, multi_hop_batch_budgeted, multi_hop_budgeted, multi_hop_simple, HopsOutput,
+};
 pub use parallel::ParallelEngine;
 pub use stats::InferenceStats;
 pub use streaming::StreamingEngine;

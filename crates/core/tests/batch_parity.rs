@@ -1,0 +1,168 @@
+//! Batched == per-question parity on awkward shapes.
+//!
+//! The batched engine must reproduce the single-question [`ColumnEngine`]
+//! to 1e-4 — with *identical* `rows_skipped` — across Lazy/Online softmax ×
+//! every skip policy × fused/unfused × the forced-scalar backend, including
+//! the shapes that stress kernel edges: `nq = 1` (no 2-question tile),
+//! `ns` not a multiple of the chunk, `chunk > ns` (single short chunk), and
+//! `ed = 1` (no SIMD lanes).
+//!
+//! This lives in its own integration binary so forcing the scalar backend
+//! cannot race other tests: every test here funnels through
+//! [`with_backend`], which serializes on one lock and restores the previous
+//! backend even on panic.
+
+use std::sync::Mutex;
+
+use mnn_tensor::simd::{self, Backend};
+use mnn_tensor::{assert_slice_approx_eq, Matrix};
+use mnnfast::{
+    BatchEngine, Budget, ColumnEngine, MnnFastConfig, Scratch, SkipPolicy, SoftmaxMode, Trace,
+};
+
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the SIMD backend pinned to `b`, restoring the previous
+/// backend afterwards (panic-safe via a drop guard).
+fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Backend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            simd::set_backend(self.0);
+        }
+    }
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = Restore(simd::backend());
+    simd::set_backend(b);
+    f()
+}
+
+/// The backends worth testing on this machine: the auto-detected one plus
+/// forced-scalar (identical when the build is already scalar-only).
+fn backends() -> Vec<Backend> {
+    let active = simd::backend();
+    if active == Backend::Scalar {
+        vec![Backend::Scalar]
+    } else {
+        vec![active, Backend::Scalar]
+    }
+}
+
+fn memories(ns: usize, ed: usize, nq: usize) -> (Matrix, Matrix, Vec<Vec<f32>>) {
+    let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 13 + c * 3) as f32 * 0.11).sin() * 0.7);
+    let m_out = Matrix::from_fn(ns, ed, |r, c| ((r * 5 + c * 7) as f32 * 0.07).cos() * 0.7);
+    let questions = (0..nq)
+        .map(|q| {
+            (0..ed)
+                .map(|k| ((q * 11 + k * 2) as f32 * 0.19).sin() * 0.8)
+                .collect()
+        })
+        .collect();
+    (m_in, m_out, questions)
+}
+
+/// Awkward (ns, ed, chunk, nq) corners: minimal everything, ed = 1, odd nq
+/// with a chunked remainder, chunk > ns, ns not a multiple of chunk.
+const SHAPES: [(usize, usize, usize, usize); 5] = [
+    (1, 1, 1, 1),
+    (7, 1, 3, 2),
+    (5, 4, 8, 3),
+    (83, 8, 16, 5),
+    (29, 6, 10, 1),
+];
+
+fn assert_parity(config: MnnFastConfig, m_in: &Matrix, m_out: &Matrix, questions: &[Vec<f32>]) {
+    let batched = BatchEngine::new(config)
+        .forward(m_in, m_out, questions)
+        .unwrap();
+    let single = ColumnEngine::new(config);
+    for (q, out) in batched.outputs.iter().enumerate() {
+        let expect = single.forward(m_in, m_out, &questions[q]).unwrap();
+        assert_slice_approx_eq(&out.o, &expect.o, 1e-4);
+        assert_eq!(
+            out.stats.rows_skipped, expect.stats.rows_skipped,
+            "skip counts must match exactly (q{q}, {config:?})"
+        );
+        assert_eq!(out.stats.rows_total, expect.stats.rows_total);
+    }
+
+    // The budgeted serving path agrees with the one-shot batched path.
+    let mut scratch = Scratch::new();
+    let mut trace = Trace::disabled();
+    let budgets = vec![Budget::unlimited(); questions.len()];
+    let results = BatchEngine::new(config)
+        .forward_budgeted(
+            m_in,
+            m_out,
+            m_in.rows(),
+            questions,
+            &mut scratch,
+            &mut trace,
+            &budgets,
+        )
+        .unwrap();
+    for (r, expect) in results.iter().zip(&batched.outputs) {
+        let out = r.as_ref().unwrap();
+        assert_slice_approx_eq(&out.o, &expect.o, 1e-5);
+        assert_eq!(out.stats.rows_skipped, expect.stats.rows_skipped);
+    }
+}
+
+#[test]
+fn batched_parity_without_skipping() {
+    for backend in backends() {
+        with_backend(backend, || {
+            for (ns, ed, chunk, nq) in SHAPES {
+                let (m_in, m_out, questions) = memories(ns, ed, nq);
+                for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+                    for fused in [true, false] {
+                        let config = MnnFastConfig::new(chunk)
+                            .with_softmax(mode)
+                            .with_fused(fused);
+                        assert_parity(config, &m_in, &m_out, &questions);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn batched_parity_with_raw_weight_skipping() {
+    for backend in backends() {
+        with_backend(backend, || {
+            for (ns, ed, chunk, nq) in SHAPES {
+                let (m_in, m_out, questions) = memories(ns, ed, nq);
+                for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+                    for fused in [true, false] {
+                        let config = MnnFastConfig::new(chunk)
+                            .with_softmax(mode)
+                            .with_fused(fused)
+                            .with_skip(SkipPolicy::RawWeight(0.9));
+                        assert_parity(config, &m_in, &m_out, &questions);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn batched_parity_with_probability_skipping() {
+    for backend in backends() {
+        with_backend(backend, || {
+            for (ns, ed, chunk, nq) in SHAPES {
+                let (m_in, m_out, questions) = memories(ns, ed, nq);
+                for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+                    for fused in [true, false] {
+                        let config = MnnFastConfig::new(chunk)
+                            .with_softmax(mode)
+                            .with_fused(fused)
+                            .with_skip(SkipPolicy::Probability(0.02));
+                        assert_parity(config, &m_in, &m_out, &questions);
+                    }
+                }
+            }
+        });
+    }
+}

@@ -9,9 +9,14 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use mnn_tensor::Matrix;
-use mnnfast::{EngineKind, ExecPlan, Executor, MnnFastConfig, Scratch, SoftmaxMode, Trace};
+use mnnfast::{Budget, EngineKind, ExecPlan, Executor, MnnFastConfig, Scratch, SoftmaxMode, Trace};
+
+// The counting allocator tallies per-thread but into one global counter, so
+// the two tests in this binary must not overlap in time.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -51,6 +56,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn warm_forward_pass_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     COUNTED_THREAD.with(|c| c.set(true));
     let ns = 512;
     let ed = 32;
@@ -92,6 +98,75 @@ fn warm_forward_pass_is_allocation_free() {
             after - before,
             0,
             "{mode:?}: warm forward passes must not allocate"
+        );
+    }
+}
+
+#[test]
+fn warm_batched_pass_allocates_only_the_result_vec() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    COUNTED_THREAD.with(|c| c.set(true));
+    let ns = 512;
+    let ed = 32;
+    let nq = 4;
+    let m_in = Matrix::from_fn(ns, ed, |r, c| ((r * 3 + c) as f32 * 0.05).sin());
+    let m_out = Matrix::from_fn(ns, ed, |r, c| ((r + 2 * c) as f32 * 0.07).cos());
+    let questions: Vec<Vec<f32>> = (0..nq)
+        .map(|q| (0..ed).map(|i| ((q * ed + i) as f32 * 0.2).sin()).collect())
+        .collect();
+    let budgets = vec![Budget::unlimited(); nq];
+
+    for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+        let exec = ExecPlan::new(MnnFastConfig::new(64).with_softmax(mode))
+            .with_kind(EngineKind::Column)
+            .executor();
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::enabled();
+
+        // Warm-up: grows the batch arena (logits tile, accumulators,
+        // question block) and the output pool.
+        for _ in 0..2 {
+            let results = exec
+                .forward_batch_budgeted(
+                    &m_in,
+                    &m_out,
+                    ns,
+                    &questions,
+                    &mut scratch,
+                    &mut trace,
+                    &budgets,
+                )
+                .unwrap();
+            for r in results {
+                scratch.recycle(r.unwrap().o);
+            }
+        }
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let calls = 16u64;
+        for _ in 0..calls {
+            let results = exec
+                .forward_batch_budgeted(
+                    &m_in,
+                    &m_out,
+                    ns,
+                    &questions,
+                    &mut scratch,
+                    &mut trace,
+                    &budgets,
+                )
+                .unwrap();
+            for r in results {
+                scratch.recycle(r.unwrap().o);
+            }
+        }
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        // The only heap touch per warm batched call is the returned result
+        // Vec itself — no per-chunk or per-question buffer allocations.
+        assert_eq!(
+            after - before,
+            calls,
+            "{mode:?}: warm batched passes must allocate only the result vec"
         );
     }
 }

@@ -38,7 +38,7 @@ mod pool;
 mod session;
 mod store;
 
-pub use pool::{AdmissionConfig, PoolError, PoolStats, SessionPool};
+pub use pool::{AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats, SessionPool};
 pub use session::{
     Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,
 };

@@ -10,10 +10,10 @@
 use crate::session::{Answer, ServeError, Session, SessionConfig};
 use mnn_dataset::WordId;
 use mnn_memnn::MemNet;
-use mnnfast::{InferenceStats, Phase, PhaseHistograms, Trace};
+use mnnfast::{Budget, InferenceStats, Phase, PhaseHistograms, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Errors specific to the pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,54 @@ impl From<ServeError> for PoolError {
     }
 }
 
+/// Coalescing-batch parameters for [`SessionPool::enqueue`].
+///
+/// Concurrent questions over the same tenant's story are grouped into one
+/// batched streaming pass (the cross-request GEMM fast path): a tenant's
+/// queue flushes as soon as it holds `max_batch` questions, and
+/// [`SessionPool::flush_due`] flushes queues whose oldest question has
+/// waited `max_wait`. Queue wait is charged against each question's
+/// deadline: a question that waited `w` runs under
+/// `deadline.saturating_sub(w)`, so coalescing never silently extends
+/// [`SessionConfig::deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush a tenant's queue when it reaches this many questions.
+    pub max_batch: usize,
+    /// Maximum time a queued question may wait before
+    /// [`SessionPool::flush_due`] considers its batch due.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One answered (or failed) question from a coalesced batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedAnswer {
+    /// Request id assigned by [`SessionPool::enqueue`], in submission order.
+    pub request: u64,
+    /// The tenant the question was asked of.
+    pub tenant: String,
+    /// The per-question outcome; failures (deadline, shed, unknown token)
+    /// are isolated to their own slot.
+    pub answer: Result<Answer, PoolError>,
+}
+
+/// A question waiting in a tenant's coalescing queue.
+#[derive(Debug, Clone)]
+struct QueuedQuestion {
+    id: u64,
+    tokens: Vec<WordId>,
+    enqueued: Instant,
+}
+
 /// Aggregate statistics across the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PoolStats {
@@ -109,6 +157,16 @@ pub struct PoolStats {
     /// Tenants currently pinned to the safe path by their
     /// [`crate::DegradationPolicy`].
     pub pinned_sessions: usize,
+    /// Batched passes dispatched ([`SessionPool::ask_many`] calls plus
+    /// coalescing-queue flushes).
+    pub batches_dispatched: u64,
+    /// Questions that went through a dispatched batched pass (whether the
+    /// per-question slot succeeded or failed).
+    pub batched_questions: u64,
+    /// Largest batch occupancy seen so far (questions in one pass).
+    pub max_batch_occupancy: usize,
+    /// Questions currently waiting in coalescing queues.
+    pub pending_questions: usize,
 }
 
 /// Token-bucket state for the admission controller.
@@ -155,6 +213,12 @@ pub struct SessionPool {
     bucket: Option<Bucket>,
     shed_questions: u64,
     admission_trace: Trace,
+    batching: Option<BatchConfig>,
+    queues: BTreeMap<String, Vec<QueuedQuestion>>,
+    next_request: u64,
+    batches_dispatched: u64,
+    batched_questions: u64,
+    max_batch_occupancy: usize,
 }
 
 impl SessionPool {
@@ -178,6 +242,12 @@ impl SessionPool {
             } else {
                 Trace::disabled()
             },
+            batching: None,
+            queues: BTreeMap::new(),
+            next_request: 0,
+            batches_dispatched: 0,
+            batched_questions: 0,
+            max_batch_occupancy: 0,
         })
     }
 
@@ -185,6 +255,13 @@ impl SessionPool {
     /// admits every question.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.bucket = Some(Bucket::new(admission));
+        self
+    }
+
+    /// Enables the coalescing batch queue (builder-style). Without it,
+    /// [`SessionPool::enqueue`] degenerates to an immediate batch of one.
+    pub fn with_batching(mut self, batching: BatchConfig) -> Self {
+        self.batching = Some(batching);
         self
     }
 
@@ -269,12 +346,215 @@ impl SessionPool {
         Ok(session.ask(question)?)
     }
 
+    /// Asks `tenant` a batch of questions in one streaming pass over its
+    /// memory — the cross-request batched fast path: every question shares
+    /// each memory chunk while it is cache-resident. Admission control
+    /// charges the batch's total work (rows × hops × questions) in a single
+    /// decision, so a batch sheds or admits as a unit.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level: [`PoolError::UnknownTenant`], [`PoolError::Overloaded`],
+    /// or the session's batch-level error. Per-question failures (deadline,
+    /// unknown tokens, unrecovered faults) sit in the inner `Result` slots.
+    pub fn ask_many(
+        &mut self,
+        tenant: &str,
+        questions: &[Vec<WordId>],
+    ) -> Result<Vec<Result<Answer, PoolError>>, PoolError> {
+        if questions.is_empty() {
+            return Ok(Vec::new());
+        }
+        let session = self
+            .sessions
+            .get_mut(tenant)
+            .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))?;
+        let nq = questions.len();
+        if let Some(bucket) = &mut self.bucket {
+            let t0 = self.admission_trace.begin();
+            let hops = session.model().config().hops as u64;
+            let cost = (session.memory_len() as u64 * hops).max(1) * nq as u64;
+            let decision = bucket.admit(cost);
+            self.admission_trace.record(Phase::Admission, t0, nq as u64);
+            if let Err(available) = decision {
+                self.shed_questions += nq as u64;
+                return Err(PoolError::Overloaded {
+                    needed: cost,
+                    available,
+                });
+            }
+        }
+        self.embedding_lookups += questions.iter().map(|q| q.len() as u64).sum::<u64>();
+        let results = session.ask_many(questions)?;
+        self.batches_dispatched += 1;
+        self.batched_questions += nq as u64;
+        self.max_batch_occupancy = self.max_batch_occupancy.max(nq);
+        Ok(results
+            .into_iter()
+            .map(|r| r.map_err(PoolError::from))
+            .collect())
+    }
+
+    /// Submits one question to `tenant`'s coalescing queue. Returns the
+    /// flushed batch's answers when this question fills the queue to
+    /// [`BatchConfig::max_batch`], an empty vec when it merely queues.
+    /// Without [`SessionPool::with_batching`] every enqueue is an immediate
+    /// batch of one.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTenant`], or a batch-level flush error (shed
+    /// batches come back as per-question [`PoolError::Overloaded`] slots,
+    /// not a batch-level error — the requests were already accepted into
+    /// the queue).
+    pub fn enqueue(
+        &mut self,
+        tenant: &str,
+        question: &[WordId],
+    ) -> Result<Vec<BatchedAnswer>, PoolError> {
+        if !self.sessions.contains_key(tenant) {
+            return Err(PoolError::UnknownTenant(tenant.to_owned()));
+        }
+        let id = self.next_request;
+        self.next_request += 1;
+        let queue = self.queues.entry(tenant.to_owned()).or_default();
+        queue.push(QueuedQuestion {
+            id,
+            tokens: question.to_vec(),
+            enqueued: Instant::now(),
+        });
+        let max_batch = self.batching.map_or(1, |b| b.max_batch).max(1);
+        if queue.len() >= max_batch {
+            self.flush_tenant_queue(tenant)
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Flushes every tenant queue whose oldest question has waited at least
+    /// [`BatchConfig::max_wait`]. Call this from the serving loop's idle
+    /// path so partially filled batches still meet their latency bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionPool::enqueue`]'s flush path.
+    pub fn flush_due(&mut self) -> Result<Vec<BatchedAnswer>, PoolError> {
+        let max_wait = self.batching.map_or(Duration::ZERO, |b| b.max_wait);
+        let now = Instant::now();
+        let due: Vec<String> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| {
+                q.first()
+                    .is_some_and(|r| now.duration_since(r.enqueued) >= max_wait)
+            })
+            .map(|(t, _)| t.clone())
+            .collect();
+        let mut answers = Vec::new();
+        for tenant in due {
+            answers.extend(self.flush_tenant_queue(&tenant)?);
+        }
+        Ok(answers)
+    }
+
+    /// Flushes every non-empty tenant queue regardless of age (e.g. at
+    /// shutdown, so no queued question is dropped).
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionPool::enqueue`]'s flush path.
+    pub fn flush_all(&mut self) -> Result<Vec<BatchedAnswer>, PoolError> {
+        let tenants: Vec<String> = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, _)| t.clone())
+            .collect();
+        let mut answers = Vec::new();
+        for tenant in tenants {
+            answers.extend(self.flush_tenant_queue(&tenant)?);
+        }
+        Ok(answers)
+    }
+
+    /// Questions currently waiting in coalescing queues.
+    pub fn pending_questions(&self) -> usize {
+        self.queues.values().map(Vec::len).sum()
+    }
+
+    /// Dispatches one tenant's queued questions as a single batched pass.
+    /// Queue wait is charged against each question's deadline, so a
+    /// question that waited `w` runs under `deadline - w`.
+    fn flush_tenant_queue(&mut self, tenant: &str) -> Result<Vec<BatchedAnswer>, PoolError> {
+        let queued = match self.queues.get_mut(tenant) {
+            Some(q) if !q.is_empty() => std::mem::take(q),
+            _ => return Ok(Vec::new()),
+        };
+        let session = self
+            .sessions
+            .get_mut(tenant)
+            .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))?;
+        let nq = queued.len();
+        if let Some(bucket) = &mut self.bucket {
+            let t0 = self.admission_trace.begin();
+            let hops = session.model().config().hops as u64;
+            let cost = (session.memory_len() as u64 * hops).max(1) * nq as u64;
+            let decision = bucket.admit(cost);
+            self.admission_trace.record(Phase::Admission, t0, nq as u64);
+            if let Err(available) = decision {
+                self.shed_questions += nq as u64;
+                return Ok(queued
+                    .into_iter()
+                    .map(|r| BatchedAnswer {
+                        request: r.id,
+                        tenant: tenant.to_owned(),
+                        answer: Err(PoolError::Overloaded {
+                            needed: cost,
+                            available,
+                        }),
+                    })
+                    .collect());
+            }
+        }
+        self.embedding_lookups += queued.iter().map(|r| r.tokens.len() as u64).sum::<u64>();
+        let now = Instant::now();
+        let deadline = self.config.deadline;
+        let budgets: Vec<Budget> = queued
+            .iter()
+            .map(|r| match deadline {
+                Some(limit) => {
+                    Budget::with_deadline(limit.saturating_sub(now.duration_since(r.enqueued)))
+                }
+                None => Budget::unlimited(),
+            })
+            .collect();
+        let (ids, questions): (Vec<u64>, Vec<Vec<WordId>>) =
+            queued.into_iter().map(|r| (r.id, r.tokens)).unzip();
+        let results = session.ask_many_budgeted(&questions, &budgets)?;
+        self.batches_dispatched += 1;
+        self.batched_questions += nq as u64;
+        self.max_batch_occupancy = self.max_batch_occupancy.max(nq);
+        Ok(ids
+            .into_iter()
+            .zip(results)
+            .map(|(id, answer)| BatchedAnswer {
+                request: id,
+                tenant: tenant.to_owned(),
+                answer: answer.map_err(PoolError::from),
+            })
+            .collect())
+    }
+
     /// Aggregated pool statistics.
     pub fn stats(&self) -> PoolStats {
         let mut stats = PoolStats {
             tenants: self.sessions.len(),
             embedding_lookups: self.embedding_lookups,
             shed_questions: self.shed_questions,
+            batches_dispatched: self.batches_dispatched,
+            batched_questions: self.batched_questions,
+            max_batch_occupancy: self.max_batch_occupancy,
+            pending_questions: self.pending_questions(),
             ..PoolStats::default()
         };
         stats.trace.absorb(&self.admission_trace);
@@ -435,6 +715,173 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         pool.ask("t", q).unwrap();
         assert_eq!(pool.stats().shed_questions, 0);
+    }
+
+    #[test]
+    fn batched_ask_updates_occupancy_counters() {
+        let (mut generator, mut pool) = pool();
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let answers = pool.ask_many("t", &questions).unwrap();
+        assert_eq!(answers.len(), 2);
+        for a in &answers {
+            assert!(a.is_ok());
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.batches_dispatched, 1);
+        assert_eq!(stats.batched_questions, 2);
+        assert_eq!(stats.max_batch_occupancy, 2);
+        assert_eq!(stats.questions_answered, 2);
+        assert_eq!(stats.pending_questions, 0);
+        assert!(matches!(
+            pool.ask_many("ghost", &questions),
+            Err(PoolError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn coalescing_queue_flushes_at_max_batch() {
+        let (mut generator, pool) = pool();
+        let mut pool = pool.with_batching(BatchConfig {
+            max_batch: 2,
+            max_wait: std::time::Duration::from_secs(3600),
+        });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        let q0 = &story.questions[0].tokens;
+        let q1 = &story.questions[1].tokens;
+        assert_eq!(pool.enqueue("t", q0).unwrap(), Vec::new());
+        assert_eq!(pool.pending_questions(), 1);
+        // No queue is due yet, so flush_due leaves it alone.
+        assert_eq!(pool.flush_due().unwrap(), Vec::new());
+        let flushed = pool.enqueue("t", q1).unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].request, 0);
+        assert_eq!(flushed[1].request, 1);
+        assert!(flushed.iter().all(|b| b.tenant == "t" && b.answer.is_ok()));
+        assert_eq!(pool.pending_questions(), 0);
+        let stats = pool.stats();
+        assert_eq!(stats.batches_dispatched, 1);
+        assert_eq!(stats.max_batch_occupancy, 2);
+        assert!(matches!(
+            pool.enqueue("ghost", q0),
+            Err(PoolError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn flush_due_and_flush_all_drain_partial_batches() {
+        let (mut generator, pool) = pool();
+        let mut pool = pool.with_batching(BatchConfig {
+            max_batch: 100,
+            max_wait: std::time::Duration::ZERO,
+        });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(4, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        assert_eq!(
+            pool.enqueue("t", &story.questions[0].tokens).unwrap(),
+            Vec::new()
+        );
+        // max_wait zero: the queued question is immediately due.
+        let due = pool.flush_due().unwrap();
+        assert_eq!(due.len(), 1);
+        assert!(due[0].answer.is_ok());
+        pool.enqueue("t", &story.questions[1].tokens).unwrap();
+        let all = pool.flush_all().unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].request, 1);
+        assert_eq!(pool.stats().batches_dispatched, 2);
+    }
+
+    #[test]
+    fn queue_wait_is_charged_against_the_deadline() {
+        use crate::session::SessionConfig;
+        use mnnfast::engine::EngineError;
+
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 61);
+        let stories = generator.dataset(40, 6, 2);
+        let config = ModelConfig {
+            temporal: false,
+            ..ModelConfig::for_generator(&generator, 16, 8)
+        };
+        let mut model = MemNet::new(config, 3);
+        Trainer::new().epochs(15).train(&mut model, &stories);
+        let session_config = SessionConfig {
+            deadline: Some(std::time::Duration::from_millis(50)),
+            ..SessionConfig::default()
+        };
+        let mut pool = SessionPool::new(model, session_config)
+            .unwrap()
+            .with_batching(BatchConfig {
+                max_batch: 2,
+                max_wait: std::time::Duration::from_secs(3600),
+            });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        pool.enqueue("t", &story.questions[0].tokens).unwrap();
+        // By flush time the first question has burned its whole deadline in
+        // the queue; the second arrives fresh and still has its 50 ms.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let flushed = pool.enqueue("t", &story.questions[1].tokens).unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert!(matches!(
+            flushed[0].answer,
+            Err(PoolError::Session(ServeError::Engine(
+                EngineError::DeadlineExceeded { .. }
+            )))
+        ));
+        assert!(flushed[1].answer.is_ok());
+        assert_eq!(pool.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn shed_batch_returns_overloaded_slots() {
+        let (mut generator, pool) = pool();
+        let mut pool = pool
+            .with_admission(AdmissionConfig {
+                capacity: 7,
+                refill_per_sec: 0,
+            })
+            .with_batching(BatchConfig {
+                max_batch: 2,
+                max_wait: std::time::Duration::from_secs(3600),
+            });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        // Batch cost is 5 rows × 1 hop × 2 questions = 10 > capacity 7.
+        pool.enqueue("t", &story.questions[0].tokens).unwrap();
+        let flushed = pool.enqueue("t", &story.questions[1].tokens).unwrap();
+        assert_eq!(flushed.len(), 2);
+        for b in &flushed {
+            match &b.answer {
+                Err(PoolError::Overloaded { needed, available }) => {
+                    assert_eq!(*needed, 10);
+                    assert_eq!(*available, 7);
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.shed_questions, 2);
+        assert_eq!(stats.batches_dispatched, 0);
+        assert_eq!(stats.questions_answered, 0);
     }
 
     #[test]

@@ -7,8 +7,8 @@ use mnn_memnn::{MemNet, ModelConfig};
 use mnn_tensor::{reduce, softmax};
 use mnnfast::engine::EngineError;
 use mnnfast::{
-    multi_hop_budgeted, Budget, ExecPlan, HopsOutput, InferenceStats, MnnFastConfig, Phase,
-    PhaseHistograms, PlanExecutor, Scratch, SoftmaxMode, Trace,
+    multi_hop_batch_budgeted, multi_hop_budgeted, Budget, ExecPlan, HopsOutput, InferenceStats,
+    MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Scratch, SoftmaxMode, Trace,
 };
 use std::error::Error;
 use std::fmt;
@@ -141,7 +141,10 @@ pub struct Answer {
     /// Engine counters for this question.
     pub stats: InferenceStats,
     /// Per-phase timings for this question (all zero unless
-    /// [`SessionConfig::trace`] is set).
+    /// [`SessionConfig::trace`] is set). Answers from a batched ask
+    /// ([`Session::ask_many`]) carry the *batch-wide* trace: the batched
+    /// engine streams every chunk once for all questions, so phase time is
+    /// shared and cannot be attributed per question.
     pub trace: Trace,
     /// `true` if this answer came from the safe path — either a retry
     /// after a numeric fault or a session pinned by its
@@ -374,6 +377,148 @@ impl Session {
         })
     }
 
+    /// Answers a batch of questions in one streaming pass over the memory.
+    ///
+    /// Every question runs under its own [`Budget`] built from
+    /// [`SessionConfig::deadline`]; see [`Session::ask_many_budgeted`] for
+    /// the per-question semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::ask_many_budgeted`].
+    pub fn ask_many(
+        &mut self,
+        questions: &[Vec<WordId>],
+    ) -> Result<Vec<Result<Answer, ServeError>>, ServeError> {
+        let budgets: Vec<Budget> = questions
+            .iter()
+            .map(|_| match self.config.deadline {
+                Some(limit) => Budget::with_deadline(limit),
+                None => Budget::unlimited(),
+            })
+            .collect();
+        self.ask_many_budgeted(questions, &budgets)
+    }
+
+    /// [`Session::ask_many`] under caller-supplied per-question [`Budget`]s
+    /// (`budgets[q]` governs `questions[q]` across all hops).
+    ///
+    /// This is the cross-request batched fast path: all questions share
+    /// each memory chunk while it is cache-resident, so each hop streams
+    /// `M_IN`/`M_OUT` once per *batch* instead of once per question. Slots
+    /// come back in question order and failures are isolated per question:
+    /// a question whose budget expires mid-batch carries a typed
+    /// [`EngineError::DeadlineExceeded`] (or [`EngineError::Cancelled`]) in
+    /// its slot while its batchmates finish normally. Numeric faults take
+    /// the same degradation ladder as [`Session::ask`]: faulted questions
+    /// are retried as a sub-batch on the safe path.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Err` is batch-level: [`ServeError::EmptyMemory`], a
+    /// budget-count mismatch, or an engine configuration error. Everything
+    /// per-question (unknown tokens, deadlines, unrecovered faults) is in
+    /// the inner `Result` slots.
+    pub fn ask_many_budgeted(
+        &mut self,
+        questions: &[Vec<WordId>],
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<Answer, ServeError>>, ServeError> {
+        if budgets.len() != questions.len() {
+            return Err(ServeError::Engine(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            ))));
+        }
+        if questions.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.store.is_empty() {
+            return Err(ServeError::EmptyMemory);
+        }
+
+        // Per-question token validation: bad questions get their error slot
+        // up front and are excluded from the engine batch.
+        let mut token_errors: Vec<Option<ServeError>> = questions
+            .iter()
+            .map(|q| self.check_tokens(q).err())
+            .collect();
+        let ed = self.model.embedding_dim();
+        let mut idx = Vec::with_capacity(questions.len());
+        let mut us: Vec<Vec<f32>> = Vec::with_capacity(questions.len());
+        let mut sub_budgets = Vec::with_capacity(questions.len());
+        for (q, question) in questions.iter().enumerate() {
+            if token_errors[q].is_some() {
+                continue;
+            }
+            let mut u = vec![0.0f32; ed];
+            if self.model.config().position_encoding {
+                MemNet::embed_tokens_pe(&self.model.b, question, &mut u);
+            } else {
+                MemNet::embed_tokens(&self.model.b, question, &mut u);
+            }
+            idx.push(q);
+            us.push(u);
+            sub_budgets.push(budgets[q].clone());
+        }
+
+        let mut trace = if self.config.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
+        let engine_results = if us.is_empty() {
+            Vec::new()
+        } else {
+            self.forward_batch(&us, &mut trace, &sub_budgets)?
+        };
+
+        let mut answers: Vec<Option<Result<Answer, ServeError>>> =
+            token_errors.iter_mut().map(|e| e.take().map(Err)).collect();
+        for (&q, result) in idx.iter().zip(engine_results) {
+            answers[q] = Some(match result {
+                Ok((out, degraded)) => {
+                    if degraded {
+                        self.degradation.degraded_answers += 1;
+                    }
+                    let mut logits = self.model.output_logits(&out.o, &out.u_last);
+                    match reduce::argmax(&logits) {
+                        None => Err(ServeError::Model("model produced empty logits".into())),
+                        Some(word) => {
+                            softmax::softmax_in_place(&mut logits);
+                            self.cumulative.merge(&out.stats);
+                            self.questions_answered += 1;
+                            let answer = Answer {
+                                word: word as WordId,
+                                probability: logits[word],
+                                stats: out.stats,
+                                trace,
+                                degraded,
+                            };
+                            self.scratch.recycle(out.o);
+                            Ok(answer)
+                        }
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, EngineError::DeadlineExceeded { .. }) {
+                        self.degradation.deadline_misses += 1;
+                    }
+                    Err(e.into())
+                }
+            });
+        }
+        // The batch pass is one trace observation: phases are shared across
+        // the batch, so absorbing it per answer would multiply the time.
+        self.cumulative_trace.absorb(&trace);
+        self.histograms.observe(&trace);
+        Ok(answers
+            .into_iter()
+            .map(|a| a.expect("every question slot is filled"))
+            .collect())
+    }
+
     /// Runs the engine forward pass, applying the degradation ladder.
     /// Returns the hop output and whether the safe path produced it.
     fn forward(
@@ -436,6 +581,84 @@ impl Session {
         }
     }
 
+    /// Batched engine forward pass with the degradation ladder applied
+    /// per question: numeric-faulted questions are retried together as a
+    /// sub-batch on the safe path. Results are in `us` order; the `bool`
+    /// marks answers the safe path produced.
+    #[allow(clippy::type_complexity)]
+    fn forward_batch(
+        &mut self,
+        us: &[Vec<f32>],
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<(HopsOutput, bool), EngineError>>, EngineError> {
+        let hops = self.model.config().hops;
+        let rows = self.store.len();
+        let was_pinned = self.degradation.pinned_safe;
+        let primary = if was_pinned {
+            &self.safe_executor
+        } else {
+            &self.executor
+        };
+        let first = multi_hop_batch_budgeted(
+            primary,
+            self.store.m_in(),
+            self.store.m_out(),
+            rows,
+            us,
+            hops,
+            &mut self.scratch,
+            trace,
+            budgets,
+        )?;
+
+        let mut results: Vec<Result<(HopsOutput, bool), EngineError>> =
+            Vec::with_capacity(us.len());
+        let mut retry_idx: Vec<usize> = Vec::new();
+        for (q, result) in first.into_iter().enumerate() {
+            match result {
+                Ok(out) => results.push(Ok((out, was_pinned))),
+                Err(e) => {
+                    if matches!(e, EngineError::NumericFault { .. }) {
+                        self.degradation.numeric_faults += 1;
+                        if !was_pinned && self.config.degradation.retry_on_numeric_fault {
+                            if let Some(limit) = self.config.degradation.pin_after_faults {
+                                if self.degradation.numeric_faults >= u64::from(limit) {
+                                    self.degradation.pinned_safe = true;
+                                }
+                            }
+                            retry_idx.push(q);
+                        }
+                    }
+                    results.push(Err(e));
+                }
+            }
+        }
+
+        if !retry_idx.is_empty() {
+            let retry_us: Vec<Vec<f32>> = retry_idx.iter().map(|&q| us[q].clone()).collect();
+            let retry_budgets: Vec<Budget> =
+                retry_idx.iter().map(|&q| budgets[q].clone()).collect();
+            let t0 = trace.begin();
+            let retried = multi_hop_batch_budgeted(
+                &self.safe_executor,
+                self.store.m_in(),
+                self.store.m_out(),
+                rows,
+                &retry_us,
+                hops,
+                &mut self.scratch,
+                trace,
+                &retry_budgets,
+            )?;
+            trace.record(Phase::Retry, t0, retry_idx.len() as u64);
+            for (&q, result) in retry_idx.iter().zip(retried) {
+                results[q] = result.map(|out| (out, true));
+            }
+        }
+        Ok(results)
+    }
+
     /// Text-level [`Session::observe`]: tokenizes against `vocab` first.
     ///
     /// # Errors
@@ -468,6 +691,51 @@ impl Session {
         let answer = self.ask(&tokens)?;
         let word = vocab.word(answer.word).unwrap_or("<?>").to_owned();
         Ok((word, answer))
+    }
+
+    /// Text-level [`Session::ask_many`]: tokenizes every question against
+    /// `vocab`, answers all of them in one batched pass, and decodes each
+    /// answer back to a word. Questions with unknown words get a
+    /// per-question [`ServeError::Model`] slot without failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Batch-level errors as [`Session::ask_many`].
+    #[allow(clippy::type_complexity)]
+    pub fn ask_many_text(
+        &mut self,
+        questions: &[String],
+        vocab: &Vocabulary,
+    ) -> Result<Vec<Result<(String, Answer), ServeError>>, ServeError> {
+        let encoded: Vec<Result<Vec<WordId>, ServeError>> = questions
+            .iter()
+            .map(|q| {
+                text::encode(q, vocab).map_err(|w| ServeError::Model(format!("unknown word '{w}'")))
+            })
+            .collect();
+        let valid: Vec<Vec<WordId>> = encoded
+            .iter()
+            .filter_map(|r| r.as_ref().ok().cloned())
+            .collect();
+        let mut batched = if valid.is_empty() {
+            Vec::new()
+        } else {
+            self.ask_many(&valid)?
+        }
+        .into_iter();
+        Ok(encoded
+            .into_iter()
+            .map(|tokens| match tokens {
+                Err(e) => Err(e),
+                Ok(_) => batched
+                    .next()
+                    .expect("one batched slot per encodable question")
+                    .map(|answer| {
+                        let word = vocab.word(answer.word).unwrap_or("<?>").to_owned();
+                        (word, answer)
+                    }),
+            })
+            .collect())
     }
 
     fn check_tokens(&self, tokens: &[WordId]) -> Result<(), ServeError> {
@@ -768,6 +1036,156 @@ mod tests {
         assert_eq!(err, ServeError::Engine(EngineError::Cancelled));
         // Cancellation is not a deadline miss.
         assert_eq!(session.degradation_stats().deadline_misses, 0);
+    }
+
+    #[test]
+    fn batched_ask_matches_sequential_asks() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 3);
+        let mut seq = Session::new(model.clone(), SessionConfig::default()).unwrap();
+        let mut batched = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            seq.observe(s).unwrap();
+            batched.observe(s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let answers = batched.ask_many(&questions).unwrap();
+        assert_eq!(answers.len(), questions.len());
+        for (q, a) in questions.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            let expect = seq.ask(q).unwrap();
+            assert_eq!(a.word, expect.word);
+            assert!((a.probability - expect.probability).abs() < 1e-4);
+            assert_eq!(a.stats.rows_total, expect.stats.rows_total);
+            assert_eq!(a.stats.rows_skipped, expect.stats.rows_skipped);
+            assert!(!a.degraded);
+        }
+        assert_eq!(batched.questions_answered(), 3);
+        assert_eq!(
+            batched.cumulative_stats().rows_total,
+            seq.cumulative_stats().rows_total
+        );
+    }
+
+    #[test]
+    fn batched_ask_isolates_unknown_tokens() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 2);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let questions = vec![
+            story.questions[0].tokens.clone(),
+            vec![9999],
+            story.questions[1].tokens.clone(),
+        ];
+        let answers = session.ask_many(&questions).unwrap();
+        assert!(answers[0].is_ok());
+        assert_eq!(answers[1], Err(ServeError::UnknownToken(9999)));
+        assert!(answers[2].is_ok());
+        assert_eq!(session.questions_answered(), 2);
+    }
+
+    #[test]
+    fn batched_ask_traces_the_batch_gemm_phase_once() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 2);
+        let config = SessionConfig {
+            trace: true,
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model, config).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let answers = session.ask_many(&questions).unwrap();
+        let hops = session.model().config().hops as u64;
+        for a in &answers {
+            let a = a.as_ref().unwrap();
+            // Each answer carries the batch-wide trace: all questions share
+            // every chunk, so the count is rows × live questions per hop.
+            assert_eq!(a.trace.count(Phase::BatchGemm), 6 * 2 * hops);
+            assert_eq!(a.trace.count(Phase::FusedChunk), 0);
+        }
+        // The batch pass is absorbed once, not once per answer.
+        assert_eq!(
+            session.cumulative_trace().count(Phase::BatchGemm),
+            6 * 2 * hops
+        );
+        assert_eq!(session.phase_histograms().total().count(), 1);
+    }
+
+    #[test]
+    fn batched_ask_edge_cases_error_cleanly() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(4, 1);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        assert_eq!(session.ask_many(&[]).unwrap(), Vec::new());
+        assert_eq!(
+            session.ask_many(&[story.questions[0].tokens.clone()]),
+            Err(ServeError::EmptyMemory)
+        );
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let err = session
+            .ask_many_budgeted(&[story.questions[0].tokens.clone()], &[])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Engine(EngineError::Config(_))));
+    }
+
+    #[test]
+    fn batched_expired_deadlines_fail_per_question_and_session_survives() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(6, 2);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let budgets = vec![Budget::unlimited(), Budget::with_deadline(Duration::ZERO)];
+        let answers = session.ask_many_budgeted(&questions, &budgets).unwrap();
+        assert!(answers[0].is_ok());
+        assert!(matches!(
+            answers[1],
+            Err(ServeError::Engine(EngineError::DeadlineExceeded { .. }))
+        ));
+        assert_eq!(session.degradation_stats().deadline_misses, 1);
+        assert_eq!(session.questions_answered(), 1);
+        // The failed slot corrupted nothing: the question answers next time.
+        assert!(session.ask(&questions[1]).is_ok());
+    }
+
+    #[test]
+    fn batched_text_api_round_trips() {
+        let (mut generator, model) = trained_serving_model();
+        let vocab = generator.vocab().clone();
+        let _ = generator.story(1, 1);
+        let mut session = Session::new(model, SessionConfig::default()).unwrap();
+        session
+            .observe_text("mary went to the kitchen", &vocab)
+            .unwrap();
+        session
+            .observe_text("john moved to the garden", &vocab)
+            .unwrap();
+        let questions = vec![
+            "where is mary?".to_owned(),
+            "where is xyzzy?".to_owned(),
+            "where is john?".to_owned(),
+        ];
+        let answers = session.ask_many_text(&questions, &vocab).unwrap();
+        assert_eq!(answers.len(), 3);
+        let (word, answer) = answers[0].as_ref().unwrap();
+        assert!(!word.is_empty());
+        assert!(answer.probability > 0.0);
+        assert!(matches!(answers[1], Err(ServeError::Model(_))));
+        assert!(answers[2].is_ok());
+        assert_eq!(session.questions_answered(), 2);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use mnn_memnn::{MemNet, ModelConfig};
 use mnn_serve::{DegradationPolicy, ServeError, Session, SessionConfig};
 use mnn_tensor::fault::{self, FaultKind};
 use mnnfast::engine::EngineError;
-use mnnfast::{EngineKind, ExecPlan, MnnFastConfig};
+use mnnfast::{Budget, EngineKind, ExecPlan, MnnFastConfig};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -161,6 +161,91 @@ fn disabled_retry_surfaces_numeric_fault() {
     // The fault left no residue: the next question answers normally.
     let a = session.ask(&story.questions[0].tokens).unwrap();
     assert!(!a.degraded);
+}
+
+#[test]
+fn slow_chunk_trips_one_batched_deadline_leaving_batchmates_unaffected() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+    // chunk_size 2 gives 3 shared chunks per batched pass: the slow chunk 0
+    // burns the tight deadline and the per-question budget check at the
+    // head of chunk 1 abandons exactly that question.
+    let config = SessionConfig {
+        plan: ExecPlan::new(MnnFastConfig::new(2)).with_kind(EngineKind::Column),
+        ..SessionConfig::default()
+    };
+
+    let mut clean = Session::new(model.clone(), config).unwrap();
+    observe_story(&mut clean, &story.sentences);
+    let q0 = story.questions[0].tokens.clone();
+    let q1 = story.questions[1].tokens.clone();
+    let expected = clean.ask(&q0).unwrap();
+
+    let mut session = Session::new(model, config).unwrap();
+    observe_story(&mut session, &story.sentences);
+    let questions = vec![q0.clone(), q1, q0];
+    let budgets = vec![
+        Budget::unlimited(),
+        Budget::with_deadline(Duration::from_millis(10)),
+        Budget::unlimited(),
+    ];
+    fault::arm(FaultKind::SlowChunk(Duration::from_millis(50)), 0, 1);
+    let answers = session.ask_many_budgeted(&questions, &budgets).unwrap();
+    fault::disarm();
+
+    // The deadline tripped mid-batch with its typed error...
+    assert!(matches!(
+        answers[1],
+        Err(ServeError::Engine(EngineError::DeadlineExceeded { .. }))
+    ));
+    // ...while its batchmates finished on the fast path, unperturbed.
+    let a0 = answers[0].as_ref().unwrap();
+    let a2 = answers[2].as_ref().unwrap();
+    assert_eq!(a0.word, expected.word);
+    assert_eq!(a2.word, expected.word);
+    assert!(!a0.degraded && !a2.degraded);
+    let d = session.degradation_stats();
+    assert_eq!(d.deadline_misses, 1);
+    assert_eq!(d.numeric_faults, 0);
+    assert_eq!(session.questions_answered(), 2);
+}
+
+#[test]
+fn batched_numeric_fault_retries_only_the_faulted_question() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+
+    let mut clean = Session::new(model.clone(), SessionConfig::default()).unwrap();
+    observe_story(&mut clean, &story.sentences);
+    let q0 = story.questions[0].tokens.clone();
+    let q1 = story.questions[1].tokens.clone();
+    let e0 = clean.ask(&q0).unwrap();
+    let e1 = clean.ask(&q1).unwrap();
+
+    let mut session = Session::new(model, SessionConfig::default()).unwrap();
+    observe_story(&mut session, &story.sentences);
+    // The poison lands in the first logit slot of the batched chunk, so
+    // exactly one question's accumulator goes NaN and only that question
+    // takes the safe-path retry.
+    fault::arm(FaultKind::NanLogit, 0, 1);
+    let answers = session.ask_many(&[q0, q1]).unwrap();
+    let fires = fault::fired();
+    fault::disarm();
+
+    assert_eq!(fires, 1);
+    let a0 = answers[0].as_ref().unwrap();
+    let a1 = answers[1].as_ref().unwrap();
+    assert_eq!(a0.word, e0.word);
+    assert_eq!(a1.word, e1.word);
+    let degraded = usize::from(a0.degraded) + usize::from(a1.degraded);
+    assert_eq!(degraded, 1, "exactly one question took the retry path");
+    let d = session.degradation_stats();
+    assert_eq!(d.numeric_faults, 1);
+    assert_eq!(d.degraded_answers, 1);
+    assert!(!d.pinned_safe);
+    assert_eq!(session.questions_answered(), 2);
 }
 
 #[test]

@@ -105,6 +105,32 @@ pub fn gemv_chunk(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
     simd::gemv_chunk_with(simd::backend(), chunk, n_rows, x, out);
 }
 
+/// Batched row-chunk GEMM over a flat row-major block:
+/// `out[q * n_rows + r] = rows[r] · question_q` for `r` in `0..n_rows` and
+/// `q` in `0..nq`, with the `nq` question vectors concatenated in
+/// `us_flat`. This is the batched inner product of the column-based
+/// algorithm (Section 4.1.2's `U × chunkᵀ` GEMM): one cache-resident chunk
+/// of `M_IN` is applied to every question before the next chunk streams in.
+/// Dispatches to the register-tiled AVX2 micro-kernel or the scalar
+/// per-question reference ([`crate::simd::gemm_chunk_with`]).
+///
+/// Shape checks (`us_flat.len() == nq * ed`, `chunk.len() == n_rows * ed`,
+/// `out.len() == nq * n_rows`) are `debug_assert!`s — see the module-level
+/// caller-validates contract.
+pub fn gemm_chunk(chunk: &[f32], n_rows: usize, us_flat: &[f32], nq: usize, out: &mut [f32]) {
+    debug_assert!(
+        nq == 0 || us_flat.len().is_multiple_of(nq),
+        "gemm_chunk: ragged question block"
+    );
+    debug_assert_eq!(
+        chunk.len() * nq,
+        n_rows * us_flat.len(),
+        "gemm_chunk: bad chunk length"
+    );
+    debug_assert_eq!(out.len(), nq * n_rows, "gemm_chunk: bad out length");
+    simd::gemm_chunk_with(simd::backend(), chunk, n_rows, us_flat, nq, out);
+}
+
 /// Vector–matrix product `out = xᵀ · M` (length `cols`), i.e. the weighted
 /// sum of the *rows* of `M` with weights `x`.
 ///
@@ -223,6 +249,13 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix, c: &mut Matrix) -> Result<(), ShapeError>
 /// performed by a `rows × cols` GEMV — used by the op-count instrumentation.
 pub fn gemv_flops(rows: usize, cols: usize) -> u64 {
     2 * rows as u64 * cols as u64
+}
+
+/// FLOPs of one `nq`-question [`gemm_chunk`] over `rows × cols` — counted
+/// *once per batch*, so batched instrumentation never multiplies a
+/// per-question GEMV estimate by `nq` on top of this.
+pub fn gemm_flops(rows: usize, cols: usize, nq: usize) -> u64 {
+    gemv_flops(rows, cols) * nq as u64
 }
 
 #[cfg(test)]
@@ -356,5 +389,25 @@ mod tests {
     #[test]
     fn flops_counter() {
         assert_eq!(gemv_flops(10, 4), 80);
+        assert_eq!(gemm_flops(10, 4, 3), 240);
+    }
+
+    #[test]
+    fn gemm_chunk_agrees_with_per_question_gemv() {
+        // Awkward shapes: rows not a multiple of the 4-row tile, ed not a
+        // multiple of the 8-lane width, odd question count.
+        for (n_rows, ed, nq) in [(7usize, 5usize, 3usize), (4, 8, 2), (1, 1, 1), (9, 13, 5)] {
+            let chunk: Vec<f32> = (0..n_rows * ed)
+                .map(|i| ((i as f32) * 0.31).sin())
+                .collect();
+            let us_flat: Vec<f32> = (0..nq * ed).map(|i| ((i as f32) * 0.17).cos()).collect();
+            let mut batched = vec![0.0f32; nq * n_rows];
+            gemm_chunk(&chunk, n_rows, &us_flat, nq, &mut batched);
+            for q in 0..nq {
+                let mut single = vec![0.0f32; n_rows];
+                gemv_chunk(&chunk, n_rows, &us_flat[q * ed..(q + 1) * ed], &mut single);
+                assert_slice_approx_eq(&batched[q * n_rows..(q + 1) * n_rows], &single, 1e-5);
+            }
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! Runtime-dispatched SIMD kernel backend.
 //!
 //! The hot loops of the column-based algorithm — `dot`, `axpy`, `scale`,
-//! `gemv_chunk`, the lazy-softmax exp phase and the fused chunk kernel —
-//! exist in two implementations:
+//! `gemv_chunk`, the batched `gemm_chunk`, the lazy-softmax exp phase and
+//! the fused chunk kernel — exist in two implementations:
 //!
 //! * **Scalar** — the portable reference implementation: plain Rust loops
 //!   (auto-vectorizable by LLVM) and libm `exp`. This is the ground truth
@@ -186,6 +186,30 @@ pub fn gemv_chunk_scalar(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32
     }
 }
 
+/// Reference chunk GEMM: one [`gemv_chunk_scalar`] per question, so on the
+/// scalar backend the batched inner product is bitwise identical to the
+/// per-question path. `out[q * n_rows + r] = chunk_row_r · question_q`.
+pub fn gemm_chunk_scalar(
+    chunk: &[f32],
+    n_rows: usize,
+    us_flat: &[f32],
+    nq: usize,
+    out: &mut [f32],
+) {
+    if nq == 0 {
+        return;
+    }
+    let ed = us_flat.len() / nq;
+    for q in 0..nq {
+        gemv_chunk_scalar(
+            chunk,
+            n_rows,
+            &us_flat[q * ed..(q + 1) * ed],
+            &mut out[q * n_rows..(q + 1) * n_rows],
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Polynomial fast exp
 // ---------------------------------------------------------------------------
@@ -360,6 +384,95 @@ mod avx2 {
         }
     }
 
+    /// Reduces four 8-lane accumulators to their four lane sums at once:
+    /// two `hadd` levels interleave the partial sums, one cross-half add
+    /// finishes them, so lane `i` of the result is the full sum of `acc[i]`.
+    /// Six instructions for four dot products versus four `hsum` trees.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum4(acc: [__m256; 4]) -> __m128 {
+        let t01 = _mm256_hadd_ps(acc[0], acc[1]);
+        let t23 = _mm256_hadd_ps(acc[2], acc[3]);
+        let t = _mm256_hadd_ps(t01, t23);
+        _mm_add_ps(_mm256_castps256_ps128(t), _mm256_extractf128_ps(t, 1))
+    }
+
+    /// Register-tiled chunk GEMM: `out[q * n_rows + r] = chunk_row_r · u_q`.
+    ///
+    /// The micro-kernel computes a 2-question × 4-row tile: eight 8-lane FMA
+    /// accumulators live in registers, and each `k`-step issues six loads
+    /// (two question vectors, four memory rows) feeding eight FMAs — the
+    /// loaded chunk rows are reused across both questions, which is where
+    /// batching beats per-question [`gemv_chunk`]. Each question's four
+    /// accumulators reduce through one [`hsum4`] tree, keeping the tile
+    /// epilogue off the critical path at small `ed`. Remainder rows and the
+    /// odd trailing question fall back to one [`dot`] per pair.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_chunk(
+        chunk: &[f32],
+        n_rows: usize,
+        us_flat: &[f32],
+        nq: usize,
+        out: &mut [f32],
+    ) {
+        if nq == 0 {
+            return;
+        }
+        let ed = us_flat.len() / nq;
+        let pc = chunk.as_ptr();
+        let mut q = 0usize;
+        while q + 2 <= nq {
+            let u0 = &us_flat[q * ed..(q + 1) * ed];
+            let u1 = &us_flat[(q + 1) * ed..(q + 2) * ed];
+            let mut r = 0usize;
+            while r + 4 <= n_rows {
+                let mut acc0 = [_mm256_setzero_ps(); 4];
+                let mut acc1 = [_mm256_setzero_ps(); 4];
+                let mut k = 0usize;
+                while k + 8 <= ed {
+                    let v0 = _mm256_loadu_ps(u0.as_ptr().add(k));
+                    let v1 = _mm256_loadu_ps(u1.as_ptr().add(k));
+                    for (i, (a0, a1)) in acc0.iter_mut().zip(acc1.iter_mut()).enumerate() {
+                        let row = _mm256_loadu_ps(pc.add((r + i) * ed + k));
+                        *a0 = _mm256_fmadd_ps(row, v0, *a0);
+                        *a1 = _mm256_fmadd_ps(row, v1, *a1);
+                    }
+                    k += 8;
+                }
+                let mut sums0 = [0.0f32; 4];
+                let mut sums1 = [0.0f32; 4];
+                _mm_storeu_ps(sums0.as_mut_ptr(), hsum4(acc0));
+                _mm_storeu_ps(sums1.as_mut_ptr(), hsum4(acc1));
+                for (i, (s0, s1)) in sums0.iter().zip(&sums1).enumerate() {
+                    let (mut s0, mut s1) = (*s0, *s1);
+                    for kk in k..ed {
+                        let c = *chunk.get_unchecked((r + i) * ed + kk);
+                        s0 += c * u0[kk];
+                        s1 += c * u1[kk];
+                    }
+                    out[q * n_rows + r + i] = s0;
+                    out[(q + 1) * n_rows + r + i] = s1;
+                }
+                r += 4;
+            }
+            while r < n_rows {
+                let row = &chunk[r * ed..(r + 1) * ed];
+                out[q * n_rows + r] = dot(row, u0);
+                out[(q + 1) * n_rows + r] = dot(row, u1);
+                r += 1;
+            }
+            q += 2;
+        }
+        if q < nq {
+            gemv_chunk(
+                chunk,
+                n_rows,
+                &us_flat[q * ed..(q + 1) * ed],
+                &mut out[q * n_rows..(q + 1) * n_rows],
+            );
+        }
+    }
+
     /// 8-lane polynomial `e^x` — the vector form of [`exp_approx`]; lane
     /// `i` of the result is bitwise identical to `exp_approx(x[i])`.
     #[inline]
@@ -514,6 +627,33 @@ pub fn gemv_chunk_with(b: Backend, chunk: &[f32], n_rows: usize, x: &[f32], out:
         Backend::Avx2 => unsafe { avx2::gemv_chunk(chunk, n_rows, x, out) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 => gemv_chunk_scalar(chunk, n_rows, x, out),
+    }
+}
+
+/// [`crate::kernels::gemm_chunk`] with an explicit backend: the batched
+/// chunk inner product `out[q * n_rows + r] = chunk_row_r · question_q`.
+///
+/// The scalar reference runs one [`gemv_chunk_scalar`] per question and is
+/// therefore bitwise identical to the per-question path; AVX2 uses a
+/// register-tiled 2-question × 4-row micro-kernel that reuses each loaded
+/// chunk row across questions, so its results differ from per-question
+/// [`gemv_chunk_with`] by accumulation order only (ulp-level).
+#[inline]
+pub fn gemm_chunk_with(
+    b: Backend,
+    chunk: &[f32],
+    n_rows: usize,
+    us_flat: &[f32],
+    nq: usize,
+    out: &mut [f32],
+) {
+    match b {
+        Backend::Scalar => gemm_chunk_scalar(chunk, n_rows, us_flat, nq, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::gemm_chunk(chunk, n_rows, us_flat, nq, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => gemm_chunk_scalar(chunk, n_rows, us_flat, nq, out),
     }
 }
 

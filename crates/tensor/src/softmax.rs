@@ -250,6 +250,97 @@ impl LazyAccumulator {
         }
     }
 
+    /// Batched fused chunk accumulate: one [`crate::kernels::gemm_chunk`]
+    /// computes every question's logits for the chunk while it is
+    /// cache-resident, then each live question's weights are exponentiated,
+    /// zero-skip-tested and folded into its own accumulator — the batched
+    /// counterpart of [`LazyAccumulator::accumulate_chunk`].
+    ///
+    /// * `accs` — one accumulator per question (`accs[q]` for question `q`).
+    /// * `us_flat` — the `nq` question vectors concatenated (`nq × ed`).
+    /// * `raw_thresholds` — per-question zero-skip thresholds on `e^{x}`.
+    /// * `live` — questions whose accumulation is still wanted; dead
+    ///   questions (expired budgets) are passed over without touching their
+    ///   accumulator, while the rest of the batch proceeds.
+    /// * `fast_exp` — `true` uses the dispatched exp kernel
+    ///   ([`crate::simd::exp_slice_with`]: fast exp on AVX2, libm on
+    ///   scalar), matching the fused single-question path; `false` uses
+    ///   libm on every backend, matching the two-pass path.
+    /// * `logits` — caller-provided workspace of at least `nq × n_rows`
+    ///   (overwritten), so warm batched passes allocate nothing.
+    /// * `skipped` — per-question skipped-row counters, incremented.
+    ///
+    /// On the scalar backend the whole pass is bitwise identical to running
+    /// [`LazyAccumulator::accumulate_chunk`] per question (`fast_exp` or
+    /// not — scalar exp is libm either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) on mismatched lengths: `accs`, `live`,
+    /// `raw_thresholds` and `skipped` must all have length `nq`, with
+    /// `us_flat.len() == nq * ed` and `logits.len() >= nq * n_rows`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_chunk_batch(
+        accs: &mut [LazyAccumulator],
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        us_flat: &[f32],
+        raw_thresholds: &[Option<f32>],
+        live: &[bool],
+        fast_exp: bool,
+        logits: &mut [f32],
+        skipped: &mut [u64],
+    ) {
+        let nq = accs.len();
+        if nq == 0 || n_rows == 0 {
+            return;
+        }
+        let ed = us_flat.len() / nq;
+        let poison = batch_fault_poison();
+        let b = simd::backend();
+        let logits = &mut logits[..nq * n_rows];
+        simd::gemm_chunk_with(b, in_flat, n_rows, us_flat, nq, logits);
+        if let Some(p) = poison {
+            logits[0] = p;
+        }
+        // A poisoned chunk falls back to libm exp so NaN/overflow propagate
+        // exactly as on the single-question faulted path (the fast exp
+        // clamps, which would mask an oversized logit).
+        let use_fast = fast_exp && poison.is_none();
+        for (q, acc) in accs.iter_mut().enumerate() {
+            if !live[q] {
+                continue;
+            }
+            let lq = &mut logits[q * n_rows..(q + 1) * n_rows];
+            if use_fast {
+                acc.denom += simd::exp_slice_with(b, lq);
+                for (r, &w) in lq.iter().enumerate() {
+                    match raw_thresholds[q] {
+                        Some(th) if w < th => skipped[q] += 1,
+                        _ => simd::axpy_with(
+                            b,
+                            w,
+                            &out_flat[r * ed..(r + 1) * ed],
+                            &mut acc.weighted_sum,
+                        ),
+                    }
+                }
+            } else {
+                for (r, &x) in lq.iter().enumerate() {
+                    let w = x.exp();
+                    match raw_thresholds[q] {
+                        Some(th) if w < th => {
+                            acc.add_skipped(w);
+                            skipped[q] += 1;
+                        }
+                        _ => acc.add_weighted(w, &out_flat[r * ed..(r + 1) * ed]),
+                    }
+                }
+            }
+        }
+    }
+
     /// Merges another accumulator (the scale-out reduction).
     ///
     /// # Panics
@@ -449,6 +540,63 @@ impl OnlineSoftmax {
         self.accumulate_chunk_rows(in_flat, out_flat, n_rows, u, prob_threshold, poison)
     }
 
+    /// Batched chunk accumulate, the online counterpart of
+    /// [`LazyAccumulator::accumulate_chunk_batch`]: one
+    /// [`crate::kernels::gemm_chunk`] computes every question's logits for
+    /// the cache-resident chunk, then each live question's rows feed its
+    /// own [`OnlineSoftmax::add`] / [`OnlineSoftmax::add_skipped`] chain.
+    /// The rescaling chain stays on libm `exp` on every backend, exactly as
+    /// in [`OnlineSoftmax::accumulate_chunk`].
+    ///
+    /// Arguments are as in [`LazyAccumulator::accumulate_chunk_batch`]
+    /// (minus `fast_exp`), with `prob_thresholds` compared against
+    /// [`OnlineSoftmax::relative_weight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) on mismatched lengths — same contract as
+    /// [`LazyAccumulator::accumulate_chunk_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_chunk_batch(
+        accs: &mut [OnlineSoftmax],
+        in_flat: &[f32],
+        out_flat: &[f32],
+        n_rows: usize,
+        us_flat: &[f32],
+        prob_thresholds: &[Option<f32>],
+        live: &[bool],
+        logits: &mut [f32],
+        skipped: &mut [u64],
+    ) {
+        let nq = accs.len();
+        if nq == 0 || n_rows == 0 {
+            return;
+        }
+        let ed = us_flat.len() / nq;
+        let poison = batch_fault_poison();
+        let b = simd::backend();
+        let logits = &mut logits[..nq * n_rows];
+        simd::gemm_chunk_with(b, in_flat, n_rows, us_flat, nq, logits);
+        if let Some(p) = poison {
+            logits[0] = p;
+        }
+        for (q, acc) in accs.iter_mut().enumerate() {
+            if !live[q] {
+                continue;
+            }
+            let lq = &logits[q * n_rows..(q + 1) * n_rows];
+            for (r, &x) in lq.iter().enumerate() {
+                match prob_thresholds[q] {
+                    Some(th) if acc.relative_weight(x) < th => {
+                        acc.add_skipped(x);
+                        skipped[q] += 1;
+                    }
+                    _ => acc.add(x, &out_flat[r * ed..(r + 1) * ed]),
+                }
+            }
+        }
+    }
+
     /// Merges another accumulator, rescaling both to the larger maximum.
     ///
     /// # Panics
@@ -528,6 +676,31 @@ impl OnlineSoftmax {
         self.max_logit = logit;
         factor
     }
+}
+
+/// Polls the fault-injection hook for a batched chunk (see [`crate::fault`]).
+///
+/// A slow fault sleeps here and returns `None` (slow, not wrong); a
+/// corruption fault returns the poison value the caller writes over the
+/// batch's first logit. Compiled to a constant `None` without the
+/// `fault-inject` feature.
+fn batch_fault_poison() -> Option<f32> {
+    #[cfg(feature = "fault-inject")]
+    {
+        use crate::fault::FaultKind;
+        match crate::fault::on_chunk() {
+            Some(FaultKind::SlowChunk(d)) => {
+                std::thread::sleep(d);
+                None
+            }
+            Some(FaultKind::NanLogit) => Some(f32::NAN),
+            // Far above EXP_CLAMP: libm e^x overflows to inf.
+            Some(FaultKind::OversizedLogit) => Some(1000.0),
+            None => None,
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    None
 }
 
 /// `e^x`, with `e^{-inf - -inf} = e^{NaN}` edge cases mapped to 0.
@@ -669,6 +842,107 @@ mod tests {
             // Same dot backend, same libm exp chain: exactly equal.
             assert_eq!(fused, two_pass);
         }
+    }
+
+    fn batch_fixture(n: usize, ed: usize, nq: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let in_flat = (0..n * ed).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let out_flat = (0..n * ed).map(|i| ((i as f32) * 0.11).cos()).collect();
+        let us_flat = (0..nq * ed).map(|i| ((i as f32) * 0.23).sin()).collect();
+        (in_flat, out_flat, us_flat)
+    }
+
+    #[test]
+    fn lazy_batched_chunk_matches_per_question() {
+        let (n, ed, nq) = (11usize, 6usize, 3usize);
+        let (in_flat, out_flat, us_flat) = batch_fixture(n, ed, nq);
+        let thresholds = [None, Some(0.9f32), Some(0.5f32)];
+        for fast_exp in [false, true] {
+            let mut accs = vec![LazyAccumulator::new(ed); nq];
+            let mut logits = vec![0.0f32; nq * n];
+            let mut skipped = vec![0u64; nq];
+            LazyAccumulator::accumulate_chunk_batch(
+                &mut accs,
+                &in_flat,
+                &out_flat,
+                n,
+                &us_flat,
+                &thresholds,
+                &[true; 3],
+                fast_exp,
+                &mut logits,
+                &mut skipped,
+            );
+            for q in 0..nq {
+                let mut single = LazyAccumulator::new(ed);
+                let s = single.accumulate_chunk(
+                    &in_flat,
+                    &out_flat,
+                    n,
+                    &us_flat[q * ed..(q + 1) * ed],
+                    thresholds[q],
+                );
+                assert_eq!(skipped[q], s, "q{q} fast_exp={fast_exp}");
+                assert!((accs[q].denom() - single.denom()).abs() < 1e-4);
+                assert_slice_approx_eq(&accs[q].clone().finish(), &single.finish(), 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn online_batched_chunk_matches_per_question() {
+        let (n, ed, nq) = (9usize, 5usize, 4usize);
+        let (in_flat, out_flat, us_flat) = batch_fixture(n, ed, nq);
+        let thresholds = [None, Some(0.4f32), None, Some(0.2f32)];
+        let mut accs = vec![OnlineSoftmax::new(ed); nq];
+        let mut logits = vec![0.0f32; nq * n];
+        let mut skipped = vec![0u64; nq];
+        OnlineSoftmax::accumulate_chunk_batch(
+            &mut accs,
+            &in_flat,
+            &out_flat,
+            n,
+            &us_flat,
+            &thresholds,
+            &[true; 4],
+            &mut logits,
+            &mut skipped,
+        );
+        for q in 0..nq {
+            let mut single = OnlineSoftmax::new(ed);
+            let s = single.accumulate_chunk(
+                &in_flat,
+                &out_flat,
+                n,
+                &us_flat[q * ed..(q + 1) * ed],
+                thresholds[q],
+            );
+            assert_eq!(skipped[q], s, "q{q}");
+            assert_slice_approx_eq(&accs[q].clone().finish(), &single.finish(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn batched_chunk_skips_dead_questions() {
+        let (n, ed, nq) = (8usize, 4usize, 2usize);
+        let (in_flat, out_flat, us_flat) = batch_fixture(n, ed, nq);
+        let mut accs = vec![LazyAccumulator::new(ed); nq];
+        let mut logits = vec![0.0f32; nq * n];
+        let mut skipped = vec![0u64; nq];
+        LazyAccumulator::accumulate_chunk_batch(
+            &mut accs,
+            &in_flat,
+            &out_flat,
+            n,
+            &us_flat,
+            &[None, None],
+            &[false, true],
+            true,
+            &mut logits,
+            &mut skipped,
+        );
+        // The dead question's accumulator is untouched; the live one is not.
+        assert_eq!(accs[0].denom(), 0.0);
+        assert!(accs[1].denom() > 0.0);
     }
 
     #[test]
