@@ -1,0 +1,20 @@
+//! Embedding fast path: sentence-cache hit rate and speedup under Zipfian
+//! sentence traffic, plus end-to-end mixed-workload throughput. Emits the
+//! machine-readable `BENCH_embedding.json`; with `--check` the process
+//! exits nonzero when the run fails the conservative sanity gate (finite
+//! measurements, sane hit rates, real locality at the acceptance point).
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::embedding_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_embedding.json") {
+        Ok(()) => println!("wrote BENCH_embedding.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.sane() {
+        eprintln!("embedding fast-path run failed its sanity gate");
+        std::process::exit(1);
+    }
+}

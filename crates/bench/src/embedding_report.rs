@@ -1,0 +1,471 @@
+//! Embedding fast path: sentence-cache hit rate and speedup under Zipfian
+//! sentence traffic.
+//!
+//! The paper's embedding cache (Section 4.3) exploits the Zipfian skew of
+//! word IDs to short-circuit the memory-bound embedding phase. The serving
+//! layer lifts the same idea one level: whole sentences and questions
+//! recur across requests, so `mnn_serve`'s [`mnn_serve::SentenceCache`]
+//! memoizes the entire gather-sum result. This report measures it two
+//! ways and emits `BENCH_embedding.json`:
+//!
+//! 1. **Embedding-phase sweep** — Zipf skew × cache capacity: a warm
+//!    cached session replays an observe stream against an identical
+//!    uncached session (the PR-4-equivalent baseline code path, already on
+//!    the SIMD gather-sum kernels, so the reported speedup is the *cache's*
+//!    contribution alone and a lower bound on the gain over the old scalar
+//!    loops). Each repetition times both flavors back-to-back and the
+//!    speedup is the median per-rep ratio, the same pairing discipline as
+//!    `BENCH_batch.json`.
+//! 2. **End-to-end mixed workload** — observe-heavy traffic (8 observes
+//!    per ask, the paper's online-serving shape) at s = 1.0, measuring
+//!    whole-serve throughput with and without the cache.
+
+use crate::table::{f, ExperimentTable};
+use crate::Scale;
+use mnn_dataset::zipf::ZipfSampler;
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_serve::{Session, SessionConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Zipf skews swept (the simulator cross-validation uses the same set).
+pub const SKEWS: [f64; 3] = [0.7, 1.0, 1.3];
+
+/// Cache capacities swept, in entries.
+pub const CAPACITIES: [usize; 3] = [64, 256, 1024];
+
+/// Required warm-cache embedding-phase speedup at s = 1.0 (largest
+/// capacity) for a full-scale run.
+pub const EMBED_SPEEDUP_TARGET: f64 = 2.0;
+
+/// Required end-to-end mixed-workload speedup for a full-scale run.
+pub const E2E_SPEEDUP_TARGET: f64 = 1.15;
+
+/// One (skew, capacity) embedding-phase measurement.
+#[derive(Debug, Clone)]
+pub struct EmbedEntry {
+    /// Zipf skew of the sentence stream.
+    pub skew: f64,
+    /// Sentence-cache capacity in entries.
+    pub capacity: usize,
+    /// Warm-cache hit rate over the timed repetitions.
+    pub hit_rate: f64,
+    /// Best observed seconds for the uncached observe stream.
+    pub uncached_seconds: f64,
+    /// Best observed seconds for the warm cached observe stream.
+    pub cached_seconds: f64,
+    /// Median per-repetition uncached/cached time ratio.
+    pub speedup: f64,
+}
+
+/// The end-to-end mixed-workload measurement.
+#[derive(Debug, Clone)]
+pub struct E2eEntry {
+    /// Warm-cache hit rate over the timed repetitions.
+    pub hit_rate: f64,
+    /// Questions per second without the cache (best rep).
+    pub uncached_qps: f64,
+    /// Questions per second with the warm cache (best rep).
+    pub cached_qps: f64,
+    /// Median per-repetition uncached/cached time ratio.
+    pub speedup: f64,
+}
+
+/// A full embedding-fast-path run.
+#[derive(Debug, Clone)]
+pub struct EmbeddingReport {
+    /// Embedding dimension.
+    pub ed: usize,
+    /// Words per sentence.
+    pub nw: usize,
+    /// Distinct sentences in the Zipf-sampled pool.
+    pub pool_sentences: usize,
+    /// Observes per timed stream.
+    pub stream_len: usize,
+    /// Acceptance target for the embedding phase at s = 1.0.
+    pub embed_target: f64,
+    /// Acceptance target for end-to-end throughput.
+    pub e2e_target: f64,
+    /// One entry per (skew, capacity), skew-major in [`SKEWS`] ×
+    /// [`CAPACITIES`] order.
+    pub entries: Vec<EmbedEntry>,
+    /// The mixed-workload measurement at s = 1.0.
+    pub e2e: E2eEntry,
+}
+
+/// Deterministic sentence pool: `n` distinct `nw`-token sentences over
+/// `vocab` words (LCG-filled, no RNG dependency).
+fn sentence_pool(n: usize, nw: usize, vocab: usize) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| {
+            let mut state = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            (0..nw)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % vocab as u64) as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn serving_model(vocab: usize, ed: usize) -> MemNet {
+    let config = ModelConfig {
+        vocab_size: vocab,
+        embedding_dim: ed,
+        max_sentences: 64,
+        hops: 2,
+        temporal: false,
+        position_encoding: true,
+    };
+    MemNet::new(config, 11)
+}
+
+fn session_config(cache: Option<usize>, window: usize) -> SessionConfig {
+    SessionConfig {
+        max_sentences: Some(window),
+        embed_cache: cache,
+        ..SessionConfig::default()
+    }
+}
+
+/// Replays the Zipf-selected observe stream; returns elapsed seconds.
+fn observe_stream(session: &mut Session, pool: &[Vec<u32>], ids: &[u32]) -> f64 {
+    let t0 = Instant::now();
+    for &i in ids {
+        black_box(
+            session
+                .observe(black_box(&pool[i as usize]))
+                .expect("observe"),
+        );
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Replays a mixed stream: every 9th event asks a Zipf-selected question,
+/// the rest observe. Returns (elapsed seconds, questions asked).
+fn mixed_stream(
+    session: &mut Session,
+    pool: &[Vec<u32>],
+    questions: &[Vec<u32>],
+    obs_ids: &[u32],
+    q_ids: &[u32],
+) -> (f64, usize) {
+    let mut asked = 0;
+    let t0 = Instant::now();
+    for (n, &i) in obs_ids.iter().enumerate() {
+        session
+            .observe(black_box(&pool[i as usize]))
+            .expect("observe");
+        if n % 8 == 7 {
+            let q = &questions[q_ids[asked % q_ids.len()] as usize];
+            black_box(session.ask(black_box(q)).expect("ask"));
+            asked += 1;
+        }
+    }
+    (t0.elapsed().as_secs_f64(), asked)
+}
+
+/// Runs the sweep and the mixed workload on the serving shape
+/// (ed 64, 32-word sentences, position encoding on).
+pub fn run(scale: Scale) -> EmbeddingReport {
+    let ed = 64;
+    let nw = 32;
+    let vocab = 512;
+    let window = 64;
+    let pool_n = scale.pick(2000, 300);
+    let stream_len = scale.pick(30_000, 1_500);
+    let reps = scale.pick(7, 3);
+
+    let model = serving_model(vocab, ed);
+    let pool = sentence_pool(pool_n, nw, vocab);
+
+    let mut entries = Vec::with_capacity(SKEWS.len() * CAPACITIES.len());
+    for (si, &skew) in SKEWS.iter().enumerate() {
+        let ids = ZipfSampler::new(pool_n, skew, 0xBEEF + si as u64)
+            .expect("valid sampler")
+            .trace(stream_len);
+        for &capacity in &CAPACITIES {
+            let mut plain = Session::new(model.clone(), session_config(None, window))
+                .expect("uncached session");
+            let mut cached = Session::new(model.clone(), session_config(Some(capacity), window))
+                .expect("cached session");
+            // Warm-up: grows buffers on both and fills the cache's hot set.
+            observe_stream(&mut plain, &pool, &ids);
+            observe_stream(&mut cached, &pool, &ids);
+
+            let warm = cached.embed_cache_stats().expect("cache enabled");
+            let (mut best_plain, mut best_cached) = (f64::INFINITY, f64::INFINITY);
+            let mut ratios = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let p = observe_stream(&mut plain, &pool, &ids);
+                let c = observe_stream(&mut cached, &pool, &ids);
+                best_plain = best_plain.min(p);
+                best_cached = best_cached.min(c);
+                ratios.push(p / c);
+            }
+            let delta_hits = cached.embed_cache_stats().expect("cache enabled").hits - warm.hits;
+            let hit_rate = delta_hits as f64 / (reps * stream_len) as f64;
+
+            entries.push(EmbedEntry {
+                skew,
+                capacity,
+                hit_rate,
+                uncached_seconds: best_plain,
+                cached_seconds: best_cached,
+                speedup: median(&mut ratios),
+            });
+        }
+    }
+
+    // End-to-end mixed workload at s = 1.0, largest swept capacity.
+    let e2e_cap = *CAPACITIES.last().expect("non-empty capacity sweep");
+    let obs_ids = ZipfSampler::new(pool_n, 1.0, 0xE2E)
+        .expect("valid sampler")
+        .trace(stream_len);
+    let n_questions = 256.min(pool_n);
+    let questions = sentence_pool(n_questions, 6, vocab);
+    let q_ids = ZipfSampler::new(n_questions, 1.0, 0xA5C)
+        .expect("valid sampler")
+        .trace(stream_len / 8 + 1);
+    let mut plain =
+        Session::new(model.clone(), session_config(None, window)).expect("uncached session");
+    let mut cached =
+        Session::new(model, session_config(Some(e2e_cap), window)).expect("cached session");
+    mixed_stream(&mut plain, &pool, &questions, &obs_ids, &q_ids);
+    mixed_stream(&mut cached, &pool, &questions, &obs_ids, &q_ids);
+
+    let warm = cached.embed_cache_stats().expect("cache enabled");
+    let warm_lookups = warm.hits + warm.misses;
+    let (mut best_plain, mut best_cached) = (f64::INFINITY, f64::INFINITY);
+    let mut asked_total = 0usize;
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (p, _) = mixed_stream(&mut plain, &pool, &questions, &obs_ids, &q_ids);
+        let (c, asked) = mixed_stream(&mut cached, &pool, &questions, &obs_ids, &q_ids);
+        best_plain = best_plain.min(p);
+        best_cached = best_cached.min(c);
+        asked_total = asked;
+        ratios.push(p / c);
+    }
+    let after = cached.embed_cache_stats().expect("cache enabled");
+    let e2e = E2eEntry {
+        hit_rate: (after.hits - warm.hits) as f64
+            / ((after.hits + after.misses) - warm_lookups) as f64,
+        uncached_qps: asked_total as f64 / best_plain,
+        cached_qps: asked_total as f64 / best_cached,
+        speedup: median(&mut ratios),
+    };
+
+    EmbeddingReport {
+        ed,
+        nw,
+        pool_sentences: pool_n,
+        stream_len,
+        embed_target: EMBED_SPEEDUP_TARGET,
+        e2e_target: E2E_SPEEDUP_TARGET,
+        entries,
+        e2e,
+    }
+}
+
+/// Median of a non-empty sample (sorts in place).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+impl EmbeddingReport {
+    /// The acceptance-point entry: s = 1.0 at the largest swept capacity.
+    pub fn acceptance_entry(&self) -> &EmbedEntry {
+        self.entries
+            .iter()
+            .filter(|e| e.skew == 1.0)
+            .max_by_key(|e| e.capacity)
+            .expect("sweep covers s=1.0")
+    }
+
+    /// `true` when the full-scale acceptance bounds hold: warm-cache
+    /// embedding-phase speedup at s = 1.0 and end-to-end mixed-workload
+    /// speedup. Only meaningful for [`Scale::Full`] runs.
+    pub fn meets_target(&self) -> bool {
+        self.acceptance_entry().speedup >= self.embed_target && self.e2e.speedup >= self.e2e_target
+    }
+
+    /// Sanity gate for CI smoke runs: finite, positive measurements,
+    /// hit rates within [0, 1], and real locality at the acceptance point.
+    /// Deliberately conservative — no timing-ratio bounds, so a loaded CI
+    /// runner cannot flake the job on scheduling noise.
+    pub fn sane(&self) -> bool {
+        let entries_ok = self.entries.iter().all(|e| {
+            e.uncached_seconds > 0.0
+                && e.cached_seconds > 0.0
+                && e.speedup.is_finite()
+                && e.speedup > 0.0
+                && (0.0..=1.0).contains(&e.hit_rate)
+        });
+        let e2e_ok = self.e2e.uncached_qps > 0.0
+            && self.e2e.cached_qps > 0.0
+            && self.e2e.speedup.is_finite()
+            && (0.0..=1.0).contains(&self.e2e.hit_rate);
+        entries_ok && e2e_ok && self.acceptance_entry().hit_rate >= 0.3
+    }
+
+    /// Human-readable companion table.
+    pub fn table(&self) -> ExperimentTable {
+        let mut t = ExperimentTable::new(
+            "Embedding fast path: sentence-cache hit rate and speedup",
+            &[
+                "skew",
+                "capacity",
+                "hit rate",
+                "uncached s",
+                "cached s",
+                "speedup",
+            ],
+        );
+        for e in &self.entries {
+            t.row(vec![
+                format!("{:.1}", e.skew),
+                e.capacity.to_string(),
+                format!("{:.3}", e.hit_rate),
+                f(e.uncached_seconds),
+                f(e.cached_seconds),
+                format!("{:.2}x", e.speedup),
+            ]);
+        }
+        t.note(format!(
+            "observe streams: {} sentences of {} words (ed {}) from a {}-sentence Zipf pool",
+            self.stream_len, self.nw, self.ed, self.pool_sentences
+        ));
+        t.note(format!(
+            "e2e mixed workload (8 observes : 1 ask, s=1.0): {:.0} -> {:.0} q/s, {:.2}x at {:.3} hit rate",
+            self.e2e.uncached_qps, self.e2e.cached_qps, self.e2e.speedup, self.e2e.hit_rate
+        ));
+        t.note(format!(
+            "targets: embed {:.1}x @ s=1.0, e2e {:.2}x — {}",
+            self.embed_target,
+            self.e2e_target,
+            if self.meets_target() {
+                "met"
+            } else {
+                "NOT met (expected for smoke shapes)"
+            }
+        ));
+        t
+    }
+
+    /// Serializes the report as JSON (hand-rolled: the workspace builds
+    /// offline with no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"ed\": {}, \"nw\": {}, \"pool_sentences\": {}, \"stream_len\": {},\n",
+            self.ed, self.nw, self.pool_sentences, self.stream_len
+        ));
+        out.push_str(&format!(
+            "  \"embed_target\": {:.2}, \"e2e_target\": {:.2}, \"meets_target\": {},\n",
+            self.embed_target,
+            self.e2e_target,
+            self.meets_target()
+        ));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"skew\": {:.2}, \"capacity\": {},\n",
+                e.skew, e.capacity
+            ));
+            out.push_str(&format!("      \"hit_rate\": {:.4},\n", e.hit_rate));
+            out.push_str(&format!(
+                "      \"uncached_seconds\": {:.12},\n",
+                e.uncached_seconds
+            ));
+            out.push_str(&format!(
+                "      \"cached_seconds\": {:.12},\n",
+                e.cached_seconds
+            ));
+            out.push_str(&format!("      \"speedup\": {:.4}\n", e.speedup));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"e2e\": {\n");
+        out.push_str(&format!("    \"hit_rate\": {:.4},\n", self.e2e.hit_rate));
+        out.push_str(&format!(
+            "    \"uncached_qps\": {:.3},\n",
+            self.e2e.uncached_qps
+        ));
+        out.push_str(&format!(
+            "    \"cached_qps\": {:.3},\n",
+            self.e2e.cached_qps
+        ));
+        out.push_str(&format!("    \"speedup\": {:.4}\n", self.e2e.speedup));
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes [`EmbeddingReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message on failure.
+    pub fn write_json(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()).map_err(|e| format!("writing {path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_the_full_sweep() {
+        let report = run(Scale::Smoke);
+        assert_eq!(report.entries.len(), SKEWS.len() * CAPACITIES.len());
+        for e in &report.entries {
+            assert!(e.uncached_seconds > 0.0);
+            assert!(e.cached_seconds > 0.0);
+            assert!(e.speedup.is_finite() && e.speedup > 0.0);
+            assert!((0.0..=1.0).contains(&e.hit_rate), "hit rate {}", e.hit_rate);
+        }
+        // Hit rate grows (weakly) with capacity at fixed skew.
+        for skew_chunk in report.entries.chunks(CAPACITIES.len()) {
+            for pair in skew_chunk.windows(2) {
+                assert!(
+                    pair[1].hit_rate >= pair[0].hit_rate - 0.02,
+                    "hit rate fell with capacity: {pair:?}"
+                );
+            }
+        }
+        assert!(report.e2e.uncached_qps > 0.0);
+        assert!(report.e2e.cached_qps > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = run(Scale::Smoke);
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"entries\"",
+            "\"e2e\"",
+            "\"hit_rate\"",
+            "\"embed_target\"",
+            "\"meets_target\"",
+            "\"cached_qps\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -23,8 +23,10 @@
 //! | `bench_kernels` | kernel backend (BENCH_kernels.json) | [`kernel_report`] |
 //! | `bench_robustness` | budget-check overhead (BENCH_robustness.json) | [`robustness_report`] |
 //! | `bench_batch` | batched serving throughput (BENCH_batch.json) | [`batch_report`] |
+//! | `bench_embedding` | embedding fast path (BENCH_embedding.json) | [`embedding_report`] |
 
 pub mod batch_report;
+pub mod embedding_report;
 pub mod engine_report;
 pub mod experiments;
 pub mod kernel_report;

@@ -114,7 +114,7 @@ USAGE:
                  [--skip 0.01] [--seed 8] [--data <babi.txt>] [--trace]
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
                  [--engine auto|column|streaming|parallel] [--threads 1]
-                 [--deadline-ms 0] [--batch 0] [--trace]
+                 [--deadline-ms 0] [--batch 0] [--embed-cache 0] [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -127,6 +127,9 @@ from a numeric fault on the stable path are marked `[degraded]`.
 `--batch N` coalesces serve questions: they queue until N are waiting
 (or the session ends) and are then answered in one batched streaming pass
 over the memory, printing per-batch throughput and occupancy.
+`--embed-cache N` memoizes sentence/question embeddings in an N-entry
+cache (0 disables); repeated sentences skip the gather-sum entirely and a
+hit-rate line is printed at session end.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -438,6 +441,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     };
     let threads = options.get("threads", 1usize)?;
     let deadline_ms = options.get("deadline-ms", 0u64)?;
+    let embed_cache = options.get("embed-cache", 0usize)?;
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -450,6 +454,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         max_sentences: (window > 0).then_some(window),
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         trace: options.switch("trace"),
+        embed_cache: (embed_cache > 0).then_some(embed_cache),
         ..SessionConfig::default()
     };
     let batch = options.get("batch", 0usize)?;
@@ -527,6 +532,17 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
             } else {
                 ""
             }
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some(cache) = session.embed_cache_stats() {
+        writeln!(
+            out,
+            "embed cache: {} hits, {} misses ({:.1}% hit rate), {} evictions",
+            cache.hits,
+            cache.misses,
+            cache.hit_ratio() * 100.0,
+            cache.evictions
         )
         .map_err(|e| e.to_string())?;
     }
@@ -767,6 +783,50 @@ mod tests {
             stdin,
         );
         assert!(err.unwrap_err().contains("deadline-ms"));
+    }
+
+    #[test]
+    fn serve_accepts_embed_cache_flag() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-embed-cache");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        // The repeated sentence hits the cache; the summary line says so.
+        let stdin = "mary went to the kitchen\nmary went to the kitchen\nwhere is mary?\n:quit\n";
+        let out = run_cli(
+            &["serve", "--model", model_str, "--embed-cache", "64"],
+            stdin,
+        )
+        .unwrap();
+        assert!(out.contains("embed cache:"), "{out}");
+        assert!(out.contains("1 hits"), "{out}");
+
+        // Disabled (the default): no cache line.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(!out.contains("embed cache:"), "{out}");
+
+        // Bad values error instead of silently disabling the cache.
+        let err = run_cli(
+            &["serve", "--model", model_str, "--embed-cache", "lots"],
+            stdin,
+        );
+        assert!(err.unwrap_err().contains("embed-cache"));
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | [`Phase::Admission`] | pool admission-control decision (serve layer) | admission checks |
 //! | [`Phase::Retry`] | degraded re-execution after a numeric fault (serve layer) | retries |
 //! | [`Phase::BatchGemm`] | the batched chunk GEMM + accumulate (batched path) | rows × live questions |
+//! | [`Phase::Embed`] | token gather-sum embedding, including sentence-cache lookups (serve layer) | tokens embedded |
 //!
 //! With the default fused configuration the per-chunk work lands in
 //! `FusedChunk` and the `InnerProduct`/`ExpAccumulate` rows stay zero;
@@ -82,15 +83,22 @@ pub enum Phase {
     /// cache-resident chunk plus the per-question exp/skip/accumulate
     /// (the cross-request batched path).
     BatchGemm,
+    /// The embedding phase: gather-sum of embedding rows for observed
+    /// sentences and asked questions, including sentence-cache lookups
+    /// (recorded by the serving session, not the engines). The count unit
+    /// is tokens embedded, so the embedding:inference time split and the
+    /// per-token cost are both observable.
+    Embed,
 }
 
 /// Number of [`Phase`] variants (array sizes in [`Trace`] and
 /// [`PhaseHistograms`]).
-const PHASES: usize = 9;
+const PHASES: usize = 10;
 
 impl Phase {
     /// All phases, in pipeline order.
     pub const ALL: [Phase; PHASES] = [
+        Phase::Embed,
         Phase::InnerProduct,
         Phase::ExpAccumulate,
         Phase::FusedChunk,
@@ -114,6 +122,7 @@ impl Phase {
             Phase::Admission => "admission",
             Phase::Retry => "retry",
             Phase::BatchGemm => "batch_gemm",
+            Phase::Embed => "embed",
         }
     }
 
@@ -129,6 +138,7 @@ impl Phase {
             Phase::Admission => 6,
             Phase::Retry => 7,
             Phase::BatchGemm => 8,
+            Phase::Embed => 9,
         }
     }
 }

@@ -200,50 +200,104 @@ impl MemNet {
     }
 
     /// BoW-embeds `tokens` through embedding matrix `emb` into `out`
-    /// (sum of the rows selected by the word ids).
+    /// (sum of the rows selected by the word ids). Runs on the
+    /// SIMD-dispatched gather-sum kernel
+    /// ([`mnn_tensor::kernels::embed_sum`]); both kernel backends are
+    /// bitwise identical, and identical to the pre-kernel scalar loops, so
+    /// trained models embed exactly as before.
     ///
     /// # Panics
     ///
     /// Panics if a token is out of vocabulary range or `out` has the wrong
     /// length.
     pub fn embed_tokens(emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
-        assert_eq!(out.len(), emb.cols(), "embed_tokens: bad out length");
-        out.fill(0.0);
-        for &t in tokens {
-            let row = emb.row(t as usize);
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
-        }
+        mnn_tensor::kernels::embed_sum(emb.as_slice(), emb.cols(), tokens, out);
     }
 
     /// Position-encoded embedding: like [`MemNet::embed_tokens`] but each
-    /// word's vector is weighted element-wise by [`position_weight`].
+    /// word's vector is weighted element-wise by [`position_weight`]
+    /// (via [`mnn_tensor::kernels::embed_sum_pe`], whose weight
+    /// computation mirrors [`position_weight`]'s float ops exactly).
     ///
     /// # Panics
     ///
     /// Panics if a token is out of vocabulary range or `out` has the wrong
     /// length.
     pub fn embed_tokens_pe(emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
-        assert_eq!(out.len(), emb.cols(), "embed_tokens_pe: bad out length");
-        out.fill(0.0);
-        let nw = tokens.len();
-        let ed = emb.cols();
-        for (j, &t) in tokens.iter().enumerate() {
-            let row = emb.row(t as usize);
-            for (k, (o, &v)) in out.iter_mut().zip(row).enumerate() {
-                *o += position_weight(j, nw, k, ed) * v;
-            }
-        }
+        mnn_tensor::kernels::embed_sum_pe(emb.as_slice(), emb.cols(), tokens, out);
     }
 
-    /// Dispatches to the plain or position-encoded embedding per `config`.
-    fn embed_dispatch(&self, emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
+    /// Embeds `tokens` through `emb`, dispatching to the plain or
+    /// position-encoded gather-sum per this model's configuration. This is
+    /// the single PE/non-PE branch point — call sites (serving, training,
+    /// offline embedding) route through it instead of duplicating the
+    /// `if position_encoding` ladder.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemNet::embed_tokens`].
+    pub fn embed_into(&self, emb: &Matrix, tokens: &[WordId], out: &mut [f32]) {
         if self.config.position_encoding {
             Self::embed_tokens_pe(emb, tokens, out);
         } else {
             Self::embed_tokens(emb, tokens, out);
         }
+    }
+
+    /// Embeds one story sentence through `A` and `C` in a single fused
+    /// pass ([`mnn_tensor::kernels::embed_pair`]): each token's row indices
+    /// and position weights are computed once for both memory sides.
+    /// Bitwise identical to two [`MemNet::embed_into`] calls.
+    ///
+    /// # Panics
+    ///
+    /// As [`MemNet::embed_tokens`].
+    pub fn embed_sentence_pair(&self, tokens: &[WordId], out_a: &mut [f32], out_c: &mut [f32]) {
+        mnn_tensor::kernels::embed_pair(
+            self.a.as_slice(),
+            self.c.as_slice(),
+            self.config.embedding_dim,
+            tokens,
+            self.config.position_encoding,
+            out_a,
+            out_c,
+        );
+    }
+
+    /// Embeds a question through `B` (the question state `u`).
+    ///
+    /// # Panics
+    ///
+    /// As [`MemNet::embed_tokens`].
+    pub fn embed_question(&self, tokens: &[WordId], out: &mut [f32]) {
+        self.embed_into(&self.b, tokens, out);
+    }
+
+    /// A 64-bit FNV-1a fingerprint of everything an embedding depends on:
+    /// the shape/flag configuration and the `A`/`B`/`C` matrices. Serving
+    /// layers key cached embeddings by this value, so a model reload (new
+    /// weights, same shapes) can never serve a stale embedding; the output
+    /// projection `W` and temporal tables are deliberately excluded because
+    /// no cached embedding reads them.
+    pub fn weights_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.config.vocab_size as u64).to_le_bytes());
+        eat(&(self.config.embedding_dim as u64).to_le_bytes());
+        eat(&[u8::from(self.config.position_encoding)]);
+        for m in [&self.a, &self.b, &self.c] {
+            for v in m.as_slice() {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
     }
 
     /// The embedding operation (paper Fig 2): converts a story into
@@ -267,8 +321,7 @@ impl MemNet {
         let mut m_out = Matrix::zeros(ns, ed);
         for (i, sentence) in story.sentences.iter().enumerate() {
             let age = ns - 1 - i;
-            self.embed_dispatch(&self.a, sentence, m_in.row_mut(i));
-            self.embed_dispatch(&self.c, sentence, m_out.row_mut(i));
+            self.embed_sentence_pair(sentence, m_in.row_mut(i), m_out.row_mut(i));
             if self.config.temporal {
                 for (v, &t) in m_in.row_mut(i).iter_mut().zip(self.t_a.row(age)) {
                     *v += t;
@@ -282,7 +335,7 @@ impl MemNet {
         let mut answers = Vec::with_capacity(story.questions.len());
         for q in &story.questions {
             let mut u = vec![0.0f32; ed];
-            self.embed_dispatch(&self.b, &q.tokens, &mut u);
+            self.embed_question(&q.tokens, &mut u);
             questions.push(u);
             answers.push(q.answer);
         }

@@ -1,0 +1,533 @@
+//! Cross-session sentence-embedding memoization.
+//!
+//! The paper's embedding cache (Section 4.3) exploits the Zipfian skew of
+//! word traffic to keep hot embedding rows in a small dedicated cache. At
+//! the serving layer the same skew appears one level up: the *same
+//! sentences and questions* recur across requests and tenants, so the
+//! whole gather-sum result can be memoized. [`SentenceCache`] is that
+//! memoization: a sharded, capacity-bounded map from (model fingerprint,
+//! token sequence) to the embedded row(s), shared across the [`crate::Session`]s
+//! of a [`crate::SessionPool`] behind an `Arc`.
+//!
+//! Three properties matter for correctness:
+//!
+//! * **Exact keys** — every entry stores its full token sequence and a
+//!   lookup compares it verbatim, so a hash collision can never serve the
+//!   wrong embedding. Combined with the bitwise-identical embed kernels
+//!   ([`mnn_tensor::kernels::embed_sum`]), cached and uncached answers are
+//!   bit-for-bit equal.
+//! * **Fingerprinted weights** — keys include
+//!   [`mnn_memnn::MemNet::weights_fingerprint`], so a reloaded model (new
+//!   weights, same shapes) can never hit entries from the old weights.
+//! * **Versioning** — [`SentenceCache::invalidate_all`] bumps a version
+//!   that is part of every key, making all previous entries unreachable in
+//!   O(1); the clock hand recycles their slots on demand.
+//!
+//! Eviction is CLOCK (second-chance): each shard keeps its entries in a
+//! ring with a referenced bit; a hit sets the bit, an insert into a full
+//! shard advances the hand, clearing bits until it finds an unreferenced
+//! victim. This approximates LRU with O(1) amortized eviction and no
+//! per-hit bookkeeping beyond one bool store.
+
+use mnn_dataset::WordId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// What kind of embedding a slot holds. Part of the key: a sentence and a
+/// question with identical tokens embed through different matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EmbedKind {
+    /// A story sentence's `A`-side + `C`-side pair (data is `2 * ed`).
+    SentencePair,
+    /// A question state through `B` (data is `ed`).
+    Question,
+}
+
+impl EmbedKind {
+    fn tag(self) -> u64 {
+        match self {
+            EmbedKind::SentencePair => 1,
+            EmbedKind::Question => 2,
+        }
+    }
+}
+
+/// One resident embedding.
+#[derive(Debug)]
+struct Slot {
+    hash: u64,
+    version: u64,
+    fingerprint: u64,
+    kind: EmbedKind,
+    tokens: Box<[WordId]>,
+    data: Box<[f32]>,
+    referenced: bool,
+}
+
+impl Slot {
+    fn matches(
+        &self,
+        hash: u64,
+        version: u64,
+        fingerprint: u64,
+        kind: EmbedKind,
+        tokens: &[WordId],
+    ) -> bool {
+        self.hash == hash
+            && self.version == version
+            && self.fingerprint == fingerprint
+            && self.kind == kind
+            && *self.tokens == *tokens
+    }
+}
+
+/// One shard: a clock ring of slots plus a hash index into it.
+#[derive(Debug, Default)]
+struct Shard {
+    slots: Vec<Slot>,
+    /// Full key hash → indices into `slots` (collisions chain in the Vec).
+    index: HashMap<u64, Vec<u32>>,
+    hand: usize,
+}
+
+impl Shard {
+    /// Finds a matching slot, marks it referenced, and copies its data via
+    /// `sink`. Returns `true` on a hit.
+    fn lookup(
+        &mut self,
+        hash: u64,
+        version: u64,
+        fingerprint: u64,
+        kind: EmbedKind,
+        tokens: &[WordId],
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> bool {
+        let Some(ids) = self.index.get(&hash) else {
+            return false;
+        };
+        for &id in ids {
+            let slot = &mut self.slots[id as usize];
+            if slot.matches(hash, version, fingerprint, kind, tokens) {
+                slot.referenced = true;
+                sink(&slot.data);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts an embedding, evicting via the clock hand when the shard is
+    /// at `capacity`. Returns `true` if an existing entry was evicted.
+    #[allow(clippy::too_many_arguments)]
+    fn insert(
+        &mut self,
+        capacity: usize,
+        hash: u64,
+        version: u64,
+        fingerprint: u64,
+        kind: EmbedKind,
+        tokens: &[WordId],
+        data: &[f32],
+    ) -> bool {
+        // Re-inserting an identical key (two sessions raced the same miss)
+        // refreshes the data in place; the kernels are deterministic, so
+        // the bytes are identical either way.
+        if let Some(ids) = self.index.get(&hash) {
+            for &id in ids {
+                let slot = &mut self.slots[id as usize];
+                if slot.matches(hash, version, fingerprint, kind, tokens) {
+                    slot.data.copy_from_slice(data);
+                    slot.referenced = true;
+                    return false;
+                }
+            }
+        }
+        let slot = Slot {
+            hash,
+            version,
+            fingerprint,
+            kind,
+            tokens: tokens.into(),
+            data: data.into(),
+            referenced: false,
+        };
+        if self.slots.len() < capacity {
+            let id = self.slots.len() as u32;
+            self.slots.push(slot);
+            self.index.entry(hash).or_default().push(id);
+            return false;
+        }
+        // CLOCK sweep: clear referenced bits until an unreferenced victim
+        // appears. Terminates within two laps (the first lap clears every
+        // bit in the worst case).
+        loop {
+            let victim = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            if self.slots[victim].referenced {
+                self.slots[victim].referenced = false;
+                continue;
+            }
+            let old_hash = self.slots[victim].hash;
+            if let Some(ids) = self.index.get_mut(&old_hash) {
+                ids.retain(|&id| id != victim as u32);
+                if ids.is_empty() {
+                    self.index.remove(&old_hash);
+                }
+            }
+            self.slots[victim] = slot;
+            self.index.entry(hash).or_default().push(victim as u32);
+            return true;
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of a [`SentenceCache`], read atomically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmbedCacheStats {
+    /// Lookups that found a resident embedding.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller embeds and inserts).
+    pub misses: u64,
+    /// New entries admitted (one per distinct key computed).
+    pub insertions: u64,
+    /// Resident entries displaced by the clock hand.
+    pub evictions: u64,
+}
+
+impl EmbedCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded, capacity-bounded cache of sentence/question embeddings,
+/// shared across sessions via `Arc`. See the module docs for the design.
+///
+/// Capacity is in *entries* (a sentence-pair entry holds `2 * ed` floats,
+/// a question entry `ed`); the resident set is split evenly across shards,
+/// each guarded by its own mutex so concurrent sessions rarely contend.
+#[derive(Debug)]
+pub struct SentenceCache {
+    shards: Box<[Mutex<Shard>]>,
+    /// Per-shard entry bound; `shards.len() * shard_capacity >= capacity`.
+    shard_capacity: usize,
+    capacity: usize,
+    version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SentenceCache {
+    /// Creates a cache bounded to `capacity` entries (clamped to ≥ 1).
+    ///
+    /// The shard count scales with capacity (1 shard for small caches so
+    /// eviction behaves like one global clock, up to 16 for large ones so
+    /// pool-wide sharing scales) — each shard keeps at least 64 entries.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut n_shards = 1usize;
+        while n_shards < 16 && capacity / (n_shards * 2) >= 64 {
+            n_shards *= 2;
+        }
+        let shard_capacity = capacity.div_ceil(n_shards);
+        let shards: Vec<Mutex<Shard>> = (0..n_shards)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            shard_capacity,
+            capacity,
+            version: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// FNV-1a folded over 64-bit words (one multiply per token — this is
+    /// on the lookup hot path, and the exact token comparison at the slot
+    /// makes collision quality non-critical), with a final avalanche mix
+    /// so shard selection (low bits) decorrelates from the index hash.
+    fn key_hash(version: u64, fingerprint: u64, kind: EmbedKind, tokens: &[WordId]) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            h = (h ^ word).wrapping_mul(FNV_PRIME);
+        };
+        eat(version);
+        eat(fingerprint);
+        eat(kind.tag());
+        eat(tokens.len() as u64);
+        for &t in tokens {
+            eat(u64::from(t));
+        }
+        // splitmix-style finalizer.
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash as usize) & (self.shards.len() - 1)]
+    }
+
+    fn lookup(
+        &self,
+        fingerprint: u64,
+        kind: EmbedKind,
+        tokens: &[WordId],
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> bool {
+        let version = self.version.load(Ordering::Acquire);
+        let hash = Self::key_hash(version, fingerprint, kind, tokens);
+        let mut shard = self
+            .shard_for(hash)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let hit = shard.lookup(hash, version, fingerprint, kind, tokens, sink);
+        drop(shard);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, fingerprint: u64, kind: EmbedKind, tokens: &[WordId], data: &[f32]) {
+        let version = self.version.load(Ordering::Acquire);
+        let hash = Self::key_hash(version, fingerprint, kind, tokens);
+        let evicted = self
+            .shard_for(hash)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                self.shard_capacity,
+                hash,
+                version,
+                fingerprint,
+                kind,
+                tokens,
+                data,
+            );
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a sentence's `A`/`C` embedding pair, copying it into
+    /// `out_a`/`out_c` on a hit. Both slices must be `ed` long.
+    pub fn lookup_pair(
+        &self,
+        fingerprint: u64,
+        tokens: &[WordId],
+        out_a: &mut [f32],
+        out_c: &mut [f32],
+    ) -> bool {
+        self.lookup(fingerprint, EmbedKind::SentencePair, tokens, &mut |data| {
+            let (a, c) = data.split_at(out_a.len());
+            out_a.copy_from_slice(a);
+            out_c.copy_from_slice(c);
+        })
+    }
+
+    /// Inserts a sentence's `A`/`C` embedding pair.
+    pub fn insert_pair(&self, fingerprint: u64, tokens: &[WordId], a: &[f32], c: &[f32]) {
+        debug_assert_eq!(a.len(), c.len(), "insert_pair: ragged pair");
+        let mut data = Vec::with_capacity(a.len() + c.len());
+        data.extend_from_slice(a);
+        data.extend_from_slice(c);
+        self.insert(fingerprint, EmbedKind::SentencePair, tokens, &data);
+    }
+
+    /// Looks up a question state, copying it into `out` on a hit.
+    pub fn lookup_question(&self, fingerprint: u64, tokens: &[WordId], out: &mut [f32]) -> bool {
+        self.lookup(fingerprint, EmbedKind::Question, tokens, &mut |data| {
+            out.copy_from_slice(data);
+        })
+    }
+
+    /// Inserts a question state.
+    pub fn insert_question(&self, fingerprint: u64, tokens: &[WordId], u: &[f32]) {
+        self.insert(fingerprint, EmbedKind::Question, tokens, u);
+    }
+
+    /// Makes every resident entry unreachable by bumping the key version.
+    /// O(1): stale slots are recycled lazily by the clock hand. Lookups
+    /// concurrent with the bump either see the old version (and old, still
+    /// internally consistent entries) or the new one — never a mix of key
+    /// and data.
+    pub fn invalidate_all(&self) {
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current key version (bumped by [`SentenceCache::invalidate_all`]).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Entry bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries across all shards (including entries orphaned by
+    /// [`SentenceCache::invalidate_all`] that the clock has not yet
+    /// recycled).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).slots.len())
+            .sum()
+    }
+
+    /// `true` if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot. Individual counters are read with relaxed
+    /// ordering, so a snapshot taken during concurrent traffic may be
+    /// mid-update across fields; totals are exact once traffic quiesces.
+    pub fn stats(&self) -> EmbedCacheStats {
+        EmbedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_exact_bytes() {
+        let cache = SentenceCache::new(8);
+        let a = [1.0f32, 2.0, 3.0];
+        let c = [4.0f32, 5.0, 6.0];
+        let tokens = [7u32, 8, 9];
+        assert!(!cache.lookup_pair(42, &tokens, &mut [0.0; 3], &mut [0.0; 3]));
+        cache.insert_pair(42, &tokens, &a, &c);
+        let mut out_a = [0.0f32; 3];
+        let mut out_c = [0.0f32; 3];
+        assert!(cache.lookup_pair(42, &tokens, &mut out_a, &mut out_c));
+        assert_eq!(out_a, a);
+        assert_eq!(out_c, c);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_discriminate_kind_fingerprint_and_tokens() {
+        let cache = SentenceCache::new(8);
+        let tokens = [1u32, 2];
+        cache.insert_pair(1, &tokens, &[1.0], &[2.0]);
+        // Same tokens, different kind: miss.
+        assert!(!cache.lookup_question(1, &tokens, &mut [0.0]));
+        // Same tokens, different fingerprint: miss.
+        assert!(!cache.lookup_pair(2, &tokens, &mut [0.0], &mut [0.0]));
+        // Different tokens: miss.
+        assert!(!cache.lookup_pair(1, &[1, 3], &mut [0.0], &mut [0.0]));
+        // Prefix/suffix confusion: miss.
+        assert!(!cache.lookup_pair(1, &[1], &mut [0.0], &mut [0.0]));
+        assert!(!cache.lookup_pair(1, &[1, 2, 2], &mut [0.0], &mut [0.0]));
+        assert!(cache.lookup_pair(1, &tokens, &mut [0.0], &mut [0.0]));
+    }
+
+    #[test]
+    fn empty_token_list_is_a_valid_key() {
+        let cache = SentenceCache::new(4);
+        cache.insert_question(9, &[], &[0.5, 0.25]);
+        let mut out = [0.0f32; 2];
+        assert!(cache.lookup_question(9, &[], &mut out));
+        assert_eq!(out, [0.5, 0.25]);
+    }
+
+    #[test]
+    fn clock_eviction_bounds_residency_and_prefers_referenced() {
+        let cache = SentenceCache::new(2);
+        cache.insert_question(0, &[1], &[1.0]);
+        cache.insert_question(0, &[2], &[2.0]);
+        assert_eq!(cache.len(), 2);
+        // Touch [1] so the clock's second chance protects it.
+        assert!(cache.lookup_question(0, &[1], &mut [0.0]));
+        cache.insert_question(0, &[3], &[3.0]);
+        assert_eq!(cache.len(), 2, "capacity bound holds");
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(
+            cache.lookup_question(0, &[1], &mut [0.0]),
+            "referenced survives"
+        );
+        assert!(
+            !cache.lookup_question(0, &[2], &mut [0.0]),
+            "unreferenced evicted"
+        );
+        assert!(cache.lookup_question(0, &[3], &mut [0.0]));
+    }
+
+    #[test]
+    fn invalidate_all_makes_entries_unreachable() {
+        let cache = SentenceCache::new(4);
+        cache.insert_question(5, &[1, 2], &[1.0]);
+        assert!(cache.lookup_question(5, &[1, 2], &mut [0.0]));
+        cache.invalidate_all();
+        assert!(!cache.lookup_question(5, &[1, 2], &mut [0.0]));
+        // Re-inserting under the new version works, and the stale slot is
+        // recycled rather than leaking capacity.
+        cache.insert_question(5, &[1, 2], &[2.0]);
+        let mut out = [0.0f32];
+        assert!(cache.lookup_question(5, &[1, 2], &mut out));
+        assert_eq!(out, [2.0]);
+        assert!(cache.len() <= cache.capacity().max(2));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let cache = SentenceCache::new(4);
+        cache.insert_question(1, &[7], &[1.0]);
+        cache.insert_question(1, &[7], &[1.0]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        // Small caches stay single-shard (global clock ≈ the simulator's
+        // fully-associative LRU); big ones shard for concurrency.
+        assert_eq!(SentenceCache::new(1).shards.len(), 1);
+        assert_eq!(SentenceCache::new(64).shards.len(), 1);
+        assert_eq!(SentenceCache::new(128).shards.len(), 2);
+        assert_eq!(SentenceCache::new(4096).shards.len(), 16);
+        // Sharded capacity still covers the requested bound.
+        let c = SentenceCache::new(1000);
+        assert!(c.shards.len() * c.shard_capacity >= 1000);
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = EmbedCacheStats {
+            hits: 3,
+            misses: 1,
+            ..EmbedCacheStats::default()
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(EmbedCacheStats::default().hit_ratio(), 0.0);
+    }
+}

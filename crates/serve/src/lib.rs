@@ -34,10 +34,12 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod embed_cache;
 mod pool;
 mod session;
 mod store;
 
+pub use embed_cache::{EmbedCacheStats, SentenceCache};
 pub use pool::{AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats, SessionPool};
 pub use session::{
     Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,

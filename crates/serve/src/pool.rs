@@ -7,12 +7,14 @@
 //! pooled statistics that expose the embedding-vs-inference traffic split
 //! the MnnFast embedding cache addresses.
 
+use crate::embed_cache::SentenceCache;
 use crate::session::{Answer, ServeError, Session, SessionConfig};
 use mnn_dataset::WordId;
 use mnn_memnn::MemNet;
 use mnnfast::{Budget, InferenceStats, Phase, PhaseHistograms, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors specific to the pool.
@@ -167,6 +169,17 @@ pub struct PoolStats {
     pub max_batch_occupancy: usize,
     /// Questions currently waiting in coalescing queues.
     pub pending_questions: usize,
+    /// Sentence-cache hits pool-wide (zero when
+    /// [`SessionConfig::embed_cache`] is off). A hit skips the gather-sum
+    /// entirely — the serving-layer analogue of the paper's embedding
+    /// cache hit.
+    pub embed_hits: u64,
+    /// Sentence-cache misses pool-wide (each one embedded and inserted).
+    pub embed_misses: u64,
+    /// Sentence-cache entries displaced by the clock hand pool-wide.
+    pub embed_evictions: u64,
+    /// Entries resident in the shared sentence cache right now.
+    pub embed_cache_entries: usize,
 }
 
 /// Token-bucket state for the admission controller.
@@ -209,6 +222,9 @@ pub struct SessionPool {
     model: MemNet,
     config: SessionConfig,
     sessions: BTreeMap<String, Session>,
+    /// Pool-wide sentence cache, shared by every tenant session (present
+    /// iff [`SessionConfig::embed_cache`] is set).
+    embed_cache: Option<Arc<SentenceCache>>,
     embedding_lookups: u64,
     bucket: Option<Bucket>,
     shed_questions: u64,
@@ -228,12 +244,23 @@ impl SessionPool {
     ///
     /// As [`Session::new`] (incompatible model configurations).
     pub fn new(model: MemNet, config: SessionConfig) -> Result<Self, ServeError> {
-        // Validate eagerly by constructing (and discarding) one session.
-        let _probe = Session::new(model.clone(), config)?;
+        // Validate eagerly by constructing (and discarding) one session —
+        // without a cache, so the probe skips the weight fingerprint.
+        let _probe = Session::new(
+            model.clone(),
+            SessionConfig {
+                embed_cache: None,
+                ..config
+            },
+        )?;
+        let embed_cache = config
+            .embed_cache
+            .map(|cap| Arc::new(SentenceCache::new(cap)));
         Ok(Self {
             model,
             config,
             sessions: BTreeMap::new(),
+            embed_cache,
             embedding_lookups: 0,
             bucket: None,
             shed_questions: 0,
@@ -284,9 +311,23 @@ impl SessionPool {
         if self.sessions.contains_key(name) {
             return Err(PoolError::DuplicateTenant(name.to_owned()));
         }
-        let session = Session::new(self.model.clone(), self.config).map_err(PoolError::Session)?;
+        // All tenants share the pool's one sentence cache: a sentence
+        // embedded for any tenant is a hit for every other.
+        let session = match &self.embed_cache {
+            Some(cache) => {
+                Session::with_shared_cache(self.model.clone(), self.config, cache.clone())
+            }
+            None => Session::new(self.model.clone(), self.config),
+        }
+        .map_err(PoolError::Session)?;
         self.sessions.insert(name.to_owned(), session);
         Ok(())
+    }
+
+    /// The pool-wide sentence-embedding cache, if enabled via
+    /// [`SessionConfig::embed_cache`].
+    pub fn embed_cache(&self) -> Option<&Arc<SentenceCache>> {
+        self.embed_cache.as_ref()
     }
 
     /// Removes a tenant and returns how many sentences its memory held.
@@ -558,6 +599,13 @@ impl SessionPool {
             ..PoolStats::default()
         };
         stats.trace.absorb(&self.admission_trace);
+        if let Some(cache) = &self.embed_cache {
+            let c = cache.stats();
+            stats.embed_hits = c.hits;
+            stats.embed_misses = c.misses;
+            stats.embed_evictions = c.evictions;
+            stats.embed_cache_entries = cache.len();
+        }
         for session in self.sessions.values() {
             stats.total_sentences += session.memory_len();
             stats.questions_answered += session.questions_answered();

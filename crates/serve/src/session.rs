@@ -1,5 +1,6 @@
 //! A serving session: observe sentences, answer questions.
 
+use crate::embed_cache::{EmbedCacheStats, SentenceCache};
 use crate::store::MemoryStore;
 use mnn_dataset::text;
 use mnn_dataset::{Vocabulary, WordId};
@@ -12,6 +13,7 @@ use mnnfast::{
 };
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a session reacts to [`EngineError::NumericFault`] from its engine.
@@ -63,6 +65,12 @@ pub struct SessionConfig {
     pub deadline: Option<Duration>,
     /// Numeric-fault handling (see [`DegradationPolicy`]).
     pub degradation: DegradationPolicy,
+    /// Sentence-embedding memoization bound in entries (`None`, the
+    /// default, disables it). A standalone [`Session`] builds a private
+    /// [`SentenceCache`] of this capacity; sessions created by a
+    /// [`crate::SessionPool`] share one pool-wide cache instead, so a
+    /// sentence embedded for one tenant is a hit for every other.
+    pub embed_cache: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -73,6 +81,7 @@ impl Default for SessionConfig {
             trace: false,
             deadline: None,
             degradation: DegradationPolicy::default(),
+            embed_cache: None,
         }
     }
 }
@@ -179,6 +188,14 @@ pub struct Session {
     histograms: PhaseHistograms,
     questions_answered: u64,
     degradation: DegradationStats,
+    /// Sentence/question embedding memoization (`None` = embed every time).
+    embed_cache: Option<Arc<SentenceCache>>,
+    /// Weight fingerprint baked into every cache key (0 without a cache).
+    model_fingerprint: u64,
+    /// Reusable `2 * ed` buffer for the sentence pair in [`Session::observe`].
+    pair_buf: Vec<f32>,
+    /// Reusable `ed` buffer for the question state in [`Session::ask`].
+    question_buf: Vec<f32>,
 }
 
 impl Session {
@@ -192,6 +209,34 @@ impl Session {
     /// Train serving models with `temporal: false` (use position encoding
     /// for order information instead).
     pub fn new(model: MemNet, config: SessionConfig) -> Result<Self, ServeError> {
+        let cache = config
+            .embed_cache
+            .map(|cap| Arc::new(SentenceCache::new(cap)));
+        Self::with_cache(model, config, cache)
+    }
+
+    /// As [`Session::new`], but memoizing embeddings in `cache` — typically
+    /// one cache shared across every session of a [`crate::SessionPool`],
+    /// so a sentence embedded for one tenant is a hit for all of them. The
+    /// capacity in [`SessionConfig::embed_cache`] is ignored; the given
+    /// cache is used as-is.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::new`].
+    pub fn with_shared_cache(
+        model: MemNet,
+        config: SessionConfig,
+        cache: Arc<SentenceCache>,
+    ) -> Result<Self, ServeError> {
+        Self::with_cache(model, config, Some(cache))
+    }
+
+    fn with_cache(
+        model: MemNet,
+        config: SessionConfig,
+        cache: Option<Arc<SentenceCache>>,
+    ) -> Result<Self, ServeError> {
         let mut model = model;
         let mc = model.config();
         if mc.temporal {
@@ -215,6 +260,13 @@ impl Session {
                 .with_softmax(SoftmaxMode::Online),
             kind: config.plan.kind,
         };
+        // The fingerprint hashes every embedding weight; skip it entirely
+        // when no cache will ever key on it.
+        let model_fingerprint = if cache.is_some() {
+            model.weights_fingerprint()
+        } else {
+            0
+        };
         Ok(Self {
             model,
             store: MemoryStore::new(ed, config.max_sentences),
@@ -227,6 +279,10 @@ impl Session {
             histograms: PhaseHistograms::new(),
             questions_answered: 0,
             degradation: DegradationStats::default(),
+            embed_cache: cache,
+            model_fingerprint,
+            pair_buf: Vec::new(),
+            question_buf: Vec::new(),
         })
     }
 
@@ -263,6 +319,73 @@ impl Session {
         self.degradation
     }
 
+    /// The sentence-embedding cache this session consults, if any (shared
+    /// pool-wide for sessions created by a [`crate::SessionPool`]).
+    pub fn embed_cache(&self) -> Option<&Arc<SentenceCache>> {
+        self.embed_cache.as_ref()
+    }
+
+    /// Counter snapshot of the sentence-embedding cache (`None` when
+    /// memoization is disabled). For pooled sessions the counters are
+    /// pool-wide, not per tenant.
+    pub fn embed_cache_stats(&self) -> Option<EmbedCacheStats> {
+        self.embed_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Forgets every observed sentence and invalidates the sentence cache.
+    ///
+    /// The invalidation is deliberately conservative: resident cache
+    /// entries are still keyed to the current weights and would remain
+    /// correct, but a reset marks a session boundary, and for a shared
+    /// cache it guarantees no embedding computed before the reset can
+    /// influence anything after it. Sessions sharing the cache repopulate
+    /// it on their next misses.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        if let Some(cache) = &self.embed_cache {
+            cache.invalidate_all();
+        }
+    }
+
+    /// Swaps in freshly trained weights (same embedding width), e.g. after
+    /// a periodic retrain. The memory store is cleared — resident rows were
+    /// embedded with the old weights — and the sentence cache is both
+    /// version-invalidated and re-keyed to the new weights' fingerprint,
+    /// so a stale embedding can never answer a post-reload question.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the new model's embedding width
+    /// differs from the session's store, or its configuration is invalid.
+    pub fn reload_model(&mut self, model: MemNet) -> Result<(), ServeError> {
+        let mut model = model;
+        let mc = model.config();
+        if mc.temporal {
+            let fixed = ModelConfig {
+                temporal: false,
+                ..mc
+            };
+            if fixed.validate().is_err() {
+                return Err(ServeError::Model("invalid model configuration".into()));
+            }
+            model.set_config(fixed);
+        }
+        if model.embedding_dim() != self.model.embedding_dim() {
+            return Err(ServeError::Model(format!(
+                "reloaded embedding dim {} != session dim {}",
+                model.embedding_dim(),
+                self.model.embedding_dim()
+            )));
+        }
+        self.model = model;
+        self.store.clear();
+        if let Some(cache) = &self.embed_cache {
+            cache.invalidate_all();
+            self.model_fingerprint = self.model.weights_fingerprint();
+        }
+        Ok(())
+    }
+
     /// The underlying model (e.g. to decode answers via its vocabulary).
     pub fn model(&self) -> &MemNet {
         &self.model
@@ -282,16 +405,34 @@ impl Session {
     pub fn observe(&mut self, sentence: &[WordId]) -> Result<usize, ServeError> {
         self.check_tokens(sentence)?;
         let ed = self.model.embedding_dim();
-        let mut in_row = vec![0.0f32; ed];
-        let mut out_row = vec![0.0f32; ed];
-        if self.model.config().position_encoding {
-            MemNet::embed_tokens_pe(&self.model.a, sentence, &mut in_row);
-            MemNet::embed_tokens_pe(&self.model.c, sentence, &mut out_row);
+        let mut trace = if self.config.trace {
+            Trace::enabled()
         } else {
-            MemNet::embed_tokens(&self.model.a, sentence, &mut in_row);
-            MemNet::embed_tokens(&self.model.c, sentence, &mut out_row);
+            Trace::disabled()
+        };
+        let t0 = trace.begin();
+        let mut buf = std::mem::take(&mut self.pair_buf);
+        buf.clear();
+        buf.resize(2 * ed, 0.0);
+        let (in_row, out_row) = buf.split_at_mut(ed);
+        let cached = match &self.embed_cache {
+            Some(cache) => cache.lookup_pair(self.model_fingerprint, sentence, in_row, out_row),
+            None => false,
+        };
+        if !cached {
+            self.model.embed_sentence_pair(sentence, in_row, out_row);
+            if let Some(cache) = &self.embed_cache {
+                cache.insert_pair(self.model_fingerprint, sentence, in_row, out_row);
+            }
         }
-        Ok(self.store.push(&in_row, &out_row))
+        trace.record(Phase::Embed, t0, sentence.len() as u64);
+        let evicted = self.store.push(in_row, out_row);
+        self.pair_buf = buf;
+        // Observe-side embed time feeds the cumulative trace only: the
+        // per-question histograms measure question latency, and a sentence
+        // arrival is not a question.
+        self.cumulative_trace.absorb(&trace);
+        Ok(evicted)
     }
 
     /// Embeds and answers one question against the current memory, under
@@ -331,20 +472,22 @@ impl Session {
             return Err(ServeError::EmptyMemory);
         }
         self.check_tokens(question)?;
-        let ed = self.model.embedding_dim();
-        let mut u = vec![0.0f32; ed];
-        if self.model.config().position_encoding {
-            MemNet::embed_tokens_pe(&self.model.b, question, &mut u);
-        } else {
-            MemNet::embed_tokens(&self.model.b, question, &mut u);
-        }
-
         let mut trace = if self.config.trace {
             Trace::enabled()
         } else {
             Trace::disabled()
         };
-        let (out, degraded) = match self.forward(&u, &mut trace, budget) {
+        let ed = self.model.embedding_dim();
+        let mut u = std::mem::take(&mut self.question_buf);
+        u.clear();
+        u.resize(ed, 0.0);
+        self.embed_question_cached(question, &mut u, &mut trace);
+
+        let forwarded = self.forward(&u, &mut trace, budget);
+        // `HopsOutput` owns its buffers, so the question state can go back
+        // to the session for reuse before the result is even inspected.
+        self.question_buf = u;
+        let (out, degraded) = match forwarded {
             Ok(pair) => pair,
             Err(e) => {
                 if matches!(e, EngineError::DeadlineExceeded { .. }) {
@@ -445,6 +588,11 @@ impl Session {
             .map(|q| self.check_tokens(q).err())
             .collect();
         let ed = self.model.embedding_dim();
+        let mut trace = if self.config.trace {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        };
         let mut idx = Vec::with_capacity(questions.len());
         let mut us: Vec<Vec<f32>> = Vec::with_capacity(questions.len());
         let mut sub_budgets = Vec::with_capacity(questions.len());
@@ -453,21 +601,12 @@ impl Session {
                 continue;
             }
             let mut u = vec![0.0f32; ed];
-            if self.model.config().position_encoding {
-                MemNet::embed_tokens_pe(&self.model.b, question, &mut u);
-            } else {
-                MemNet::embed_tokens(&self.model.b, question, &mut u);
-            }
+            self.embed_question_cached(question, &mut u, &mut trace);
             idx.push(q);
             us.push(u);
             sub_budgets.push(budgets[q].clone());
         }
 
-        let mut trace = if self.config.trace {
-            Trace::enabled()
-        } else {
-            Trace::disabled()
-        };
         let engine_results = if us.is_empty() {
             Vec::new()
         } else {
@@ -517,6 +656,28 @@ impl Session {
             .into_iter()
             .map(|a| a.expect("every question slot is filled"))
             .collect())
+    }
+
+    /// Embeds a question through `B` into `u`, consulting the sentence
+    /// cache first. This is the single embedding call site for both the
+    /// sequential and batched ask paths; the sentence side
+    /// ([`Session::observe`]) shares the same kernel dispatch via
+    /// [`MemNet::embed_sentence_pair`]. Cached and computed results are
+    /// bitwise identical (the kernels are deterministic and the cache
+    /// stores exact bytes), so hits never change an answer.
+    fn embed_question_cached(&mut self, tokens: &[WordId], u: &mut [f32], trace: &mut Trace) {
+        let t0 = trace.begin();
+        let cached = match &self.embed_cache {
+            Some(cache) => cache.lookup_question(self.model_fingerprint, tokens, u),
+            None => false,
+        };
+        if !cached {
+            self.model.embed_question(tokens, u);
+            if let Some(cache) = &self.embed_cache {
+                cache.insert_question(self.model_fingerprint, tokens, u);
+            }
+        }
+        trace.record(Phase::Embed, t0, tokens.len() as u64);
     }
 
     /// Runs the engine forward pass, applying the degradation ladder.

@@ -1,0 +1,237 @@
+//! Answer-parity tests for the embedding fast path.
+//!
+//! The cache and the SIMD kernels are pure optimizations: a session with
+//! sentence memoization enabled, or running on the AVX2 embed kernels,
+//! must produce answers *bitwise identical* to the plain scalar, uncached
+//! session. These tests drive full sessions over awkward shapes (empty
+//! sentences, single tokens, `ed` not a multiple of the SIMD width,
+//! position encoding on and off) and compare `(word, probability.to_bits())`.
+//!
+//! The whole file also runs in CI under `--features force-scalar`, which
+//! pins the kernel dispatch to the scalar reference — combined with the
+//! kernel-level bitwise property tests in `mnn-tensor`, that closes the
+//! loop: scalar answers == AVX2 answers == cached answers.
+
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_serve::{Answer, ServeError, Session, SessionConfig, SessionPool};
+use mnn_tensor::simd::{self, Backend};
+
+fn model(ed: usize, pe: bool, seed: u64) -> MemNet {
+    let config = ModelConfig {
+        vocab_size: 32,
+        embedding_dim: ed,
+        max_sentences: 16,
+        hops: 2,
+        temporal: false,
+        position_encoding: pe,
+    };
+    MemNet::new(config, seed)
+}
+
+/// Sentence stream with deliberate repeats (cache hits) and awkward
+/// shapes: empty, single-token, and longer sentences.
+fn sentences() -> Vec<Vec<u32>> {
+    vec![
+        vec![1, 2, 3],
+        vec![],
+        vec![7],
+        vec![4, 5, 6, 7, 8],
+        vec![1, 2, 3], // repeat → pair-cache hit
+        vec![7],       // repeat → pair-cache hit
+        vec![9, 10],
+        vec![1, 2, 3], // repeat again
+    ]
+}
+
+fn questions() -> Vec<Vec<u32>> {
+    vec![
+        vec![11, 12],
+        vec![7],
+        vec![11, 12], // repeat → question-cache hit
+        vec![1, 2, 3, 4],
+        vec![7], // repeat
+    ]
+}
+
+fn bits(a: &Answer) -> (u32, u32) {
+    (a.word, a.probability.to_bits())
+}
+
+/// Interleaves observes and asks, returning every answer's identity bits.
+fn drive(session: &mut Session) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let qs = questions();
+    for (i, s) in sentences().iter().enumerate() {
+        session.observe(s).unwrap();
+        if i % 2 == 1 {
+            let q = &qs[(i / 2) % qs.len()];
+            out.push(bits(&session.ask(q).unwrap()));
+        }
+    }
+    for q in &qs {
+        out.push(bits(&session.ask(q).unwrap()));
+    }
+    out
+}
+
+#[test]
+fn cached_answers_are_bitwise_identical_to_uncached() {
+    // ed = 13 exercises the SIMD tail path; ed = 16 the full-block path.
+    for &(ed, pe) in &[(13usize, true), (13, false), (16, true), (8, false)] {
+        let m = model(ed, pe, 0xC0FFEE ^ ed as u64);
+        let mut plain = Session::new(m.clone(), SessionConfig::default()).unwrap();
+        let mut cached = Session::new(
+            m,
+            SessionConfig {
+                embed_cache: Some(64),
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let expected = drive(&mut plain);
+        let got = drive(&mut cached);
+        assert_eq!(got, expected, "ed={ed} pe={pe}");
+        let stats = cached.embed_cache_stats().unwrap();
+        assert!(
+            stats.hits > 0,
+            "the repeated sentences/questions must actually hit (ed={ed} pe={pe}): {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn pool_shares_the_cache_across_tenants_without_changing_answers() {
+    let m = model(13, true, 99);
+    let mut plain = SessionPool::new(m.clone(), SessionConfig::default()).unwrap();
+    let mut cached = SessionPool::new(
+        m,
+        SessionConfig {
+            embed_cache: Some(128),
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    for pool in [&mut plain, &mut cached] {
+        pool.create_tenant("alice").unwrap();
+        pool.create_tenant("bob").unwrap();
+    }
+    // Both tenants observe the same story: with the shared cache, bob's
+    // observes are pure hits on entries alice inserted.
+    let mut expected = Vec::new();
+    let mut got = Vec::new();
+    for tenant in ["alice", "bob"] {
+        for s in sentences() {
+            plain.observe(tenant, &s).unwrap();
+            cached.observe(tenant, &s).unwrap();
+        }
+        for q in questions() {
+            expected.push(bits(&plain.ask(tenant, &q).unwrap()));
+            got.push(bits(&cached.ask(tenant, &q).unwrap()));
+        }
+    }
+    assert_eq!(got, expected);
+    let stats = cached.stats();
+    // Distinct sentences + distinct questions miss once each; everything
+    // else (repeats within a tenant, all of bob's observes) hits.
+    let distinct_pairs = 5; // [1,2,3], [], [7], [4..8], [9,10]
+    let distinct_questions = 3;
+    assert_eq!(stats.embed_misses, distinct_pairs + distinct_questions);
+    assert!(stats.embed_hits > 0);
+    assert_eq!(
+        stats.embed_cache_entries as u64, stats.embed_misses,
+        "every miss inserts, nothing evicts at this capacity"
+    );
+    assert!(cached.embed_cache().is_some());
+    assert!(plain.embed_cache().is_none());
+}
+
+#[test]
+fn embed_kernels_agree_across_backends_at_session_shapes() {
+    // The session-level guarantee behind SIMD-vs-scalar answer parity:
+    // for the exact token streams a session embeds, the detected backend
+    // and the scalar reference produce bitwise-equal vectors. (Full-session
+    // scalar runs are exercised by the CI force-scalar job over this file.)
+    let detected = Backend::detect();
+    for &(ed, pe) in &[(13usize, true), (16, false), (8, true)] {
+        let m = model(ed, pe, 7 + ed as u64);
+        let table = m.a.as_slice();
+        for tokens in sentences().iter().chain(questions().iter()) {
+            let mut scalar = vec![0.0f32; ed];
+            let mut fast = vec![0.0f32; ed];
+            if pe {
+                simd::embed_sum_pe_with(Backend::Scalar, table, ed, tokens, &mut scalar);
+                simd::embed_sum_pe_with(detected, table, ed, tokens, &mut fast);
+            } else {
+                simd::embed_sum_with(Backend::Scalar, table, ed, tokens, &mut scalar);
+                simd::embed_sum_with(detected, table, ed, tokens, &mut fast);
+            }
+            let sb: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, fb, "ed={ed} pe={pe} tokens={tokens:?}");
+        }
+    }
+}
+
+#[test]
+fn reload_model_never_serves_stale_embeddings() {
+    let old = model(13, true, 1);
+    let new = model(13, true, 2); // same shapes, different weights
+    let mut session = Session::new(
+        old,
+        SessionConfig {
+            embed_cache: Some(64),
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    // Warm the cache with the old weights.
+    let warm = drive(&mut session);
+
+    session.reload_model(new.clone()).unwrap();
+    assert_eq!(session.memory_len(), 0, "old-weight rows are dropped");
+    // Re-drive the identical stream: every sentence/question is in the old
+    // cache generation, so a stale hit would reproduce the old answers.
+    let after = drive(&mut session);
+    let mut fresh = Session::new(new, SessionConfig::default()).unwrap();
+    let expected = drive(&mut fresh);
+    assert_eq!(
+        after, expected,
+        "post-reload answers must match a fresh uncached session on the new weights"
+    );
+    assert_ne!(
+        after, warm,
+        "distinct weights must actually change answers, or this test proves nothing"
+    );
+}
+
+#[test]
+fn reload_model_rejects_mismatched_width() {
+    let mut session = Session::new(model(13, true, 1), SessionConfig::default()).unwrap();
+    let err = session.reload_model(model(16, true, 1)).unwrap_err();
+    assert!(matches!(err, ServeError::Model(_)));
+}
+
+#[test]
+fn reset_clears_memory_and_invalidates_the_cache() {
+    let mut session = Session::new(
+        model(8, false, 5),
+        SessionConfig {
+            embed_cache: Some(16),
+            ..SessionConfig::default()
+        },
+    )
+    .unwrap();
+    session.observe(&[1, 2, 3]).unwrap();
+    session.observe(&[1, 2, 3]).unwrap();
+    let before = session.embed_cache_stats().unwrap();
+    assert_eq!(before.hits, 1);
+
+    session.reset();
+    assert_eq!(session.memory_len(), 0);
+    assert!(matches!(session.ask(&[1]), Err(ServeError::EmptyMemory)));
+    // The same sentence misses again: the old entry is unreachable.
+    session.observe(&[1, 2, 3]).unwrap();
+    let after = session.embed_cache_stats().unwrap();
+    assert_eq!(after.hits, before.hits, "no hit across the reset boundary");
+    assert_eq!(after.misses, before.misses + 1);
+}

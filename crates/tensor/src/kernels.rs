@@ -131,6 +131,81 @@ pub fn gemm_chunk(chunk: &[f32], n_rows: usize, us_flat: &[f32], nq: usize, out:
     simd::gemm_chunk_with(simd::backend(), chunk, n_rows, us_flat, nq, out);
 }
 
+/// BoW embedding gather-sum over a flat row-major table:
+/// `out = Σ_j table[tokens[j]]` where each row is `ed` wide. This is the
+/// embedding operation's hot loop (the memory-bound phase the paper's
+/// Section 4.3 embedding cache targets), dispatched to the active SIMD
+/// backend. Both backends are **bitwise identical** by design (see
+/// [`crate::simd`]'s embed section), so results never depend on which CPU
+/// computed them — the property the serving layer's embedding cache relies
+/// on.
+///
+/// # Panics
+///
+/// Panics if `out.len() != ed` or a token indexes past the table's rows.
+pub fn embed_sum(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    assert_eq!(out.len(), ed, "embed_sum: bad out length");
+    debug_assert!(
+        ed == 0 || table.len().is_multiple_of(ed),
+        "embed_sum: ragged table"
+    );
+    simd::embed_sum_with(simd::backend(), table, ed, tokens, out);
+}
+
+/// Position-encoded gather-sum: like [`embed_sum`] but row `j` is weighted
+/// element-wise by Sukhbaatar et al.'s position encoding
+/// `l_{kj} = (1 − j/nw) − ((k+1)/ed)(1 − 2j/nw)` (1-based `j`, `k`).
+/// Bitwise identical across backends.
+///
+/// # Panics
+///
+/// Panics if `out.len() != ed` or a token indexes past the table's rows.
+pub fn embed_sum_pe(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    assert_eq!(out.len(), ed, "embed_sum_pe: bad out length");
+    debug_assert!(
+        ed == 0 || table.len().is_multiple_of(ed),
+        "embed_sum_pe: ragged table"
+    );
+    simd::embed_sum_pe_with(simd::backend(), table, ed, tokens, out);
+}
+
+/// Fused two-table gather-sum: embeds `tokens` through `table_a` and
+/// `table_c` in one pass (`pe` selects position encoding), producing the
+/// `A`-side and `C`-side memory rows together so each token's position
+/// weights and index arithmetic are computed once. Bitwise identical to
+/// two separate [`embed_sum`] / [`embed_sum_pe`] calls on any backend.
+///
+/// # Panics
+///
+/// Panics if an output slice's length is not `ed` or a token indexes past
+/// either table's rows.
+pub fn embed_pair(
+    table_a: &[f32],
+    table_c: &[f32],
+    ed: usize,
+    tokens: &[u32],
+    pe: bool,
+    out_a: &mut [f32],
+    out_c: &mut [f32],
+) {
+    assert_eq!(out_a.len(), ed, "embed_pair: bad out_a length");
+    assert_eq!(out_c.len(), ed, "embed_pair: bad out_c length");
+    debug_assert!(
+        ed == 0 || (table_a.len().is_multiple_of(ed) && table_c.len().is_multiple_of(ed)),
+        "embed_pair: ragged table"
+    );
+    simd::embed_pair_with(
+        simd::backend(),
+        table_a,
+        table_c,
+        ed,
+        tokens,
+        pe,
+        out_a,
+        out_c,
+    );
+}
+
 /// Vector–matrix product `out = xᵀ · M` (length `cols`), i.e. the weighted
 /// sum of the *rows* of `M` with weights `x`.
 ///

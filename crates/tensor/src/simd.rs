@@ -211,6 +211,92 @@ pub fn gemm_chunk_scalar(
 }
 
 // ---------------------------------------------------------------------------
+// Embedding gather-sum kernels
+// ---------------------------------------------------------------------------
+//
+// BoW embedding is a *gather-sum*: `out = Σ_j table[tokens[j]]`, optionally
+// weighted per (position j, dimension k) by Sukhbaatar et al.'s position
+// encoding `l_{kj} = (1 − j/nw) − (k/ed)(1 − 2j/nw)` (1-based `j`, `k`).
+// Unlike the inference kernels above, the embed kernels are **bitwise
+// identical across backends by design**: both accumulate each output
+// element in token order, and the AVX2 path computes the PE weight with
+// separate multiply and subtract (no FMA) so every intermediate rounds
+// exactly as the scalar reference does. This lets the serving layer cache
+// embeddings computed on either backend and guarantee cached vs uncached
+// answers match bit for bit.
+
+/// The position-encoding terms hoisted per token: `(a_j, m_j, ed_f)` with
+/// `weight(k) = a_j - ((k+1)/ed_f) * m_j`. The float-op sequence mirrors
+/// `position_weight` in `mnn-memnn` exactly (same rounding at every step).
+#[inline]
+fn pe_terms(j: usize, nw: usize, ed: usize) -> (f32, f32, f32) {
+    let j1 = (j + 1) as f32;
+    let nwf = nw.max(1) as f32;
+    let edf = ed.max(1) as f32;
+    (1.0 - j1 / nwf, 1.0 - 2.0 * j1 / nwf, edf)
+}
+
+/// Reference gather-sum: `out += Σ_j table[tokens[j]]` (rows are `ed` wide).
+/// The caller zeroes `out`; panics via slice indexing if a token id is out
+/// of the table's row range.
+pub fn embed_sum_scalar(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    for &t in tokens {
+        let row = &table[t as usize * ed..][..ed];
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
+        }
+    }
+}
+
+/// Reference position-encoded gather-sum: each row is weighted element-wise
+/// by the position-encoding weight before accumulation.
+pub fn embed_sum_pe_scalar(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    let nw = tokens.len();
+    for (j, &t) in tokens.iter().enumerate() {
+        let row = &table[t as usize * ed..][..ed];
+        let (aj, mj, edf) = pe_terms(j, nw, ed);
+        for (k, (o, &v)) in out.iter_mut().zip(row).enumerate() {
+            let w = aj - ((k + 1) as f32 / edf) * mj;
+            *o += w * v;
+        }
+    }
+}
+
+/// Reference fused A/C gather-sum: one pass over the tokens produces both
+/// the `A`-side and `C`-side embeddings (`pe` selects position encoding),
+/// so each position weight is computed once and both tables are walked
+/// while the token's index arithmetic is hot. Bitwise identical to two
+/// separate [`embed_sum_scalar`] / [`embed_sum_pe_scalar`] calls.
+pub fn embed_pair_scalar(
+    table_a: &[f32],
+    table_c: &[f32],
+    ed: usize,
+    tokens: &[u32],
+    pe: bool,
+    out_a: &mut [f32],
+    out_c: &mut [f32],
+) {
+    let nw = tokens.len();
+    for (j, &t) in tokens.iter().enumerate() {
+        let ra = &table_a[t as usize * ed..][..ed];
+        let rc = &table_c[t as usize * ed..][..ed];
+        if pe {
+            let (aj, mj, edf) = pe_terms(j, nw, ed);
+            for k in 0..ed {
+                let w = aj - ((k + 1) as f32 / edf) * mj;
+                out_a[k] += w * ra[k];
+                out_c[k] += w * rc[k];
+            }
+        } else {
+            for k in 0..ed {
+                out_a[k] += ra[k];
+                out_c[k] += rc[k];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Polynomial fast exp
 // ---------------------------------------------------------------------------
 
@@ -473,6 +559,141 @@ mod avx2 {
         }
     }
 
+    /// AVX2 gather-sum: `out += Σ_j table[tokens[j]]`. Plain 8-lane adds
+    /// (no FMA, nothing to fuse), so each output element accumulates the
+    /// rows in token order — bitwise identical to [`embed_sum_scalar`].
+    /// Rows are fetched through checked slicing, so an out-of-range token
+    /// panics exactly like the scalar path instead of reading wild.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn embed_sum(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+        let po = out.as_mut_ptr();
+        for &t in tokens {
+            let row = &table[t as usize * ed..][..ed];
+            let pr = row.as_ptr();
+            let mut k = 0usize;
+            while k + 8 <= ed {
+                let acc = _mm256_add_ps(_mm256_loadu_ps(po.add(k)), _mm256_loadu_ps(pr.add(k)));
+                _mm256_storeu_ps(po.add(k), acc);
+                k += 8;
+            }
+            while k < ed {
+                out[k] += row[k];
+                k += 1;
+            }
+        }
+    }
+
+    /// AVX2 position-encoded gather-sum. The weight vector for one 8-wide
+    /// dimension block is `a_j - ((k+1)/ed) * m_j`, computed with separate
+    /// `div`/`mul`/`sub` (every intermediate rounds as the scalar reference
+    /// does), and the accumulate is `add(out, mul(w, row))` — not FMA — so
+    /// the result is bitwise identical to [`embed_sum_pe_scalar`]. The lane
+    /// indices `(k+1)` are carried as exact f32 integers (`+8.0` per block,
+    /// exact below 2^24).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn embed_sum_pe(table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+        let nw = tokens.len();
+        let po = out.as_mut_ptr();
+        let k_base = _mm256_setr_ps(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0);
+        let eight = _mm256_set1_ps(8.0);
+        for (j, &t) in tokens.iter().enumerate() {
+            let row = &table[t as usize * ed..][..ed];
+            let pr = row.as_ptr();
+            let (aj, mj, edf) = pe_terms(j, nw, ed);
+            let va = _mm256_set1_ps(aj);
+            let vm = _mm256_set1_ps(mj);
+            let ve = _mm256_set1_ps(edf);
+            let mut vk = k_base;
+            let mut k = 0usize;
+            while k + 8 <= ed {
+                let w = _mm256_sub_ps(va, _mm256_mul_ps(_mm256_div_ps(vk, ve), vm));
+                let acc = _mm256_add_ps(
+                    _mm256_loadu_ps(po.add(k)),
+                    _mm256_mul_ps(w, _mm256_loadu_ps(pr.add(k))),
+                );
+                _mm256_storeu_ps(po.add(k), acc);
+                vk = _mm256_add_ps(vk, eight);
+                k += 8;
+            }
+            while k < ed {
+                let w = aj - ((k + 1) as f32 / edf) * mj;
+                out[k] += w * row[k];
+                k += 1;
+            }
+        }
+    }
+
+    /// AVX2 fused A/C gather-sum: both embedding tables are walked in one
+    /// pass over the tokens, reusing each block's position-weight vector
+    /// for the `A` and `C` rows. Same no-FMA accumulation discipline as
+    /// [`embed_sum`] / [`embed_sum_pe`], so bitwise identical to
+    /// [`embed_pair_scalar`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn embed_pair(
+        table_a: &[f32],
+        table_c: &[f32],
+        ed: usize,
+        tokens: &[u32],
+        pe: bool,
+        out_a: &mut [f32],
+        out_c: &mut [f32],
+    ) {
+        let nw = tokens.len();
+        let pa = out_a.as_mut_ptr();
+        let pc = out_c.as_mut_ptr();
+        let k_base = _mm256_setr_ps(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0);
+        let eight = _mm256_set1_ps(8.0);
+        for (j, &t) in tokens.iter().enumerate() {
+            let ra = &table_a[t as usize * ed..][..ed];
+            let rc = &table_c[t as usize * ed..][..ed];
+            let (pra, prc) = (ra.as_ptr(), rc.as_ptr());
+            let mut k = 0usize;
+            if pe {
+                let (aj, mj, edf) = pe_terms(j, nw, ed);
+                let va = _mm256_set1_ps(aj);
+                let vm = _mm256_set1_ps(mj);
+                let ve = _mm256_set1_ps(edf);
+                let mut vk = k_base;
+                while k + 8 <= ed {
+                    let w = _mm256_sub_ps(va, _mm256_mul_ps(_mm256_div_ps(vk, ve), vm));
+                    let acc_a = _mm256_add_ps(
+                        _mm256_loadu_ps(pa.add(k)),
+                        _mm256_mul_ps(w, _mm256_loadu_ps(pra.add(k))),
+                    );
+                    let acc_c = _mm256_add_ps(
+                        _mm256_loadu_ps(pc.add(k)),
+                        _mm256_mul_ps(w, _mm256_loadu_ps(prc.add(k))),
+                    );
+                    _mm256_storeu_ps(pa.add(k), acc_a);
+                    _mm256_storeu_ps(pc.add(k), acc_c);
+                    vk = _mm256_add_ps(vk, eight);
+                    k += 8;
+                }
+                while k < ed {
+                    let w = aj - ((k + 1) as f32 / edf) * mj;
+                    out_a[k] += w * ra[k];
+                    out_c[k] += w * rc[k];
+                    k += 1;
+                }
+            } else {
+                while k + 8 <= ed {
+                    let acc_a =
+                        _mm256_add_ps(_mm256_loadu_ps(pa.add(k)), _mm256_loadu_ps(pra.add(k)));
+                    let acc_c =
+                        _mm256_add_ps(_mm256_loadu_ps(pc.add(k)), _mm256_loadu_ps(prc.add(k)));
+                    _mm256_storeu_ps(pa.add(k), acc_a);
+                    _mm256_storeu_ps(pc.add(k), acc_c);
+                    k += 8;
+                }
+                while k < ed {
+                    out_a[k] += ra[k];
+                    out_c[k] += rc[k];
+                    k += 1;
+                }
+            }
+        }
+    }
+
     /// 8-lane polynomial `e^x` — the vector form of [`exp_approx`]; lane
     /// `i` of the result is bitwise identical to `exp_approx(x[i])`.
     #[inline]
@@ -732,6 +953,69 @@ pub fn fused_chunk_lazy_with(
             }
             (denom, skipped)
         }
+    }
+}
+
+/// [`crate::kernels::embed_sum`] with an explicit backend. Zeroes `out`
+/// first, so the result *is* the gather-sum (not an accumulation).
+///
+/// Unlike the inference kernels, both backends are bitwise identical (see
+/// the embed section's module comment), so the choice here is purely a
+/// performance decision.
+#[inline]
+pub fn embed_sum_with(b: Backend, table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    out.fill(0.0);
+    match b {
+        Backend::Scalar => embed_sum_scalar(table, ed, tokens, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::embed_sum(table, ed, tokens, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => embed_sum_scalar(table, ed, tokens, out),
+    }
+}
+
+/// [`crate::kernels::embed_sum_pe`] with an explicit backend. Zeroes `out`
+/// first. Bitwise identical across backends.
+#[inline]
+pub fn embed_sum_pe_with(b: Backend, table: &[f32], ed: usize, tokens: &[u32], out: &mut [f32]) {
+    out.fill(0.0);
+    match b {
+        Backend::Scalar => embed_sum_pe_scalar(table, ed, tokens, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::embed_sum_pe(table, ed, tokens, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => embed_sum_pe_scalar(table, ed, tokens, out),
+    }
+}
+
+/// [`crate::kernels::embed_pair`] with an explicit backend. Zeroes both
+/// outputs first. Bitwise identical across backends *and* to two separate
+/// [`embed_sum_with`] / [`embed_sum_pe_with`] calls.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn embed_pair_with(
+    b: Backend,
+    table_a: &[f32],
+    table_c: &[f32],
+    ed: usize,
+    tokens: &[u32],
+    pe: bool,
+    out_a: &mut [f32],
+    out_c: &mut [f32],
+) {
+    out_a.fill(0.0);
+    out_c.fill(0.0);
+    match b {
+        Backend::Scalar => embed_pair_scalar(table_a, table_c, ed, tokens, pe, out_a, out_c),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe {
+            avx2::embed_pair(table_a, table_c, ed, tokens, pe, out_a, out_c)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => embed_pair_scalar(table_a, table_c, ed, tokens, pe, out_a, out_c),
     }
 }
 

@@ -326,6 +326,111 @@ proptest! {
         }
     }
 
+    // The embed gather-sum kernels promise *bitwise* agreement across
+    // backends (the serving embedding cache depends on it), so these
+    // assert `to_bits()` equality, not approximate agreement. Shapes
+    // cover the awkward cases: empty token list, single token, ed not a
+    // multiple of the 8-lane width.
+
+    #[test]
+    fn embed_kernels_bitwise_identical_across_backends(
+        rows in 1usize..24,
+        ed_sel in 0usize..AWKWARD_LENS.len(),
+        n_tokens in 0usize..13,
+        pe in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let ed = AWKWARD_LENS[ed_sel];
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let table_a: Vec<f32> = (0..rows * ed).map(|_| next()).collect();
+        let table_c: Vec<f32> = (0..rows * ed).map(|_| next()).collect();
+        let tokens: Vec<u32> = (0..n_tokens)
+            .map(|_| ((next().abs() * rows as f32) as u32).min(rows as u32 - 1))
+            .collect();
+
+        // Scalar reference for the single-table kernels.
+        let mut sum_s = vec![1.0f32; ed]; // non-zero: the kernel must overwrite
+        let mut pe_s = vec![1.0f32; ed];
+        simd::embed_sum_with(Backend::Scalar, &table_a, ed, &tokens, &mut sum_s);
+        simd::embed_sum_pe_with(Backend::Scalar, &table_a, ed, &tokens, &mut pe_s);
+
+        if Backend::detect() == Backend::Avx2 {
+            let mut sum_v = vec![1.0f32; ed];
+            let mut pe_v = vec![1.0f32; ed];
+            simd::embed_sum_with(Backend::Avx2, &table_a, ed, &tokens, &mut sum_v);
+            simd::embed_sum_pe_with(Backend::Avx2, &table_a, ed, &tokens, &mut pe_v);
+            for (k, (v, s)) in sum_v.iter().zip(&sum_s).enumerate() {
+                prop_assert_eq!(v.to_bits(), s.to_bits(), "embed_sum[{}]: {} vs {}", k, v, s);
+            }
+            for (k, (v, s)) in pe_v.iter().zip(&pe_s).enumerate() {
+                prop_assert_eq!(v.to_bits(), s.to_bits(), "embed_sum_pe[{}]: {} vs {}", k, v, s);
+            }
+        }
+
+        // The fused pair kernel must match two separate calls bitwise, on
+        // every backend the CPU has.
+        let backends: &[Backend] = if Backend::detect() == Backend::Avx2 {
+            &[Backend::Scalar, Backend::Avx2]
+        } else {
+            &[Backend::Scalar]
+        };
+        for &b in backends {
+            let mut ref_a = vec![0.0f32; ed];
+            let mut ref_c = vec![0.0f32; ed];
+            if pe {
+                simd::embed_sum_pe_with(b, &table_a, ed, &tokens, &mut ref_a);
+                simd::embed_sum_pe_with(b, &table_c, ed, &tokens, &mut ref_c);
+            } else {
+                simd::embed_sum_with(b, &table_a, ed, &tokens, &mut ref_a);
+                simd::embed_sum_with(b, &table_c, ed, &tokens, &mut ref_c);
+            }
+            let mut pair_a = vec![1.0f32; ed];
+            let mut pair_c = vec![1.0f32; ed];
+            simd::embed_pair_with(b, &table_a, &table_c, ed, &tokens, pe, &mut pair_a, &mut pair_c);
+            for (k, (v, s)) in pair_a.iter().zip(&ref_a).enumerate() {
+                prop_assert_eq!(v.to_bits(), s.to_bits(),
+                    "pair A[{}] on {:?}: {} vs {}", k, b, v, s);
+            }
+            for (k, (v, s)) in pair_c.iter().zip(&ref_c).enumerate() {
+                prop_assert_eq!(v.to_bits(), s.to_bits(),
+                    "pair C[{}] on {:?}: {} vs {}", k, b, v, s);
+            }
+        }
+    }
+
+    #[test]
+    fn embed_sum_matches_naive_row_sum(
+        rows in 1usize..16,
+        ed in 1usize..20,
+        n_tokens in 0usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let table: Vec<f32> = (0..rows * ed).map(|_| next()).collect();
+        let tokens: Vec<u32> = (0..n_tokens)
+            .map(|_| ((next().abs() * rows as f32) as u32).min(rows as u32 - 1))
+            .collect();
+        let mut out = vec![0.0f32; ed];
+        kernels::embed_sum(&table, ed, &tokens, &mut out);
+        let mut naive = vec![0.0f32; ed];
+        for &t in &tokens {
+            for k in 0..ed {
+                naive[k] += table[t as usize * ed + k];
+            }
+        }
+        for (k, (v, s)) in out.iter().zip(&naive).enumerate() {
+            prop_assert_eq!(v.to_bits(), s.to_bits(), "embed_sum[{}]: {} vs {}", k, v, s);
+        }
+    }
+
     #[test]
     fn gemm_matches_gemv_per_column(
         m in 1usize..10,
