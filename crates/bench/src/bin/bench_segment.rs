@@ -1,0 +1,20 @@
+//! Segmented execution plane: merge-plane overhead at one segment and the
+//! zone-map pruning win on a skewed memory. Emits the machine-readable
+//! `BENCH_segment.json`; with `--check` the process exits nonzero when the
+//! run fails the conservative sanity gate (finite measurements, rows
+//! actually pruned, pruning not slower at the largest segment count).
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::segment_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_segment.json") {
+        Ok(()) => println!("wrote BENCH_segment.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.sane() {
+        eprintln!("segmented-plane run failed its sanity gate");
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@
 //! | `bench_robustness` | budget-check overhead (BENCH_robustness.json) | [`robustness_report`] |
 //! | `bench_batch` | batched serving throughput (BENCH_batch.json) | [`batch_report`] |
 //! | `bench_embedding` | embedding fast path (BENCH_embedding.json) | [`embedding_report`] |
+//! | `bench_segment` | segmented plane overhead + pruning (BENCH_segment.json) | [`segment_report`] |
 
 pub mod batch_report;
 pub mod embedding_report;
@@ -31,6 +32,7 @@ pub mod engine_report;
 pub mod experiments;
 pub mod kernel_report;
 pub mod robustness_report;
+pub mod segment_report;
 pub mod table;
 
 /// How large an experiment run should be.

@@ -114,7 +114,8 @@ USAGE:
                  [--skip 0.01] [--seed 8] [--data <babi.txt>] [--trace]
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
                  [--engine auto|column|streaming|parallel] [--threads 1]
-                 [--deadline-ms 0] [--batch 0] [--embed-cache 0] [--trace]
+                 [--deadline-ms 0] [--batch 0] [--embed-cache 0]
+                 [--segments 0] [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -130,6 +131,11 @@ over the memory, printing per-batch throughput and occupancy.
 `--embed-cache N` memoizes sentence/question embeddings in an N-entry
 cache (0 disables); repeated sentences skip the gather-sum entirely and a
 hit-rate line is printed at session end.
+`--segments N` partitions the story memory into N routed segments with
+zone-map (max-norm) metadata; online-softmax questions skip segments that
+provably cannot affect the answer, bitwise-identically. A segment summary
+line is printed at session end. When the flag is absent the
+`MNNFAST_SEGMENTS` environment variable supplies the count.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -442,6 +448,8 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     let threads = options.get("threads", 1usize)?;
     let deadline_ms = options.get("deadline-ms", 0u64)?;
     let embed_cache = options.get("embed-cache", 0usize)?;
+    // 0 = defer to MNNFAST_SEGMENTS (the session's env fallback).
+    let segments = options.get("segments", 0usize)?;
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -455,6 +463,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
         trace: options.switch("trace"),
         embed_cache: (embed_cache > 0).then_some(embed_cache),
+        segments,
         ..SessionConfig::default()
     };
     let batch = options.get("batch", 0usize)?;
@@ -519,6 +528,18 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         session.cumulative_stats().computation_reduction() * 100.0
     )
     .map_err(|e| e.to_string())?;
+    if session.segments() > 1 {
+        let s = session.cumulative_stats();
+        writeln!(
+            out,
+            "segments: {} routed, {} considered, {} pruned ({} rows skipped by zone map)",
+            session.segments(),
+            s.segments_total,
+            s.segments_pruned,
+            s.rows_pruned
+        )
+        .map_err(|e| e.to_string())?;
+    }
     let health = session.degradation_stats();
     if health.deadline_misses + health.numeric_faults > 0 {
         writeln!(
@@ -743,6 +764,40 @@ mod tests {
 
         // Bad engine names error instead of silently defaulting.
         assert!(run_cli(&["serve", "--model", model_str, "--engine", "warp"], stdin).is_err());
+    }
+
+    #[test]
+    fn serve_segments_flag_prints_segment_summary() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-segments");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\n\
+                     john went to the garden\n\
+                     where is mary?\n:quit\n";
+        let out = run_cli(&["serve", "--model", model_str, "--segments", "4"], stdin).unwrap();
+        assert!(out.contains("segments: 4 routed"), "{out}");
+        assert!(out.contains("pruned"), "{out}");
+
+        // Unsegmented sessions stay quiet about segments.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(!out.contains("segments:"), "{out}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::engine::{
     check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
 };
 use crate::exec::{Phase, Scratch, Trace};
+use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix};
@@ -165,7 +166,7 @@ impl BatchEngine {
                             unreachable!("softmax mode is fixed per engine")
                         };
                         for (d, s) in dst.iter_mut().zip(&src) {
-                            d.merge(s);
+                            mnn_tensor::partial::merge_lazy_into(d, s);
                         }
                     }
                     Some(BatchAccum::Online(dst)) => {
@@ -173,7 +174,7 @@ impl BatchEngine {
                             unreachable!("softmax mode is fixed per engine")
                         };
                         for (d, s) in dst.iter_mut().zip(&src) {
-                            d.merge(s);
+                            mnn_tensor::partial::merge_online_into(d, s);
                         }
                     }
                 }
@@ -255,6 +256,40 @@ impl BatchEngine {
         trace: &mut Trace,
         budgets: &[Budget],
     ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        self.forward_segmented_budgeted(
+            m_in,
+            m_out,
+            &SegmentPlan::unsegmented(rows),
+            questions,
+            scratch,
+            trace,
+            budgets,
+        )
+    }
+
+    /// Segmented batched serving path: like [`BatchEngine::forward_budgeted`]
+    /// but driven by a [`SegmentPlan`]. Pruning is decided *per question*:
+    /// a question in Online mode whose running max provably dominates a
+    /// segment's zone-map logit upper bound skips that segment (its rows
+    /// contribute exactly-zero terms, so the answer is bitwise unchanged),
+    /// while its batchmates still process it. Lazy-mode questions never
+    /// prune (no running max exists until the division).
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchEngine::forward_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        let rows = plan.rows();
         if budgets.len() != questions.len() {
             return Err(EngineError::Config(format!(
                 "budget count {} != question count {}",
@@ -286,6 +321,12 @@ impl BatchEngine {
         scratch.batch_live.resize(nq, true);
         scratch.batch_skipped.clear();
         scratch.batch_skipped.resize(nq, 0);
+        scratch.batch_seg_live.clear();
+        scratch.batch_seg_live.resize(nq, true);
+        scratch.batch_query_norms.clear();
+        scratch
+            .batch_query_norms
+            .extend(questions.iter().map(|q| segment::query_norm_upper(q)));
         if scratch.batch_stats.len() < nq {
             scratch.batch_stats.resize_with(nq, InferenceStats::default);
         }
@@ -331,7 +372,7 @@ impl BatchEngine {
         self.resolve_thresholds_into(m_in, rows, nq, ed, scratch, budgets);
         trace.record(Phase::Skip, t0, 0);
 
-        // Main chunk loop.
+        // Main segmented chunk loop.
         {
             let Scratch {
                 batch_logits,
@@ -344,96 +385,158 @@ impl BatchEngine {
                 batch_live,
                 batch_skipped,
                 batch_stats,
+                batch_seg_live,
+                batch_query_norms,
                 ..
             } = scratch;
-            let mut row = 0usize;
-            while row < rows {
-                let mut n_live = 0u64;
+            for seg in plan.segments() {
+                // Per-question prune decision for this segment. A freshly
+                // reset accumulator's running max is -inf, so the first
+                // segment can never prune; Lazy mode never prunes (it has
+                // no running max until the final division).
+                let mut any_visit = false;
                 for q in 0..nq {
-                    if batch_live[q] && budgets[q].check().is_err() {
-                        batch_live[q] = false;
+                    let mut visit = batch_live[q];
+                    if visit {
+                        batch_stats[q].segments_total += 1;
+                        if plan.prune() && matches!(mode, SoftmaxMode::Online) {
+                            let running_max = batch_online[q].max_logit();
+                            let ub = seg.logit_upper_bound(batch_query_norms[q]);
+                            if segment::can_prune(running_max, ub) {
+                                batch_stats[q].segments_pruned += 1;
+                                batch_stats[q].rows_pruned += seg.rows as u64;
+                                visit = false;
+                            }
+                        }
                     }
-                    if batch_live[q] {
-                        n_live += 1;
+                    batch_seg_live[q] = visit;
+                    any_visit |= visit;
+                }
+                if any_visit {
+                    let seg_end = seg.start + seg.rows;
+                    let mut row = seg.start;
+                    while row < seg_end {
+                        let mut n_live = 0u64;
+                        for q in 0..nq {
+                            if batch_live[q] && budgets[q].check().is_err() {
+                                batch_live[q] = false;
+                            }
+                            batch_seg_live[q] &= batch_live[q];
+                            if batch_seg_live[q] {
+                                n_live += 1;
+                            }
+                        }
+                        if n_live == 0 {
+                            break;
+                        }
+                        let n = chunk.min(seg_end - row);
+                        let in_flat = m_in.rows_slice(row, n);
+                        let out_flat = m_out.rows_slice(row, n);
+                        for s in batch_skipped[..nq].iter_mut() {
+                            *s = 0;
+                        }
+                        // Chunk partial → merge, the same discipline as the
+                        // single-question engines: Online relative weights
+                        // are chunk-local, so skip decisions match
+                        // per-question runs.
+                        let t0 = trace.begin();
+                        match mode {
+                            SoftmaxMode::Lazy => {
+                                for p in &mut batch_chunk_lazy[..nq] {
+                                    p.reset(ed);
+                                }
+                                LazyAccumulator::accumulate_chunk_batch(
+                                    &mut batch_chunk_lazy[..nq],
+                                    in_flat,
+                                    out_flat,
+                                    n,
+                                    batch_us,
+                                    &batch_thresholds[..nq],
+                                    &batch_seg_live[..nq],
+                                    fused,
+                                    batch_logits,
+                                    batch_skipped,
+                                );
+                                for q in 0..nq {
+                                    if batch_seg_live[q] {
+                                        mnn_tensor::partial::merge_lazy_into(
+                                            &mut batch_lazy[q],
+                                            &batch_chunk_lazy[q],
+                                        );
+                                    }
+                                }
+                            }
+                            SoftmaxMode::Online => {
+                                for p in &mut batch_chunk_online[..nq] {
+                                    p.reset(ed);
+                                }
+                                OnlineSoftmax::accumulate_chunk_batch(
+                                    &mut batch_chunk_online[..nq],
+                                    in_flat,
+                                    out_flat,
+                                    n,
+                                    batch_us,
+                                    &batch_thresholds[..nq],
+                                    &batch_seg_live[..nq],
+                                    batch_logits,
+                                    batch_skipped,
+                                );
+                                for q in 0..nq {
+                                    if batch_seg_live[q] {
+                                        mnn_tensor::partial::merge_online_into(
+                                            &mut batch_online[q],
+                                            &batch_chunk_online[q],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        trace.record(Phase::BatchGemm, t0, n as u64 * n_live);
+                        let mut chunk_skipped = 0u64;
+                        for q in 0..nq {
+                            if !batch_seg_live[q] {
+                                continue;
+                            }
+                            let d = batch_skipped[q];
+                            chunk_skipped += d;
+                            let kept = n as u64 - d;
+                            let s = &mut batch_stats[q];
+                            s.chunks += 1;
+                            s.rows_total += n as u64;
+                            s.rows_skipped += d;
+                            s.flops += n as u64 + kept * 2 * ed as u64;
+                            s.ws_flops += kept * 2 * ed as u64;
+                            s.flops_skipped += d * 2 * ed as u64;
+                        }
+                        trace.bump(Phase::Skip, chunk_skipped);
+                        row += n;
                     }
                 }
-                if n_live == 0 {
-                    break;
-                }
-                let n = chunk.min(rows - row);
-                let in_flat = m_in.rows_slice(row, n);
-                let out_flat = m_out.rows_slice(row, n);
-                for s in batch_skipped[..nq].iter_mut() {
-                    *s = 0;
-                }
-                // Chunk partial → merge, the same discipline as the
-                // single-question engines: Online relative weights are
-                // chunk-local, so skip decisions match per-question runs.
+                // Segment boundary: the opt-in wire roundtrip of every live
+                // running accumulator proves the byte encoding carries the
+                // full merge state across the segment handoff.
                 let t0 = trace.begin();
-                match mode {
-                    SoftmaxMode::Lazy => {
-                        for p in &mut batch_chunk_lazy[..nq] {
-                            p.reset(ed);
-                        }
-                        LazyAccumulator::accumulate_chunk_batch(
-                            &mut batch_chunk_lazy[..nq],
-                            in_flat,
-                            out_flat,
-                            n,
-                            batch_us,
-                            &batch_thresholds[..nq],
-                            &batch_live[..nq],
-                            fused,
-                            batch_logits,
-                            batch_skipped,
-                        );
-                        for q in 0..nq {
-                            if batch_live[q] {
-                                batch_lazy[q].merge(&batch_chunk_lazy[q]);
+                if mnn_tensor::partial::wire_merge_enabled() {
+                    match mode {
+                        SoftmaxMode::Lazy => {
+                            for q in 0..nq {
+                                if batch_live[q] {
+                                    batch_lazy[q] =
+                                        mnn_tensor::partial::roundtrip_lazy(&batch_lazy[q]);
+                                }
                             }
                         }
-                    }
-                    SoftmaxMode::Online => {
-                        for p in &mut batch_chunk_online[..nq] {
-                            p.reset(ed);
-                        }
-                        OnlineSoftmax::accumulate_chunk_batch(
-                            &mut batch_chunk_online[..nq],
-                            in_flat,
-                            out_flat,
-                            n,
-                            batch_us,
-                            &batch_thresholds[..nq],
-                            &batch_live[..nq],
-                            batch_logits,
-                            batch_skipped,
-                        );
-                        for q in 0..nq {
-                            if batch_live[q] {
-                                batch_online[q].merge(&batch_chunk_online[q]);
+                        SoftmaxMode::Online => {
+                            for q in 0..nq {
+                                if batch_live[q] {
+                                    batch_online[q] =
+                                        mnn_tensor::partial::roundtrip_online(&batch_online[q]);
+                                }
                             }
                         }
                     }
                 }
-                trace.record(Phase::BatchGemm, t0, n as u64 * n_live);
-                let mut chunk_skipped = 0u64;
-                for q in 0..nq {
-                    if !batch_live[q] {
-                        continue;
-                    }
-                    let d = batch_skipped[q];
-                    chunk_skipped += d;
-                    let kept = n as u64 - d;
-                    let s = &mut batch_stats[q];
-                    s.chunks += 1;
-                    s.rows_total += n as u64;
-                    s.rows_skipped += d;
-                    s.flops += n as u64 + kept * 2 * ed as u64;
-                    s.ws_flops += kept * 2 * ed as u64;
-                    s.flops_skipped += d * 2 * ed as u64;
-                }
-                trace.bump(Phase::Skip, chunk_skipped);
-                row += n;
+                trace.record(Phase::SegmentMerge, t0, 1);
             }
         }
 
@@ -547,7 +650,7 @@ impl BatchEngine {
                         &mut skipped,
                     );
                     for (r, p) in run.iter_mut().zip(part.iter()) {
-                        r.merge(p);
+                        mnn_tensor::partial::merge_lazy_into(r, p);
                     }
                 }
                 (BatchAccum::Online(run), BatchAccum::Online(part)) => {
@@ -566,7 +669,7 @@ impl BatchEngine {
                         &mut skipped,
                     );
                     for (r, p) in run.iter_mut().zip(part.iter()) {
-                        r.merge(p);
+                        mnn_tensor::partial::merge_online_into(r, p);
                     }
                 }
                 _ => unreachable!("softmax mode is fixed per engine"),

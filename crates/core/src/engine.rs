@@ -14,6 +14,7 @@
 use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
+use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{kernels, Matrix, ShapeError};
@@ -172,16 +173,44 @@ impl AccumMut<'_> {
         }
     }
 
-    /// Merges a finished chunk partial into this running total.
+    /// Merges a finished chunk partial into this running total through the
+    /// [`mnn_tensor::partial`] merge plane (the one merge code path shared
+    /// by every engine variant and, in the opt-in wire-merge mode, routed
+    /// through the serialized [`mnn_tensor::PartialState`] encoding).
     ///
     /// Every engine variant folds per-chunk partials through this method in
     /// chunk-index order, so the rounding history — and therefore the output
     /// bits — are identical across [`crate::EngineKind`]s and thread counts.
     pub(crate) fn merge_from(&mut self, other: &AccumMut<'_>) {
         match (self, other) {
-            (AccumMut::Lazy(a), AccumMut::Lazy(b)) => a.merge(b),
-            (AccumMut::Online(a), AccumMut::Online(b)) => a.merge(b),
+            (AccumMut::Lazy(a), AccumMut::Lazy(b)) => mnn_tensor::partial::merge_lazy_into(a, b),
+            (AccumMut::Online(a), AccumMut::Online(b)) => {
+                mnn_tensor::partial::merge_online_into(a, b)
+            }
             _ => unreachable!("softmax mode is fixed for a pass"),
+        }
+    }
+
+    /// The running softmax max zone-map pruning compares segment bounds
+    /// against. `None` in lazy mode, where pruning can never fire (see
+    /// [`crate::segment`]).
+    pub(crate) fn running_max(&self) -> Option<f32> {
+        match self {
+            AccumMut::Lazy(_) => None,
+            AccumMut::Online(acc) => Some(acc.max_logit()),
+        }
+    }
+
+    /// When the opt-in wire-merge mode is on, replaces the accumulator with
+    /// its serialization roundtrip — the segment-boundary handoff proving
+    /// the [`mnn_tensor::partial`] wire format answer-faithful.
+    pub(crate) fn wire_roundtrip(&mut self) {
+        if !mnn_tensor::partial::wire_merge_enabled() {
+            return;
+        }
+        match self {
+            AccumMut::Lazy(acc) => **acc = mnn_tensor::partial::roundtrip_lazy(acc),
+            AccumMut::Online(acc) => **acc = mnn_tensor::partial::roundtrip_online(acc),
         }
     }
 }
@@ -458,8 +487,30 @@ impl Executor for ColumnEngine {
         trace: &mut Trace,
         budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
+        self.forward_segmented_budgeted(
+            m_in,
+            m_out,
+            &SegmentPlan::unsegmented(rows),
+            u,
+            scratch,
+            trace,
+            budget,
+        )
+    }
+
+    fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
         self.check(m_in, m_out, u)?;
-        check_rows(m_in, rows, "ColumnEngine::forward_prefix")?;
+        check_rows(m_in, plan.rows(), "ColumnEngine::forward_prefix")?;
+        let rows = plan.rows();
         let ed = u.len();
         let chunk = self.config.chunk_size;
         let mut stats = InferenceStats::default();
@@ -468,29 +519,50 @@ impl Executor for ColumnEngine {
             let (logits, mut main, mut partial) =
                 scratch.split_chunked(self.config.softmax, ed, chunk.min(rows.max(1)));
             let t0 = trace.begin();
+            // The skip-threshold pre-pass covers *all* plan rows, pruned
+            // segments included, so resolved thresholds match the
+            // unsegmented pass bit for bit.
             let raw_threshold = self.resolve_threshold_prefix(m_in, rows, u, &mut stats, logits)?;
             trace.record(Phase::Skip, t0, 0);
-            let mut row = 0usize;
-            while row < rows {
+            let query_norm = segment::query_norm_upper(u);
+            for seg in plan.segments() {
                 budget.check()?;
-                let n = chunk.min(rows - row);
-                partial.reset(ed);
-                self.process_chunk_flat(
-                    m_in.rows_slice(row, n),
-                    m_out.rows_slice(row, n),
-                    n,
-                    u,
-                    raw_threshold,
-                    &mut partial,
-                    &mut stats,
-                    &mut logits[..n],
-                    trace,
-                );
+                stats.segments_total += 1;
+                if plan.prune() {
+                    if let Some(running_max) = main.running_max() {
+                        if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                            stats.segments_pruned += 1;
+                            stats.rows_pruned += seg.rows as u64;
+                            continue;
+                        }
+                    }
+                }
+                let seg_end = seg.start + seg.rows;
+                let mut row = seg.start;
+                while row < seg_end {
+                    budget.check()?;
+                    let n = chunk.min(seg_end - row);
+                    partial.reset(ed);
+                    self.process_chunk_flat(
+                        m_in.rows_slice(row, n),
+                        m_out.rows_slice(row, n),
+                        n,
+                        u,
+                        raw_threshold,
+                        &mut partial,
+                        &mut stats,
+                        &mut logits[..n],
+                        trace,
+                    );
+                    let t0 = trace.begin();
+                    main.merge_from(&partial);
+                    trace.record(Phase::Merge, t0, 1);
+                    check_denom(main.denom(), "chunk merge")?;
+                    row += n;
+                }
                 let t0 = trace.begin();
-                main.merge_from(&partial);
-                trace.record(Phase::Merge, t0, 1);
-                check_denom(main.denom(), "chunk merge")?;
-                row += n;
+                main.wire_roundtrip();
+                trace.record(Phase::SegmentMerge, t0, 1);
             }
             denominator = main.denom();
         }

@@ -29,6 +29,7 @@
 //! | [`Phase::FusedChunk`] | the single-pass fused chunk kernel (inner products + exp + weighted accumulate) | rows processed |
 //! | [`Phase::Skip`] | skip-threshold resolution (the Probability pre-pass) | rows skipped |
 //! | [`Phase::Merge`] | folding chunk partials into the running total | partials merged |
+//! | [`Phase::SegmentMerge`] | segment-boundary work of the segmented plane: zone-map prune checks and the opt-in wire-format roundtrip of the running accumulator | segments folded |
 //! | [`Phase::Divide`] | the single lazy-softmax division | `ed` divisions |
 //! | [`Phase::Admission`] | pool admission-control decision (serve layer) | admission checks |
 //! | [`Phase::Retry`] | degraded re-execution after a numeric fault (serve layer) | retries |
@@ -49,6 +50,7 @@
 use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SoftmaxMode};
 use crate::engine::{AccumMut, ColumnOutput, EngineError};
+use crate::segment::SegmentPlan;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::Matrix;
 use std::fmt;
@@ -89,11 +91,18 @@ pub enum Phase {
     /// is tokens embedded, so the embedding:inference time split and the
     /// per-token cost are both observable.
     Embed,
+    /// Segment-level merge-plane work, counted separately from the per-chunk
+    /// [`Phase::Merge`] folds: the zone-map prune decision at each segment
+    /// boundary and, when the wire-merge mode is on, the serialization
+    /// roundtrip of the running accumulator. The count unit is segments
+    /// folded into the running total (pruned segments never merge and are
+    /// counted in [`crate::InferenceStats::segments_pruned`] instead).
+    SegmentMerge,
 }
 
 /// Number of [`Phase`] variants (array sizes in [`Trace`] and
 /// [`PhaseHistograms`]).
-const PHASES: usize = 10;
+const PHASES: usize = 11;
 
 impl Phase {
     /// All phases, in pipeline order.
@@ -105,6 +114,7 @@ impl Phase {
         Phase::BatchGemm,
         Phase::Skip,
         Phase::Merge,
+        Phase::SegmentMerge,
         Phase::Divide,
         Phase::Admission,
         Phase::Retry,
@@ -123,6 +133,7 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::BatchGemm => "batch_gemm",
             Phase::Embed => "embed",
+            Phase::SegmentMerge => "segment_merge",
         }
     }
 
@@ -139,6 +150,7 @@ impl Phase {
             Phase::Retry => 7,
             Phase::BatchGemm => 8,
             Phase::Embed => 9,
+            Phase::SegmentMerge => 10,
         }
     }
 }
@@ -483,6 +495,11 @@ pub struct Scratch {
     pub(crate) batch_skipped: Vec<u64>,
     pub(crate) batch_stats: Vec<crate::stats::InferenceStats>,
     pub(crate) batch_prepass: Vec<f64>,
+    // Segmented batched path: per-question effective-live mask for the
+    // current segment (live AND not pruned) and cached per-question query
+    // norm upper bounds.
+    pub(crate) batch_seg_live: Vec<bool>,
+    pub(crate) batch_query_norms: Vec<f64>,
 }
 
 impl Scratch {
@@ -573,40 +590,78 @@ impl Scratch {
         &mut self.workers[..n]
     }
 
+    /// Resets the main (running-total) accumulator for a fresh pass.
+    pub(crate) fn reset_main(&mut self, mode: SoftmaxMode, ed: usize) {
+        match mode {
+            SoftmaxMode::Lazy => self.lazy.reset(ed),
+            SoftmaxMode::Online => self.online.reset(ed),
+        }
+    }
+
     /// Folds every chunk partial produced by the first `n` workers into the
-    /// reset main accumulator and returns `(denominator, partials merged)`.
+    /// main accumulator (which the caller reset via [`Scratch::reset_main`]
+    /// at pass start — the segmented path folds several worker rounds into
+    /// one running total) and returns `(denominator, partials merged)`.
     ///
     /// Workers own contiguous ascending chunk ranges, so iterating workers
     /// in order and their partials in order visits chunks in global
     /// chunk-index order — exactly the fold the sequential engines perform,
-    /// which is what makes the output bitwise identical.
-    pub(crate) fn merge_worker_partials(
-        &mut self,
-        mode: SoftmaxMode,
-        ed: usize,
-        n: usize,
-    ) -> (f32, u64) {
+    /// which is what makes the output bitwise identical. Every fold goes
+    /// through the [`mnn_tensor::partial`] merge plane.
+    pub(crate) fn fold_worker_partials(&mut self, mode: SoftmaxMode, n: usize) -> (f32, u64) {
         let mut merged = 0u64;
         match mode {
             SoftmaxMode::Lazy => {
-                self.lazy.reset(ed);
                 for w in &self.workers[..n] {
                     for partial in &w.lazy_partials[..w.used] {
-                        self.lazy.merge(partial);
+                        mnn_tensor::partial::merge_lazy_into(&mut self.lazy, partial);
                         merged += 1;
                     }
                 }
                 (self.lazy.denom(), merged)
             }
             SoftmaxMode::Online => {
-                self.online.reset(ed);
                 for w in &self.workers[..n] {
                     for partial in &w.online_partials[..w.used] {
-                        self.online.merge(partial);
+                        mnn_tensor::partial::merge_online_into(&mut self.online, partial);
                         merged += 1;
                     }
                 }
                 (self.online.denom(), merged)
+            }
+        }
+    }
+
+    /// The main accumulator's running softmax max, the quantity zone-map
+    /// pruning tests segment upper bounds against. `None` in lazy mode
+    /// (no running max exists, so pruning can never fire — see
+    /// [`crate::segment`]).
+    pub(crate) fn main_running_max(&self, mode: SoftmaxMode) -> Option<f32> {
+        match mode {
+            SoftmaxMode::Lazy => None,
+            SoftmaxMode::Online => Some(self.online.max_logit()),
+        }
+    }
+
+    /// The main accumulator's denominator.
+    pub(crate) fn main_denom(&self, mode: SoftmaxMode) -> f32 {
+        match mode {
+            SoftmaxMode::Lazy => self.lazy.denom(),
+            SoftmaxMode::Online => self.online.denom(),
+        }
+    }
+
+    /// When the opt-in wire-merge mode is on, replaces the main accumulator
+    /// with its serialization roundtrip — the segment-boundary handoff that
+    /// proves the [`mnn_tensor::partial`] wire format answer-faithful.
+    pub(crate) fn wire_roundtrip_main(&mut self, mode: SoftmaxMode) {
+        if !mnn_tensor::partial::wire_merge_enabled() {
+            return;
+        }
+        match mode {
+            SoftmaxMode::Lazy => self.lazy = mnn_tensor::partial::roundtrip_lazy(&self.lazy),
+            SoftmaxMode::Online => {
+                self.online = mnn_tensor::partial::roundtrip_online(&self.online)
             }
         }
     }
@@ -775,6 +830,40 @@ pub trait Executor: Send + Sync + fmt::Debug {
         budget: &Budget,
     ) -> Result<ColumnOutput, EngineError>;
 
+    /// Computes the response vector over a routed [`SegmentPlan`]: the pass
+    /// visits the plan's segments in order, folding each segment's chunk
+    /// partials into one running accumulator through the
+    /// [`mnn_tensor::partial`] merge plane, and — when the plan enables
+    /// pruning — skips segments whose zone-map score upper bound provably
+    /// cannot survive the running softmax max (see [`crate::segment`]).
+    ///
+    /// With a [`SegmentPlan::unsegmented`] plan this is exactly
+    /// [`Executor::forward_prefix_budgeted`]; with any routed plan the
+    /// answer is bitwise identical to the unsegmented pass (segments are
+    /// chunk-aligned, the fold stays in global chunk order, and pruning only
+    /// removes exactly-zero contributions).
+    ///
+    /// The default implementation ignores the zone maps and runs the plain
+    /// prefix pass over `plan.rows()` — correct (never prunes), but blind to
+    /// segmentation. The engine variants override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_prefix_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.forward_prefix_budgeted(m_in, m_out, plan.rows(), u, scratch, trace, budget)
+    }
+
     /// [`Executor::forward_prefix_budgeted`] with an unlimited budget — the
     /// hot-path entry point (the unlimited check never reads the clock).
     ///
@@ -843,6 +932,43 @@ pub trait Executor: Send + Sync + fmt::Debug {
             .collect())
     }
 
+    /// [`Executor::forward_batch_budgeted`] over a routed [`SegmentPlan`]:
+    /// per-question zone-map pruning against each question's own running
+    /// max, answers bitwise identical to per-question
+    /// [`Executor::forward_segmented_budgeted`] runs.
+    ///
+    /// The default implementation loops the segmented single-question path;
+    /// [`PlanExecutor`] overrides it with the batched engine's segmented
+    /// fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_batch_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_batch_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        if budgets.len() != questions.len() {
+            return Err(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            )));
+        }
+        Ok(questions
+            .iter()
+            .zip(budgets)
+            .map(|(u, b)| self.forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, b))
+            .collect())
+    }
+
     /// The dataflow configuration this executor runs.
     fn config(&self) -> MnnFastConfig;
 
@@ -902,6 +1028,29 @@ impl Executor for PlanExecutor {
         }
     }
 
+    fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        match self.plan.resolve(plan.rows(), u.len()) {
+            EngineKind::Column | EngineKind::Auto => self
+                .column
+                .forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+            EngineKind::Streaming => self
+                .streaming
+                .forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+            EngineKind::Parallel => self
+                .parallel
+                .forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+        }
+    }
+
     fn forward_batch_budgeted(
         &self,
         m_in: &Matrix,
@@ -914,6 +1063,20 @@ impl Executor for PlanExecutor {
     ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
         crate::BatchEngine::new(self.plan.config)
             .forward_budgeted(m_in, m_out, rows, questions, scratch, trace, budgets)
+    }
+
+    fn forward_batch_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        crate::BatchEngine::new(self.plan.config)
+            .forward_segmented_budgeted(m_in, m_out, plan, questions, scratch, trace, budgets)
     }
 
     fn config(&self) -> MnnFastConfig {

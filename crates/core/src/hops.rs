@@ -11,6 +11,7 @@
 use crate::budget::Budget;
 use crate::engine::EngineError;
 use crate::exec::{Executor, Scratch, Trace};
+use crate::segment::SegmentPlan;
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
 
@@ -88,6 +89,39 @@ pub fn multi_hop_budgeted(
     trace: &mut Trace,
     budget: &Budget,
 ) -> Result<HopsOutput, EngineError> {
+    multi_hop_segmented_budgeted(
+        exec,
+        m_in,
+        m_out,
+        &SegmentPlan::unsegmented(rows),
+        u0,
+        hops,
+        scratch,
+        trace,
+        budget,
+    )
+}
+
+/// [`multi_hop_budgeted`] driven by a [`SegmentPlan`]: every hop runs
+/// through [`Executor::forward_segmented_budgeted`], so a routed plan's
+/// zone maps can prune segments on each hop independently (each hop has a
+/// fresh question state and therefore a fresh running max).
+///
+/// # Errors
+///
+/// As [`multi_hop_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    plan: &SegmentPlan<'_>,
+    u0: &[f32],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budget: &Budget,
+) -> Result<HopsOutput, EngineError> {
     if hops == 0 {
         return Err(EngineError::Config("hops must be positive".into()));
     }
@@ -98,7 +132,7 @@ pub fn multi_hop_budgeted(
     let mut o = Vec::new();
 
     for _ in 0..hops {
-        let out = exec.forward_prefix_budgeted(m_in, m_out, rows, &u, scratch, trace, budget)?;
+        let out = exec.forward_segmented_budgeted(m_in, m_out, plan, &u, scratch, trace, budget)?;
         // Sequential hops: counters add, peak intermediates take the max
         // (which is what `merge` does).
         stats.merge(&out.stats);
@@ -148,6 +182,38 @@ pub fn multi_hop_batch_budgeted(
     trace: &mut Trace,
     budgets: &[Budget],
 ) -> Result<Vec<Result<HopsOutput, EngineError>>, EngineError> {
+    multi_hop_batch_segmented_budgeted(
+        exec,
+        m_in,
+        m_out,
+        &SegmentPlan::unsegmented(rows),
+        questions,
+        hops,
+        scratch,
+        trace,
+        budgets,
+    )
+}
+
+/// [`multi_hop_batch_budgeted`] driven by a [`SegmentPlan`]: every hop of
+/// the batch runs through [`Executor::forward_batch_segmented_budgeted`],
+/// so routed plans prune per question per hop.
+///
+/// # Errors
+///
+/// As [`multi_hop_batch_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_batch_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    plan: &SegmentPlan<'_>,
+    questions: &[Vec<f32>],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budgets: &[Budget],
+) -> Result<Vec<Result<HopsOutput, EngineError>>, EngineError> {
     if hops == 0 {
         return Err(EngineError::Config("hops must be positive".into()));
     }
@@ -175,10 +241,10 @@ pub fn multi_hop_batch_budgeted(
         }
         let sub_questions: Vec<Vec<f32>> = idx.iter().map(|&q| us[q].clone()).collect();
         let sub_budgets: Vec<Budget> = idx.iter().map(|&q| budgets[q].clone()).collect();
-        let results = exec.forward_batch_budgeted(
+        let results = exec.forward_batch_segmented_budgeted(
             m_in,
             m_out,
-            rows,
+            plan,
             &sub_questions,
             scratch,
             trace,

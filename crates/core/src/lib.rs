@@ -56,6 +56,7 @@ pub mod engine;
 pub mod exec;
 pub mod hops;
 pub mod parallel;
+pub mod segment;
 pub mod streaming;
 
 pub use batch::{BatchEngine, BatchOutput};
@@ -67,8 +68,10 @@ pub use exec::{
     Scratch, Trace,
 };
 pub use hops::{
-    multi_hop, multi_hop_batch_budgeted, multi_hop_budgeted, multi_hop_simple, HopsOutput,
+    multi_hop, multi_hop_batch_budgeted, multi_hop_batch_segmented_budgeted, multi_hop_budgeted,
+    multi_hop_segmented_budgeted, multi_hop_simple, HopsOutput,
 };
 pub use parallel::ParallelEngine;
+pub use segment::{Segment, SegmentMap, SegmentPlan};
 pub use stats::InferenceStats;
 pub use streaming::StreamingEngine;

@@ -14,6 +14,7 @@ use crate::engine::{
     check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
 };
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
+use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -82,14 +83,42 @@ impl Executor for ParallelEngine {
         trace: &mut Trace,
         budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
+        self.forward_segmented_budgeted(
+            m_in,
+            m_out,
+            &SegmentPlan::unsegmented(rows),
+            u,
+            scratch,
+            trace,
+            budget,
+        )
+    }
+
+    /// Segmented scale-out: segments are visited sequentially (the prune
+    /// decision needs the running max of everything folded so far); the
+    /// rows *within* a visited segment are partitioned across workers on
+    /// chunk boundaries, and the main thread folds every chunk partial in
+    /// global chunk order, so the answer stays bitwise identical to the
+    /// sequential engines.
+    fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
+        let rows = plan.rows();
         check_rows(m_in, rows, "ParallelEngine::forward_prefix")?;
         let config = self.engine.config();
         let threads = config.threads.min(rows).max(1);
         if threads == 1 {
             return self
                 .engine
-                .forward_prefix_budgeted(m_in, m_out, rows, u, scratch, trace, budget);
+                .forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget);
         }
 
         let mut stats = InferenceStats::default();
@@ -97,6 +126,10 @@ impl Executor for ParallelEngine {
         let ed = u.len();
         let chunk = config.chunk_size;
 
+        // The probability-threshold pre-pass streams the FULL plan prefix
+        // (pruned segments included) so the resolved raw threshold — and
+        // therefore every skip decision — is bitwise identical to the
+        // unsegmented engines.
         let t0 = trace.begin();
         let raw_threshold = {
             let logits = scratch.logits(chunk.min(ns.max(1)));
@@ -105,96 +138,124 @@ impl Executor for ParallelEngine {
         };
         trace.record(Phase::Skip, t0, 0);
 
-        // Partition on chunk boundaries so per-thread chunking matches the
-        // sequential engine's chunk layout.
-        let chunks_total = ns.div_ceil(chunk);
-        let chunks_per_thread = chunks_total.div_ceil(threads);
-        let rows_per_thread = chunks_per_thread * chunk;
-
+        let query_norm = segment::query_norm_upper(u);
         let enabled = trace.is_enabled();
         let engine = self.engine;
-        // Cooperative abort: the first worker whose per-chunk budget check
-        // fails trips the flag so its peers stop at their next chunk. The
-        // main thread re-runs `budget.check()` after the join — deadline
-        // expiry and cancellation are monotone, so it observes the same
-        // error the worker did.
-        let abort = AtomicBool::new(false);
-        let partials = {
-            let workers = scratch.workers(threads);
-            let abort = &abort;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (t, ws) in workers.iter_mut().enumerate() {
-                    let start = (t * rows_per_thread).min(ns);
-                    let end = ((t + 1) * rows_per_thread).min(ns);
-                    handles.push(scope.spawn(move || {
-                        let mut local = InferenceStats::default();
-                        let mut ltrace = if enabled {
-                            Trace::enabled()
-                        } else {
-                            Trace::disabled()
-                        };
-                        let logit_len = chunk.min((end - start).max(1));
-                        // One partial per owned chunk; the worker does NOT
-                        // pre-fold them — the main thread merges every
-                        // chunk partial in global chunk order so the result
-                        // is bitwise identical to the sequential engines.
-                        let mut idx = 0usize;
-                        let mut row = start;
-                        while row < end {
-                            if abort.load(Ordering::Relaxed) || budget.check().is_err() {
-                                abort.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                            let n = chunk.min(end - row);
-                            let (logits, mut acc) =
-                                ws.chunk_slot(config.softmax, ed, logit_len, idx);
-                            engine.process_chunk_flat(
-                                m_in.rows_slice(row, n),
-                                m_out.rows_slice(row, n),
-                                n,
-                                u,
-                                raw_threshold,
-                                &mut acc,
-                                &mut local,
-                                &mut logits[..n],
-                                &mut ltrace,
-                            );
-                            row += n;
-                            idx += 1;
-                        }
-                        ws.used = idx;
-                        (local, ltrace)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scale-out worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-        };
-        if abort.load(Ordering::Relaxed) {
-            // A worker saw the budget fail; surface the same error.
+        scratch.reset_main(config.softmax, ed);
+
+        for seg in plan.segments() {
             budget.check()?;
-            // The flag can only be set by a failed check, and budget
-            // failures are permanent — but never return garbage if not.
-            return Err(EngineError::Cancelled);
+            stats.segments_total += 1;
+            if plan.prune() {
+                if let Some(running_max) = scratch.main_running_max(config.softmax) {
+                    if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                        stats.segments_pruned += 1;
+                        stats.rows_pruned += seg.rows as u64;
+                        continue;
+                    }
+                }
+            }
+            // Partition this segment on chunk boundaries so per-thread
+            // chunking matches the sequential engine's chunk layout
+            // (segment starts are themselves chunk-aligned).
+            let chunks_total = seg.rows.div_ceil(chunk);
+            let chunks_per_thread = chunks_total.div_ceil(threads);
+            let rows_per_thread = chunks_per_thread * chunk;
+
+            // Cooperative abort: the first worker whose per-chunk budget
+            // check fails trips the flag so its peers stop at their next
+            // chunk. The main thread re-runs `budget.check()` after the
+            // join — deadline expiry and cancellation are monotone, so it
+            // observes the same error the worker did.
+            let abort = AtomicBool::new(false);
+            let partials = {
+                let workers = scratch.workers(threads);
+                let abort = &abort;
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(threads);
+                    for (t, ws) in workers.iter_mut().enumerate() {
+                        let start = seg.start + (t * rows_per_thread).min(seg.rows);
+                        let end = seg.start + ((t + 1) * rows_per_thread).min(seg.rows);
+                        handles.push(scope.spawn(move || {
+                            let mut local = InferenceStats::default();
+                            let mut ltrace = if enabled {
+                                Trace::enabled()
+                            } else {
+                                Trace::disabled()
+                            };
+                            let logit_len = chunk.min((end - start).max(1));
+                            // One partial per owned chunk; the worker does
+                            // NOT pre-fold them — the main thread merges
+                            // every chunk partial in global chunk order so
+                            // the result is bitwise identical to the
+                            // sequential engines.
+                            let mut idx = 0usize;
+                            let mut row = start;
+                            while row < end {
+                                if abort.load(Ordering::Relaxed) || budget.check().is_err() {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                let n = chunk.min(end - row);
+                                let (logits, mut acc) =
+                                    ws.chunk_slot(config.softmax, ed, logit_len, idx);
+                                engine.process_chunk_flat(
+                                    m_in.rows_slice(row, n),
+                                    m_out.rows_slice(row, n),
+                                    n,
+                                    u,
+                                    raw_threshold,
+                                    &mut acc,
+                                    &mut local,
+                                    &mut logits[..n],
+                                    &mut ltrace,
+                                );
+                                row += n;
+                                idx += 1;
+                            }
+                            ws.used = idx;
+                            (local, ltrace)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scale-out worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+            };
+            if abort.load(Ordering::Relaxed) {
+                // A worker saw the budget fail; surface the same error.
+                budget.check()?;
+                // The flag can only be set by a failed check, and budget
+                // failures are permanent — but never return garbage if not.
+                return Err(EngineError::Cancelled);
+            }
+
+            let mut seg_intermediate = 0u64;
+            for (local, ltrace) in &partials {
+                trace.absorb(ltrace);
+                // Concurrent partials are all live at once: sum their
+                // intermediate footprints rather than taking the max.
+                // Segments run sequentially, so across segments the peak is
+                // the max of the per-segment sums.
+                seg_intermediate += local.intermediate_bytes;
+                let mut local_no_peak = *local;
+                local_no_peak.intermediate_bytes = 0;
+                stats.merge(&local_no_peak);
+            }
+            stats.intermediate_bytes = stats.intermediate_bytes.max(seg_intermediate);
+
+            let t0 = trace.begin();
+            let (_, merged) = scratch.fold_worker_partials(config.softmax, threads);
+            trace.record(Phase::Merge, t0, merged);
+            check_denom(scratch.main_denom(config.softmax), "chunk merge")?;
+
+            let t0 = trace.begin();
+            scratch.wire_roundtrip_main(config.softmax);
+            trace.record(Phase::SegmentMerge, t0, 1);
         }
 
-        for (local, ltrace) in &partials {
-            trace.absorb(ltrace);
-            // Concurrent partials are all live at once: sum their
-            // intermediate footprints rather than taking the max.
-            stats.intermediate_bytes += local.intermediate_bytes;
-            let mut local_no_peak = *local;
-            local_no_peak.intermediate_bytes = 0;
-            stats.merge(&local_no_peak);
-            stats.intermediate_bytes = stats.intermediate_bytes.max(local.intermediate_bytes);
-        }
-
-        let t0 = trace.begin();
-        let (denominator, merged) = scratch.merge_worker_partials(config.softmax, ed, threads);
-        trace.record(Phase::Merge, t0, merged);
+        let denominator = scratch.main_denom(config.softmax);
         check_denom(denominator, "chunk merge")?;
 
         let mut o = scratch.take_out(ed);

@@ -27,6 +27,16 @@ pub struct InferenceStats {
     pub divisions: u64,
     /// Number of chunks processed.
     pub chunks: u64,
+    /// Memory segments visited by the segmented execution plane (an
+    /// unsegmented pass counts as one segment).
+    pub segments_total: u64,
+    /// Segments skipped entirely by zone-map pruning (their score upper
+    /// bound could not survive the running softmax max).
+    pub segments_pruned: u64,
+    /// Rows contained in pruned segments — work avoided without ever
+    /// loading the segment. Disjoint from `rows_total`/`rows_skipped`,
+    /// which only count rows of segments actually visited.
+    pub rows_pruned: u64,
 }
 
 impl InferenceStats {
@@ -64,6 +74,9 @@ impl InferenceStats {
         self.intermediate_bytes = self.intermediate_bytes.max(other.intermediate_bytes);
         self.divisions += other.divisions;
         self.chunks += other.chunks;
+        self.segments_total += other.segments_total;
+        self.segments_pruned += other.segments_pruned;
+        self.rows_pruned += other.rows_pruned;
     }
 }
 

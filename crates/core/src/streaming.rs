@@ -16,6 +16,7 @@ use crate::engine::{
     check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
 };
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
+use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::Matrix;
 use std::sync::mpsc::sync_channel;
@@ -104,11 +105,32 @@ impl Executor for StreamingEngine {
         trace: &mut Trace,
         budget: &Budget,
     ) -> Result<ColumnOutput, EngineError> {
+        self.forward_segmented_budgeted(
+            m_in,
+            m_out,
+            &SegmentPlan::unsegmented(rows),
+            u,
+            scratch,
+            trace,
+            budget,
+        )
+    }
+
+    fn forward_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
         self.engine.check(m_in, m_out, u)?;
-        check_rows(m_in, rows, "StreamingEngine::forward_prefix")?;
+        check_rows(m_in, plan.rows(), "StreamingEngine::forward_prefix")?;
         let config = self.engine.config();
         let chunk = config.chunk_size;
-        let ns = rows;
+        let ns = plan.rows();
         let ed = u.len();
         let mut stats = InferenceStats::default();
         let denominator;
@@ -120,80 +142,104 @@ impl Executor for StreamingEngine {
                 .engine
                 .resolve_threshold_prefix(m_in, ns, u, &mut stats, logits)?;
             trace.record(Phase::Skip, t0, 0);
+            let query_norm = segment::query_norm_upper(u);
 
-            std::thread::scope(|scope| {
-                let (tx, rx) = sync_channel::<StagedChunk>(self.depth);
-                // Recycling lane: consumed buffers return to the producer, so
-                // exactly `depth` buffers circulate — the literal
-                // double-buffering discipline of the FPGA design, with no
-                // steady-state allocation.
-                let (recycle_tx, recycle_rx) = sync_channel::<StagedChunk>(self.depth);
-                for _ in 0..self.depth {
-                    let _ = recycle_tx.send(StagedChunk {
-                        n: 0,
-                        in_data: Vec::with_capacity(chunk * ed),
-                        out_data: Vec::with_capacity(chunk * ed),
-                    });
+            // One producer/consumer pipeline per visited segment: the prune
+            // decision depends on the running max, so a pruned segment's
+            // rows are never even staged.
+            for seg in plan.segments() {
+                budget.check()?;
+                stats.segments_total += 1;
+                if plan.prune() {
+                    if let Some(running_max) = main.running_max() {
+                        if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                            stats.segments_pruned += 1;
+                            stats.rows_pruned += seg.rows as u64;
+                            continue;
+                        }
+                    }
                 }
+                let seg_start = seg.start;
+                let seg_end = seg.start + seg.rows;
 
-                // Producer: stages chunks ahead of the consumer (the
-                // "prefetch" side of the paper's streaming pipeline).
-                scope.spawn(move || {
-                    let mut row = 0usize;
-                    while row < ns {
-                        let Ok(mut staged) = recycle_rx.recv() else {
-                            break; // consumer dropped (error path)
-                        };
-                        let n = chunk.min(ns - row);
-                        staged.n = n;
-                        staged.in_data.clear();
-                        staged.in_data.extend_from_slice(m_in.rows_slice(row, n));
-                        staged.out_data.clear();
-                        staged.out_data.extend_from_slice(m_out.rows_slice(row, n));
-                        if tx.send(staged).is_err() {
+                std::thread::scope(|scope| {
+                    let (tx, rx) = sync_channel::<StagedChunk>(self.depth);
+                    // Recycling lane: consumed buffers return to the producer, so
+                    // exactly `depth` buffers circulate — the literal
+                    // double-buffering discipline of the FPGA design, with no
+                    // steady-state allocation.
+                    let (recycle_tx, recycle_rx) = sync_channel::<StagedChunk>(self.depth);
+                    for _ in 0..self.depth {
+                        let _ = recycle_tx.send(StagedChunk {
+                            n: 0,
+                            in_data: Vec::with_capacity(chunk * ed),
+                            out_data: Vec::with_capacity(chunk * ed),
+                        });
+                    }
+
+                    // Producer: stages chunks ahead of the consumer (the
+                    // "prefetch" side of the paper's streaming pipeline).
+                    scope.spawn(move || {
+                        let mut row = seg_start;
+                        while row < seg_end {
+                            let Ok(mut staged) = recycle_rx.recv() else {
+                                break; // consumer dropped (error path)
+                            };
+                            let n = chunk.min(seg_end - row);
+                            staged.n = n;
+                            staged.in_data.clear();
+                            staged.in_data.extend_from_slice(m_in.rows_slice(row, n));
+                            staged.out_data.clear();
+                            staged.out_data.extend_from_slice(m_out.rows_slice(row, n));
+                            if tx.send(staged).is_err() {
+                                break;
+                            }
+                            row += n;
+                        }
+                    });
+
+                    // Consumer: identical math to the sequential engine —
+                    // chunks arrive in order and fold through the same
+                    // per-chunk partial merge. A failed budget check or a
+                    // numeric fault breaks the loop; dropping the receiver
+                    // makes the producer's next send fail, so it exits too and
+                    // the scope joins cleanly.
+                    let mut aborted = None;
+                    for staged in rx.iter() {
+                        if let Err(e) = budget.check() {
+                            aborted = Some(e);
                             break;
                         }
-                        row += n;
+                        partial.reset(ed);
+                        self.engine.process_chunk_flat(
+                            &staged.in_data,
+                            &staged.out_data,
+                            staged.n,
+                            u,
+                            raw_threshold,
+                            &mut partial,
+                            &mut stats,
+                            &mut logits[..staged.n],
+                            trace,
+                        );
+                        let t0 = trace.begin();
+                        main.merge_from(&partial);
+                        trace.record(Phase::Merge, t0, 1);
+                        if let Err(e) = check_denom(main.denom(), "chunk merge") {
+                            aborted = Some(e);
+                            break;
+                        }
+                        let _ = recycle_tx.send(staged); // hand the buffer back
                     }
-                });
+                    drop(rx);
+                    aborted
+                })
+                .map_or(Ok(()), Err)?;
 
-                // Consumer: identical math to the sequential engine —
-                // chunks arrive in order and fold through the same
-                // per-chunk partial merge. A failed budget check or a
-                // numeric fault breaks the loop; dropping the receiver
-                // makes the producer's next send fail, so it exits too and
-                // the scope joins cleanly.
-                let mut aborted = None;
-                for staged in rx.iter() {
-                    if let Err(e) = budget.check() {
-                        aborted = Some(e);
-                        break;
-                    }
-                    partial.reset(ed);
-                    self.engine.process_chunk_flat(
-                        &staged.in_data,
-                        &staged.out_data,
-                        staged.n,
-                        u,
-                        raw_threshold,
-                        &mut partial,
-                        &mut stats,
-                        &mut logits[..staged.n],
-                        trace,
-                    );
-                    let t0 = trace.begin();
-                    main.merge_from(&partial);
-                    trace.record(Phase::Merge, t0, 1);
-                    if let Err(e) = check_denom(main.denom(), "chunk merge") {
-                        aborted = Some(e);
-                        break;
-                    }
-                    let _ = recycle_tx.send(staged); // hand the buffer back
-                }
-                drop(rx);
-                aborted
-            })
-            .map_or(Ok(()), Err)?;
+                let t0 = trace.begin();
+                main.wire_roundtrip();
+                trace.record(Phase::SegmentMerge, t0, 1);
+            }
             denominator = main.denom();
         }
 

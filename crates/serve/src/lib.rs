@@ -6,10 +6,14 @@
 //! form and must be embedded and answered immediately. This crate provides
 //! that layer:
 //!
-//! - [`MemoryStore`] — capacity-doubled storage for the embedded memories
-//!   with append and sliding-window eviction,
+//! - [`SegmentedStore`] — capacity-doubled storage for the embedded
+//!   memories with append, sliding-window eviction, and incrementally
+//!   maintained zone-map norms from which routed segment maps are stamped
+//!   out ([`MemoryStore`] is its historical alias),
 //! - [`Session`] — a model + store + engine bundle: `observe()` new
-//!   sentences, `ask()` questions, collect cumulative statistics.
+//!   sentences, `ask()` questions, collect cumulative statistics. With
+//!   [`SessionConfig::segments`] `> 1` questions route over the store's
+//!   segment map with zone-map pruning (bitwise-identical answers).
 //!
 //! # Example
 //!
@@ -44,4 +48,4 @@ pub use pool::{AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats
 pub use session::{
     Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,
 };
-pub use store::MemoryStore;
+pub use store::{MemoryStore, SegmentedStore};

@@ -180,6 +180,13 @@ pub struct PoolStats {
     pub embed_evictions: u64,
     /// Entries resident in the shared sentence cache right now.
     pub embed_cache_entries: usize,
+    /// Memory segments visited pool-wide (one count per segment per
+    /// question per hop; unsegmented sessions count one segment per pass).
+    pub segments_total: u64,
+    /// Segments skipped by zone-map pruning pool-wide — whole slices of
+    /// story memory whose logit upper bound provably could not affect any
+    /// answer. Always 0 for unsegmented or lazy-softmax sessions.
+    pub segments_pruned: u64,
 }
 
 /// Token-bucket state for the admission controller.
@@ -618,6 +625,8 @@ impl SessionPool {
             stats.degraded_answers += d.degraded_answers;
             stats.pinned_sessions += usize::from(d.pinned_safe);
         }
+        stats.segments_total = stats.inference.segments_total;
+        stats.segments_pruned = stats.inference.segments_pruned;
         stats
     }
 }

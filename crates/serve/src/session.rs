@@ -8,8 +8,9 @@ use mnn_memnn::{MemNet, ModelConfig};
 use mnn_tensor::{reduce, softmax};
 use mnnfast::engine::EngineError;
 use mnnfast::{
-    multi_hop_batch_budgeted, multi_hop_budgeted, Budget, ExecPlan, HopsOutput, InferenceStats,
-    MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Scratch, SoftmaxMode, Trace,
+    multi_hop_batch_segmented_budgeted, multi_hop_segmented_budgeted, Budget, ExecPlan, HopsOutput,
+    InferenceStats, MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Scratch, SegmentMap,
+    SegmentPlan, SoftmaxMode, Trace,
 };
 use std::error::Error;
 use std::fmt;
@@ -71,6 +72,18 @@ pub struct SessionConfig {
     /// [`crate::SessionPool`] share one pool-wide cache instead, so a
     /// sentence embedded for one tenant is a hit for every other.
     pub embed_cache: Option<usize>,
+    /// Number of routed memory segments. `1` keeps the classic
+    /// single-range prefix pass; with more the session partitions the
+    /// store into chunk-aligned segments via its zone map and enables
+    /// segment pruning: online-softmax passes skip whole segments whose
+    /// logit upper bound provably cannot affect the answer
+    /// (bitwise-identical results either way; lazy-softmax passes route
+    /// through the same plan but never prune). `0` (the default) defers to
+    /// the `MNNFAST_SEGMENTS` environment variable at session creation,
+    /// falling back to 1 — so a deployment can segment every
+    /// default-configured session without touching code, while an explicit
+    /// value here always wins.
+    pub segments: usize,
 }
 
 impl Default for SessionConfig {
@@ -82,6 +95,7 @@ impl Default for SessionConfig {
             deadline: None,
             degradation: DegradationPolicy::default(),
             embed_cache: None,
+            segments: 0,
         }
     }
 }
@@ -196,6 +210,14 @@ pub struct Session {
     pair_buf: Vec<f32>,
     /// Reusable `ed` buffer for the question state in [`Session::ask`].
     question_buf: Vec<f32>,
+    /// Effective segment count ([`SessionConfig::segments`], or the
+    /// `MNNFAST_SEGMENTS` override captured at creation).
+    segments: usize,
+    /// Cached routed map over the store, rebuilt lazily whenever the store
+    /// version moves (only maintained when `segments > 1`).
+    seg_map: SegmentMap,
+    /// Store version `seg_map` was built at (`None` = never built).
+    seg_map_version: Option<u64>,
 }
 
 impl Session {
@@ -283,12 +305,38 @@ impl Session {
             model_fingerprint,
             pair_buf: Vec::new(),
             question_buf: Vec::new(),
+            segments: resolve_segments(config.segments),
+            seg_map: SegmentMap::default(),
+            seg_map_version: None,
         })
     }
 
     /// The number of sentences currently in memory.
     pub fn memory_len(&self) -> usize {
         self.store.len()
+    }
+
+    /// Effective segment count this session routes over (after the
+    /// `MNNFAST_SEGMENTS` override; `1` = unsegmented prefix pass).
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Rebuilds the cached segment map if the store changed since the last
+    /// question. No-op for unsegmented sessions; the map is always built
+    /// with the engine's chunk size so segment boundaries stay
+    /// chunk-aligned (the bitwise-parity requirement).
+    fn refresh_segment_map(&mut self) {
+        if self.segments <= 1 {
+            return;
+        }
+        let version = self.store.version();
+        if self.seg_map_version != Some(version) {
+            self.seg_map = self
+                .store
+                .segment_map(self.segments, self.config.plan.config.chunk_size);
+            self.seg_map_version = Some(version);
+        }
     }
 
     /// Counters accumulated over every question answered so far.
@@ -690,16 +738,22 @@ impl Session {
     ) -> Result<(HopsOutput, bool), EngineError> {
         let hops = self.model.config().hops;
         let rows = self.store.len();
+        self.refresh_segment_map();
+        let plan = if self.segments > 1 {
+            SegmentPlan::routed(&self.seg_map, true)
+        } else {
+            SegmentPlan::unsegmented(rows)
+        };
         let primary = if self.degradation.pinned_safe {
             &self.safe_executor
         } else {
             &self.executor
         };
-        let first = multi_hop_budgeted(
+        let first = multi_hop_segmented_budgeted(
             primary,
             self.store.m_in(),
             self.store.m_out(),
-            rows,
+            &plan,
             u,
             hops,
             &mut self.scratch,
@@ -719,11 +773,11 @@ impl Session {
                     }
                 }
                 let t0 = trace.begin();
-                let retried = multi_hop_budgeted(
+                let retried = multi_hop_segmented_budgeted(
                     &self.safe_executor,
                     self.store.m_in(),
                     self.store.m_out(),
-                    rows,
+                    &plan,
                     u,
                     hops,
                     &mut self.scratch,
@@ -755,17 +809,23 @@ impl Session {
     ) -> Result<Vec<Result<(HopsOutput, bool), EngineError>>, EngineError> {
         let hops = self.model.config().hops;
         let rows = self.store.len();
+        self.refresh_segment_map();
+        let plan = if self.segments > 1 {
+            SegmentPlan::routed(&self.seg_map, true)
+        } else {
+            SegmentPlan::unsegmented(rows)
+        };
         let was_pinned = self.degradation.pinned_safe;
         let primary = if was_pinned {
             &self.safe_executor
         } else {
             &self.executor
         };
-        let first = multi_hop_batch_budgeted(
+        let first = multi_hop_batch_segmented_budgeted(
             primary,
             self.store.m_in(),
             self.store.m_out(),
-            rows,
+            &plan,
             us,
             hops,
             &mut self.scratch,
@@ -801,11 +861,11 @@ impl Session {
             let retry_budgets: Vec<Budget> =
                 retry_idx.iter().map(|&q| budgets[q].clone()).collect();
             let t0 = trace.begin();
-            let retried = multi_hop_batch_budgeted(
+            let retried = multi_hop_batch_segmented_budgeted(
                 &self.safe_executor,
                 self.store.m_in(),
                 self.store.m_out(),
-                rows,
+                &plan,
                 &retry_us,
                 hops,
                 &mut self.scratch,
@@ -908,6 +968,20 @@ impl Session {
         }
         Ok(())
     }
+}
+
+/// Effective segment count: an explicit configuration wins; `0` defers to
+/// the `MNNFAST_SEGMENTS` environment variable (positive integer), and
+/// anything unset or unparsable falls back to the unsegmented prefix pass.
+fn resolve_segments(configured: usize) -> usize {
+    if configured >= 1 {
+        return configured;
+    }
+    std::env::var("MNNFAST_SEGMENTS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

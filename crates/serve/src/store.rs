@@ -1,22 +1,44 @@
-//! Growable storage for the embedded memories.
+//! Growable, segment-aware storage for the embedded memories.
+//!
+//! [`SegmentedStore`] keeps the capacity-doubled `M_IN`/`M_OUT` row store
+//! and, alongside it, the *zone-map* metadata the segmented execution plane
+//! needs: a per-row upper bound on the `M_IN` embedding norm, maintained
+//! incrementally on every push/evict/clear. From those norms the store can
+//! stamp out a routed [`SegmentMap`] (chunk-aligned segments, each carrying
+//! the max norm of its rows — and therefore, by Cauchy–Schwarz, the max
+//! possible logit against any query) without rescanning the matrix. A
+//! monotone version counter lets sessions cache the map and rebuild it only
+//! when the store has actually changed.
 
 use mnn_tensor::Matrix;
+use mnnfast::segment::row_norm_upper;
+use mnnfast::SegmentMap;
 
-/// Capacity-doubled row store for `M_IN`/`M_OUT`.
+/// Capacity-doubled row store for `M_IN`/`M_OUT` with per-row zone-map
+/// norms.
 ///
 /// Rows append in O(ed) amortized; the engines attend over the populated
-/// prefix via `ColumnEngine::forward_prefix`, so no per-question copy is
-/// ever made. A bounded store evicts its oldest rows (sliding-window
-/// memory) when full.
+/// prefix via `ColumnEngine::forward_prefix` (or a routed segment plan), so
+/// no per-question copy is ever made. A bounded store evicts its oldest
+/// rows (sliding-window memory) when full.
 #[derive(Debug, Clone)]
-pub struct MemoryStore {
+pub struct SegmentedStore {
     m_in: Matrix,
     m_out: Matrix,
     len: usize,
     max_rows: Option<usize>,
+    /// Per-row upper bound on the `M_IN` row norm (parallel to rows
+    /// `0..len`), maintained on push/evict/clear.
+    norms: Vec<f32>,
+    /// Bumped on every mutation; cached [`SegmentMap`]s key on it.
+    version: u64,
 }
 
-impl MemoryStore {
+/// The pre-segmentation name of [`SegmentedStore`], kept as an alias so
+/// existing call sites and docs keep reading naturally.
+pub type MemoryStore = SegmentedStore;
+
+impl SegmentedStore {
     /// Creates an empty store for `ed`-dimensional rows. `max_rows` bounds
     /// the memory (oldest rows are evicted past the bound); `None` grows
     /// without limit.
@@ -33,6 +55,8 @@ impl MemoryStore {
             m_out: Matrix::zeros(initial, ed),
             len: 0,
             max_rows,
+            norms: Vec::new(),
+            version: 0,
         }
     }
 
@@ -66,6 +90,29 @@ impl MemoryStore {
         &self.m_out
     }
 
+    /// Per-row `M_IN` norm upper bounds, parallel to rows `0..len()`.
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
+    /// Monotone mutation counter: two equal versions guarantee the store
+    /// (and therefore any [`SegmentMap`] built from it) is unchanged.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Builds a routed [`SegmentMap`] over the populated prefix from the
+    /// incrementally maintained norms: `n_segments` chunk-aligned segments
+    /// (clamped to the chunk count), each stamped with the max row-norm
+    /// bound of its rows.
+    ///
+    /// `chunk_size` must be the executing engine's chunk size so segment
+    /// boundaries land on chunk boundaries and the sequential fold order —
+    /// and therefore the bitwise answer — is preserved.
+    pub fn segment_map(&self, n_segments: usize, chunk_size: usize) -> SegmentMap {
+        SegmentMap::from_norms(&self.norms, n_segments, chunk_size)
+    }
+
     /// Appends one embedded sentence (its `A`-side and `C`-side vectors),
     /// evicting the oldest row first if the store is at its bound.
     ///
@@ -91,7 +138,9 @@ impl MemoryStore {
         }
         self.m_in.row_mut(self.len).copy_from_slice(in_row);
         self.m_out.row_mut(self.len).copy_from_slice(out_row);
+        self.norms.push(row_norm_upper(in_row));
         self.len += 1;
+        self.version += 1;
         evicted
     }
 
@@ -108,12 +157,16 @@ impl MemoryStore {
             let flat = matrix.as_mut_slice();
             flat.copy_within(n * ed..(n + remaining) * ed, 0);
         }
+        self.norms.drain(..n);
         self.len = remaining;
+        self.version += 1;
     }
 
     /// Removes all rows (capacity is kept).
     pub fn clear(&mut self) {
         self.len = 0;
+        self.norms.clear();
+        self.version += 1;
     }
 
     fn grow(&mut self) {
@@ -250,6 +303,62 @@ mod tests {
         // The window holds exactly the last 20 rows, in order.
         for r in 0..20 {
             assert_eq!(store.m_in().row(r), &[(30 + r) as f32; 2]);
+        }
+    }
+
+    #[test]
+    fn norms_track_rows_through_push_evict_clear() {
+        let mut store = SegmentedStore::new(2, None);
+        for i in 0..6 {
+            store.push(&row(2, i as f32), &row(2, 0.0));
+        }
+        assert_eq!(store.norms().len(), 6);
+        // Each norm bound dominates the true row norm.
+        for (r, &nb) in store.norms().iter().enumerate() {
+            let true_norm = (2.0 * (r as f32).powi(2)).sqrt();
+            assert!(nb >= true_norm, "row {r}: {nb} < {true_norm}");
+        }
+        // Eviction drops the leading norms in lockstep with the rows.
+        store.evict_front(2);
+        assert_eq!(store.norms().len(), 4);
+        let expect = (2.0 * 4.0f32).sqrt();
+        assert!(store.norms()[0] >= expect && store.norms()[0] <= expect * 1.01);
+        store.clear();
+        assert!(store.norms().is_empty());
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut store = SegmentedStore::new(2, None);
+        let v0 = store.version();
+        store.push(&row(2, 1.0), &row(2, 0.0));
+        let v1 = store.version();
+        assert!(v1 > v0);
+        store.evict_front(1);
+        let v2 = store.version();
+        assert!(v2 > v1);
+        store.clear();
+        assert!(store.version() > v2);
+        // Reads do not bump.
+        let _ = store.segment_map(4, 2);
+        assert_eq!(store.version(), v2 + 1);
+    }
+
+    #[test]
+    fn segment_map_covers_the_populated_prefix() {
+        let mut store = SegmentedStore::new(3, None);
+        for i in 0..70 {
+            store.push(&row(3, (i % 7) as f32 * 0.3), &row(3, 0.0));
+        }
+        let map = store.segment_map(4, 16);
+        assert_eq!(map.rows(), 70);
+        let covered: usize = map.segments().iter().map(|s| s.rows).sum();
+        assert_eq!(covered, 70);
+        for s in map.segments() {
+            assert_eq!(s.start % 16, 0, "segment starts must be chunk-aligned");
+            for r in s.start..s.start + s.rows {
+                assert!(s.max_in_norm >= store.norms()[r]);
+            }
         }
     }
 

@@ -15,7 +15,10 @@
 //! - [`softmax`]: the softmax family used by memory networks, including the
 //!   *lazy* (division-last) and *online* (running-max) formulations that the
 //!   column-based algorithm of the paper relies on,
-//! - [`reduce`]: sums, maxima and argmax reductions.
+//! - [`reduce`]: sums, maxima and argmax reductions,
+//! - [`partial`]: the segment merge plane — a serializable [`PartialState`]
+//!   over the lazy/online softmax partials with a versioned little-endian
+//!   wire encoding, through which every chunk/segment merge is folded.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ mod matrix;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod kernels;
+pub mod partial;
 pub mod reduce;
 pub mod simd;
 pub mod softmax;
@@ -54,6 +58,7 @@ pub mod softmax;
 pub use buffer::AlignedBuf;
 pub use error::ShapeError;
 pub use matrix::{ChunkRows, Matrix};
+pub use partial::{PartialDecodeError, PartialState};
 
 /// Absolute tolerance used by the test suites when comparing two floating
 /// point computations that are mathematically identical but reassociated

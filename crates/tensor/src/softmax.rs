@@ -393,6 +393,21 @@ impl LazyAccumulator {
         self.weighted_sum.resize(ed, 0.0);
         self.denom = 0.0;
     }
+
+    /// Decomposes the accumulator into its raw `(weighted_sum, denom)` parts
+    /// for the wire encoder in [`crate::partial`].
+    pub(crate) fn raw_parts(&self) -> (&[f32], f32) {
+        (&self.weighted_sum, self.denom)
+    }
+
+    /// Rebuilds an accumulator from raw parts decoded off the wire
+    /// ([`crate::partial`]); the inverse of [`LazyAccumulator::raw_parts`].
+    pub(crate) fn from_raw_parts(weighted_sum: Vec<f32>, denom: f32) -> Self {
+        Self {
+            weighted_sum,
+            denom,
+        }
+    }
 }
 
 /// Numerically-safe streaming softmax-weighted-sum (extension).
@@ -662,6 +677,23 @@ impl OnlineSoftmax {
         self.weighted_sum.resize(ed, 0.0);
         self.denom = 0.0;
         self.max_logit = f32::NEG_INFINITY;
+    }
+
+    /// Decomposes the accumulator into its raw
+    /// `(weighted_sum, denom, max_logit)` parts for the wire encoder in
+    /// [`crate::partial`].
+    pub(crate) fn raw_parts(&self) -> (&[f32], f32, f32) {
+        (&self.weighted_sum, self.denom, self.max_logit)
+    }
+
+    /// Rebuilds an accumulator from raw parts decoded off the wire
+    /// ([`crate::partial`]); the inverse of [`OnlineSoftmax::raw_parts`].
+    pub(crate) fn from_raw_parts(weighted_sum: Vec<f32>, denom: f32, max_logit: f32) -> Self {
+        Self {
+            weighted_sum,
+            denom,
+            max_logit,
+        }
     }
 
     /// Raises the running max to `logit` if needed, rescaling prior partial
