@@ -1,0 +1,21 @@
+//! Int8 quantized memory plane: paired f32-vs-int8 inference timings, the
+//! worst quantized-logit error against the published bound, and bAbI
+//! answer parity. Emits the machine-readable `BENCH_quant.json`; with
+//! `--check` the process exits nonzero when the run fails the conservative
+//! sanity gate (finite measurements, error within bound, no answer
+//! changed).
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::quant_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_quant.json") {
+        Ok(()) => println!("wrote BENCH_quant.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.sane() {
+        eprintln!("quantized-plane run failed its sanity gate");
+        std::process::exit(1);
+    }
+}

@@ -25,12 +25,14 @@
 //! | `bench_batch` | batched serving throughput (BENCH_batch.json) | [`batch_report`] |
 //! | `bench_embedding` | embedding fast path (BENCH_embedding.json) | [`embedding_report`] |
 //! | `bench_segment` | segmented plane overhead + pruning (BENCH_segment.json) | [`segment_report`] |
+//! | `bench_quant` | int8 memory plane speedup + parity (BENCH_quant.json) | [`quant_report`] |
 
 pub mod batch_report;
 pub mod embedding_report;
 pub mod engine_report;
 pub mod experiments;
 pub mod kernel_report;
+pub mod quant_report;
 pub mod robustness_report;
 pub mod segment_report;
 pub mod table;

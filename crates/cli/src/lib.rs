@@ -21,7 +21,7 @@ use mnn_dataset::Vocabulary;
 use mnn_memnn::train::Trainer;
 use mnn_memnn::{eval as meval, MemNet, ModelConfig};
 use mnn_serve::{Session, SessionConfig};
-use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, Scratch, SkipPolicy, Trace};
+use mnnfast::{EngineKind, ExecPlan, MnnFastConfig, Precision, Scratch, SkipPolicy, Trace};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -115,7 +115,7 @@ USAGE:
   mnnfast serve  --model <model.bin> [--window 0] [--skip 0.0]
                  [--engine auto|column|streaming|parallel] [--threads 1]
                  [--deadline-ms 0] [--batch 0] [--embed-cache 0]
-                 [--segments 0] [--trace]
+                 [--segments 0] [--precision f32|int8] [--trace]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -136,6 +136,11 @@ zone-map (max-norm) metadata; online-softmax questions skip segments that
 provably cannot affect the answer, bitwise-identically. A segment summary
 line is printed at session end. When the flag is absent the
 `MNNFAST_SEGMENTS` environment variable supplies the count.
+`--precision int8` serves questions from a per-row symmetric int8 mirror
+of the story memory (re-quantized incrementally as sentences arrive),
+moving roughly a quarter of the bytes per question through exact-integer
+kernels; numeric faults fall back to the f32 safe path. The session
+summary reports both planes' resident bytes.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -450,6 +455,11 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     let embed_cache = options.get("embed-cache", 0usize)?;
     // 0 = defer to MNNFAST_SEGMENTS (the session's env fallback).
     let segments = options.get("segments", 0usize)?;
+    let precision = match options.get_str("precision").unwrap_or("f32") {
+        "f32" => Precision::F32,
+        "int8" => Precision::Int8,
+        other => return Err(format!("unknown precision '{other}' (expected f32|int8)")),
+    };
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -464,6 +474,7 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         trace: options.switch("trace"),
         embed_cache: (embed_cache > 0).then_some(embed_cache),
         segments,
+        precision,
         ..SessionConfig::default()
     };
     let batch = options.get("batch", 0usize)?;
@@ -527,6 +538,24 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         session.questions_answered(),
         session.cumulative_stats().computation_reduction() * 100.0
     )
+    .map_err(|e| e.to_string())?;
+    match session.precision() {
+        Precision::Int8 => writeln!(
+            out,
+            "memory: {} sentences, int8 mirror {} bytes resident (f32 plane {} bytes), {} bytes moved by questions",
+            session.memory_len(),
+            session.quant_resident_bytes(),
+            session.memory_resident_bytes(),
+            session.cumulative_stats().memory_bytes
+        ),
+        Precision::F32 => writeln!(
+            out,
+            "memory: {} sentences, f32 plane {} bytes resident, {} bytes moved by questions",
+            session.memory_len(),
+            session.memory_resident_bytes(),
+            session.cumulative_stats().memory_bytes
+        ),
+    }
     .map_err(|e| e.to_string())?;
     if session.segments() > 1 {
         let s = session.cumulative_stats();
@@ -798,6 +827,52 @@ mod tests {
         // Unsegmented sessions stay quiet about segments.
         let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
         assert!(!out.contains("segments:"), "{out}");
+    }
+
+    #[test]
+    fn serve_precision_flag_serves_int8() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-precision");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\n\
+                     john went to the garden\n\
+                     where is mary?\n:quit\n";
+        let out = run_cli(
+            &["serve", "--model", model_str, "--precision", "int8"],
+            stdin,
+        )
+        .unwrap();
+        assert!(out.contains("-> "), "{out}");
+        assert!(out.contains("int8 mirror"), "{out}");
+
+        // Default f32 sessions report only the f32 plane.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(out.contains("f32 plane"), "{out}");
+        assert!(!out.contains("int8 mirror"), "{out}");
+
+        // Bad precision names error instead of silently defaulting.
+        let err = run_cli(
+            &["serve", "--model", model_str, "--precision", "fp4"],
+            stdin,
+        );
+        assert!(err.unwrap_err().contains("unknown precision"));
     }
 
     #[test]

@@ -28,13 +28,14 @@
 use crate::budget::Budget;
 use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
 use crate::engine::{
-    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+    check_denom, check_output, check_rows, check_rows_quant, AccumMut, ColumnEngine, ColumnOutput,
+    EngineError,
 };
 use crate::exec::{Phase, Scratch, Trace};
 use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
-use mnn_tensor::{kernels, Matrix};
+use mnn_tensor::{kernels, Matrix, QuantMatrix};
 
 /// Batched column-based engine.
 ///
@@ -584,6 +585,379 @@ impl BatchEngine {
         }
         trace.record(Phase::Divide, t0, divisions);
         Ok(results)
+    }
+
+    /// Segmented batched serving over the *quantized* memory plane: each
+    /// int8 chunk is streamed once per batch and applied to every live
+    /// question while resident. Per question the processing is the exact
+    /// single-question discipline — chunk partial → int8 chunk kernel →
+    /// merge through the [`mnn_tensor::partial`] plane — so every answer is
+    /// bitwise identical to a per-question
+    /// [`crate::Executor::forward_quant_segmented_budgeted`] run. Pruning is
+    /// per question (Online mode only), against zone maps built from
+    /// dequantized row norms and each quantized query's own norm.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchEngine::forward_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        let rows = plan.rows();
+        if budgets.len() != questions.len() {
+            return Err(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            )));
+        }
+        let Some(first) = questions.first() else {
+            return Ok(Vec::new());
+        };
+        let probe = ColumnEngine::new(self.config);
+        probe.check_quant(m_in, m_out, first)?;
+        check_rows_quant(m_in, rows, "BatchEngine::forward_quant")?;
+        check_ragged(questions, first.len())?;
+
+        let ed = first.len();
+        let nq = questions.len();
+        let chunk = self.config.chunk_size;
+        let mode = self.config.softmax;
+
+        // Stage the arena: quantize every question (the kernels only ever
+        // see i8 operands), reset accumulators and bookkeeping.
+        scratch.batch_uq.clear();
+        scratch.batch_uq.resize(nq * ed, 0);
+        scratch.batch_uscales.clear();
+        scratch.batch_uscales.resize(nq, 0.0);
+        for (q, u) in questions.iter().enumerate() {
+            scratch.batch_uscales[q] =
+                mnn_tensor::quant::quantize_row(u, &mut scratch.batch_uq[q * ed..(q + 1) * ed]);
+        }
+        scratch.batch_live.clear();
+        scratch.batch_live.resize(nq, true);
+        scratch.batch_seg_live.clear();
+        scratch.batch_seg_live.resize(nq, true);
+        scratch.batch_query_norms.clear();
+        for q in 0..nq {
+            scratch.batch_query_norms.push(segment::query_norm_upper_i8(
+                &scratch.batch_uq[q * ed..(q + 1) * ed],
+                scratch.batch_uscales[q],
+            ));
+        }
+        if scratch.batch_stats.len() < nq {
+            scratch.batch_stats.resize_with(nq, InferenceStats::default);
+        }
+        for s in &mut scratch.batch_stats[..nq] {
+            *s = InferenceStats::default();
+        }
+        let logit_len = nq * chunk.min(rows.max(1));
+        if scratch.batch_logits.len() < logit_len {
+            scratch.batch_logits.resize(logit_len, 0.0);
+        }
+        match mode {
+            SoftmaxMode::Lazy => {
+                if scratch.batch_lazy.len() < nq {
+                    scratch.batch_lazy.resize_with(nq, LazyAccumulator::default);
+                }
+                if scratch.batch_chunk_lazy.len() < nq {
+                    scratch
+                        .batch_chunk_lazy
+                        .resize_with(nq, LazyAccumulator::default);
+                }
+                for a in &mut scratch.batch_lazy[..nq] {
+                    a.reset(ed);
+                }
+            }
+            SoftmaxMode::Online => {
+                if scratch.batch_online.len() < nq {
+                    scratch.batch_online.resize_with(nq, OnlineSoftmax::default);
+                }
+                if scratch.batch_chunk_online.len() < nq {
+                    scratch
+                        .batch_chunk_online
+                        .resize_with(nq, OnlineSoftmax::default);
+                }
+                for a in &mut scratch.batch_online[..nq] {
+                    a.reset(ed);
+                }
+            }
+        }
+
+        let t0 = trace.begin();
+        self.resolve_thresholds_quant_into(m_in, rows, nq, ed, scratch, budgets);
+        trace.record(Phase::Skip, t0, 0);
+
+        // Main segmented chunk loop: per live question, the single-question
+        // chunk kernel + merge (bitwise identity is inherited, not proven
+        // per-path).
+        {
+            let Scratch {
+                batch_logits,
+                batch_uq,
+                batch_uscales,
+                batch_lazy,
+                batch_online,
+                batch_chunk_lazy,
+                batch_chunk_online,
+                batch_thresholds,
+                batch_live,
+                batch_stats,
+                batch_seg_live,
+                batch_query_norms,
+                ..
+            } = scratch;
+            for seg in plan.segments() {
+                let mut any_visit = false;
+                for q in 0..nq {
+                    let mut visit = batch_live[q];
+                    if visit {
+                        batch_stats[q].segments_total += 1;
+                        if plan.prune() && matches!(mode, SoftmaxMode::Online) {
+                            let running_max = batch_online[q].max_logit();
+                            let ub = seg.logit_upper_bound(batch_query_norms[q]);
+                            if segment::can_prune(running_max, ub) {
+                                batch_stats[q].segments_pruned += 1;
+                                batch_stats[q].rows_pruned += seg.rows as u64;
+                                visit = false;
+                            }
+                        }
+                    }
+                    batch_seg_live[q] = visit;
+                    any_visit |= visit;
+                }
+                if any_visit {
+                    let seg_end = seg.start + seg.rows;
+                    let mut row = seg.start;
+                    while row < seg_end {
+                        let mut n_live = 0u64;
+                        for q in 0..nq {
+                            if batch_live[q] && budgets[q].check().is_err() {
+                                batch_live[q] = false;
+                            }
+                            batch_seg_live[q] &= batch_live[q];
+                            if batch_seg_live[q] {
+                                n_live += 1;
+                            }
+                        }
+                        if n_live == 0 {
+                            break;
+                        }
+                        let n = chunk.min(seg_end - row);
+                        let in_q = m_in.rows_slice(row, n);
+                        let in_scales = m_in.scales_slice(row, n);
+                        let out_q = m_out.rows_slice(row, n);
+                        let out_scales = m_out.scales_slice(row, n);
+                        for q in 0..nq {
+                            if !batch_seg_live[q] {
+                                continue;
+                            }
+                            let mut partial = match mode {
+                                SoftmaxMode::Lazy => AccumMut::Lazy(&mut batch_chunk_lazy[q]),
+                                SoftmaxMode::Online => AccumMut::Online(&mut batch_chunk_online[q]),
+                            };
+                            partial.reset(ed);
+                            probe.process_chunk_quant(
+                                in_q,
+                                in_scales,
+                                out_q,
+                                out_scales,
+                                n,
+                                &batch_uq[q * ed..(q + 1) * ed],
+                                batch_uscales[q],
+                                batch_thresholds[q],
+                                &mut partial,
+                                &mut batch_stats[q],
+                                &mut batch_logits[q * n..(q + 1) * n],
+                                trace,
+                            );
+                            let t0 = trace.begin();
+                            match mode {
+                                SoftmaxMode::Lazy => mnn_tensor::partial::merge_lazy_into(
+                                    &mut batch_lazy[q],
+                                    &batch_chunk_lazy[q],
+                                ),
+                                SoftmaxMode::Online => mnn_tensor::partial::merge_online_into(
+                                    &mut batch_online[q],
+                                    &batch_chunk_online[q],
+                                ),
+                            }
+                            trace.record(Phase::Merge, t0, 1);
+                        }
+                        row += n;
+                    }
+                }
+                let t0 = trace.begin();
+                if mnn_tensor::partial::wire_merge_enabled() {
+                    match mode {
+                        SoftmaxMode::Lazy => {
+                            for q in 0..nq {
+                                if batch_live[q] {
+                                    batch_lazy[q] =
+                                        mnn_tensor::partial::roundtrip_lazy(&batch_lazy[q]);
+                                }
+                            }
+                        }
+                        SoftmaxMode::Online => {
+                            for q in 0..nq {
+                                if batch_live[q] {
+                                    batch_online[q] =
+                                        mnn_tensor::partial::roundtrip_online(&batch_online[q]);
+                                }
+                            }
+                        }
+                    }
+                }
+                trace.record(Phase::SegmentMerge, t0, 1);
+            }
+        }
+
+        // Finish: per-question numeric guards + lazy division. Unlike the
+        // f32 batch path, flops/traffic were already charged per question by
+        // the single-question chunk kernel, so no shared-GEMM share is added
+        // here.
+        let t0 = trace.begin();
+        let mut results = Vec::with_capacity(nq);
+        let mut divisions = 0u64;
+        for (q, budget) in budgets.iter().enumerate().take(nq) {
+            if !scratch.batch_live[q] {
+                let err = budget.check().err().unwrap_or(EngineError::Cancelled);
+                results.push(Err(err));
+                continue;
+            }
+            let denominator = match mode {
+                SoftmaxMode::Lazy => scratch.batch_lazy[q].denom(),
+                SoftmaxMode::Online => scratch.batch_online[q].denom(),
+            };
+            if let Err(e) = check_denom(denominator, "batch merge") {
+                results.push(Err(e));
+                continue;
+            }
+            let mut o = scratch.take_out(ed);
+            match mode {
+                SoftmaxMode::Lazy => scratch.batch_lazy[q].finish_into(&mut o),
+                SoftmaxMode::Online => scratch.batch_online[q].finish_into(&mut o),
+            }
+            if let Err(e) = check_output(&o) {
+                scratch.recycle(o);
+                results.push(Err(e));
+                continue;
+            }
+            let mut stats = scratch.batch_stats[q];
+            stats.divisions = ed as u64;
+            stats.flops += ed as u64;
+            stats.intermediate_bytes = (chunk.min(rows.max(1)) * 4 + ed * 4) as u64;
+            divisions += ed as u64;
+            results.push(Ok(ColumnOutput {
+                o,
+                denominator,
+                stats,
+            }));
+        }
+        trace.record(Phase::Divide, t0, divisions);
+        Ok(results)
+    }
+
+    /// [`BatchEngine::resolve_thresholds_into`] over the quantized plane:
+    /// the Probability pre-pass runs each question's int8 GEMV over every
+    /// chunk with the exact accumulation discipline of
+    /// [`ColumnEngine::resolve_threshold_prefix_quant`], so resolved
+    /// thresholds match the single-question quantized engine bitwise.
+    fn resolve_thresholds_quant_into(
+        &self,
+        m_in: &QuantMatrix,
+        rows: usize,
+        nq: usize,
+        ed: usize,
+        scratch: &mut Scratch,
+        budgets: &[Budget],
+    ) {
+        scratch.batch_thresholds.clear();
+        match self.config.skip {
+            SkipPolicy::None => scratch.batch_thresholds.resize(nq, None),
+            SkipPolicy::RawWeight(th) => scratch.batch_thresholds.resize(nq, Some(th)),
+            SkipPolicy::Probability(th) => {
+                scratch.batch_thresholds.resize(nq, None);
+                let chunk = self.config.chunk_size;
+                let Scratch {
+                    batch_logits,
+                    batch_uq,
+                    batch_uscales,
+                    batch_thresholds,
+                    batch_live,
+                    batch_stats,
+                    batch_prepass,
+                    ..
+                } = scratch;
+                if batch_prepass.len() < 3 * nq {
+                    batch_prepass.resize(3 * nq, 0.0);
+                }
+                let (max_logit, rest) = batch_prepass.split_at_mut(nq);
+                let (denom_rel, raw_denom) = rest.split_at_mut(nq);
+                max_logit.fill(f64::NEG_INFINITY);
+                denom_rel[..nq].fill(0.0);
+                raw_denom[..nq].fill(0.0);
+
+                let mut row = 0usize;
+                while row < rows {
+                    let mut any_live = false;
+                    for q in 0..nq {
+                        if batch_live[q] && budgets[q].check().is_err() {
+                            batch_live[q] = false;
+                        }
+                        any_live |= batch_live[q];
+                    }
+                    if !any_live {
+                        break;
+                    }
+                    let n = chunk.min(rows - row);
+                    let in_q = m_in.rows_slice(row, n);
+                    let in_scales = m_in.scales_slice(row, n);
+                    for q in 0..nq {
+                        if !batch_live[q] {
+                            continue;
+                        }
+                        let buf = &mut batch_logits[q * n..(q + 1) * n];
+                        kernels::gemv_chunk_i8(
+                            in_q,
+                            in_scales,
+                            n,
+                            &batch_uq[q * ed..(q + 1) * ed],
+                            batch_uscales[q],
+                            buf,
+                        );
+                        for &x in buf.iter() {
+                            if x > max_logit[q] as f32 {
+                                denom_rel[q] *= ((max_logit[q] as f32 - x) as f64).exp();
+                                max_logit[q] = x as f64;
+                            }
+                            denom_rel[q] += ((x - max_logit[q] as f32) as f64).exp();
+                            raw_denom[q] += (x as f64).exp();
+                        }
+                        batch_stats[q].flops += kernels::gemv_flops(n, ed) + n as u64;
+                        batch_stats[q].memory_bytes += (n * (ed + 4)) as u64;
+                    }
+                    row += n;
+                }
+                for q in 0..nq {
+                    if !batch_live[q] {
+                        continue;
+                    }
+                    batch_thresholds[q] = Some(match self.config.softmax {
+                        SoftmaxMode::Lazy => (th as f64 * raw_denom[q]) as f32,
+                        SoftmaxMode::Online => (th as f64 * denom_rel[q]) as f32,
+                    });
+                }
+            }
+        }
     }
 
     /// Processes rows `[start, end)` for every question; returns the

@@ -13,6 +13,21 @@ pub enum SoftmaxMode {
     Online,
 }
 
+/// Numeric precision of the memory plane the inference phase reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision f32 memories — the reference path.
+    #[default]
+    F32,
+    /// Int8 quantized memories (symmetric per-row scales): the
+    /// bandwidth-bound inference phase moves ~4x fewer bytes and runs on
+    /// the exact-integer AVX2 kernels. Logits carry a bounded relative
+    /// error ([`mnn_tensor::simd::I8_LOGIT_MAX_REL_ERROR`]); answers on
+    /// the bAbI suite are unchanged. Numeric faults on this path degrade
+    /// to the f32 safe path.
+    Int8,
+}
+
 /// Zero-skipping policy (Section 3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SkipPolicy {
@@ -59,6 +74,8 @@ pub struct MnnFastConfig {
     /// logits buffer, then exp + accumulate) — kept for A/B benchmarking
     /// and as the reference dataflow.
     pub fused: bool,
+    /// Precision of the memory plane consumed by the inference phase.
+    pub precision: Precision,
 }
 
 impl MnnFastConfig {
@@ -71,6 +88,7 @@ impl MnnFastConfig {
             softmax: SoftmaxMode::Lazy,
             threads: 1,
             fused: true,
+            precision: Precision::F32,
         }
     }
 
@@ -95,6 +113,12 @@ impl MnnFastConfig {
     /// Enables or disables the fused chunk kernel.
     pub fn with_fused(mut self, fused: bool) -> Self {
         self.fused = fused;
+        self
+    }
+
+    /// Sets the memory-plane precision.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -140,6 +164,7 @@ mod tests {
         assert_eq!(c.softmax, SoftmaxMode::Lazy);
         assert_eq!(c.threads, 1);
         assert!(c.fused);
+        assert_eq!(c.precision, Precision::F32);
         c.validate().unwrap();
     }
 
@@ -149,7 +174,9 @@ mod tests {
             .with_skip(SkipPolicy::Probability(0.1))
             .with_softmax(SoftmaxMode::Online)
             .with_threads(4)
-            .with_fused(false);
+            .with_fused(false)
+            .with_precision(Precision::Int8);
+        assert_eq!(c.precision, Precision::Int8);
         assert_eq!(c.chunk_size, 64);
         assert_eq!(c.skip.threshold(), Some(0.1));
         assert_eq!(c.softmax, SoftmaxMode::Online);

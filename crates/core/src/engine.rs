@@ -17,7 +17,7 @@ use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
-use mnn_tensor::{kernels, Matrix, ShapeError};
+use mnn_tensor::{kernels, Matrix, QuantMatrix, ShapeError};
 use std::error::Error;
 use std::fmt;
 use std::time::Duration;
@@ -158,6 +158,84 @@ impl AccumMut<'_> {
         }
     }
 
+    /// Adds one *quantized* entry given its precomputed logit; returns
+    /// `true` if the weighted sum was skipped. The int8 counterpart of
+    /// [`AccumMut::add`] for the two-pass path: the weight math is identical,
+    /// the `M_OUT` row is dequantized on the fly through the shared scalar
+    /// dequant-axpy (bitwise identical across SIMD backends).
+    pub(crate) fn add_i8(
+        &mut self,
+        logit: f32,
+        row_q: &[i8],
+        row_scale: f32,
+        raw_threshold: Option<f32>,
+    ) -> bool {
+        match self {
+            AccumMut::Lazy(acc) => {
+                let w = logit.exp();
+                if let Some(th) = raw_threshold {
+                    if w < th {
+                        acc.add_skipped(w);
+                        return true;
+                    }
+                }
+                acc.add_weighted_i8(w, row_q, row_scale);
+                false
+            }
+            AccumMut::Online(acc) => {
+                if let Some(th) = raw_threshold {
+                    if acc.relative_weight(logit) < th {
+                        acc.add_skipped(logit);
+                        return true;
+                    }
+                }
+                acc.add_i8(logit, row_q, row_scale);
+                false
+            }
+        }
+    }
+
+    /// Fused single-pass chunk accumulate over *quantized* operands,
+    /// delegating to the accumulators' int8 fused kernels
+    /// ([`LazyAccumulator::accumulate_chunk_i8`] /
+    /// [`OnlineSoftmax::accumulate_chunk_i8`]). Returns the number of
+    /// skipped rows.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn accumulate_chunk_i8(
+        &mut self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n: usize,
+        uq: &[i8],
+        u_scale: f32,
+        raw_threshold: Option<f32>,
+    ) -> u64 {
+        match self {
+            AccumMut::Lazy(acc) => acc.accumulate_chunk_i8(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n,
+                uq,
+                u_scale,
+                raw_threshold,
+            ),
+            AccumMut::Online(acc) => acc.accumulate_chunk_i8(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n,
+                uq,
+                u_scale,
+                raw_threshold,
+            ),
+        }
+    }
+
     pub(crate) fn denom(&self) -> f32 {
         match self {
             AccumMut::Lazy(acc) => acc.denom(),
@@ -218,6 +296,23 @@ impl AccumMut<'_> {
 /// Checks the `rows` prefix bound shared by every engine variant.
 pub(crate) fn check_rows(
     m_in: &Matrix,
+    rows: usize,
+    context: &'static str,
+) -> Result<(), EngineError> {
+    if rows > m_in.rows() {
+        return Err(ShapeError::new(
+            context,
+            format!("rows <= {}", m_in.rows()),
+            format!("rows = {rows}"),
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// [`check_rows`] for the quantized memory plane.
+pub(crate) fn check_rows_quant(
+    m_in: &QuantMatrix,
     rows: usize,
     context: &'static str,
 ) -> Result<(), EngineError> {
@@ -328,6 +423,31 @@ impl ColumnEngine {
         Ok(())
     }
 
+    /// [`ColumnEngine::check`] for the quantized memory plane.
+    pub(crate) fn check_quant(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        u: &[f32],
+    ) -> Result<(), EngineError> {
+        self.config.validate().map_err(EngineError::Config)?;
+        if (m_in.rows(), m_in.cols()) != (m_out.rows(), m_out.cols()) {
+            return Err(EngineError::MemoryMismatch {
+                m_in: (m_in.rows(), m_in.cols()),
+                m_out: (m_out.rows(), m_out.cols()),
+            });
+        }
+        if u.len() != m_in.cols() {
+            return Err(ShapeError::new(
+                "ColumnEngine::forward_quant",
+                format!("u of length {}", m_in.cols()),
+                format!("u of length {}", u.len()),
+            )
+            .into());
+        }
+        Ok(())
+    }
+
     /// Resolves [`SkipPolicy`] into a raw-weight threshold over the first
     /// `rows` rows, running the denominator pre-pass for
     /// [`SkipPolicy::Probability`] in the caller's `logits` buffer
@@ -373,6 +493,63 @@ impl ColumnEngine {
                     // p_i = e^{x_i} / Σe^{x_j}  <  th  ⟺  e^{x_i} < th·Σ.
                     SoftmaxMode::Lazy => Ok(Some((th as f64 * raw_denom) as f32)),
                     // Relative weight e^{x_i - max} < th · Σe^{x_j - max}.
+                    SoftmaxMode::Online => Ok(Some((th as f64 * denom_rel) as f32)),
+                }
+            }
+        }
+    }
+
+    /// [`ColumnEngine::resolve_threshold_prefix`] over the quantized plane:
+    /// the [`SkipPolicy::Probability`] denominator sweep runs on the int8
+    /// GEMV, so the resolved threshold is consistent with the logits the
+    /// quantized main pass will compute (skip decisions are made against
+    /// quantized logits on both passes, keeping the quantized run
+    /// self-consistent and deterministic).
+    pub(crate) fn resolve_threshold_prefix_quant(
+        &self,
+        m_in: &QuantMatrix,
+        rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        stats: &mut InferenceStats,
+        logits: &mut [f32],
+    ) -> Result<Option<f32>, EngineError> {
+        match self.config.skip {
+            SkipPolicy::None => Ok(None),
+            SkipPolicy::RawWeight(th) => Ok(Some(th)),
+            SkipPolicy::Probability(th) => {
+                let ed = uq.len();
+                let chunk = self.config.chunk_size;
+                let mut max_logit = f32::NEG_INFINITY;
+                let mut denom_rel = 0.0f64;
+                let mut raw_denom = 0.0f64;
+                let mut start = 0usize;
+                while start < rows {
+                    let n = chunk.min(rows - start);
+                    let buf = &mut logits[..n];
+                    kernels::gemv_chunk_i8(
+                        m_in.rows_slice(start, n),
+                        m_in.scales_slice(start, n),
+                        n,
+                        uq,
+                        u_scale,
+                        buf,
+                    );
+                    stats.flops += kernels::gemv_flops(n, ed);
+                    stats.memory_bytes += (n * (ed + 4)) as u64;
+                    for &x in buf.iter() {
+                        if x > max_logit {
+                            denom_rel *= ((max_logit - x) as f64).exp();
+                            max_logit = x;
+                        }
+                        denom_rel += ((x - max_logit) as f64).exp();
+                        raw_denom += (x as f64).exp();
+                        stats.flops += 1;
+                    }
+                    start += n;
+                }
+                match self.config.softmax {
+                    SoftmaxMode::Lazy => Ok(Some((th as f64 * raw_denom) as f32)),
                     SoftmaxMode::Online => Ok(Some((th as f64 * denom_rel) as f32)),
                 }
             }
@@ -445,6 +622,94 @@ impl ColumnEngine {
                 stats.flops += 2 * ed as u64;
                 stats.ws_flops += 2 * ed as u64;
                 stats.memory_bytes += (ed * 4) as u64;
+            }
+        }
+        trace.record(Phase::ExpAccumulate, t0, n as u64 - chunk_skipped);
+        trace.bump(Phase::Skip, chunk_skipped);
+    }
+
+    /// [`ColumnEngine::process_chunk_flat`] over quantized operands: `n`
+    /// rows of int8 codes plus their per-row scales for both memories. The
+    /// flop accounting matches the f32 path (same mathematical work); the
+    /// traffic accounting charges `ed + 4` bytes per row touched — the int8
+    /// codes plus the f32 scale — which is where the ~4x bandwidth saving
+    /// shows up in [`InferenceStats::memory_bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree with `n`/`uq.len()`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_chunk_quant(
+        &self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n: usize,
+        uq: &[i8],
+        u_scale: f32,
+        raw_threshold: Option<f32>,
+        acc: &mut AccumMut<'_>,
+        stats: &mut InferenceStats,
+        logits: &mut [f32],
+        trace: &mut Trace,
+    ) {
+        let ed = uq.len();
+        assert_eq!(out_q.len(), n * ed, "process_chunk_quant: bad out chunk");
+        if self.config.fused {
+            let t0 = trace.begin();
+            let skipped = acc.accumulate_chunk_i8(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n,
+                uq,
+                u_scale,
+                raw_threshold,
+            );
+            trace.record(Phase::FusedChunk, t0, n as u64);
+            trace.bump(Phase::Skip, skipped);
+            let kept = n as u64 - skipped;
+            stats.flops += kernels::gemv_flops(n, ed) + n as u64 + kept * 2 * ed as u64;
+            stats.ws_flops += kept * 2 * ed as u64;
+            stats.flops_skipped += skipped * 2 * ed as u64;
+            stats.rows_total += n as u64;
+            stats.rows_skipped += skipped;
+            stats.memory_bytes += (n * (ed + 4)) as u64 + kept * (ed + 4) as u64;
+            stats.chunks += 1;
+            stats.intermediate_bytes = stats.intermediate_bytes.max((8 * 4 + ed * 4) as u64);
+            return;
+        }
+        let t0 = trace.begin();
+        kernels::gemv_chunk_i8(in_q, in_scales, n, uq, u_scale, logits);
+        trace.record(Phase::InnerProduct, t0, n as u64);
+        stats.flops += kernels::gemv_flops(n, ed);
+        stats.memory_bytes += (n * (ed + 4)) as u64;
+        stats.chunks += 1;
+        stats.intermediate_bytes = stats
+            .intermediate_bytes
+            .max((logits.len() * 4 + ed * 4) as u64);
+
+        let t0 = trace.begin();
+        let mut chunk_skipped = 0u64;
+        for (i, &x) in logits.iter().enumerate() {
+            stats.flops += 1; // exp
+            let skipped = acc.add_i8(
+                x,
+                &out_q[i * ed..(i + 1) * ed],
+                out_scales[i],
+                raw_threshold,
+            );
+            stats.rows_total += 1;
+            if skipped {
+                chunk_skipped += 1;
+                stats.rows_skipped += 1;
+                stats.flops_skipped += 2 * ed as u64;
+            } else {
+                stats.flops += 2 * ed as u64;
+                stats.ws_flops += 2 * ed as u64;
+                stats.memory_bytes += (ed + 4) as u64;
             }
         }
         trace.record(Phase::ExpAccumulate, t0, n as u64 - chunk_skipped);
@@ -573,6 +838,121 @@ impl Executor for ColumnEngine {
         check_output(&o)?;
         // The lazy division: ed operations, NOT ns (Section 3.1's
         // division-count reduction).
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        Ok(ColumnOutput {
+            o,
+            denominator,
+            stats,
+        })
+    }
+
+    fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.check_quant(m_in, m_out, u)?;
+        check_rows_quant(m_in, plan.rows(), "ColumnEngine::forward_quant")?;
+        let rows = plan.rows();
+        let ed = u.len();
+        let chunk = self.config.chunk_size;
+        let mut stats = InferenceStats::default();
+        // A non-finite query quantizes to scale +∞ over zero codes, which
+        // drives every logit non-finite and surfaces as a NumericFault at
+        // the first merge — same contract as the f32 path.
+        let u_scale = scratch.quant_query(u);
+        let denominator;
+        {
+            let logit_len = chunk.min(rows.max(1));
+            let Scratch {
+                logits,
+                lazy,
+                online,
+                chunk_lazy,
+                chunk_online,
+                uq,
+                ..
+            } = scratch;
+            if logits.len() < logit_len {
+                logits.resize(logit_len, 0.0);
+            }
+            let logits = &mut logits[..logit_len];
+            let uq: &[i8] = &uq[..ed];
+            let (mut main, mut partial) = match self.config.softmax {
+                SoftmaxMode::Lazy => {
+                    lazy.reset(ed);
+                    chunk_lazy.reset(ed);
+                    (AccumMut::Lazy(lazy), AccumMut::Lazy(chunk_lazy))
+                }
+                SoftmaxMode::Online => {
+                    online.reset(ed);
+                    chunk_online.reset(ed);
+                    (AccumMut::Online(online), AccumMut::Online(chunk_online))
+                }
+            };
+            let t0 = trace.begin();
+            let raw_threshold =
+                self.resolve_threshold_prefix_quant(m_in, rows, uq, u_scale, &mut stats, logits)?;
+            trace.record(Phase::Skip, t0, 0);
+            // Zone maps are built from exactly-dequantized row norms, so
+            // Cauchy–Schwarz must use the quantized query's own norm: those
+            // are the vectors the int8 kernels actually dot.
+            let query_norm = segment::query_norm_upper_i8(uq, u_scale);
+            for seg in plan.segments() {
+                budget.check()?;
+                stats.segments_total += 1;
+                if plan.prune() {
+                    if let Some(running_max) = main.running_max() {
+                        if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                            stats.segments_pruned += 1;
+                            stats.rows_pruned += seg.rows as u64;
+                            continue;
+                        }
+                    }
+                }
+                let seg_end = seg.start + seg.rows;
+                let mut row = seg.start;
+                while row < seg_end {
+                    budget.check()?;
+                    let n = chunk.min(seg_end - row);
+                    partial.reset(ed);
+                    self.process_chunk_quant(
+                        m_in.rows_slice(row, n),
+                        m_in.scales_slice(row, n),
+                        m_out.rows_slice(row, n),
+                        m_out.scales_slice(row, n),
+                        n,
+                        uq,
+                        u_scale,
+                        raw_threshold,
+                        &mut partial,
+                        &mut stats,
+                        &mut logits[..n],
+                        trace,
+                    );
+                    let t0 = trace.begin();
+                    main.merge_from(&partial);
+                    trace.record(Phase::Merge, t0, 1);
+                    check_denom(main.denom(), "chunk merge")?;
+                    row += n;
+                }
+                let t0 = trace.begin();
+                main.wire_roundtrip();
+                trace.record(Phase::SegmentMerge, t0, 1);
+            }
+            denominator = main.denom();
+        }
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(self.config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
         stats.divisions += ed as u64;
         stats.flops += ed as u64;
         Ok(ColumnOutput {

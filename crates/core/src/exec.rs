@@ -52,7 +52,7 @@ use crate::config::{MnnFastConfig, SoftmaxMode};
 use crate::engine::{AccumMut, ColumnOutput, EngineError};
 use crate::segment::SegmentPlan;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
-use mnn_tensor::Matrix;
+use mnn_tensor::{Matrix, QuantMatrix};
 use std::fmt;
 use std::time::Instant;
 
@@ -500,6 +500,13 @@ pub struct Scratch {
     // norm upper bounds.
     pub(crate) batch_seg_live: Vec<bool>,
     pub(crate) batch_query_norms: Vec<f64>,
+    // Quantized (int8) path: the quantized query for single-question passes
+    // and the flattened quantized question block + per-question scales for
+    // the batched path. Queries are quantized once per pass, here, so the
+    // kernels only ever see i8 operands.
+    pub(crate) uq: Vec<i8>,
+    pub(crate) batch_uq: Vec<i8>,
+    pub(crate) batch_uscales: Vec<f32>,
 }
 
 impl Scratch {
@@ -572,6 +579,16 @@ impl Scratch {
                 )
             }
         }
+    }
+
+    /// Quantizes the query into the scratch's `uq` buffer and returns its
+    /// scale. The engines call this once per quantized pass; afterwards
+    /// `self.uq[..u.len()]` holds the codes.
+    pub(crate) fn quant_query(&mut self, u: &[f32]) -> f32 {
+        if self.uq.len() < u.len() {
+            self.uq.resize(u.len(), 0);
+        }
+        mnn_tensor::quant::quantize_row(u, &mut self.uq[..u.len()])
     }
 
     /// The main logits buffer, grown to at least `logit_len`.
@@ -969,6 +986,83 @@ pub trait Executor: Send + Sync + fmt::Debug {
             .collect())
     }
 
+    /// [`Executor::forward_segmented_budgeted`] over the *quantized* memory
+    /// plane: both memories arrive as int8 codes with per-row scales
+    /// ([`QuantMatrix`]), the query is quantized once into the scratch, and
+    /// every chunk runs on the exact-integer int8 kernels. Logits carry a
+    /// bounded relative error
+    /// ([`mnn_tensor::simd::I8_LOGIT_MAX_REL_ERROR`]); the result is bitwise
+    /// identical across engine variants and SIMD backends (the int8 kernels
+    /// share one rounding history — see [`mnn_tensor::simd`]).
+    ///
+    /// Zone-map pruning stays conservative: segment upper bounds come from
+    /// exactly-dequantized row norms ([`QuantMatrix::row_norm`]) and the
+    /// quantized query's own norm, so Cauchy–Schwarz bounds the very inner
+    /// products the kernels compute.
+    ///
+    /// The default implementation reports
+    /// [`EngineError::Config`] — engines without an int8 path refuse rather
+    /// than silently dequantize. All four variants override it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_segmented_budgeted`], plus
+    /// [`EngineError::Config`] when the executor has no quantized path.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        let _ = (m_in, m_out, plan, u, scratch, trace, budget);
+        Err(EngineError::Config(
+            "this executor has no quantized (int8) path".into(),
+        ))
+    }
+
+    /// [`Executor::forward_batch_segmented_budgeted`] over the quantized
+    /// memory plane. Per-question answers are bitwise identical to
+    /// per-question [`Executor::forward_quant_segmented_budgeted`] runs.
+    ///
+    /// The default implementation loops the quantized single-question path;
+    /// [`PlanExecutor`] overrides it with the batched engine's quantized
+    /// fast path (each int8 chunk is streamed once per batch).
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_batch_segmented_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_quant_batch_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        if budgets.len() != questions.len() {
+            return Err(EngineError::Config(format!(
+                "budget count {} != question count {}",
+                budgets.len(),
+                questions.len()
+            )));
+        }
+        Ok(questions
+            .iter()
+            .zip(budgets)
+            .map(|(u, b)| {
+                self.forward_quant_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, b)
+            })
+            .collect())
+    }
+
     /// The dataflow configuration this executor runs.
     fn config(&self) -> MnnFastConfig;
 
@@ -1049,6 +1143,43 @@ impl Executor for PlanExecutor {
                 .parallel
                 .forward_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
         }
+    }
+
+    fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        match self.plan.resolve(plan.rows(), u.len()) {
+            EngineKind::Column | EngineKind::Auto => self
+                .column
+                .forward_quant_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+            EngineKind::Streaming => self
+                .streaming
+                .forward_quant_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+            EngineKind::Parallel => self
+                .parallel
+                .forward_quant_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget),
+        }
+    }
+
+    fn forward_quant_batch_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        questions: &[Vec<f32>],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budgets: &[Budget],
+    ) -> Result<Vec<Result<ColumnOutput, EngineError>>, EngineError> {
+        crate::BatchEngine::new(self.plan.config)
+            .forward_quant_segmented_budgeted(m_in, m_out, plan, questions, scratch, trace, budgets)
     }
 
     fn forward_batch_budgeted(

@@ -13,7 +13,7 @@ use crate::engine::EngineError;
 use crate::exec::{Executor, Scratch, Trace};
 use crate::segment::SegmentPlan;
 use crate::stats::InferenceStats;
-use mnn_tensor::Matrix;
+use mnn_tensor::{Matrix, QuantMatrix};
 
 /// Result of a multi-hop pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +153,146 @@ pub fn multi_hop_segmented_budgeted(
         per_hop,
         stats,
     })
+}
+
+/// [`multi_hop_segmented_budgeted`] over the *quantized* memory plane:
+/// every hop runs through
+/// [`Executor::forward_quant_segmented_budgeted`]. The hop chain's question
+/// state stays in f32 (`u ← u + o`); each hop re-quantizes its own query,
+/// so per-hop quantization error never compounds through the memories —
+/// only through the f32 hop outputs, the same way any bounded per-hop
+/// error would.
+///
+/// # Errors
+///
+/// As [`multi_hop_budgeted`], plus [`EngineError::Config`] when the
+/// executor has no quantized path.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_quant_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &QuantMatrix,
+    m_out: &QuantMatrix,
+    plan: &SegmentPlan<'_>,
+    u0: &[f32],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budget: &Budget,
+) -> Result<HopsOutput, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    let mut u = u0.to_vec();
+    let mut u_last = u.clone();
+    let mut per_hop = Vec::with_capacity(hops);
+    let mut stats = InferenceStats::default();
+    let mut o = Vec::new();
+
+    for _ in 0..hops {
+        let out =
+            exec.forward_quant_segmented_budgeted(m_in, m_out, plan, &u, scratch, trace, budget)?;
+        stats.merge(&out.stats);
+        u_last = u.clone();
+        for (ui, oi) in u.iter_mut().zip(&out.o) {
+            *ui += oi;
+        }
+        per_hop.push(out.o.clone());
+        scratch.recycle(std::mem::replace(&mut o, out.o));
+    }
+
+    Ok(HopsOutput {
+        o,
+        u_last,
+        u_final: u,
+        per_hop,
+        stats,
+    })
+}
+
+/// [`multi_hop_batch_segmented_budgeted`] over the quantized memory plane:
+/// every hop of the batch runs through
+/// [`Executor::forward_quant_batch_segmented_budgeted`].
+///
+/// # Errors
+///
+/// As [`multi_hop_batch_budgeted`], plus [`EngineError::Config`] when the
+/// executor has no quantized path.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_quant_batch_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &QuantMatrix,
+    m_out: &QuantMatrix,
+    plan: &SegmentPlan<'_>,
+    questions: &[Vec<f32>],
+    hops: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budgets: &[Budget],
+) -> Result<Vec<Result<HopsOutput, EngineError>>, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    if budgets.len() != questions.len() {
+        return Err(EngineError::Config(format!(
+            "budget count {} != question count {}",
+            budgets.len(),
+            questions.len()
+        )));
+    }
+    let nq = questions.len();
+    let mut us: Vec<Vec<f32>> = questions.to_vec();
+    let mut u_lasts: Vec<Vec<f32>> = questions.to_vec();
+    let mut per_hops: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(hops); nq];
+    let mut stats = vec![InferenceStats::default(); nq];
+    let mut os: Vec<Vec<f32>> = vec![Vec::new(); nq];
+    let mut errors: Vec<Option<EngineError>> = (0..nq).map(|_| None).collect();
+
+    for _ in 0..hops {
+        let idx: Vec<usize> = (0..nq).filter(|&q| errors[q].is_none()).collect();
+        if idx.is_empty() {
+            break;
+        }
+        let sub_questions: Vec<Vec<f32>> = idx.iter().map(|&q| us[q].clone()).collect();
+        let sub_budgets: Vec<Budget> = idx.iter().map(|&q| budgets[q].clone()).collect();
+        let results = exec.forward_quant_batch_segmented_budgeted(
+            m_in,
+            m_out,
+            plan,
+            &sub_questions,
+            scratch,
+            trace,
+            &sub_budgets,
+        )?;
+        for (&q, result) in idx.iter().zip(results) {
+            match result {
+                Ok(out) => {
+                    stats[q].merge(&out.stats);
+                    u_lasts[q].clone_from(&us[q]);
+                    for (ui, oi) in us[q].iter_mut().zip(&out.o) {
+                        *ui += oi;
+                    }
+                    per_hops[q].push(out.o.clone());
+                    scratch.recycle(std::mem::replace(&mut os[q], out.o));
+                }
+                Err(e) => errors[q] = Some(e),
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(nq);
+    for (q, err) in errors.into_iter().enumerate() {
+        match err {
+            Some(e) => outputs.push(Err(e)),
+            None => outputs.push(Ok(HopsOutput {
+                o: std::mem::take(&mut os[q]),
+                u_last: std::mem::take(&mut u_lasts[q]),
+                u_final: std::mem::take(&mut us[q]),
+                per_hop: std::mem::take(&mut per_hops[q]),
+                stats: stats[q],
+            })),
+        }
+    }
+    Ok(outputs)
 }
 
 /// Batched multi-hop: runs every question's hop chain through

@@ -61,7 +61,7 @@ pub mod streaming;
 
 pub use batch::{BatchEngine, BatchOutput};
 pub use budget::{Budget, CancelToken};
-pub use config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
+pub use config::{MnnFastConfig, Precision, SkipPolicy, SoftmaxMode};
 pub use engine::{ColumnEngine, ColumnOutput, EngineError};
 pub use exec::{
     EngineKind, ExecPlan, Executor, LatencyHistogram, Phase, PhaseHistograms, PlanExecutor,
@@ -69,6 +69,7 @@ pub use exec::{
 };
 pub use hops::{
     multi_hop, multi_hop_batch_budgeted, multi_hop_batch_segmented_budgeted, multi_hop_budgeted,
+    multi_hop_quant_batch_segmented_budgeted, multi_hop_quant_segmented_budgeted,
     multi_hop_segmented_budgeted, multi_hop_simple, HopsOutput,
 };
 pub use parallel::ParallelEngine;

@@ -11,12 +11,13 @@
 
 use crate::budget::Budget;
 use crate::engine::{
-    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+    check_denom, check_output, check_rows, check_rows_quant, ColumnEngine, ColumnOutput,
+    EngineError,
 };
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
-use mnn_tensor::Matrix;
+use mnn_tensor::{Matrix, QuantMatrix};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Multi-threaded scale-out wrapper around [`ColumnEngine`].
@@ -254,6 +255,180 @@ impl Executor for ParallelEngine {
             scratch.wire_roundtrip_main(config.softmax);
             trace.record(Phase::SegmentMerge, t0, 1);
         }
+
+        let denominator = scratch.main_denom(config.softmax);
+        check_denom(denominator, "chunk merge")?;
+
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        Ok(ColumnOutput {
+            o,
+            denominator,
+            stats,
+        })
+    }
+
+    /// Segmented scale-out over the quantized plane: same partition, fold
+    /// order and abort protocol as the f32 path, with each worker running
+    /// the int8 chunk kernel. Bitwise identical to the quantized sequential
+    /// engines at any thread count (the int8 kernels are themselves bitwise
+    /// identical across backends, so worker placement cannot perturb bits).
+    fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.engine.check_quant(m_in, m_out, u)?;
+        let rows = plan.rows();
+        check_rows_quant(m_in, rows, "ParallelEngine::forward_quant")?;
+        let config = self.engine.config();
+        let threads = config.threads.min(rows).max(1);
+        if threads == 1 {
+            return self
+                .engine
+                .forward_quant_segmented_budgeted(m_in, m_out, plan, u, scratch, trace, budget);
+        }
+
+        let mut stats = InferenceStats::default();
+        let ns = rows;
+        let ed = u.len();
+        let chunk = config.chunk_size;
+
+        // Take the quantized-query buffer out of the scratch for the pass:
+        // the workers borrow it concurrently with the scratch's per-worker
+        // arenas, which one &mut borrow cannot express. It is handed back
+        // below; early error returns merely drop the allocation (cold path).
+        let mut uq_buf = std::mem::take(&mut scratch.uq);
+        if uq_buf.len() < ed {
+            uq_buf.resize(ed, 0);
+        }
+        let u_scale = mnn_tensor::quant::quantize_row(u, &mut uq_buf[..ed]);
+
+        let t0 = trace.begin();
+        let raw_threshold = {
+            let logits = scratch.logits(chunk.min(ns.max(1)));
+            self.engine.resolve_threshold_prefix_quant(
+                m_in,
+                ns,
+                &uq_buf[..ed],
+                u_scale,
+                &mut stats,
+                logits,
+            )?
+        };
+        trace.record(Phase::Skip, t0, 0);
+
+        let query_norm = segment::query_norm_upper_i8(&uq_buf[..ed], u_scale);
+        let enabled = trace.is_enabled();
+        let engine = self.engine;
+        scratch.reset_main(config.softmax, ed);
+
+        for seg in plan.segments() {
+            budget.check()?;
+            stats.segments_total += 1;
+            if plan.prune() {
+                if let Some(running_max) = scratch.main_running_max(config.softmax) {
+                    if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                        stats.segments_pruned += 1;
+                        stats.rows_pruned += seg.rows as u64;
+                        continue;
+                    }
+                }
+            }
+            let chunks_total = seg.rows.div_ceil(chunk);
+            let chunks_per_thread = chunks_total.div_ceil(threads);
+            let rows_per_thread = chunks_per_thread * chunk;
+
+            let abort = AtomicBool::new(false);
+            let partials = {
+                let workers = scratch.workers(threads);
+                let abort = &abort;
+                let uq: &[i8] = &uq_buf[..ed];
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(threads);
+                    for (t, ws) in workers.iter_mut().enumerate() {
+                        let start = seg.start + (t * rows_per_thread).min(seg.rows);
+                        let end = seg.start + ((t + 1) * rows_per_thread).min(seg.rows);
+                        handles.push(scope.spawn(move || {
+                            let mut local = InferenceStats::default();
+                            let mut ltrace = if enabled {
+                                Trace::enabled()
+                            } else {
+                                Trace::disabled()
+                            };
+                            let logit_len = chunk.min((end - start).max(1));
+                            let mut idx = 0usize;
+                            let mut row = start;
+                            while row < end {
+                                if abort.load(Ordering::Relaxed) || budget.check().is_err() {
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                let n = chunk.min(end - row);
+                                let (logits, mut acc) =
+                                    ws.chunk_slot(config.softmax, ed, logit_len, idx);
+                                engine.process_chunk_quant(
+                                    m_in.rows_slice(row, n),
+                                    m_in.scales_slice(row, n),
+                                    m_out.rows_slice(row, n),
+                                    m_out.scales_slice(row, n),
+                                    n,
+                                    uq,
+                                    u_scale,
+                                    raw_threshold,
+                                    &mut acc,
+                                    &mut local,
+                                    &mut logits[..n],
+                                    &mut ltrace,
+                                );
+                                row += n;
+                                idx += 1;
+                            }
+                            ws.used = idx;
+                            (local, ltrace)
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scale-out worker panicked"))
+                        .collect::<Vec<_>>()
+                })
+            };
+            if abort.load(Ordering::Relaxed) {
+                budget.check()?;
+                return Err(EngineError::Cancelled);
+            }
+
+            let mut seg_intermediate = 0u64;
+            for (local, ltrace) in &partials {
+                trace.absorb(ltrace);
+                seg_intermediate += local.intermediate_bytes;
+                let mut local_no_peak = *local;
+                local_no_peak.intermediate_bytes = 0;
+                stats.merge(&local_no_peak);
+            }
+            stats.intermediate_bytes = stats.intermediate_bytes.max(seg_intermediate);
+
+            let t0 = trace.begin();
+            let (_, merged) = scratch.fold_worker_partials(config.softmax, threads);
+            trace.record(Phase::Merge, t0, merged);
+            check_denom(scratch.main_denom(config.softmax), "chunk merge")?;
+
+            let t0 = trace.begin();
+            scratch.wire_roundtrip_main(config.softmax);
+            trace.record(Phase::SegmentMerge, t0, 1);
+        }
+        scratch.uq = uq_buf;
 
         let denominator = scratch.main_denom(config.softmax);
         check_denom(denominator, "chunk merge")?;

@@ -265,6 +265,32 @@ pub fn query_norm_upper(u: &[f32]) -> f64 {
     sumsq.sqrt() * NORM_SLACK
 }
 
+/// Upper bound on a *quantized* query's Euclidean norm, in f64.
+///
+/// The quantized path's logits are inner products of the quantized query
+/// (`uq[k] * u_scale`) against dequantized memory rows, so Cauchy–Schwarz
+/// must be applied to the quantized query, not the original `u` — the
+/// rounding that produced `uq` can push individual components either way.
+/// `Σ uq[k]²` is exact in f64 (codes are ≤ 127), so this bound is exact up
+/// to the one rounding in `u_scale` itself, covered by [`NORM_SLACK`]. A
+/// non-finite `u_scale` (non-finite query) yields a non-finite bound, which
+/// disables pruning downstream.
+///
+/// Zone maps are built from the *f32* row norms, but a dequantized row can
+/// be longer than its f32 source: per-element rounding adds up to `s/2`,
+/// so its norm is at most `‖x‖ + s·√ed/2 ≤ ‖x‖·(1 + √ed/254)` (since
+/// `s = maxabs/127 ≤ ‖x‖/127`). That inflation multiplies the *other*
+/// side of the Cauchy–Schwarz product, so folding it into the query bound
+/// here keeps f32-norm zone maps conservative on the quant plane for any
+/// memory, not just ones whose logits sit inside the prune margin's
+/// headroom.
+pub fn query_norm_upper_i8(uq: &[i8], u_scale: f32) -> f64 {
+    let ed = uq.len() as f64;
+    let dequant_slack = 1.0 + ed.sqrt() / 254.0;
+    let sumsq: f64 = uq.iter().map(|&q| q as f64 * q as f64).sum();
+    sumsq.sqrt() * u_scale as f64 * NORM_SLACK * dequant_slack
+}
+
 /// The zone-map pruning rule: may a segment whose logit upper bound is `ub`
 /// be skipped given the running online-softmax max `running_max`?
 ///

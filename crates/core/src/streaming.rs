@@ -12,13 +12,15 @@
 //! engine, so results are bit-identical to [`ColumnEngine::forward`].
 
 use crate::budget::Budget;
+use crate::config::SoftmaxMode;
 use crate::engine::{
-    check_denom, check_output, check_rows, ColumnEngine, ColumnOutput, EngineError,
+    check_denom, check_output, check_rows, check_rows_quant, AccumMut, ColumnEngine, ColumnOutput,
+    EngineError,
 };
 use crate::exec::{EngineKind, Executor, Phase, Scratch, Trace};
 use crate::segment::{self, SegmentPlan};
 use crate::stats::InferenceStats;
-use mnn_tensor::Matrix;
+use mnn_tensor::{Matrix, QuantMatrix};
 use std::sync::mpsc::sync_channel;
 
 /// A staged chunk in flight from the producer to the consumer.
@@ -27,6 +29,18 @@ struct StagedChunk {
     n: usize,
     in_data: Vec<f32>,
     out_data: Vec<f32>,
+}
+
+/// A staged *quantized* chunk: int8 codes plus the per-row scales for both
+/// memories. Staging the scales alongside the codes keeps the consumer's
+/// reads sequential over owned buffers, same as the f32 lane.
+#[derive(Debug)]
+struct StagedChunkI8 {
+    n: usize,
+    in_q: Vec<i8>,
+    in_scales: Vec<f32>,
+    out_q: Vec<i8>,
+    out_scales: Vec<f32>,
 }
 
 /// Streaming wrapper around [`ColumnEngine`].
@@ -245,6 +259,173 @@ impl Executor for StreamingEngine {
 
         // Staging buffers double the live intermediate footprint.
         stats.intermediate_bytes += (self.depth * chunk * ed * 4 * 2) as u64;
+        let mut o = scratch.take_out(ed);
+        let t0 = trace.begin();
+        scratch.finish_main(config.softmax, &mut o);
+        trace.record(Phase::Divide, t0, ed as u64);
+        check_output(&o)?;
+        stats.divisions += ed as u64;
+        stats.flops += ed as u64;
+        Ok(ColumnOutput {
+            o,
+            denominator,
+            stats,
+        })
+    }
+
+    fn forward_quant_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        plan: &SegmentPlan<'_>,
+        u: &[f32],
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        self.engine.check_quant(m_in, m_out, u)?;
+        check_rows_quant(m_in, plan.rows(), "StreamingEngine::forward_quant")?;
+        let config = self.engine.config();
+        let chunk = config.chunk_size;
+        let ns = plan.rows();
+        let ed = u.len();
+        let mut stats = InferenceStats::default();
+        let u_scale = scratch.quant_query(u);
+        let denominator;
+        {
+            let logit_len = chunk.min(ns.max(1));
+            let Scratch {
+                logits,
+                lazy,
+                online,
+                chunk_lazy,
+                chunk_online,
+                uq,
+                ..
+            } = scratch;
+            if logits.len() < logit_len {
+                logits.resize(logit_len, 0.0);
+            }
+            let logits = &mut logits[..logit_len];
+            let uq: &[i8] = &uq[..ed];
+            let (mut main, mut partial) = match config.softmax {
+                SoftmaxMode::Lazy => {
+                    lazy.reset(ed);
+                    chunk_lazy.reset(ed);
+                    (AccumMut::Lazy(lazy), AccumMut::Lazy(chunk_lazy))
+                }
+                SoftmaxMode::Online => {
+                    online.reset(ed);
+                    chunk_online.reset(ed);
+                    (AccumMut::Online(online), AccumMut::Online(chunk_online))
+                }
+            };
+            let t0 = trace.begin();
+            let raw_threshold = self
+                .engine
+                .resolve_threshold_prefix_quant(m_in, ns, uq, u_scale, &mut stats, logits)?;
+            trace.record(Phase::Skip, t0, 0);
+            let query_norm = segment::query_norm_upper_i8(uq, u_scale);
+
+            for seg in plan.segments() {
+                budget.check()?;
+                stats.segments_total += 1;
+                if plan.prune() {
+                    if let Some(running_max) = main.running_max() {
+                        if segment::can_prune(running_max, seg.logit_upper_bound(query_norm)) {
+                            stats.segments_pruned += 1;
+                            stats.rows_pruned += seg.rows as u64;
+                            continue;
+                        }
+                    }
+                }
+                let seg_start = seg.start;
+                let seg_end = seg.start + seg.rows;
+
+                std::thread::scope(|scope| {
+                    let (tx, rx) = sync_channel::<StagedChunkI8>(self.depth);
+                    let (recycle_tx, recycle_rx) = sync_channel::<StagedChunkI8>(self.depth);
+                    for _ in 0..self.depth {
+                        let _ = recycle_tx.send(StagedChunkI8 {
+                            n: 0,
+                            in_q: Vec::with_capacity(chunk * ed),
+                            in_scales: Vec::with_capacity(chunk),
+                            out_q: Vec::with_capacity(chunk * ed),
+                            out_scales: Vec::with_capacity(chunk),
+                        });
+                    }
+
+                    scope.spawn(move || {
+                        let mut row = seg_start;
+                        while row < seg_end {
+                            let Ok(mut staged) = recycle_rx.recv() else {
+                                break;
+                            };
+                            let n = chunk.min(seg_end - row);
+                            staged.n = n;
+                            staged.in_q.clear();
+                            staged.in_q.extend_from_slice(m_in.rows_slice(row, n));
+                            staged.in_scales.clear();
+                            staged
+                                .in_scales
+                                .extend_from_slice(m_in.scales_slice(row, n));
+                            staged.out_q.clear();
+                            staged.out_q.extend_from_slice(m_out.rows_slice(row, n));
+                            staged.out_scales.clear();
+                            staged
+                                .out_scales
+                                .extend_from_slice(m_out.scales_slice(row, n));
+                            if tx.send(staged).is_err() {
+                                break;
+                            }
+                            row += n;
+                        }
+                    });
+
+                    let mut aborted = None;
+                    for staged in rx.iter() {
+                        if let Err(e) = budget.check() {
+                            aborted = Some(e);
+                            break;
+                        }
+                        partial.reset(ed);
+                        self.engine.process_chunk_quant(
+                            &staged.in_q,
+                            &staged.in_scales,
+                            &staged.out_q,
+                            &staged.out_scales,
+                            staged.n,
+                            uq,
+                            u_scale,
+                            raw_threshold,
+                            &mut partial,
+                            &mut stats,
+                            &mut logits[..staged.n],
+                            trace,
+                        );
+                        let t0 = trace.begin();
+                        main.merge_from(&partial);
+                        trace.record(Phase::Merge, t0, 1);
+                        if let Err(e) = check_denom(main.denom(), "chunk merge") {
+                            aborted = Some(e);
+                            break;
+                        }
+                        let _ = recycle_tx.send(staged);
+                    }
+                    drop(rx);
+                    aborted
+                })
+                .map_or(Ok(()), Err)?;
+
+                let t0 = trace.begin();
+                main.wire_roundtrip();
+                trace.record(Phase::SegmentMerge, t0, 1);
+            }
+            denominator = main.denom();
+        }
+
+        // Quantized staging: depth buffers × two memories × (codes + scale).
+        stats.intermediate_bytes += (self.depth * (chunk * ed + chunk * 4) * 2) as u64;
         let mut o = scratch.take_out(ed);
         let t0 = trace.begin();
         scratch.finish_main(config.softmax, &mut o);

@@ -5,12 +5,13 @@ use crate::store::MemoryStore;
 use mnn_dataset::text;
 use mnn_dataset::{Vocabulary, WordId};
 use mnn_memnn::{MemNet, ModelConfig};
-use mnn_tensor::{reduce, softmax};
+use mnn_tensor::{reduce, softmax, EnvVarError};
 use mnnfast::engine::EngineError;
 use mnnfast::{
-    multi_hop_batch_segmented_budgeted, multi_hop_segmented_budgeted, Budget, ExecPlan, HopsOutput,
-    InferenceStats, MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Scratch, SegmentMap,
-    SegmentPlan, SoftmaxMode, Trace,
+    multi_hop_batch_segmented_budgeted, multi_hop_quant_batch_segmented_budgeted,
+    multi_hop_quant_segmented_budgeted, multi_hop_segmented_budgeted, Budget, ExecPlan, HopsOutput,
+    InferenceStats, MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Precision, Scratch,
+    SegmentMap, SegmentPlan, SoftmaxMode, Trace,
 };
 use std::error::Error;
 use std::fmt;
@@ -84,6 +85,13 @@ pub struct SessionConfig {
     /// default-configured session without touching code, while an explicit
     /// value here always wins.
     pub segments: usize,
+    /// Numeric precision of the memory plane. [`Precision::F32`] (the
+    /// default) serves from the f32 row store; [`Precision::Int8`] keeps a
+    /// per-row symmetric int8 mirror (re-quantized incrementally on every
+    /// observe/evict) and answers through the exact-integer kernels, moving
+    /// roughly a quarter of the bytes per question. Numeric faults on the
+    /// int8 path degrade to the f32 safe path exactly like f32 faults.
+    pub precision: Precision,
 }
 
 impl Default for SessionConfig {
@@ -96,6 +104,7 @@ impl Default for SessionConfig {
             degradation: DegradationPolicy::default(),
             embed_cache: None,
             segments: 0,
+            precision: Precision::F32,
         }
     }
 }
@@ -111,6 +120,10 @@ pub enum ServeError {
     EmptyMemory,
     /// The underlying engine failed.
     Engine(mnnfast::engine::EngineError),
+    /// An `MNNFAST_*` environment variable holds a malformed value. The
+    /// serving layer refuses to start rather than silently running with a
+    /// default the operator did not ask for.
+    Environment(EnvVarError),
 }
 
 impl fmt::Display for ServeError {
@@ -120,6 +133,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownToken(t) => write!(f, "token {t} outside vocabulary"),
             ServeError::EmptyMemory => write!(f, "no sentences observed yet"),
             ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Environment(e) => write!(f, "{e}"),
         }
     }
 }
@@ -128,6 +142,7 @@ impl Error for ServeError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ServeError::Engine(e) => Some(e),
+            ServeError::Environment(e) => Some(e),
             _ => None,
         }
     }
@@ -136,6 +151,12 @@ impl Error for ServeError {
 impl From<mnnfast::engine::EngineError> for ServeError {
     fn from(e: mnnfast::engine::EngineError) -> Self {
         ServeError::Engine(e)
+    }
+}
+
+impl From<EnvVarError> for ServeError {
+    fn from(e: EnvVarError) -> Self {
+        ServeError::Environment(e)
     }
 }
 
@@ -259,6 +280,12 @@ impl Session {
         config: SessionConfig,
         cache: Option<Arc<SentenceCache>>,
     ) -> Result<Self, ServeError> {
+        // Fail fast on malformed environment knobs: a session created with
+        // a typo'd MNNFAST_SIMD / MNNFAST_WIRE_MERGE / MNNFAST_FAULT /
+        // MNNFAST_SEGMENTS surfaces a typed error here instead of silently
+        // serving with the default.
+        mnn_tensor::validate_env()?;
+        let segments = resolve_segments(config.segments)?;
         let mut model = model;
         let mc = model.config();
         if mc.temporal {
@@ -289,9 +316,15 @@ impl Session {
         } else {
             0
         };
+        let mut store = MemoryStore::new(ed, config.max_sentences);
+        if config.precision == Precision::Int8 {
+            // Enable the int8 mirror up front (the store is empty, so this
+            // is free); every subsequent push re-quantizes incrementally.
+            store.enable_quant();
+        }
         Ok(Self {
             model,
-            store: MemoryStore::new(ed, config.max_sentences),
+            store,
             config,
             executor: config.plan.executor(),
             safe_executor: safe_plan.executor(),
@@ -305,7 +338,7 @@ impl Session {
             model_fingerprint,
             pair_buf: Vec::new(),
             question_buf: Vec::new(),
-            segments: resolve_segments(config.segments),
+            segments,
             seg_map: SegmentMap::default(),
             seg_map_version: None,
         })
@@ -320,6 +353,22 @@ impl Session {
     /// `MNNFAST_SEGMENTS` override; `1` = unsegmented prefix pass).
     pub fn segments(&self) -> usize {
         self.segments
+    }
+
+    /// Numeric precision of this session's memory plane.
+    pub fn precision(&self) -> Precision {
+        self.config.precision
+    }
+
+    /// Bytes resident in the f32 memory plane (populated rows of both
+    /// memories).
+    pub fn memory_resident_bytes(&self) -> u64 {
+        (self.store.len() * self.store.embedding_dim() * 4 * 2) as u64
+    }
+
+    /// Bytes resident in the int8 mirror (0 for f32 sessions).
+    pub fn quant_resident_bytes(&self) -> u64 {
+        self.store.quant_resident_bytes()
     }
 
     /// Rebuilds the cached segment map if the store changed since the last
@@ -744,22 +793,46 @@ impl Session {
         } else {
             SegmentPlan::unsegmented(rows)
         };
+        // Int8 sessions answer from the quantized mirror; sessions pinned
+        // to the safe path have already demonstrated numeric trouble, so
+        // they stay on the exact f32 plane.
+        let use_quant = self.config.precision == Precision::Int8 && !self.degradation.pinned_safe;
+        if use_quant {
+            // No-op when the mirror is current; rebuilds after any
+            // mutation path that bypassed the incremental maintenance.
+            self.store.enable_quant();
+        }
         let primary = if self.degradation.pinned_safe {
             &self.safe_executor
         } else {
             &self.executor
         };
-        let first = multi_hop_segmented_budgeted(
-            primary,
-            self.store.m_in(),
-            self.store.m_out(),
-            &plan,
-            u,
-            hops,
-            &mut self.scratch,
-            trace,
-            budget,
-        );
+        let first = if use_quant {
+            let (q_in, q_out) = self.store.quant().expect("mirror just synced");
+            multi_hop_quant_segmented_budgeted(
+                primary,
+                q_in,
+                q_out,
+                &plan,
+                u,
+                hops,
+                &mut self.scratch,
+                trace,
+                budget,
+            )
+        } else {
+            multi_hop_segmented_budgeted(
+                primary,
+                self.store.m_in(),
+                self.store.m_out(),
+                &plan,
+                u,
+                hops,
+                &mut self.scratch,
+                trace,
+                budget,
+            )
+        };
         match first {
             Ok(out) => Ok((out, self.degradation.pinned_safe)),
             Err(EngineError::NumericFault { .. })
@@ -816,22 +889,41 @@ impl Session {
             SegmentPlan::unsegmented(rows)
         };
         let was_pinned = self.degradation.pinned_safe;
+        let use_quant = self.config.precision == Precision::Int8 && !was_pinned;
+        if use_quant {
+            self.store.enable_quant();
+        }
         let primary = if was_pinned {
             &self.safe_executor
         } else {
             &self.executor
         };
-        let first = multi_hop_batch_segmented_budgeted(
-            primary,
-            self.store.m_in(),
-            self.store.m_out(),
-            &plan,
-            us,
-            hops,
-            &mut self.scratch,
-            trace,
-            budgets,
-        )?;
+        let first = if use_quant {
+            let (q_in, q_out) = self.store.quant().expect("mirror just synced");
+            multi_hop_quant_batch_segmented_budgeted(
+                primary,
+                q_in,
+                q_out,
+                &plan,
+                us,
+                hops,
+                &mut self.scratch,
+                trace,
+                budgets,
+            )?
+        } else {
+            multi_hop_batch_segmented_budgeted(
+                primary,
+                self.store.m_in(),
+                self.store.m_out(),
+                &plan,
+                us,
+                hops,
+                &mut self.scratch,
+                trace,
+                budgets,
+            )?
+        };
 
         let mut results: Vec<Result<(HopsOutput, bool), EngineError>> =
             Vec::with_capacity(us.len());
@@ -971,17 +1063,33 @@ impl Session {
 }
 
 /// Effective segment count: an explicit configuration wins; `0` defers to
-/// the `MNNFAST_SEGMENTS` environment variable (positive integer), and
-/// anything unset or unparsable falls back to the unsegmented prefix pass.
-fn resolve_segments(configured: usize) -> usize {
+/// the `MNNFAST_SEGMENTS` environment variable. Unset or empty means the
+/// unsegmented prefix pass (1); anything else must parse as a positive
+/// integer — a malformed value is a typed [`EnvVarError`], not a silent
+/// fallback (the historical behaviour, which ran deployments unsegmented
+/// when the operator fat-fingered the knob).
+fn resolve_segments(configured: usize) -> Result<usize, EnvVarError> {
     if configured >= 1 {
-        return configured;
+        return Ok(configured);
     }
-    std::env::var("MNNFAST_SEGMENTS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    parse_segments(std::env::var("MNNFAST_SEGMENTS").ok().as_deref())
+}
+
+/// The pure parse behind [`resolve_segments`]: `None`/empty → 1, a positive
+/// integer → itself, anything else → a typed error.
+fn parse_segments(value: Option<&str>) -> Result<usize, EnvVarError> {
+    match value {
+        None => Ok(1),
+        Some(v) if v.trim().is_empty() => Ok(1),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvVarError::new(
+                "MNNFAST_SEGMENTS",
+                v,
+                "a positive segment count (empty/unset = 1)",
+            )),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -1421,6 +1529,165 @@ mod tests {
         assert!(matches!(answers[1], Err(ServeError::Model(_))));
         assert!(answers[2].is_ok());
         assert_eq!(session.questions_answered(), 2);
+    }
+
+    #[test]
+    fn int8_serving_answers_match_f32() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 3);
+        let mut f32_session = Session::new(model.clone(), SessionConfig::default()).unwrap();
+        let int8_config = SessionConfig {
+            precision: Precision::Int8,
+            ..SessionConfig::default()
+        };
+        let mut int8_session = Session::new(model, int8_config).unwrap();
+        assert_eq!(int8_session.precision(), Precision::Int8);
+        for s in &story.sentences {
+            f32_session.observe(s).unwrap();
+            int8_session.observe(s).unwrap();
+        }
+        for q in &story.questions {
+            let a32 = f32_session.ask(&q.tokens).unwrap();
+            let a8 = int8_session.ask(&q.tokens).unwrap();
+            assert_eq!(a8.word, a32.word, "int8 answer diverged from f32");
+            assert!((a8.probability - a32.probability).abs() < 0.05);
+            assert!(!a8.degraded);
+            // The quantized pass moves (ed + 4)-byte rows instead of
+            // 4·ed-byte rows.
+            assert!(a8.stats.memory_bytes < a32.stats.memory_bytes);
+        }
+        // Footprint: the mirror holds both memories at ~(ed + 4)/row.
+        let ed = int8_session.model().config().embedding_dim;
+        assert_eq!(
+            int8_session.quant_resident_bytes(),
+            (2 * story.sentences.len() * (ed + 4)) as u64
+        );
+        assert_eq!(f32_session.quant_resident_bytes(), 0);
+        assert_eq!(
+            int8_session.memory_resident_bytes(),
+            (2 * story.sentences.len() * ed * 4) as u64
+        );
+    }
+
+    #[test]
+    fn int8_batched_ask_matches_sequential_int8() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 3);
+        let config = SessionConfig {
+            precision: Precision::Int8,
+            ..SessionConfig::default()
+        };
+        let mut seq = Session::new(model.clone(), config).unwrap();
+        let mut batched = Session::new(model, config).unwrap();
+        for s in &story.sentences {
+            seq.observe(s).unwrap();
+            batched.observe(s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let answers = batched.ask_many(&questions).unwrap();
+        for (q, a) in questions.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            let expect = seq.ask(q).unwrap();
+            assert_eq!(a.word, expect.word);
+            // Batched int8 inherits the single-question chunk discipline,
+            // so the probabilities agree bitwise, not just approximately.
+            assert_eq!(a.probability.to_bits(), expect.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_segmented_serving_stays_consistent() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 2);
+        let base_config = SessionConfig {
+            precision: Precision::Int8,
+            plan: ExecPlan::new(MnnFastConfig::new(4)),
+            ..SessionConfig::default()
+        };
+        let mut answers = Vec::new();
+        for segments in [1usize, 2, 4] {
+            let config = SessionConfig {
+                segments,
+                ..base_config
+            };
+            let mut session = Session::new(model.clone(), config).unwrap();
+            for s in &story.sentences {
+                session.observe(s).unwrap();
+            }
+            let a = session.ask(&story.questions[0].tokens).unwrap();
+            answers.push((a.word, a.probability.to_bits()));
+        }
+        assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "segment routing changed an int8 answer: {answers:?}"
+        );
+    }
+
+    #[test]
+    fn int8_reload_requantizes_instead_of_serving_stale_rows() {
+        // The stale-quantization regression: after a model reload the old
+        // mirror rows must be gone (the store is cleared), and rows
+        // observed post-reload must be quantized from the *new* weights —
+        // answers have to match a session that never saw the old model.
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 2);
+        let config = SessionConfig {
+            precision: Precision::Int8,
+            ..SessionConfig::default()
+        };
+        let mut session = Session::new(model.clone(), config).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+        }
+        session.ask(&story.questions[0].tokens).unwrap();
+        assert!(session.quant_resident_bytes() > 0);
+
+        // Reload with differently-initialized weights.
+        let reloaded = {
+            let mc = ModelConfig {
+                temporal: false,
+                ..session.model().config()
+            };
+            let mut m = MemNet::new(mc, 99);
+            Trainer::new()
+                .epochs(5)
+                .train(&mut m, &generator.dataset(20, 8, 1));
+            m
+        };
+        session.reload_model(reloaded.clone()).unwrap();
+        assert_eq!(session.memory_len(), 0);
+        assert_eq!(
+            session.quant_resident_bytes(),
+            0,
+            "stale mirror survived reload"
+        );
+
+        let mut fresh = Session::new(reloaded, config).unwrap();
+        for s in &story.sentences {
+            session.observe(s).unwrap();
+            fresh.observe(s).unwrap();
+        }
+        let a = session.ask(&story.questions[0].tokens).unwrap();
+        let b = fresh.ask(&story.questions[0].tokens).unwrap();
+        assert_eq!(a.word, b.word, "reloaded session served stale quantization");
+        assert_eq!(a.probability.to_bits(), b.probability.to_bits());
+    }
+
+    #[test]
+    fn segments_env_parse_is_strict() {
+        assert_eq!(parse_segments(None), Ok(1));
+        assert_eq!(parse_segments(Some("")), Ok(1));
+        assert_eq!(parse_segments(Some("  ")), Ok(1));
+        assert_eq!(parse_segments(Some("4")), Ok(4));
+        assert_eq!(parse_segments(Some(" 16 ")), Ok(16));
+        for bad in ["0", "-3", "banana", "4.5", "1e3"] {
+            let err = parse_segments(Some(bad)).unwrap_err();
+            assert_eq!(err.var(), "MNNFAST_SEGMENTS");
+            assert_eq!(err.value(), bad);
+        }
+        // An explicit configuration short-circuits the environment.
+        assert_eq!(resolve_segments(7), Ok(7));
     }
 
     #[test]

@@ -10,9 +10,21 @@
 //! monotone version counter lets sessions cache the map and rebuild it only
 //! when the store has actually changed.
 
-use mnn_tensor::Matrix;
+use mnn_tensor::{Matrix, QuantMatrix};
 use mnnfast::segment::row_norm_upper;
 use mnnfast::SegmentMap;
+
+/// The int8 mirror of the populated prefix: per-row symmetric codes and
+/// scales for both memories, plus the store version it was synchronized
+/// at. The mirror is only served while `synced_at` matches the store's
+/// version counter — a mirror that missed a mutation is *stale* and must
+/// never reach an engine.
+#[derive(Debug, Clone)]
+struct QuantMirror {
+    m_in_q: QuantMatrix,
+    m_out_q: QuantMatrix,
+    synced_at: u64,
+}
 
 /// Capacity-doubled row store for `M_IN`/`M_OUT` with per-row zone-map
 /// norms.
@@ -32,6 +44,11 @@ pub struct SegmentedStore {
     norms: Vec<f32>,
     /// Bumped on every mutation; cached [`SegmentMap`]s key on it.
     version: u64,
+    /// Optional int8 mirror for [`Precision::Int8`] serving, maintained
+    /// incrementally on push/evict/clear once enabled.
+    ///
+    /// [`Precision::Int8`]: mnnfast::Precision::Int8
+    quant: Option<QuantMirror>,
 }
 
 /// The pre-segmentation name of [`SegmentedStore`], kept as an alias so
@@ -57,6 +74,7 @@ impl SegmentedStore {
             max_rows,
             norms: Vec::new(),
             version: 0,
+            quant: None,
         }
     }
 
@@ -101,6 +119,62 @@ impl SegmentedStore {
         self.version
     }
 
+    /// Whether the int8 mirror exists and reflects the current version.
+    pub fn quant_is_synced(&self) -> bool {
+        self.quant
+            .as_ref()
+            .is_some_and(|q| q.synced_at == self.version)
+    }
+
+    /// (Re)builds the int8 mirror of the populated prefix and marks it
+    /// synchronized. A no-op when the mirror is already current. After
+    /// this call every `push`/`evict_front`/`clear` keeps the mirror in
+    /// lockstep (re-quantizing appended rows), so the mirror only goes
+    /// stale if the store is mutated through a path that bypasses those
+    /// methods — which [`Self::quant`]'s version check still catches.
+    pub fn enable_quant(&mut self) {
+        if self.quant_is_synced() {
+            return;
+        }
+        let ed = self.embedding_dim();
+        let mut m_in_q = QuantMatrix::with_capacity(self.len, ed);
+        let mut m_out_q = QuantMatrix::with_capacity(self.len, ed);
+        for r in 0..self.len {
+            m_in_q.push_row(self.m_in.row(r));
+            m_out_q.push_row(self.m_out.row(r));
+        }
+        self.quant = Some(QuantMirror {
+            m_in_q,
+            m_out_q,
+            synced_at: self.version,
+        });
+    }
+
+    /// Drops the int8 mirror (e.g. when a session switches back to f32
+    /// serving), releasing its memory.
+    pub fn disable_quant(&mut self) {
+        self.quant = None;
+    }
+
+    /// The int8 mirror of `(M_IN, M_OUT)`, or `None` if it was never
+    /// enabled *or* is stale (the store mutated since the last sync).
+    /// Callers that get `None` must either fall back to the f32 plane or
+    /// call [`Self::enable_quant`] to rebuild.
+    pub fn quant(&self) -> Option<(&QuantMatrix, &QuantMatrix)> {
+        self.quant
+            .as_ref()
+            .filter(|q| q.synced_at == self.version)
+            .map(|q| (&q.m_in_q, &q.m_out_q))
+    }
+
+    /// Bytes resident in the int8 mirror (codes + scales, both memories);
+    /// 0 when the mirror is disabled.
+    pub fn quant_resident_bytes(&self) -> u64 {
+        self.quant.as_ref().map_or(0, |q| {
+            q.m_in_q.resident_bytes() + q.m_out_q.resident_bytes()
+        })
+    }
+
     /// Builds a routed [`SegmentMap`] over the populated prefix from the
     /// incrementally maintained norms: `n_segments` chunk-aligned segments
     /// (clamped to the chunk count), each stamped with the max row-norm
@@ -138,9 +212,16 @@ impl SegmentedStore {
         }
         self.m_in.row_mut(self.len).copy_from_slice(in_row);
         self.m_out.row_mut(self.len).copy_from_slice(out_row);
+        let synced = self.quant_is_synced();
         self.norms.push(row_norm_upper(in_row));
         self.len += 1;
         self.version += 1;
+        if synced {
+            let q = self.quant.as_mut().expect("synced implies present");
+            q.m_in_q.push_row(in_row);
+            q.m_out_q.push_row(out_row);
+            q.synced_at = self.version;
+        }
         evicted
     }
 
@@ -153,6 +234,7 @@ impl SegmentedStore {
         }
         let ed = self.embedding_dim();
         let remaining = self.len - n;
+        let synced = self.quant_is_synced();
         for matrix in [&mut self.m_in, &mut self.m_out] {
             let flat = matrix.as_mut_slice();
             flat.copy_within(n * ed..(n + remaining) * ed, 0);
@@ -160,13 +242,26 @@ impl SegmentedStore {
         self.norms.drain(..n);
         self.len = remaining;
         self.version += 1;
+        if synced {
+            let q = self.quant.as_mut().expect("synced implies present");
+            q.m_in_q.evict_front(n);
+            q.m_out_q.evict_front(n);
+            q.synced_at = self.version;
+        }
     }
 
     /// Removes all rows (capacity is kept).
     pub fn clear(&mut self) {
+        let synced = self.quant_is_synced();
         self.len = 0;
         self.norms.clear();
         self.version += 1;
+        if synced {
+            let q = self.quant.as_mut().expect("synced implies present");
+            q.m_in_q.clear();
+            q.m_out_q.clear();
+            q.synced_at = self.version;
+        }
     }
 
     fn grow(&mut self) {
@@ -360,6 +455,81 @@ mod tests {
                 assert!(s.max_in_norm >= store.norms()[r]);
             }
         }
+    }
+
+    #[test]
+    fn quant_mirror_tracks_push_evict_clear() {
+        let mut store = SegmentedStore::new(3, None);
+        for i in 0..10 {
+            store.push(&row(3, 0.1 * i as f32), &row(3, -0.1 * i as f32));
+        }
+        assert!(store.quant().is_none(), "mirror starts disabled");
+        store.enable_quant();
+        assert!(store.quant_is_synced());
+        {
+            let (q_in, q_out) = store.quant().unwrap();
+            assert_eq!(q_in.rows(), 10);
+            assert_eq!(q_out.rows(), 10);
+        }
+        // Mutations re-quantize incrementally: the mirror never serves
+        // stale rows (the regression the version counter guards against).
+        store.push(&row(3, 5.0), &row(3, -5.0));
+        assert!(store.quant_is_synced());
+        {
+            let (q_in, _) = store.quant().unwrap();
+            assert_eq!(q_in.rows(), 11);
+            // Row 10 is [5,5,5] → codes all 127, scale 5/127.
+            assert!(q_in.row(10).iter().all(|&c| c == 127));
+            assert!((q_in.scale(10) - 5.0 / 127.0).abs() < 1e-7);
+        }
+        store.evict_front(4);
+        assert!(store.quant_is_synced());
+        assert_eq!(store.quant().unwrap().0.rows(), 7);
+        // Surviving mirror rows line up with the surviving f32 rows.
+        let (q_in, _) = store.quant().unwrap();
+        for r in 0..7 {
+            let mut dq = vec![0.0f32; 3];
+            mnn_tensor::quant::dequantize_row(q_in.row(r), q_in.scale(r), &mut dq);
+            for (a, b) in dq.iter().zip(store.m_in().row(r)) {
+                assert!((a - b).abs() <= q_in.scale(r) * 0.5 + 1e-7);
+            }
+        }
+        store.clear();
+        assert!(store.quant_is_synced());
+        assert_eq!(store.quant().unwrap().0.rows(), 0);
+        assert_eq!(store.quant_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn stale_quant_mirror_is_never_served() {
+        // Force staleness by desynchronizing clones: a mirror whose
+        // synced_at no longer matches the store version must vanish from
+        // `quant()` until `enable_quant` rebuilds it.
+        let mut store = SegmentedStore::new(2, None);
+        store.push(&row(2, 1.0), &row(2, 2.0));
+        store.enable_quant();
+        let mut desynced = store.clone();
+        // Simulate a bypassing mutation: poke the version via the only
+        // public lever (a mutation after temporarily dropping the mirror).
+        desynced.disable_quant();
+        desynced.push(&row(2, 9.0), &row(2, 9.0));
+        assert!(desynced.quant().is_none());
+        desynced.enable_quant();
+        let (q_in, _) = desynced.quant().unwrap();
+        assert_eq!(q_in.rows(), 2);
+        assert!(q_in.row(1).iter().all(|&c| c == 127));
+    }
+
+    #[test]
+    fn quant_resident_bytes_counts_codes_and_scales() {
+        let mut store = SegmentedStore::new(8, None);
+        for i in 0..5 {
+            store.push(&row(8, 0.3 + i as f32 * 0.1), &row(8, 0.2));
+        }
+        assert_eq!(store.quant_resident_bytes(), 0);
+        store.enable_quant();
+        // Two mirrors × 5 rows × (8 code bytes + 4 scale bytes).
+        assert_eq!(store.quant_resident_bytes(), 2 * 5 * (8 + 4));
     }
 
     #[test]

@@ -72,6 +72,44 @@ fn injected_nan_recovers_via_scalar_stable_retry() {
 }
 
 #[test]
+fn int8_numeric_fault_degrades_to_f32_safe_path() {
+    let _guard = lock();
+    let (mut generator, model) = trained_model();
+    let story = generator.story(6, 2);
+    let config = SessionConfig {
+        precision: mnnfast::Precision::Int8,
+        ..SessionConfig::default()
+    };
+
+    let mut clean = Session::new(model.clone(), config).unwrap();
+    observe_story(&mut clean, &story.sentences);
+    let expected = clean.ask(&story.questions[0].tokens).unwrap();
+    assert!(!expected.degraded);
+
+    let mut session = Session::new(model, config).unwrap();
+    observe_story(&mut session, &story.sentences);
+    fault::arm(FaultKind::NanLogit, 0, 1);
+    let answer = session.ask(&story.questions[0].tokens).unwrap();
+    let fires = fault::fired();
+    fault::disarm();
+
+    assert_eq!(fires, 1, "the poison must land on the int8 fused path");
+    assert!(
+        answer.degraded,
+        "the faulted int8 question must retry on the f32 safe path"
+    );
+    assert_eq!(answer.word, expected.word);
+    assert!(answer.probability.is_finite() && answer.probability > 0.0);
+    let d = session.degradation_stats();
+    assert_eq!(d.numeric_faults, 1);
+    assert_eq!(d.degraded_answers, 1);
+    assert!(!d.pinned_safe);
+    // The safe-path retry read the full-width f32 rows, so the degraded
+    // answer's byte count exceeds a clean int8 pass.
+    assert!(answer.stats.memory_bytes > expected.stats.memory_bytes);
+}
+
+#[test]
 fn oversized_logits_overflow_is_caught_and_degraded() {
     let _guard = lock();
     let (mut generator, model) = trained_model();

@@ -1,7 +1,12 @@
 //! Property tests for the serving layer: the memory store behaves like a
-//! bounded deque of rows, and sessions answer deterministically.
+//! bounded deque of rows, its int8 mirror stays coherent under arbitrary
+//! mutation sequences, and quantized serving tracks f32 serving.
 
 use mnn_serve::MemoryStore;
+use mnnfast::{
+    Budget, ColumnEngine, Executor, MnnFastConfig, ParallelEngine, Scratch, SegmentPlan,
+    SoftmaxMode, Trace,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -67,6 +72,95 @@ proptest! {
                 prop_assert_eq!(store.m_in().row(i)[0], v);
                 prop_assert_eq!(store.m_out().row(i)[2], v);
             }
+        }
+    }
+
+    #[test]
+    fn quant_mirror_stays_coherent_under_arbitrary_mutations(
+        ops in vec(op_strategy(), 1..120),
+        bound in prop_oneof![Just(None), (1usize..16).prop_map(Some)],
+    ) {
+        let ed = 3usize;
+        let mut store = MemoryStore::new(ed, bound);
+        store.enable_quant();
+        for op in &ops {
+            match op {
+                Op::Push(v) => { store.push(&vec![*v; ed], &vec![*v; ed]); }
+                Op::EvictFront(n) => store.evict_front(*n),
+                Op::Clear => store.clear(),
+            }
+            // The mirror never goes stale through the public mutators...
+            prop_assert!(store.quant_is_synced());
+            let (q_in, q_out) = store.quant().expect("synced mirror");
+            prop_assert_eq!(q_in.rows(), store.len());
+            prop_assert_eq!(q_out.rows(), store.len());
+            // ...and each surviving row dequantizes back to within half a
+            // quantization step of its f32 source.
+            for r in 0..store.len() {
+                let mut dq = vec![0.0f32; ed];
+                mnn_tensor::quant::dequantize_row(q_in.row(r), q_in.scale(r), &mut dq);
+                for (a, b) in dq.iter().zip(store.m_in().row(r)) {
+                    prop_assert!((a - b).abs() <= q_in.scale(r) * 0.5 + 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_across_engines_and_segments(
+        seed_rows in vec(-0.8f32..0.8, 144..145),
+        query in vec(-0.8f32..0.8, 6..7),
+        mode in prop_oneof![Just(SoftmaxMode::Lazy), Just(SoftmaxMode::Online)],
+        n_segments in 1usize..6,
+    ) {
+        let ed = 6usize;
+        let mut store = MemoryStore::new(ed, None);
+        for row in seed_rows.chunks(ed) {
+            // Reuse the row for both memories (shifted) to keep the
+            // fixture small; the engines don't care.
+            let out: Vec<f32> = row.iter().map(|x| 0.7 - x).collect();
+            store.push(row, &out);
+        }
+        store.enable_quant();
+        let (q_in, q_out) = store.quant().expect("synced mirror");
+        let chunk = 4usize;
+        let config = MnnFastConfig::new(chunk).with_softmax(mode);
+        let map = store.segment_map(n_segments, chunk);
+        let plan = SegmentPlan::routed(&map, true);
+
+        let column = ColumnEngine::new(config);
+        let mut scratch = Scratch::new();
+        let mut trace = Trace::disabled();
+        let f32_out = column
+            .forward_segmented_budgeted(
+                store.m_in(), store.m_out(), &plan, &query,
+                &mut scratch, &mut trace, &Budget::unlimited(),
+            )
+            .unwrap();
+        let q_col = column
+            .forward_quant_segmented_budgeted(
+                q_in, q_out, &plan, &query,
+                &mut scratch, &mut trace, &Budget::unlimited(),
+            )
+            .unwrap();
+        // Closeness to f32: bounded by the published logit error, loosened
+        // for softmax mixing, relative to the response magnitude.
+        let norm = f32_out.o.iter().fold(0.0f32, |m, &x| m.max(x.abs())).max(1e-3);
+        let tol = 5.0 * mnn_tensor::simd::I8_LOGIT_MAX_REL_ERROR;
+        for (a, b) in q_col.o.iter().zip(&f32_out.o) {
+            prop_assert!((a - b).abs() / norm <= tol, "quant {a} vs f32 {b}");
+        }
+        // Bitwise identity across engine variants on the quant plane.
+        let parallel = ParallelEngine::new(config.with_threads(3));
+        let q_par = parallel
+            .forward_quant_segmented_budgeted(
+                q_in, q_out, &plan, &query,
+                &mut scratch, &mut trace, &Budget::unlimited(),
+            )
+            .unwrap();
+        prop_assert_eq!(q_par.denominator.to_bits(), q_col.denominator.to_bits());
+        for (a, b) in q_par.o.iter().zip(&q_col.o) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 }

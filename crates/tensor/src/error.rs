@@ -41,6 +41,54 @@ impl fmt::Display for ShapeError {
 
 impl Error for ShapeError {}
 
+/// Error returned when an `MNNFAST_*` environment variable holds a value
+/// that does not parse.
+///
+/// The runtime knobs (`MNNFAST_SIMD`, `MNNFAST_SEGMENTS`,
+/// `MNNFAST_WIRE_MERGE`, `MNNFAST_FAULT`) historically fell back to their
+/// defaults on garbage, which silently disabled the feature the operator
+/// asked for. The checked parsers report this type instead; an *unset or
+/// empty* variable still means "use the default" everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvVarError {
+    var: &'static str,
+    value: String,
+    expected: &'static str,
+}
+
+impl EnvVarError {
+    /// Creates a new environment-variable error for `var` holding `value`.
+    pub fn new(var: &'static str, value: impl Into<String>, expected: &'static str) -> Self {
+        Self {
+            var,
+            value: value.into(),
+            expected,
+        }
+    }
+
+    /// The variable's name.
+    pub fn var(&self) -> &'static str {
+        self.var
+    }
+
+    /// The rejected value.
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Display for EnvVarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl Error for EnvVarError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +107,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ShapeError>();
+        assert_send_sync::<EnvVarError>();
+    }
+
+    #[test]
+    fn env_var_error_display_names_the_variable() {
+        let e = EnvVarError::new("MNNFAST_SEGMENTS", "zero", "a positive integer");
+        let s = e.to_string();
+        assert!(s.contains("MNNFAST_SEGMENTS"));
+        assert!(s.contains("zero"));
+        assert!(s.contains("positive integer"));
+        assert_eq!(e.var(), "MNNFAST_SEGMENTS");
+        assert_eq!(e.value(), "zero");
     }
 }

@@ -96,41 +96,74 @@ pub fn fired() -> u64 {
     state().lock().expect("fault state poisoned").fired
 }
 
-/// Parses `MNNFAST_FAULT` (see the module docs for the grammar) and arms
-/// the described fault. Returns `false` when the variable is unset or
-/// malformed (malformed specs are ignored rather than panicking: fault
-/// injection must never take down a process that merely inherited a stale
-/// environment).
-pub fn arm_from_env() -> bool {
-    let Ok(spec) = std::env::var("MNNFAST_FAULT") else {
-        return false;
-    };
+/// Strictly parses a fault spec (module-docs grammar). `Ok(None)` for the
+/// empty spec, `Ok(Some(plan))` for a valid one, `Err(())` for anything
+/// malformed — including unknown parts, bad counts, or a schedule with no
+/// fault kind.
+fn parse_spec(spec: &str) -> Result<Option<(FaultKind, u64, u64)>, ()> {
+    if spec.is_empty() {
+        return Ok(None);
+    }
     let mut kind = None;
     let mut after = 0u64;
     let mut fires = 1u64;
     for part in spec.split(';') {
         let part = part.trim();
         if let Some(ms) = part.strip_prefix("slow:") {
-            kind = ms
-                .parse::<u64>()
-                .ok()
-                .map(|ms| FaultKind::SlowChunk(Duration::from_millis(ms)));
+            let ms = ms.parse::<u64>().map_err(|_| ())?;
+            kind = Some(FaultKind::SlowChunk(Duration::from_millis(ms)));
         } else if part == "nan" {
             kind = Some(FaultKind::NanLogit);
         } else if part == "inf" {
             kind = Some(FaultKind::OversizedLogit);
         } else if let Some(n) = part.strip_prefix("after=") {
-            after = n.parse().unwrap_or(0);
+            after = n.parse().map_err(|_| ())?;
         } else if let Some(n) = part.strip_prefix("fires=") {
-            fires = n.parse().unwrap_or(1);
+            fires = n.parse().map_err(|_| ())?;
+        } else {
+            return Err(());
         }
     }
     match kind {
-        Some(kind) => {
+        Some(kind) => Ok(Some((kind, after, fires))),
+        None => Err(()),
+    }
+}
+
+/// Parses `MNNFAST_FAULT` (see the module docs for the grammar) and arms
+/// the described fault. Returns `false` when the variable is unset, empty
+/// or malformed (malformed specs are ignored rather than panicking: fault
+/// injection must never take down a process that merely inherited a stale
+/// environment — use [`check_env`] to surface them as typed errors at
+/// startup).
+pub fn arm_from_env() -> bool {
+    let Ok(spec) = std::env::var("MNNFAST_FAULT") else {
+        return false;
+    };
+    match parse_spec(&spec) {
+        Ok(Some((kind, after, fires))) => {
             arm(kind, after, fires);
             true
         }
-        None => false,
+        Ok(None) | Err(()) => false,
+    }
+}
+
+/// Validates `MNNFAST_FAULT` without arming anything: unset or empty is
+/// fine, a well-formed spec is fine, anything else is an
+/// [`EnvVarError`](crate::EnvVarError).
+pub fn check_env() -> Result<(), crate::EnvVarError> {
+    match std::env::var("MNNFAST_FAULT") {
+        Ok(spec) => match parse_spec(&spec) {
+            Ok(_) => Ok(()),
+            Err(()) => Err(crate::EnvVarError::new(
+                "MNNFAST_FAULT",
+                spec,
+                "a fault spec like `nan`, `inf` or `slow:25`, optionally \
+                 with `;after=N` / `;fires=M` (empty/unset = none)",
+            )),
+        },
+        Err(_) => Ok(()),
     }
 }
 
@@ -194,8 +227,17 @@ mod tests {
         }
         std::env::set_var("MNNFAST_FAULT", "nonsense");
         assert!(!arm_from_env());
+        assert!(check_env().is_err(), "nonsense must fail validation");
+        // Strict parsing: a valid kind with a malformed rider is rejected
+        // whole, not partially honoured.
+        std::env::set_var("MNNFAST_FAULT", "nan;bogus=7");
+        assert!(!arm_from_env());
+        assert!(check_env().is_err());
+        std::env::set_var("MNNFAST_FAULT", "nan");
+        assert!(check_env().is_ok());
         std::env::remove_var("MNNFAST_FAULT");
         assert!(!arm_from_env());
+        assert!(check_env().is_ok());
         disarm();
     }
 }

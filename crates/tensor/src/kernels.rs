@@ -131,6 +131,43 @@ pub fn gemm_chunk(chunk: &[f32], n_rows: usize, us_flat: &[f32], nq: usize, out:
     simd::gemm_chunk_with(simd::backend(), chunk, n_rows, us_flat, nq, out);
 }
 
+/// Exact i8 dot product (i32 accumulation), dispatched to the active SIMD
+/// backend. Both backends return the same value bit for bit — integer
+/// arithmetic has no rounding history to diverge (see the int8 parity
+/// note in [`crate::simd`]).
+///
+/// Length equality is a `debug_assert!` — see the module-level
+/// caller-validates contract.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_i8: length mismatch");
+    simd::dot_i8_with(simd::backend(), a, b)
+}
+
+/// Quantized row-chunk GEMV over a flat i8 block: `out[r]` is the
+/// dequantized logit `(rows[r] · uq) · (u_scale · scales[r])`, one f32
+/// rescale per row from the exact integer accumulator. Bitwise identical
+/// across backends.
+///
+/// Shape checks are `debug_assert!`s — see the module-level
+/// caller-validates contract.
+pub fn gemv_chunk_i8(
+    chunk: &[i8],
+    scales: &[f32],
+    n_rows: usize,
+    uq: &[i8],
+    u_scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(
+        chunk.len(),
+        n_rows * uq.len(),
+        "gemv_chunk_i8: bad chunk length"
+    );
+    debug_assert_eq!(scales.len(), n_rows, "gemv_chunk_i8: bad scales length");
+    debug_assert_eq!(out.len(), n_rows, "gemv_chunk_i8: bad out length");
+    simd::gemv_chunk_i8_with(simd::backend(), chunk, scales, n_rows, uq, u_scale, out);
+}
+
 /// BoW embedding gather-sum over a flat row-major table:
 /// `out = Σ_j table[tokens[j]]` where each row is `ed` wide. This is the
 /// embedding operation's hot loop (the memory-bound phase the paper's

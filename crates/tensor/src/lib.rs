@@ -18,7 +18,10 @@
 //! - [`reduce`]: sums, maxima and argmax reductions,
 //! - [`partial`]: the segment merge plane — a serializable [`PartialState`]
 //!   over the lazy/online softmax partials with a versioned little-endian
-//!   wire encoding, through which every chunk/segment merge is folded.
+//!   wire encoding, through which every chunk/segment merge is folded,
+//! - [`quant`]: the int8 quantized memory plane — [`QuantMatrix`] mirrors
+//!   of the story memory (symmetric per-row scales) consumed by the
+//!   bitwise-reproducible int8 kernels in [`simd`].
 //!
 //! # Example
 //!
@@ -51,14 +54,33 @@ mod matrix;
 pub mod fault;
 pub mod kernels;
 pub mod partial;
+pub mod quant;
 pub mod reduce;
 pub mod simd;
 pub mod softmax;
 
 pub use buffer::AlignedBuf;
-pub use error::ShapeError;
+pub use error::{EnvVarError, ShapeError};
 pub use matrix::{ChunkRows, Matrix};
 pub use partial::{PartialDecodeError, PartialState};
+pub use quant::QuantMatrix;
+
+/// Validates every `MNNFAST_*` environment variable this crate consumes
+/// (`MNNFAST_SIMD`, `MNNFAST_WIRE_MERGE`, and — under the `fault-inject`
+/// feature — `MNNFAST_FAULT`), returning the first typed error.
+///
+/// The lazy in-library readers keep their lenient fall-back-to-default
+/// behaviour so kernels always resolve; serving entry points (the CLI, the
+/// session layer) call this at startup so a typo'd knob fails loudly
+/// instead of silently running with the default. Unset and *empty*
+/// variables are valid everywhere and mean "use the default".
+pub fn validate_env() -> Result<(), EnvVarError> {
+    simd::backend_from_env()?;
+    partial::wire_merge_from_env()?;
+    #[cfg(feature = "fault-inject")]
+    fault::check_env()?;
+    Ok(())
+}
 
 /// Absolute tolerance used by the test suites when comparing two floating
 /// point computations that are mathematically identical but reassociated

@@ -330,6 +330,31 @@ fn wire_merge_env() -> bool {
     })
 }
 
+/// Reads `MNNFAST_WIRE_MERGE` strictly: unset or empty means "default off"
+/// (`Ok(None)`), `1`/`true`/`on` force wire merges, `0`/`false`/`off`
+/// force them off, and anything else is an
+/// [`EnvVarError`](crate::EnvVarError).
+///
+/// The lazy reader used by [`wire_merge_enabled`] keeps its historical
+/// lenient "anything unrecognized is off" behaviour; serving entry points
+/// call [`crate::validate_env`] so typos (`MNNFAST_WIRE_MERGE=yes`) fail
+/// loudly at startup instead of silently skipping the codec.
+pub fn wire_merge_from_env() -> Result<Option<bool>, crate::EnvVarError> {
+    match std::env::var("MNNFAST_WIRE_MERGE") {
+        Ok(v) => match v.as_str() {
+            "" => Ok(None),
+            "1" | "true" | "on" => Ok(Some(true)),
+            "0" | "false" | "off" => Ok(Some(false)),
+            _ => Err(crate::EnvVarError::new(
+                "MNNFAST_WIRE_MERGE",
+                v,
+                "one of `1`, `0`, `true`, `false`, `on`, `off` (empty/unset = off)",
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
 /// Forces wire-merge mode on or off (`Some`), or restores the
 /// `MNNFAST_WIRE_MERGE` environment default (`None`).
 ///

@@ -1,0 +1,390 @@
+//! Int8 symmetric quantization of the story memory.
+//!
+//! The inference phase of a memory network is bandwidth-bound: every hop
+//! streams the whole story memory (`M_IN` and `M_OUT`) past the ALUs once.
+//! [`QuantMatrix`] mirrors a row-major f32 [`Matrix`](crate::Matrix) with
+//! one signed 8-bit code per element plus one symmetric *per-row* f32
+//! scale, shrinking the bytes moved per query by ~4x.
+//!
+//! # Scale layout: per-row, symmetric
+//!
+//! Each row `x` is encoded as `q[i] = round(x[i] / s)` clamped to
+//! `[-127, 127]` with `s = max_i |x[i]| / 127` (the symmetric scheme — no
+//! zero point, so the integer dot product needs no correction terms). The
+//! scale is *per row* rather than per chunk for two reasons:
+//!
+//! * **Eviction coherence.** The serving store evicts whole rows from the
+//!   front; per-row scales shift in lockstep with their rows, so an evict
+//!   is a plain `copy_within` on both planes. A per-chunk scale would have
+//!   to re-quantize every chunk the eviction re-aligns.
+//! * **Tighter error.** The quantization step is `s/2 = max|x| / 254` *of
+//!   that row*; a chunk-wide scale inflates the step of every row by the
+//!   chunk's loudest row.
+//!
+//! # Error bound
+//!
+//! For a row with `m = max_i |x[i]| > 0` the reconstruction error per
+//! element is `|x[i] − q[i]·s| ≤ s/2 · (1 + ε)` for a few f32 ulps `ε`
+//! (one rounding in the division, one in the reconstruction multiply).
+//! Rows whose `m` underflows the scale computation (`m < 127 ·
+//! f32::MIN_POSITIVE` subnormals) quantize to all-zero codes with scale
+//! `0.0`; the absolute error is then `|x[i]| ≤ m < 2.4e-43`, far below any
+//! logit that could matter. Non-finite rows quantize to all-zero codes
+//! with an *infinite* scale, which poisons downstream zone maps (pruning
+//! disabled) and surfaces as a numeric fault in the engine rather than a
+//! silently wrong answer.
+//!
+//! There is exactly **one** quantizer implementation (scalar, below) — no
+//! SIMD variant — so every backend sees bit-identical codes and scales,
+//! which is the foundation of the int8 scalar==SIMD parity contract in
+//! [`simd`](crate::simd).
+
+use crate::Matrix;
+
+/// Quantizes one row with a symmetric per-row scale.
+///
+/// Writes the i8 codes into `dst` and returns the scale `s` such that
+/// `q[i] · s ≈ src[i]`. All-zero (and all-subnormal) rows return scale
+/// `0.0` with zero codes; non-finite rows return scale `+∞` with zero
+/// codes (see the module docs).
+///
+/// # Panics
+///
+/// Panics if `src` and `dst` have different lengths.
+pub fn quantize_row(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_row length mismatch");
+    let mut maxabs = 0.0f32;
+    for &x in src {
+        // Explicit finiteness check: `NaN.abs() > maxabs` is false, so a
+        // max-scan alone would silently skip NaNs instead of poisoning.
+        if !x.is_finite() {
+            dst.fill(0);
+            return f32::INFINITY;
+        }
+        let a = x.abs();
+        if a > maxabs {
+            maxabs = a;
+        }
+    }
+    let scale = maxabs / 127.0;
+    if scale == 0.0 {
+        dst.fill(0);
+        return 0.0;
+    }
+    for (d, &x) in dst.iter_mut().zip(src) {
+        // `x / scale` (not `x * (1/scale)`): the reciprocal overflows to
+        // +inf for subnormal scales, the division does not.
+        let q = (x / scale).round().clamp(-127.0, 127.0);
+        *d = q as i8;
+    }
+    scale
+}
+
+/// Reconstructs a quantized row into `dst` (`dst[i] = q[i] · scale`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dequantize_row(q: &[i8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(q.len(), dst.len(), "dequantize_row length mismatch");
+    for (d, &v) in dst.iter_mut().zip(q) {
+        *d = v as f32 * scale;
+    }
+}
+
+/// A row-major i8 matrix with one symmetric per-row scale — the quantized
+/// mirror of a story-memory [`Matrix`].
+///
+/// Supports the same front-eviction discipline as the serving store: rows
+/// are pushed at the back and evicted from the front, and the scale plane
+/// shifts in lockstep with the code plane.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuantMatrix {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl QuantMatrix {
+    /// Creates an empty quantized matrix with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        QuantMatrix {
+            data: Vec::new(),
+            scales: Vec::new(),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Creates an empty quantized matrix with capacity for `rows` rows.
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        QuantMatrix {
+            data: Vec::with_capacity(rows * cols),
+            scales: Vec::with_capacity(rows),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Quantizes the first `rows` rows of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > m.rows()`.
+    pub fn from_matrix_prefix(m: &Matrix, rows: usize) -> Self {
+        assert!(
+            rows <= m.rows(),
+            "prefix {} > matrix rows {}",
+            rows,
+            m.rows()
+        );
+        let mut q = QuantMatrix::with_capacity(rows, m.cols());
+        for r in 0..rows {
+            q.push_row(m.row(r));
+        }
+        q
+    }
+
+    /// Quantizes every row of `m`.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        Self::from_matrix_prefix(m, m.rows())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Quantizes `row` and appends it; returns its scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn push_row(&mut self, row: &[f32]) -> f32 {
+        assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        let start = self.data.len();
+        self.data.resize(start + self.cols, 0);
+        let scale = quantize_row(row, &mut self.data[start..]);
+        self.scales.push(scale);
+        self.rows += 1;
+        scale
+    }
+
+    /// Evicts the first `n` rows, shifting codes and scales in lockstep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.rows()`.
+    pub fn evict_front(&mut self, n: usize) {
+        assert!(n <= self.rows, "evict {} of {} rows", n, self.rows);
+        if n == 0 {
+            return;
+        }
+        let keep = self.rows - n;
+        self.data.copy_within(n * self.cols.., 0);
+        self.data.truncate(keep * self.cols);
+        self.scales.copy_within(n.., 0);
+        self.scales.truncate(keep);
+        self.rows = keep;
+    }
+
+    /// Removes all rows (capacity is retained).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.scales.clear();
+        self.rows = 0;
+    }
+
+    /// The codes of row `r`.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A flat view of `n` consecutive rows starting at `start` — the chunk
+    /// layout the i8 kernels consume.
+    pub fn rows_slice(&self, start: usize, n: usize) -> &[i8] {
+        &self.data[start * self.cols..(start + n) * self.cols]
+    }
+
+    /// All per-row scales, in row order.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The scales of `n` consecutive rows starting at `start`.
+    pub fn scales_slice(&self, start: usize, n: usize) -> &[f32] {
+        &self.scales[start..start + n]
+    }
+
+    /// The scale of row `r`.
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// The *exact* Euclidean norm of the dequantized row `r`, in f64:
+    /// `s · sqrt(Σ q²)`. Integer squares are exact in f64, so this is the
+    /// true norm of the vector the i8 kernels dot against — zone maps
+    /// built from it (plus the usual slack) stay conservative.
+    pub fn row_norm(&self, r: usize) -> f64 {
+        let sumsq: f64 = self
+            .row(r)
+            .iter()
+            .map(|&q| (q as i32 * q as i32) as f64)
+            .sum();
+        self.scales[r] as f64 * sumsq.sqrt()
+    }
+
+    /// Bytes resident in the quantized plane (codes + scales).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.data.len() + self.scales.len() * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_check(row: &[f32]) {
+        let mut q = vec![0i8; row.len()];
+        let scale = quantize_row(row, &mut q);
+        let maxabs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        if !maxabs.is_finite() {
+            assert_eq!(scale, f32::INFINITY);
+            assert!(q.iter().all(|&v| v == 0));
+            return;
+        }
+        // Half a quantization step plus fp slack; the additive term covers
+        // rows whose scale underflowed to zero (see module docs).
+        let tol = maxabs / 127.0 * 0.5001 + 1e-40;
+        let mut dq = vec![0.0f32; row.len()];
+        dequantize_row(&q, scale, &mut dq);
+        for (i, (&x, &y)) in row.iter().zip(&dq).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "row[{i}] = {x} reconstructed as {y} (scale {scale}, tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_within_half_a_step() {
+        roundtrip_check(&[1.0, -2.0, 0.5, 127.0, -127.0, 0.0]);
+        roundtrip_check(&[0.001, -0.002, 0.0005]);
+        roundtrip_check(&[1e30, -1e30, 5e29]);
+        roundtrip_check(&[42.0]);
+        roundtrip_check(&[]);
+    }
+
+    #[test]
+    fn zero_and_subnormal_rows_get_scale_zero() {
+        let mut q = vec![7i8; 4];
+        assert_eq!(quantize_row(&[0.0; 4], &mut q), 0.0);
+        assert!(q.iter().all(|&v| v == 0));
+
+        // All-subnormal row whose maxabs / 127 underflows to zero.
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        let mut q = vec![7i8; 2];
+        assert_eq!(quantize_row(&[tiny, -tiny], &mut q), 0.0);
+        assert!(q.iter().all(|&v| v == 0));
+        roundtrip_check(&[tiny, -tiny]);
+
+        // A subnormal row big enough to keep a nonzero scale still meets
+        // the bound.
+        roundtrip_check(&[1e-40, -5e-41, 2.5e-41, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_rows_poison_the_scale() {
+        let mut q = vec![7i8; 3];
+        assert_eq!(
+            quantize_row(&[1.0, f32::INFINITY, 2.0], &mut q),
+            f32::INFINITY
+        );
+        assert!(q.iter().all(|&v| v == 0));
+        let mut q = vec![7i8; 2];
+        assert_eq!(quantize_row(&[f32::NAN, 1.0], &mut q), f32::INFINITY);
+    }
+
+    #[test]
+    fn codes_saturate_at_127() {
+        let mut q = vec![0i8; 3];
+        quantize_row(&[100.0, -100.0, 1.0], &mut q);
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -127);
+    }
+
+    #[test]
+    fn push_and_evict_shift_scales_in_lockstep() {
+        let mut qm = QuantMatrix::new(3);
+        qm.push_row(&[1.0, 2.0, 3.0]);
+        qm.push_row(&[10.0, 20.0, 30.0]);
+        qm.push_row(&[-5.0, 0.0, 5.0]);
+        assert_eq!(qm.rows(), 3);
+
+        let row1 = qm.row(1).to_vec();
+        let scale1 = qm.scale(1);
+        let row2 = qm.row(2).to_vec();
+        let scale2 = qm.scale(2);
+
+        qm.evict_front(1);
+        assert_eq!(qm.rows(), 2);
+        assert_eq!(qm.row(0), &row1[..]);
+        assert_eq!(qm.scale(0), scale1);
+        assert_eq!(qm.row(1), &row2[..]);
+        assert_eq!(qm.scale(1), scale2);
+
+        qm.evict_front(2);
+        assert!(qm.is_empty());
+        qm.push_row(&[1.0, 1.0, 1.0]);
+        assert_eq!(qm.rows(), 1);
+    }
+
+    #[test]
+    fn from_matrix_matches_per_row_quantization() {
+        let m = Matrix::from_fn(9, 4, |r, c| ((r * 7 + c * 3) as f32 * 0.37).sin() * 4.0);
+        let qm = QuantMatrix::from_matrix(&m);
+        assert_eq!(qm.rows(), 9);
+        assert_eq!(qm.cols(), 4);
+        for r in 0..9 {
+            let mut expect = vec![0i8; 4];
+            let s = quantize_row(m.row(r), &mut expect);
+            assert_eq!(qm.row(r), &expect[..]);
+            assert_eq!(qm.scale(r), s);
+        }
+    }
+
+    #[test]
+    fn row_norm_matches_dequantized_norm() {
+        let m = Matrix::from_fn(5, 8, |r, c| ((r + c) as f32 * 0.9).cos() * 3.0);
+        let qm = QuantMatrix::from_matrix(&m);
+        for r in 0..5 {
+            let mut dq = vec![0.0f32; 8];
+            dequantize_row(qm.row(r), qm.scale(r), &mut dq);
+            let norm: f64 = dq.iter().map(|&x| x as f64 * x as f64).sum::<f64>().sqrt();
+            let got = qm.row_norm(r);
+            assert!(
+                (got - norm).abs() <= norm * 1e-6 + 1e-12,
+                "row {r}: {got} vs {norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn resident_bytes_counts_codes_and_scales() {
+        let mut qm = QuantMatrix::new(16);
+        qm.push_row(&[1.0; 16]);
+        qm.push_row(&[2.0; 16]);
+        assert_eq!(qm.resident_bytes(), 2 * 16 + 2 * 4);
+    }
+}

@@ -97,16 +97,35 @@ fn encode(b: Backend) -> u8 {
     }
 }
 
+/// Reads `MNNFAST_SIMD` strictly: unset, empty or `auto` mean "detect"
+/// (`Ok(None)`), a valid backend name selects that backend, and anything
+/// else is an [`EnvVarError`](crate::EnvVarError).
+///
+/// Lazy in-kernel resolution ([`backend`]) keeps a lenient detect-fallback
+/// so library users who never validate still get working kernels; serving
+/// entry points call [`crate::validate_env`] so a typo fails loudly at
+/// startup instead of silently changing numerics.
+pub fn backend_from_env() -> Result<Option<Backend>, crate::EnvVarError> {
+    match std::env::var("MNNFAST_SIMD") {
+        Ok(v) => match Backend::parse(&v) {
+            Some(choice) => Ok(choice),
+            None => Err(crate::EnvVarError::new(
+                "MNNFAST_SIMD",
+                v,
+                "one of `scalar`, `avx2`, `auto` (empty/unset = auto)",
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
 fn resolve_initial() -> Backend {
     if cfg!(feature = "force-scalar") {
         return Backend::Scalar;
     }
-    match std::env::var("MNNFAST_SIMD") {
-        Ok(v) => match Backend::parse(&v) {
-            Some(Some(requested)) => requested.supported(),
-            Some(None) | None => Backend::detect(),
-        },
-        Err(_) => Backend::detect(),
+    match backend_from_env() {
+        Ok(Some(requested)) => requested.supported(),
+        Ok(None) | Err(_) => Backend::detect(),
     }
 }
 
@@ -208,6 +227,114 @@ pub fn gemm_chunk_scalar(
             &mut out[q * n_rows..(q + 1) * n_rows],
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 inference kernels
+// ---------------------------------------------------------------------------
+//
+// The quantized memory plane stores `M_IN`/`M_OUT` rows as i8 codes with a
+// symmetric per-row scale (see `crate::quant`); the query is quantized once
+// per pass the same way. The kernels below follow a stricter parity
+// discipline than their f32 counterparts — **both backends are bitwise
+// identical by construction**:
+//
+// * the inner product is *exact* integer arithmetic (i8×i8 products summed
+//   in i32 — associativity is free, no rounding history to match; overflow
+//   is impossible below `ed < 2³¹/127² ≈ 133k` columns),
+// * the logit is one f32 rescale of the exact accumulator:
+//   `(acc as f32) * (u_scale * row_scale)`, the same two roundings on both
+//   backends,
+// * the fused kernel exponentiates with `exp_approx`/`exp8` (bitwise-equal
+//   by the fast-exp contract above) on *both* backends — unlike the f32
+//   fused kernel, whose scalar arm uses libm `exp`,
+// * the weighted accumulate dequantizes with separate multiply and add
+//   (no FMA), element order identical on both backends.
+//
+// This turns the cross-backend property tests for the int8 path into exact
+// equality assertions instead of tolerance comparisons.
+
+/// Published bound on the logit error introduced by int8 quantization,
+/// measured as `max_r |logit_q(r) − logit_f32(r)| / max_r |logit_f32(r)|`
+/// over one pass. Two symmetric per-row quantizations contribute at most
+/// half a step each per element; for embedding-scale data the accumulated
+/// error stays well under this bound (asserted by the property tests and
+/// re-measured on trained models by `bench_quant`).
+pub const I8_LOGIT_MAX_REL_ERROR: f32 = 1e-2;
+
+/// Reference i8 dot product: exact i32 accumulation.
+pub fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len().min(b.len());
+    let mut acc = 0i32;
+    for i in 0..n {
+        acc += a[i] as i32 * b[i] as i32;
+    }
+    acc
+}
+
+/// Dequantizing weighted accumulate: `ws[k] += alpha * (q[k] as f32)`,
+/// with separate multiply and add. Both the scalar and the AVX2 fused int8
+/// kernels accumulate through exactly this rounding sequence — part of the
+/// int8 bitwise-parity contract.
+#[inline]
+pub fn dequant_axpy_scalar(alpha: f32, q: &[i8], ws: &mut [f32]) {
+    for (w, &v) in ws.iter_mut().zip(q) {
+        *w += alpha * (v as f32);
+    }
+}
+
+/// Reference quantized row-chunk GEMV: `out[r]` is the *dequantized* logit
+/// `(row_r · uq) · (u_scale · scales[r])`, rescaled once per row from the
+/// exact integer accumulator.
+pub fn gemv_chunk_i8_scalar(
+    chunk: &[i8],
+    scales: &[f32],
+    n_rows: usize,
+    uq: &[i8],
+    u_scale: f32,
+    out: &mut [f32],
+) {
+    let ed = uq.len();
+    for r in 0..n_rows {
+        let acc = dot_i8_scalar(&chunk[r * ed..(r + 1) * ed], uq);
+        out[r] = acc as f32 * (u_scale * scales[r]);
+    }
+}
+
+/// Reference fused lazy-softmax chunk kernel over quantized memory: exact
+/// integer inner products, one f32 rescale per logit, `exp_approx`
+/// weights (the same fast exp as the AVX2 kernel — see the parity note
+/// above), threshold test, and the dequantizing weighted accumulate for
+/// kept rows. Returns `(denominator contribution, skipped rows)`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_chunk_lazy_i8_scalar(
+    in_q: &[i8],
+    in_scales: &[f32],
+    out_q: &[i8],
+    out_scales: &[f32],
+    n_rows: usize,
+    uq: &[i8],
+    u_scale: f32,
+    raw_threshold: Option<f32>,
+    weighted_sum: &mut [f32],
+) -> (f32, u64) {
+    let ed = uq.len();
+    let mut denom = 0.0f32;
+    let mut skipped = 0u64;
+    for r in 0..n_rows {
+        let acc = dot_i8_scalar(&in_q[r * ed..(r + 1) * ed], uq);
+        let w = exp_approx(acc as f32 * (u_scale * in_scales[r]));
+        denom += w;
+        match raw_threshold {
+            Some(th) if w < th => skipped += 1,
+            _ => dequant_axpy_scalar(
+                w * out_scales[r],
+                &out_q[r * ed..(r + 1) * ed],
+                weighted_sum,
+            ),
+        }
+    }
+    (denom, skipped)
 }
 
 // ---------------------------------------------------------------------------
@@ -788,6 +915,133 @@ mod avx2 {
         }
         (denom, skipped)
     }
+
+    /// AVX2 i8 dot product: 32 codes per iteration, each 16-code half
+    /// sign-extended to i16 and folded through `madd` (pairs of i16×i16
+    /// products summed in i32). Exact integer arithmetic — bitwise
+    /// identical to [`dot_i8_scalar`] by associativity.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len().min(b.len());
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+            let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+            let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+            let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+            let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+            i += 32;
+        }
+        let s = _mm_add_epi32(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        );
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0100_1110>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b1011_0001>(s));
+        let mut sum = _mm_cvtsi128_si32(s);
+        while i < n {
+            sum += a[i] as i32 * b[i] as i32;
+            i += 1;
+        }
+        sum
+    }
+
+    /// AVX2 dequantizing weighted accumulate: 8 codes at a time are
+    /// sign-extended to i32, converted to f32 (exact), then folded with
+    /// separate `mul`/`add` — never FMA — so every element rounds exactly
+    /// as [`dequant_axpy_scalar`] does.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dequant_axpy(alpha: f32, q: &[i8], ws: &mut [f32]) {
+        let n = q.len().min(ws.len());
+        let va = _mm256_set1_ps(alpha);
+        let (pq, pw) = (q.as_ptr(), ws.as_mut_ptr());
+        let mut k = 0usize;
+        while k + 8 <= n {
+            let codes = _mm_loadl_epi64(pq.add(k) as *const __m128i);
+            let v = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(codes));
+            let acc = _mm256_add_ps(_mm256_loadu_ps(pw.add(k)), _mm256_mul_ps(va, v));
+            _mm256_storeu_ps(pw.add(k), acc);
+            k += 8;
+        }
+        while k < n {
+            ws[k] += alpha * (q[k] as f32);
+            k += 1;
+        }
+    }
+
+    /// AVX2 quantized row-chunk GEMV: one exact [`dot_i8`] per row plus
+    /// the single-rescale epilogue. Bitwise identical to
+    /// [`gemv_chunk_i8_scalar`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemv_chunk_i8(
+        chunk: &[i8],
+        scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        out: &mut [f32],
+    ) {
+        let ed = uq.len();
+        for r in 0..n_rows {
+            let acc = dot_i8(&chunk[r * ed..(r + 1) * ed], uq);
+            out[r] = acc as f32 * (u_scale * scales[r]);
+        }
+    }
+
+    /// AVX2 fused lazy-softmax chunk kernel over quantized memory: blocks
+    /// of 8 exact integer inner products, one [`exp8`] per block, then the
+    /// per-row threshold test and dequantizing accumulate. Every float op
+    /// mirrors [`fused_chunk_lazy_i8_scalar`]'s rounding sequence, so the
+    /// two are bitwise identical (see the int8 parity note in the scalar
+    /// section).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fused_chunk_lazy_i8(
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        raw_threshold: Option<f32>,
+        weighted_sum: &mut [f32],
+    ) -> (f32, u64) {
+        let ed = uq.len();
+        let mut denom = 0.0f32;
+        let mut skipped = 0u64;
+        let mut w = [0.0f32; 8];
+        let mut r = 0usize;
+        while r < n_rows {
+            let block = (n_rows - r).min(8);
+            for (j, wj) in w.iter_mut().enumerate().take(block) {
+                let acc = dot_i8(&in_q[(r + j) * ed..(r + j + 1) * ed], uq);
+                *wj = acc as f32 * (u_scale * in_scales[r + j]);
+            }
+            // Exponentiate the whole block at once; lanes past `block`
+            // hold stale-but-finite values and are never read back.
+            let e = exp8(_mm256_loadu_ps(w.as_ptr()));
+            _mm256_storeu_ps(w.as_mut_ptr(), e);
+            for (j, &wj) in w.iter().enumerate().take(block) {
+                denom += wj;
+                match raw_threshold {
+                    Some(th) if wj < th => skipped += 1,
+                    _ => dequant_axpy(
+                        wj * out_scales[r + j],
+                        &out_q[(r + j) * ed..(r + j + 1) * ed],
+                        weighted_sum,
+                    ),
+                }
+            }
+            r += block;
+        }
+        (denom, skipped)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -956,6 +1210,100 @@ pub fn fused_chunk_lazy_with(
     }
 }
 
+/// [`crate::kernels::dot_i8`] with an explicit backend. Exact integer
+/// arithmetic: both backends return the same `i32` bit for bit.
+#[inline]
+pub fn dot_i8_with(b: Backend, a: &[i8], x: &[i8]) -> i32 {
+    match b {
+        Backend::Scalar => dot_i8_scalar(a, x),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::dot_i8(a, x) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => dot_i8_scalar(a, x),
+    }
+}
+
+/// [`crate::kernels::gemv_chunk_i8`] with an explicit backend: dequantized
+/// logits for one quantized chunk. Bitwise identical across backends (see
+/// the int8 parity note).
+#[inline]
+pub fn gemv_chunk_i8_with(
+    b: Backend,
+    chunk: &[i8],
+    scales: &[f32],
+    n_rows: usize,
+    uq: &[i8],
+    u_scale: f32,
+    out: &mut [f32],
+) {
+    match b {
+        Backend::Scalar => gemv_chunk_i8_scalar(chunk, scales, n_rows, uq, u_scale, out),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe { avx2::gemv_chunk_i8(chunk, scales, n_rows, uq, u_scale, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => gemv_chunk_i8_scalar(chunk, scales, n_rows, uq, u_scale, out),
+    }
+}
+
+/// The fused lazy-softmax chunk kernel over quantized memory with an
+/// explicit backend — the int8 analogue of [`fused_chunk_lazy_with`], with
+/// one difference: **both** backends use the fast exp (`exp_approx`/
+/// [`EXP_MAX_REL_ERROR`]), so results are bitwise identical across
+/// backends. Logits beyond ±[`EXP_CLAMP`] saturate instead of overflowing
+/// (acceptable for quantized logits, whose magnitude the rescale bounds).
+///
+/// The caller guarantees `in_q.len() == out_q.len() == n_rows * uq.len()`,
+/// `in_scales.len() == out_scales.len() == n_rows` and
+/// `weighted_sum.len() == uq.len()`; slice indexing panics otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_chunk_lazy_i8_with(
+    b: Backend,
+    in_q: &[i8],
+    in_scales: &[f32],
+    out_q: &[i8],
+    out_scales: &[f32],
+    n_rows: usize,
+    uq: &[i8],
+    u_scale: f32,
+    raw_threshold: Option<f32>,
+    weighted_sum: &mut [f32],
+) -> (f32, u64) {
+    debug_assert_eq!(in_q.len(), n_rows * uq.len(), "fused i8: bad in chunk");
+    debug_assert_eq!(out_q.len(), n_rows * uq.len(), "fused i8: bad out chunk");
+    debug_assert_eq!(in_scales.len(), n_rows, "fused i8: bad in scales");
+    debug_assert_eq!(out_scales.len(), n_rows, "fused i8: bad out scales");
+    match b {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as in `dot_with`.
+        Backend::Avx2 => unsafe {
+            avx2::fused_chunk_lazy_i8(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n_rows,
+                uq,
+                u_scale,
+                raw_threshold,
+                weighted_sum,
+            )
+        },
+        _ => fused_chunk_lazy_i8_scalar(
+            in_q,
+            in_scales,
+            out_q,
+            out_scales,
+            n_rows,
+            uq,
+            u_scale,
+            raw_threshold,
+            weighted_sum,
+        ),
+    }
+}
+
 /// [`crate::kernels::embed_sum`] with an explicit backend. Zeroes `out`
 /// first, so the result *is* the gather-sum (not an accumulation).
 ///
@@ -1080,5 +1428,160 @@ mod tests {
         let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).cos()).collect();
         let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot_scalar(&a, &b) - naive).abs() < 1e-4);
+    }
+
+    fn i8_pattern(n: usize, phase: i64) -> Vec<i8> {
+        (0..n)
+            .map(|i| (((i as i64 * 37 + phase * 13) % 255) - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn dot_i8_scalar_matches_naive() {
+        for n in [0usize, 1, 7, 31, 32, 33, 64, 100, 131] {
+            let a = i8_pattern(n, 1);
+            let b = i8_pattern(n, 5);
+            let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8_scalar(&a, &b), naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn i8_kernels_are_bitwise_identical_across_backends() {
+        if Backend::detect() != Backend::Avx2 {
+            return; // nothing to compare on this CPU
+        }
+        for &(n_rows, ed) in &[(1usize, 1usize), (3, 7), (8, 32), (17, 33), (20, 64)] {
+            let in_q = i8_pattern(n_rows * ed, 2);
+            let out_q = i8_pattern(n_rows * ed, 9);
+            let uq = i8_pattern(ed, 4);
+            let in_scales: Vec<f32> = (0..n_rows).map(|r| 0.01 + r as f32 * 1e-3).collect();
+            let out_scales: Vec<f32> = (0..n_rows).map(|r| 0.02 + r as f32 * 7e-4).collect();
+            let u_scale = 0.0123f32;
+
+            for r in 0..n_rows {
+                let row = &in_q[r * ed..(r + 1) * ed];
+                assert_eq!(
+                    dot_i8_with(Backend::Scalar, row, &uq),
+                    dot_i8_with(Backend::Avx2, row, &uq),
+                    "dot_i8 rows={n_rows} ed={ed} r={r}"
+                );
+            }
+
+            let mut lo_s = vec![0.0f32; n_rows];
+            let mut lo_v = vec![0.0f32; n_rows];
+            gemv_chunk_i8_with(
+                Backend::Scalar,
+                &in_q,
+                &in_scales,
+                n_rows,
+                &uq,
+                u_scale,
+                &mut lo_s,
+            );
+            gemv_chunk_i8_with(
+                Backend::Avx2,
+                &in_q,
+                &in_scales,
+                n_rows,
+                &uq,
+                u_scale,
+                &mut lo_v,
+            );
+            assert_eq!(lo_s, lo_v, "gemv_chunk_i8 rows={n_rows} ed={ed}");
+
+            for threshold in [None, Some(0.5f32)] {
+                let mut ws_s = vec![0.1f32; ed];
+                let mut ws_v = vec![0.1f32; ed];
+                let (d_s, k_s) = fused_chunk_lazy_i8_with(
+                    Backend::Scalar,
+                    &in_q,
+                    &in_scales,
+                    &out_q,
+                    &out_scales,
+                    n_rows,
+                    &uq,
+                    u_scale,
+                    threshold,
+                    &mut ws_s,
+                );
+                let (d_v, k_v) = fused_chunk_lazy_i8_with(
+                    Backend::Avx2,
+                    &in_q,
+                    &in_scales,
+                    &out_q,
+                    &out_scales,
+                    n_rows,
+                    &uq,
+                    u_scale,
+                    threshold,
+                    &mut ws_v,
+                );
+                assert_eq!(d_s.to_bits(), d_v.to_bits(), "fused i8 denominator");
+                assert_eq!(k_s, k_v, "fused i8 skip count");
+                for (k, (a, b)) in ws_s.iter().zip(&ws_v).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "fused i8 ws[{k}] rows={n_rows} ed={ed} th={threshold:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_logits_stay_within_published_error_bound() {
+        // Embedding-scale data: values in [-1, 1], the regime the serving
+        // engine feeds these kernels. The bound is relative to the largest
+        // |logit| of the pass (see `I8_LOGIT_MAX_REL_ERROR`), so the chunk
+        // must contain query-aligned rows — exactly what a trained memory
+        // produces for the supporting facts softmax selects. Each row blends
+        // a query-aligned component with a pseudo-random residual.
+        let (n_rows, ed) = (64usize, 64usize);
+        let u: Vec<f32> = (0..ed).map(|c| ((c * 7) as f32 * 0.211).cos()).collect();
+        let rows: Vec<Vec<f32>> = (0..n_rows)
+            .map(|r| {
+                let align = (r as f32 / n_rows as f32) * 0.9;
+                (0..ed)
+                    .map(|c| {
+                        let noise = ((r * 31 + c * 17) as f32 * 0.113).sin();
+                        (align * u[c] + (1.0 - align) * noise).clamp(-1.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut uq = vec![0i8; ed];
+        let u_scale = crate::quant::quantize_row(&u, &mut uq);
+        let mut in_q = vec![0i8; n_rows * ed];
+        let mut in_scales = vec![0.0f32; n_rows];
+        for (r, row) in rows.iter().enumerate() {
+            in_scales[r] = crate::quant::quantize_row(row, &mut in_q[r * ed..(r + 1) * ed]);
+        }
+
+        let mut quant_logits = vec![0.0f32; n_rows];
+        gemv_chunk_i8_with(
+            backend(),
+            &in_q,
+            &in_scales,
+            n_rows,
+            &uq,
+            u_scale,
+            &mut quant_logits,
+        );
+
+        let mut max_abs = 0.0f64;
+        let mut max_err = 0.0f64;
+        for (r, row) in rows.iter().enumerate() {
+            let exact: f64 = row.iter().zip(&u).map(|(&a, &b)| a as f64 * b as f64).sum();
+            max_abs = max_abs.max(exact.abs());
+            max_err = max_err.max((quant_logits[r] as f64 - exact).abs());
+        }
+        let rel = max_err / max_abs;
+        assert!(
+            rel <= I8_LOGIT_MAX_REL_ERROR as f64,
+            "quantized logit relative error {rel:.3e} exceeds {I8_LOGIT_MAX_REL_ERROR:.1e}"
+        );
     }
 }

@@ -129,6 +129,19 @@ impl LazyAccumulator {
         self.denom += weight;
     }
 
+    /// Adds one *quantized* memory entry: dequantizes `row_q` on the fly
+    /// (`row_scale * q[k]`) and accumulates it with `weight`, exactly as the
+    /// fused int8 kernel would. Uses the shared scalar dequant-axpy so the
+    /// result is bitwise identical across SIMD backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_q.len()` differs from the accumulator dimension.
+    pub fn add_weighted_i8(&mut self, weight: f32, row_q: &[i8], row_scale: f32) {
+        simd::dequant_axpy_scalar(weight * row_scale, row_q, &mut self.weighted_sum);
+        self.denom += weight;
+    }
+
     /// Adds only to the denominator — the zero-skipping path: entries whose
     /// exponential falls below the skip threshold still contribute to
     /// `Σ e^{x_j}` (the paper's FPGA design does exactly this) but skip the
@@ -243,6 +256,141 @@ impl LazyAccumulator {
                             skipped += 1;
                         }
                         _ => self.add_weighted(w, &out_flat[r * ed..(r + 1) * ed]),
+                    }
+                }
+                skipped
+            }
+        }
+    }
+
+    /// Fused chunk accumulate over *quantized* memory — the int8
+    /// counterpart of [`LazyAccumulator::accumulate_chunk`]: exact integer
+    /// inner products, one f32 rescale per logit, and the dequantizing
+    /// weighted accumulate ([`crate::simd::fused_chunk_lazy_i8_with`]).
+    /// Returns the number of skipped rows.
+    ///
+    /// Unlike the f32 fused kernel, **both** backends use the fast exp, so
+    /// results are bitwise identical across backends. The same
+    /// fault-injection hook guards this path: the serving layer's
+    /// degradation ladder retries int8 numeric faults on the f32 safe
+    /// path.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) on mismatched chunk/scale lengths —
+    /// same shape contract as [`crate::simd::fused_chunk_lazy_i8_with`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_chunk_i8(
+        &mut self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        raw_threshold: Option<f32>,
+    ) -> u64 {
+        #[cfg(feature = "fault-inject")]
+        if let Some(kind) = crate::fault::on_chunk() {
+            return self.accumulate_chunk_i8_faulted(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n_rows,
+                uq,
+                u_scale,
+                raw_threshold,
+                kind,
+            );
+        }
+        let (denom, skipped) = simd::fused_chunk_lazy_i8_with(
+            simd::backend(),
+            in_q,
+            in_scales,
+            out_q,
+            out_scales,
+            n_rows,
+            uq,
+            u_scale,
+            raw_threshold,
+            &mut self.weighted_sum,
+        );
+        self.denom += denom;
+        skipped
+    }
+
+    /// Test-only fault application for the int8 path — the quantized
+    /// mirror of [`LazyAccumulator::accumulate_chunk_faulted`]: corrupted
+    /// logits run through libm `exp` (so NaN/overflow propagate instead of
+    /// being clamped by the fast exp) and the dequantizing accumulate.
+    #[cfg(feature = "fault-inject")]
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_chunk_i8_faulted(
+        &mut self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        raw_threshold: Option<f32>,
+        kind: crate::fault::FaultKind,
+    ) -> u64 {
+        use crate::fault::FaultKind;
+        match kind {
+            // Slow, not wrong: sleep, then run the chunk normally.
+            FaultKind::SlowChunk(d) => {
+                std::thread::sleep(d);
+                let (denom, skipped) = simd::fused_chunk_lazy_i8_with(
+                    simd::backend(),
+                    in_q,
+                    in_scales,
+                    out_q,
+                    out_scales,
+                    n_rows,
+                    uq,
+                    u_scale,
+                    raw_threshold,
+                    &mut self.weighted_sum,
+                );
+                self.denom += denom;
+                skipped
+            }
+            FaultKind::NanLogit | FaultKind::OversizedLogit => {
+                let ed = uq.len();
+                let b = simd::backend();
+                let mut logits = vec![0.0f32; n_rows];
+                simd::gemv_chunk_i8_with(b, in_q, in_scales, n_rows, uq, u_scale, &mut logits);
+                match kind {
+                    FaultKind::NanLogit => {
+                        if let Some(first) = logits.first_mut() {
+                            *first = f32::NAN;
+                        }
+                    }
+                    _ => {
+                        // Far above EXP_CLAMP: every e^x overflows f32.
+                        logits.fill(1000.0);
+                    }
+                }
+                let mut skipped = 0u64;
+                for (r, &x) in logits.iter().enumerate() {
+                    let w = x.exp();
+                    match raw_threshold {
+                        Some(th) if w < th => {
+                            self.add_skipped(w);
+                            skipped += 1;
+                        }
+                        _ => {
+                            simd::dequant_axpy_scalar(
+                                w * out_scales[r],
+                                &out_q[r * ed..(r + 1) * ed],
+                                &mut self.weighted_sum,
+                            );
+                            self.denom += w;
+                        }
                     }
                 }
                 skipped
@@ -455,6 +603,24 @@ impl OnlineSoftmax {
         self.denom += w;
     }
 
+    /// Adds one memory entry whose output row lives in the quantized
+    /// mirror: `row_q` holds the int8 codes and `row_scale` the row's
+    /// symmetric dequantization scale. The dequantizing accumulate is the
+    /// shared scalar kernel ([`crate::simd::dequant_axpy_scalar`]) on every
+    /// backend, so — with the exact int8 dot producing the logit — the
+    /// whole online int8 chain is bitwise identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_q.len()` differs from the accumulator dimension.
+    pub fn add_i8(&mut self, logit: f32, row_q: &[i8], row_scale: f32) {
+        let scale_factor = self.rescale(logit);
+        let w = (logit - self.max_logit).exp();
+        debug_assert!(scale_factor.is_finite());
+        simd::dequant_axpy_scalar(w * row_scale, row_q, &mut self.weighted_sum);
+        self.denom += w;
+    }
+
     /// Adds a logit to the denominator only (zero-skipping path).
     pub fn add_skipped(&mut self, logit: f32) {
         self.rescale(logit);
@@ -553,6 +719,103 @@ impl OnlineSoftmax {
             FaultKind::OversizedLogit => Some(1000.0),
         };
         self.accumulate_chunk_rows(in_flat, out_flat, n_rows, u, prob_threshold, poison)
+    }
+
+    /// Fused single-pass chunk accumulate over *quantized* memory — the
+    /// online counterpart of [`LazyAccumulator::accumulate_chunk_i8`]: each
+    /// row's logit comes from the exact int8 dot
+    /// ([`crate::simd::dot_i8_with`]) rescaled once to f32, then feeds the
+    /// [`OnlineSoftmax::add_i8`] / [`OnlineSoftmax::add_skipped`] chain.
+    /// Returns the number of skipped rows.
+    ///
+    /// The rescaling chain stays on libm `exp` and the dequantizing
+    /// accumulate on the shared scalar kernel, so this path is bitwise
+    /// identical across backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via slice indexing) on mismatched chunk/scale lengths.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accumulate_chunk_i8(
+        &mut self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        prob_threshold: Option<f32>,
+    ) -> u64 {
+        #[cfg(feature = "fault-inject")]
+        if let Some(kind) = crate::fault::on_chunk() {
+            use crate::fault::FaultKind;
+            let poison = match kind {
+                FaultKind::SlowChunk(d) => {
+                    std::thread::sleep(d);
+                    None
+                }
+                FaultKind::NanLogit => Some(f32::NAN),
+                FaultKind::OversizedLogit => Some(1000.0),
+            };
+            return self.accumulate_chunk_i8_rows(
+                in_q,
+                in_scales,
+                out_q,
+                out_scales,
+                n_rows,
+                uq,
+                u_scale,
+                prob_threshold,
+                poison,
+            );
+        }
+        self.accumulate_chunk_i8_rows(
+            in_q,
+            in_scales,
+            out_q,
+            out_scales,
+            n_rows,
+            uq,
+            u_scale,
+            prob_threshold,
+            None,
+        )
+    }
+
+    /// The per-row loop behind [`OnlineSoftmax::accumulate_chunk_i8`], with
+    /// an optional first-logit corruption (fault injection only).
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_chunk_i8_rows(
+        &mut self,
+        in_q: &[i8],
+        in_scales: &[f32],
+        out_q: &[i8],
+        out_scales: &[f32],
+        n_rows: usize,
+        uq: &[i8],
+        u_scale: f32,
+        prob_threshold: Option<f32>,
+        poison_first: Option<f32>,
+    ) -> u64 {
+        let ed = uq.len();
+        let backend = simd::backend();
+        let mut skipped = 0u64;
+        for r in 0..n_rows {
+            let acc = simd::dot_i8_with(backend, &in_q[r * ed..(r + 1) * ed], uq);
+            let mut logit = acc as f32 * (u_scale * in_scales[r]);
+            if let Some(p) = poison_first.filter(|_| r == 0) {
+                logit = p;
+            }
+            match prob_threshold {
+                Some(th) if self.relative_weight(logit) < th => {
+                    self.add_skipped(logit);
+                    skipped += 1;
+                }
+                _ => self.add_i8(logit, &out_q[r * ed..(r + 1) * ed], out_scales[r]),
+            }
+        }
+        skipped
     }
 
     /// Batched chunk accumulate, the online counterpart of
@@ -872,6 +1135,110 @@ mod tests {
             let mut fused = OnlineSoftmax::new(ed);
             fused.accumulate_chunk(&in_flat, &out_flat, n, &u, threshold);
             // Same dot backend, same libm exp chain: exactly equal.
+            assert_eq!(fused, two_pass);
+        }
+    }
+
+    /// Quantizes an `n x ed` row-major chunk per-row, returning codes and
+    /// scales — the shape the int8 accumulate methods consume.
+    fn quantize_chunk(flat: &[f32], n: usize, ed: usize) -> (Vec<i8>, Vec<f32>) {
+        let mut q = vec![0i8; n * ed];
+        let mut scales = vec![0.0f32; n];
+        for r in 0..n {
+            scales[r] = crate::quant::quantize_row(
+                &flat[r * ed..(r + 1) * ed],
+                &mut q[r * ed..(r + 1) * ed],
+            );
+        }
+        (q, scales)
+    }
+
+    #[test]
+    fn lazy_i8_chunk_matches_dequantized_reference() {
+        let (n, ed) = (13usize, 7usize);
+        let in_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let out_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.11).cos()).collect();
+        let u: Vec<f32> = (0..ed).map(|i| i as f32 * 0.2 - 0.5).collect();
+        let (in_q, in_scales) = quantize_chunk(&in_flat, n, ed);
+        let (out_q, out_scales) = quantize_chunk(&out_flat, n, ed);
+        let mut uq = vec![0i8; ed];
+        let u_scale = crate::quant::quantize_row(&u, &mut uq);
+        for threshold in [None, Some(0.8f32)] {
+            // Reference: exact integer dot, one rescale, fast exp, and the
+            // dequantizing accumulate — the published kernel contract.
+            let mut reference = LazyAccumulator::new(ed);
+            let mut skipped_ref = 0u64;
+            for r in 0..n {
+                let acc = simd::dot_i8_scalar(&in_q[r * ed..(r + 1) * ed], &uq);
+                let w = simd::exp_approx(acc as f32 * (u_scale * in_scales[r]));
+                match threshold {
+                    Some(th) if w < th => {
+                        reference.add_skipped(w);
+                        skipped_ref += 1;
+                    }
+                    _ => {
+                        let mut row = vec![0.0f32; ed];
+                        crate::quant::dequantize_row(
+                            &out_q[r * ed..(r + 1) * ed],
+                            out_scales[r],
+                            &mut row,
+                        );
+                        reference.add_weighted(w, &row);
+                    }
+                }
+            }
+            let mut fused = LazyAccumulator::new(ed);
+            let skipped = fused.accumulate_chunk_i8(
+                &in_q,
+                &in_scales,
+                &out_q,
+                &out_scales,
+                n,
+                &uq,
+                u_scale,
+                threshold,
+            );
+            assert_eq!(skipped, skipped_ref);
+            assert!((fused.denom() - reference.denom()).abs() < 1e-4);
+            assert_slice_approx_eq(&fused.finish(), &reference.finish(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn online_i8_chunk_matches_two_pass_bitwise() {
+        let (n, ed) = (9usize, 5usize);
+        let in_flat: Vec<f32> = (0..n * ed)
+            .map(|i| ((i as f32) * 0.29).sin() * 3.0)
+            .collect();
+        let out_flat: Vec<f32> = (0..n * ed).map(|i| ((i as f32) * 0.13).cos()).collect();
+        let u: Vec<f32> = (0..ed).map(|i| i as f32 * 0.4 - 1.0).collect();
+        let (in_q, in_scales) = quantize_chunk(&in_flat, n, ed);
+        let (out_q, out_scales) = quantize_chunk(&out_flat, n, ed);
+        let mut uq = vec![0i8; ed];
+        let u_scale = crate::quant::quantize_row(&u, &mut uq);
+        for threshold in [None, Some(0.3f32)] {
+            let mut two_pass = OnlineSoftmax::new(ed);
+            for r in 0..n {
+                let acc = simd::dot_i8_with(simd::backend(), &in_q[r * ed..(r + 1) * ed], &uq);
+                let logit = acc as f32 * (u_scale * in_scales[r]);
+                match threshold {
+                    Some(th) if two_pass.relative_weight(logit) < th => two_pass.add_skipped(logit),
+                    _ => two_pass.add_i8(logit, &out_q[r * ed..(r + 1) * ed], out_scales[r]),
+                }
+            }
+            let mut fused = OnlineSoftmax::new(ed);
+            fused.accumulate_chunk_i8(
+                &in_q,
+                &in_scales,
+                &out_q,
+                &out_scales,
+                n,
+                &uq,
+                u_scale,
+                threshold,
+            );
+            // Exact integer dots, one shared rescale per logit, libm exp and
+            // the scalar dequantizing accumulate: exactly equal.
             assert_eq!(fused, two_pass);
         }
     }
