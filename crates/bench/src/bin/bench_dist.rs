@@ -1,0 +1,24 @@
+//! Distributed-serving bench: fault-free overhead of the four-worker
+//! loopback fleet vs the in-process column pass, plus the hedged p99
+//! under one injected straggler. Emits the machine-readable
+//! `BENCH_dist.json`; with `--check` the process exits nonzero when the
+//! answers drift bitwise or either latency bound is exceeded.
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::dist_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_dist.json") {
+        Ok(()) => println!("wrote BENCH_dist.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.within_bounds() {
+        eprintln!(
+            "distributed bounds violated (overhead <= {}, straggler p99 <= {}x)",
+            mnn_bench::dist_report::OVERHEAD_BOUND,
+            mnn_bench::dist_report::P99_BOUND_RATIO
+        );
+        std::process::exit(1);
+    }
+}

@@ -26,8 +26,10 @@
 //! | `bench_embedding` | embedding fast path (BENCH_embedding.json) | [`embedding_report`] |
 //! | `bench_segment` | segmented plane overhead + pruning (BENCH_segment.json) | [`segment_report`] |
 //! | `bench_quant` | int8 memory plane speedup + parity (BENCH_quant.json) | [`quant_report`] |
+//! | `bench_dist` | distributed fleet overhead + hedged p99 (BENCH_dist.json) | [`dist_report`] |
 
 pub mod batch_report;
+pub mod dist_report;
 pub mod embedding_report;
 pub mod engine_report;
 pub mod experiments;

@@ -116,6 +116,7 @@ USAGE:
                  [--engine auto|column|streaming|parallel] [--threads 1]
                  [--deadline-ms 0] [--batch 0] [--embed-cache 0]
                  [--segments 0] [--precision f32|int8] [--trace]
+                 [--workers 0] [--replicas 0] [--hedge-ms 0]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -141,6 +142,17 @@ of the story memory (re-quantized incrementally as sentences arrive),
 moving roughly a quarter of the bytes per question through exact-integer
 kernels; numeric faults fall back to the f32 safe path. The session
 summary reports both planes' resident bytes.
+`--workers N` (N > 1) shards the story memory across N local worker
+processes-worth of servers behind a fault-tolerant coordinator: answers
+stay bitwise-identical to single-node serving, RPCs carry per-question
+deadlines with bounded retries, and a total fleet failure falls back to
+exact local execution. `--replicas R` stores each shard on R workers so
+a killed worker fails over without losing exactness; `--hedge-ms M`
+re-dispatches a shard to a backup replica if the primary has not
+answered after M milliseconds. All three default to the
+`MNNFAST_WORKERS` / `MNNFAST_REPLICAS` / `MNNFAST_HEDGE_MS` environment
+variables when 0/absent. A `distributed:` summary line reports shard
+count, retries, failovers, hedges, and local fallbacks.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -460,6 +472,10 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         "int8" => Precision::Int8,
         other => return Err(format!("unknown precision '{other}' (expected f32|int8)")),
     };
+    // 0 = defer to MNNFAST_WORKERS / MNNFAST_REPLICAS / MNNFAST_HEDGE_MS.
+    let workers = options.get("workers", 0usize)?;
+    let replicas = options.get("replicas", 0usize)?;
+    let hedge_ms = options.get("hedge-ms", 0u64)?;
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -475,6 +491,9 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         embed_cache: (embed_cache > 0).then_some(embed_cache),
         segments,
         precision,
+        workers,
+        replicas,
+        hedge: (hedge_ms > 0).then(|| Duration::from_millis(hedge_ms)),
         ..SessionConfig::default()
     };
     let batch = options.get("batch", 0usize)?;
@@ -570,6 +589,18 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         .map_err(|e| e.to_string())?;
     }
     let health = session.degradation_stats();
+    if session.dist_shards() > 0 || health.dist_fallbacks > 0 {
+        writeln!(
+            out,
+            "distributed: {} shards, {} retries, {} failovers, {} hedges, {} local fallbacks",
+            session.dist_shards(),
+            health.dist_retries,
+            health.dist_failovers,
+            health.dist_hedges,
+            health.dist_fallbacks
+        )
+        .map_err(|e| e.to_string())?;
+    }
     if health.deadline_misses + health.numeric_faults > 0 {
         writeln!(
             out,
@@ -827,6 +858,68 @@ mod tests {
         // Unsegmented sessions stay quiet about segments.
         let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
         assert!(!out.contains("segments:"), "{out}");
+    }
+
+    #[test]
+    fn serve_workers_flag_prints_distributed_summary() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-workers");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\n\
+                     john went to the garden\n\
+                     where is mary?\n:quit\n";
+        let out = run_cli(
+            &[
+                "serve",
+                "--model",
+                model_str,
+                "--engine",
+                "column",
+                "--workers",
+                "2",
+                "--replicas",
+                "2",
+            ],
+            stdin,
+        )
+        .unwrap();
+        assert!(out.contains("distributed: 2 shards"), "{out}");
+        assert!(out.contains("-> "), "{out}");
+
+        // Local sessions stay quiet about the fleet; worker sharding and
+        // segment routing cannot be combined.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(!out.contains("distributed:"), "{out}");
+        assert!(run_cli(
+            &[
+                "serve",
+                "--model",
+                model_str,
+                "--workers",
+                "2",
+                "--segments",
+                "4",
+            ],
+            stdin,
+        )
+        .is_err());
     }
 
     #[test]

@@ -56,6 +56,14 @@ pub enum EngineError {
         /// `"normalize"`).
         stage: &'static str,
     },
+    /// A scale-out worker thread panicked mid-chunk.
+    ///
+    /// The panic is contained with `catch_unwind` so one poisoned chunk
+    /// kernel cannot take down the whole serving process; the pass is
+    /// abandoned (peers stop at their next chunk boundary) and the serving
+    /// layer degrades through the same retry ladder as
+    /// [`EngineError::NumericFault`].
+    WorkerPanicked,
 }
 
 impl fmt::Display for EngineError {
@@ -74,6 +82,9 @@ impl fmt::Display for EngineError {
             EngineError::Cancelled => write!(f, "request cancelled"),
             EngineError::NumericFault { stage } => {
                 write!(f, "numeric fault: non-finite value detected at {stage}")
+            }
+            EngineError::WorkerPanicked => {
+                write!(f, "scale-out worker panicked mid-chunk; pass abandoned")
             }
         }
     }

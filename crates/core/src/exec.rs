@@ -98,11 +98,17 @@ pub enum Phase {
     /// folded into the running total (pruned segments never merge and are
     /// counted in [`crate::InferenceStats::segments_pruned`] instead).
     SegmentMerge,
+    /// Distributed shard fan-out: wall time spent inside coordinator RPCs
+    /// — dispatching one question to every shard's worker, waiting out
+    /// retries/hedges, and folding the streamed partials (recorded by the
+    /// serving session, not the engines). The count unit is hops served
+    /// through the distributed plane.
+    Dist,
 }
 
 /// Number of [`Phase`] variants (array sizes in [`Trace`] and
 /// [`PhaseHistograms`]).
-const PHASES: usize = 11;
+const PHASES: usize = 12;
 
 impl Phase {
     /// All phases, in pipeline order.
@@ -118,6 +124,7 @@ impl Phase {
         Phase::Divide,
         Phase::Admission,
         Phase::Retry,
+        Phase::Dist,
     ];
 
     /// Stable machine-readable name (used in JSON output and CLI tables).
@@ -134,6 +141,7 @@ impl Phase {
             Phase::BatchGemm => "batch_gemm",
             Phase::Embed => "embed",
             Phase::SegmentMerge => "segment_merge",
+            Phase::Dist => "dist",
         }
     }
 
@@ -151,6 +159,7 @@ impl Phase {
             Phase::BatchGemm => 8,
             Phase::Embed => 9,
             Phase::SegmentMerge => 10,
+            Phase::Dist => 11,
         }
     }
 }

@@ -56,7 +56,9 @@ pub mod engine;
 pub mod exec;
 pub mod hops;
 pub mod parallel;
+pub mod partials;
 pub mod segment;
+pub mod store;
 pub mod streaming;
 
 pub use batch::{BatchEngine, BatchOutput};
@@ -73,6 +75,10 @@ pub use hops::{
     multi_hop_segmented_budgeted, multi_hop_simple, HopsOutput,
 };
 pub use parallel::ParallelEngine;
+pub use partials::{
+    forward_chunk_partials_budgeted, forward_chunk_quant_partials_budgeted, PartialFold,
+};
 pub use segment::{Segment, SegmentMap, SegmentPlan};
 pub use stats::InferenceStats;
+pub use store::{MemoryStore, SegmentedStore};
 pub use streaming::StreamingEngine;

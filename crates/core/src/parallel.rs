@@ -178,52 +178,72 @@ impl Executor for ParallelEngine {
                         let start = seg.start + (t * rows_per_thread).min(seg.rows);
                         let end = seg.start + ((t + 1) * rows_per_thread).min(seg.rows);
                         handles.push(scope.spawn(move || {
-                            let mut local = InferenceStats::default();
-                            let mut ltrace = if enabled {
-                                Trace::enabled()
-                            } else {
-                                Trace::disabled()
-                            };
-                            let logit_len = chunk.min((end - start).max(1));
-                            // One partial per owned chunk; the worker does
-                            // NOT pre-fold them — the main thread merges
-                            // every chunk partial in global chunk order so
-                            // the result is bitwise identical to the
-                            // sequential engines.
-                            let mut idx = 0usize;
-                            let mut row = start;
-                            while row < end {
-                                if abort.load(Ordering::Relaxed) || budget.check().is_err() {
-                                    abort.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                                let n = chunk.min(end - row);
-                                let (logits, mut acc) =
-                                    ws.chunk_slot(config.softmax, ed, logit_len, idx);
-                                engine.process_chunk_flat(
-                                    m_in.rows_slice(row, n),
-                                    m_out.rows_slice(row, n),
-                                    n,
-                                    u,
-                                    raw_threshold,
-                                    &mut acc,
-                                    &mut local,
-                                    &mut logits[..n],
-                                    &mut ltrace,
-                                );
-                                row += n;
-                                idx += 1;
+                            // Contain panics (a poisoned chunk kernel, a
+                            // violated slice invariant) to this worker:
+                            // peers stop at their next chunk boundary and
+                            // the pass surfaces `WorkerPanicked` instead of
+                            // unwinding through the serving process.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut local = InferenceStats::default();
+                                    let mut ltrace = if enabled {
+                                        Trace::enabled()
+                                    } else {
+                                        Trace::disabled()
+                                    };
+                                    let logit_len = chunk.min((end - start).max(1));
+                                    // One partial per owned chunk; the worker does
+                                    // NOT pre-fold them — the main thread merges
+                                    // every chunk partial in global chunk order so
+                                    // the result is bitwise identical to the
+                                    // sequential engines.
+                                    let mut idx = 0usize;
+                                    let mut row = start;
+                                    while row < end {
+                                        if abort.load(Ordering::Relaxed) || budget.check().is_err()
+                                        {
+                                            abort.store(true, Ordering::Relaxed);
+                                            break;
+                                        }
+                                        let n = chunk.min(end - row);
+                                        let (logits, mut acc) =
+                                            ws.chunk_slot(config.softmax, ed, logit_len, idx);
+                                        engine.process_chunk_flat(
+                                            m_in.rows_slice(row, n),
+                                            m_out.rows_slice(row, n),
+                                            n,
+                                            u,
+                                            raw_threshold,
+                                            &mut acc,
+                                            &mut local,
+                                            &mut logits[..n],
+                                            &mut ltrace,
+                                        );
+                                        row += n;
+                                        idx += 1;
+                                    }
+                                    ws.used = idx;
+                                    (local, ltrace)
+                                }));
+                            if result.is_err() {
+                                abort.store(true, Ordering::Relaxed);
                             }
-                            ws.used = idx;
-                            (local, ltrace)
+                            result
                         }));
                     }
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("scale-out worker panicked"))
+                        .map(|h| h.join().expect("scale-out worker thread join"))
                         .collect::<Vec<_>>()
                 })
             };
+            // A panicked worker leaves its scratch partials undefined, so
+            // the panic check runs before the abort/budget check and before
+            // any fold.
+            if partials.iter().any(|r| r.is_err()) {
+                return Err(EngineError::WorkerPanicked);
+            }
+            let partials: Vec<_> = partials.into_iter().map(|r| r.expect("checked")).collect();
             if abort.load(Ordering::Relaxed) {
                 // A worker saw the budget fail; surface the same error.
                 budget.check()?;
@@ -360,51 +380,68 @@ impl Executor for ParallelEngine {
                         let start = seg.start + (t * rows_per_thread).min(seg.rows);
                         let end = seg.start + ((t + 1) * rows_per_thread).min(seg.rows);
                         handles.push(scope.spawn(move || {
-                            let mut local = InferenceStats::default();
-                            let mut ltrace = if enabled {
-                                Trace::enabled()
-                            } else {
-                                Trace::disabled()
-                            };
-                            let logit_len = chunk.min((end - start).max(1));
-                            let mut idx = 0usize;
-                            let mut row = start;
-                            while row < end {
-                                if abort.load(Ordering::Relaxed) || budget.check().is_err() {
-                                    abort.store(true, Ordering::Relaxed);
-                                    break;
-                                }
-                                let n = chunk.min(end - row);
-                                let (logits, mut acc) =
-                                    ws.chunk_slot(config.softmax, ed, logit_len, idx);
-                                engine.process_chunk_quant(
-                                    m_in.rows_slice(row, n),
-                                    m_in.scales_slice(row, n),
-                                    m_out.rows_slice(row, n),
-                                    m_out.scales_slice(row, n),
-                                    n,
-                                    uq,
-                                    u_scale,
-                                    raw_threshold,
-                                    &mut acc,
-                                    &mut local,
-                                    &mut logits[..n],
-                                    &mut ltrace,
-                                );
-                                row += n;
-                                idx += 1;
+                            // Same panic containment as the f32 path: a
+                            // panicking chunk becomes `WorkerPanicked`, not
+                            // a process abort.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut local = InferenceStats::default();
+                                    let mut ltrace = if enabled {
+                                        Trace::enabled()
+                                    } else {
+                                        Trace::disabled()
+                                    };
+                                    let logit_len = chunk.min((end - start).max(1));
+                                    let mut idx = 0usize;
+                                    let mut row = start;
+                                    while row < end {
+                                        if abort.load(Ordering::Relaxed) || budget.check().is_err()
+                                        {
+                                            abort.store(true, Ordering::Relaxed);
+                                            break;
+                                        }
+                                        let n = chunk.min(end - row);
+                                        let (logits, mut acc) =
+                                            ws.chunk_slot(config.softmax, ed, logit_len, idx);
+                                        engine.process_chunk_quant(
+                                            m_in.rows_slice(row, n),
+                                            m_in.scales_slice(row, n),
+                                            m_out.rows_slice(row, n),
+                                            m_out.scales_slice(row, n),
+                                            n,
+                                            uq,
+                                            u_scale,
+                                            raw_threshold,
+                                            &mut acc,
+                                            &mut local,
+                                            &mut logits[..n],
+                                            &mut ltrace,
+                                        );
+                                        row += n;
+                                        idx += 1;
+                                    }
+                                    ws.used = idx;
+                                    (local, ltrace)
+                                }));
+                            if result.is_err() {
+                                abort.store(true, Ordering::Relaxed);
                             }
-                            ws.used = idx;
-                            (local, ltrace)
+                            result
                         }));
                     }
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("scale-out worker panicked"))
+                        .map(|h| h.join().expect("scale-out worker thread join"))
                         .collect::<Vec<_>>()
                 })
             };
+            if partials.iter().any(|r| r.is_err()) {
+                scratch.uq = uq_buf;
+                return Err(EngineError::WorkerPanicked);
+            }
+            let partials: Vec<_> = partials.into_iter().map(|r| r.expect("checked")).collect();
             if abort.load(Ordering::Relaxed) {
+                scratch.uq = uq_buf;
                 budget.check()?;
                 return Err(EngineError::Cancelled);
             }

@@ -10,9 +10,9 @@
 //! monotone version counter lets sessions cache the map and rebuild it only
 //! when the store has actually changed.
 
+use crate::segment::row_norm_upper;
+use crate::SegmentMap;
 use mnn_tensor::{Matrix, QuantMatrix};
-use mnnfast::segment::row_norm_upper;
-use mnnfast::SegmentMap;
 
 /// The int8 mirror of the populated prefix: per-row symmetric codes and
 /// scales for both memories, plus the store version it was synchronized
@@ -47,7 +47,7 @@ pub struct SegmentedStore {
     /// Optional int8 mirror for [`Precision::Int8`] serving, maintained
     /// incrementally on push/evict/clear once enabled.
     ///
-    /// [`Precision::Int8`]: mnnfast::Precision::Int8
+    /// [`Precision::Int8`]: crate::Precision::Int8
     quant: Option<QuantMirror>,
 }
 

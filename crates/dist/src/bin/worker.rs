@@ -1,0 +1,73 @@
+//! Standalone MnnFast segment worker.
+//!
+//! ```text
+//! mnn-dist-worker --ed 24 [--port 9400] [--chunk 32] [--quant]
+//! ```
+//!
+//! Binds `127.0.0.1:<port>` (an ephemeral port when omitted), prints the
+//! bound address on stdout, and serves until killed. `MNNFAST_FAULT` with
+//! an RPC kind (`drop`, `delay:<ms>`, `corrupt`, `disconnect`) arms the
+//! worker's response-fault injector — the lever the CI fault matrix pulls.
+
+use mnn_dist::{RpcFaultPlan, WorkerConfig, WorkerServer};
+
+fn usage() -> ! {
+    eprintln!("usage: mnn-dist-worker --ed <dim> [--port <port>] [--chunk <rows>] [--quant]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut ed: Option<usize> = None;
+    let mut port: u16 = 0;
+    let mut chunk: usize = 32;
+    let mut quant = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ed" => ed = args.next().and_then(|v| v.parse().ok()),
+            "--port" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(p) => port = p,
+                None => usage(),
+            },
+            "--chunk" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(c) if c > 0 => chunk = c,
+                _ => usage(),
+            },
+            "--quant" => quant = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(ed) = ed.filter(|&e| e > 0) else {
+        usage();
+    };
+    if let Err(e) = mnn_dist::validate_env() {
+        eprintln!("mnn-dist-worker: {e}");
+        std::process::exit(2);
+    }
+    let fault = match RpcFaultPlan::from_env() {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("mnn-dist-worker: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = WorkerConfig {
+        ed,
+        chunk_size: chunk,
+        quant,
+        fault,
+    };
+    let worker = match WorkerServer::spawn_on(&format!("127.0.0.1:{port}"), config) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("mnn-dist-worker: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", worker.addr());
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

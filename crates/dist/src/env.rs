@@ -1,0 +1,143 @@
+//! Strict typed parsing for the distributed plane's `MNNFAST_*` knobs.
+//!
+//! | variable | meaning |
+//! |----------|---------|
+//! | `MNNFAST_WORKERS` | fleet size the serving layer should spawn/expect |
+//! | `MNNFAST_REPLICAS` | copies of every shard (1 = no replication) |
+//! | `MNNFAST_HEDGE_MS` | hedge delay in milliseconds (0 = disabled) |
+//!
+//! Like the rest of the repo's env surface, readers are strict — a typo'd
+//! value is a typed [`EnvVarError`], not a silent default — and unset or
+//! empty always means "use the default". [`validate_env`] bundles all
+//! three plus the RPC dimension of the `MNNFAST_FAULT` grammar, for
+//! serving entry points to call at startup.
+
+use crate::fault::RpcFaultPlan;
+use mnn_tensor::EnvVarError;
+use std::time::Duration;
+
+fn positive_usize(var: &'static str) -> Result<Option<usize>, EnvVarError> {
+    match std::env::var(var) {
+        Ok(raw) if raw.is_empty() => Ok(None),
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(EnvVarError::new(var, raw, "a positive integer")),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
+/// Parses `MNNFAST_WORKERS`.
+///
+/// # Errors
+///
+/// [`EnvVarError`] unless the value is a positive integer (or unset/empty).
+pub fn workers_from_env() -> Result<Option<usize>, EnvVarError> {
+    positive_usize("MNNFAST_WORKERS")
+}
+
+/// Parses `MNNFAST_REPLICAS`.
+///
+/// # Errors
+///
+/// [`EnvVarError`] unless the value is a positive integer (or unset/empty).
+pub fn replicas_from_env() -> Result<Option<usize>, EnvVarError> {
+    positive_usize("MNNFAST_REPLICAS")
+}
+
+/// Parses `MNNFAST_HEDGE_MS`: `Ok(Some(None))` for an explicit `0`
+/// (hedging off), `Ok(Some(Some(d)))` for a positive delay, `Ok(None)`
+/// when unset/empty.
+///
+/// # Errors
+///
+/// [`EnvVarError`] unless the value is a non-negative integer.
+#[allow(clippy::option_option)]
+pub fn hedge_from_env() -> Result<Option<Option<Duration>>, EnvVarError> {
+    match std::env::var("MNNFAST_HEDGE_MS") {
+        Ok(raw) if raw.is_empty() => Ok(None),
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(0) => Ok(Some(None)),
+            Ok(ms) => Ok(Some(Some(Duration::from_millis(ms)))),
+            Err(_) => Err(EnvVarError::new(
+                "MNNFAST_HEDGE_MS",
+                raw,
+                "a non-negative integer of milliseconds (0 disables hedging)",
+            )),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
+/// Validates every distributed-plane environment knob, returning the
+/// first typed error: the three variables above plus the full
+/// `MNNFAST_FAULT` grammar (RPC *and* kernel kinds).
+///
+/// # Errors
+///
+/// The first [`EnvVarError`] found.
+pub fn validate_env() -> Result<(), EnvVarError> {
+    workers_from_env()?;
+    replicas_from_env()?;
+    hedge_from_env()?;
+    RpcFaultPlan::from_env()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // Env mutation is process-global; serialize the module.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn strict_parsing_of_all_three_knobs() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        for var in ["MNNFAST_WORKERS", "MNNFAST_REPLICAS", "MNNFAST_HEDGE_MS"] {
+            std::env::remove_var(var);
+        }
+        assert_eq!(workers_from_env().unwrap(), None);
+        assert_eq!(replicas_from_env().unwrap(), None);
+        assert_eq!(hedge_from_env().unwrap(), None);
+        assert!(validate_env().is_ok());
+
+        std::env::set_var("MNNFAST_WORKERS", "4");
+        std::env::set_var("MNNFAST_REPLICAS", "2");
+        std::env::set_var("MNNFAST_HEDGE_MS", "35");
+        assert_eq!(workers_from_env().unwrap(), Some(4));
+        assert_eq!(replicas_from_env().unwrap(), Some(2));
+        assert_eq!(
+            hedge_from_env().unwrap(),
+            Some(Some(Duration::from_millis(35)))
+        );
+        assert!(validate_env().is_ok());
+
+        std::env::set_var("MNNFAST_HEDGE_MS", "0");
+        assert_eq!(hedge_from_env().unwrap(), Some(None), "0 = hedging off");
+
+        for (var, bad) in [
+            ("MNNFAST_WORKERS", "0"),
+            ("MNNFAST_WORKERS", "four"),
+            ("MNNFAST_REPLICAS", "-1"),
+            ("MNNFAST_HEDGE_MS", "fast"),
+        ] {
+            std::env::set_var(var, bad);
+            let err = validate_env().unwrap_err();
+            assert_eq!(err.var(), var, "{var}={bad}");
+            std::env::remove_var(var);
+        }
+        for var in ["MNNFAST_WORKERS", "MNNFAST_REPLICAS", "MNNFAST_HEDGE_MS"] {
+            std::env::remove_var(var);
+        }
+    }
+
+    #[test]
+    fn empty_values_mean_default() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("MNNFAST_WORKERS", "");
+        assert_eq!(workers_from_env().unwrap(), None);
+        std::env::remove_var("MNNFAST_WORKERS");
+    }
+}

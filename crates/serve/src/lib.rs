@@ -41,11 +41,11 @@
 mod embed_cache;
 mod pool;
 mod session;
-mod store;
 
 pub use embed_cache::{EmbedCacheStats, SentenceCache};
+pub use mnn_dist::WorkerState;
+pub use mnnfast::store::{MemoryStore, SegmentedStore};
 pub use pool::{AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats, SessionPool};
 pub use session::{
     Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,
 };
-pub use store::{MemoryStore, SegmentedStore};

@@ -159,6 +159,18 @@ pub struct PoolStats {
     /// Tenants currently pinned to the safe path by their
     /// [`crate::DegradationPolicy`].
     pub pinned_sessions: usize,
+    /// Distributed RPC retries pool-wide (re-sent requests after a
+    /// transport fault or per-RPC deadline).
+    pub dist_retries: u64,
+    /// Distributed replica failovers pool-wide (a shard answered by a
+    /// backup replica after its primary worker failed).
+    pub dist_failovers: u64,
+    /// Distributed hedged re-dispatches pool-wide (a duplicate request
+    /// raced against a straggling worker).
+    pub dist_hedges: u64,
+    /// Sessions that tore down their worker fleet and fell back to exact
+    /// local execution after a mid-flight distributed failure.
+    pub dist_fallbacks: u64,
     /// Batched passes dispatched ([`SessionPool::ask_many`] calls plus
     /// coalescing-queue flushes).
     pub batches_dispatched: u64,
@@ -624,6 +636,10 @@ impl SessionPool {
             stats.numeric_faults += d.numeric_faults;
             stats.degraded_answers += d.degraded_answers;
             stats.pinned_sessions += usize::from(d.pinned_safe);
+            stats.dist_retries += d.dist_retries;
+            stats.dist_failovers += d.dist_failovers;
+            stats.dist_hedges += d.dist_hedges;
+            stats.dist_fallbacks += d.dist_fallbacks;
         }
         stats.segments_total = stats.inference.segments_total;
         stats.segments_pruned = stats.inference.segments_pruned;

@@ -17,8 +17,16 @@
 //! MNNFAST_FAULT=nan            # poison one chunk's logits with NaN
 //! MNNFAST_FAULT=inf            # oversized logits: e^x overflows the lazy denominator
 //! MNNFAST_FAULT=slow:25        # sleep 25 ms in one chunk (deadline tests)
+//! MNNFAST_FAULT=panic          # panic inside one chunk (catch_unwind tests)
 //! MNNFAST_FAULT=nan;after=3;fires=2   # skip 3 chunks, then fire twice
 //! ```
+//!
+//! The same grammar also names the *RPC* fault kinds consumed by the
+//! distributed plane (`drop`, `delay:<ms>`, `corrupt`, `disconnect`).
+//! Those are valid specs — [`check_env`] accepts them so one
+//! `MNNFAST_FAULT` variable drives either dimension — but they describe
+//! socket-level damage, so this kernel-level hook never arms them:
+//! [`arm_from_env`] treats them as "valid, nothing to arm here".
 //!
 //! Because the state is global, tests that arm faults must serialize
 //! themselves (the in-tree integration tests share one mutex) and always
@@ -41,6 +49,9 @@ pub enum FaultKind {
     /// Sleep for the given duration before processing the chunk — models a
     /// stalled memory fetch or an overloaded core, for deadline tests.
     SlowChunk(Duration),
+    /// Panic inside the chunk kernel — models a library bug or a violated
+    /// slice invariant, for the scale-out engine's `catch_unwind` tests.
+    PanicChunk,
 }
 
 /// An armed fault plus its firing schedule.
@@ -96,11 +107,18 @@ pub fn fired() -> u64 {
     state().lock().expect("fault state poisoned").fired
 }
 
+/// What a fault spec targets: this crate's fused chunk kernels, or the
+/// distributed plane's RPC layer (parsed as valid here, armed elsewhere).
+enum SpecTarget {
+    Chunk(FaultKind),
+    Rpc,
+}
+
 /// Strictly parses a fault spec (module-docs grammar). `Ok(None)` for the
 /// empty spec, `Ok(Some(plan))` for a valid one, `Err(())` for anything
 /// malformed — including unknown parts, bad counts, or a schedule with no
 /// fault kind.
-fn parse_spec(spec: &str) -> Result<Option<(FaultKind, u64, u64)>, ()> {
+fn parse_spec(spec: &str) -> Result<Option<(SpecTarget, u64, u64)>, ()> {
     if spec.is_empty() {
         return Ok(None);
     }
@@ -111,11 +129,20 @@ fn parse_spec(spec: &str) -> Result<Option<(FaultKind, u64, u64)>, ()> {
         let part = part.trim();
         if let Some(ms) = part.strip_prefix("slow:") {
             let ms = ms.parse::<u64>().map_err(|_| ())?;
-            kind = Some(FaultKind::SlowChunk(Duration::from_millis(ms)));
+            kind = Some(SpecTarget::Chunk(FaultKind::SlowChunk(
+                Duration::from_millis(ms),
+            )));
         } else if part == "nan" {
-            kind = Some(FaultKind::NanLogit);
+            kind = Some(SpecTarget::Chunk(FaultKind::NanLogit));
         } else if part == "inf" {
-            kind = Some(FaultKind::OversizedLogit);
+            kind = Some(SpecTarget::Chunk(FaultKind::OversizedLogit));
+        } else if part == "panic" {
+            kind = Some(SpecTarget::Chunk(FaultKind::PanicChunk));
+        } else if part == "drop" || part == "corrupt" || part == "disconnect" {
+            kind = Some(SpecTarget::Rpc);
+        } else if let Some(ms) = part.strip_prefix("delay:") {
+            ms.parse::<u64>().map_err(|_| ())?;
+            kind = Some(SpecTarget::Rpc);
         } else if let Some(n) = part.strip_prefix("after=") {
             after = n.parse().map_err(|_| ())?;
         } else if let Some(n) = part.strip_prefix("fires=") {
@@ -131,9 +158,10 @@ fn parse_spec(spec: &str) -> Result<Option<(FaultKind, u64, u64)>, ()> {
 }
 
 /// Parses `MNNFAST_FAULT` (see the module docs for the grammar) and arms
-/// the described fault. Returns `false` when the variable is unset, empty
-/// or malformed (malformed specs are ignored rather than panicking: fault
-/// injection must never take down a process that merely inherited a stale
+/// the described fault. Returns `false` when the variable is unset, empty,
+/// malformed, or names an RPC-level fault this kernel hook does not own
+/// (malformed specs are ignored rather than panicking: fault injection
+/// must never take down a process that merely inherited a stale
 /// environment — use [`check_env`] to surface them as typed errors at
 /// startup).
 pub fn arm_from_env() -> bool {
@@ -141,11 +169,11 @@ pub fn arm_from_env() -> bool {
         return false;
     };
     match parse_spec(&spec) {
-        Ok(Some((kind, after, fires))) => {
+        Ok(Some((SpecTarget::Chunk(kind), after, fires))) => {
             arm(kind, after, fires);
             true
         }
-        Ok(None) | Err(()) => false,
+        Ok(Some((SpecTarget::Rpc, _, _))) | Ok(None) | Err(()) => false,
     }
 }
 
@@ -159,8 +187,9 @@ pub fn check_env() -> Result<(), crate::EnvVarError> {
             Err(()) => Err(crate::EnvVarError::new(
                 "MNNFAST_FAULT",
                 spec,
-                "a fault spec like `nan`, `inf` or `slow:25`, optionally \
-                 with `;after=N` / `;fires=M` (empty/unset = none)",
+                "a fault spec like `nan`, `inf`, `panic`, `slow:25`, or an \
+                 RPC kind (`drop`, `delay:<ms>`, `corrupt`, `disconnect`), \
+                 optionally with `;after=N` / `;fires=M` (empty/unset = none)",
             )),
         },
         Err(_) => Ok(()),
@@ -238,6 +267,38 @@ mod tests {
         std::env::remove_var("MNNFAST_FAULT");
         assert!(!arm_from_env());
         assert!(check_env().is_ok());
+        disarm();
+    }
+
+    #[test]
+    fn panic_kind_parses_and_arms() {
+        let _guard = SERIAL.lock().unwrap();
+        std::env::set_var("MNNFAST_FAULT", "panic;after=1");
+        assert!(arm_from_env());
+        {
+            let s = state().lock().unwrap();
+            let plan = s.plan.expect("armed");
+            assert_eq!(plan.kind, FaultKind::PanicChunk);
+            assert_eq!(plan.after_chunks, 1);
+        }
+        std::env::remove_var("MNNFAST_FAULT");
+        disarm();
+    }
+
+    #[test]
+    fn rpc_kinds_validate_but_never_arm_the_kernel_hook() {
+        let _guard = SERIAL.lock().unwrap();
+        for spec in ["drop", "delay:15", "corrupt", "disconnect;after=2;fires=3"] {
+            std::env::set_var("MNNFAST_FAULT", spec);
+            assert!(check_env().is_ok(), "{spec} must validate");
+            assert!(!arm_from_env(), "{spec} must not arm a kernel fault");
+            assert_eq!(on_chunk(), None, "{spec} must not fire in a kernel");
+        }
+        // Malformed delays are still rejected whole.
+        std::env::set_var("MNNFAST_FAULT", "delay:abc");
+        assert!(check_env().is_err());
+        assert!(!arm_from_env());
+        std::env::remove_var("MNNFAST_FAULT");
         disarm();
     }
 }

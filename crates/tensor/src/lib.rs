@@ -19,6 +19,8 @@
 //! - [`partial`]: the segment merge plane — a serializable [`PartialState`]
 //!   over the lazy/online softmax partials with a versioned little-endian
 //!   wire encoding, through which every chunk/segment merge is folded,
+//! - [`crc`]: the CRC-32 (IEEE) checksum shared by the partial wire format
+//!   and the coordinator/worker RPC frames,
 //! - [`quant`]: the int8 quantized memory plane — [`QuantMatrix`] mirrors
 //!   of the story memory (symmetric per-row scales) consumed by the
 //!   bitwise-reproducible int8 kernels in [`simd`].
@@ -50,6 +52,7 @@ mod buffer;
 mod error;
 mod matrix;
 
+pub mod crc;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod kernels;

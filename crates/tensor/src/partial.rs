@@ -19,22 +19,29 @@
 //! Encoding uses [`f32::to_le_bytes`], which is bit-exact (NaN payloads
 //! included), so the roundtrip is the identity on the accumulator state.
 //!
-//! ## Wire format (version 1, all fields little-endian)
+//! ## Wire format (version 2, all fields little-endian)
 //!
 //! | offset    | size    | field                                      |
 //! |-----------|---------|--------------------------------------------|
 //! | 0         | 2       | magic `0x5350` (`"PS"`)                    |
-//! | 2         | 1       | version (`1`)                              |
+//! | 2         | 1       | version (`2`)                              |
 //! | 3         | 1       | mode (`0` = lazy, `1` = online)            |
 //! | 4         | 4       | payload length in bytes (`u32`)            |
 //! | 8         | 4       | `dim` (`u32`)                              |
 //! | 12        | 4       | `denom` (`f32`)                            |
 //! | 16        | 4       | `max_logit` (`f32`, online mode only)      |
 //! | 16 or 20  | 4 × dim | `weighted_sum[0..dim]` (`f32` each)        |
+//! | end − 4   | 4       | CRC-32 over all preceding bytes            |
 //!
-//! The payload length counts every byte after the fixed 8-byte header, so
-//! a stream reader can frame a partial from the header alone.
+//! The payload length counts every byte after the fixed 8-byte header —
+//! trailing checksum included — so a stream reader can frame a partial
+//! from the header alone. Version 2 appended the [`crate::crc`] checksum
+//! (computed over header *and* payload body) so a partial that crossed a
+//! real wire is rejected with [`PartialDecodeError::Corrupt`] when any
+//! bit flipped in flight; version-1 buffers are refused with
+//! [`PartialDecodeError::UnsupportedVersion`].
 
+use crate::crc::crc32;
 use crate::softmax::{LazyAccumulator, OnlineSoftmax};
 use crate::ShapeError;
 use std::error::Error;
@@ -45,8 +52,11 @@ use std::sync::OnceLock;
 /// Wire magic tag, `"PS"` in little-endian order.
 pub const MAGIC: u16 = 0x5350;
 
-/// Current wire-format version.
-pub const VERSION: u8 = 1;
+/// Current wire-format version (2 = version 1 plus a trailing CRC-32).
+pub const VERSION: u8 = 2;
+
+/// Trailing checksum length in bytes.
+pub const CRC_LEN: usize = 4;
 
 /// Fixed header length in bytes (magic + version + mode + payload length).
 pub const HEADER_LEN: usize = 8;
@@ -143,13 +153,14 @@ impl PartialState {
             PartialState::Lazy(_) => 8,    // dim + denom
             PartialState::Online(_) => 12, // dim + denom + max_logit
         };
-        HEADER_LEN + fixed + self.dim() * 4
+        HEADER_LEN + fixed + self.dim() * 4 + CRC_LEN
     }
 
-    /// Appends the version-1 wire encoding of this partial to `buf`
+    /// Appends the version-2 wire encoding of this partial to `buf`
     /// (see the module-level format table).
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.reserve(self.encoded_len());
+        let start = buf.len();
         let (mode, ws, denom, max_logit) = match self {
             PartialState::Lazy(acc) => {
                 let (ws, denom) = acc.raw_parts();
@@ -160,7 +171,7 @@ impl PartialState {
                 (MODE_ONLINE, ws, denom, Some(max))
             }
         };
-        let payload = 4 + 4 + if max_logit.is_some() { 4 } else { 0 } + ws.len() * 4;
+        let payload = 4 + 4 + if max_logit.is_some() { 4 } else { 0 } + ws.len() * 4 + CRC_LEN;
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.push(VERSION);
         buf.push(mode);
@@ -173,9 +184,11 @@ impl PartialState {
         for &v in ws {
             buf.extend_from_slice(&v.to_le_bytes());
         }
+        let sum = crc32(&buf[start..]);
+        buf.extend_from_slice(&sum.to_le_bytes());
     }
 
-    /// The version-1 wire encoding as a fresh buffer
+    /// The version-2 wire encoding as a fresh buffer
     /// ([`PartialState::encode_into`]).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(self.encoded_len());
@@ -227,18 +240,32 @@ impl PartialState {
             });
         }
         let fixed = if mode == MODE_ONLINE { 12 } else { 8 };
-        if payload < fixed {
+        if payload < fixed + CRC_LEN {
             return Err(PartialDecodeError::Truncated {
-                needed: HEADER_LEN + fixed,
+                needed: HEADER_LEN + fixed + CRC_LEN,
                 got: bytes.len(),
             });
         }
         let dim = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
-        let expected = fixed + dim.saturating_mul(4);
+        let expected = fixed + dim.saturating_mul(4).saturating_add(CRC_LEN);
         if payload != expected {
             return Err(PartialDecodeError::LengthMismatch {
                 declared,
                 actual: HEADER_LEN + expected,
+            });
+        }
+        let body = declared - CRC_LEN;
+        let stored = u32::from_le_bytes([
+            bytes[body],
+            bytes[body + 1],
+            bytes[body + 2],
+            bytes[body + 3],
+        ]);
+        let computed = crc32(&bytes[..body]);
+        if stored != computed {
+            return Err(PartialDecodeError::Corrupt {
+                expected: computed,
+                got: stored,
             });
         }
         let read_f32 = |off: usize| {
@@ -286,6 +313,15 @@ pub enum PartialDecodeError {
         /// Length actually observed.
         actual: usize,
     },
+    /// The trailing CRC-32 does not match the header + payload bytes —
+    /// something flipped in flight. Checked last, so a `Corrupt` error
+    /// means the frame was structurally plausible but bit-damaged.
+    Corrupt {
+        /// Checksum recomputed over the received bytes.
+        expected: u32,
+        /// Checksum the frame carried.
+        got: u32,
+    },
 }
 
 impl fmt::Display for PartialDecodeError {
@@ -307,6 +343,12 @@ impl fmt::Display for PartialDecodeError {
                 write!(
                     f,
                     "partial length mismatch: declared {declared} bytes, observed {actual}"
+                )
+            }
+            PartialDecodeError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "corrupt partial: crc32 {got:#010x} on the wire, {expected:#010x} recomputed"
                 )
             }
         }
@@ -665,6 +707,40 @@ mod tests {
     }
 
     #[test]
+    fn flipped_payload_bits_are_rejected_as_corrupt() {
+        let good = PartialState::Online(online_fixture(5, 0.6)).to_bytes();
+        // Non-structural bytes: denom, max_logit, weighted_sum, and the
+        // CRC itself (offsets 12..end). Any single-bit flip there must
+        // surface as Corrupt — never decode, never panic.
+        for byte in 12..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                match PartialState::from_bytes(&bad) {
+                    Err(PartialDecodeError::Corrupt { expected, got }) => {
+                        assert_ne!(expected, got);
+                    }
+                    other => panic!("flip {byte}:{bit}: expected Corrupt, got {other:?}"),
+                }
+            }
+        }
+        // The pristine buffer still decodes.
+        assert!(PartialState::from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn version_1_buffers_are_refused() {
+        // A version-2 reader must not guess at version-1 frames (they have
+        // no checksum to verify).
+        let mut v1 = PartialState::Lazy(lazy_fixture(3, 0.5)).to_bytes();
+        v1[2] = 1;
+        assert_eq!(
+            PartialState::from_bytes(&v1),
+            Err(PartialDecodeError::UnsupportedVersion(1))
+        );
+    }
+
+    #[test]
     fn mode_and_dim_mismatches_are_typed_merge_errors() {
         let mut lazy = PartialState::Lazy(lazy_fixture(3, 0.2));
         let online = PartialState::Online(online_fixture(3, 0.2));
@@ -692,12 +768,19 @@ mod tests {
                 actual: 12,
             }
             .to_string(),
+            PartialDecodeError::Corrupt {
+                expected: 0xdead_beef,
+                got: 0x0bad_f00d,
+            }
+            .to_string(),
         ];
         assert!(msgs[0].contains("truncated"));
         assert!(msgs[1].contains("0xbeef"));
         assert!(msgs[2].contains("version 3"));
         assert!(msgs[3].contains("mode 9"));
         assert!(msgs[4].contains("declared 10"));
+        assert!(msgs[5].contains("0xdeadbeef"));
+        assert!(msgs[5].contains("0x0badf00d"));
     }
 
     #[test]

@@ -232,6 +232,7 @@ impl LazyAccumulator {
                 std::thread::sleep(d);
                 self.accumulate_chunk_fused(in_flat, out_flat, n_rows, u, raw_threshold)
             }
+            FaultKind::PanicChunk => panic!("injected fault: chunk kernel panic"),
             FaultKind::NanLogit | FaultKind::OversizedLogit => {
                 let ed = u.len();
                 let mut logits = vec![0.0f32; n_rows];
@@ -359,6 +360,7 @@ impl LazyAccumulator {
                 self.denom += denom;
                 skipped
             }
+            FaultKind::PanicChunk => panic!("injected fault: chunk kernel panic"),
             FaultKind::NanLogit | FaultKind::OversizedLogit => {
                 let ed = uq.len();
                 let b = simd::backend();
@@ -715,6 +717,7 @@ impl OnlineSoftmax {
                 std::thread::sleep(d);
                 None
             }
+            FaultKind::PanicChunk => panic!("injected fault: chunk kernel panic"),
             FaultKind::NanLogit => Some(f32::NAN),
             FaultKind::OversizedLogit => Some(1000.0),
         };
@@ -755,6 +758,7 @@ impl OnlineSoftmax {
                     std::thread::sleep(d);
                     None
                 }
+                FaultKind::PanicChunk => panic!("injected fault: chunk kernel panic"),
                 FaultKind::NanLogit => Some(f32::NAN),
                 FaultKind::OversizedLogit => Some(1000.0),
             };
@@ -906,6 +910,11 @@ impl OnlineSoftmax {
         self.max_logit
     }
 
+    /// Output dimension (`ed`) this accumulator was built for.
+    pub fn dim(&self) -> usize {
+        self.weighted_sum.len()
+    }
+
     /// Probability weight the accumulator would currently assign to `logit`,
     /// i.e. `e^{logit - max}` before normalization. Exposed so zero-skip
     /// decisions can be made in the numerically-safe domain.
@@ -988,6 +997,7 @@ fn batch_fault_poison() -> Option<f32> {
                 std::thread::sleep(d);
                 None
             }
+            Some(FaultKind::PanicChunk) => panic!("injected fault: chunk kernel panic"),
             Some(FaultKind::NanLogit) => Some(f32::NAN),
             // Far above EXP_CLAMP: libm e^x overflows to inf.
             Some(FaultKind::OversizedLogit) => Some(1000.0),
