@@ -1,0 +1,21 @@
+//! Sublinear top-K candidate attention: paired exact-vs-sparse crossover
+//! sweep, probe recall against the brute-force top-K, and bAbI answer
+//! parity. Emits the machine-readable `BENCH_sparse.json`; with `--check`
+//! the process exits nonzero when the run fails the conservative sanity
+//! gate (finite measurements, rows really skipped, accounting conserved,
+//! no answer changed).
+use mnn_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let report = mnn_bench::sparse_report::run(scale);
+    print!("{}", report.table());
+    match report.write_json("BENCH_sparse.json") {
+        Ok(()) => println!("wrote BENCH_sparse.json"),
+        Err(e) => eprintln!("{e}"),
+    }
+    if std::env::args().any(|a| a == "--check") && !report.sane() {
+        eprintln!("sparse-attention run failed its sanity gate");
+        std::process::exit(1);
+    }
+}

@@ -27,6 +27,7 @@
 //! | `bench_segment` | segmented plane overhead + pruning (BENCH_segment.json) | [`segment_report`] |
 //! | `bench_quant` | int8 memory plane speedup + parity (BENCH_quant.json) | [`quant_report`] |
 //! | `bench_dist` | distributed fleet overhead + hedged p99 (BENCH_dist.json) | [`dist_report`] |
+//! | `bench_sparse` | top-K candidate attention crossover + recall (BENCH_sparse.json) | [`sparse_report`] |
 
 pub mod batch_report;
 pub mod dist_report;
@@ -37,6 +38,7 @@ pub mod kernel_report;
 pub mod quant_report;
 pub mod robustness_report;
 pub mod segment_report;
+pub mod sparse_report;
 pub mod table;
 
 /// How large an experiment run should be.

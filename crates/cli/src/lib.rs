@@ -117,6 +117,7 @@ USAGE:
                  [--deadline-ms 0] [--batch 0] [--embed-cache 0]
                  [--segments 0] [--precision f32|int8] [--trace]
                  [--workers 0] [--replicas 0] [--hedge-ms 0]
+                 [--topk 0] [--nprobe 0]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -153,6 +154,14 @@ answered after M milliseconds. All three default to the
 `MNNFAST_WORKERS` / `MNNFAST_REPLICAS` / `MNNFAST_HEDGE_MS` environment
 variables when 0/absent. A `distributed:` summary line reports shard
 count, retries, failovers, hedges, and local fallbacks.
+`--topk K` (K > 0) answers questions through a clustered candidate index:
+each question probes the nearest clusters and the exact kernels rescore
+only the best candidate rows — sublinear in memory size, same kernels,
+bitwise-exact on the rows it attends. `--nprobe P` sets the probe floor
+(clusters opened per question; 0 defers to `MNNFAST_NPROBE`, default 8).
+Low-confidence probes fall back to exact attention per question, reported
+on the `sparse:` summary line. When `--topk` is absent the `MNNFAST_TOPK`
+environment variable supplies the count; unset serves exact attention.
 
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
@@ -476,6 +485,9 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     let workers = options.get("workers", 0usize)?;
     let replicas = options.get("replicas", 0usize)?;
     let hedge_ms = options.get("hedge-ms", 0u64)?;
+    // 0 = defer to MNNFAST_TOPK / MNNFAST_NPROBE.
+    let topk = options.get("topk", 0usize)?;
+    let nprobe = options.get("nprobe", 0usize)?;
     let config = SessionConfig {
         plan: ExecPlan::new(MnnFastConfig::new(64).with_threads(threads).with_skip(
             if skip > 0.0 {
@@ -494,6 +506,8 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         workers,
         replicas,
         hedge: (hedge_ms > 0).then(|| Duration::from_millis(hedge_ms)),
+        topk,
+        nprobe,
         ..SessionConfig::default()
     };
     let batch = options.get("batch", 0usize)?;
@@ -589,6 +603,21 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
         .map_err(|e| e.to_string())?;
     }
     let health = session.degradation_stats();
+    if session.topk() > 0 {
+        let s = session.cumulative_stats();
+        writeln!(
+            out,
+            "sparse: top-{} (probe floor {}), {} clusters probed, {} rows rescored, \
+             {} rows skipped by index, {} exact fallbacks",
+            session.topk(),
+            session.nprobe(),
+            s.index_probes,
+            s.candidates_scored,
+            s.rows_skipped_by_index,
+            health.sparse_fallbacks
+        )
+        .map_err(|e| e.to_string())?;
+    }
     if session.dist_shards() > 0 || health.dist_fallbacks > 0 {
         writeln!(
             out,
@@ -916,6 +945,61 @@ mod tests {
                 "2",
                 "--segments",
                 "4",
+            ],
+            stdin,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn serve_topk_flag_prints_sparse_summary() {
+        let dir = std::env::temp_dir().join("mnnfast-cli-topk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.bin");
+        let model_str = model_path.to_str().unwrap();
+        run_cli(
+            &[
+                "train",
+                "--out",
+                model_str,
+                "--stories",
+                "5",
+                "--epochs",
+                "1",
+                "--ns",
+                "6",
+            ],
+            "",
+        )
+        .unwrap();
+
+        let stdin = "mary went to the kitchen\n\
+                     john went to the garden\n\
+                     sandra went to the office\n\
+                     daniel went to the bathroom\n\
+                     where is mary?\n:quit\n";
+        let out = run_cli(
+            &[
+                "serve", "--model", model_str, "--topk", "2", "--nprobe", "1",
+            ],
+            stdin,
+        )
+        .unwrap();
+        assert!(out.contains("sparse: top-2 (probe floor 1)"), "{out}");
+
+        // Exact sessions stay quiet about the index; top-K and segment
+        // routing cannot be combined.
+        let out = run_cli(&["serve", "--model", model_str], stdin).unwrap();
+        assert!(!out.contains("sparse:"), "{out}");
+        assert!(run_cli(
+            &[
+                "serve",
+                "--model",
+                model_str,
+                "--topk",
+                "2",
+                "--segments",
+                "4"
             ],
             stdin,
         )

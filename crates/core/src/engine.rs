@@ -64,6 +64,18 @@ pub enum EngineError {
     /// layer degrades through the same retry ladder as
     /// [`EngineError::NumericFault`].
     WorkerPanicked,
+    /// The top-K candidate index declined to answer this pass.
+    ///
+    /// Not a failure: the sparse path refuses to serve an approximate
+    /// answer it cannot stand behind — the index is empty, `topk` covers
+    /// the whole memory anyway, or the probe's confidence margin collapsed
+    /// (centroid-score ties make the cluster cut arbitrary). The serving
+    /// layer reacts by rerunning the question through exact attention,
+    /// one rung down the degradation ladder.
+    IndexDeclined {
+        /// Why the index stepped aside (static, log-friendly).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -85,6 +97,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::WorkerPanicked => {
                 write!(f, "scale-out worker panicked mid-chunk; pass abandoned")
+            }
+            EngineError::IndexDeclined { reason } => {
+                write!(f, "top-K index declined: {reason}; use exact attention")
             }
         }
     }

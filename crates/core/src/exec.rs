@@ -48,8 +48,9 @@
 //! deliberately untimed.
 
 use crate::budget::Budget;
-use crate::config::{MnnFastConfig, SoftmaxMode};
+use crate::config::{MnnFastConfig, SkipPolicy, SoftmaxMode};
 use crate::engine::{AccumMut, ColumnOutput, EngineError};
+use crate::index::{ClusterIndex, ProbeResult};
 use crate::segment::SegmentPlan;
 use mnn_tensor::softmax::{LazyAccumulator, OnlineSoftmax};
 use mnn_tensor::{Matrix, QuantMatrix};
@@ -104,11 +105,16 @@ pub enum Phase {
     /// serving session, not the engines). The count unit is hops served
     /// through the distributed plane.
     Dist,
+    /// Top-K candidate-index work: centroid scoring, cluster ranking and
+    /// posting-list gathering before the exact rescoring pass (plus the
+    /// candidate gather into a staging memory, when one is built). The
+    /// count unit is clusters probed.
+    IndexProbe,
 }
 
 /// Number of [`Phase`] variants (array sizes in [`Trace`] and
 /// [`PhaseHistograms`]).
-const PHASES: usize = 12;
+const PHASES: usize = 13;
 
 impl Phase {
     /// All phases, in pipeline order.
@@ -116,6 +122,7 @@ impl Phase {
         Phase::Embed,
         Phase::InnerProduct,
         Phase::ExpAccumulate,
+        Phase::IndexProbe,
         Phase::FusedChunk,
         Phase::BatchGemm,
         Phase::Skip,
@@ -142,6 +149,7 @@ impl Phase {
             Phase::Embed => "embed",
             Phase::SegmentMerge => "segment_merge",
             Phase::Dist => "dist",
+            Phase::IndexProbe => "index_probe",
         }
     }
 
@@ -160,6 +168,7 @@ impl Phase {
             Phase::Embed => 9,
             Phase::SegmentMerge => 10,
             Phase::Dist => 11,
+            Phase::IndexProbe => 12,
         }
     }
 }
@@ -1072,12 +1081,258 @@ pub trait Executor: Send + Sync + fmt::Debug {
             .collect())
     }
 
+    /// Approximate-first, exact-second attention: probe the clustered
+    /// top-K candidate [`ClusterIndex`] for the rows most likely to carry
+    /// the softmax mass, then rescore *only those rows* with the unchanged
+    /// exact kernels. Sublinear in memory size — `O(k·ed)` centroid scoring
+    /// plus `O(candidates·ed)` exact work instead of `O(ns·ed)`.
+    ///
+    /// Two rescoring modes, chosen per probe:
+    ///
+    /// * **Plan mode** — when the candidates are spatially clustered (the
+    ///   covered chunk-run span is at most twice the candidate count), run
+    ///   [`Executor::forward_segmented_budgeted`] over a zero-copy *gappy*
+    ///   routed plan ([`crate::SegmentMap::from_segments`]) covering the
+    ///   candidate chunks. The answer is bitwise identical to exact
+    ///   attention restricted to the covered chunk runs.
+    /// * **Gather mode** — when the candidates are scattered (covering
+    ///   their chunks would rescore mostly non-candidates), copy the
+    ///   candidate rows into a contiguous staging memory and run the plain
+    ///   prefix pass over it. The answer is bitwise identical to exact
+    ///   attention over a memory holding exactly the candidate rows in
+    ///   ascending order.
+    ///
+    /// Either way the exact fused kernels do all scoring — the index only
+    /// chooses *which* rows they see, never *how* a row is scored.
+    /// Probe and gather time land under [`Phase::IndexProbe`];
+    /// [`crate::InferenceStats::index_probes`],
+    /// [`crate::InferenceStats::candidates_scored`] and
+    /// [`crate::InferenceStats::rows_skipped_by_index`] account the sparse
+    /// work.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::IndexDeclined`] when the index cannot stand behind a
+    /// sparse answer — the index is empty, `topk` covers every live row,
+    /// the probe's confidence margin collapsed (centroid-score ties), or
+    /// the gathered candidate set spans every live row (near-duplicate
+    /// memories cascade the probe through every cluster). Callers degrade
+    /// to exact attention; nothing is wrong with the request. [`EngineError::Config`] on `topk == 0` / `nprobe == 0`, a
+    /// [`SkipPolicy::Probability`] configuration (its two-pass threshold
+    /// sweep is defined over the full memory, not a candidate subset), an
+    /// index larger than the memory it claims to mirror, or a query width
+    /// mismatch. Otherwise as [`Executor::forward_segmented_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward_topk_segmented_budgeted(
+        &self,
+        m_in: &Matrix,
+        m_out: &Matrix,
+        index: &ClusterIndex,
+        u: &[f32],
+        topk: usize,
+        nprobe: usize,
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        let config = self.config();
+        check_topk_request(
+            &config,
+            index,
+            u.len(),
+            topk,
+            nprobe,
+            m_in.rows().min(m_out.rows()),
+        )?;
+        let t0 = trace.begin();
+        let probe = index.probe(u, topk, nprobe, config.chunk_size);
+        let probe = admit_probe(probe, index.len(), trace, t0)?;
+        let mut out = if rescore_via_plan(&probe) {
+            trace.record(Phase::IndexProbe, t0, probe.probes as u64);
+            let plan = SegmentPlan::routed(&probe.covered, false);
+            self.forward_segmented_budgeted(m_in, m_out, &plan, u, scratch, trace, budget)?
+        } else {
+            let n = probe.candidates.len();
+            let ed = index.ed();
+            let mut in_flat = Vec::with_capacity(n * ed);
+            let mut out_flat = Vec::with_capacity(n * ed);
+            for &r in &probe.candidates {
+                in_flat.extend_from_slice(m_in.row(r as usize));
+                out_flat.extend_from_slice(m_out.row(r as usize));
+            }
+            let staged_in = Matrix::from_flat(n, ed, &in_flat)?;
+            let staged_out = Matrix::from_flat(n, ed, &out_flat)?;
+            trace.record(Phase::IndexProbe, t0, probe.probes as u64);
+            self.forward_prefix_budgeted(&staged_in, &staged_out, n, u, scratch, trace, budget)?
+        };
+        patch_topk_stats(&mut out.stats, &probe, index.len());
+        Ok(out)
+    }
+
+    /// [`Executor::forward_topk_segmented_budgeted`] over the *quantized*
+    /// memory plane: the probe is identical (centroids are f32 regardless of
+    /// the memory plane), and the exact-rescoring pass runs on the int8
+    /// kernels through [`Executor::forward_quant_segmented_budgeted`]. The
+    /// gather mode copies the candidates' int8 codes and scales *verbatim*
+    /// ([`QuantMatrix::push_quantized_row`]), so a gathered pass shares the
+    /// rounding history of the full quantized plane — answers on probed rows
+    /// stay bitwise identical to the exact quantized pass restricted to
+    /// those rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`Executor::forward_topk_segmented_budgeted`], plus
+    /// [`EngineError::Config`] when the executor has no quantized path.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_quant_topk_segmented_budgeted(
+        &self,
+        m_in: &QuantMatrix,
+        m_out: &QuantMatrix,
+        index: &ClusterIndex,
+        u: &[f32],
+        topk: usize,
+        nprobe: usize,
+        scratch: &mut Scratch,
+        trace: &mut Trace,
+        budget: &Budget,
+    ) -> Result<ColumnOutput, EngineError> {
+        let config = self.config();
+        check_topk_request(
+            &config,
+            index,
+            u.len(),
+            topk,
+            nprobe,
+            m_in.rows().min(m_out.rows()),
+        )?;
+        let t0 = trace.begin();
+        let probe = index.probe(u, topk, nprobe, config.chunk_size);
+        let probe = admit_probe(probe, index.len(), trace, t0)?;
+        let mut out = if rescore_via_plan(&probe) {
+            trace.record(Phase::IndexProbe, t0, probe.probes as u64);
+            let plan = SegmentPlan::routed(&probe.covered, false);
+            self.forward_quant_segmented_budgeted(m_in, m_out, &plan, u, scratch, trace, budget)?
+        } else {
+            let n = probe.candidates.len();
+            let mut staged_in = QuantMatrix::with_capacity(n, m_in.cols());
+            let mut staged_out = QuantMatrix::with_capacity(n, m_out.cols());
+            for &r in &probe.candidates {
+                staged_in.push_quantized_row(m_in.row(r as usize), m_in.scale(r as usize));
+                staged_out.push_quantized_row(m_out.row(r as usize), m_out.scale(r as usize));
+            }
+            trace.record(Phase::IndexProbe, t0, probe.probes as u64);
+            let plan = SegmentPlan::unsegmented(n);
+            self.forward_quant_segmented_budgeted(
+                &staged_in,
+                &staged_out,
+                &plan,
+                u,
+                scratch,
+                trace,
+                budget,
+            )?
+        };
+        patch_topk_stats(&mut out.stats, &probe, index.len());
+        Ok(out)
+    }
+
     /// The dataflow configuration this executor runs.
     fn config(&self) -> MnnFastConfig;
 
     /// The engine kind this executor reports (the *plan* kind for
     /// [`PlanExecutor`], which may be [`EngineKind::Auto`]).
     fn kind(&self) -> EngineKind;
+}
+
+/// Shared admission checks of the top-K seam (f32 and quantized variants).
+fn check_topk_request(
+    config: &MnnFastConfig,
+    index: &ClusterIndex,
+    query_width: usize,
+    topk: usize,
+    nprobe: usize,
+    memory_rows: usize,
+) -> Result<(), EngineError> {
+    if topk == 0 {
+        return Err(EngineError::Config("topk must be positive".into()));
+    }
+    if nprobe == 0 {
+        return Err(EngineError::Config("nprobe must be positive".into()));
+    }
+    if matches!(config.skip, SkipPolicy::Probability(_)) {
+        return Err(EngineError::Config(
+            "probability zero-skip sweeps the full memory; \
+             incompatible with top-K candidate attention"
+                .into(),
+        ));
+    }
+    if query_width != index.ed() {
+        return Err(EngineError::Config(format!(
+            "query width {} != index embedding width {}",
+            query_width,
+            index.ed()
+        )));
+    }
+    if index.len() > memory_rows {
+        return Err(EngineError::Config(format!(
+            "index covers {} rows but the memory holds {}",
+            index.len(),
+            memory_rows
+        )));
+    }
+    if index.is_empty() {
+        return Err(EngineError::IndexDeclined {
+            reason: "index is empty",
+        });
+    }
+    if topk >= index.len() {
+        return Err(EngineError::IndexDeclined {
+            reason: "topk covers every live row",
+        });
+    }
+    Ok(())
+}
+
+/// Gate on the probe's outcome: a collapsed margin means the cluster cut
+/// was arbitrary, and a candidate set spanning every live row means there
+/// is no cut at all (near-duplicate memories cascade the probe through
+/// every cluster) — either way exact attention must answer. Records the
+/// probe time in both cases — declined probes are real work.
+fn admit_probe(
+    probe: ProbeResult,
+    rows: usize,
+    trace: &mut Trace,
+    t0: Option<Instant>,
+) -> Result<ProbeResult, EngineError> {
+    let reason = if probe.low_margin {
+        Some("probe confidence margin collapsed")
+    } else if probe.candidates.len() >= rows {
+        Some("candidate set covers every live row")
+    } else {
+        None
+    };
+    if let Some(reason) = reason {
+        trace.record(Phase::IndexProbe, t0, probe.probes as u64);
+        return Err(EngineError::IndexDeclined { reason });
+    }
+    Ok(probe)
+}
+
+/// Plan-vs-gather mode rule: zero-copy chunk covering pays off only while
+/// the covered span stays within 2x the candidate count; scattered
+/// candidates are gathered into a staging memory instead.
+fn rescore_via_plan(probe: &ProbeResult) -> bool {
+    probe.covered.rows() <= probe.candidates.len().saturating_mul(2)
+}
+
+/// Folds the sparse-pass accounting into the rescoring engine's stats:
+/// `rows_total` after the pass is exactly the rows rescored (covered rows
+/// in plan mode, candidates in gather mode).
+fn patch_topk_stats(stats: &mut crate::InferenceStats, probe: &ProbeResult, store_rows: usize) {
+    let rescored = stats.rows_total;
+    stats.index_probes += probe.probes as u64;
+    stats.candidates_scored += rescored;
+    stats.rows_skipped_by_index += (store_rows as u64).saturating_sub(rescored);
 }
 
 /// The executor built from an [`ExecPlan`]: holds all three engine variants

@@ -11,6 +11,7 @@
 use crate::budget::Budget;
 use crate::engine::EngineError;
 use crate::exec::{Executor, Scratch, Trace};
+use crate::index::ClusterIndex;
 use crate::segment::SegmentPlan;
 use crate::stats::InferenceStats;
 use mnn_tensor::{Matrix, QuantMatrix};
@@ -191,6 +192,121 @@ pub fn multi_hop_quant_segmented_budgeted(
     for _ in 0..hops {
         let out =
             exec.forward_quant_segmented_budgeted(m_in, m_out, plan, &u, scratch, trace, budget)?;
+        stats.merge(&out.stats);
+        u_last = u.clone();
+        for (ui, oi) in u.iter_mut().zip(&out.o) {
+            *ui += oi;
+        }
+        per_hop.push(out.o.clone());
+        scratch.recycle(std::mem::replace(&mut o, out.o));
+    }
+
+    Ok(HopsOutput {
+        o,
+        u_last,
+        u_final: u,
+        per_hop,
+        stats,
+    })
+}
+
+/// [`multi_hop_segmented_budgeted`] through the sparse top-K attention
+/// path: every hop runs
+/// [`Executor::forward_topk_segmented_budgeted`], *re-probing the
+/// candidate index with the hop's own question state* — hop `k+1`'s query
+/// `u + o` attends where *it* points, not where hop `k` pointed, which is
+/// what makes multi-hop chains work at all (each hop retrieves a different
+/// memory neighborhood).
+///
+/// # Errors
+///
+/// As [`multi_hop_budgeted`], plus the top-K admission errors of
+/// [`Executor::forward_topk_segmented_budgeted`] —
+/// [`EngineError::IndexDeclined`] aborts the *whole chain* (a half-sparse,
+/// half-exact chain would be neither answer), and callers rerun the chain
+/// on the exact path.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_topk_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &Matrix,
+    m_out: &Matrix,
+    index: &ClusterIndex,
+    u0: &[f32],
+    hops: usize,
+    topk: usize,
+    nprobe: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budget: &Budget,
+) -> Result<HopsOutput, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    let mut u = u0.to_vec();
+    let mut u_last = u.clone();
+    let mut per_hop = Vec::with_capacity(hops);
+    let mut stats = InferenceStats::default();
+    let mut o = Vec::new();
+
+    for _ in 0..hops {
+        let out = exec.forward_topk_segmented_budgeted(
+            m_in, m_out, index, &u, topk, nprobe, scratch, trace, budget,
+        )?;
+        stats.merge(&out.stats);
+        u_last = u.clone();
+        for (ui, oi) in u.iter_mut().zip(&out.o) {
+            *ui += oi;
+        }
+        per_hop.push(out.o.clone());
+        scratch.recycle(std::mem::replace(&mut o, out.o));
+    }
+
+    Ok(HopsOutput {
+        o,
+        u_last,
+        u_final: u,
+        per_hop,
+        stats,
+    })
+}
+
+/// [`multi_hop_topk_segmented_budgeted`] over the *quantized* memory
+/// plane: every hop probes the (f32-centroid) index with its own question
+/// state and rescores candidates through
+/// [`Executor::forward_quant_topk_segmented_budgeted`] on the int8
+/// kernels.
+///
+/// # Errors
+///
+/// As [`multi_hop_topk_segmented_budgeted`], plus [`EngineError::Config`]
+/// when the executor has no quantized path.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_hop_quant_topk_segmented_budgeted(
+    exec: &dyn Executor,
+    m_in: &QuantMatrix,
+    m_out: &QuantMatrix,
+    index: &ClusterIndex,
+    u0: &[f32],
+    hops: usize,
+    topk: usize,
+    nprobe: usize,
+    scratch: &mut Scratch,
+    trace: &mut Trace,
+    budget: &Budget,
+) -> Result<HopsOutput, EngineError> {
+    if hops == 0 {
+        return Err(EngineError::Config("hops must be positive".into()));
+    }
+    let mut u = u0.to_vec();
+    let mut u_last = u.clone();
+    let mut per_hop = Vec::with_capacity(hops);
+    let mut stats = InferenceStats::default();
+    let mut o = Vec::new();
+
+    for _ in 0..hops {
+        let out = exec.forward_quant_topk_segmented_budgeted(
+            m_in, m_out, index, &u, topk, nprobe, scratch, trace, budget,
+        )?;
         stats.merge(&out.stats);
         u_last = u.clone();
         for (ui, oi) in u.iter_mut().zip(&out.o) {

@@ -55,6 +55,7 @@ pub mod budget;
 pub mod engine;
 pub mod exec;
 pub mod hops;
+pub mod index;
 pub mod parallel;
 pub mod partials;
 pub mod segment;
@@ -72,8 +73,10 @@ pub use exec::{
 pub use hops::{
     multi_hop, multi_hop_batch_budgeted, multi_hop_batch_segmented_budgeted, multi_hop_budgeted,
     multi_hop_quant_batch_segmented_budgeted, multi_hop_quant_segmented_budgeted,
-    multi_hop_segmented_budgeted, multi_hop_simple, HopsOutput,
+    multi_hop_quant_topk_segmented_budgeted, multi_hop_segmented_budgeted, multi_hop_simple,
+    multi_hop_topk_segmented_budgeted, HopsOutput,
 };
+pub use index::{ClusterIndex, ProbeResult};
 pub use parallel::ParallelEngine;
 pub use partials::{
     forward_chunk_partials_budgeted, forward_chunk_quant_partials_budgeted, PartialFold,

@@ -123,6 +123,46 @@ impl SegmentMap {
         SegmentMap { segments, rows }
     }
 
+    /// Builds a map directly from pre-built segments — the constructor the
+    /// clustered top-K index uses for its *gappy* chunk-covering plans.
+    ///
+    /// Unlike [`SegmentMap::from_norms`], the segments need not tile a
+    /// prefix: gaps between segments are allowed (rows in a gap are simply
+    /// never visited), which is exactly how the sparse-attention path
+    /// expresses "rescore only the covered chunk runs". [`SegmentMap::rows`]
+    /// is the number of *covered* rows (the sum of segment lengths), which
+    /// is what the engines size their pass over. Every engine's segmented
+    /// loop walks `seg.start..seg.start + seg.rows` directly, so gappy maps
+    /// execute bitwise-identically to exact attention restricted to the
+    /// covered runs — provided the starts are ascending, non-overlapping
+    /// and chunk-aligned, which this constructor checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if segments are empty-length, out of order, overlapping, or
+    /// start off a `chunk_size` boundary.
+    pub fn from_segments(segments: Vec<Segment>, chunk_size: usize) -> Self {
+        let chunk = chunk_size.max(1);
+        let mut rows = 0usize;
+        let mut next_free = 0usize;
+        for seg in &segments {
+            assert!(seg.rows > 0, "empty segment at row {}", seg.start);
+            assert!(
+                seg.start >= next_free,
+                "segment at {} overlaps or precedes the previous one",
+                seg.start
+            );
+            assert!(
+                seg.start % chunk == 0,
+                "segment start {} is not aligned to chunk size {chunk}",
+                seg.start
+            );
+            next_free = seg.start + seg.rows;
+            rows += seg.rows;
+        }
+        SegmentMap { segments, rows }
+    }
+
     /// Builds a map over the first `rows` rows of `m_in`, computing the
     /// per-row norm bounds on the fly (convenience for tests and benches;
     /// the serving store maintains the norms incrementally).
@@ -389,6 +429,47 @@ mod tests {
         let empty = SegmentPlan::unsegmented(0);
         assert_eq!(empty.segments().count(), 0);
         assert_eq!(empty.n_segments(), 0);
+    }
+
+    #[test]
+    fn gappy_maps_count_covered_rows_only() {
+        let seg = |start: usize, rows: usize| Segment {
+            start,
+            rows,
+            max_in_norm: f32::INFINITY,
+        };
+        let map = SegmentMap::from_segments(vec![seg(0, 20), seg(40, 10), seg(80, 7)], 10);
+        assert_eq!(map.rows(), 37, "rows() is covered rows, not the span");
+        assert_eq!(map.len(), 3);
+        let plan = SegmentPlan::routed(&map, false);
+        assert_eq!(plan.rows(), 37);
+        assert_eq!(plan.segments().map(|s| s.rows).sum::<usize>(), 37);
+
+        let empty = SegmentMap::from_segments(Vec::new(), 10);
+        assert_eq!(empty.rows(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps or precedes")]
+    fn gappy_maps_reject_overlap() {
+        let seg = |start: usize, rows: usize| Segment {
+            start,
+            rows,
+            max_in_norm: f32::INFINITY,
+        };
+        let _ = SegmentMap::from_segments(vec![seg(0, 20), seg(10, 10)], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn gappy_maps_reject_misaligned_starts() {
+        let seg = |start: usize, rows: usize| Segment {
+            start,
+            rows,
+            max_in_norm: f32::INFINITY,
+        };
+        let _ = SegmentMap::from_segments(vec![seg(5, 10)], 10);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct InferenceStats {
     /// loading the segment. Disjoint from `rows_total`/`rows_skipped`,
     /// which only count rows of segments actually visited.
     pub rows_pruned: u64,
+    /// Clusters probed by the top-K candidate index (zero on exact passes).
+    pub index_probes: u64,
+    /// Candidate rows rescored exactly after an index probe — the rows the
+    /// fused kernels actually touched on a sparse pass.
+    pub candidates_scored: u64,
+    /// Rows the index excluded from exact rescoring entirely (store rows
+    /// minus candidates rescored). Disjoint from `rows_skipped` (which
+    /// counts zero-skipping within visited rows) and `rows_pruned` (zone-map
+    /// pruning within an exact pass).
+    pub rows_skipped_by_index: u64,
 }
 
 impl InferenceStats {
@@ -77,6 +87,9 @@ impl InferenceStats {
         self.segments_total += other.segments_total;
         self.segments_pruned += other.segments_pruned;
         self.rows_pruned += other.rows_pruned;
+        self.index_probes += other.index_probes;
+        self.candidates_scored += other.candidates_scored;
+        self.rows_skipped_by_index += other.rows_skipped_by_index;
     }
 }
 

@@ -10,6 +10,7 @@
 //! monotone version counter lets sessions cache the map and rebuild it only
 //! when the store has actually changed.
 
+use crate::index::ClusterIndex;
 use crate::segment::row_norm_upper;
 use crate::SegmentMap;
 use mnn_tensor::{Matrix, QuantMatrix};
@@ -49,6 +50,11 @@ pub struct SegmentedStore {
     ///
     /// [`Precision::Int8`]: crate::Precision::Int8
     quant: Option<QuantMirror>,
+    /// Optional clustered top-K candidate index for sparse attention,
+    /// maintained incrementally on push/evict once enabled (a `clear`
+    /// drops it — retrained on demand). Version-stamped exactly like the
+    /// quant mirror: a stale index is never served.
+    index: Option<ClusterIndex>,
 }
 
 /// The pre-segmentation name of [`SegmentedStore`], kept as an alias so
@@ -75,6 +81,7 @@ impl SegmentedStore {
             norms: Vec::new(),
             version: 0,
             quant: None,
+            index: None,
         }
     }
 
@@ -175,6 +182,47 @@ impl SegmentedStore {
         })
     }
 
+    /// Whether the top-K candidate index exists and reflects the current
+    /// store version.
+    pub fn index_is_synced(&self) -> bool {
+        self.index
+            .as_ref()
+            .is_some_and(|ix| ix.is_synced(self.version))
+    }
+
+    /// Ensures the top-K candidate index exists, is synchronized, and its
+    /// centroids still fit the data: an O(1) no-op when the index is
+    /// current, a full [`ClusterIndex::build`] when it is missing, stale
+    /// (a mutation bypassed the incremental maintenance), or *drifted*
+    /// (the memory more than doubled or halved since its centroids were
+    /// trained — still coherent, but no longer clustering the data it
+    /// sees). After this call every `push`/`evict_front` keeps the index
+    /// in lockstep; `clear` drops it entirely (nothing left to cluster).
+    pub fn enable_index(&mut self) {
+        let current = self
+            .index
+            .as_ref()
+            .is_some_and(|ix| ix.is_synced(self.version) && !ix.is_drifted());
+        if current {
+            return;
+        }
+        self.index = Some(ClusterIndex::build(&self.m_in, self.len, self.version));
+    }
+
+    /// Drops the top-K candidate index (e.g. when a session leaves sparse
+    /// serving), releasing its memory.
+    pub fn disable_index(&mut self) {
+        self.index = None;
+    }
+
+    /// The top-K candidate index, or `None` if it was never enabled *or*
+    /// is stale (the store mutated since the last sync). Callers that get
+    /// `None` must either serve exact attention or call
+    /// [`Self::enable_index`] to rebuild.
+    pub fn index(&self) -> Option<&ClusterIndex> {
+        self.index.as_ref().filter(|ix| ix.is_synced(self.version))
+    }
+
     /// Builds a routed [`SegmentMap`] over the populated prefix from the
     /// incrementally maintained norms: `n_segments` chunk-aligned segments
     /// (clamped to the chunk count), each stamped with the max row-norm
@@ -213,6 +261,7 @@ impl SegmentedStore {
         self.m_in.row_mut(self.len).copy_from_slice(in_row);
         self.m_out.row_mut(self.len).copy_from_slice(out_row);
         let synced = self.quant_is_synced();
+        let index_synced = self.index_is_synced();
         self.norms.push(row_norm_upper(in_row));
         self.len += 1;
         self.version += 1;
@@ -221,6 +270,10 @@ impl SegmentedStore {
             q.m_in_q.push_row(in_row);
             q.m_out_q.push_row(out_row);
             q.synced_at = self.version;
+        }
+        if index_synced {
+            let ix = self.index.as_mut().expect("synced implies present");
+            ix.push(in_row, self.version);
         }
         evicted
     }
@@ -235,6 +288,7 @@ impl SegmentedStore {
         let ed = self.embedding_dim();
         let remaining = self.len - n;
         let synced = self.quant_is_synced();
+        let index_synced = self.index_is_synced();
         for matrix in [&mut self.m_in, &mut self.m_out] {
             let flat = matrix.as_mut_slice();
             flat.copy_within(n * ed..(n + remaining) * ed, 0);
@@ -248,9 +302,15 @@ impl SegmentedStore {
             q.m_out_q.evict_front(n);
             q.synced_at = self.version;
         }
+        if index_synced {
+            let ix = self.index.as_mut().expect("synced implies present");
+            ix.evict_front(n, self.version);
+        }
     }
 
-    /// Removes all rows (capacity is kept).
+    /// Removes all rows (capacity is kept). Drops the top-K candidate
+    /// index: with nothing left to cluster, retraining on demand beats
+    /// maintaining empty posting lists.
     pub fn clear(&mut self) {
         let synced = self.quant_is_synced();
         self.len = 0;
@@ -262,6 +322,7 @@ impl SegmentedStore {
             q.m_out_q.clear();
             q.synced_at = self.version;
         }
+        self.index = None;
     }
 
     fn grow(&mut self) {
@@ -530,6 +591,77 @@ mod tests {
         store.enable_quant();
         // Two mirrors × 5 rows × (8 code bytes + 4 scale bytes).
         assert_eq!(store.quant_resident_bytes(), 2 * 5 * (8 + 4));
+    }
+
+    #[test]
+    fn index_tracks_push_evict_and_drops_on_clear() {
+        let mut store = SegmentedStore::new(3, None);
+        for i in 0..30 {
+            store.push(&row(3, 0.1 * i as f32), &row(3, 0.0));
+        }
+        assert!(store.index().is_none(), "index starts disabled");
+        store.enable_index();
+        assert!(store.index_is_synced());
+        assert_eq!(store.index().unwrap().len(), 30);
+        store.index().unwrap().check_coherence().unwrap();
+
+        // Incremental maintenance keeps the index serving across mutations.
+        store.push(&row(3, 9.0), &row(3, 0.0));
+        assert!(store.index_is_synced());
+        assert_eq!(store.index().unwrap().len(), 31);
+        store.evict_front(5);
+        assert!(store.index_is_synced());
+        assert_eq!(store.index().unwrap().len(), 26);
+        store.index().unwrap().check_coherence().unwrap();
+
+        store.clear();
+        assert!(store.index().is_none(), "clear drops the index");
+        assert!(!store.index_is_synced());
+    }
+
+    #[test]
+    fn enable_index_is_a_noop_when_current_and_rebuilds_on_drift() {
+        let mut store = SegmentedStore::new(2, None);
+        for i in 0..40 {
+            store.push(&row(2, i as f32 * 0.05), &row(2, 0.0));
+        }
+        store.enable_index();
+        let trained = store.index().unwrap().trained_rows();
+        store.enable_index();
+        assert_eq!(
+            store.index().unwrap().trained_rows(),
+            trained,
+            "no-op while current"
+        );
+        // Push past double the trained size: the next enable must retrain.
+        for i in 0..41 {
+            store.push(&row(2, 2.0 + i as f32 * 0.05), &row(2, 0.0));
+        }
+        assert!(
+            store.index_is_synced(),
+            "maintenance continued while drifting"
+        );
+        assert!(store.index().unwrap().is_drifted());
+        store.enable_index();
+        assert_eq!(store.index().unwrap().trained_rows(), 81, "retrained");
+        assert!(!store.index().unwrap().is_drifted());
+    }
+
+    #[test]
+    fn stale_index_is_never_served() {
+        let mut store = SegmentedStore::new(2, None);
+        for i in 0..10 {
+            store.push(&row(2, i as f32 * 0.1), &row(2, 0.0));
+        }
+        store.enable_index();
+        let mut desynced = store.clone();
+        // A mutation while the index is temporarily dropped leaves any
+        // later-restored copy stale; `index()`'s version filter catches it.
+        desynced.disable_index();
+        desynced.push(&row(2, 1.0), &row(2, 0.0));
+        assert!(desynced.index().is_none());
+        desynced.enable_index();
+        assert_eq!(desynced.index().unwrap().len(), 11);
     }
 
     #[test]

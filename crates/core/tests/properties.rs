@@ -142,3 +142,115 @@ proptest! {
         }
     }
 }
+
+/// Coherence of the clustered top-K candidate index under arbitrary
+/// push/evict/clear interleavings: posting lists and assignments must stay
+/// mirror-exact (every live row in exactly the list its assignment names,
+/// ids ascending), the synced index must always match the store length,
+/// and probes must only ever name live rows inside covered chunk runs.
+mod index_coherence {
+    use super::*;
+    use mnnfast::SegmentedStore;
+
+    fn lcg_row(state: &mut u64, ed: usize) -> Vec<f32> {
+        (0..ed)
+            .map(|_| {
+                *state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((*state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn index_mirrors_the_store_through_any_mutation_sequence(
+            ed in 1usize..12,
+            bound_raw in 0usize..40,
+            ops in proptest::collection::vec(0u8..100, 1..60),
+            seed in any::<u64>(),
+        ) {
+            // 0 means unbounded; anything else is a sliding-window bound.
+            let bound = (bound_raw > 0).then_some(bound_raw);
+            let mut state = seed | 1;
+            let mut store = SegmentedStore::new(ed, bound);
+            store.enable_index();
+            for &op in &ops {
+                match op {
+                    // Mostly pushes: grow the memory.
+                    0..=69 => {
+                        let r_in = lcg_row(&mut state, ed);
+                        let r_out = lcg_row(&mut state, ed);
+                        store.push(&r_in, &r_out);
+                    }
+                    // Evictions, occasionally more rows than live.
+                    70..=84 => store.evict_front((op as usize - 69) % 7),
+                    // Rebuild-on-demand (no-op unless stale/drifted).
+                    85..=94 => store.enable_index(),
+                    // Clears drop the index entirely.
+                    _ => store.clear(),
+                }
+                if let Some(ix) = store.index() {
+                    prop_assert_eq!(ix.len(), store.len(), "index/store length");
+                    prop_assert!(ix.check_coherence().is_ok(),
+                        "coherence: {:?}", ix.check_coherence());
+                } else {
+                    // The only ways to lose the index: a clear dropped it
+                    // (maintenance never desyncs it otherwise).
+                    prop_assert!(!store.index_is_synced());
+                }
+            }
+            // Whatever happened, one enable_index restores sparse serving.
+            store.enable_index();
+            prop_assert!(store.index_is_synced());
+            prop_assert_eq!(store.index().unwrap().len(), store.len());
+        }
+
+        #[test]
+        fn probes_only_name_live_rows_inside_covered_runs(
+            ns in 1usize..200,
+            ed in 1usize..10,
+            topk in 1usize..32,
+            nprobe in 1usize..8,
+            chunk in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            let (m_in, _, u) = memories(ns, ed, seed);
+            let index = mnnfast::ClusterIndex::build(&m_in, ns, 0);
+            let probe = index.probe(&u, topk, nprobe, chunk);
+            // Enough candidates whenever the memory has them.
+            prop_assert!(probe.candidates.len() >= topk.min(ns));
+            prop_assert!(probe.probes >= 1);
+            // Candidates are live, unique, ascending.
+            let mut prev = None;
+            for &r in &probe.candidates {
+                prop_assert!((r as usize) < ns, "candidate beyond live rows");
+                if let Some(p) = prev {
+                    prop_assert!(r > p, "candidates not strictly ascending");
+                }
+                prev = Some(r);
+            }
+            // The covering contains every candidate, in chunk-aligned,
+            // non-overlapping, ascending runs.
+            let segs = probe.covered.segments();
+            let mut next_free = 0usize;
+            for s in segs {
+                prop_assert_eq!(s.start % chunk.max(1), 0);
+                prop_assert!(s.start >= next_free);
+                prop_assert!(s.rows > 0);
+                next_free = s.start + s.rows;
+                prop_assert!(next_free <= ns, "covering beyond live rows");
+            }
+            for &r in &probe.candidates {
+                prop_assert!(
+                    segs.iter().any(|s| (r as usize) >= s.start
+                        && (r as usize) < s.start + s.rows),
+                    "candidate {} outside every covered run", r
+                );
+            }
+        }
+    }
+}

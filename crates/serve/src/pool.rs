@@ -199,6 +199,20 @@ pub struct PoolStats {
     /// story memory whose logit upper bound provably could not affect any
     /// answer. Always 0 for unsegmented or lazy-softmax sessions.
     pub segments_pruned: u64,
+    /// Index clusters probed pool-wide by top-K candidate attention (one
+    /// count per cluster scored against a question state). Always 0 for
+    /// exact-attention sessions.
+    pub index_probes: u64,
+    /// Memory rows exactly rescored pool-wide after an index probe (the
+    /// sparse path's actual compute volume).
+    pub candidates_scored: u64,
+    /// Memory rows the candidate index excluded pool-wide — rows never
+    /// touched by scoring at all, the sublinear-attention win.
+    pub rows_skipped_by_index: u64,
+    /// Questions where the top-K candidate path stood down and the session
+    /// answered with exact attention (declined probes plus contained
+    /// sparse-pass faults).
+    pub sparse_fallbacks: u64,
 }
 
 /// Token-bucket state for the admission controller.
@@ -640,9 +654,13 @@ impl SessionPool {
             stats.dist_failovers += d.dist_failovers;
             stats.dist_hedges += d.dist_hedges;
             stats.dist_fallbacks += d.dist_fallbacks;
+            stats.sparse_fallbacks += d.sparse_fallbacks;
         }
         stats.segments_total = stats.inference.segments_total;
         stats.segments_pruned = stats.inference.segments_pruned;
+        stats.index_probes = stats.inference.index_probes;
+        stats.candidates_scored = stats.inference.candidates_scored;
+        stats.rows_skipped_by_index = stats.inference.rows_skipped_by_index;
         stats
     }
 }

@@ -12,7 +12,8 @@ use mnnfast::engine::EngineError;
 use mnnfast::store::MemoryStore;
 use mnnfast::{
     multi_hop_batch_segmented_budgeted, multi_hop_quant_batch_segmented_budgeted,
-    multi_hop_quant_segmented_budgeted, multi_hop_segmented_budgeted, Budget, ExecPlan, HopsOutput,
+    multi_hop_quant_segmented_budgeted, multi_hop_quant_topk_segmented_budgeted,
+    multi_hop_segmented_budgeted, multi_hop_topk_segmented_budgeted, Budget, ExecPlan, HopsOutput,
     InferenceStats, MnnFastConfig, Phase, PhaseHistograms, PlanExecutor, Precision, Scratch,
     SegmentMap, SegmentPlan, SoftmaxMode, Trace,
 };
@@ -117,6 +118,26 @@ pub struct SessionConfig {
     /// this long. `None` (the default) defers to `MNNFAST_HEDGE_MS`,
     /// falling back to no hedging. Ignored for local serving.
     pub hedge: Option<Duration>,
+    /// Top-K candidate attention. With `topk >= 1` the session maintains a
+    /// clustered candidate index over the memory store and answers each
+    /// question by probing the nearest clusters, then running the *exact*
+    /// fused kernels over only the candidate rows — sublinear in memory
+    /// size, bitwise-identical to exact attention restricted to those rows.
+    /// Low-confidence probes (collapsed score margins) decline per question
+    /// and the session falls back to exact attention, counted in
+    /// [`DegradationStats::sparse_fallbacks`]. Batched asks
+    /// ([`Session::ask_many`]) always run exact attention. `0` (the
+    /// default) defers to `MNNFAST_TOPK`, falling back to exact attention.
+    /// Incompatible with distributed serving (`workers >= 2`), segment
+    /// routing (`segments > 1`), [`mnnfast::SkipPolicy::Probability`], and
+    /// a [`Self::max_sentences`] window no larger than `topk`.
+    pub topk: usize,
+    /// Clusters probed per top-K question before candidate gathering stops
+    /// (probing always continues until `topk` candidates are found, so this
+    /// is a floor, not a cap). Higher values trade candidate-scoring work
+    /// for recall. `0` (the default) defers to `MNNFAST_NPROBE`, falling
+    /// back to 8. Ignored unless top-K attention is active.
+    pub nprobe: usize,
 }
 
 impl Default for SessionConfig {
@@ -133,6 +154,8 @@ impl Default for SessionConfig {
             workers: 0,
             replicas: 0,
             hedge: None,
+            topk: 0,
+            nprobe: 0,
         }
     }
 }
@@ -222,6 +245,13 @@ pub struct DegradationStats {
     /// re-answered from its local store (each such failure also tears the
     /// fleet down, so this is at most 1 per session today).
     pub dist_fallbacks: u64,
+    /// Questions where the top-K candidate path stood down and the session
+    /// answered with exact attention instead: the index declined (low
+    /// probe-confidence margin, empty index, or a candidate set covering
+    /// every live row) or the sparse pass was abandoned by a contained
+    /// fault. Every such question still gets a full-precision answer; this
+    /// only counts the lost sublinear speedup.
+    pub sparse_fallbacks: u64,
 }
 
 /// One answered question.
@@ -283,6 +313,12 @@ pub struct Session {
     /// Effective segment count ([`SessionConfig::segments`], or the
     /// `MNNFAST_SEGMENTS` override captured at creation).
     segments: usize,
+    /// Effective top-K candidate count ([`SessionConfig::topk`], or the
+    /// `MNNFAST_TOPK` override captured at creation; `0` = exact attention).
+    topk: usize,
+    /// Effective probe floor ([`SessionConfig::nprobe`], or the
+    /// `MNNFAST_NPROBE` override captured at creation).
+    nprobe: usize,
     /// Cached routed map over the store, rebuilt lazily whenever the store
     /// version moves (only maintained when `segments > 1`).
     seg_map: SegmentMap,
@@ -347,6 +383,31 @@ impl Session {
         // serving with the default.
         mnn_tensor::validate_env()?;
         let segments = resolve_segments(config.segments)?;
+        let topk = resolve_topk(config.topk)?;
+        let nprobe = resolve_nprobe(config.nprobe)?;
+        if topk > 0 {
+            if segments > 1 {
+                return Err(ServeError::Engine(EngineError::Config(format!(
+                    "segment routing (segments = {segments}) and top-K candidate attention \
+                     both partition the memory pass; configure one or the other"
+                ))));
+            }
+            if matches!(config.plan.config.skip, mnnfast::SkipPolicy::Probability(_)) {
+                return Err(ServeError::Engine(EngineError::Config(
+                    "probability zero-skip sweeps the full memory for its denominator; \
+                     incompatible with top-K candidate attention"
+                        .into(),
+                )));
+            }
+            if let Some(bound) = config.max_sentences {
+                if topk >= bound {
+                    return Err(ServeError::Engine(EngineError::Config(format!(
+                        "topk = {topk} covers the whole {bound}-sentence sliding window; \
+                         the candidate index could never skip a row"
+                    ))));
+                }
+            }
+        }
         let mut model = model;
         let mc = model.config();
         if mc.temporal {
@@ -384,6 +445,14 @@ impl Session {
             store.enable_quant();
         }
         let dist = build_dist_plane(&config, segments, ed)?;
+        if topk > 0 && dist.is_some() {
+            return Err(ServeError::Dist(
+                "top-K candidate attention probes a local index the worker fleet \
+                 does not hold; configure sparse serving or distributed serving, \
+                 not both"
+                    .into(),
+            ));
+        }
         Ok(Self {
             model,
             store,
@@ -401,6 +470,8 @@ impl Session {
             pair_buf: Vec::new(),
             question_buf: Vec::new(),
             segments,
+            topk,
+            nprobe,
             seg_map: SegmentMap::default(),
             seg_map_version: None,
             dist,
@@ -421,6 +492,19 @@ impl Session {
     /// Numeric precision of this session's memory plane.
     pub fn precision(&self) -> Precision {
         self.config.precision
+    }
+
+    /// Effective top-K candidate count (after the `MNNFAST_TOPK` override;
+    /// `0` = exact attention).
+    pub fn topk(&self) -> usize {
+        self.topk
+    }
+
+    /// Effective probe floor for top-K questions (after the
+    /// `MNNFAST_NPROBE` override; meaningless unless [`Session::topk`] is
+    /// non-zero).
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
     }
 
     /// Bytes resident in the f32 memory plane (populated rows of both
@@ -998,13 +1082,6 @@ impl Session {
             }
         }
         let hops = self.model.config().hops;
-        let rows = self.store.len();
-        self.refresh_segment_map();
-        let plan = if self.segments > 1 {
-            SegmentPlan::routed(&self.seg_map, true)
-        } else {
-            SegmentPlan::unsegmented(rows)
-        };
         // Int8 sessions answer from the quantized mirror; sessions pinned
         // to the safe path have already demonstrated numeric trouble, so
         // they stay on the exact f32 plane.
@@ -1014,6 +1091,74 @@ impl Session {
             // mutation path that bypassed the incremental maintenance.
             self.store.enable_quant();
         }
+        // Top-K candidate fast path: probe the clustered index, run the
+        // exact kernels over the candidate rows only. Memories no larger
+        // than `topk` skip straight to exact attention (the index could not
+        // skip a row); a declined probe or a contained fault falls back to
+        // the exact path below — every question gets a full-precision
+        // answer either way.
+        if self.topk > 0 && !self.degradation.pinned_safe && self.store.len() > self.topk {
+            // No-op when the index is current and undrifted; retrains after
+            // clears or enough membership churn to unbalance the clusters.
+            self.store.enable_index();
+            let index = self.store.index().expect("index just synced");
+            let attempt = if use_quant {
+                let (q_in, q_out) = self.store.quant().expect("mirror just synced");
+                multi_hop_quant_topk_segmented_budgeted(
+                    &self.executor,
+                    q_in,
+                    q_out,
+                    index,
+                    u,
+                    hops,
+                    self.topk,
+                    self.nprobe,
+                    &mut self.scratch,
+                    trace,
+                    budget,
+                )
+            } else {
+                multi_hop_topk_segmented_budgeted(
+                    &self.executor,
+                    self.store.m_in(),
+                    self.store.m_out(),
+                    index,
+                    u,
+                    hops,
+                    self.topk,
+                    self.nprobe,
+                    &mut self.scratch,
+                    trace,
+                    budget,
+                )
+            };
+            match attempt {
+                Ok(out) => return Ok((out, false)),
+                // The caller's budget expired: surface it, never mask a
+                // deadline by burning more time on the exact path.
+                Err(e @ (EngineError::DeadlineExceeded { .. } | EngineError::Cancelled)) => {
+                    return Err(e)
+                }
+                // The index stood down (collapsed probe margin, candidate
+                // set covering everything) or the sparse pass hit a
+                // contained fault: answer exactly instead.
+                Err(
+                    EngineError::IndexDeclined { .. }
+                    | EngineError::NumericFault { .. }
+                    | EngineError::WorkerPanicked,
+                ) => {
+                    self.degradation.sparse_fallbacks += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let rows = self.store.len();
+        self.refresh_segment_map();
+        let plan = if self.segments > 1 {
+            SegmentPlan::routed(&self.seg_map, true)
+        } else {
+            SegmentPlan::unsegmented(rows)
+        };
         let primary = if self.degradation.pinned_safe {
             &self.safe_executor
         } else {
@@ -1410,6 +1555,68 @@ fn parse_segments(value: Option<&str>) -> Result<usize, EnvVarError> {
                 "MNNFAST_SEGMENTS",
                 v,
                 "a positive segment count (empty/unset = 1)",
+            )),
+        },
+    }
+}
+
+/// Probe floor when neither the configuration nor `MNNFAST_NPROBE` names
+/// one: wide enough for near-perfect recall on clustered memories, still
+/// sublinear against the `~sqrt(rows)` cluster count.
+const DEFAULT_NPROBE: usize = 8;
+
+/// Effective top-K candidate count: an explicit configuration wins; `0`
+/// defers to the `MNNFAST_TOPK` environment variable. Unset or empty means
+/// exact attention (0); anything else must parse as a positive integer —
+/// `MNNFAST_TOPK=0` is a typed error, not a silent "disabled" (unset is how
+/// an operator disables the index; an explicit zero is a typo).
+fn resolve_topk(configured: usize) -> Result<usize, EnvVarError> {
+    if configured >= 1 {
+        return Ok(configured);
+    }
+    parse_topk(std::env::var("MNNFAST_TOPK").ok().as_deref())
+}
+
+/// The pure parse behind [`resolve_topk`]: `None`/empty → 0 (exact
+/// attention), a positive integer → itself, anything else → a typed error.
+fn parse_topk(value: Option<&str>) -> Result<usize, EnvVarError> {
+    match value {
+        None => Ok(0),
+        Some(v) if v.trim().is_empty() => Ok(0),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvVarError::new(
+                "MNNFAST_TOPK",
+                v,
+                "a positive candidate count (empty/unset = exact attention)",
+            )),
+        },
+    }
+}
+
+/// Effective probe floor: an explicit configuration wins; `0` defers to the
+/// `MNNFAST_NPROBE` environment variable, falling back to
+/// [`DEFAULT_NPROBE`]. Zero and malformed values are typed errors.
+fn resolve_nprobe(configured: usize) -> Result<usize, EnvVarError> {
+    if configured >= 1 {
+        return Ok(configured);
+    }
+    parse_nprobe(std::env::var("MNNFAST_NPROBE").ok().as_deref())
+}
+
+/// The pure parse behind [`resolve_nprobe`]: `None`/empty →
+/// [`DEFAULT_NPROBE`], a positive integer → itself, anything else → a typed
+/// error.
+fn parse_nprobe(value: Option<&str>) -> Result<usize, EnvVarError> {
+    match value {
+        None => Ok(DEFAULT_NPROBE),
+        Some(v) if v.trim().is_empty() => Ok(DEFAULT_NPROBE),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(EnvVarError::new(
+                "MNNFAST_NPROBE",
+                v,
+                "a positive cluster probe floor (empty/unset = 8)",
             )),
         },
     }
@@ -2011,6 +2218,92 @@ mod tests {
         }
         // An explicit configuration short-circuits the environment.
         assert_eq!(resolve_segments(7), Ok(7));
+    }
+
+    #[test]
+    fn topk_and_nprobe_env_parses_are_strict() {
+        assert_eq!(parse_topk(None), Ok(0));
+        assert_eq!(parse_topk(Some("")), Ok(0));
+        assert_eq!(parse_topk(Some("  ")), Ok(0));
+        assert_eq!(parse_topk(Some(" 32 ")), Ok(32));
+        // An explicit zero is a typo, not "disabled" — unset disables.
+        for bad in ["0", "-1", "eight", "2.5", "1e3"] {
+            let err = parse_topk(Some(bad)).unwrap_err();
+            assert_eq!(err.var(), "MNNFAST_TOPK");
+            assert_eq!(err.value(), bad);
+        }
+        assert_eq!(resolve_topk(16), Ok(16));
+
+        assert_eq!(parse_nprobe(None), Ok(DEFAULT_NPROBE));
+        assert_eq!(parse_nprobe(Some(" ")), Ok(DEFAULT_NPROBE));
+        assert_eq!(parse_nprobe(Some("3")), Ok(3));
+        for bad in ["0", "-2", "many", "4.5"] {
+            let err = parse_nprobe(Some(bad)).unwrap_err();
+            assert_eq!(err.var(), "MNNFAST_NPROBE");
+            assert_eq!(err.value(), bad);
+        }
+        assert_eq!(resolve_nprobe(5), Ok(5));
+    }
+
+    #[test]
+    fn incompatible_topk_configurations_fail_at_creation() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 5);
+        let _ = generator.story(2, 1);
+        let model = MemNet::new(
+            ModelConfig {
+                temporal: false,
+                ..ModelConfig::for_generator(&generator, 8, 4)
+            },
+            1,
+        );
+        let base = SessionConfig {
+            topk: 8,
+            ..SessionConfig::default()
+        };
+
+        // Sparse serving alone is fine, and the knobs are observable.
+        let session = Session::new(model.clone(), base).unwrap();
+        assert_eq!(session.topk(), 8);
+        if std::env::var("MNNFAST_NPROBE").is_err() {
+            assert_eq!(session.nprobe(), DEFAULT_NPROBE);
+        }
+
+        for bad in [
+            // Segment routing and the candidate index both partition the pass.
+            SessionConfig {
+                segments: 4,
+                ..base
+            },
+            // Probability skip needs a full-memory denominator sweep.
+            SessionConfig {
+                plan: ExecPlan::new(
+                    MnnFastConfig::new(8).with_skip(mnnfast::SkipPolicy::Probability(0.01)),
+                ),
+                ..base
+            },
+            // A window no larger than topk can never skip a row.
+            SessionConfig {
+                max_sentences: Some(8),
+                ..base
+            },
+            // The worker fleet holds no candidate index.
+            SessionConfig { workers: 2, ..base },
+        ] {
+            assert!(
+                Session::new(model.clone(), bad).is_err(),
+                "incompatible sparse configuration accepted: {bad:?}"
+            );
+        }
+
+        // A window strictly wider than topk is fine.
+        Session::new(
+            model,
+            SessionConfig {
+                max_sentences: Some(9),
+                ..base
+            },
+        )
+        .unwrap();
     }
 
     #[test]

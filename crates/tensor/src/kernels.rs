@@ -105,6 +105,25 @@ pub fn gemv_chunk(chunk: &[f32], n_rows: usize, x: &[f32], out: &mut [f32]) {
     simd::gemv_chunk_with(simd::backend(), chunk, n_rows, x, out);
 }
 
+/// Batched query-vs-centroid scoring for the clustered top-K index:
+/// `out[c] = centroids[c] · u` for `c` in `0..k`, over a flat row-major
+/// centroid table (`k * ed` values). This is the approximate first pass of
+/// the sparse-attention path — a `gemv_chunk` over the centroid block, so
+/// it rides the same SIMD dispatch (AVX2 FMA or the scalar reference) as
+/// the exact inner-product kernels.
+///
+/// Shape checks (`centroids.len() == k * u.len()`, `out.len() == k`) are
+/// `debug_assert!`s — see the module-level caller-validates contract.
+pub fn centroid_scores(centroids: &[f32], k: usize, u: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(
+        centroids.len(),
+        k * u.len(),
+        "centroid_scores: bad centroid table length"
+    );
+    debug_assert_eq!(out.len(), k, "centroid_scores: bad out length");
+    simd::gemv_chunk_with(simd::backend(), centroids, k, u, out);
+}
+
 /// Batched row-chunk GEMM over a flat row-major block:
 /// `out[q * n_rows + r] = rows[r] · question_q` for `r` in `0..n_rows` and
 /// `q` in `0..nq`, with the `nq` question vectors concatenated in
@@ -377,6 +396,20 @@ mod tests {
 
     fn naive_dot(a: &[f32], b: &[f32]) -> f32 {
         a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn centroid_scores_match_per_row_dots() {
+        for (k, ed) in [(1usize, 4usize), (7, 8), (33, 16)] {
+            let centroids: Vec<f32> = (0..k * ed).map(|i| (i as f32 * 0.13).sin()).collect();
+            let u: Vec<f32> = (0..ed).map(|i| (i as f32 * 0.29).cos()).collect();
+            let mut out = vec![0.0f32; k];
+            centroid_scores(&centroids, k, &u, &mut out);
+            let expect: Vec<f32> = (0..k)
+                .map(|c| dot(&centroids[c * ed..(c + 1) * ed], &u))
+                .collect();
+            assert_eq!(out, expect, "k={k} ed={ed}: must ride the same kernel");
+        }
     }
 
     #[test]

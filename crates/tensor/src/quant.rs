@@ -181,6 +181,22 @@ impl QuantMatrix {
         scale
     }
 
+    /// Appends an already-quantized row verbatim (codes and scale copied
+    /// bit for bit, no re-quantization). Used by the sparse-attention
+    /// candidate gather, where the staged rows must stay bitwise identical
+    /// to their source mirror so the exact rescoring pass reproduces the
+    /// int8 plane's logits exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != self.cols()`.
+    pub fn push_quantized_row(&mut self, codes: &[i8], scale: f32) {
+        assert_eq!(codes.len(), self.cols, "push_quantized_row width mismatch");
+        self.data.extend_from_slice(codes);
+        self.scales.push(scale);
+        self.rows += 1;
+    }
+
     /// Evicts the first `n` rows, shifting codes and scales in lockstep.
     ///
     /// # Panics
@@ -348,6 +364,21 @@ mod tests {
         assert!(qm.is_empty());
         qm.push_row(&[1.0, 1.0, 1.0]);
         assert_eq!(qm.rows(), 1);
+    }
+
+    #[test]
+    fn push_quantized_row_copies_codes_verbatim() {
+        let m = Matrix::from_fn(5, 4, |r, c| ((r * 5 + c) as f32 * 0.21).sin() * 3.0);
+        let src = QuantMatrix::from_matrix(&m);
+        let mut gathered = QuantMatrix::new(4);
+        for r in [3usize, 0, 4] {
+            gathered.push_quantized_row(src.row(r), src.scale(r));
+        }
+        assert_eq!(gathered.rows(), 3);
+        for (g, r) in [3usize, 0, 4].iter().enumerate() {
+            assert_eq!(gathered.row(g), src.row(*r), "codes must be bitwise");
+            assert_eq!(gathered.scale(g), src.scale(*r), "scale must be bitwise");
+        }
     }
 
     #[test]

@@ -44,6 +44,35 @@ pub fn count_above(x: &[f32], threshold: f32) -> usize {
     x.iter().filter(|&&v| v > threshold).count()
 }
 
+/// Indices of the `k` largest elements, in descending value order.
+///
+/// The selection is fully deterministic: ties resolve to the *lower* index
+/// (matching [`argmax`]'s first-occurrence convention), and NaN values sort
+/// below every real score so they are selected last. `k` is clamped to
+/// `x.len()`. Used by the clustered top-K index to rank centroid scores
+/// before probing posting lists.
+pub fn top_k_select(x: &[f32], k: usize) -> Vec<usize> {
+    let k = k.min(x.len());
+    let mut order: Vec<usize> = (0..x.len()).collect();
+    // Total order: by score descending, NaN strictly below every real
+    // score (including -inf), ties by ascending index.
+    let cmp = |&a: &usize, &b: &usize| {
+        let (va, vb) = (x[a], x[b]);
+        match (va.is_nan(), vb.is_nan()) {
+            (true, true) => a.cmp(&b),
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            (false, false) => vb.partial_cmp(&va).expect("non-NaN").then(a.cmp(&b)),
+        }
+    };
+    if k < x.len() {
+        order.select_nth_unstable_by(k, cmp);
+        order.truncate(k);
+    }
+    order.sort_unstable_by(cmp);
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +102,43 @@ mod tests {
     fn argmax_ignores_nan_after_max() {
         // NaN comparisons are false, so NaN never replaces a real max.
         assert_eq!(argmax(&[1.0, f32::NAN, 2.0]), Some(2));
+    }
+
+    #[test]
+    fn top_k_select_orders_descending_with_first_index_ties() {
+        let x = [0.5f32, 2.0, 2.0, -1.0, 3.0];
+        assert_eq!(top_k_select(&x, 3), vec![4, 1, 2]);
+        assert_eq!(top_k_select(&x, 0), Vec::<usize>::new());
+        // k past the end is clamped and yields a full argsort.
+        assert_eq!(top_k_select(&x, 99), vec![4, 1, 2, 0, 3]);
+        assert_eq!(top_k_select(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn top_k_select_puts_nan_last() {
+        let x = [1.0f32, f32::NAN, 2.0, f32::NEG_INFINITY];
+        assert_eq!(top_k_select(&x, 4), vec![2, 0, 3, 1]);
+        assert_eq!(top_k_select(&x, 2), vec![2, 0]);
+    }
+
+    #[test]
+    fn top_k_select_matches_sort_on_random_scores() {
+        // LCG-driven cross-check against a full sort for many shapes.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        for n in [1usize, 7, 33, 100] {
+            let x: Vec<f32> = (0..n).map(|_| (next() * 4.0).round() / 4.0).collect();
+            let mut full: Vec<usize> = (0..n).collect();
+            full.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap().then(a.cmp(&b)));
+            for k in [0usize, 1, n / 2, n] {
+                assert_eq!(top_k_select(&x, k), full[..k], "n={n} k={k}");
+            }
+        }
     }
 
     #[test]
