@@ -28,6 +28,7 @@
 //! | `bench_quant` | int8 memory plane speedup + parity (BENCH_quant.json) | [`quant_report`] |
 //! | `bench_dist` | distributed fleet overhead + hedged p99 (BENCH_dist.json) | [`dist_report`] |
 //! | `bench_sparse` | top-K candidate attention crossover + recall (BENCH_sparse.json) | [`sparse_report`] |
+//! | `bench_serving` | open-loop network serving, coalesced vs batch-1 (BENCH_serving.json) | [`serving_report`] |
 
 pub mod batch_report;
 pub mod dist_report;
@@ -38,6 +39,7 @@ pub mod kernel_report;
 pub mod quant_report;
 pub mod robustness_report;
 pub mod segment_report;
+pub mod serving_report;
 pub mod sparse_report;
 pub mod table;
 

@@ -8,6 +8,8 @@
 //!   zero-skipping,
 //! - `serve`  — interactive QA: feed facts line-by-line, end a line with
 //!   `?` to ask,
+//! - `connect` — the same REPL against a running `mnn-serve` daemon over
+//!   the network protocol,
 //! - `tasks`  — list the available task families.
 //!
 //! The argument parser is hand-rolled (`--key value` pairs) so the tool
@@ -118,6 +120,7 @@ USAGE:
                  [--segments 0] [--precision f32|int8] [--trace]
                  [--workers 0] [--replicas 0] [--hedge-ms 0]
                  [--topk 0] [--nprobe 0]
+  mnnfast connect --addr <host:port> [--token default]
   mnnfast export --out <babi.txt> [--task single] [--stories 100] [--ns 10]
   mnnfast tasks
 
@@ -163,6 +166,13 @@ Low-confidence probes fall back to exact attention per question, reported
 on the `sparse:` summary line. When `--topk` is absent the `MNNFAST_TOPK`
 environment variable supplies the count; unset serves exact attention.
 
+`connect` speaks the binary protocol to a running `mnn-serve` daemon:
+facts observe, a trailing `?` asks (the server may coalesce your question
+with other tenants' into one batch — the answer bits are identical
+either way), `:stats` prints the server's serving and network counters,
+and `:quit` disconnects. `--token` selects the tenant credential
+(default `default`).
+
 Models save a `<model>.vocab` sidecar so eval/serve decode consistently.
 ";
 
@@ -182,6 +192,7 @@ pub fn run(args: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> Cli
         "train" => cmd_train(&options, out),
         "eval" => cmd_eval(&options, out),
         "serve" => cmd_serve(&options, input, out),
+        "connect" => cmd_connect(&options, input, out),
         "export" => cmd_export(&options, out),
         "tasks" => cmd_tasks(out),
         "help" | "--help" | "-h" => writeln!(out, "{USAGE}").map_err(|e| e.to_string()),
@@ -662,6 +673,128 @@ fn cmd_serve(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) ->
     Ok(())
 }
 
+/// Renders a server stats snapshot: the serving counters first, then the
+/// network plane (connections, frames, coalescing histogram, sheds).
+fn write_net_stats(out: &mut dyn Write, s: &mnn_net::NetStatsWire) -> CliResult {
+    writeln!(
+        out,
+        "server: {} tenants, {} sentences, {} questions answered, {} shed, {} pending",
+        s.tenants, s.total_sentences, s.questions_answered, s.shed_questions, s.pending_questions
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "batching: {} batches dispatched, {} questions coalesced, max occupancy {}",
+        s.batches_dispatched, s.batched_questions, s.max_batch_occupancy
+    )
+    .map_err(|e| e.to_string())?;
+    let mut histogram = String::new();
+    for (i, count) in s.batch_occupancy.iter().enumerate() {
+        if !histogram.is_empty() {
+            histogram.push(' ');
+        }
+        match mnn_serve::OCCUPANCY_BOUNDS.get(i) {
+            Some(bound) => histogram.push_str(&format!("\u{2264}{bound}:{count}")),
+            None => histogram.push_str(&format!(
+                ">{}:{count}",
+                mnn_serve::OCCUPANCY_BOUNDS[mnn_serve::OCCUPANCY_BOUNDS.len() - 1]
+            )),
+        }
+    }
+    writeln!(out, "occupancy: {histogram}").map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "network: {} connections accepted ({} active), {} frames in, {} frames out",
+        s.net_connections_accepted, s.net_connections_active, s.net_frames_in, s.net_frames_out
+    )
+    .map_err(|e| e.to_string())?;
+    if !s.sheds_by_tenant.is_empty() {
+        let detail: Vec<String> = s
+            .sheds_by_tenant
+            .iter()
+            .map(|(tenant, n)| format!("{tenant}={n}"))
+            .collect();
+        writeln!(out, "sheds by tenant: {}", detail.join(" ")).map_err(|e| e.to_string())?;
+    }
+    if s.deadline_misses + s.degraded_answers > 0 {
+        writeln!(
+            out,
+            "health: {} deadline misses, {} degraded answers",
+            s.deadline_misses, s.degraded_answers
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_connect(options: &Options, input: &mut dyn BufRead, out: &mut dyn Write) -> CliResult {
+    let raw_addr = options.require_str("addr")?;
+    let addr: std::net::SocketAddr = raw_addr
+        .parse()
+        .map_err(|_| format!("invalid --addr '{raw_addr}'"))?;
+    let token = options.get_str("token").unwrap_or("default");
+    let (mut client, tenant) =
+        mnn_net::NetClient::connect(addr, token).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "connected to {addr} as tenant '{tenant}'; type facts, end a line with '?' to ask, \
+         ':stats' for counters, ':quit' to exit"
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == ":quit" {
+            break;
+        }
+        if trimmed == ":stats" {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            write_net_stats(out, &stats)?;
+            continue;
+        }
+        if let Some(question) = trimmed.strip_suffix('?') {
+            match client.ask(question.trim_end()).map_err(|e| e.to_string())? {
+                mnn_net::Response::Answer(a) => writeln!(
+                    out,
+                    "-> {} (p={:.2}){}",
+                    a.text,
+                    a.probability,
+                    if a.degraded { " [degraded]" } else { "" }
+                )
+                .map_err(|e| e.to_string())?,
+                mnn_net::Response::Overloaded { retry_after_ms, .. } => {
+                    writeln!(out, "!! overloaded, retry after {retry_after_ms}ms")
+                        .map_err(|e| e.to_string())?
+                }
+                mnn_net::Response::Rejected { code, message, .. } => {
+                    writeln!(out, "!! {code:?}: {message}").map_err(|e| e.to_string())?
+                }
+                mnn_net::Response::Observed { .. } => {
+                    writeln!(out, "!! unexpected observe-ack").map_err(|e| e.to_string())?
+                }
+            }
+        } else {
+            match client.observe(trimmed) {
+                Ok(sentences) => {
+                    writeln!(out, "   noted ({sentences} sentences)").map_err(|e| e.to_string())?
+                }
+                Err(e) => writeln!(out, "!! {e}").map_err(|e| e.to_string())?,
+            }
+        }
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    write_net_stats(out, &stats)?;
+    Ok(())
+}
+
 /// Decodes text to make rustdoc examples concise.
 #[doc(hidden)]
 pub fn encode_for_tests(s: &str, vocab: &mnn_dataset::Vocabulary) -> Vec<u32> {
@@ -755,6 +888,54 @@ mod tests {
         assert!(out.contains("noted (2 sentences)"), "{out}");
         assert!(out.contains("-> "), "{out}");
         assert!(out.contains("1 questions answered"), "{out}");
+    }
+
+    #[test]
+    fn connect_repl_drives_a_live_server() {
+        let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 11);
+        let train_set = generator.dataset(60, 8, 3);
+        let config = ModelConfig {
+            temporal: false,
+            position_encoding: true,
+            ..ModelConfig::for_generator(&generator, 16, 8)
+        };
+        let mut model = MemNet::new(config, 5);
+        Trainer::new()
+            .epochs(20)
+            .momentum(0.5)
+            .train(&mut model, &train_set);
+        let server = mnn_net::NetServer::spawn(
+            model,
+            generator.vocab().clone(),
+            SessionConfig {
+                max_sentences: Some(8),
+                ..SessionConfig::default()
+            },
+            mnn_net::ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+
+        let stdin = "mary went to the kitchen\n\
+                     john moved to the garden\n\
+                     where is mary?\n\
+                     :stats\n\
+                     :quit\n";
+        let out = run_cli(&["connect", "--addr", &addr], stdin).unwrap();
+        assert!(out.contains("as tenant 'default'"), "{out}");
+        assert!(out.contains("noted (2 sentences)"), "{out}");
+        assert!(out.contains("-> "), "{out}");
+        // The network counters surface in the stats summary.
+        assert!(out.contains("network: "), "{out}");
+        assert!(out.contains("connections accepted"), "{out}");
+        assert!(out.contains("occupancy: "), "{out}");
+        assert!(out.contains("1 questions answered"), "{out}");
+
+        assert!(
+            run_cli(&["connect", "--addr", &addr, "--token", "wrong"], "").is_err(),
+            "a bad token must be rejected"
+        );
+        server.shutdown();
     }
 
     #[test]

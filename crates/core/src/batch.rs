@@ -276,6 +276,15 @@ impl BatchEngine {
     /// while its batchmates still process it. Lazy-mode questions never
     /// prune (no running max exists until the division).
     ///
+    /// Each chunk of memories is streamed once per batch and applied to
+    /// every live question while cache-resident, but per question the
+    /// arithmetic is the exact single-question kernel sequence accumulated
+    /// straight into the running accumulator — so every answer (f32 and
+    /// int8 alike) is bitwise identical to a per-question
+    /// [`crate::Executor::forward_segmented_budgeted`] run with the same
+    /// config. Network serving relies on this: a coalesced batch returns
+    /// the same bits as a sequence of single-question asks.
+    ///
     /// # Errors
     ///
     /// As [`BatchEngine::forward_budgeted`].
@@ -436,61 +445,58 @@ impl BatchEngine {
                         for s in batch_skipped[..nq].iter_mut() {
                             *s = 0;
                         }
-                        // Chunk partial → merge, the same discipline as the
-                        // single-question engines: Online relative weights
-                        // are chunk-local, so skip decisions match
-                        // per-question runs.
+                        // The chunk is streamed from memory once and applied
+                        // to every live question while resident — that is the
+                        // batching win. Per question the discipline is the
+                        // *exact* single-question sequence from
+                        // `ColumnEngine::forward_segmented_budgeted`: reset a
+                        // chunk partial, fill it with the same kernels
+                        // `process_chunk_flat` uses (fused chunk kernel, or
+                        // gemv + per-row add), then merge it into the running
+                        // accumulator. Identical kernels + identical merge
+                        // order make every f32 answer bitwise identical to a
+                        // per-question run with the same config.
                         let t0 = trace.begin();
-                        match mode {
-                            SoftmaxMode::Lazy => {
-                                for p in &mut batch_chunk_lazy[..nq] {
-                                    p.reset(ed);
-                                }
-                                LazyAccumulator::accumulate_chunk_batch(
-                                    &mut batch_chunk_lazy[..nq],
+                        for q in 0..nq {
+                            if !batch_seg_live[q] {
+                                continue;
+                            }
+                            let uq = &batch_us[q * ed..(q + 1) * ed];
+                            let (mut acc, mut partial) = match mode {
+                                SoftmaxMode::Lazy => (
+                                    AccumMut::Lazy(&mut batch_lazy[q]),
+                                    AccumMut::Lazy(&mut batch_chunk_lazy[q]),
+                                ),
+                                SoftmaxMode::Online => (
+                                    AccumMut::Online(&mut batch_online[q]),
+                                    AccumMut::Online(&mut batch_chunk_online[q]),
+                                ),
+                            };
+                            partial.reset(ed);
+                            batch_skipped[q] = if fused {
+                                partial.accumulate_chunk(
                                     in_flat,
                                     out_flat,
                                     n,
-                                    batch_us,
-                                    &batch_thresholds[..nq],
-                                    &batch_seg_live[..nq],
-                                    fused,
-                                    batch_logits,
-                                    batch_skipped,
-                                );
-                                for q in 0..nq {
-                                    if batch_seg_live[q] {
-                                        mnn_tensor::partial::merge_lazy_into(
-                                            &mut batch_lazy[q],
-                                            &batch_chunk_lazy[q],
-                                        );
+                                    uq,
+                                    batch_thresholds[q],
+                                )
+                            } else {
+                                let lq = &mut batch_logits[..n];
+                                kernels::gemv_chunk(in_flat, n, uq, lq);
+                                let mut sk = 0u64;
+                                for (i, &x) in lq.iter().enumerate() {
+                                    if partial.add(
+                                        x,
+                                        &out_flat[i * ed..(i + 1) * ed],
+                                        batch_thresholds[q],
+                                    ) {
+                                        sk += 1;
                                     }
                                 }
-                            }
-                            SoftmaxMode::Online => {
-                                for p in &mut batch_chunk_online[..nq] {
-                                    p.reset(ed);
-                                }
-                                OnlineSoftmax::accumulate_chunk_batch(
-                                    &mut batch_chunk_online[..nq],
-                                    in_flat,
-                                    out_flat,
-                                    n,
-                                    batch_us,
-                                    &batch_thresholds[..nq],
-                                    &batch_seg_live[..nq],
-                                    batch_logits,
-                                    batch_skipped,
-                                );
-                                for q in 0..nq {
-                                    if batch_seg_live[q] {
-                                        mnn_tensor::partial::merge_online_into(
-                                            &mut batch_online[q],
-                                            &batch_chunk_online[q],
-                                        );
-                                    }
-                                }
-                            }
+                                sk
+                            };
+                            acc.merge_from(&partial);
                         }
                         trace.record(Phase::BatchGemm, t0, n as u64 * n_live);
                         let mut chunk_skipped = 0u64;

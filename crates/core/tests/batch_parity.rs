@@ -147,6 +147,66 @@ fn batched_parity_with_raw_weight_skipping() {
     }
 }
 
+/// The budgeted serving path (what coalesced network batches run through)
+/// must be *bitwise* identical to the single-question engine — not merely
+/// approximately equal — because a remote client's answer has to carry the
+/// same bits whether its question was coalesced or served alone.
+#[test]
+fn budgeted_serving_is_bitwise_identical_to_single_question() {
+    for backend in backends() {
+        with_backend(backend, || {
+            for (ns, ed, chunk, nq) in SHAPES {
+                let (m_in, m_out, questions) = memories(ns, ed, nq);
+                for mode in [SoftmaxMode::Lazy, SoftmaxMode::Online] {
+                    for fused in [true, false] {
+                        for skip in [
+                            SkipPolicy::None,
+                            SkipPolicy::RawWeight(0.9),
+                            SkipPolicy::Probability(0.02),
+                        ] {
+                            let config = MnnFastConfig::new(chunk)
+                                .with_softmax(mode)
+                                .with_fused(fused)
+                                .with_skip(skip);
+                            let mut scratch = Scratch::new();
+                            let mut trace = Trace::disabled();
+                            let budgets = vec![Budget::unlimited(); nq];
+                            let results = BatchEngine::new(config)
+                                .forward_budgeted(
+                                    &m_in,
+                                    &m_out,
+                                    m_in.rows(),
+                                    &questions,
+                                    &mut scratch,
+                                    &mut trace,
+                                    &budgets,
+                                )
+                                .unwrap();
+                            let single = ColumnEngine::new(config);
+                            for (q, r) in results.iter().enumerate() {
+                                let out = r.as_ref().unwrap();
+                                let expect = single.forward(&m_in, &m_out, &questions[q]).unwrap();
+                                let got: Vec<u32> = out.o.iter().map(|v| v.to_bits()).collect();
+                                let want: Vec<u32> = expect.o.iter().map(|v| v.to_bits()).collect();
+                                assert_eq!(
+                                    got, want,
+                                    "bitwise drift (q{q}, {backend:?}, {config:?})"
+                                );
+                                assert_eq!(
+                                    out.denominator.to_bits(),
+                                    expect.denominator.to_bits(),
+                                    "denominator drift (q{q}, {backend:?}, {config:?})"
+                                );
+                                assert_eq!(out.stats.rows_skipped, expect.stats.rows_skipped);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
 #[test]
 fn batched_parity_with_probability_skipping() {
     for backend in backends() {

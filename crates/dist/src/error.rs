@@ -135,6 +135,20 @@ impl Error for DistError {
     }
 }
 
+impl From<mnn_wire::WireError> for FrameError {
+    fn from(e: mnn_wire::WireError) -> Self {
+        use mnn_wire::WireError as W;
+        match e {
+            W::Truncated { needed, got } => FrameError::Truncated { needed, got },
+            W::BadMagic(m) => FrameError::BadMagic(m),
+            W::UnsupportedVersion(v) => FrameError::UnsupportedVersion(v),
+            W::Corrupt { expected, got } => FrameError::Corrupt { expected, got },
+            W::Malformed(what) => FrameError::Malformed(what),
+            W::Io(io) => FrameError::Io(io),
+        }
+    }
+}
+
 impl From<FrameError> for DistError {
     fn from(e: FrameError) -> Self {
         match e {

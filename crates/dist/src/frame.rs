@@ -22,10 +22,16 @@
 //! The codec is pure (`encode`/`decode` on byte buffers); [`write_frame`]
 //! and [`read_frame`] adapt it to blocking streams and honour whatever
 //! read/write deadline the caller set on the socket.
+//!
+//! The envelope itself — header layout, length discipline, trailing CRC,
+//! the little-endian payload [`Reader`](mnn_wire::Reader) — lives in the
+//! shared [`mnn_wire`] crate so this protocol and the serving front-end's
+//! (`mnn-net`) cannot drift; this module owns only the opcode table and
+//! the payload layouts.
 
 use crate::error::FrameError;
-use mnn_tensor::crc::crc32;
 use mnn_tensor::PartialState;
+use mnn_wire::Reader;
 use std::io::{Read, Write};
 
 /// First two bytes of every frame ("MF" little-endian).
@@ -33,12 +39,12 @@ pub const MAGIC: u16 = 0x4D46;
 /// Protocol version emitted by this build.
 pub const VERSION: u8 = 1;
 /// Fixed header length (magic + version + opcode + payload length).
-pub const HEADER_LEN: usize = 8;
+pub const HEADER_LEN: usize = mnn_wire::HEADER_LEN;
 /// Trailing checksum length.
-pub const CRC_LEN: usize = 4;
+pub const CRC_LEN: usize = mnn_wire::CRC_LEN;
 /// Upper bound on the declared payload length; anything larger is treated
 /// as a corrupt length field rather than an allocation request.
-pub const MAX_PAYLOAD: usize = 1 << 28;
+pub const MAX_PAYLOAD: usize = mnn_wire::MAX_PAYLOAD;
 
 /// Worker-side request outcome codes carried by [`Frame::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,17 +205,9 @@ impl Frame {
 
     /// Serializes the frame (header, payload, trailing CRC).
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(HEADER_LEN + 64);
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.push(VERSION);
-        buf.push(self.opcode());
-        buf.extend_from_slice(&0u32.to_le_bytes()); // patched below
-        self.encode_payload(&mut buf);
-        let payload = buf.len() - HEADER_LEN + CRC_LEN;
-        buf[4..8].copy_from_slice(&(payload as u32).to_le_bytes());
-        let crc = crc32(&buf);
-        buf.extend_from_slice(&crc.to_le_bytes());
-        buf
+        mnn_wire::seal_frame(MAGIC, VERSION, self.opcode(), |buf| {
+            self.encode_payload(buf)
+        })
     }
 
     fn encode_payload(&self, buf: &mut Vec<u8>) {
@@ -302,51 +300,10 @@ impl Frame {
     /// [`FrameError::Corrupt`] when the trailing CRC disagrees, and
     /// [`FrameError::Malformed`] when the payload doesn't parse.
     pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(FrameError::Truncated {
-                needed: HEADER_LEN,
-                got: bytes.len(),
-            });
-        }
-        let magic = u16::from_le_bytes([bytes[0], bytes[1]]);
-        if magic != MAGIC {
-            return Err(FrameError::BadMagic(magic));
-        }
-        if bytes[2] != VERSION {
-            return Err(FrameError::UnsupportedVersion(bytes[2]));
-        }
-        let opcode = bytes[3];
-        let payload = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
-        if !(CRC_LEN..=MAX_PAYLOAD).contains(&payload) {
-            return Err(FrameError::Malformed("implausible payload length"));
-        }
-        let total = HEADER_LEN + payload;
-        if bytes.len() < total {
-            return Err(FrameError::Truncated {
-                needed: total,
-                got: bytes.len(),
-            });
-        }
-        let body_end = total - CRC_LEN;
-        let stored = u32::from_le_bytes([
-            bytes[body_end],
-            bytes[body_end + 1],
-            bytes[body_end + 2],
-            bytes[body_end + 3],
-        ]);
-        let computed = crc32(&bytes[..body_end]);
-        if stored != computed {
-            return Err(FrameError::Corrupt {
-                expected: computed,
-                got: stored,
-            });
-        }
-        let mut r = Reader {
-            buf: &bytes[HEADER_LEN..body_end],
-            pos: 0,
-        };
+        let (opcode, payload) = mnn_wire::open_frame(bytes, MAGIC, VERSION)?;
+        let mut r = Reader::new(payload);
         let frame = Self::decode_payload(opcode, &mut r)?;
-        if r.pos != r.buf.len() {
+        if !r.is_exhausted() {
             return Err(FrameError::Malformed("trailing bytes after payload"));
         }
         Ok(frame)
@@ -448,69 +405,13 @@ impl Frame {
     }
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
-        if self.buf.len() - self.pos < n {
-            return Err(FrameError::Malformed("payload shorter than declared"));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, FrameError> {
-        Ok(self.bytes(1)?[0])
-    }
-
-    fn flag(&mut self) -> Result<bool, FrameError> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            _ => Err(FrameError::Malformed("flag byte is not 0 or 1")),
-        }
-    }
-
-    fn u32(&mut self) -> Result<u32, FrameError> {
-        let b = self.bytes(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self) -> Result<u64, FrameError> {
-        let b = self.bytes(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    fn f32(&mut self) -> Result<f32, FrameError> {
-        Ok(f32::from_bits(self.u32()?))
-    }
-
-    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, FrameError> {
-        if self.buf.len() - self.pos < n.saturating_mul(4) {
-            return Err(FrameError::Malformed("payload shorter than declared"));
-        }
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.f32()?);
-        }
-        Ok(out)
-    }
-}
-
 /// Writes one encoded frame to `w` (single `write_all`, then flush).
 ///
 /// # Errors
 ///
 /// Propagates the stream's I/O error (including write-timeout expiry).
 pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
-    w.write_all(&frame.encode())?;
-    w.flush()
+    mnn_wire::write_frame_bytes(w, &frame.encode())
 }
 
 /// Reads exactly one frame from `r`, honouring the stream's read deadline.
@@ -520,29 +421,8 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> std::io::Result<()> {
 /// I/O errors (timeouts, resets) as `Err(Ok(io_error))`-free
 /// [`FrameError::Io`]; codec errors as their own [`FrameError`] variants.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
-    let mut header = [0u8; HEADER_LEN];
-    read_exact(r, &mut header)?;
-    let payload = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
-    if !(CRC_LEN..=MAX_PAYLOAD).contains(&payload) {
-        // Validate the header before trusting the length — still surface
-        // magic/version problems with their precise error.
-        let magic = u16::from_le_bytes([header[0], header[1]]);
-        if magic != MAGIC {
-            return Err(FrameError::BadMagic(magic));
-        }
-        if header[2] != VERSION {
-            return Err(FrameError::UnsupportedVersion(header[2]));
-        }
-        return Err(FrameError::Malformed("implausible payload length"));
-    }
-    let mut buf = vec![0u8; HEADER_LEN + payload];
-    buf[..HEADER_LEN].copy_from_slice(&header);
-    read_exact(r, &mut buf[HEADER_LEN..])?;
+    let buf = mnn_wire::read_frame_bytes(r, MAGIC, VERSION)?;
     Frame::decode(&buf)
-}
-
-fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), FrameError> {
-    r.read_exact(buf).map_err(FrameError::Io)
 }
 
 #[cfg(test)]

@@ -1,0 +1,315 @@
+//! A blocking client for the serving front-end.
+//!
+//! [`NetClient`] speaks the [`crate::proto`] protocol over one TCP
+//! connection. The convenience calls ([`NetClient::ask`],
+//! [`NetClient::observe`]) are strict request/response; the pipelined
+//! pair ([`NetClient::send_ask`] / [`NetClient::recv`]) keeps many asks
+//! in flight on one connection, which is what lets the server coalesce
+//! them into batches.
+
+use crate::error::{NetError, NetErrorCode};
+use crate::proto::{self, NetFrame, NetStatsWire};
+use mnn_dataset::WordId;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A successful answer as seen by a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientAnswer {
+    /// Request id the answer settles (client-assigned).
+    pub id: u64,
+    /// The predicted word id.
+    pub word: WordId,
+    /// The predicted word's surface form (empty when the server's
+    /// vocabulary has no entry for it).
+    pub text: String,
+    /// The answer's probability, bit-exact with the server's in-process
+    /// [`mnn_serve::Session::ask`].
+    pub probability: f32,
+    /// Whether the answer was produced under a degraded policy.
+    pub degraded: bool,
+}
+
+/// One response to a pipelined request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The ask completed.
+    Answer(ClientAnswer),
+    /// An observe completed; the tenant now holds `sentences` sentences.
+    Observed {
+        /// Request id the acknowledgement settles.
+        id: u64,
+        /// Tenant memory size after the write.
+        sentences: u64,
+    },
+    /// The server shed the request; retry after the hinted delay.
+    Overloaded {
+        /// Request id the shed settles.
+        id: u64,
+        /// Suggested backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server rejected the request with a typed error.
+    Rejected {
+        /// Request id the rejection settles ([`proto::NO_REQUEST`] when
+        /// the failure is connection-scoped).
+        id: u64,
+        /// Failure class.
+        code: NetErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// The request id this response settles.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Answer(a) => a.id,
+            Response::Observed { id, .. }
+            | Response::Overloaded { id, .. }
+            | Response::Rejected { id, .. } => *id,
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects and authenticates as the tenant `token` maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on connect failure, [`NetError::Rejected`] when
+    /// the token is unknown.
+    pub fn connect(addr: SocketAddr, token: &str) -> Result<(Self, String), NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut client = NetClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 0,
+        };
+        client.send(&NetFrame::Hello {
+            token: token.to_owned(),
+        })?;
+        match client.read()? {
+            NetFrame::HelloAck { tenant, .. } => Ok((client, tenant)),
+            NetFrame::Error { code, message, .. } => Err(NetError::Rejected { code, message }),
+            _ => Err(NetError::Protocol("expected hello-ack")),
+        }
+    }
+
+    /// Bounds how long a blocking read waits for the server (`None`
+    /// blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the socket rejects the option.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, frame: &NetFrame) -> Result<(), NetError> {
+        proto::write_frame(&mut self.writer, frame)?;
+        Ok(())
+    }
+
+    fn read(&mut self) -> Result<NetFrame, NetError> {
+        proto::read_frame(&mut self.reader)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one ask (as text) without waiting; returns the request id.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on stream failure.
+    pub fn send_ask(&mut self, question: &str) -> Result<u64, NetError> {
+        let id = self.fresh_id();
+        self.send(&NetFrame::Ask {
+            id,
+            text: question.to_owned(),
+        })?;
+        Ok(id)
+    }
+
+    /// Sends one ask (as token ids) without waiting; returns the request
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on stream failure.
+    pub fn send_ask_tokens(&mut self, tokens: &[WordId]) -> Result<u64, NetError> {
+        let id = self.fresh_id();
+        self.send(&NetFrame::AskTokens {
+            id,
+            tokens: tokens.to_vec(),
+        })?;
+        Ok(id)
+    }
+
+    /// Sends one observe (as token ids) without waiting; returns the
+    /// request id.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on stream failure.
+    pub fn send_observe_tokens(&mut self, tokens: &[WordId]) -> Result<u64, NetError> {
+        let id = self.fresh_id();
+        self.send(&NetFrame::ObserveTokens {
+            id,
+            tokens: tokens.to_vec(),
+        })?;
+        Ok(id)
+    }
+
+    /// Blocks for the next response to any in-flight request.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] on stream failure or read timeout;
+    /// [`NetError::Protocol`] when the server sends a frame that is not a
+    /// request response.
+    pub fn recv(&mut self) -> Result<Response, NetError> {
+        match self.read()? {
+            NetFrame::Answer {
+                id,
+                word,
+                text,
+                probability,
+                degraded,
+            } => Ok(Response::Answer(ClientAnswer {
+                id,
+                word,
+                text,
+                probability,
+                degraded,
+            })),
+            NetFrame::ObserveAck { id, sentences } => Ok(Response::Observed { id, sentences }),
+            NetFrame::Overloaded { id, retry_after_ms } => {
+                Ok(Response::Overloaded { id, retry_after_ms })
+            }
+            NetFrame::Error { id, code, message } => Ok(Response::Rejected { id, code, message }),
+            _ => Err(NetError::Protocol("expected a request response")),
+        }
+    }
+
+    /// Writes one sentence into the tenant's memory and waits for the
+    /// acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Rejected`] when the server refuses the write,
+    /// [`NetError::Io`]/[`NetError::Protocol`] on transport failures.
+    pub fn observe(&mut self, sentence: &str) -> Result<u64, NetError> {
+        let id = self.fresh_id();
+        self.send(&NetFrame::Observe {
+            id,
+            text: sentence.to_owned(),
+        })?;
+        match self.recv()? {
+            Response::Observed { sentences, .. } => Ok(sentences),
+            Response::Rejected { code, message, .. } => Err(NetError::Rejected { code, message }),
+            Response::Overloaded { .. } => Err(NetError::Protocol("observe was shed")),
+            Response::Answer(_) => Err(NetError::Protocol("expected observe-ack")),
+        }
+    }
+
+    /// Writes one tokenized sentence and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::observe`].
+    pub fn observe_tokens(&mut self, tokens: &[WordId]) -> Result<u64, NetError> {
+        let id = self.send_observe_tokens(tokens)?;
+        match self.recv()? {
+            Response::Observed { sentences, .. } => Ok(sentences),
+            Response::Rejected { code, message, .. } => Err(NetError::Rejected { code, message }),
+            r => Err(NetError::Protocol(if r.id() == id {
+                "expected observe-ack"
+            } else {
+                "response for a different request"
+            })),
+        }
+    }
+
+    /// Asks one question and waits for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Rejected`] on typed refusal; the `Overloaded` response
+    /// surfaces as a [`Response::Overloaded`] via [`NetClient::recv`] —
+    /// this strict helper converts it into [`NetError::Protocol`] only if
+    /// the server violates request/response ordering.
+    pub fn ask(&mut self, question: &str) -> Result<Response, NetError> {
+        self.send_ask(question)?;
+        self.recv()
+    }
+
+    /// Asks one tokenized question and waits for the answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ask`].
+    pub fn ask_tokens(&mut self, tokens: &[WordId]) -> Result<Response, NetError> {
+        self.send_ask_tokens(tokens)?;
+        self.recv()
+    }
+
+    /// Fetches the server's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`]/[`NetError::Protocol`] on transport failures.
+    pub fn stats(&mut self) -> Result<NetStatsWire, NetError> {
+        self.send(&NetFrame::Stats)?;
+        loop {
+            match self.read()? {
+                NetFrame::StatsResp(stats) => return Ok(stats),
+                // Pipelined responses may land first; stats callers that
+                // interleave should drain with recv() beforehand.
+                NetFrame::Answer { .. }
+                | NetFrame::ObserveAck { .. }
+                | NetFrame::Overloaded { .. }
+                | NetFrame::Error { .. } => continue,
+                _ => return Err(NetError::Protocol("expected stats response")),
+            }
+        }
+    }
+
+    /// Asks the server to drain and stop, waiting for the
+    /// acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`]/[`NetError::Protocol`] on transport failures.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        self.send(&NetFrame::Shutdown)?;
+        loop {
+            match self.read()? {
+                NetFrame::ShutdownAck => return Ok(()),
+                // Drained answers for in-flight requests arrive first.
+                NetFrame::Answer { .. }
+                | NetFrame::ObserveAck { .. }
+                | NetFrame::Overloaded { .. }
+                | NetFrame::Error { .. } => continue,
+                _ => return Err(NetError::Protocol("expected shutdown-ack")),
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end test of the `mnn-serve` binary: spawn the real daemon,
+//! speak the real protocol over a real socket, drain it with a shutdown
+//! frame, and check it exits cleanly.
+
+use mnn_net::{NetClient, Response};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills the child on panic so a failing assertion cannot leak a daemon.
+struct Reap(Child);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_binary_trains_listens_answers_and_drains() {
+    let child = Command::new(env!("CARGO_BIN_EXE_mnn-serve"))
+        .args([
+            "--synthetic",
+            "--listen",
+            "127.0.0.1:0",
+            "--window",
+            "8",
+            "--tenants",
+            "sesame=alice",
+            "--max-batch",
+            "4",
+            "--batch-wait-us",
+            "500",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mnn-serve");
+    let mut child = Reap(child);
+    let stdout = child.0.stdout.take().expect("child stdout");
+    let mut lines = BufReader::new(stdout).lines();
+
+    // The daemon prints exactly `listening on ADDR` once it is serving
+    // (after the synthetic training pass, which takes a few seconds).
+    let banner = lines
+        .next()
+        .expect("daemon exited before listening")
+        .expect("read banner");
+    let addr: SocketAddr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .expect("banner address");
+
+    let (mut client, tenant) = NetClient::connect(addr, "sesame").expect("connect");
+    assert_eq!(tenant, "alice");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // A SingleSupportingFact story in the synthetic model's vocabulary.
+    for s in ["mary went to the kitchen", "john went to the garden"] {
+        client.observe(s).expect("observe");
+    }
+    let answer = match client.ask("where is mary").expect("ask") {
+        Response::Answer(a) => a,
+        other => panic!("expected an answer, got {other:?}"),
+    };
+    assert!(!answer.text.is_empty(), "answer should carry a word");
+    assert!(answer.probability.is_finite());
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.net_connections_accepted >= 1);
+    assert!(stats.questions_answered >= 1);
+
+    client.shutdown_server().expect("shutdown handshake");
+    let status = child.0.wait().expect("wait for daemon");
+    assert!(status.success(), "daemon exited with {status:?}");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        rest.iter().any(|l| l == "drained and stopped"),
+        "missing drain banner in {rest:?}"
+    );
+}

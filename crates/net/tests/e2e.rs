@@ -1,0 +1,460 @@
+//! End-to-end loopback tests: a real [`NetServer`] on an OS-assigned
+//! port, real [`NetClient`] connections, and — crucially — bitwise
+//! comparison of every served answer against the in-process
+//! [`Session::ask`] path.
+
+use mnn_dataset::babi::{BabiGenerator, Story, TaskKind};
+use mnn_dataset::Vocabulary;
+use mnn_memnn::train::Trainer;
+use mnn_memnn::{MemNet, ModelConfig};
+use mnn_net::{NetClient, NetErrorCode, NetServer, Response, ServerConfig, TenantAuth};
+use mnn_serve::{AdmissionConfig, BatchConfig, Session, SessionConfig};
+use mnnfast::Precision;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const NS: usize = 8;
+
+/// One small deterministic model plus held-out stories, shared by every
+/// test in the file. Serving-compatible shape (position encoding, no
+/// temporal rows) so a sliding window is safe.
+fn trained_model() -> (MemNet, Vocabulary, Vec<Story>) {
+    let mut generator = BabiGenerator::new(TaskKind::SingleSupportingFact, 2019);
+    let train_set = generator.dataset(60, NS, 3);
+    let test_set = generator.dataset(6, NS, 3);
+    let config = ModelConfig {
+        temporal: false,
+        position_encoding: true,
+        ..ModelConfig::for_generator(&generator, 16, NS)
+    };
+    let mut model = MemNet::new(config, 61);
+    Trainer::new()
+        .epochs(25)
+        .momentum(0.5)
+        .train(&mut model, &train_set);
+    (model, generator.vocab().clone(), test_set)
+}
+
+/// The session shape every test serves with: a sliding window the size
+/// of one story, so replaying many stories stays within the model's
+/// positional range.
+fn session_config(precision: Precision) -> SessionConfig {
+    SessionConfig {
+        max_sentences: Some(NS),
+        precision,
+        ..SessionConfig::default()
+    }
+}
+
+fn server_config(tenants: &[(&str, &str)]) -> ServerConfig {
+    ServerConfig {
+        tenants: tenants
+            .iter()
+            .map(|(token, tenant)| TenantAuth {
+                token: (*token).to_owned(),
+                tenant: (*tenant).to_owned(),
+            })
+            .collect(),
+        batching: Some(BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(500),
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+/// Replays the stories through a loopback connection and through an
+/// in-process session, and demands bit-identical words AND probability
+/// bit patterns.
+fn assert_loopback_parity(precision: Precision) {
+    let (model, vocab, stories) = trained_model();
+    let cfg = session_config(precision);
+    let server = NetServer::spawn(
+        model.clone(),
+        vocab.clone(),
+        cfg,
+        server_config(&[("alpha", "alice")]),
+    )
+    .expect("server spawns");
+    let (mut client, tenant) = NetClient::connect(server.addr(), "alpha").expect("connect");
+    assert_eq!(tenant, "alice");
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+
+    let mut reference = Session::new(model, cfg).expect("in-process session");
+    let mut compared = 0usize;
+    for story in &stories {
+        for sentence in &story.sentences {
+            let remote = client.observe_tokens(sentence).expect("observe");
+            let local = reference.observe(sentence).expect("observe local");
+            let _ = local;
+            assert_eq!(remote as usize, reference.memory_len(), "memory in step");
+        }
+        // Pipeline the story's questions so the server actually batches.
+        let mut ids = Vec::new();
+        for q in &story.questions {
+            ids.push(client.send_ask_tokens(&q.tokens).expect("send"));
+        }
+        let mut answers = HashMap::new();
+        for _ in &ids {
+            match client.recv().expect("recv") {
+                Response::Answer(a) => {
+                    answers.insert(a.id, a);
+                }
+                other => panic!("expected an answer, got {other:?}"),
+            }
+        }
+        for (q, id) in story.questions.iter().zip(&ids) {
+            let local = reference.ask(&q.tokens).expect("ask local");
+            let remote = &answers[id];
+            assert_eq!(remote.word, local.word, "answer word over loopback");
+            assert_eq!(
+                remote.probability.to_bits(),
+                local.probability.to_bits(),
+                "probability must cross the wire bit-exactly"
+            );
+            assert_eq!(remote.degraded, local.degraded);
+            assert_eq!(remote.text, vocab.word(local.word).unwrap_or(""));
+            compared += 1;
+        }
+    }
+    assert!(compared >= 12, "enough questions compared: {compared}");
+    server.shutdown();
+}
+
+#[test]
+fn loopback_answers_match_in_process_f32() {
+    assert_loopback_parity(Precision::F32);
+}
+
+#[test]
+fn loopback_answers_match_in_process_int8() {
+    assert_loopback_parity(Precision::Int8);
+}
+
+#[test]
+fn concurrent_tenants_each_get_their_own_answers() {
+    let (model, vocab, stories) = trained_model();
+    let cfg = session_config(Precision::F32);
+    let server = NetServer::spawn(
+        model.clone(),
+        vocab,
+        cfg,
+        server_config(&[("alpha", "alice"), ("beta", "bob")]),
+    )
+    .expect("server spawns");
+    let addr = server.addr();
+
+    // Each tenant serves a different story concurrently; answers must
+    // match that tenant's in-process replay, proving coalescing across
+    // tenants never leaks memory between them.
+    let handles: Vec<_> = [("alpha", 0usize), ("beta", 1usize)]
+        .into_iter()
+        .map(|(token, story_idx)| {
+            let story = stories[story_idx].clone();
+            let model = model.clone();
+            std::thread::spawn(move || {
+                let (mut client, _) = NetClient::connect(addr, token).expect("connect");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(20)))
+                    .expect("timeout");
+                let mut reference = Session::new(model, cfg).expect("in-process session");
+                for sentence in &story.sentences {
+                    client.observe_tokens(sentence).expect("observe");
+                    reference.observe(sentence).expect("observe local");
+                }
+                for q in &story.questions {
+                    let remote = match client.ask_tokens(&q.tokens).expect("ask") {
+                        Response::Answer(a) => a,
+                        other => panic!("expected answer, got {other:?}"),
+                    };
+                    let local = reference.ask(&q.tokens).expect("ask local");
+                    assert_eq!(remote.word, local.word);
+                    assert_eq!(remote.probability.to_bits(), local.probability.to_bits());
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("tenant thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_typed_frames_and_recovers() {
+    let (model, vocab, stories) = trained_model();
+    // Capacity covers one full coalesced batch (cost = sentences × hops
+    // per question, NS per question here, 4·NS per batch) but not two;
+    // the burst below must shed, and the refill restores service within
+    // tens of milliseconds.
+    let server = NetServer::spawn(
+        model,
+        vocab,
+        session_config(Precision::F32),
+        ServerConfig {
+            admission: Some(AdmissionConfig {
+                capacity: 5 * NS as u64,
+                refill_per_sec: 400,
+            }),
+            ..server_config(&[("alpha", "alice")])
+        },
+    )
+    .expect("server spawns");
+    let (mut client, _) = NetClient::connect(server.addr(), "alpha").expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    let story = &stories[0];
+    for sentence in &story.sentences {
+        client.observe_tokens(sentence).expect("observe");
+    }
+
+    // Burst far past the bucket. Every response must decode (no dropped
+    // connection, no malformed frame); the overflow must be typed
+    // Overloaded with a positive retry hint.
+    let burst = 16;
+    for _ in 0..burst {
+        client
+            .send_ask_tokens(&story.questions[0].tokens)
+            .expect("send");
+    }
+    let mut answered = 0;
+    let mut shed = 0;
+    for _ in 0..burst {
+        match client.recv().expect("every frame decodes") {
+            Response::Answer(_) => answered += 1,
+            Response::Overloaded { retry_after_ms, .. } => {
+                assert!(retry_after_ms > 0, "retry hint must be positive");
+                shed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(answered >= 1, "the bucket admits the first questions");
+    assert!(shed >= 1, "the burst must overflow the bucket");
+    assert_eq!(answered + shed, burst);
+
+    // Recovery: after the bucket refills the same connection serves
+    // again — overload never costs the client its connection.
+    std::thread::sleep(Duration::from_millis(200));
+    let mut recovered = false;
+    for _ in 0..10 {
+        match client.ask_tokens(&story.questions[0].tokens).expect("ask") {
+            Response::Answer(_) => {
+                recovered = true;
+                break;
+            }
+            Response::Overloaded { retry_after_ms, .. } => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(recovered, "service must recover once the bucket refills");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.shed_questions >= shed as u64);
+    assert!(
+        stats
+            .sheds_by_tenant
+            .iter()
+            .any(|(t, n)| t == "alice" && *n >= shed as u64),
+        "sheds are attributed to the bursting tenant: {:?}",
+        stats.sheds_by_tenant
+    );
+    server.shutdown();
+}
+
+#[test]
+fn killed_client_mid_request_reclaims_the_slot() {
+    let (model, vocab, stories) = trained_model();
+    let server = NetServer::spawn(
+        model,
+        vocab,
+        session_config(Precision::F32),
+        ServerConfig {
+            // A long max-wait parks the ask in the coalescing queue so the
+            // client is guaranteed to die before the answer exists.
+            batching: Some(BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(50),
+            }),
+            ..server_config(&[("alpha", "alice")])
+        },
+    )
+    .expect("server spawns");
+    let story = &stories[0];
+
+    {
+        let (mut doomed, _) = NetClient::connect(server.addr(), "alpha").expect("connect");
+        doomed
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("timeout");
+        for sentence in &story.sentences {
+            doomed.observe_tokens(sentence).expect("observe");
+        }
+        doomed
+            .send_ask_tokens(&story.questions[0].tokens)
+            .expect("send");
+        // Drop without reading the answer: the socket closes with the
+        // request still queued server-side.
+    }
+
+    // The server must flush the orphaned question, drop the unroutable
+    // answer, and keep serving new connections at full health.
+    let (mut client, _) = NetClient::connect(server.addr(), "alpha").expect("reconnect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    match client.ask_tokens(&story.questions[0].tokens).expect("ask") {
+        Response::Answer(_) => {}
+        other => panic!("expected answer, got {other:?}"),
+    }
+    // Poll stats until the orphaned question has been flushed: the pool
+    // must hold zero pending questions (the dead client's slot is
+    // reclaimed, not leaked).
+    let mut drained = false;
+    for _ in 0..100 {
+        let stats = client.stats().expect("stats");
+        if stats.pending_questions == 0 && stats.questions_answered >= 2 {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(drained, "orphaned ask must be flushed, not leaked");
+    server.shutdown();
+}
+
+#[test]
+fn bad_bytes_get_a_typed_error_not_a_hangup() {
+    use std::io::{Read, Write};
+    let (model, vocab, _) = trained_model();
+    let server = NetServer::spawn(
+        model,
+        vocab,
+        session_config(Precision::F32),
+        server_config(&[("alpha", "alice")]),
+    )
+    .expect("server spawns");
+
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+    // The server answers a typed error frame before closing.
+    let mut reader = std::io::BufReader::new(raw);
+    let frame = mnn_net::read_frame(&mut reader).expect("typed error frame");
+    match frame {
+        mnn_net::NetFrame::Error { id, code, .. } => {
+            assert_eq!(id, mnn_net::NO_REQUEST);
+            assert_eq!(code, NetErrorCode::BadRequest);
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // After the error the connection drains closed.
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection closes after the protocol error");
+
+    // An honest client on a fresh connection is unaffected.
+    let (_client, tenant) = NetClient::connect(server.addr(), "alpha").expect("connect");
+    assert_eq!(tenant, "alice");
+    server.shutdown();
+}
+
+#[test]
+fn auth_is_required_and_tokens_are_checked() {
+    let (model, vocab, stories) = trained_model();
+    let server = NetServer::spawn(
+        model,
+        vocab,
+        session_config(Precision::F32),
+        server_config(&[("alpha", "alice")]),
+    )
+    .expect("server spawns");
+
+    // Wrong token: typed auth rejection.
+    match NetClient::connect(server.addr(), "wrong") {
+        Err(mnn_net::NetError::Rejected { code, .. }) => assert_eq!(code, NetErrorCode::Auth),
+        other => panic!("expected auth rejection, got {other:?}"),
+    }
+
+    // No hello at all: asks are refused with an auth error, not served.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let ask = mnn_net::NetFrame::AskTokens {
+            id: 7,
+            tokens: stories[0].questions[0].tokens.clone(),
+        };
+        raw.write_all(&ask.encode()).expect("write");
+        let mut reader = std::io::BufReader::new(raw);
+        match mnn_net::read_frame(&mut reader).expect("frame") {
+            mnn_net::NetFrame::Error { id, code, .. } => {
+                assert_eq!(id, 7);
+                assert_eq!(code, NetErrorCode::Auth);
+            }
+            other => panic!("expected auth error, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_questions_before_acking() {
+    let (model, vocab, stories) = trained_model();
+    let server = NetServer::spawn(
+        model,
+        vocab,
+        session_config(Precision::F32),
+        ServerConfig {
+            // Max-wait far beyond the test duration: only the drain can
+            // flush these questions.
+            batching: Some(BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_secs(30),
+            }),
+            ..server_config(&[("alpha", "alice")])
+        },
+    )
+    .expect("server spawns");
+    let story = &stories[0];
+
+    let (mut asker, _) = NetClient::connect(server.addr(), "alpha").expect("connect");
+    asker
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    for sentence in &story.sentences {
+        asker.observe_tokens(sentence).expect("observe");
+    }
+    let mut ids = Vec::new();
+    for q in &story.questions {
+        ids.push(asker.send_ask_tokens(&q.tokens).expect("send"));
+    }
+
+    // Give the scheduler a beat to accept the asks into the queue, then
+    // shut down from a second connection.
+    std::thread::sleep(Duration::from_millis(50));
+    let (mut admin, _) = NetClient::connect(server.addr(), "alpha").expect("connect admin");
+    admin
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout");
+    admin.shutdown_server().expect("shutdown acked");
+
+    // Every queued ask was answered during the drain.
+    let mut got = 0;
+    for _ in &ids {
+        match asker.recv().expect("drained answer") {
+            Response::Answer(_) => got += 1,
+            other => panic!("expected drained answer, got {other:?}"),
+        }
+    }
+    assert_eq!(got, ids.len(), "no accepted question goes unanswered");
+    server.wait();
+}

@@ -45,7 +45,10 @@ mod session;
 pub use embed_cache::{EmbedCacheStats, SentenceCache};
 pub use mnn_dist::WorkerState;
 pub use mnnfast::store::{MemoryStore, SegmentedStore};
-pub use pool::{AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats, SessionPool};
+pub use pool::{
+    occupancy_bucket, AdmissionConfig, BatchConfig, BatchedAnswer, PoolError, PoolStats,
+    SessionPool, OCCUPANCY_BOUNDS, OCCUPANCY_BUCKETS,
+};
 pub use session::{
     Answer, DegradationPolicy, DegradationStats, ServeError, Session, SessionConfig,
 };

@@ -127,6 +127,22 @@ struct QueuedQuestion {
     enqueued: Instant,
 }
 
+/// Number of buckets in [`PoolStats::batch_occupancy`].
+pub const OCCUPANCY_BUCKETS: usize = 8;
+
+/// Inclusive upper bound of each [`PoolStats::batch_occupancy`] bucket
+/// (the last bucket is open-ended).
+pub const OCCUPANCY_BOUNDS: [usize; OCCUPANCY_BUCKETS - 1] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Maps a dispatched batch's occupancy (questions per pass) to its
+/// histogram bucket: 1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+.
+pub fn occupancy_bucket(nq: usize) -> usize {
+    OCCUPANCY_BOUNDS
+        .iter()
+        .position(|&bound| nq <= bound)
+        .unwrap_or(OCCUPANCY_BUCKETS - 1)
+}
+
 /// Aggregate statistics across the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PoolStats {
@@ -179,6 +195,19 @@ pub struct PoolStats {
     pub batched_questions: u64,
     /// Largest batch occupancy seen so far (questions in one pass).
     pub max_batch_occupancy: usize,
+    /// Histogram of dispatched-batch occupancies (buckets 1, 2, 3–4, 5–8,
+    /// 9–16, 17–32, 33–64, 65+ — see [`occupancy_bucket`]). Shows whether
+    /// cross-tenant coalescing actually fills batches under real traffic.
+    pub batch_occupancy: [u64; OCCUPANCY_BUCKETS],
+    /// Connections the network front-end has accepted over its lifetime
+    /// (0 when no server reports through this pool).
+    pub net_connections_accepted: u64,
+    /// Connections currently open on the network front-end.
+    pub net_connections_active: u64,
+    /// Request frames the network front-end has decoded.
+    pub net_frames_in: u64,
+    /// Response frames the network front-end has written.
+    pub net_frames_out: u64,
     /// Questions currently waiting in coalescing queues.
     pub pending_questions: usize,
     /// Sentence-cache hits pool-wide (zero when
@@ -268,6 +297,8 @@ pub struct SessionPool {
     batches_dispatched: u64,
     batched_questions: u64,
     max_batch_occupancy: usize,
+    batch_occupancy: [u64; OCCUPANCY_BUCKETS],
+    sheds_by_tenant: BTreeMap<String, u64>,
 }
 
 impl SessionPool {
@@ -308,6 +339,8 @@ impl SessionPool {
             batches_dispatched: 0,
             batched_questions: 0,
             max_batch_occupancy: 0,
+            batch_occupancy: [0; OCCUPANCY_BUCKETS],
+            sheds_by_tenant: BTreeMap::new(),
         })
     }
 
@@ -410,6 +443,7 @@ impl SessionPool {
             self.admission_trace.record(Phase::Admission, t0, 1);
             if let Err(available) = decision {
                 self.shed_questions += 1;
+                *self.sheds_by_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
                 return Err(PoolError::Overloaded {
                     needed: cost,
                     available,
@@ -452,6 +486,7 @@ impl SessionPool {
             self.admission_trace.record(Phase::Admission, t0, nq as u64);
             if let Err(available) = decision {
                 self.shed_questions += nq as u64;
+                *self.sheds_by_tenant.entry(tenant.to_owned()).or_insert(0) += nq as u64;
                 return Err(PoolError::Overloaded {
                     needed: cost,
                     available,
@@ -463,6 +498,7 @@ impl SessionPool {
         self.batches_dispatched += 1;
         self.batched_questions += nq as u64;
         self.max_batch_occupancy = self.max_batch_occupancy.max(nq);
+        self.batch_occupancy[occupancy_bucket(nq)] += 1;
         Ok(results
             .into_iter()
             .map(|r| r.map_err(PoolError::from))
@@ -486,6 +522,22 @@ impl SessionPool {
         tenant: &str,
         question: &[WordId],
     ) -> Result<Vec<BatchedAnswer>, PoolError> {
+        self.enqueue_tracked(tenant, question).map(|(_, a)| a)
+    }
+
+    /// As [`SessionPool::enqueue`], but also returns the request id assigned
+    /// to this question — the handle a network scheduler needs to route the
+    /// eventual [`BatchedAnswer`] (which may surface from a *later*
+    /// `flush_due`/`enqueue` call) back to its connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionPool::enqueue`].
+    pub fn enqueue_tracked(
+        &mut self,
+        tenant: &str,
+        question: &[WordId],
+    ) -> Result<(u64, Vec<BatchedAnswer>), PoolError> {
         if !self.sessions.contains_key(tenant) {
             return Err(PoolError::UnknownTenant(tenant.to_owned()));
         }
@@ -498,11 +550,12 @@ impl SessionPool {
             enqueued: Instant::now(),
         });
         let max_batch = self.batching.map_or(1, |b| b.max_batch).max(1);
-        if queue.len() >= max_batch {
-            self.flush_tenant_queue(tenant)
+        let flushed = if queue.len() >= max_batch {
+            self.flush_tenant_queue(tenant)?
         } else {
-            Ok(Vec::new())
-        }
+            Vec::new()
+        };
+        Ok((id, flushed))
     }
 
     /// Flushes every tenant queue whose oldest question has waited at least
@@ -556,6 +609,36 @@ impl SessionPool {
         self.queues.values().map(Vec::len).sum()
     }
 
+    /// The instant at which the oldest queued question's batch becomes due
+    /// under [`BatchConfig::max_wait`], or `None` when no question is
+    /// queued. A serving loop can sleep precisely until this instant
+    /// instead of polling [`SessionPool::flush_due`] on a fixed tick.
+    pub fn next_flush_due(&self) -> Option<Instant> {
+        let max_wait = self.batching.map_or(Duration::ZERO, |b| b.max_wait);
+        self.queues
+            .values()
+            .filter_map(|q| q.first())
+            .map(|r| r.enqueued + max_wait)
+            .min()
+    }
+
+    /// Questions shed by the admission controller, broken down by tenant.
+    pub fn sheds_by_tenant(&self) -> &BTreeMap<String, u64> {
+        &self.sheds_by_tenant
+    }
+
+    /// Sentences resident in one tenant's memory.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTenant`] if absent.
+    pub fn tenant_sentences(&self, tenant: &str) -> Result<usize, PoolError> {
+        self.sessions
+            .get(tenant)
+            .map(Session::memory_len)
+            .ok_or_else(|| PoolError::UnknownTenant(tenant.to_owned()))
+    }
+
     /// Dispatches one tenant's queued questions as a single batched pass.
     /// Queue wait is charged against each question's deadline, so a
     /// question that waited `w` runs under `deadline - w`.
@@ -577,6 +660,7 @@ impl SessionPool {
             self.admission_trace.record(Phase::Admission, t0, nq as u64);
             if let Err(available) = decision {
                 self.shed_questions += nq as u64;
+                *self.sheds_by_tenant.entry(tenant.to_owned()).or_insert(0) += nq as u64;
                 return Ok(queued
                     .into_iter()
                     .map(|r| BatchedAnswer {
@@ -604,10 +688,27 @@ impl SessionPool {
             .collect();
         let (ids, questions): (Vec<u64>, Vec<Vec<WordId>>) =
             queued.into_iter().map(|r| (r.id, r.tokens)).unzip();
-        let results = session.ask_many_budgeted(&questions, &budgets)?;
+        let results = match session.ask_many_budgeted(&questions, &budgets) {
+            Ok(results) => results,
+            // A batch-level failure (e.g. asking before any sentence was
+            // observed) must not drop the queued questions' identities: a
+            // network scheduler routing by request id needs every id to
+            // come back, so surface the error in every slot instead.
+            Err(e) => {
+                return Ok(ids
+                    .into_iter()
+                    .map(|id| BatchedAnswer {
+                        request: id,
+                        tenant: tenant.to_owned(),
+                        answer: Err(PoolError::Session(e.clone())),
+                    })
+                    .collect())
+            }
+        };
         self.batches_dispatched += 1;
         self.batched_questions += nq as u64;
         self.max_batch_occupancy = self.max_batch_occupancy.max(nq);
+        self.batch_occupancy[occupancy_bucket(nq)] += 1;
         Ok(ids
             .into_iter()
             .zip(results)
@@ -628,6 +729,7 @@ impl SessionPool {
             batches_dispatched: self.batches_dispatched,
             batched_questions: self.batched_questions,
             max_batch_occupancy: self.max_batch_occupancy,
+            batch_occupancy: self.batch_occupancy,
             pending_questions: self.pending_questions(),
             ..PoolStats::default()
         };
@@ -973,6 +1075,112 @@ mod tests {
         assert_eq!(stats.shed_questions, 2);
         assert_eq!(stats.batches_dispatched, 0);
         assert_eq!(stats.questions_answered, 0);
+    }
+
+    #[test]
+    fn occupancy_buckets_partition_the_axis() {
+        assert_eq!(occupancy_bucket(1), 0);
+        assert_eq!(occupancy_bucket(2), 1);
+        assert_eq!(occupancy_bucket(3), 2);
+        assert_eq!(occupancy_bucket(4), 2);
+        assert_eq!(occupancy_bucket(5), 3);
+        assert_eq!(occupancy_bucket(8), 3);
+        assert_eq!(occupancy_bucket(64), 6);
+        assert_eq!(occupancy_bucket(65), 7);
+        assert_eq!(occupancy_bucket(100_000), 7);
+    }
+
+    #[test]
+    fn enqueue_tracked_returns_ids_and_flush_deadline() {
+        let (mut generator, pool) = pool();
+        let max_wait = std::time::Duration::from_secs(3600);
+        let mut pool = pool.with_batching(BatchConfig {
+            max_batch: 2,
+            max_wait,
+        });
+        pool.create_tenant("t").unwrap();
+        let story = generator.story(5, 2);
+        for s in &story.sentences {
+            pool.observe("t", s).unwrap();
+        }
+        assert_eq!(pool.next_flush_due(), None);
+        let before = Instant::now();
+        let (id0, flushed) = pool
+            .enqueue_tracked("t", &story.questions[0].tokens)
+            .unwrap();
+        assert_eq!(id0, 0);
+        assert!(flushed.is_empty());
+        // The due instant is the enqueue time plus max_wait.
+        let due = pool.next_flush_due().expect("one question is queued");
+        assert!(due >= before + max_wait);
+        assert!(due <= Instant::now() + max_wait);
+        let (id1, flushed) = pool
+            .enqueue_tracked("t", &story.questions[1].tokens)
+            .unwrap();
+        assert_eq!(id1, 1);
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].request, id0);
+        assert_eq!(flushed[1].request, id1);
+        assert_eq!(pool.next_flush_due(), None);
+        // The two-question flush landed in the occupancy histogram.
+        let stats = pool.stats();
+        assert_eq!(stats.batch_occupancy[occupancy_bucket(2)], 1);
+        assert_eq!(stats.batch_occupancy.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn batch_level_failures_fill_every_slot() {
+        let (mut generator, pool) = pool();
+        let mut pool = pool.with_batching(BatchConfig {
+            max_batch: 2,
+            max_wait: std::time::Duration::from_secs(3600),
+        });
+        pool.create_tenant("t").unwrap();
+        // No sentences observed: the flush's batch-level EmptyMemory must
+        // come back as one error slot per queued question, ids intact.
+        let story = generator.story(5, 2);
+        pool.enqueue("t", &story.questions[0].tokens).unwrap();
+        let flushed = pool.enqueue("t", &story.questions[1].tokens).unwrap();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(flushed[0].request, 0);
+        assert_eq!(flushed[1].request, 1);
+        for b in &flushed {
+            assert_eq!(
+                b.answer,
+                Err(PoolError::Session(ServeError::EmptyMemory)),
+                "request {}",
+                b.request
+            );
+        }
+    }
+
+    #[test]
+    fn sheds_are_attributed_to_their_tenant() {
+        let (mut generator, pool) = pool();
+        let mut pool = pool.with_admission(AdmissionConfig {
+            capacity: 7,
+            refill_per_sec: 0,
+        });
+        pool.create_tenant("a").unwrap();
+        pool.create_tenant("b").unwrap();
+        let story = generator.story(5, 1);
+        for s in &story.sentences {
+            pool.observe("a", s).unwrap();
+            pool.observe("b", s).unwrap();
+        }
+        let q = &story.questions[0].tokens;
+        pool.ask("a", q).unwrap();
+        assert!(matches!(
+            pool.ask("b", q),
+            Err(PoolError::Overloaded { .. })
+        ));
+        assert!(matches!(
+            pool.ask("b", q),
+            Err(PoolError::Overloaded { .. })
+        ));
+        assert_eq!(pool.sheds_by_tenant().get("b"), Some(&2));
+        assert_eq!(pool.sheds_by_tenant().get("a"), None);
+        assert_eq!(pool.stats().shed_questions, 2);
     }
 
     #[test]

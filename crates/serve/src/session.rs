@@ -2127,6 +2127,32 @@ mod tests {
     }
 
     #[test]
+    fn f32_batched_ask_matches_sequential_f32() {
+        let (mut generator, model) = trained_serving_model();
+        let story = generator.story(8, 3);
+        let config = SessionConfig::default();
+        let mut seq = Session::new(model.clone(), config).unwrap();
+        let mut batched = Session::new(model, config).unwrap();
+        for s in &story.sentences {
+            seq.observe(s).unwrap();
+            batched.observe(s).unwrap();
+        }
+        let questions: Vec<Vec<WordId>> =
+            story.questions.iter().map(|q| q.tokens.clone()).collect();
+        let answers = batched.ask_many(&questions).unwrap();
+        for (q, a) in questions.iter().zip(&answers) {
+            let a = a.as_ref().unwrap();
+            let expect = seq.ask(q).unwrap();
+            assert_eq!(a.word, expect.word);
+            // The batched f32 serving path runs each question's chunk share
+            // through the exact single-question kernels (chunk partial →
+            // merge), so a coalesced ask returns the same bits as a solo
+            // ask — the network front-end's parity contract rides on this.
+            assert_eq!(a.probability.to_bits(), expect.probability.to_bits());
+        }
+    }
+
+    #[test]
     fn int8_segmented_serving_stays_consistent() {
         let (mut generator, model) = trained_serving_model();
         let story = generator.story(8, 2);
